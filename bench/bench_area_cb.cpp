@@ -1,0 +1,183 @@
+/// Regenerates the Eq. 1 (area) and Eq. 2 (configuration bits)
+/// predictions — the paper gives the equations without numeric tables,
+/// so this bench produces the predicted curves across the class families
+/// plus two ablations: (a) the omitted IP-DP switch term, (b) direct vs
+/// crossbar switch families.  Cross-checks against the executable
+/// crossbar's measured state.
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "arch/registry.hpp"
+#include "core/classifier.hpp"
+#include "core/flexibility.hpp"
+#include "cost/area_model.hpp"
+#include "cost/config_bits.hpp"
+#include "interconnect/crossbar.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace mpct;
+using namespace mpct::cost;
+
+MachineClass named(const char* text) {
+  return *canonical_class(*parse_taxonomic_name(text));
+}
+
+void print_family_sweep() {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const TechnologyNode node = default_node();
+  std::cout << "EQ.1 / EQ.2 PREDICTIONS (component library '" << lib.name
+            << "', " << node.name << ", N = 16, v = 2048)\n\n";
+
+  report::TextTable table({"Class", "Flex", "Area kGE", "Area mm2",
+                           "Switch kGE", "CB bits", "Switch CB"});
+  for (std::size_t c = 1; c < 7; ++c) table.set_align(c, report::Align::Right);
+
+  const EstimateOptions options{.n = 16, .m = 16, .v = 2048};
+  for (const char* name :
+       {"DUP", "DMP-I", "DMP-IV", "IUP", "IAP-I", "IAP-II", "IAP-IV",
+        "IMP-I", "IMP-II", "IMP-IV", "IMP-VIII", "IMP-XVI", "ISP-I",
+        "ISP-XVI", "USP"}) {
+    const MachineClass mc = named(name);
+    const AreaEstimate area = estimate_area(mc, lib, options);
+    const ConfigBitsEstimate cb = estimate_config_bits(mc, lib, options);
+    std::ostringstream mm2;
+    mm2 << std::fixed << std::setprecision(3) << area.total_mm2(node);
+    std::ostringstream kge;
+    kge << std::fixed << std::setprecision(1) << area.total_kge();
+    std::ostringstream sw;
+    sw << std::fixed << std::setprecision(1) << area.switch_kge();
+    table.add_row({name, std::to_string(flexibility_score(mc)), kge.str(),
+                   mm2.str(), sw.str(), std::to_string(cb.total()),
+                   std::to_string(cb.switch_bits())});
+  }
+  std::cout << table.render_ascii() << "\n";
+}
+
+void print_scaling_curves() {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  std::cout << "SCALING: IMP-I (all direct) vs IMP-XVI (all crossbar) "
+               "area in kGE by N\n"
+            << "  N      IMP-I      IMP-XVI    ratio\n";
+  for (std::int64_t n : {4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    EstimateOptions options;
+    options.n = n;
+    const double a1 = estimate_area(named("IMP-I"), lib, options).total_kge();
+    const double a16 =
+        estimate_area(named("IMP-XVI"), lib, options).total_kge();
+    std::cout << "  " << std::setw(5) << n << std::setw(11) << std::fixed
+              << std::setprecision(0) << a1 << std::setw(12) << a16
+              << std::setw(9) << std::setprecision(2) << a16 / a1 << "\n";
+  }
+  std::cout << "(crossbar quadratic growth dominates: the 'flexibility "
+               "costs area' law)\n\n";
+}
+
+void print_ablation() {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  std::cout << "ABLATION: the IP-DP switch term Eq.1/Eq.2 omit (IMP-IX, "
+               "N = 64)\n";
+  const MachineClass mc = named("IMP-IX");  // IP-DP crossbar
+  const EstimateOptions faithful{.n = 64};
+  EstimateOptions extended = faithful;
+  extended.include_ip_dp_switch = true;
+  const double a0 = estimate_area(mc, lib, faithful).total_kge();
+  const double a1 = estimate_area(mc, lib, extended).total_kge();
+  std::cout << "  faithful Eq.1:    " << std::fixed << std::setprecision(1)
+            << a0 << " kGE\n"
+            << "  + IP-DP term:     " << a1 << " kGE  (+"
+            << std::setprecision(1) << (a1 / a0 - 1) * 100 << "%)\n";
+  const auto cb0 = estimate_config_bits(mc, lib, faithful).total();
+  const auto cb1 = estimate_config_bits(mc, lib, extended).total();
+  std::cout << "  faithful Eq.2:    " << cb0 << " bits\n"
+            << "  + CW_IP-DP term:  " << cb1 << " bits\n\n";
+}
+
+void print_crosscheck() {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  std::cout << "CROSS-CHECK: Eq.2 crossbar terms vs measured executable "
+               "crossbars\n";
+  struct Case {
+    const char* arch;
+    int inputs;
+    int outputs;
+  };
+  for (const Case& c : {Case{"MorphoSys DP-DP", 64, 64},
+                        Case{"Montium DP-DM", 5, 10},
+                        Case{"PADDI DP-DP", 8, 8}}) {
+    interconnect::Crossbar xbar(c.inputs, c.outputs);
+    const auto predicted =
+        switch_cost(SwitchKind::Crossbar, c.inputs, c.outputs,
+                    lib.data_width)
+            .config_bits;
+    std::cout << "  " << c.arch << " (" << c.inputs << "x" << c.outputs
+              << "): predicted " << predicted << ", measured "
+              << xbar.config_bits()
+              << (predicted == xbar.config_bits() ? "  [match]"
+                                                  : "  [MISMATCH]")
+              << "\n";
+  }
+  std::cout << "\n";
+}
+
+void print_survey_costs() {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  std::cout << "SURVEY COST ESTIMATES (n = m = 16, v = 2048)\n";
+  report::TextTable table({"Architecture", "Flex", "Area kGE", "CB bits"});
+  table.set_align(1, report::Align::Right);
+  table.set_align(2, report::Align::Right);
+  table.set_align(3, report::Align::Right);
+  const EstimateOptions options{.n = 16, .m = 16, .v = 2048};
+  for (const arch::ArchitectureSpec& spec :
+       arch::surveyed_architectures()) {
+    const auto area = estimate_area(spec, lib, options);
+    const auto cb = estimate_config_bits(spec, lib, options);
+    std::ostringstream kge;
+    kge << std::fixed << std::setprecision(1) << area.total_kge();
+    table.add_row({spec.name, std::to_string(spec.flexibility().total()),
+                   kge.str(), std::to_string(cb.total())});
+  }
+  std::cout << table.render_ascii() << "\n";
+}
+
+void bm_estimate_area(benchmark::State& state) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const MachineClass mc = named("IMP-XVI");
+  EstimateOptions options;
+  options.n = state.range(0);
+  for (auto _ : state) {
+    AreaEstimate e = estimate_area(mc, lib, options);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(bm_estimate_area)->RangeMultiplier(4)->Range(4, 1024);
+
+void bm_estimate_config_bits_survey(benchmark::State& state) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  for (auto _ : state) {
+    std::int64_t total = 0;
+    for (const arch::ArchitectureSpec& spec :
+         arch::surveyed_architectures()) {
+      total += estimate_config_bits(spec, lib).total();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(bm_estimate_config_bits_survey);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_family_sweep();
+  print_scaling_curves();
+  print_ablation();
+  print_crosscheck();
+  print_survey_costs();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

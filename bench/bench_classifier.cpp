@@ -1,0 +1,110 @@
+/// Microbenchmarks of the classification engine: classify, naming,
+/// parsing, comparison, morph ordering, ADL round-trips.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "arch/adl_parser.hpp"
+#include "arch/registry.hpp"
+#include "core/comparison.hpp"
+#include "core/taxonomy_table.hpp"
+
+namespace {
+
+using namespace mpct;
+
+void bm_classify_single(benchmark::State& state) {
+  const TaxonomyEntry* row = find_entry(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Classification result = classify(row->machine);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(bm_classify_single)->Arg(1)->Arg(8)->Arg(22)->Arg(40)->Arg(47);
+
+void bm_name_to_string(benchmark::State& state) {
+  std::vector<TaxonomicName> names;
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (row.name) names.push_back(*row.name);
+  }
+  for (auto _ : state) {
+    for (const TaxonomicName& name : names) {
+      std::string text = to_string(name);
+      benchmark::DoNotOptimize(text);
+    }
+  }
+}
+BENCHMARK(bm_name_to_string);
+
+void bm_name_parse(benchmark::State& state) {
+  std::vector<std::string> texts;
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (row.name) texts.push_back(to_string(*row.name));
+  }
+  for (auto _ : state) {
+    for (const std::string& text : texts) {
+      auto parsed = parse_taxonomic_name(text);
+      benchmark::DoNotOptimize(parsed);
+    }
+  }
+}
+BENCHMARK(bm_name_parse);
+
+void bm_compare_all_pairs(benchmark::State& state) {
+  std::vector<TaxonomicName> names;
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (row.name) names.push_back(*row.name);
+  }
+  for (auto _ : state) {
+    int levels = 0;
+    for (const TaxonomicName& a : names) {
+      for (const TaxonomicName& b : names) {
+        levels += compare(a, b).similarity_level();
+      }
+    }
+    benchmark::DoNotOptimize(levels);
+  }
+}
+BENCHMARK(bm_compare_all_pairs);
+
+void bm_morph_matrix(benchmark::State& state) {
+  std::vector<TaxonomicName> names;
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (row.name) names.push_back(*row.name);
+  }
+  for (auto _ : state) {
+    int edges = 0;
+    for (const TaxonomicName& a : names) {
+      for (const TaxonomicName& b : names) {
+        if (can_morph_into(a, b)) ++edges;
+      }
+    }
+    benchmark::DoNotOptimize(edges);
+  }
+}
+BENCHMARK(bm_morph_matrix);
+
+void bm_adl_roundtrip_survey(benchmark::State& state) {
+  std::string document;
+  for (const arch::ArchitectureSpec& spec :
+       arch::surveyed_architectures()) {
+    document += to_adl(spec);
+    document += "\n";
+  }
+  for (auto _ : state) {
+    arch::ParseResult result = arch::parse_adl(document);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(bm_adl_roundtrip_survey);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "CLASSIFICATION ENGINE MICROBENCHMARKS\n"
+            << "(47-class table, 25-row survey, all-pairs comparisons)\n\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,116 @@
+/// Regenerates Figure 1 — "Research Trends in Parallel Computing",
+/// publications per topic per year 1995-2010 — from the synthetic corpus
+/// substitute for the IEEE database, and benchmarks the query engine.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bibliometrics/corpus.hpp"
+#include "bibliometrics/query.hpp"
+#include "bibliometrics/trends.hpp"
+#include "report/chart.hpp"
+#include "report/csv.hpp"
+
+namespace {
+
+using namespace mpct;
+using namespace mpct::biblio;
+
+void print_fig1() {
+  const Corpus corpus = Corpus::standard();
+  const QueryEngine engine(corpus);
+  const auto trends = research_trends(engine);
+
+  std::cout << "FIGURE 1: RESEARCH TRENDS IN PARALLEL COMPUTING\n"
+            << "(synthetic corpus substitute for the IEEE database: "
+            << corpus.size() << " records, seed "
+            << corpus.params().seed << ")\n\n";
+
+  std::vector<std::string> labels;
+  for (int year = engine.first_year(); year <= engine.last_year(); ++year) {
+    labels.push_back(std::to_string(year));
+  }
+  std::vector<report::Series> series;
+  for (const TrendSeries& t : trends) {
+    report::Series s;
+    s.name = t.topic;
+    s.values.assign(t.counts.begin(), t.counts.end());
+    series.push_back(std::move(s));
+  }
+  std::cout << render_line_chart(labels, series) << "\n";
+
+  report::CsvWriter csv;
+  {
+    std::vector<std::string> header{"year"};
+    for (const TrendSeries& t : trends) header.push_back(t.topic);
+    csv.add_row(header);
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::vector<std::string> row{labels[i]};
+    for (const TrendSeries& t : trends) {
+      row.push_back(std::to_string(t.counts[i]));
+    }
+    csv.add_row(row);
+  }
+  std::cout << "CSV:\n" << csv.str() << "\n";
+
+  std::cout << "take-off analysis (pivot 2005, the paper's 'last five "
+               "years'):\n";
+  for (const TrendSeries& t : trends) {
+    std::cout << "  " << t.topic << ": slope before = "
+              << average_slope(t, 1995, 2005) << "/yr, after = "
+              << average_slope(t, 2005, 2010) << "/yr"
+              << (took_off(t, 2005) ? "  [took off]" : "") << "\n";
+  }
+  std::cout << "\n";
+}
+
+void bm_build_corpus(benchmark::State& state) {
+  for (auto _ : state) {
+    Corpus corpus = Corpus::standard(static_cast<std::uint64_t>(
+        state.iterations()));
+    benchmark::DoNotOptimize(corpus.size());
+  }
+}
+BENCHMARK(bm_build_corpus)->Unit(benchmark::kMillisecond);
+
+void bm_index_corpus(benchmark::State& state) {
+  const Corpus corpus = Corpus::standard();
+  for (auto _ : state) {
+    QueryEngine engine(corpus);
+    benchmark::DoNotOptimize(engine.total("parallel"));
+  }
+}
+BENCHMARK(bm_index_corpus)->Unit(benchmark::kMillisecond);
+
+void bm_yearly_counts(benchmark::State& state) {
+  const Corpus corpus = Corpus::standard();
+  const QueryEngine engine(corpus);
+  for (auto _ : state) {
+    for (const TopicModel& topic : default_topics()) {
+      auto counts = engine.yearly_counts(topic.keyword);
+      benchmark::DoNotOptimize(counts);
+    }
+  }
+}
+BENCHMARK(bm_yearly_counts);
+
+void bm_conjunctive_query(benchmark::State& state) {
+  const Corpus corpus = Corpus::standard();
+  const QueryEngine engine(corpus);
+  for (auto _ : state) {
+    int count = engine.count_all_of({"fpga", "parallel"}, 2008);
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(bm_conjunctive_query);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

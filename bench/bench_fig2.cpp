@@ -1,0 +1,82 @@
+/// Regenerates Figure 2 — the hierarchy of computing machines — and
+/// benchmarks name parsing/formatting over the hierarchy.
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+
+#include "core/hierarchy.hpp"
+#include "core/taxonomy_table.hpp"
+#include "report/dot.hpp"
+
+namespace {
+
+using namespace mpct;
+
+void print_fig2() {
+  std::cout << "FIGURE 2: HIERARCHY OF COMPUTING MACHINES\n"
+            << "(Machine Type -> Processing Type -> named classes, "
+               "derived from Table I)\n\n"
+            << render_hierarchy(machine_hierarchy()) << "\n";
+
+  std::cout << "example paths:\n";
+  for (const char* name : {"DUP", "IAP-II", "IMP-XVI", "ISP-IV", "USP"}) {
+    const auto parsed = parse_taxonomic_name(name);
+    std::cout << "  ";
+    bool first = true;
+    for (const std::string& part : hierarchy_path(*parsed)) {
+      if (!first) std::cout << " -> ";
+      first = false;
+      std::cout << part;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+
+  const std::string hierarchy = report::hierarchy_dot(machine_hierarchy());
+  std::ofstream("fig2_hierarchy.dot") << hierarchy;
+  const std::string morph = report::morph_dot();
+  std::ofstream("fig2_morph.dot") << morph;
+  std::cout << "Graphviz exports: ./fig2_hierarchy.dot ("
+            << hierarchy.size() << " bytes), ./fig2_morph.dot ("
+            << morph.size() << " bytes — the morphability Hasse "
+            << "diagram over all 43 classes)\n\n";
+}
+
+void bm_build_hierarchy(benchmark::State& state) {
+  for (auto _ : state) {
+    HierarchyNode root = machine_hierarchy();
+    benchmark::DoNotOptimize(root);
+  }
+}
+BENCHMARK(bm_build_hierarchy);
+
+void bm_render_hierarchy(benchmark::State& state) {
+  const HierarchyNode root = machine_hierarchy();
+  for (auto _ : state) {
+    std::string art = render_hierarchy(root);
+    benchmark::DoNotOptimize(art);
+  }
+}
+BENCHMARK(bm_render_hierarchy);
+
+void bm_parse_names(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const TaxonomyEntry& row : extended_taxonomy()) {
+      if (!row.name) continue;
+      auto parsed = parse_taxonomic_name(to_string(*row.name));
+      benchmark::DoNotOptimize(parsed);
+    }
+  }
+}
+BENCHMARK(bm_parse_names);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,104 @@
+/// Regenerates Table II of the paper — relative flexibility values for
+/// every class — and benchmarks the scoring system.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/classifier.hpp"
+#include "core/flexibility.hpp"
+#include "core/taxonomy_table.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace mpct;
+
+std::string section_header(const TaxonomicName& name) {
+  std::string header(to_string(name.machine_type));
+  header += " -> ";
+  header += name.machine_type == MachineType::UniversalFlow
+                ? "Fine Grained"
+                : std::string(to_string(name.processing_type));
+  header += " (+" + std::to_string(category_offset(name)) + ")";
+  return header;
+}
+
+void print_table2() {
+  report::TextTable table({"ST", "Flx.", "ST", "Flx.", "ST", "Flx.", "ST",
+                           "Flx."});
+  std::string current_section;
+  std::vector<std::string> pending;
+
+  const auto flush = [&] {
+    while (!pending.empty()) {
+      std::vector<std::string> row;
+      for (int c = 0; c < 4 && !pending.empty(); ++c) {
+        row.push_back(pending.front());
+        pending.erase(pending.begin());
+        row.push_back(pending.front());
+        pending.erase(pending.begin());
+      }
+      while (row.size() < 8) row.push_back("-");
+      table.add_row(std::move(row));
+    }
+  };
+
+  for (const TaxonomyEntry& entry : extended_taxonomy()) {
+    if (!entry.name) continue;
+    const std::string section = section_header(*entry.name);
+    if (section != current_section) {
+      flush();
+      table.add_section(section);
+      current_section = section;
+    }
+    pending.push_back(to_string(*entry.name));
+    pending.push_back(std::to_string(flexibility_score(entry.machine)));
+  }
+  flush();
+
+  std::cout << "TABLE II: RELATIVE FLEXIBILITY VALUES FOR DIFFERENT "
+               "CLASSES\n"
+            << "(computed by the scoring system: 1 point per n/v IP set, "
+               "per n/v DP set,\n per crossbar switch; +1 for "
+               "universal-flow variability)\n\n"
+            << table.render_ascii() << "\n";
+
+  // Derivations for the extremes.
+  const auto iup = canonical_class(*parse_taxonomic_name("IUP"));
+  const auto usp = canonical_class(*parse_taxonomic_name("USP"));
+  const auto isp16 = canonical_class(*parse_taxonomic_name("ISP-XVI"));
+  std::cout << "derivations:\n"
+            << "  IUP:     " << flexibility(*iup).to_string() << "\n"
+            << "  ISP-XVI: " << flexibility(*isp16).to_string() << "\n"
+            << "  USP:     " << flexibility(*usp).to_string() << "\n\n";
+}
+
+void bm_score_all_classes(benchmark::State& state) {
+  for (auto _ : state) {
+    int total = 0;
+    for (const TaxonomyEntry& row : extended_taxonomy()) {
+      total += flexibility_score(row.machine);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(bm_score_all_classes);
+
+void bm_flexibility_breakdown(benchmark::State& state) {
+  const auto usp = canonical_class(*parse_taxonomic_name("USP"));
+  for (auto _ : state) {
+    FlexibilityBreakdown b = flexibility(*usp);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(bm_flexibility_breakdown);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,103 @@
+/// End-to-end CGRA flow: compile an expression program into a dataflow
+/// graph, spatially map it onto a CGRA fabric, execute it, and compare
+/// the fabric's measured configuration size with the taxonomy's Eq. 2
+/// estimate for the matching class (IAP-IV: one sequencer, n DPs,
+/// crossbars on DP-DM and DP-DP).
+///
+/// Usage: cgra_flow ["expression program"]
+///   default program: a 4-tap FIR step with saturation.
+#include <iostream>
+
+#include "core/classifier.hpp"
+#include "core/flexibility.hpp"
+#include "cost/config_map.hpp"
+#include "sim/cgra/scheduler.hpp"
+#include "sim/dataflow/expr_parser.hpp"
+#include "sim/memory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpct;
+  using namespace mpct::sim;
+
+  const std::string source = argc > 1 ? argv[1] : R"(
+    acc = x0*c0 + x1*c1 + x2*c2 + x3*c3
+    out = min(acc, 1000)
+  )";
+
+  df::Graph graph;
+  try {
+    graph = df::compile_expression_or_throw(source);
+  } catch (const SimError& error) {
+    std::cerr << error.what() << "\n";
+    return 1;
+  }
+  std::cout << "program:\n" << source << "\n"
+            << "graph: " << graph.node_count() << " nodes, "
+            << graph.input_nodes().size() << " inputs, "
+            << graph.output_nodes().size() << " outputs\n\n";
+
+  cgra::CgraShape shape;
+  shape.fus = 16;
+  shape.contexts = 16;
+  shape.primary_inputs =
+      std::max<int>(8, static_cast<int>(graph.input_nodes().size()));
+  cgra::Cgra fabric(shape);
+
+  cgra::Schedule schedule;
+  try {
+    schedule = cgra::map_graph(graph, fabric);
+  } catch (const SimError& error) {
+    std::cerr << "mapping failed: " << error.what() << "\n";
+    return 1;
+  }
+  std::cout << "mapped onto " << schedule.fus_used << " of " << shape.fus
+            << " FUs, depth " << schedule.depth << " contexts\n";
+  for (int id = 0; id < graph.node_count(); ++id) {
+    if (schedule.node_fu[static_cast<std::size_t>(id)] < 0) continue;
+    std::cout << "  node " << id << " ("
+              << to_string(graph.node(id).op) << ") -> FU"
+              << schedule.node_fu[static_cast<std::size_t>(id)]
+              << " @cycle "
+              << schedule.node_cycle[static_cast<std::size_t>(id)] << "\n";
+  }
+
+  // Run with a deterministic sample binding: input i gets value i+1.
+  std::vector<std::pair<std::string, sim::Word>> inputs;
+  int value = 1;
+  for (df::NodeId id : graph.input_nodes()) {
+    inputs.emplace_back(graph.node(id).name, value++);
+  }
+  std::cout << "\ninputs:";
+  for (const auto& [name, v] : inputs) std::cout << ' ' << name << '=' << v;
+  const auto outputs = cgra::run_mapped(fabric, schedule, inputs);
+  std::cout << "\noutputs:";
+  for (const auto& [name, v] : outputs) std::cout << ' ' << name << '=' << v;
+  const auto reference = df::evaluate(graph, inputs);
+  std::cout << "\nreference agrees: "
+            << (outputs == reference ? "yes" : "NO") << "\n\n";
+
+  // The taxonomy's view of this machine.
+  MachineClass mc;
+  mc.ips = Multiplicity::One;
+  mc.dps = Multiplicity::Many;
+  mc.set_switch(ConnectivityRole::IpDp, SwitchKind::Direct);
+  mc.set_switch(ConnectivityRole::IpIm, SwitchKind::Direct);
+  mc.set_switch(ConnectivityRole::DpDm, SwitchKind::Crossbar);
+  mc.set_switch(ConnectivityRole::DpDp, SwitchKind::Crossbar);
+  const Classification cls = classify(mc);
+  std::cout << "taxonomy class of this fabric: " << to_string(*cls.name)
+            << " (flexibility " << flexibility_score(mc) << ")\n";
+  std::cout << "measured context-memory configuration: "
+            << fabric.config_bits() << " bits\n";
+
+  const cost::ComponentLibrary lib = cost::ComponentLibrary::default_library();
+  cost::EstimateOptions options;
+  options.n = shape.fus;
+  const cost::ConfigMap map = cost::plan_config_map(mc, lib, options);
+  std::cout << "Eq.2 class-level plan (" << map.total_bits()
+            << " bits):\n" << map.to_string();
+  std::cout << "(the measured fabric stores per-cycle contexts — "
+               "time-multiplexed configuration the class-level equation "
+               "does not model; both views are useful)\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// Classify architecture descriptions written in the ADL text format.
+///
+/// Usage: classify_from_file [file.adl]
+///   with no argument, reads the bundled my_cgra.adl next to the binary.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "arch/adl_parser.hpp"
+#include "arch/validate.hpp"
+#include "cost/config_bits.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpct;
+
+  const std::string path = argc > 1 ? argv[1] : "my_cgra.adl";
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  const arch::ParseResult result = arch::parse_adl(buffer.str());
+  for (const arch::ParseError& error : result.errors) {
+    std::cerr << path << ":" << error.to_string() << "\n";
+  }
+  if (result.specs.empty()) {
+    std::cerr << "no architectures parsed\n";
+    return 1;
+  }
+
+  const cost::ComponentLibrary lib = cost::ComponentLibrary::default_library();
+  for (const arch::ArchitectureSpec& spec : result.specs) {
+    std::cout << "== " << spec.name << " ==\n";
+    bool valid = true;
+    for (const arch::Issue& issue : arch::validate(spec)) {
+      std::cout << "  " << issue.to_string() << "\n";
+      if (issue.severity == arch::Severity::Error) valid = false;
+    }
+    if (!valid) {
+      std::cout << "  (not classifiable)\n";
+      continue;
+    }
+    const Classification classification = spec.classify();
+    if (!classification.ok()) {
+      std::cout << "  not classifiable: " << classification.note << "\n";
+      continue;
+    }
+    std::cout << "  class: " << to_string(*classification.name)
+              << "\n  flexibility: " << spec.flexibility().to_string()
+              << "\n  est. configuration: "
+              << cost::estimate_config_bits(spec, lib).total() << " bits\n";
+  }
+  return result.ok() ? 0 : 1;
+}

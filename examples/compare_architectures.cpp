@@ -1,0 +1,103 @@
+/// Compare two surveyed architectures through the taxonomy: names,
+/// structural differences, flexibility, morphability and cost estimates.
+///
+/// Usage: compare_architectures [arch_a] [arch_b]
+///   defaults: MorphoSys vs DRRA.  Names are the Table III rows
+///   (case-insensitive); run with --list to enumerate them.
+#include <iostream>
+#include <string>
+
+#include "arch/registry.hpp"
+#include "core/comparison.hpp"
+#include "cost/area_model.hpp"
+#include "cost/config_bits.hpp"
+#include "explore/upgrade.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpct;
+
+  if (argc > 1 && std::string(argv[1]) == "--list") {
+    for (const arch::ArchitectureSpec& spec :
+         arch::surveyed_architectures()) {
+      std::cout << spec.name << "\n";
+    }
+    return 0;
+  }
+
+  const std::string name_a = argc > 1 ? argv[1] : "MorphoSys";
+  const std::string name_b = argc > 2 ? argv[2] : "DRRA";
+  const arch::ArchitectureSpec* a = arch::find_architecture(name_a);
+  const arch::ArchitectureSpec* b = arch::find_architecture(name_b);
+  if (!a || !b) {
+    std::cerr << "unknown architecture '" << (a ? name_b : name_a)
+              << "' (use --list)\n";
+    return 1;
+  }
+
+  const auto describe = [](const arch::ArchitectureSpec& spec) {
+    const Classification result = spec.classify();
+    std::cout << spec.name << " " << spec.citation << " (" << spec.year
+              << ", " << spec.category << ")\n  " << spec.description
+              << "\n  class: "
+              << (result.ok() ? to_string(*result.name) : "?")
+              << ", flexibility: " << spec.flexibility().to_string()
+              << "\n  cells:";
+    for (ConnectivityRole role : kAllConnectivityRoles) {
+      std::cout << ' ' << to_string(role) << '='
+                << spec.at(role).to_string();
+    }
+    std::cout << "\n\n";
+  };
+  describe(*a);
+  describe(*b);
+
+  const Classification ca = a->classify();
+  const Classification cb = b->classify();
+  if (ca.ok() && cb.ok()) {
+    const NameComparison cmp = compare(*ca.name, *cb.name);
+    std::cout << "structural comparison: " << cmp.summary() << "\n";
+    if (flexibility_comparable(ca.name->machine_type,
+                               cb.name->machine_type)) {
+      const int fa = a->flexibility().total();
+      const int fb = b->flexibility().total();
+      std::cout << "flexibility: " << a->name << " " << fa
+                << (fa == fb ? " == " : (fa > fb ? " > " : " < "))
+                << fb << " " << b->name << "\n";
+    } else {
+      std::cout << "flexibility values are NOT comparable (different flow "
+                   "paradigms; Section III-B)\n";
+    }
+    std::cout << "morphability: " << a->name << " -> " << b->name << ": "
+              << (can_morph_into(*ca.name, *cb.name) ? "yes" : "no")
+              << "; " << b->name << " -> " << a->name << ": "
+              << (can_morph_into(*cb.name, *ca.name) ? "yes" : "no")
+              << "\n";
+    if (!can_morph_into(*ca.name, *cb.name)) {
+      const auto plan =
+          explore::upgrade_path(a->machine_class(), *cb.name);
+      if (plan) {
+        std::cout << "to retrofit " << a->name << " into a "
+                  << to_string(*cb.name) << ":\n";
+        for (const explore::UpgradeStep& step : plan->steps) {
+          std::cout << "  - " << step.description << "\n";
+        }
+      } else {
+        std::cout << "no additive retrofit takes " << a->name << " into "
+                  << to_string(*cb.name)
+                  << " (paradigm divide or would require removing "
+                     "hardware)\n";
+      }
+    }
+  }
+
+  const cost::ComponentLibrary lib = cost::ComponentLibrary::default_library();
+  const cost::EstimateOptions options{.n = 16, .m = 16, .v = 1024};
+  for (const arch::ArchitectureSpec* spec : {a, b}) {
+    const auto area = cost::estimate_area(*spec, lib, options);
+    const auto bits = cost::estimate_config_bits(*spec, lib, options);
+    std::cout << "estimates for " << spec->name << ": "
+              << static_cast<long long>(area.total_kge()) << " kGE, "
+              << bits.total() << " configuration bits\n";
+  }
+  return 0;
+}

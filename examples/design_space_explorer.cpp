@@ -1,0 +1,72 @@
+/// The paper's conclusion use-case, as a tool: "a designer can decide
+/// which computer class offers the required flexibility with minimum
+/// configuration overhead for single or set of target applications."
+///
+/// Usage: design_space_explorer [min_flexibility] [N] [paradigm]
+///   min_flexibility  required flexibility score (default 3)
+///   N                component count to cost the classes at (default 16)
+///   paradigm         'instruction' (default), 'data' or 'any'
+///
+/// Sweeps every implementable class, filters by flexibility and
+/// paradigm, and ranks the survivors by estimated configuration bits,
+/// then area.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "arch/template_spec.hpp"
+#include "explore/recommend.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpct;
+
+  explore::Requirements req;
+  req.min_flexibility = argc > 1 ? std::atoi(argv[1]) : 3;
+  req.n = argc > 2 ? std::atoll(argv[2]) : 16;
+  req.lut_budget = req.n * 64;  // ~64 4-LUTs per coarse DP equivalent
+  const std::string paradigm = argc > 3 ? argv[3] : "instruction";
+  if (paradigm == "instruction") {
+    req.paradigm = MachineType::InstructionFlow;
+  } else if (paradigm == "data") {
+    req.paradigm = MachineType::DataFlow;
+  } else if (paradigm != "any") {
+    std::cerr << "paradigm must be 'instruction', 'data' or 'any'\n";
+    return 1;
+  }
+
+  const auto candidates = explore::recommend(req);
+
+  std::cout << "classes with flexibility >= " << req.min_flexibility << " ("
+            << paradigm << " paradigm, N = " << req.n
+            << "), cheapest configuration first:\n\n";
+  report::TextTable table(
+      {"Rank", "Class", "Flex", "CB bits", "Area kGE", "Why"});
+  for (std::size_t c = 0; c < 5; ++c) table.set_align(c, report::Align::Right);
+  int rank = 0;
+  for (const explore::Recommendation& rec : candidates) {
+    table.add_row({std::to_string(++rank), to_string(rec.name),
+                   std::to_string(rec.flexibility),
+                   std::to_string(rec.config_bits),
+                   std::to_string(
+                       static_cast<long long>(rec.area_kge + 0.5)),
+                   rec.rationale});
+  }
+  std::cout << table.render_ascii();
+
+  if (candidates.empty()) {
+    std::cout << "no class satisfies the requirement (max flexibility is "
+                 "8, the FPGA/USP)\n";
+    return 1;
+  }
+  std::cout << "\nrecommendation: " << to_string(candidates.front().name)
+            << " — the least configuration overhead that still provides "
+            << "flexibility " << candidates.front().flexibility << ".\n";
+
+  if (const auto spec =
+          arch::spec_from_class(candidates.front().name, req.n)) {
+    std::cout << "\nstarting-point ADL for the recommended class:\n\n"
+              << arch::to_adl(*spec);
+  }
+  return 0;
+}

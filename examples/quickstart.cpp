@@ -1,0 +1,76 @@
+/// Quickstart: describe an architecture, classify it against the
+/// extended Skillicorn taxonomy, read its flexibility score, and get the
+/// Eq. 1 / Eq. 2 early estimates — the whole public API in one page.
+#include <iostream>
+
+#include "arch/spec.hpp"
+#include "arch/validate.hpp"
+#include "core/comparison.hpp"
+#include "core/hierarchy.hpp"
+#include "cost/area_model.hpp"
+#include "cost/config_bits.hpp"
+
+int main() {
+  using namespace mpct;
+
+  // 1. Describe the machine: a single controller driving 16 ALUs whose
+  //    outputs can be exchanged through a full crossbar; each ALU owns
+  //    its scratchpad.
+  arch::ArchitectureSpec design;
+  design.name = "QuickCGRA";
+  design.ips = arch::Count::fixed(1);
+  design.dps = arch::Count::fixed(16);
+  design.at(ConnectivityRole::IpDp) = *arch::ConnectivityExpr::parse("1-16");
+  design.at(ConnectivityRole::IpIm) = *arch::ConnectivityExpr::parse("1-1");
+  design.at(ConnectivityRole::DpDm) = *arch::ConnectivityExpr::parse("16-1");
+  design.at(ConnectivityRole::DpDp) = *arch::ConnectivityExpr::parse("16x16");
+
+  // 2. Lint it.
+  for (const arch::Issue& issue : arch::validate(design)) {
+    std::cout << "lint: " << issue.to_string() << "\n";
+  }
+
+  // 3. Classify.
+  const Classification result = design.classify();
+  if (!result.ok()) {
+    std::cerr << "not classifiable: " << result.note << "\n";
+    return 1;
+  }
+  std::cout << design.name << " is a " << to_string(*result.name) << " ("
+            << to_string(result.name->machine_type) << " -> "
+            << to_string(result.name->processing_type) << ")\n";
+
+  // 4. Where it sits in the Fig. 2 hierarchy.
+  std::cout << "hierarchy path: ";
+  bool first = true;
+  for (const std::string& part : hierarchy_path(*result.name)) {
+    std::cout << (first ? "" : " -> ") << part;
+    first = false;
+  }
+  std::cout << "\n";
+
+  // 5. Flexibility (Table II scoring).
+  const FlexibilityBreakdown flex = design.flexibility();
+  std::cout << "flexibility: " << flex.to_string() << "\n";
+
+  // 6. Early area / configuration estimates (Eq. 1 / Eq. 2).
+  const cost::ComponentLibrary lib = cost::ComponentLibrary::default_library();
+  const cost::AreaEstimate area = cost::estimate_area(design, lib);
+  const cost::ConfigBitsEstimate cb = cost::estimate_config_bits(design, lib);
+  const cost::TechnologyNode node = cost::default_node();
+  std::cout << "estimated area: " << area.total_kge() << " kGE ("
+            << area.total_mm2(node) << " mm2 at " << node.name << ")\n"
+            << "estimated configuration: " << cb.total() << " bits ("
+            << cb.switch_bits() << " in switches)\n";
+
+  // 7. Compare against a known machine by name alone.
+  const TaxonomicName morphosys = *parse_taxonomic_name("IAP-II");
+  const NameComparison cmp = compare(*result.name, morphosys);
+  std::cout << "vs MorphoSys (IAP-II): " << cmp.summary() << "\n";
+  std::cout << "can this design act as a plain uniprocessor? "
+            << (can_morph_into(*result.name, *parse_taxonomic_name("IUP"))
+                    ? "yes"
+                    : "no")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,236 @@
+#include "arch/adl_parser.hpp"
+
+#include <cctype>
+#include <optional>
+
+namespace mpct::arch {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Strip a '#' comment, respecting double-quoted strings.
+std::string_view strip_comment(std::string_view line) {
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '"') in_quotes = !in_quotes;
+    if (line[i] == '#' && !in_quotes) return line.substr(0, i);
+  }
+  return line;
+}
+
+/// Remove surrounding quotes if present; returns nullopt for an
+/// unterminated quote.
+std::optional<std::string> unquote(std::string_view token) {
+  if (token.size() >= 1 && token.front() == '"') {
+    if (token.size() < 2 || token.back() != '"') return std::nullopt;
+    return std::string(token.substr(1, token.size() - 2));
+  }
+  return std::string(token);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParseResult run() {
+    while (next_line()) {
+      const std::string_view line = trim(strip_comment(current_));
+      if (line.empty()) continue;
+      parse_block_header(line);
+    }
+    if (in_block_) {
+      error("unterminated architecture block for '" + spec_.name + "'");
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void parse_block_header(std::string_view line) {
+    if (in_block_) {
+      if (line == "}") {
+        finish_block();
+        return;
+      }
+      parse_assignment(line);
+      return;
+    }
+    constexpr std::string_view kKeyword = "architecture";
+    if (line.substr(0, kKeyword.size()) != kKeyword) {
+      error("expected 'architecture <name> {', got '" + std::string(line) +
+            "'");
+      return;
+    }
+    std::string_view rest = trim(line.substr(kKeyword.size()));
+    if (rest.empty() || rest.back() != '{') {
+      error("architecture header must end with '{'");
+      return;
+    }
+    rest = trim(rest.substr(0, rest.size() - 1));
+    const std::optional<std::string> name = unquote(rest);
+    if (!name || name->empty()) {
+      error("architecture needs a name");
+      return;
+    }
+    spec_ = ArchitectureSpec{};
+    spec_.name = *name;
+    in_block_ = true;
+    block_ok_ = true;
+    saw_ips_ = saw_dps_ = false;
+  }
+
+  void parse_assignment(std::string_view line) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      block_error("expected 'key = value', got '" + std::string(line) + "'");
+      return;
+    }
+    const std::string key(trim(line.substr(0, eq)));
+    const std::string_view raw_value = trim(line.substr(eq + 1));
+    const std::optional<std::string> value = unquote(raw_value);
+    if (!value) {
+      block_error("unterminated string in value for '" + key + "'");
+      return;
+    }
+
+    if (key == "citation") {
+      spec_.citation = *value;
+    } else if (key == "description") {
+      spec_.description = *value;
+    } else if (key == "category") {
+      spec_.category = *value;
+    } else if (key == "paper-name") {
+      spec_.paper_name = *value;
+    } else if (key == "year") {
+      if (const auto v = parse_int(*value)) {
+        spec_.year = *v;
+      } else {
+        block_error("year must be an integer, got '" + *value + "'");
+      }
+    } else if (key == "paper-flexibility") {
+      if (const auto v = parse_int(*value)) {
+        spec_.paper_flexibility = *v;
+      } else {
+        block_error("paper-flexibility must be an integer, got '" + *value +
+                    "'");
+      }
+    } else if (key == "granularity") {
+      if (*value == "lut" || *value == "LUT" || *value == "luts") {
+        spec_.granularity = Granularity::Lut;
+      } else if (*value == "ip/dp" || *value == "coarse") {
+        spec_.granularity = Granularity::IpDp;
+      } else {
+        block_error("granularity must be 'ip/dp' or 'lut', got '" + *value +
+                    "'");
+      }
+    } else if (key == "ips") {
+      if (const auto c = Count::parse(*value)) {
+        spec_.ips = *c;
+        saw_ips_ = true;
+      } else {
+        block_error("bad count for ips: '" + *value + "'");
+      }
+    } else if (key == "dps") {
+      if (const auto c = Count::parse(*value)) {
+        spec_.dps = *c;
+        saw_dps_ = true;
+      } else {
+        block_error("bad count for dps: '" + *value + "'");
+      }
+    } else if (const auto role = connectivity_role_from_string(key)) {
+      if (const auto expr = ConnectivityExpr::parse(*value)) {
+        spec_.at(*role) = *expr;
+      } else {
+        block_error("bad connectivity cell for " + key + ": '" + *value +
+                    "'");
+      }
+    } else {
+      block_error("unknown key '" + key + "'");
+    }
+  }
+
+  void finish_block() {
+    in_block_ = false;
+    if (!saw_ips_) block_error("missing required key 'ips'");
+    if (!saw_dps_) block_error("missing required key 'dps'");
+    if (block_ok_) result_.specs.push_back(std::move(spec_));
+  }
+
+  static std::optional<int> parse_int(std::string_view s) {
+    if (s.empty()) return std::nullopt;
+    bool negative = false;
+    std::size_t i = 0;
+    if (s[0] == '-') {
+      negative = true;
+      i = 1;
+      if (s.size() == 1) return std::nullopt;
+    }
+    long long v = 0;
+    for (; i < s.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(s[i]))) return std::nullopt;
+      v = v * 10 + (s[i] - '0');
+      if (v > 1'000'000'000) return std::nullopt;
+    }
+    return static_cast<int>(negative ? -v : v);
+  }
+
+  bool next_line() {
+    if (pos_ >= text_.size()) return false;
+    const std::size_t end = text_.find('\n', pos_);
+    if (end == std::string_view::npos) {
+      current_ = text_.substr(pos_);
+      pos_ = text_.size();
+    } else {
+      current_ = text_.substr(pos_, end - pos_);
+      pos_ = end + 1;
+    }
+    ++line_no_;
+    return true;
+  }
+
+  void error(std::string message) {
+    result_.errors.push_back({line_no_, std::move(message)});
+  }
+  void block_error(std::string message) {
+    block_ok_ = false;
+    error(std::move(message));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string_view current_;
+  int line_no_ = 0;
+
+  ParseResult result_;
+  ArchitectureSpec spec_;
+  bool in_block_ = false;
+  bool block_ok_ = true;
+  bool saw_ips_ = false;
+  bool saw_dps_ = false;
+};
+
+}  // namespace
+
+ParseResult parse_adl(std::string_view text) { return Parser(text).run(); }
+
+ParseResult parse_single_adl(std::string_view text) {
+  ParseResult result = parse_adl(text);
+  if (result.specs.empty() && result.errors.empty()) {
+    result.errors.push_back({0, "document contains no architecture block"});
+  } else if (result.specs.size() > 1) {
+    result.errors.push_back(
+        {0, "expected exactly one architecture block, found " +
+                std::to_string(result.specs.size())});
+  }
+  return result;
+}
+
+}  // namespace mpct::arch

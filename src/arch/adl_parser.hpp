@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arch/spec.hpp"
+
+namespace mpct::arch {
+
+/// A diagnostic produced while parsing ADL text.
+struct ParseError {
+  int line = 0;  ///< 1-based source line
+  std::string message;
+
+  std::string to_string() const {
+    return "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+/// Result of parsing an ADL document: the specs that parsed cleanly plus
+/// every diagnostic encountered.  A document with errors still yields the
+/// blocks that were well-formed, so tooling can report all problems in
+/// one pass.
+struct ParseResult {
+  std::vector<ArchitectureSpec> specs;
+  std::vector<ParseError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parse the architecture description language.  Grammar (line oriented):
+///
+///   document    := { block }
+///   block       := "architecture" name "{" { assignment } "}"
+///   name        := bare-word | quoted-string
+///   assignment  := key "=" value
+///   key         := citation | year | category | granularity | ips | dps
+///                | ip-ip | ip-dp | ip-im | dp-dm | dp-dp
+///                | paper-name | paper-flexibility | description
+///   value       := bare-word | quoted-string | integer
+///
+/// '#' starts a comment (outside quotes); blank lines are ignored;
+/// granularity is "ip/dp" (default) or "lut"; connectivity values use the
+/// paper's table notation ("none", "1-6", "64x64", "nx14", ...).
+ParseResult parse_adl(std::string_view text);
+
+/// Convenience: parse a document that must contain exactly one block.
+/// Errors (including "zero blocks" / "more than one block") are reported
+/// through the ParseResult.
+ParseResult parse_single_adl(std::string_view text);
+
+}  // namespace mpct::arch

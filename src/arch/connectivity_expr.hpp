@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "arch/count.hpp"
+#include "core/connectivity.hpp"
+
+namespace mpct::arch {
+
+/// A concrete connectivity cell of a survey row: the switch kind plus the
+/// endpoint counts, so that "64x64", "1-6", "5x10", "nx14" and "none"
+/// round-trip exactly as printed in Table III.
+struct ConnectivityExpr {
+  SwitchKind kind = SwitchKind::None;
+  Count left;   ///< e.g. 5 in "5x10"
+  Count right;  ///< e.g. 10 in "5x10"
+
+  static ConnectivityExpr none() { return {}; }
+  static ConnectivityExpr direct(Count left, Count right) {
+    return {SwitchKind::Direct, std::move(left), std::move(right)};
+  }
+  static ConnectivityExpr crossbar(Count left, Count right) {
+    return {SwitchKind::Crossbar, std::move(left), std::move(right)};
+  }
+
+  /// Table notation: "none", "1-6", "64x64".
+  std::string to_string() const;
+
+  /// Parse table notation.  The separator decides the kind: 'x' is a
+  /// crossbar, '-' a direct link.  Both operands must parse as counts;
+  /// for cells like "24nx24n" the parser resolves the ambiguity between
+  /// separator and symbol letters by trying every candidate split.
+  static std::optional<ConnectivityExpr> parse(std::string_view text);
+
+  friend bool operator==(const ConnectivityExpr&,
+                         const ConnectivityExpr&) = default;
+};
+
+}  // namespace mpct::arch

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/multiplicity.hpp"
+
+namespace mpct::arch {
+
+/// A concrete component count as it appears in an architecture survey row
+/// (Table III): a fixed number ("64"), a symbolic design-time constant
+/// ("n", "m" — template architectures whose size is chosen at
+/// instantiation), a scaled symbolic product ("24n" for GARP's rows of 24
+/// logic elements), or "v" — a variable count that changes on
+/// reconfiguration (FPGA).
+class Count {
+ public:
+  enum class Kind : std::uint8_t { Fixed, Symbolic, ScaledSymbolic, Variable };
+
+  /// Default: the fixed count 0.
+  Count() = default;
+
+  static Count fixed(std::int64_t value);
+  static Count symbolic(char symbol = 'n');
+  static Count scaled_symbolic(std::int64_t factor, char symbol = 'n');
+  static Count variable();
+
+  Kind kind() const { return kind_; }
+  /// Fixed value (only meaningful for Kind::Fixed).
+  std::int64_t value() const { return value_; }
+  /// Symbol letter (Kind::Symbolic / ScaledSymbolic), e.g. 'n'.
+  char symbol() const { return symbol_; }
+  /// Scale factor (Kind::ScaledSymbolic), e.g. 24 in "24n".
+  std::int64_t factor() const { return value_; }
+
+  /// Reduce to the abstract taxonomy multiplicity: 0 -> Zero, 1 -> One,
+  /// any larger fixed value or any symbolic form -> Many, v -> Variable.
+  Multiplicity multiplicity() const;
+
+  /// Evaluate to a concrete number given bindings for the symbolic
+  /// constants (e.g. {{'n', 8}}).  Fixed counts ignore the bindings;
+  /// Variable counts and unbound symbols yield std::nullopt.
+  std::optional<std::int64_t> evaluate(
+      const std::map<char, std::int64_t>& bindings = {}) const;
+
+  /// Table notation: "64", "n", "24n", "v".
+  std::string to_string() const;
+
+  /// Parse table notation (case-insensitive symbols). Accepts "0", "1",
+  /// "64", "n", "m", "v", "24n".  Rejects empty strings, negative
+  /// numbers and malformed products.
+  static std::optional<Count> parse(std::string_view text);
+
+  friend bool operator==(const Count&, const Count&) = default;
+
+ private:
+  Kind kind_ = Kind::Fixed;
+  std::int64_t value_ = 0;  ///< fixed value, or scale factor when scaled
+  char symbol_ = 'n';
+};
+
+}  // namespace mpct::arch

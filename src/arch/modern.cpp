@@ -1,0 +1,108 @@
+#include "arch/modern.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <vector>
+
+namespace mpct::arch {
+
+namespace {
+
+ArchitectureSpec style(std::string_view name, int year,
+                       std::string_view category, std::string_view ips,
+                       std::string_view dps, std::string_view ip_ip,
+                       std::string_view ip_dp, std::string_view ip_im,
+                       std::string_view dp_dm, std::string_view dp_dp,
+                       std::string_view description,
+                       Granularity granularity = Granularity::IpDp) {
+  ArchitectureSpec spec;
+  spec.name = std::string(name);
+  spec.citation = "[style]";
+  spec.year = year;
+  spec.category = std::string(category);
+  spec.description = std::string(description);
+  spec.granularity = granularity;
+  const auto count = [&](std::string_view text) {
+    const auto c = Count::parse(text);
+    if (!c) throw std::invalid_argument("modern: bad count");
+    return *c;
+  };
+  const auto cell = [&](std::string_view text) {
+    const auto e = ConnectivityExpr::parse(text);
+    if (!e) throw std::invalid_argument("modern: bad cell");
+    return *e;
+  };
+  spec.ips = count(ips);
+  spec.dps = count(dps);
+  spec.at(ConnectivityRole::IpIp) = cell(ip_ip);
+  spec.at(ConnectivityRole::IpDp) = cell(ip_dp);
+  spec.at(ConnectivityRole::IpIm) = cell(ip_im);
+  spec.at(ConnectivityRole::DpDm) = cell(dp_dm);
+  spec.at(ConnectivityRole::DpDp) = cell(dp_dp);
+  return spec;
+}
+
+std::vector<ArchitectureSpec> build() {
+  std::vector<ArchitectureSpec> out;
+  out.push_back(style(
+      "SIMT GPU SM", 2016, "GPU", "1", "32", "none", "1-32", "1-1",
+      "32x32", "32x32",
+      "A streaming multiprocessor: one warp scheduler broadcasting to 32 "
+      "lanes; banked shared memory reachable from any lane (DP-DM "
+      "crossbar) and warp-shuffle lane exchange (DP-DP crossbar)."));
+  out.push_back(style(
+      "Systolic MXU", 2017, "NPU", "1", "256", "none", "1-256", "1-1",
+      "256-1", "256-256",
+      "A weight-stationary systolic matrix unit: one controller, a fixed "
+      "nearest-neighbour pipe between MACs (direct DP-DP, no switch), "
+      "edge-fed memory.  Classifies IAP-I — minimum flexibility is the "
+      "price of its efficiency."));
+  out.push_back(style(
+      "Vector lanes", 2020, "CPU-V", "1", "n", "none", "1-n", "1-1",
+      "nxn", "n-n",
+      "A classic vector unit with gather/scatter: lanes address any "
+      "memory bank (DP-DM crossbar) but exchange only through memory."));
+  out.push_back(style(
+      "Mesh manycore", 2014, "CPU", "64", "64", "none", "64-64", "64-64",
+      "64x64", "64x64",
+      "A tiled manycore with a shared address space over a NoC: every "
+      "core reaches every bank and every other core's data."));
+  out.push_back(style(
+      "Spatial dataflow RDU", 2021, "Accelerator", "n", "n", "nxn", "n-n",
+      "n-n", "nxn", "nxn",
+      "A reconfigurable-dataflow accelerator: distributed sequencers "
+      "compose across the fabric (IP-IP switch) — the spatial-processing "
+      "classes the paper's extension introduced."));
+  out.push_back(style(
+      "Embedded FPGA fabric", 2018, "FPGA", "v", "v", "vxv", "vxv", "vxv",
+      "vxv", "vxv",
+      "An eFPGA tile: LUT-grain blocks with variable roles — the "
+      "universal spatial processor, unchanged since the paper.",
+      Granularity::Lut));
+  return out;
+}
+
+}  // namespace
+
+std::span<const ArchitectureSpec> modern_examples() {
+  static const std::vector<ArchitectureSpec> examples = build();
+  return examples;
+}
+
+const ArchitectureSpec* find_modern_example(std::string_view name) {
+  const auto lower = [](std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+    return out;
+  };
+  const std::string needle = lower(name);
+  for (const ArchitectureSpec& spec : modern_examples()) {
+    if (lower(spec.name) == needle) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace mpct::arch

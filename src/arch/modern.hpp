@@ -1,0 +1,26 @@
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "arch/spec.hpp"
+
+namespace mpct::arch {
+
+/// Illustrative *modern* design points (a library addition, not part of
+/// the paper's Table III): the dominant accelerator styles of the
+/// post-2012 decade, described structurally and classified with the
+/// same machinery.  Interesting outcomes:
+///  * a SIMT GPU streaming multiprocessor is an IAP-IV (warp shuffle =
+///    DP-DP crossbar, banked shared memory = DP-DM crossbar);
+///  * a systolic matrix unit is an IAP-I — the *least* flexible
+///    parallel class, which is exactly why it is so efficient;
+///  * a mesh manycore is an IMP-IV; a spatial dataflow accelerator is
+///    an ISP-class machine, validating the paper's prediction that the
+///    IP-IP extension would be needed for future architectures.
+std::span<const ArchitectureSpec> modern_examples();
+
+/// Find a modern example by (case-insensitive) name; nullptr if absent.
+const ArchitectureSpec* find_modern_example(std::string_view name);
+
+}  // namespace mpct::arch

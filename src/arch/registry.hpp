@@ -1,0 +1,30 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "arch/spec.hpp"
+
+namespace mpct::arch {
+
+/// The 25 architectures surveyed in Table III of the paper, in row order:
+/// uni-processors (ARM7TDMI, AT89C51), the IAP-II CGRAs (IMAGINE,
+/// MorphoSys, REMARC, RICA, PADDI, Chimaera, ADRES), PACT XPP, the IAP-IV
+/// CGRAs (Montium, GARP, PipeRench, EGRA, ELM), the IMP machines
+/// (PADDI-2, Cortex-A9, Core2Duo, Pleiades, RaPiD), the data-flow fabrics
+/// (REDEFINE, Colt), the spatial processors (DRRA, MATRIX) and FPGA.
+///
+/// Each entry carries the exact counts/connectivity cells of the table,
+/// the name and flexibility value the paper printed (for
+/// paper-vs-computed reporting), and a prose description from Section IV.
+std::span<const ArchitectureSpec> surveyed_architectures();
+
+/// Find a surveyed architecture by (case-insensitive) name; nullptr if
+/// absent.
+const ArchitectureSpec* find_architecture(std::string_view name);
+
+/// Number of surveyed rows (25).
+int surveyed_count();
+
+}  // namespace mpct::arch

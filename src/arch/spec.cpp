@@ -1,0 +1,51 @@
+#include "arch/spec.hpp"
+
+#include <sstream>
+
+namespace mpct::arch {
+
+MachineClass ArchitectureSpec::machine_class() const {
+  MachineClass mc;
+  mc.granularity = granularity;
+  mc.ips = ips.multiplicity();
+  mc.dps = dps.multiplicity();
+  for (ConnectivityRole role : kAllConnectivityRoles) {
+    mc.set_switch(role, at(role).kind);
+  }
+  return mc;
+}
+
+Classification ArchitectureSpec::classify() const {
+  return mpct::classify(machine_class());
+}
+
+FlexibilityBreakdown ArchitectureSpec::flexibility() const {
+  return mpct::flexibility(machine_class());
+}
+
+std::string to_adl(const ArchitectureSpec& spec) {
+  std::ostringstream os;
+  os << "architecture \"" << spec.name << "\" {\n";
+  if (!spec.citation.empty()) os << "  citation = \"" << spec.citation << "\"\n";
+  if (spec.year != 0) os << "  year = " << spec.year << "\n";
+  if (!spec.category.empty())
+    os << "  category = \"" << spec.category << "\"\n";
+  os << "  granularity = "
+     << (spec.granularity == Granularity::Lut ? "lut" : "ip/dp") << "\n";
+  os << "  ips = " << spec.ips.to_string() << "\n";
+  os << "  dps = " << spec.dps.to_string() << "\n";
+  for (ConnectivityRole role : kAllConnectivityRoles) {
+    std::string key(to_string(role));
+    for (char& c : key) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    os << "  " << key << " = " << spec.at(role).to_string() << "\n";
+  }
+  if (spec.paper_name) os << "  paper-name = \"" << *spec.paper_name << "\"\n";
+  if (spec.paper_flexibility)
+    os << "  paper-flexibility = " << *spec.paper_flexibility << "\n";
+  if (!spec.description.empty())
+    os << "  description = \"" << spec.description << "\"\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mpct::arch

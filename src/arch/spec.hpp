@@ -1,0 +1,61 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "arch/connectivity_expr.hpp"
+#include "arch/count.hpp"
+#include "core/classifier.hpp"
+#include "core/flexibility.hpp"
+#include "core/machine_class.hpp"
+
+namespace mpct::arch {
+
+/// Full structural description of a concrete architecture — one row of
+/// the survey (Table III), or a user-defined design being evaluated
+/// against the taxonomy.
+struct ArchitectureSpec {
+  std::string name;         ///< e.g. "MorphoSys"
+  std::string citation;     ///< e.g. "[13]" (paper reference index)
+  std::string description;  ///< prose summary (Section IV text)
+  int year = 0;             ///< publication year, 0 if unknown
+  /// Coarse category for reporting: "CPU", "MCU", "CGRA", "FPGA", "DSP".
+  std::string category;
+
+  Granularity granularity = Granularity::IpDp;
+  Count ips;
+  Count dps;
+  /// Connectivity cells indexed by ConnectivityRole order
+  /// (IP-IP, IP-DP, IP-IM, DP-DM, DP-DP).
+  std::array<ConnectivityExpr, kConnectivityRoleCount> connectivity{};
+
+  /// Values as printed in the paper's Table III, retained so benches can
+  /// show paper-vs-computed (the PACT XPP row is a known erratum).
+  std::optional<std::string> paper_name;
+  std::optional<int> paper_flexibility;
+
+  const ConnectivityExpr& at(ConnectivityRole role) const {
+    return connectivity[static_cast<std::size_t>(role)];
+  }
+  ConnectivityExpr& at(ConnectivityRole role) {
+    return connectivity[static_cast<std::size_t>(role)];
+  }
+
+  /// Reduce the concrete structure to its abstract taxonomy class.
+  MachineClass machine_class() const;
+
+  /// Classify (taxonomic name, or NI/unclassifiable diagnosis).
+  Classification classify() const;
+
+  /// Flexibility score of the reduced class.
+  FlexibilityBreakdown flexibility() const;
+
+  friend bool operator==(const ArchitectureSpec&,
+                         const ArchitectureSpec&) = default;
+};
+
+/// Serialise a spec in the ADL text format understood by adl_parser.
+std::string to_adl(const ArchitectureSpec& spec);
+
+}  // namespace mpct::arch

@@ -1,0 +1,67 @@
+#include "arch/template_spec.hpp"
+
+#include "core/classifier.hpp"
+
+namespace mpct::arch {
+
+namespace {
+
+Count count_for(Multiplicity mult, std::int64_t n) {
+  switch (mult) {
+    case Multiplicity::Zero:
+      return Count::fixed(0);
+    case Multiplicity::One:
+      return Count::fixed(1);
+    case Multiplicity::Many:
+      return Count::fixed(n);
+    case Multiplicity::Variable:
+      return Count::variable();
+  }
+  return Count::fixed(0);
+}
+
+}  // namespace
+
+std::optional<ArchitectureSpec> spec_from_class(const TaxonomicName& name,
+                                                std::int64_t n) {
+  const std::optional<MachineClass> mc = canonical_class(name);
+  if (!mc || n < 2) return std::nullopt;
+
+  ArchitectureSpec spec;
+  spec.name = to_string(name) + "-template";
+  spec.citation = "[template]";
+  spec.category = "template";
+  spec.granularity = mc->granularity;
+  spec.ips = count_for(mc->ips, n);
+  spec.dps = count_for(mc->dps, n);
+  spec.description = "canonical " + to_string(name) +
+                     " structure instantiated at N = " + std::to_string(n);
+
+  const auto endpoint_counts = [&](ConnectivityRole role) {
+    switch (role) {
+      case ConnectivityRole::IpIp:
+      case ConnectivityRole::IpIm:
+        return std::make_pair(spec.ips, spec.ips);
+      case ConnectivityRole::IpDp:
+        return std::make_pair(spec.ips, spec.dps);
+      case ConnectivityRole::DpDm:
+      case ConnectivityRole::DpDp:
+        return std::make_pair(spec.dps, spec.dps);
+    }
+    return std::make_pair(spec.ips, spec.dps);
+  };
+  for (ConnectivityRole role : kAllConnectivityRoles) {
+    const SwitchKind kind = mc->switch_at(role);
+    if (kind == SwitchKind::None) {
+      spec.at(role) = ConnectivityExpr::none();
+      continue;
+    }
+    const auto [left, right] = endpoint_counts(role);
+    spec.at(role) = kind == SwitchKind::Crossbar
+                        ? ConnectivityExpr::crossbar(left, right)
+                        : ConnectivityExpr::direct(left, right);
+  }
+  return spec;
+}
+
+}  // namespace mpct::arch

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <optional>
+
+#include "arch/spec.hpp"
+#include "core/naming.hpp"
+
+namespace mpct::arch {
+
+/// Materialise a concrete architecture template from a taxonomic class —
+/// the bridge from "the explorer recommended IAP-IV" to an editable ADL
+/// description a designer can refine.
+///
+/// The generated spec uses the canonical connectivity of the class with
+/// @p n substituted for every 'n' (and a matching LUT pool for the
+/// universal class), named "<class>-template".  Returns std::nullopt
+/// for non-canonical names.
+std::optional<ArchitectureSpec> spec_from_class(const TaxonomicName& name,
+                                                std::int64_t n = 16);
+
+}  // namespace mpct::arch

@@ -1,0 +1,158 @@
+#include "arch/validate.hpp"
+
+namespace mpct::arch {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::Error:
+      return "error";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Info:
+      return "info";
+  }
+  return "?";
+}
+
+std::string Issue::to_string() const {
+  return std::string(mpct::arch::to_string(severity)) + " [" + code + "] " +
+         message;
+}
+
+namespace {
+
+/// Compare a connectivity endpoint count against the declared component
+/// count; only decidable when both are fixed numbers.
+bool endpoint_mismatch(const Count& endpoint, const Count& declared) {
+  if (endpoint.kind() != Count::Kind::Fixed ||
+      declared.kind() != Count::Kind::Fixed) {
+    return false;
+  }
+  return endpoint.value() != declared.value();
+}
+
+}  // namespace
+
+std::vector<Issue> validate(const ArchitectureSpec& spec) {
+  std::vector<Issue> issues;
+  const auto add = [&](Severity sev, std::string code, std::string message) {
+    issues.push_back({sev, std::move(code), std::move(message)});
+  };
+
+  const Multiplicity ips = spec.ips.multiplicity();
+  const Multiplicity dps = spec.dps.multiplicity();
+
+  if (dps == Multiplicity::Zero) {
+    add(Severity::Error, "E_NO_PROCESSORS",
+        "no data processors: the machine computes nothing");
+  }
+
+  if (ips == Multiplicity::Zero) {
+    for (ConnectivityRole role : {ConnectivityRole::IpIp,
+                                  ConnectivityRole::IpDp,
+                                  ConnectivityRole::IpIm}) {
+      if (spec.at(role).kind != SwitchKind::None) {
+        add(Severity::Error, "E_IP_CONN_WITHOUT_IP",
+            std::string(to_string(role)) +
+                " connectivity declared but the machine has no IP");
+      }
+    }
+  }
+
+  if (spec.granularity == Granularity::IpDp &&
+      (ips == Multiplicity::Variable || dps == Multiplicity::Variable)) {
+    add(Severity::Error, "E_VARIABLE_NEEDS_LUT",
+        "variable IP/DP counts require LUT granularity: only fabrics whose "
+        "blocks are finer than an IP/DP can re-role them");
+  }
+
+  if (ips == Multiplicity::Many && dps == Multiplicity::One) {
+    add(Severity::Error, "E_NI_SHAPE",
+        "many instruction processors driving a single data processor is "
+        "not implementable (Table I classes 11-14)");
+  }
+
+  if (ips == Multiplicity::One &&
+      spec.at(ConnectivityRole::IpIp).kind != SwitchKind::None) {
+    add(Severity::Error, "E_SELF_CONN_SINGLE",
+        "IP-IP connectivity declared but there is only one IP");
+  }
+  if (dps == Multiplicity::One &&
+      spec.at(ConnectivityRole::DpDp).kind != SwitchKind::None) {
+    add(Severity::Error, "E_SELF_CONN_SINGLE",
+        "DP-DP connectivity declared but there is only one DP");
+  }
+
+  if (spec.granularity == Granularity::Lut &&
+      (ips != Multiplicity::Variable || dps != Multiplicity::Variable)) {
+    add(Severity::Warning, "W_LUT_FIXED_COUNTS",
+        "LUT-grained fabric with non-variable IP/DP counts: the point of "
+        "fine granularity is that the counts vary on reconfiguration");
+  }
+
+  if (dps != Multiplicity::Zero &&
+      spec.at(ConnectivityRole::DpDm).kind == SwitchKind::None) {
+    add(Severity::Warning, "W_NO_MEMORY_PATH",
+        "data processors have no path to data memory");
+  }
+
+  if (ips != Multiplicity::Zero &&
+      spec.at(ConnectivityRole::IpDp).kind == SwitchKind::None) {
+    add(Severity::Warning, "W_IP_WITHOUT_IPDP",
+        "instruction processors present but not connected to any data "
+        "processor");
+  }
+  if (ips != Multiplicity::Zero &&
+      spec.at(ConnectivityRole::IpIm).kind == SwitchKind::None) {
+    add(Severity::Warning, "W_IP_WITHOUT_IM",
+        "instruction processors present but have no instruction memory "
+        "path");
+  }
+
+  // Endpoint count consistency (informational: partial connectivity such
+  // as ADRES's "8-1" DP-DM on a 64-DP fabric is real and intentional).
+  const auto check_endpoints = [&](ConnectivityRole role, const Count& left,
+                                   const Count& right) {
+    const ConnectivityExpr& expr = spec.at(role);
+    if (expr.kind == SwitchKind::None) return;
+    if (endpoint_mismatch(expr.left, left)) {
+      add(Severity::Info, "I_ENDPOINT_MISMATCH",
+          std::string(to_string(role)) + " left endpoint count " +
+              expr.left.to_string() + " differs from declared " +
+              left.to_string() + " (partial connectivity)");
+    }
+    if (endpoint_mismatch(expr.right, right)) {
+      add(Severity::Info, "I_ENDPOINT_MISMATCH",
+          std::string(to_string(role)) + " right endpoint count " +
+              expr.right.to_string() + " differs from declared " +
+              right.to_string() + " (partial connectivity)");
+    }
+  };
+  check_endpoints(ConnectivityRole::IpIp, spec.ips, spec.ips);
+  check_endpoints(ConnectivityRole::IpDp, spec.ips, spec.dps);
+  check_endpoints(ConnectivityRole::IpIm, spec.ips, spec.ips);
+  // DP-DM right endpoints are memory-bank counts (Montium's "5x10"), so
+  // only the left side is checked against the DP count.
+  {
+    const ConnectivityExpr& expr = spec.at(ConnectivityRole::DpDm);
+    if (expr.kind != SwitchKind::None &&
+        endpoint_mismatch(expr.left, spec.dps)) {
+      add(Severity::Info, "I_ENDPOINT_MISMATCH",
+          "DP-DM left endpoint count " + expr.left.to_string() +
+              " differs from declared " + spec.dps.to_string() +
+              " (partial connectivity)");
+    }
+  }
+  check_endpoints(ConnectivityRole::DpDp, spec.dps, spec.dps);
+
+  return issues;
+}
+
+bool is_valid(const ArchitectureSpec& spec) {
+  for (const Issue& issue : validate(spec)) {
+    if (issue.severity == Severity::Error) return false;
+  }
+  return true;
+}
+
+}  // namespace mpct::arch

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/spec.hpp"
+
+namespace mpct::arch {
+
+/// Severity of a validation finding.
+enum class Severity : std::uint8_t {
+  Error,    ///< the structure is not a valid machine
+  Warning,  ///< legal but suspicious (likely a transcription mistake)
+  Info,     ///< noteworthy but common in real survey rows
+};
+
+std::string_view to_string(Severity s);
+
+/// One validation finding with a stable machine-readable code.
+struct Issue {
+  Severity severity = Severity::Info;
+  std::string code;     ///< e.g. "E_NI_SHAPE"
+  std::string message;  ///< human explanation
+
+  std::string to_string() const;
+};
+
+/// Structural lint of an architecture spec.  Error-level findings mean
+/// classify() will refuse or the machine cannot compute:
+///  * E_NO_PROCESSORS  — zero DPs (and for data flow, nothing at all)
+///  * E_IP_CONN_WITHOUT_IP — IP-side connectivity but ips = 0
+///  * E_VARIABLE_NEEDS_LUT — 'v' counts on a coarse-grained fabric
+///  * E_NI_SHAPE       — many IPs driving one DP (Table I classes 11-14)
+///  * E_SELF_CONN_SINGLE — self-connectivity (IP-IP/DP-DP) declared on a
+///    set with fewer than two members
+/// Warnings and infos flag shapes that occur in practice but deserve a
+/// look (LUT fabric with fixed counts, DPs without any memory path,
+/// connectivity endpoint counts that disagree with the declared ips/dps —
+/// the ADRES and REDEFINE rows legitimately do the latter).
+std::vector<Issue> validate(const ArchitectureSpec& spec);
+
+/// True if validate() reports no Error-level issue.
+bool is_valid(const ArchitectureSpec& spec);
+
+}  // namespace mpct::arch

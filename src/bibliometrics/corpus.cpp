@@ -1,0 +1,77 @@
+#include "bibliometrics/corpus.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "interconnect/traffic.hpp"
+
+namespace mpct::biblio {
+
+namespace {
+
+constexpr std::array<std::string_view, 8> kTitlePatterns{
+    "A Study of %K Architectures",
+    "Towards Scalable %K Systems",
+    "Energy-Efficient %K Design",
+    "On the Performance of %K Applications",
+    "%K: Challenges and Opportunities",
+    "A Survey of %K Techniques",
+    "Compiling for %K Platforms",
+    "Evaluating %K Workloads",
+};
+
+constexpr std::array<std::string_view, 6> kVenues{
+    "ISCA", "MICRO", "FPL", "DAC", "IPDPS", "FCCM",
+};
+
+std::string make_title(std::string_view pattern, std::string_view keyword) {
+  std::string title(pattern);
+  const std::size_t pos = title.find("%K");
+  if (pos != std::string::npos) {
+    title.replace(pos, 2, keyword);
+  }
+  return title;
+}
+
+}  // namespace
+
+Corpus::Corpus(std::span<const TopicModel> topics, const CorpusParams& params)
+    : params_(params) {
+  interconnect::Rng rng(params.seed);
+  std::int64_t next_id = 1;
+  for (const TopicModel& topic : topics) {
+    for (int year = params.first_year; year <= params.last_year; ++year) {
+      const double expected = topic.expected(year);
+      // Bounded multiplicative noise keeps counts non-negative and the
+      // curve shape intact.
+      const double factor =
+          1.0 + topic.noise * (2.0 * rng.next_double() - 1.0);
+      const int count =
+          static_cast<int>(std::llround(std::max(0.0, expected * factor)));
+      for (int i = 0; i < count; ++i) {
+        Publication pub;
+        pub.id = next_id++;
+        pub.year = year;
+        pub.title = make_title(
+            kTitlePatterns[rng.next_below(kTitlePatterns.size())],
+            topic.name);
+        pub.venue = std::string(kVenues[rng.next_below(kVenues.size())]);
+        pub.keywords = {topic.keyword};
+        // A slice of reconfigurable/CGRA/FPGA papers also tag the broad
+        // "parallel" keyword, as real indexes do.
+        if (topic.keyword != "parallel" && rng.next_double() < 0.2) {
+          pub.keywords.emplace_back("parallel");
+        }
+        publications_.push_back(std::move(pub));
+      }
+    }
+  }
+}
+
+Corpus Corpus::standard(std::uint64_t seed) {
+  CorpusParams params;
+  params.seed = seed;
+  return Corpus(default_topics(), params);
+}
+
+}  // namespace mpct::biblio

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bibliometrics/topics.hpp"
+
+namespace mpct::biblio {
+
+/// One synthetic publication record.
+struct Publication {
+  std::int64_t id = 0;
+  int year = 0;
+  std::string title;
+  std::string venue;
+  std::vector<std::string> keywords;
+};
+
+/// Parameters of corpus generation.
+struct CorpusParams {
+  int first_year = 1995;
+  int last_year = 2010;
+  std::uint64_t seed = 42;
+};
+
+/// The synthetic stand-in for the IEEE publication database the paper
+/// queried for Figure 1.  Generation is fully deterministic in the seed:
+/// per (topic, year) the publication count is the topic model's expected
+/// value perturbed by bounded noise, and each record receives a
+/// template-synthesized title, a venue and its topic keywords.
+class Corpus {
+ public:
+  Corpus(std::span<const TopicModel> topics, const CorpusParams& params);
+
+  /// Convenience: default topics and parameters.
+  static Corpus standard(std::uint64_t seed = 42);
+
+  const CorpusParams& params() const { return params_; }
+  const std::vector<Publication>& publications() const {
+    return publications_;
+  }
+  std::size_t size() const { return publications_.size(); }
+
+ private:
+  CorpusParams params_;
+  std::vector<Publication> publications_;
+};
+
+}  // namespace mpct::biblio

@@ -1,0 +1,79 @@
+#include "bibliometrics/query.hpp"
+
+#include <algorithm>
+
+namespace mpct::biblio {
+
+QueryEngine::QueryEngine(const Corpus& corpus)
+    : corpus_(corpus),
+      first_year_(corpus.params().first_year),
+      last_year_(corpus.params().last_year) {
+  for (const Publication& pub : corpus_.publications()) {
+    year_of_[pub.id] = pub.year;
+    for (const std::string& keyword : pub.keywords) {
+      ++index_[keyword][pub.year];
+      postings_[keyword].push_back(pub.id);
+    }
+  }
+}
+
+int QueryEngine::count(std::string_view keyword, int year) const {
+  const auto it = index_.find(keyword);
+  if (it == index_.end()) return 0;
+  const auto year_it = it->second.find(year);
+  return year_it == it->second.end() ? 0 : year_it->second;
+}
+
+int QueryEngine::total(std::string_view keyword) const {
+  const auto it = index_.find(keyword);
+  if (it == index_.end()) return 0;
+  int sum = 0;
+  for (const auto& [year, count] : it->second) sum += count;
+  return sum;
+}
+
+std::vector<int> QueryEngine::yearly_counts(std::string_view keyword) const {
+  std::vector<int> counts;
+  counts.reserve(static_cast<std::size_t>(last_year_ - first_year_ + 1));
+  for (int year = first_year_; year <= last_year_; ++year) {
+    counts.push_back(count(keyword, year));
+  }
+  return counts;
+}
+
+int QueryEngine::count_all_of(const std::vector<std::string>& keywords,
+                              int year) const {
+  if (keywords.empty()) return 0;
+  // Intersect postings lists (they are sorted by construction: ids are
+  // assigned in increasing order).
+  std::vector<std::int64_t> current;
+  bool first = true;
+  for (const std::string& keyword : keywords) {
+    const auto it = postings_.find(keyword);
+    if (it == postings_.end()) return 0;
+    if (first) {
+      current = it->second;
+      first = false;
+      continue;
+    }
+    std::vector<std::int64_t> merged;
+    std::set_intersection(current.begin(), current.end(),
+                          it->second.begin(), it->second.end(),
+                          std::back_inserter(merged));
+    current = std::move(merged);
+  }
+  return static_cast<int>(
+      std::count_if(current.begin(), current.end(), [&](std::int64_t id) {
+        const auto it = year_of_.find(id);
+        return it != year_of_.end() && it->second == year;
+      }));
+}
+
+std::vector<std::string> QueryEngine::keywords() const {
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [keyword, counts] : index_) out.push_back(keyword);
+  return out;
+}
+
+}  // namespace mpct::biblio

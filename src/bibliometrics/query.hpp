@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bibliometrics/corpus.hpp"
+
+namespace mpct::biblio {
+
+/// Inverted-index query engine over a corpus — the computation the
+/// paper's authors ran against the IEEE database ("compiled using IEEE
+/// Database", Fig. 1 caption): keyword -> per-year publication counts.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const Corpus& corpus);
+
+  /// Publications tagged with @p keyword in @p year.
+  int count(std::string_view keyword, int year) const;
+
+  /// Publications tagged with @p keyword across all years.
+  int total(std::string_view keyword) const;
+
+  /// Per-year counts over the corpus year range (inclusive), one entry
+  /// per year in order.
+  std::vector<int> yearly_counts(std::string_view keyword) const;
+
+  /// Publications carrying *all* the given keywords in @p year.
+  int count_all_of(const std::vector<std::string>& keywords, int year) const;
+
+  /// Distinct keywords in the index.
+  std::vector<std::string> keywords() const;
+
+  int first_year() const { return first_year_; }
+  int last_year() const { return last_year_; }
+
+ private:
+  const Corpus& corpus_;
+  int first_year_;
+  int last_year_;
+  /// keyword -> year -> count.
+  std::map<std::string, std::map<int, int>, std::less<>> index_;
+  /// keyword -> publication ids (for conjunctive queries).
+  std::map<std::string, std::vector<std::int64_t>, std::less<>> postings_;
+  /// publication id -> year.
+  std::map<std::int64_t, int> year_of_;
+};
+
+}  // namespace mpct::biblio

@@ -1,0 +1,33 @@
+#include "bibliometrics/topics.hpp"
+
+#include <cmath>
+
+namespace mpct::biblio {
+
+double TopicModel::expected(int year) const {
+  return base +
+         saturation / (1.0 + std::exp(-steepness * (year - midpoint)));
+}
+
+std::span<const TopicModel> default_topics() {
+  static const std::vector<TopicModel> topics{
+      // name, keyword, base, saturation, steepness, midpoint, noise
+      {"parallel computing", "parallel", 180, 260, 0.30, 2004, 0.05},
+      {"multicore", "multicore", 2, 520, 0.90, 2007, 0.08},
+      {"reconfigurable computing", "reconfigurable", 25, 300, 0.55, 2006,
+       0.06},
+      {"FPGA", "fpga", 45, 330, 0.40, 2005, 0.05},
+      {"CGRA", "cgra", 3, 90, 0.55, 2007, 0.10},
+      {"GPU computing", "gpu", 1, 260, 0.80, 2008, 0.08},
+  };
+  return topics;
+}
+
+const TopicModel* find_topic(std::string_view name) {
+  for (const TopicModel& topic : default_topics()) {
+    if (topic.name == name) return &topic;
+  }
+  return nullptr;
+}
+
+}  // namespace mpct::biblio

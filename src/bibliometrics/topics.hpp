@@ -1,0 +1,35 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mpct::biblio {
+
+/// Growth model of one research topic: a logistic curve
+/// count(year) = base + L / (1 + exp(-k * (year - midpoint)))
+/// plus seeded noise — the standard S-shape of technology adoption that
+/// publication counts follow.  Parameters are calibrated so the
+/// *qualitative* shape of the paper's Figure 1 holds: parallel-computing
+/// output is large and steady, while multicore and reconfigurable
+/// computing take off sharply after ~2005.
+struct TopicModel {
+  std::string name;       ///< e.g. "multicore"
+  std::string keyword;    ///< index keyword used in synthesized titles
+  double base = 0;        ///< floor publications per year
+  double saturation = 0;  ///< L: additional publications at saturation
+  double steepness = 0;   ///< k
+  double midpoint = 0;    ///< inflection year
+  double noise = 0.05;    ///< relative noise amplitude
+
+  /// Expected publications in @p year (noise-free).
+  double expected(int year) const;
+};
+
+/// The six topics the Figure 1 reproduction tracks.
+std::span<const TopicModel> default_topics();
+
+/// Look up a topic by name (nullptr if absent).
+const TopicModel* find_topic(std::string_view name);
+
+}  // namespace mpct::biblio

@@ -1,0 +1,49 @@
+#include "bibliometrics/trends.hpp"
+
+#include <algorithm>
+
+namespace mpct::biblio {
+
+std::vector<TrendSeries> research_trends(const QueryEngine& engine) {
+  std::vector<TrendSeries> out;
+  for (const TopicModel& topic : default_topics()) {
+    TrendSeries series;
+    series.topic = topic.name;
+    for (int year = engine.first_year(); year <= engine.last_year();
+         ++year) {
+      series.years.push_back(year);
+      series.counts.push_back(engine.count(topic.keyword, year));
+    }
+    // "parallel" is also tagged on a slice of the narrower topics'
+    // papers; keep the broad series as the pure topic count by querying
+    // the conjunction-free keyword — already done above.  Narrow topics
+    // use their own keyword, so series do not double count.
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+double average_slope(const TrendSeries& series, int from_year, int to_year) {
+  double sum = 0;
+  int steps = 0;
+  for (std::size_t i = 1; i < series.years.size(); ++i) {
+    const int year = series.years[i];
+    if (year <= from_year || year > to_year) continue;
+    sum += series.counts[i] - series.counts[i - 1];
+    ++steps;
+  }
+  return steps == 0 ? 0.0 : sum / steps;
+}
+
+bool took_off(const TrendSeries& series, int pivot_year, double factor) {
+  if (series.years.empty()) return false;
+  const int first = series.years.front();
+  const int last = series.years.back();
+  const double before = average_slope(series, first, pivot_year);
+  const double after = average_slope(series, pivot_year, last);
+  if (after <= 0) return false;
+  if (before <= 0) return true;  // flat or shrinking before, growing after
+  return after >= factor * before;
+}
+
+}  // namespace mpct::biblio

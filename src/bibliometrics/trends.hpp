@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bibliometrics/query.hpp"
+
+namespace mpct::biblio {
+
+/// One topic's publication-count series over the corpus years.
+struct TrendSeries {
+  std::string topic;
+  std::vector<int> years;
+  std::vector<int> counts;
+};
+
+/// Build the Figure 1 series: per default topic, publications per year.
+std::vector<TrendSeries> research_trends(const QueryEngine& engine);
+
+/// Average year-over-year growth of a series within [from_year, to_year]
+/// (publications per year per year).
+double average_slope(const TrendSeries& series, int from_year, int to_year);
+
+/// The trend claim of Section I, made checkable: a topic "took off" when
+/// its average slope in the last @p window years exceeds the average
+/// slope before that by at least @p factor.
+bool took_off(const TrendSeries& series, int pivot_year, double factor = 2.0);
+
+}  // namespace mpct::biblio

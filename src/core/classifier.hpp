@@ -1,0 +1,53 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/machine_class.hpp"
+#include "core/naming.hpp"
+
+namespace mpct {
+
+/// Result of mapping a machine structure onto the extended taxonomy.
+///
+/// Classes 11-14 of Table I (many IPs driving a single DP) are structurally
+/// enumerable but "practically not implementable (NI)" per Section
+/// II-C.2b; for those `implementable` is false and `name` is empty.
+/// Structures outside the taxonomy entirely (e.g. zero processors) yield
+/// an empty name with an explanatory note.
+struct Classification {
+  std::optional<TaxonomicName> name;
+  bool implementable = true;
+  std::string note;  ///< empty on clean classifications
+
+  bool ok() const { return name.has_value(); }
+};
+
+/// Classify a machine structure into its taxonomic name.
+///
+/// The rules follow Section II-C:
+///  * LUT-granularity fabrics are Universal Flow Spatial Processors (USP).
+///  * No IP -> Data Flow; one IP -> Uni/Array; many IPs -> Multi/Spatial.
+///  * IP-IP connectivity of any kind turns a multiprocessor into a
+///    spatial processor (classes 31-46).
+///  * The sub-type numeral encodes which of the relevant connectivity
+///    columns are crossbars: for DMP/IAP, bits (DP-DM, DP-DP); for
+///    IMP/ISP, bits (IP-DP, IP-IM, DP-DM, DP-DP), most significant first,
+///    numbered from I.
+Classification classify(const MachineClass& mc);
+
+/// Sub-type numeral (1-based) from the crossbar pattern of an array or
+/// data-flow multi processor: bits (DP-DM, DP-DP).
+int array_subtype(SwitchKind dp_dm, SwitchKind dp_dp);
+
+/// Sub-type numeral (1-based) from the crossbar pattern of a multi or
+/// spatial processor: bits (IP-DP, IP-IM, DP-DM, DP-DP).
+int multi_subtype(SwitchKind ip_dp, SwitchKind ip_im, SwitchKind dp_dm,
+                  SwitchKind dp_dp);
+
+/// Reconstruct the canonical Table I structure for a taxonomic name
+/// (inverse of classify on the 43 implementable canonical classes).
+/// Returns std::nullopt if the name does not denote a canonical class.
+std::optional<MachineClass> canonical_class(const TaxonomicName& name);
+
+}  // namespace mpct

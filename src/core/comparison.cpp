@@ -1,0 +1,95 @@
+#include "core/comparison.hpp"
+
+#include <sstream>
+
+#include "core/classifier.hpp"
+#include "core/machine_class.hpp"
+
+namespace mpct {
+
+namespace {
+
+int rank(SwitchKind k) { return static_cast<int>(k); }
+int rank(Multiplicity m) { return static_cast<int>(m); }
+int rank(ProcessingType pt) { return static_cast<int>(pt); }
+
+}  // namespace
+
+std::string NameComparison::summary() const {
+  if (identical) return "identical classes";
+  std::ostringstream os;
+  os << (same_machine_type ? "same flow paradigm" : "different flow paradigms");
+  os << "; "
+     << (same_processing_type ? "same processing type"
+                              : "different processing types");
+  if (same_subtype) {
+    os << "; identical sub-type connectivity";
+  } else if (!differing_columns.empty()) {
+    os << "; differs in";
+    for (const ColumnDiff& d : differing_columns) {
+      os << ' ' << to_string(d.role) << '(' << to_string(d.left) << " vs "
+         << to_string(d.right) << ')';
+    }
+  }
+  return os.str();
+}
+
+NameComparison compare(const TaxonomicName& a, const TaxonomicName& b) {
+  NameComparison cmp;
+  cmp.same_machine_type = a.machine_type == b.machine_type;
+  cmp.same_processing_type =
+      cmp.same_machine_type && a.processing_type == b.processing_type;
+  // Sub-type equality is meaningful across families too: IAP-I and IMP-I
+  // share the same DP-DM/DP-DP pattern (Section III-A).
+  cmp.same_subtype = a.subtype == b.subtype;
+  cmp.identical = a == b;
+
+  const std::optional<MachineClass> ca = canonical_class(a);
+  const std::optional<MachineClass> cb = canonical_class(b);
+  if (ca && cb) {
+    for (ConnectivityRole role : kAllConnectivityRoles) {
+      const SwitchKind left = ca->switch_at(role);
+      const SwitchKind right = cb->switch_at(role);
+      if (left != right) {
+        cmp.differing_columns.push_back({role, left, right});
+      }
+    }
+  }
+  return cmp;
+}
+
+bool can_morph_into(const TaxonomicName& from, const TaxonomicName& to) {
+  const std::optional<MachineClass> mc_from = canonical_class(from);
+  const std::optional<MachineClass> mc_to = canonical_class(to);
+  if (!mc_from || !mc_to) return false;
+
+  // Universal flow morphs into everything; nothing else reaches it, and
+  // data-flow / instruction-flow machines cannot substitute each other
+  // (Section III-B, last paragraph).
+  if (from.machine_type == MachineType::UniversalFlow) return true;
+  if (to.machine_type == MachineType::UniversalFlow) return from == to;
+  if (from.machine_type != to.machine_type) return false;
+
+  // A machine can always act as itself.
+  if (from == to) return true;
+
+  // Down the parallelism hierarchy only: a multiprocessor can act as an
+  // array processor (one program everywhere) or uniprocessor (switch off
+  // extras); an array processor cannot act as a multiprocessor because it
+  // cannot run n different programs.
+  if (rank(from.processing_type) < rank(to.processing_type)) return false;
+  if (rank(mc_from->ips) < rank(mc_to->ips)) return false;
+  if (rank(mc_from->dps) < rank(mc_to->dps)) return false;
+
+  // Every connectivity the target relies on must be matched or exceeded:
+  // a crossbar statically configured behaves as a direct link, and an
+  // unused link behaves as none, but no switch can be conjured.
+  for (ConnectivityRole role : kAllConnectivityRoles) {
+    if (rank(mc_from->switch_at(role)) < rank(mc_to->switch_at(role))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mpct

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/connectivity.hpp"
+#include "core/naming.hpp"
+
+namespace mpct {
+
+/// Structural comparison of two taxonomic names (Section III-A: "by just
+/// looking at the names of the classes ... one can compare two or more
+/// architectures in terms of similarities or differences").
+///
+/// The comparison decodes each name back into its canonical connectivity
+/// pattern and reports which levels of the naming hierarchy agree and
+/// which switch columns differ.
+struct NameComparison {
+  bool same_machine_type = false;     ///< same flow paradigm (1st letter)
+  bool same_processing_type = false;  ///< same parallelism (2nd/3rd letter)
+  bool same_subtype = false;          ///< identical connectivity numeral
+  bool identical = false;             ///< the names are equal
+
+  /// Per-column relation for the five connectivity roles; only populated
+  /// when both names decode to canonical classes.
+  struct ColumnDiff {
+    ConnectivityRole role;
+    SwitchKind left;
+    SwitchKind right;
+  };
+  std::vector<ColumnDiff> differing_columns;
+
+  /// Count of shared hierarchy levels (0-3): machine type, processing
+  /// type, subtype.  Higher means structurally closer.
+  int similarity_level() const {
+    return (same_machine_type ? 1 : 0) + (same_processing_type ? 1 : 0) +
+           (same_subtype ? 1 : 0);
+  }
+
+  /// Prose summary, e.g. "both instruction flow; IAP vs IMP
+  /// (array vs multi); same sub-type connectivity".
+  std::string summary() const;
+};
+
+/// Compare two class names.  Subtype equality for classes with the same
+/// numeral across families means identical IP-IM/IP-DP/DP-DM/DP-DP
+/// switch kinds (the paper's IAP-I vs IMP-I example).
+NameComparison compare(const TaxonomicName& a, const TaxonomicName& b);
+
+/// Partial order "can morph into": true when a machine of class @p from
+/// can behave as one of class @p to by under-using its resources
+/// (Section III-B's argument: IMP-I can act as an array processor by
+/// running one program on every IP; IAP-I can act as a uniprocessor by
+/// switching off extra DPs; the converse directions fail).  Universal
+/// flow can morph into anything; nothing (but USP) can morph across the
+/// data-flow / instruction-flow divide.
+bool can_morph_into(const TaxonomicName& from, const TaxonomicName& to);
+
+}  // namespace mpct

@@ -1,0 +1,95 @@
+#include "core/connectivity.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mpct {
+
+std::string_view to_symbol(SwitchKind k) {
+  switch (k) {
+    case SwitchKind::None:
+      return "none";
+    case SwitchKind::Direct:
+      return "-";
+    case SwitchKind::Crossbar:
+      return "x";
+  }
+  return "?";
+}
+
+std::string_view to_string(SwitchKind k) {
+  switch (k) {
+    case SwitchKind::None:
+      return "none";
+    case SwitchKind::Direct:
+      return "direct";
+    case SwitchKind::Crossbar:
+      return "crossbar";
+  }
+  return "?";
+}
+
+std::string_view to_string(ConnectivityRole role) {
+  switch (role) {
+    case ConnectivityRole::IpIp:
+      return "IP-IP";
+    case ConnectivityRole::IpDp:
+      return "IP-DP";
+    case ConnectivityRole::IpIm:
+      return "IP-IM";
+    case ConnectivityRole::DpDm:
+      return "DP-DM";
+    case ConnectivityRole::DpDp:
+      return "DP-DP";
+  }
+  return "?";
+}
+
+std::optional<ConnectivityRole> connectivity_role_from_string(
+    std::string_view text) {
+  std::string upper(text);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  for (ConnectivityRole role : kAllConnectivityRoles) {
+    if (upper == to_string(role)) return role;
+  }
+  return std::nullopt;
+}
+
+std::string format_connectivity(SwitchKind kind, Multiplicity left,
+                                Multiplicity right) {
+  if (kind == SwitchKind::None) return "none";
+  const char sep = kind == SwitchKind::Crossbar ? 'x' : '-';
+  std::string out;
+  out += to_symbol(left);
+  out += sep;
+  out += to_symbol(right);
+  return out;
+}
+
+std::optional<SwitchKind> switch_kind_from_cell(std::string_view cell) {
+  if (cell.empty()) return std::nullopt;
+  std::string lower(cell);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "none") return SwitchKind::None;
+
+  // A cell is "<count><sep><count>"; the separator decides the kind.  We
+  // scan for a separator that is not part of a count token.  Counts are
+  // alphanumeric ('1', '64', 'n', 'm', 'v', and products like "24n");
+  // note that 'x' only ever appears as the crossbar separator in the
+  // paper's notation.
+  const auto sep_pos = lower.find_first_of("x-");
+  if (sep_pos == std::string::npos || sep_pos == 0 ||
+      sep_pos + 1 >= lower.size()) {
+    return std::nullopt;
+  }
+  const bool operands_ok = std::all_of(
+      lower.begin(), lower.end(), [](unsigned char c) {
+        return std::isalnum(c) || c == 'x' || c == '-';
+      });
+  if (!operands_ok) return std::nullopt;
+  return lower[sep_pos] == 'x' ? SwitchKind::Crossbar : SwitchKind::Direct;
+}
+
+}  // namespace mpct

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/multiplicity.hpp"
+
+namespace mpct {
+
+/// Kind of switch realising a connectivity column of the taxonomy table.
+///
+/// The paper distinguishes (Section IV): a *direct* interconnection,
+/// printed as '-' (e.g. "1-1", "n-n", "64-1"), from interconnection
+/// *through a full crossbar*, printed as 'x' (e.g. "nxn", "64x64",
+/// "vxv").  A column may also be absent entirely ("none").  Crossbar
+/// switches are what buy flexibility — and silicon area and configuration
+/// bits (Sections III-B/C/D).
+enum class SwitchKind : std::uint8_t {
+  None = 0,      ///< the two component sets are not connected at all
+  Direct = 1,    ///< fixed point-to-point / broadcast wiring ('-')
+  Crossbar = 2,  ///< any-to-any programmable switch ('x')
+};
+
+/// True when a switch of this kind contributes a flexibility point
+/// (paper: "presence of every switch of type 'x' will get another
+/// point").
+constexpr bool is_flexible_switch(SwitchKind k) {
+  return k == SwitchKind::Crossbar;
+}
+
+/// Table glyph for the kind in isolation: "none", "-" or "x".
+std::string_view to_symbol(SwitchKind k);
+
+/// Human readable name ("none", "direct", "crossbar").
+std::string_view to_string(SwitchKind k);
+
+/// The five connectivity columns of the extended taxonomy table.
+///
+/// Skillicorn's original table has four (IP-DP, IP-IM, DP-DM, DP-DP);
+/// the paper's Section II-B adds IP-IP, which opens classes 13-14 and
+/// 31-47.  The enumerator order matches the column order of Table I.
+enum class ConnectivityRole : std::uint8_t {
+  IpIp = 0,  ///< instruction processor <-> instruction processor
+  IpDp = 1,  ///< instruction processor -> data processor
+  IpIm = 2,  ///< instruction processor <-> instruction memory
+  DpDm = 3,  ///< data processor <-> data memory
+  DpDp = 4,  ///< data processor <-> data processor
+};
+
+inline constexpr std::size_t kConnectivityRoleCount = 5;
+
+inline constexpr std::array<ConnectivityRole, kConnectivityRoleCount>
+    kAllConnectivityRoles{ConnectivityRole::IpIp, ConnectivityRole::IpDp,
+                          ConnectivityRole::IpIm, ConnectivityRole::DpDm,
+                          ConnectivityRole::DpDp};
+
+/// Column header used in the paper's tables, e.g. "IP-DP".
+std::string_view to_string(ConnectivityRole role);
+
+/// Parse a column header ("IP-IP", "ip-dp", ...).
+std::optional<ConnectivityRole> connectivity_role_from_string(
+    std::string_view text);
+
+/// Render one table cell in the paper's notation given the multiplicities
+/// of the two endpoint sets: e.g. (Direct, One, Many) -> "1-n",
+/// (Crossbar, Many, Many) -> "nxn", (None, ..) -> "none".
+std::string format_connectivity(SwitchKind kind, Multiplicity left,
+                                Multiplicity right);
+
+/// Extract the switch kind from a table cell such as "none", "1-1",
+/// "64x64", "nxm", "5x10".  Any cell containing the separator 'x' is a
+/// crossbar, '-' is direct, the literal "none" is None.  Returns
+/// std::nullopt for malformed cells.
+std::optional<SwitchKind> switch_kind_from_cell(std::string_view cell);
+
+}  // namespace mpct

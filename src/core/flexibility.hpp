@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+
+#include "core/machine_class.hpp"
+#include "core/naming.hpp"
+
+namespace mpct {
+
+/// Itemised flexibility score of a machine class (Section III-B).
+///
+/// The paper's scoring system: one point if the machine has 'n' (or 'v')
+/// instruction processors, one if it has 'n'/'v' data processors, one per
+/// switch of type 'x' (crossbar), and one extra point for universal-flow
+/// machines "because of 'variable number' of IPs and DPs".  The result
+/// ranks classes from 0 (ASIC-like IUP/DUP) to 8 (FPGA/USP).
+struct FlexibilityBreakdown {
+  int many_ips = 0;          ///< 1 if IP multiplicity is n or v
+  int many_dps = 0;          ///< 1 if DP multiplicity is n or v
+  int crossbar_switches = 0; ///< number of 'x' connectivity columns
+  int variability_bonus = 0; ///< 1 for universal-flow (LUT-grain) fabrics
+
+  int total() const {
+    return many_ips + many_dps + crossbar_switches + variability_bonus;
+  }
+
+  /// Readable derivation, e.g. "1(nIP) + 1(nDP) + 4(x) = 6".
+  std::string to_string() const;
+};
+
+/// Score a machine structure.
+FlexibilityBreakdown flexibility(const MachineClass& mc);
+
+/// Total score directly.
+inline int flexibility_score(const MachineClass& mc) {
+  return flexibility(mc).total();
+}
+
+/// The "(+k)" category offset printed in Table II's section headers: the
+/// non-switch part of the score shared by every member of the category
+/// (Data Flow Uni +0, Data Flow Multi +1, Instruction Uni +0, Array +1,
+/// Instruction Multi +2, Universal +3).
+int category_offset(const TaxonomicName& name);
+
+/// Flexibility of a canonical named class (Table II lookup, computed
+/// rather than transcribed).  Throws std::invalid_argument for
+/// non-canonical names.
+int flexibility_of(const TaxonomicName& name);
+
+/// Whether two classes' flexibility values are comparable under the
+/// paper's semantics: data-flow and instruction-flow numbers cannot be
+/// compared against each other, but both compare against universal flow
+/// (Section III-B, last paragraph).
+bool flexibility_comparable(MachineType a, MachineType b);
+
+}  // namespace mpct

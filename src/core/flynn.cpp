@@ -1,0 +1,77 @@
+#include "core/flynn.hpp"
+
+#include "core/classifier.hpp"
+#include "core/taxonomy_table.hpp"
+
+namespace mpct {
+
+std::string_view to_string(FlynnClass f) {
+  switch (f) {
+    case FlynnClass::SISD:
+      return "SISD";
+    case FlynnClass::SIMD:
+      return "SIMD";
+    case FlynnClass::MISD:
+      return "MISD";
+    case FlynnClass::MIMD:
+      return "MIMD";
+  }
+  return "?";
+}
+
+std::optional<FlynnClass> flynn_class(const MachineClass& mc) {
+  // Flynn counts instruction streams: data-flow machines have none, and
+  // a variable-count fabric has no fixed number to count.
+  if (mc.granularity == Granularity::Lut) return std::nullopt;
+  if (mc.ips == Multiplicity::Variable ||
+      mc.dps == Multiplicity::Variable) {
+    return std::nullopt;
+  }
+  if (mc.ips == Multiplicity::Zero) return std::nullopt;
+
+  const bool multi_instruction = mc.ips == Multiplicity::Many;
+  const bool multi_data = mc.dps == Multiplicity::Many;
+  if (multi_instruction && multi_data) return FlynnClass::MIMD;
+  if (multi_instruction) return FlynnClass::MISD;
+  if (multi_data) return FlynnClass::SIMD;
+  return FlynnClass::SISD;
+}
+
+std::optional<FlynnClass> flynn_class(const TaxonomicName& name) {
+  const std::optional<MachineClass> mc = canonical_class(name);
+  if (!mc) return std::nullopt;
+  return flynn_class(*mc);
+}
+
+SkillicornProjection project_to_skillicorn(const MachineClass& mc) {
+  SkillicornProjection projection;
+  projection.projected = mc;
+  if (mc.switch_at(ConnectivityRole::IpIp) != SwitchKind::None) {
+    projection.projected.set_switch(ConnectivityRole::IpIp,
+                                    SwitchKind::None);
+    projection.required_extension = true;
+  }
+  if (mc.ips == Multiplicity::Variable) {
+    projection.projected.ips = Multiplicity::Many;
+    projection.required_extension = true;
+  }
+  if (mc.dps == Multiplicity::Variable) {
+    projection.projected.dps = Multiplicity::Many;
+    projection.required_extension = true;
+  }
+  if (mc.granularity == Granularity::Lut) {
+    projection.projected.granularity = Granularity::IpDp;
+    projection.required_extension = true;
+  }
+  return projection;
+}
+
+int extension_only_class_count() {
+  int count = 0;
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (project_to_skillicorn(row.machine).required_extension) ++count;
+  }
+  return count;
+}
+
+}  // namespace mpct

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/machine_class.hpp"
+#include "core/naming.hpp"
+
+namespace mpct {
+
+/// Flynn's 1966 taxonomy — the lineage the paper's Section I starts
+/// from.  The extended Skillicorn classes project onto Flynn as:
+///  * IUP -> SISD (one instruction stream, one data stream)
+///  * IAP -> SIMD (one instruction stream broadcast over n data streams)
+///  * IMP/ISP -> MIMD (n instruction streams, n data streams)
+///  * classes 11-14 (n IPs, one DP) -> MISD — the famously near-empty
+///    Flynn quadrant, which is exactly why the paper marks them NI
+///  * data-flow machines and variable-count fabrics fall outside Flynn:
+///    there is no instruction *stream* to count, so they map to nullopt.
+enum class FlynnClass : std::uint8_t {
+  SISD,
+  SIMD,
+  MISD,
+  MIMD,
+};
+
+std::string_view to_string(FlynnClass f);
+
+/// Project a machine structure onto Flynn's taxonomy; nullopt for
+/// machines Flynn cannot express (data flow, universal flow).
+std::optional<FlynnClass> flynn_class(const MachineClass& mc);
+
+/// Project a taxonomic name onto Flynn (via its canonical structure).
+std::optional<FlynnClass> flynn_class(const TaxonomicName& name);
+
+/// Result of projecting an extended-taxonomy structure back onto
+/// Skillicorn's original 1988 table, which had no IP-IP column and no
+/// variable counts.
+struct SkillicornProjection {
+  /// The structure with the extensions stripped: IP-IP forced to None,
+  /// Variable counts demoted to Many, granularity coarse.
+  MachineClass projected;
+  /// True when stripping lost information — i.e. the machine only exists
+  /// because of this paper's extensions (classes 13-14, 31-47).
+  bool required_extension = false;
+};
+
+/// Strip the paper's extensions (Section II-A/B) from a structure.
+SkillicornProjection project_to_skillicorn(const MachineClass& mc);
+
+/// Count how many of the 47 extended classes exist only because of the
+/// extensions (IP-IP column, variable counts).  Computed over the
+/// canonical table; equals 19 — the "19 new classes" the paper's
+/// Section II-C claims (rows 13-14, 31-46 and 47).
+int extension_only_class_count();
+
+}  // namespace mpct

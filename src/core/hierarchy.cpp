@@ -1,0 +1,90 @@
+#include "core/hierarchy.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "core/taxonomy_table.hpp"
+
+namespace mpct {
+
+namespace {
+
+constexpr std::array<MachineType, 3> kMachineTypes{
+    MachineType::DataFlow, MachineType::InstructionFlow,
+    MachineType::UniversalFlow};
+constexpr std::array<ProcessingType, 4> kProcessingTypes{
+    ProcessingType::UniProcessor, ProcessingType::ArrayProcessor,
+    ProcessingType::MultiProcessor, ProcessingType::SpatialProcessor};
+
+std::string class_range_label(const std::vector<TaxonomicName>& classes) {
+  if (classes.empty()) return "";
+  if (classes.size() == 1) return to_string(classes.front());
+  return to_string(classes.front()) + ".." + to_string(classes.back());
+}
+
+void render(const HierarchyNode& node, const std::string& prefix,
+            bool is_last, bool is_root, std::ostream& os) {
+  os << prefix;
+  if (!is_root) os << (is_last ? "`-- " : "|-- ");
+  os << node.label;
+  if (!node.classes.empty()) {
+    os << ": " << class_range_label(node.classes) << " ("
+       << node.classes.size()
+       << (node.classes.size() == 1 ? " class)" : " classes)");
+  }
+  os << '\n';
+  const std::string child_prefix =
+      is_root ? prefix : prefix + (is_last ? "    " : "|   ");
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    render(node.children[i], child_prefix, i + 1 == node.children.size(),
+           false, os);
+  }
+}
+
+}  // namespace
+
+HierarchyNode machine_hierarchy() {
+  HierarchyNode root;
+  root.label = "Computing Machines";
+  for (MachineType mt : kMachineTypes) {
+    HierarchyNode mt_node;
+    mt_node.label = std::string(to_string(mt));
+    for (ProcessingType pt : kProcessingTypes) {
+      if (!combination_exists(mt, pt)) continue;
+      HierarchyNode pt_node;
+      pt_node.label = mt == MachineType::UniversalFlow
+                          ? "Spatial Computing"
+                          : std::string(to_string(pt));
+      for (const TaxonomyEntry& row : extended_taxonomy()) {
+        if (row.name && row.name->machine_type == mt &&
+            row.name->processing_type == pt) {
+          pt_node.classes.push_back(*row.name);
+        }
+      }
+      if (!pt_node.classes.empty()) {
+        mt_node.children.push_back(std::move(pt_node));
+      }
+    }
+    root.children.push_back(std::move(mt_node));
+  }
+  return root;
+}
+
+std::string render_hierarchy(const HierarchyNode& root) {
+  std::ostringstream os;
+  render(root, "", true, true, os);
+  return os.str();
+}
+
+std::vector<std::string> hierarchy_path(const TaxonomicName& name) {
+  std::vector<std::string> path;
+  path.emplace_back("Computing Machines");
+  path.emplace_back(to_string(name.machine_type));
+  path.emplace_back(name.machine_type == MachineType::UniversalFlow
+                        ? "Spatial Computing"
+                        : std::string(to_string(name.processing_type)));
+  path.emplace_back(to_string(name));
+  return path;
+}
+
+}  // namespace mpct

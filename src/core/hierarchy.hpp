@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/naming.hpp"
+
+namespace mpct {
+
+/// The hierarchy of computing machines of Figure 2: Computing Machines ->
+/// Machine Type -> Processing Type -> named classes.
+struct HierarchyNode {
+  std::string label;
+  /// Class names at this leaf level (empty on interior nodes).
+  std::vector<TaxonomicName> classes;
+  std::vector<HierarchyNode> children;
+};
+
+/// Build the full hierarchy tree (Fig. 2), derived from the canonical
+/// taxonomy table so it stays consistent with Table I by construction.
+HierarchyNode machine_hierarchy();
+
+/// Render a tree as ASCII art with box-drawing characters, one node per
+/// line; leaf class lists print as "DMP-I..DMP-IV" style ranges.
+std::string render_hierarchy(const HierarchyNode& root);
+
+/// Path of a class name through the hierarchy, e.g.
+/// {"Computing Machines", "Instruction Flow", "Multi Processor",
+///  "IMP-III"}.
+std::vector<std::string> hierarchy_path(const TaxonomicName& name);
+
+}  // namespace mpct

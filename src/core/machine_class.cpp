@@ -1,0 +1,74 @@
+#include "core/machine_class.hpp"
+
+#include <sstream>
+
+namespace mpct {
+
+std::string_view to_string(Granularity g) {
+  switch (g) {
+    case Granularity::IpDp:
+      return "IP/DP";
+    case Granularity::Lut:
+      return "LUTs";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Multiplicities of the (left, right) endpoints of a connectivity role.
+/// Memory multiplicities mirror their processor's multiplicity: the
+/// taxonomy attaches one IM per IP and one DM per DP (Skillicorn's
+/// convention; the paper keeps it implicit in cells like "n-n").
+std::pair<Multiplicity, Multiplicity> endpoints(const MachineClass& mc,
+                                                ConnectivityRole role) {
+  switch (role) {
+    case ConnectivityRole::IpIp:
+      return {mc.ips, mc.ips};
+    case ConnectivityRole::IpDp:
+      return {mc.ips, mc.dps};
+    case ConnectivityRole::IpIm:
+      return {mc.ips, mc.ips};
+    case ConnectivityRole::DpDm:
+      return {mc.dps, mc.dps};
+    case ConnectivityRole::DpDp:
+      return {mc.dps, mc.dps};
+  }
+  return {Multiplicity::Zero, Multiplicity::Zero};
+}
+
+}  // namespace
+
+std::string format_cell(const MachineClass& mc, ConnectivityRole role) {
+  const auto [left, right] = endpoints(mc, role);
+  return format_connectivity(mc.switch_at(role), left, right);
+}
+
+std::string to_string(const MachineClass& mc) {
+  std::ostringstream os;
+  os << to_string(mc.granularity) << " ips=" << to_symbol(mc.ips)
+     << " dps=" << to_symbol(mc.dps) << " [";
+  bool first = true;
+  for (ConnectivityRole role : kAllConnectivityRoles) {
+    if (!first) os << ' ';
+    first = false;
+    os << to_string(role) << ':' << format_cell(mc, role);
+  }
+  os << ']';
+  return os.str();
+}
+
+std::size_t MachineClassHash::operator()(
+    const MachineClass& mc) const noexcept {
+  // Pack the whole class into 13 bits: 1 granularity, 2+2 multiplicities,
+  // 2 bits per switch kind.
+  std::size_t packed = static_cast<std::size_t>(mc.granularity);
+  packed = packed << 2 | static_cast<std::size_t>(mc.ips);
+  packed = packed << 2 | static_cast<std::size_t>(mc.dps);
+  for (SwitchKind k : mc.switches) {
+    packed = packed << 2 | static_cast<std::size_t>(k);
+  }
+  return std::hash<std::size_t>{}(packed);
+}
+
+}  // namespace mpct

@@ -1,0 +1,41 @@
+#include "core/multiplicity.hpp"
+
+namespace mpct {
+
+std::string_view to_symbol(Multiplicity m) {
+  switch (m) {
+    case Multiplicity::Zero:
+      return "0";
+    case Multiplicity::One:
+      return "1";
+    case Multiplicity::Many:
+      return "n";
+    case Multiplicity::Variable:
+      return "v";
+  }
+  return "?";
+}
+
+std::optional<Multiplicity> multiplicity_from_symbol(std::string_view s) {
+  if (s == "0") return Multiplicity::Zero;
+  if (s == "1") return Multiplicity::One;
+  if (s == "n" || s == "m" || s == "N" || s == "M") return Multiplicity::Many;
+  if (s == "v" || s == "V") return Multiplicity::Variable;
+  return std::nullopt;
+}
+
+std::string_view to_string(Multiplicity m) {
+  switch (m) {
+    case Multiplicity::Zero:
+      return "zero";
+    case Multiplicity::One:
+      return "one";
+    case Multiplicity::Many:
+      return "many";
+    case Multiplicity::Variable:
+      return "variable";
+  }
+  return "?";
+}
+
+}  // namespace mpct

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mpct {
+
+/// Abstract multiplicity of a building block (IP, DP, IM, DM) in a
+/// machine class.
+///
+/// Skillicorn's original taxonomy admits 0, 1 or n of each block; the
+/// paper's extension adds 'v' — a *variable* number, meaning the fabric's
+/// building blocks are finer than a whole IP/DP and can exchange roles on
+/// reconfiguration (Section II-A).  The ordering
+/// Zero < One < Many < Variable reflects increasing structural capability
+/// and drives the flexibility monotonicity property.
+enum class Multiplicity : std::uint8_t {
+  Zero = 0,  ///< the block is absent (e.g. no IP in a data-flow machine)
+  One = 1,   ///< exactly one instance, fixed at design time
+  Many = 2,  ///< a design-time constant n > 1 (symbol 'n' or 'm')
+  Variable = 3,  ///< 'v': count changes on reconfiguration, v >= 0
+};
+
+/// True for the multiplicities that score a flexibility point in the
+/// paper's Table II scheme ("the presence of 'n' IPs or DPs each will get
+/// 1 point"); Variable also counts since v subsumes n.
+constexpr bool counts_as_many(Multiplicity m) {
+  return m == Multiplicity::Many || m == Multiplicity::Variable;
+}
+
+/// Canonical one-character symbol used in the taxonomy tables:
+/// "0", "1", "n" or "v".
+std::string_view to_symbol(Multiplicity m);
+
+/// Parse a table symbol ("0", "1", "n", "m", "v"); "m" is the second
+/// symbolic constant the paper uses for RaPiD and maps to Many.
+std::optional<Multiplicity> multiplicity_from_symbol(std::string_view s);
+
+/// Human-readable name ("zero", "one", "many", "variable").
+std::string_view to_string(Multiplicity m);
+
+}  // namespace mpct

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mpct {
+
+/// Roman-numeral conversion used by the hierarchical naming scheme.
+///
+/// Sub-Processing Types in the extended Skillicorn taxonomy are numbered
+/// with roman numerals (IMP-I .. IMP-XVI, Table I of the paper).  The
+/// implementation supports the full subtractive notation for values in
+/// [1, 3999] so that hypothetical larger taxonomies (more switch columns)
+/// keep working.
+
+/// Render @p value as an uppercase roman numeral.
+/// @pre 1 <= value <= 3999 (throws std::invalid_argument otherwise).
+std::string to_roman(int value);
+
+/// Parse an uppercase roman numeral. Returns std::nullopt on malformed
+/// input (empty string, invalid characters, or non-canonical forms such
+/// as "IIII").
+std::optional<int> from_roman(std::string_view text);
+
+}  // namespace mpct

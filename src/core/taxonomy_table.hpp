@@ -1,0 +1,51 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/machine_class.hpp"
+#include "core/naming.hpp"
+
+namespace mpct {
+
+/// One row of the extended taxonomy (Table I of the paper).
+struct TaxonomyEntry {
+  int serial = 0;  ///< "S.N" column, 1..47
+  MachineClass machine;
+  /// Taxonomic name; empty for the four not-implementable classes whose
+  /// "Comments" cell reads "NI".
+  std::optional<TaxonomicName> name;
+  bool implementable = true;
+  /// Section banner the row appears under, e.g.
+  /// "Data Flow Machines -> Multi Processors".
+  std::string_view section;
+
+  /// "Comments" column text: the class name or "NI".
+  std::string comment() const;
+};
+
+/// The full 47-row extended taxonomy table, generated (not transcribed):
+/// the generator enumerates the multiplicity/connectivity space under the
+/// structural rules of Section II and orders rows exactly as Table I.
+/// The result is cached after the first call.
+std::span<const TaxonomyEntry> extended_taxonomy();
+
+/// Look up the canonical row for a class name (nullptr if the name is not
+/// canonical).
+const TaxonomyEntry* find_entry(const TaxonomicName& name);
+
+/// Look up a row by serial number 1..47 (nullptr out of range).
+const TaxonomyEntry* find_entry(int serial);
+
+/// Look up the row whose structure equals @p mc (nullptr if the structure
+/// is not one of the 47 canonical rows).
+const TaxonomyEntry* find_entry(const MachineClass& mc);
+
+/// Number of implementable classes (47 minus the four NI rows).
+int implementable_class_count();
+
+}  // namespace mpct

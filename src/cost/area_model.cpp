@@ -1,0 +1,178 @@
+#include "cost/area_model.hpp"
+
+#include "cost/resolve.hpp"
+
+namespace mpct::cost {
+
+namespace detail {
+
+namespace {
+
+std::int64_t bind(Multiplicity mult, const EstimateOptions& options) {
+  switch (mult) {
+    case Multiplicity::Zero:
+      return 0;
+    case Multiplicity::One:
+      return 1;
+    case Multiplicity::Many:
+      return options.n;
+    case Multiplicity::Variable:
+      return options.v;
+  }
+  return 0;
+}
+
+std::int64_t bind(const arch::Count& count, const EstimateOptions& options) {
+  const auto value =
+      count.evaluate({{'n', options.n}, {'m', options.m}});
+  if (value) return *value;
+  // Variable counts (and unbound symbols, which the two bindings above
+  // preclude) fall back to the variable-fabric block budget.
+  return options.v;
+}
+
+}  // namespace
+
+ResolvedStructure resolve(const MachineClass& mc,
+                          const EstimateOptions& options) {
+  ResolvedStructure r;
+  r.lut_grain = mc.granularity == Granularity::Lut;
+  if (r.lut_grain) {
+    r.luts = options.v;
+    for (ConnectivityRole role : kAllConnectivityRoles) {
+      auto& link = r.links[static_cast<std::size_t>(role)];
+      link.kind = mc.switch_at(role);
+      link.left = r.luts;
+      link.right = r.luts;
+    }
+    return r;
+  }
+
+  r.ips = bind(mc.ips, options);
+  r.dps = bind(mc.dps, options);
+  r.ims = r.ips;
+  r.dms = r.dps;
+  const auto set = [&](ConnectivityRole role, std::int64_t left,
+                       std::int64_t right) {
+    auto& link = r.links[static_cast<std::size_t>(role)];
+    link.kind = mc.switch_at(role);
+    link.left = left;
+    link.right = right;
+  };
+  set(ConnectivityRole::IpIp, r.ips, r.ips);
+  set(ConnectivityRole::IpDp, r.ips, r.dps);
+  set(ConnectivityRole::IpIm, r.ips, r.ims);
+  set(ConnectivityRole::DpDm, r.dps, r.dms);
+  set(ConnectivityRole::DpDp, r.dps, r.dps);
+  return r;
+}
+
+ResolvedStructure resolve(const arch::ArchitectureSpec& spec,
+                          const EstimateOptions& options) {
+  ResolvedStructure r;
+  r.lut_grain = spec.granularity == Granularity::Lut;
+  r.ips = bind(spec.ips, options);
+  r.dps = bind(spec.dps, options);
+  if (r.lut_grain) {
+    // For a LUT fabric the "ips"/"dps" of the survey row are both the
+    // variable block pool; budget v blocks total.
+    r.ips = 0;
+    r.dps = 0;
+    r.luts = options.v;
+  }
+
+  const auto endpoint = [&](const arch::Count& cell_count,
+                            std::int64_t fallback) {
+    const auto value =
+        cell_count.evaluate({{'n', options.n}, {'m', options.m}});
+    if (value) return *value;
+    if (cell_count.kind() == arch::Count::Kind::Variable) {
+      return r.lut_grain ? r.luts : options.v;
+    }
+    return fallback;
+  };
+
+  // Memory bank counts come from the connectivity cells where they are
+  // concrete (Montium connects 5 DPs to 10 banks).
+  const arch::ConnectivityExpr& ip_im = spec.at(ConnectivityRole::IpIm);
+  const arch::ConnectivityExpr& dp_dm = spec.at(ConnectivityRole::DpDm);
+  r.ims = ip_im.kind == SwitchKind::None ? r.ips : endpoint(ip_im.right, r.ips);
+  r.dms = dp_dm.kind == SwitchKind::None ? r.dps : endpoint(dp_dm.right, r.dps);
+
+  const auto set = [&](ConnectivityRole role, std::int64_t fallback_left,
+                       std::int64_t fallback_right) {
+    const arch::ConnectivityExpr& expr = spec.at(role);
+    auto& link = r.links[static_cast<std::size_t>(role)];
+    link.kind = expr.kind;
+    if (expr.kind == SwitchKind::None) return;
+    link.left = endpoint(expr.left, fallback_left);
+    link.right = endpoint(expr.right, fallback_right);
+  };
+  const std::int64_t pool = r.lut_grain ? r.luts : 0;
+  set(ConnectivityRole::IpIp, r.lut_grain ? pool : r.ips,
+      r.lut_grain ? pool : r.ips);
+  set(ConnectivityRole::IpDp, r.lut_grain ? pool : r.ips,
+      r.lut_grain ? pool : r.dps);
+  set(ConnectivityRole::IpIm, r.lut_grain ? pool : r.ips, r.ims);
+  set(ConnectivityRole::DpDm, r.lut_grain ? pool : r.dps, r.dms);
+  set(ConnectivityRole::DpDp, r.lut_grain ? pool : r.dps,
+      r.lut_grain ? pool : r.dps);
+  return r;
+}
+
+}  // namespace detail
+
+namespace {
+
+AreaEstimate estimate_from(const detail::ResolvedStructure& r,
+                           const ComponentLibrary& lib,
+                           const EstimateOptions& options) {
+  AreaEstimate e;
+  e.n_ips = r.ips;
+  e.n_dps = r.dps;
+  e.n_ims = r.ims;
+  e.n_dms = r.dms;
+  e.n_luts = r.luts;
+
+  if (r.lut_grain) {
+    e.lut_blocks = static_cast<double>(r.luts) * lib.lut.area_kge;
+  } else {
+    e.ip_blocks = static_cast<double>(r.ips) * lib.ip.area_kge;
+    e.dp_blocks = static_cast<double>(r.dps) * lib.dp.area_kge;
+    e.im_blocks = static_cast<double>(r.ims) * lib.im.area_kge;
+    e.dm_blocks = static_cast<double>(r.dms) * lib.dm.area_kge;
+  }
+
+  const auto cost = [&](ConnectivityRole role) {
+    const auto& link = r.link(role);
+    return switch_cost(link.kind, link.left, link.right,
+                       r.lut_grain ? 1 : lib.data_width,
+                       lib.switch_params)
+        .area_kge;
+  };
+  e.ip_ip_switch = cost(ConnectivityRole::IpIp);
+  e.ip_im_switch = cost(ConnectivityRole::IpIm);
+  e.dp_dm_switch = cost(ConnectivityRole::DpDm);
+  e.dp_dp_switch = cost(ConnectivityRole::DpDp);
+  // Eq. 1 as printed has no A_IP-DP term; the extended model adds it.
+  if (options.include_ip_dp_switch) {
+    e.ip_dp_switch = cost(ConnectivityRole::IpDp);
+  }
+  return e;
+}
+
+}  // namespace
+
+AreaEstimate estimate_area(const MachineClass& mc,
+                           const ComponentLibrary& lib,
+                           const EstimateOptions& options) {
+  return estimate_from(detail::resolve(mc, options), lib, options);
+}
+
+AreaEstimate estimate_area(const arch::ArchitectureSpec& spec,
+                           const ComponentLibrary& lib,
+                           const EstimateOptions& options) {
+  return estimate_from(detail::resolve(spec, options), lib, options);
+}
+
+}  // namespace mpct::cost

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/spec.hpp"
+#include "core/machine_class.hpp"
+#include "cost/component_library.hpp"
+#include "cost/technology.hpp"
+
+namespace mpct::cost {
+
+/// Bindings that turn symbolic multiplicities into concrete counts when
+/// evaluating the predictive equations.
+struct EstimateOptions {
+  std::int64_t n = 16;   ///< value substituted for 'n' / Multiplicity::Many
+  std::int64_t m = 16;   ///< value substituted for the second symbol 'm'
+  std::int64_t v = 256;  ///< block count assumed for variable-count fabrics
+  /// Eq. 1 and Eq. 2 as printed in the paper have no A_IP-DP / CW_IP-DP
+  /// term; set true to add it (the "extended" model the ablation bench
+  /// compares against).
+  bool include_ip_dp_switch = false;
+};
+
+/// Term-by-term result of the Eq. 1 area prediction, in kGE.
+struct AreaEstimate {
+  // Block terms (N * A_X).
+  double ip_blocks = 0;
+  double im_blocks = 0;
+  double dp_blocks = 0;
+  double dm_blocks = 0;
+  /// LUT block term for universal-flow fabrics (replaces the IP/DP/IM/DM
+  /// block terms there: the fabric has v LUTs, not dedicated blocks).
+  double lut_blocks = 0;
+  // Switch terms (A_X-Y).
+  double ip_ip_switch = 0;
+  double ip_im_switch = 0;
+  double ip_dp_switch = 0;  ///< only populated when the option enables it
+  double dp_dm_switch = 0;
+  double dp_dp_switch = 0;
+
+  // Resolved counts, for reporting.
+  std::int64_t n_ips = 0;
+  std::int64_t n_dps = 0;
+  std::int64_t n_ims = 0;
+  std::int64_t n_dms = 0;
+  std::int64_t n_luts = 0;
+
+  double total_kge() const {
+    return ip_blocks + im_blocks + dp_blocks + dm_blocks + lut_blocks +
+           ip_ip_switch + ip_im_switch + ip_dp_switch + dp_dm_switch +
+           dp_dp_switch;
+  }
+  double switch_kge() const {
+    return ip_ip_switch + ip_im_switch + ip_dp_switch + dp_dm_switch +
+           dp_dp_switch;
+  }
+  double total_mm2(const TechnologyNode& node) const {
+    return node.kge_to_mm2(total_kge());
+  }
+};
+
+/// Evaluate Eq. 1 for an abstract machine class.  Multiplicity::Many
+/// binds to options.n, Variable to options.v; LUT-grained fabrics charge
+/// options.v LUT blocks plus the five crossbars over v ports.
+AreaEstimate estimate_area(const MachineClass& mc,
+                           const ComponentLibrary& lib,
+                           const EstimateOptions& options = {});
+
+/// Evaluate Eq. 1 for a concrete architecture spec.  Fixed counts and
+/// connectivity endpoint counts are used exactly (e.g. Montium's 5x10
+/// DP-DM crossbar really is 5x10); symbolic counts bind through
+/// options.n / options.m.
+AreaEstimate estimate_area(const arch::ArchitectureSpec& spec,
+                           const ComponentLibrary& lib,
+                           const EstimateOptions& options = {});
+
+}  // namespace mpct::cost

@@ -1,0 +1,41 @@
+#include "cost/component_library.hpp"
+
+namespace mpct::cost {
+
+ComponentLibrary ComponentLibrary::default_library() {
+  ComponentLibrary lib;
+  lib.name = "default";
+  lib.ip = {25.0, 32};
+  lib.dp = {10.0, 16};
+  lib.im = {8.0, 8};
+  lib.dm = {8.0, 8};
+  lib.lut = {0.015, 20};
+  lib.data_width = 32;
+  return lib;
+}
+
+ComponentLibrary ComponentLibrary::embedded() {
+  ComponentLibrary lib;
+  lib.name = "embedded";
+  lib.ip = {8.0, 16};
+  lib.dp = {3.5, 12};
+  lib.im = {4.0, 4};
+  lib.dm = {4.0, 4};
+  lib.lut = {0.012, 20};
+  lib.data_width = 16;
+  return lib;
+}
+
+ComponentLibrary ComponentLibrary::hpc() {
+  ComponentLibrary lib;
+  lib.name = "hpc";
+  lib.ip = {120.0, 64};
+  lib.dp = {40.0, 24};
+  lib.im = {32.0, 8};
+  lib.dm = {32.0, 8};
+  lib.lut = {0.018, 24};
+  lib.data_width = 64;
+  return lib;
+}
+
+}  // namespace mpct::cost

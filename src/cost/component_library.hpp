@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cost/switch_cost.hpp"
+
+namespace mpct::cost {
+
+/// Per-instance cost of one building block: the A_X and CW_X inputs of
+/// Eq. 1 / Eq. 2.
+struct ComponentParams {
+  double area_kge = 0;          ///< A_X: silicon area in kGE
+  std::int64_t config_bits = 0; ///< CW_X: configuration word width
+
+  friend bool operator==(const ComponentParams&,
+                         const ComponentParams&) = default;
+};
+
+/// The component library: parameters for each building-block type plus
+/// the switch cost model.  The paper's equations take these as given
+/// ("the CBs required to configure the individual components are
+/// calculated individually ... depending on type, functionality and
+/// IOs"); the defaults here are standard-cell planning figures documented
+/// per preset.
+struct ComponentLibrary {
+  std::string name = "default";
+
+  ComponentParams ip;   ///< instruction processor (sequencer/controller)
+  ComponentParams dp;   ///< data processor (ALU + register slice)
+  ComponentParams im;   ///< instruction memory bank
+  ComponentParams dm;   ///< data memory bank
+  ComponentParams lut;  ///< one universal-flow building block (LUT/CLB)
+
+  int data_width = 32;  ///< datapath width the switches carry
+  SwitchCostParams switch_params;
+
+  /// Default library: a mid-size embedded design point.
+  ///  * IP: 25 kGE RISC-class sequencer, 32 configuration bits (mode,
+  ///    boot vector).
+  ///  * DP: 10 kGE 32-bit ALU + operand registers, 16 config bits
+  ///    (function select, routing modes).
+  ///  * IM: 8 kGE (1 KB SRAM macro), 8 config bits (banking mode).
+  ///  * DM: 8 kGE (1 KB SRAM macro), 8 config bits.
+  ///  * LUT: 0.015 kGE per 4-LUT + flop, 20 config bits (16 truth-table
+  ///    + 4 mode), the classic island-style figure.
+  static ComponentLibrary default_library();
+
+  /// Smaller blocks for deeply embedded design points (16-bit datapath).
+  static ComponentLibrary embedded();
+
+  /// Larger blocks for HPC-class design points (64-bit datapath,
+  /// superscalar-weight IP).
+  static ComponentLibrary hpc();
+};
+
+}  // namespace mpct::cost

@@ -1,0 +1,53 @@
+#include "cost/config_bits.hpp"
+
+#include "cost/resolve.hpp"
+
+namespace mpct::cost {
+
+namespace {
+
+ConfigBitsEstimate estimate_from(const detail::ResolvedStructure& r,
+                                 const ComponentLibrary& lib,
+                                 const EstimateOptions& options) {
+  ConfigBitsEstimate e;
+  if (r.lut_grain) {
+    e.lut_blocks = r.luts * lib.lut.config_bits;
+  } else {
+    e.ip_blocks = r.ips * lib.ip.config_bits;
+    e.dp_blocks = r.dps * lib.dp.config_bits;
+    e.im_blocks = r.ims * lib.im.config_bits;
+    e.dm_blocks = r.dms * lib.dm.config_bits;
+  }
+
+  const auto cost = [&](ConnectivityRole role) {
+    const auto& link = r.link(role);
+    return switch_cost(link.kind, link.left, link.right,
+                       r.lut_grain ? 1 : lib.data_width,
+                       lib.switch_params)
+        .config_bits;
+  };
+  e.ip_ip_switch = cost(ConnectivityRole::IpIp);
+  e.ip_im_switch = cost(ConnectivityRole::IpIm);
+  e.dp_dm_switch = cost(ConnectivityRole::DpDm);
+  e.dp_dp_switch = cost(ConnectivityRole::DpDp);
+  if (options.include_ip_dp_switch) {
+    e.ip_dp_switch = cost(ConnectivityRole::IpDp);
+  }
+  return e;
+}
+
+}  // namespace
+
+ConfigBitsEstimate estimate_config_bits(const MachineClass& mc,
+                                        const ComponentLibrary& lib,
+                                        const EstimateOptions& options) {
+  return estimate_from(detail::resolve(mc, options), lib, options);
+}
+
+ConfigBitsEstimate estimate_config_bits(const arch::ArchitectureSpec& spec,
+                                        const ComponentLibrary& lib,
+                                        const EstimateOptions& options) {
+  return estimate_from(detail::resolve(spec, options), lib, options);
+}
+
+}  // namespace mpct::cost

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/spec.hpp"
+#include "core/machine_class.hpp"
+#include "cost/area_model.hpp"
+#include "cost/component_library.hpp"
+
+namespace mpct::cost {
+
+/// Term-by-term result of the Eq. 2 configuration-bit prediction:
+///
+///   CB = N*CW_IP + N*CW_IM + CW_IP-IP + CW_IP-IM
+///      + N*CW_DP + N*CW_DM + CW_DP-DP + CW_DP-DM
+///
+/// For data-flow machines the IP/IM terms vanish with the counts; for
+/// universal-flow fabrics the block terms are v * CW_LUT.  Crossbar
+/// switch terms are outputs * ceil(log2(inputs+1)) select bits, which the
+/// executable interconnect::Crossbar stores verbatim — the tests
+/// cross-check prediction against measured state.
+struct ConfigBitsEstimate {
+  std::int64_t ip_blocks = 0;
+  std::int64_t im_blocks = 0;
+  std::int64_t dp_blocks = 0;
+  std::int64_t dm_blocks = 0;
+  std::int64_t lut_blocks = 0;
+  std::int64_t ip_ip_switch = 0;
+  std::int64_t ip_im_switch = 0;
+  std::int64_t ip_dp_switch = 0;  ///< only with options.include_ip_dp_switch
+  std::int64_t dp_dm_switch = 0;
+  std::int64_t dp_dp_switch = 0;
+
+  std::int64_t total() const {
+    return ip_blocks + im_blocks + dp_blocks + dm_blocks + lut_blocks +
+           ip_ip_switch + ip_im_switch + ip_dp_switch + dp_dm_switch +
+           dp_dp_switch;
+  }
+  std::int64_t switch_bits() const {
+    return ip_ip_switch + ip_im_switch + ip_dp_switch + dp_dm_switch +
+           dp_dp_switch;
+  }
+};
+
+/// Evaluate Eq. 2 for an abstract machine class.
+ConfigBitsEstimate estimate_config_bits(const MachineClass& mc,
+                                        const ComponentLibrary& lib,
+                                        const EstimateOptions& options = {});
+
+/// Evaluate Eq. 2 for a concrete architecture spec.
+ConfigBitsEstimate estimate_config_bits(const arch::ArchitectureSpec& spec,
+                                        const ComponentLibrary& lib,
+                                        const EstimateOptions& options = {});
+
+}  // namespace mpct::cost

@@ -1,0 +1,96 @@
+#include "cost/config_map.hpp"
+
+#include <sstream>
+
+#include "cost/resolve.hpp"
+
+namespace mpct::cost {
+
+std::int64_t ConfigMap::total_bits() const {
+  return fields.empty() ? 0 : fields.back().end();
+}
+
+const ConfigField* ConfigMap::field_at(std::int64_t offset) const {
+  for (const ConfigField& field : fields) {
+    if (offset >= field.offset && offset < field.end()) return &field;
+  }
+  return nullptr;
+}
+
+std::string ConfigMap::to_string() const {
+  std::ostringstream os;
+  for (const ConfigField& field : fields) {
+    os << '[' << field.offset << ", " << field.end() << ") "
+       << field.component << " (" << field.width << " bits)\n";
+  }
+  os << "total: " << total_bits() << " bits\n";
+  return os.str();
+}
+
+namespace {
+
+ConfigMap plan_from(const detail::ResolvedStructure& r,
+                    const ComponentLibrary& lib,
+                    const EstimateOptions& options) {
+  ConfigMap map;
+  std::int64_t cursor = 0;
+  const auto emit = [&](std::string component, std::int64_t width) {
+    if (width <= 0) return;
+    map.fields.push_back({std::move(component), cursor, width});
+    cursor += width;
+  };
+
+  if (r.lut_grain) {
+    for (std::int64_t i = 0; i < r.luts; ++i) {
+      emit("LUT[" + std::to_string(i) + "]", lib.lut.config_bits);
+    }
+  } else {
+    for (std::int64_t i = 0; i < r.ips; ++i) {
+      emit("IP[" + std::to_string(i) + "]", lib.ip.config_bits);
+    }
+    for (std::int64_t i = 0; i < r.ims; ++i) {
+      emit("IM[" + std::to_string(i) + "]", lib.im.config_bits);
+    }
+    for (std::int64_t i = 0; i < r.dps; ++i) {
+      emit("DP[" + std::to_string(i) + "]", lib.dp.config_bits);
+    }
+    for (std::int64_t i = 0; i < r.dms; ++i) {
+      emit("DM[" + std::to_string(i) + "]", lib.dm.config_bits);
+    }
+  }
+
+  const int width = r.lut_grain ? 1 : lib.data_width;
+  const auto emit_switch = [&](ConnectivityRole role) {
+    const auto& link = r.link(role);
+    const std::int64_t bits =
+        switch_cost(link.kind, link.left, link.right, width,
+                    lib.switch_params)
+            .config_bits;
+    emit(std::string(to_string(role)) + " switch", bits);
+  };
+  // Eq. 2's term order: CW_IP-IP + CW_IP-IM ... + CW_DP-DP + CW_DP-DM.
+  emit_switch(ConnectivityRole::IpIp);
+  emit_switch(ConnectivityRole::IpIm);
+  emit_switch(ConnectivityRole::DpDm);
+  emit_switch(ConnectivityRole::DpDp);
+  if (options.include_ip_dp_switch) {
+    emit_switch(ConnectivityRole::IpDp);
+  }
+  return map;
+}
+
+}  // namespace
+
+ConfigMap plan_config_map(const arch::ArchitectureSpec& spec,
+                          const ComponentLibrary& lib,
+                          const EstimateOptions& options) {
+  return plan_from(detail::resolve(spec, options), lib, options);
+}
+
+ConfigMap plan_config_map(const MachineClass& mc,
+                          const ComponentLibrary& lib,
+                          const EstimateOptions& options) {
+  return plan_from(detail::resolve(mc, options), lib, options);
+}
+
+}  // namespace mpct::cost

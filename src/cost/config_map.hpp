@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/spec.hpp"
+#include "cost/config_bits.hpp"
+
+namespace mpct::cost {
+
+/// One field of a machine's configuration bitstream: which component it
+/// programs, where it sits and how wide it is.
+struct ConfigField {
+  std::string component;  ///< e.g. "DP[3]", "DP-DP switch", "IM[0]"
+  std::int64_t offset = 0;
+  std::int64_t width = 0;
+
+  std::int64_t end() const { return offset + width; }
+};
+
+/// The full configuration layout of a machine — Eq. 2 taken from a
+/// total to a linker-map-level plan.  Fields are laid out in component
+/// order (IPs, IMs, DPs, DMs / LUTs, then the four switch columns of
+/// the printed equation, then the optional IP-DP term), contiguously
+/// from offset 0.
+struct ConfigMap {
+  std::vector<ConfigField> fields;
+
+  /// Total bitstream length; equals the Eq. 2 estimate by construction
+  /// (asserted by the tests).
+  std::int64_t total_bits() const;
+
+  /// Field containing bit @p offset; nullptr when out of range (or the
+  /// map is empty).
+  const ConfigField* field_at(std::int64_t offset) const;
+
+  /// Human-readable layout, one field per line.
+  std::string to_string() const;
+};
+
+/// Plan the configuration bitstream of a concrete architecture at the
+/// given design point.  Per-instance component fields are emitted
+/// individually (so "DP[7]" is addressable), switch fields once per
+/// column.
+ConfigMap plan_config_map(const arch::ArchitectureSpec& spec,
+                          const ComponentLibrary& lib,
+                          const EstimateOptions& options = {});
+
+/// Plan the layout of an abstract machine class.
+ConfigMap plan_config_map(const MachineClass& mc,
+                          const ComponentLibrary& lib,
+                          const EstimateOptions& options = {});
+
+}  // namespace mpct::cost

@@ -1,0 +1,38 @@
+#include "cost/energy.hpp"
+
+#include <sstream>
+
+namespace mpct::cost {
+
+std::string EnergyEstimate::to_string() const {
+  std::ostringstream os;
+  os << total_pj() << " pJ (compute " << compute_pj << ", control "
+     << control_pj << ", memory " << memory_pj << ", interconnect "
+     << interconnect_pj << ", configuration " << configuration_pj << ")";
+  return os.str();
+}
+
+EnergyEstimate estimate_energy(const ActivityCounts& activity,
+                               const EnergyParams& params,
+                               bool has_instruction_processor) {
+  EnergyEstimate e;
+  e.compute_pj = static_cast<double>(activity.instructions) * params.alu_op_pj;
+  if (has_instruction_processor) {
+    e.control_pj =
+        static_cast<double>(activity.instructions) * params.control_op_pj;
+  }
+  e.memory_pj =
+      static_cast<double>(activity.memory_accesses) * params.memory_access_pj;
+  e.interconnect_pj =
+      static_cast<double>(activity.interconnect_hops) * params.hop_pj;
+  e.configuration_pj = static_cast<double>(activity.config_bits_written) *
+                       params.config_bit_pj;
+  return e;
+}
+
+double configuration_energy_pj(std::int64_t config_bits,
+                               const EnergyParams& params) {
+  return static_cast<double>(config_bits) * params.config_bit_pj;
+}
+
+}  // namespace mpct::cost

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/machine_class.hpp"
+
+namespace mpct::cost {
+
+/// Energy model complementing the area (Eq. 1) and configuration (Eq. 2)
+/// predictors: the paper's introduction frames the whole CGRA field as a
+/// search for the sweet spot between engineering and *computational
+/// (energy) efficiency*, so the library makes that axis estimable too.
+///
+/// All figures in picojoules, defaults in the ballpark of published
+/// 90 nm embedded numbers (an ALU op costs a few pJ, an SRAM access a
+/// few times that, crossing a chip-level interconnect more again, and a
+/// configuration-bit write is amortised over the run).
+struct EnergyParams {
+  double alu_op_pj = 3.0;        ///< one data-processor operation
+  double control_op_pj = 1.0;    ///< IP sequencing overhead per instruction
+  double memory_access_pj = 8.0; ///< one word read/written from a bank
+  double hop_pj = 2.0;           ///< one interconnect traversal (per hop)
+  double config_bit_pj = 0.3;    ///< writing one configuration bit
+};
+
+/// Tally of activity to price.  The paradigm simulators expose these
+/// counts (RunStats::instructions, Memory::loads/stores, NoC hop counts,
+/// Crossbar/LutFabric config_bits); the model deliberately takes plain
+/// numbers so any activity source can be priced.
+struct ActivityCounts {
+  std::int64_t instructions = 0;    ///< executed instructions / firings
+  std::int64_t memory_accesses = 0; ///< loads + stores across banks
+  std::int64_t interconnect_hops = 0;
+  std::int64_t config_bits_written = 0;
+
+  ActivityCounts& operator+=(const ActivityCounts& other) {
+    instructions += other.instructions;
+    memory_accesses += other.memory_accesses;
+    interconnect_hops += other.interconnect_hops;
+    config_bits_written += other.config_bits_written;
+    return *this;
+  }
+};
+
+/// Term-by-term energy estimate in picojoules.
+struct EnergyEstimate {
+  double compute_pj = 0;
+  double control_pj = 0;
+  double memory_pj = 0;
+  double interconnect_pj = 0;
+  double configuration_pj = 0;
+
+  double total_pj() const {
+    return compute_pj + control_pj + memory_pj + interconnect_pj +
+           configuration_pj;
+  }
+  double total_nj() const { return total_pj() / 1000.0; }
+
+  std::string to_string() const;
+};
+
+/// Price an activity tally.  `has_instruction_processor` charges the
+/// per-instruction control overhead (data-flow machines do not pay it:
+/// their "instructions travel with the data", which the hop term prices
+/// instead).
+EnergyEstimate estimate_energy(const ActivityCounts& activity,
+                               const EnergyParams& params = {},
+                               bool has_instruction_processor = true);
+
+/// Convenience: the amortised configuration energy of a machine class —
+/// Eq. 2's bit count priced at config_bit_pj.  The flexibility trade-off
+/// in joules: reconfigurable fabrics pay this once per configuration,
+/// ASIC-like classes never do.
+double configuration_energy_pj(std::int64_t config_bits,
+                               const EnergyParams& params = {});
+
+}  // namespace mpct::cost

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "arch/spec.hpp"
+#include "core/machine_class.hpp"
+#include "cost/area_model.hpp"
+
+namespace mpct::cost::detail {
+
+/// A machine structure with every symbolic count bound to a number —
+/// the common input of the Eq. 1 area model and the Eq. 2 configuration
+/// bit model.
+struct ResolvedStructure {
+  std::int64_t ips = 0;
+  std::int64_t dps = 0;
+  std::int64_t ims = 0;  ///< instruction memory banks (defaults to ips)
+  std::int64_t dms = 0;  ///< data memory banks (defaults to dps)
+
+  struct Link {
+    SwitchKind kind = SwitchKind::None;
+    std::int64_t left = 0;
+    std::int64_t right = 0;
+  };
+  /// Indexed by ConnectivityRole.
+  std::array<Link, kConnectivityRoleCount> links{};
+
+  bool lut_grain = false;
+  std::int64_t luts = 0;
+
+  const Link& link(ConnectivityRole role) const {
+    return links[static_cast<std::size_t>(role)];
+  }
+};
+
+/// Bind an abstract class: Many -> options.n, Variable -> options.v,
+/// memory bank counts mirror their processors.
+ResolvedStructure resolve(const MachineClass& mc,
+                          const EstimateOptions& options);
+
+/// Bind a concrete spec: fixed counts used verbatim, 'n'/'m' bound via
+/// options, connectivity endpoint counts taken from the cells where
+/// evaluable (so partial or asymmetric switches like "5x10" or "8-1"
+/// cost exactly what they are).
+ResolvedStructure resolve(const arch::ArchitectureSpec& spec,
+                          const EstimateOptions& options);
+
+}  // namespace mpct::cost::detail

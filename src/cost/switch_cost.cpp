@@ -1,0 +1,56 @@
+#include "cost/switch_cost.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpct::cost {
+
+int ceil_log2(std::int64_t x) {
+  if (x < 1) throw std::invalid_argument("ceil_log2: x must be >= 1");
+  int bits = 0;
+  std::int64_t capacity = 1;
+  while (capacity < x) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+SwitchCost switch_cost(SwitchKind kind, std::int64_t left_ports,
+                       std::int64_t right_ports, int data_width,
+                       const SwitchCostParams& params) {
+  if (left_ports < 0 || right_ports < 0) {
+    throw std::invalid_argument("switch_cost: negative port count");
+  }
+  if (data_width <= 0) {
+    throw std::invalid_argument("switch_cost: non-positive data width");
+  }
+  if (kind == SwitchKind::None || left_ports == 0 || right_ports == 0) {
+    return {};
+  }
+
+  switch (kind) {
+    case SwitchKind::Direct: {
+      const std::int64_t links = std::min(left_ports, right_ports);
+      return {static_cast<double>(links) * data_width *
+                  params.ge_per_wire_bit / 1000.0,
+              0};
+    }
+    case SwitchKind::Crossbar: {
+      const double crosspoints =
+          static_cast<double>(left_ports) * static_cast<double>(right_ports);
+      const double area_ge =
+          crosspoints * data_width * params.ge_per_crosspoint_bit;
+      // One select field per output, able to address any input or the
+      // disconnected state.
+      const std::int64_t select_bits =
+          right_ports * ceil_log2(left_ports + 1);
+      return {area_ge / 1000.0, select_bits};
+    }
+    case SwitchKind::None:
+      break;
+  }
+  return {};
+}
+
+}  // namespace mpct::cost

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/connectivity.hpp"
+
+namespace mpct::cost {
+
+/// Area and configuration cost of one interconnect switch, the
+/// per-component inputs to Eq. 1 (A_X-Y terms) and Eq. 2 (CW_X-Y terms).
+struct SwitchCost {
+  double area_kge = 0;        ///< silicon cost in kilo gate-equivalents
+  std::int64_t config_bits = 0;  ///< CW: bits to program the switch
+
+  friend bool operator==(const SwitchCost&, const SwitchCost&) = default;
+};
+
+/// Parameters of the switch cost model.
+struct SwitchCostParams {
+  /// Gate equivalents per 2:1 mux leg per bit of datapath width (the
+  /// crosspoint cost of a mux-tree crossbar output).
+  double ge_per_crosspoint_bit = 2.5;
+  /// Gate equivalents per bit of a plain wired (direct) connection —
+  /// repeater/buffer cost, far below a crosspoint.
+  double ge_per_wire_bit = 0.25;
+};
+
+/// Cost of a switch connecting @p left_ports producers to @p right_ports
+/// consumers over a @p data_width-bit datapath:
+///
+///  * None:     zero area, zero configuration.
+///  * Direct:   min(left,right) point-to-point links; wires only, no
+///              configuration state ("a switch of type '-' takes less
+///              area than a switch of type 'x'", Section III-C).
+///  * Crossbar: every output carries a left_ports:1 mux across the full
+///              datapath — area grows with left*right (quadratic for a
+///              square crossbar) and each output needs
+///              ceil(log2(left+1)) select bits (the +1 encodes
+///              "disconnected"), which is exactly the configuration state
+///              the executable interconnect::Crossbar stores.
+SwitchCost switch_cost(SwitchKind kind, std::int64_t left_ports,
+                       std::int64_t right_ports, int data_width,
+                       const SwitchCostParams& params = {});
+
+/// ceil(log2(x)) for x >= 1 (0 for x == 1 handled as 0? No: returns the
+/// number of bits needed to represent values in [0, x-1]; 1 port still
+/// needs 1 select bit once the disconnected state is included upstream).
+int ceil_log2(std::int64_t x);
+
+}  // namespace mpct::cost

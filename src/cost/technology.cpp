@@ -1,0 +1,35 @@
+#include "cost/technology.hpp"
+
+#include <stdexcept>
+
+namespace mpct::cost {
+
+namespace {
+
+TechnologyNode make_node(std::string name, double feature_nm) {
+  // Quadratic density scaling anchored at 90 nm = 2.5 um^2 per gate
+  // equivalent (a common standard-cell planning number).
+  constexpr double kAnchorNm = 90.0;
+  constexpr double kAnchorUm2PerGe = 2.5;
+  const double ratio = feature_nm / kAnchorNm;
+  return TechnologyNode{std::move(name), feature_nm,
+                        kAnchorUm2PerGe * ratio * ratio};
+}
+
+}  // namespace
+
+TechnologyNode technology_node(std::string_view name) {
+  if (name == "180nm") return make_node("180nm", 180);
+  if (name == "130nm") return make_node("130nm", 130);
+  if (name == "90nm") return make_node("90nm", 90);
+  if (name == "65nm") return make_node("65nm", 65);
+  if (name == "45nm") return make_node("45nm", 45);
+  if (name == "32nm") return make_node("32nm", 32);
+  if (name == "22nm") return make_node("22nm", 22);
+  throw std::invalid_argument("unknown technology node: " +
+                              std::string(name));
+}
+
+TechnologyNode default_node() { return technology_node("90nm"); }
+
+}  // namespace mpct::cost

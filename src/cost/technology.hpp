@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mpct::cost {
+
+/// A CMOS technology node used to scale the component library's area
+/// figures.  The library's baseline numbers are expressed in kilo
+/// gate-equivalents (kGE), which are node-independent; converting to
+/// silicon area multiplies by the node's gate density.
+struct TechnologyNode {
+  std::string name;        ///< e.g. "90nm"
+  double feature_nm = 90;  ///< drawn feature size in nanometres
+  /// Area of one 2-input NAND gate equivalent in square micrometres.
+  /// Classic scaling: proportional to the square of the feature size.
+  double um2_per_ge = 0;
+
+  /// Convert a kGE figure to mm^2 at this node.
+  double kge_to_mm2(double kge) const {
+    return kge * 1000.0 * um2_per_ge * 1e-6;
+  }
+};
+
+/// Standard nodes with gate densities following ideal quadratic scaling
+/// from a 90 nm anchor of 2.5 um^2/GE (typical standard-cell figure).
+TechnologyNode technology_node(std::string_view name);
+
+/// The 90 nm default used throughout the benches.
+TechnologyNode default_node();
+
+}  // namespace mpct::cost

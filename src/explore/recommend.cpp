@@ -1,0 +1,89 @@
+#include "explore/recommend.hpp"
+
+#include <algorithm>
+
+#include "core/flexibility.hpp"
+#include "core/taxonomy_table.hpp"
+
+namespace mpct::explore {
+
+namespace {
+
+bool satisfies(const MachineClass& mc, const TaxonomicName& name,
+               const Requirements& req, std::string& rationale) {
+  const bool universal = name.machine_type == MachineType::UniversalFlow;
+  if (req.paradigm && !universal && name.machine_type != *req.paradigm) {
+    return false;
+  }
+  if (flexibility_score(mc) < req.min_flexibility) return false;
+
+  if (req.needs_independent_programs && !universal) {
+    // Only classes with many IPs hold n programs (Section III-B's IAP vs
+    // IMP argument).
+    if (mc.ips != Multiplicity::Many) return false;
+  }
+  if (req.needs_pe_exchange && !universal) {
+    if (mc.switch_at(ConnectivityRole::DpDp) != SwitchKind::Crossbar) {
+      return false;
+    }
+  }
+  if (req.needs_shared_memory && !universal) {
+    if (mc.switch_at(ConnectivityRole::DpDm) != SwitchKind::Crossbar) {
+      return false;
+    }
+  }
+
+  rationale = "flexibility " + std::to_string(flexibility_score(mc));
+  if (universal) {
+    rationale += ", universal fabric (implements any requirement)";
+  } else {
+    if (req.needs_independent_programs) rationale += ", n IPs";
+    if (req.needs_pe_exchange) rationale += ", DP-DP crossbar";
+    if (req.needs_shared_memory) rationale += ", DP-DM crossbar";
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Recommendation> recommend(const Requirements& requirements,
+                                      const cost::ComponentLibrary& lib) {
+  cost::EstimateOptions options;
+  options.n = requirements.n;
+  options.m = requirements.n;
+  options.v = requirements.lut_budget;
+
+  std::vector<Recommendation> out;
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (!row.name) continue;
+    std::string rationale;
+    if (!satisfies(row.machine, *row.name, requirements, rationale)) {
+      continue;
+    }
+    Recommendation rec;
+    rec.name = *row.name;
+    rec.flexibility = flexibility_score(row.machine);
+    rec.area_kge = cost::estimate_area(row.machine, lib, options).total_kge();
+    rec.config_bits =
+        cost::estimate_config_bits(row.machine, lib, options).total();
+    rec.rationale = std::move(rationale);
+    out.push_back(std::move(rec));
+  }
+
+  const bool by_bits =
+      requirements.objective == Requirements::Objective::MinConfigBits;
+  std::sort(out.begin(), out.end(),
+            [&](const Recommendation& a, const Recommendation& b) {
+              if (by_bits && a.config_bits != b.config_bits) {
+                return a.config_bits < b.config_bits;
+              }
+              if (a.area_kge != b.area_kge) return a.area_kge < b.area_kge;
+              if (a.config_bits != b.config_bits) {
+                return a.config_bits < b.config_bits;
+              }
+              return to_string(a.name) < to_string(b.name);
+            });
+  return out;
+}
+
+}  // namespace mpct::explore

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/naming.hpp"
+#include "cost/area_model.hpp"
+#include "cost/config_bits.hpp"
+
+namespace mpct::explore {
+
+/// What a designer asks of the taxonomy (the paper's conclusion: "a
+/// designer can decide which computer class offers the required
+/// flexibility with minimum configuration overhead").
+struct Requirements {
+  int min_flexibility = 0;
+  /// Restrict to one flow paradigm; nullopt admits every paradigm.
+  /// Universal flow always qualifies (its score compares against both,
+  /// Section III-B).
+  std::optional<MachineType> paradigm;
+  /// Require the ability to run n independent programs (forces >= Multi).
+  bool needs_independent_programs = false;
+  /// Require lane/PE-level data exchange (forces a DP-DP switch).
+  bool needs_pe_exchange = false;
+  /// Require shared/global memory (forces a DP-DM crossbar).
+  bool needs_shared_memory = false;
+  /// Component-count design point for the cost estimates.
+  std::int64_t n = 16;
+  std::int64_t lut_budget = 1024;
+
+  enum class Objective { MinConfigBits, MinArea };
+  Objective objective = Objective::MinConfigBits;
+};
+
+/// One ranked recommendation.
+struct Recommendation {
+  TaxonomicName name;
+  int flexibility = 0;
+  double area_kge = 0;
+  std::int64_t config_bits = 0;
+  /// Why this class satisfies the requirements (one line).
+  std::string rationale;
+};
+
+/// Rank every implementable taxonomy class against @p requirements,
+/// cheapest objective first.  Empty when nothing qualifies (impossible:
+/// USP satisfies everything, so only a min_flexibility above 8 empties
+/// the result).
+std::vector<Recommendation> recommend(
+    const Requirements& requirements,
+    const cost::ComponentLibrary& lib =
+        cost::ComponentLibrary::default_library());
+
+}  // namespace mpct::explore

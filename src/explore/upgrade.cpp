@@ -1,0 +1,80 @@
+#include "explore/upgrade.hpp"
+
+namespace mpct::explore {
+
+namespace {
+
+int rank(SwitchKind k) { return static_cast<int>(k); }
+int rank(Multiplicity m) { return static_cast<int>(m); }
+
+std::string switch_step(ConnectivityRole role, SwitchKind from,
+                        SwitchKind to) {
+  return "upgrade " + std::string(to_string(role)) + ": " +
+         std::string(to_string(from)) + " -> " +
+         std::string(to_string(to));
+}
+
+}  // namespace
+
+std::optional<UpgradePlan> upgrade_path(const MachineClass& from,
+                                        const TaxonomicName& to) {
+  const std::optional<MachineClass> target = canonical_class(to);
+  if (!target) return std::nullopt;
+
+  // Already in the target class: nothing to do.
+  const Classification current = classify(from);
+  if (current.ok() && *current.name == to) {
+    return UpgradePlan{{}, from};
+  }
+
+  // Universal flow needs finer-grained silicon, not more of it; and a
+  // LUT fabric is already beyond every coarse class.
+  if (target->granularity == Granularity::Lut ||
+      from.granularity == Granularity::Lut) {
+    return std::nullopt;
+  }
+  // The data-flow / instruction-flow divide cannot be crossed by adding
+  // hardware: the paradigms do not substitute (Section III-B).
+  if ((from.ips == Multiplicity::Zero) !=
+      (target->ips == Multiplicity::Zero)) {
+    return std::nullopt;
+  }
+
+  UpgradePlan plan;
+  plan.upgraded = from;
+
+  const auto grow = [&](Multiplicity have, Multiplicity want,
+                        const char* what) -> bool {
+    if (rank(want) < rank(have)) return false;  // additive only
+    if (rank(want) > rank(have)) {
+      plan.steps.push_back(
+          {UpgradeStep::Kind::AddProcessors,
+           std::string("grow ") + what + ": " +
+               std::string(to_symbol(have)) + " -> " +
+               std::string(to_symbol(want))});
+    }
+    return true;
+  };
+  if (!grow(from.ips, target->ips, "IPs")) return std::nullopt;
+  if (!grow(from.dps, target->dps, "DPs")) return std::nullopt;
+  plan.upgraded.ips = target->ips;
+  plan.upgraded.dps = target->dps;
+
+  for (ConnectivityRole role : kAllConnectivityRoles) {
+    const SwitchKind have = from.switch_at(role);
+    const SwitchKind want = target->switch_at(role);
+    if (rank(want) < rank(have)) return std::nullopt;  // would remove
+    if (rank(want) > rank(have)) {
+      plan.steps.push_back(
+          {UpgradeStep::Kind::UpgradeSwitch, switch_step(role, have, want)});
+    }
+    plan.upgraded.set_switch(role, want);
+  }
+
+  // Sanity: the upgraded structure really lands in the target class.
+  const Classification result = classify(plan.upgraded);
+  if (!result.ok() || *result.name != to) return std::nullopt;
+  return plan;
+}
+
+}  // namespace mpct::explore

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/machine_class.hpp"
+#include "core/naming.hpp"
+
+namespace mpct::explore {
+
+/// One structural change on the way from an existing machine to a target
+/// class — the designer-facing form of the taxonomy's predictive power
+/// (Section III: "a designer can decide which computer class offers the
+/// required flexibility").
+struct UpgradeStep {
+  enum class Kind : std::uint8_t {
+    AddProcessors,   ///< raise a multiplicity (1 -> n)
+    UpgradeSwitch,   ///< '-'/none -> 'x' (or none -> '-')
+  };
+  Kind kind = Kind::UpgradeSwitch;
+  std::string description;  ///< e.g. "upgrade DP-DP: none -> crossbar"
+};
+
+/// Result of planning an upgrade.
+struct UpgradePlan {
+  std::vector<UpgradeStep> steps;  ///< empty when already in the class
+  MachineClass upgraded;           ///< the machine after the steps
+};
+
+/// Plan the structural additions that take @p from into class @p to.
+/// Only *additive* changes are considered — more processors, richer
+/// switches — since removing hardware never raises flexibility.  Returns
+/// std::nullopt when the target is unreachable additively:
+///  * crossing the data-flow / instruction-flow divide (an IP cannot be
+///    retrofitted into a paradigm that forbids it, nor removed);
+///  * reaching the universal class (coarse blocks cannot become LUTs);
+///  * any target whose multiplicities are *below* the current ones.
+std::optional<UpgradePlan> upgrade_path(const MachineClass& from,
+                                        const TaxonomicName& to);
+
+}  // namespace mpct::explore

@@ -1,0 +1,202 @@
+#include "interconnect/benes.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+
+
+namespace mpct::interconnect {
+
+namespace {
+
+bool is_power_of_two(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+BenesNetwork::BenesNetwork(int ports) : ports_(ports), stages_(0) {
+  if (!is_power_of_two(ports) || ports < 2) {
+    throw std::invalid_argument(
+        "BenesNetwork needs a power-of-two port count >= 2");
+  }
+  int log2 = 0;
+  for (int p = 1; p < ports; p <<= 1) ++log2;
+  stages_ = 2 * log2 - 1;
+  settings_.assign(static_cast<std::size_t>(stages_),
+                   std::vector<bool>(static_cast<std::size_t>(ports / 2),
+                                     false));
+}
+
+std::string BenesNetwork::name() const {
+  return "benes " + std::to_string(ports_) + " ports, " +
+         std::to_string(stages_) + " stages";
+}
+
+std::int64_t BenesNetwork::config_bits() const {
+  return static_cast<std::int64_t>(stages_) * (ports_ / 2);
+}
+
+void BenesNetwork::route_permutation(const std::vector<int>& perm) {
+  if (static_cast<int>(perm.size()) != ports_) {
+    throw std::invalid_argument("benes: permutation size mismatch");
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(ports_), false);
+  for (int in : perm) {
+    if (in < 0 || in >= ports_ || seen[static_cast<std::size_t>(in)]) {
+      throw std::invalid_argument("benes: not a permutation");
+    }
+    seen[static_cast<std::size_t>(in)] = true;
+  }
+  for (auto& stage : settings_) {
+    stage.assign(stage.size(), false);
+  }
+  route_recursive(0, stages_ - 1, 0, ports_, perm);
+}
+
+void BenesNetwork::route_recursive(int first_stage, int last_stage,
+                                   int offset, int size,
+                                   const std::vector<int>& perm) {
+  if (size == 2) {
+    settings_[static_cast<std::size_t>(first_stage)]
+             [static_cast<std::size_t>(offset / 2)] = perm[0] != 0;
+    return;
+  }
+  const int half = size / 2;
+
+  // Looping algorithm: assign every output (and thus its input) to the
+  // upper (0) or lower (1) half such that switch-sharing pairs split.
+  std::vector<int> out_side(static_cast<std::size_t>(size), -1);
+  std::vector<int> in_side(static_cast<std::size_t>(size), -1);
+  std::vector<int> out_of_input(static_cast<std::size_t>(size), 0);
+  for (int o = 0; o < size; ++o) {
+    out_of_input[static_cast<std::size_t>(perm[static_cast<std::size_t>(
+        o)])] = o;
+  }
+  for (int start = 0; start < size; ++start) {
+    if (out_side[static_cast<std::size_t>(start)] != -1) continue;
+    int o = start;
+    int side = 0;
+    while (out_side[static_cast<std::size_t>(o)] == -1) {
+      out_side[static_cast<std::size_t>(o)] = side;
+      const int in = perm[static_cast<std::size_t>(o)];
+      in_side[static_cast<std::size_t>(in)] = side;
+      // The input sharing in's switch must take the other half...
+      const int partner_in = in ^ 1;
+      const int o2 = out_of_input[static_cast<std::size_t>(partner_in)];
+      if (out_side[static_cast<std::size_t>(o2)] != -1) break;
+      out_side[static_cast<std::size_t>(o2)] = 1 - side;
+      in_side[static_cast<std::size_t>(partner_in)] = 1 - side;
+      // ...and the output sharing o2's switch must take side again.
+      o = o2 ^ 1;
+      // side stays the same for the next link of the chain.
+    }
+  }
+
+  // Input-stage switches: input 2i exits towards the upper half on
+  // 'through'; cross when its assigned side is the lower half.
+  for (int i = 0; i < half; ++i) {
+    settings_[static_cast<std::size_t>(first_stage)]
+             [static_cast<std::size_t>(offset / 2 + i)] =
+                 in_side[static_cast<std::size_t>(2 * i)] == 1;
+  }
+  // Output-stage switches: output 2j receives from the upper half on
+  // 'through'; cross when it was assigned the lower half.
+  for (int j = 0; j < half; ++j) {
+    settings_[static_cast<std::size_t>(last_stage)]
+             [static_cast<std::size_t>(offset / 2 + j)] =
+                 out_side[static_cast<std::size_t>(2 * j)] == 1;
+  }
+
+  // Sub-permutations: upper-sub output j carries whichever member of
+  // output pair j was assigned upper; its input entered the upper sub
+  // at position (input / 2).  Likewise for the lower sub.
+  std::vector<int> upper(static_cast<std::size_t>(half));
+  std::vector<int> lower(static_cast<std::size_t>(half));
+  for (int j = 0; j < half; ++j) {
+    const int o_up =
+        out_side[static_cast<std::size_t>(2 * j)] == 0 ? 2 * j : 2 * j + 1;
+    const int o_lo = o_up ^ 1;
+    upper[static_cast<std::size_t>(j)] =
+        perm[static_cast<std::size_t>(o_up)] / 2;
+    lower[static_cast<std::size_t>(j)] =
+        perm[static_cast<std::size_t>(o_lo)] / 2;
+  }
+  route_recursive(first_stage + 1, last_stage - 1, offset, half, upper);
+  route_recursive(first_stage + 1, last_stage - 1, offset + half, half,
+                  lower);
+}
+
+namespace {
+
+/// Shared stage walker used by propagate and source_of: runs the
+/// recursive wiring with an arbitrary value type.
+template <typename T>
+void propagate_block(const std::vector<std::vector<bool>>& settings,
+                     int first_stage, int last_stage, int offset, int size,
+                     std::vector<T>& values) {
+  if (size == 2) {
+    if (settings[static_cast<std::size_t>(first_stage)]
+                [static_cast<std::size_t>(offset / 2)]) {
+      std::swap(values[static_cast<std::size_t>(offset)],
+                values[static_cast<std::size_t>(offset + 1)]);
+    }
+    return;
+  }
+  const int half = size / 2;
+  std::vector<T> tmp(static_cast<std::size_t>(size));
+  for (int j = 0; j < half; ++j) {
+    T a = values[static_cast<std::size_t>(offset + 2 * j)];
+    T b = values[static_cast<std::size_t>(offset + 2 * j + 1)];
+    if (settings[static_cast<std::size_t>(first_stage)]
+                [static_cast<std::size_t>(offset / 2 + j)]) {
+      std::swap(a, b);
+    }
+    tmp[static_cast<std::size_t>(j)] = a;
+    tmp[static_cast<std::size_t>(half + j)] = b;
+  }
+  for (int j = 0; j < size; ++j) {
+    values[static_cast<std::size_t>(offset + j)] =
+        tmp[static_cast<std::size_t>(j)];
+  }
+  propagate_block(settings, first_stage + 1, last_stage - 1, offset, half,
+                  values);
+  propagate_block(settings, first_stage + 1, last_stage - 1, offset + half,
+                  half, values);
+  for (int j = 0; j < half; ++j) {
+    T a = values[static_cast<std::size_t>(offset + j)];
+    T b = values[static_cast<std::size_t>(offset + half + j)];
+    if (settings[static_cast<std::size_t>(last_stage)]
+                [static_cast<std::size_t>(offset / 2 + j)]) {
+      std::swap(a, b);
+    }
+    tmp[static_cast<std::size_t>(2 * j)] = a;
+    tmp[static_cast<std::size_t>(2 * j + 1)] = b;
+  }
+  for (int j = 0; j < size; ++j) {
+    values[static_cast<std::size_t>(offset + j)] =
+        tmp[static_cast<std::size_t>(j)];
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> BenesNetwork::propagate(
+    const std::vector<std::uint64_t>& inputs) const {
+  if (static_cast<int>(inputs.size()) != ports_) {
+    throw std::invalid_argument("benes: input size mismatch");
+  }
+  std::vector<std::uint64_t> values = inputs;
+  propagate_block(settings_, 0, stages_ - 1, 0, ports_, values);
+  return values;
+}
+
+int BenesNetwork::source_of(int output) const {
+  if (output < 0 || output >= ports_) {
+    throw std::invalid_argument("benes: output out of range");
+  }
+  std::vector<int> values(static_cast<std::size_t>(ports_));
+  std::iota(values.begin(), values.end(), 0);
+  propagate_block(settings_, 0, stages_ - 1, 0, ports_, values);
+  return values[static_cast<std::size_t>(output)];
+}
+
+}  // namespace mpct::interconnect

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpct::interconnect {
+
+/// Beneš rearrangeable network: two back-to-back butterfly halves,
+/// 2*log2(N) - 1 stages of N/2 two-by-two switches.  Unlike the Omega
+/// network it can realise *every* permutation (computed globally with
+/// the classic looping algorithm), at roughly twice the switch cost —
+/// the missing point on the taxonomy's flexibility/overhead curve
+/// between Omega and the full crossbar:
+///
+///   window  <  bus  <  omega  <  benes  <  crossbar
+///   (reach)    (concurrency) (blocking) (rearrangeable) (strict-sense)
+class BenesNetwork {
+ public:
+  /// @param ports power of two >= 2.
+  explicit BenesNetwork(int ports);
+
+  int port_count() const { return ports_; }
+  int stage_count() const { return stages_; }
+  std::string name() const;
+
+  /// Program the network to realise @p perm (output i driven by input
+  /// perm[i]); @p perm must be a permutation of 0..N-1.  Always
+  /// succeeds (rearrangeability); throws SimError on a malformed
+  /// permutation.
+  void route_permutation(const std::vector<int>& perm);
+
+  /// The input currently feeding @p output under the programmed
+  /// configuration (identity before any routing).
+  int source_of(int output) const;
+
+  /// Push values through the configured switch stages (validates the
+  /// routing really is a physical switch setting, not bookkeeping).
+  std::vector<std::uint64_t> propagate(
+      const std::vector<std::uint64_t>& inputs) const;
+
+  /// Configuration state: one through/cross bit per 2x2 switch:
+  /// (2*log2(N) - 1) * N/2.
+  std::int64_t config_bits() const;
+
+  /// Latency of any route: the stage count.
+  int latency() const { return stages_; }
+
+ private:
+  int ports_;
+  int stages_;
+  /// settings_[stage][switch]: false = through, true = cross.
+  std::vector<std::vector<bool>> settings_;
+
+  /// Recursively set switches for the sub-network spanning
+  /// [first_stage, last_stage] over the port subset described by
+  /// (offset, size) using the looping algorithm.
+  void route_recursive(int first_stage, int last_stage, int offset,
+                       int size, const std::vector<int>& perm);
+};
+
+}  // namespace mpct::interconnect

@@ -1,0 +1,98 @@
+#include "interconnect/bus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cost/switch_cost.hpp"
+
+namespace mpct::interconnect {
+
+BusNetwork::BusNetwork(int inputs, int outputs, int bus_count)
+    : inputs_(inputs),
+      outputs_(outputs),
+      bus_driver_(static_cast<std::size_t>(bus_count), -1),
+      output_bus_(static_cast<std::size_t>(outputs), -1) {
+  if (inputs < 1 || outputs < 1 || bus_count < 1) {
+    throw std::invalid_argument("BusNetwork needs >=1 input/output/bus");
+  }
+}
+
+std::string BusNetwork::name() const {
+  return "bus " + std::to_string(inputs_) + "x" + std::to_string(outputs_) +
+         " over " + std::to_string(bus_count()) + " buses";
+}
+
+bool BusNetwork::connect(PortId input, PortId output) {
+  if (!valid_ports(input, output)) return false;
+  // Reuse the bus this input already drives, if any.
+  int bus = -1;
+  for (std::size_t b = 0; b < bus_driver_.size(); ++b) {
+    if (bus_driver_[b] == input) {
+      bus = static_cast<int>(b);
+      break;
+    }
+  }
+  if (bus < 0) {
+    for (std::size_t b = 0; b < bus_driver_.size(); ++b) {
+      if (bus_driver_[b] < 0) {
+        bus = static_cast<int>(b);
+        break;
+      }
+    }
+  }
+  if (bus < 0) return false;  // all buses busy with other drivers
+
+  const int previous = output_bus_[static_cast<std::size_t>(output)];
+  bus_driver_[static_cast<std::size_t>(bus)] = input;
+  output_bus_[static_cast<std::size_t>(output)] = bus;
+  if (previous >= 0 && previous != bus) release_unused_buses();
+  return true;
+}
+
+void BusNetwork::disconnect(PortId output) {
+  if (output < 0 || output >= outputs_) return;
+  output_bus_[static_cast<std::size_t>(output)] = -1;
+  release_unused_buses();
+}
+
+void BusNetwork::release_unused_buses() {
+  for (std::size_t b = 0; b < bus_driver_.size(); ++b) {
+    if (bus_driver_[b] < 0) continue;
+    const bool listened = std::any_of(
+        output_bus_.begin(), output_bus_.end(),
+        [&](int bus) { return bus == static_cast<int>(b); });
+    if (!listened) bus_driver_[b] = -1;
+  }
+}
+
+std::optional<PortId> BusNetwork::source_of(PortId output) const {
+  if (output < 0 || output >= outputs_) return std::nullopt;
+  const int bus = output_bus_[static_cast<std::size_t>(output)];
+  if (bus < 0) return std::nullopt;
+  const PortId driver = bus_driver_[static_cast<std::size_t>(bus)];
+  if (driver < 0) return std::nullopt;
+  return driver;
+}
+
+bool BusNetwork::reachable(PortId input, PortId output) const {
+  return valid_ports(input, output);
+}
+
+std::int64_t BusNetwork::config_bits() const {
+  const int driver_bits = cost::ceil_log2(inputs_ + 1);
+  const int listen_bits = cost::ceil_log2(bus_count() + 1);
+  return static_cast<std::int64_t>(bus_count()) * driver_bits +
+         static_cast<std::int64_t>(outputs_) * listen_bits;
+}
+
+int BusNetwork::route_latency(PortId output) const {
+  return source_of(output) ? 1 : 0;
+}
+
+int BusNetwork::buses_in_use() const {
+  return static_cast<int>(
+      std::count_if(bus_driver_.begin(), bus_driver_.end(),
+                    [](PortId driver) { return driver >= 0; }));
+}
+
+}  // namespace mpct::interconnect

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "interconnect/network.hpp"
+
+namespace mpct::interconnect {
+
+/// A set of shared buses (RaPiD-style segmented-bus fabric collapsed to
+/// its essential constraint): each bus is driven by at most one input at
+/// a time, and each output listens to at most one bus.  With fewer buses
+/// than inputs the fabric *blocks*: the (k+1)-th distinct source cannot
+/// be routed — the structural reason the paper calls RaPiD's buses "not
+/// scalable".
+///
+/// Configuration state: per bus a driver select of ceil(log2(inputs+1))
+/// bits, plus per output a bus select of ceil(log2(buses+1)) bits.
+class BusNetwork final : public Network {
+ public:
+  BusNetwork(int inputs, int outputs, int bus_count);
+
+  int input_count() const override { return inputs_; }
+  int output_count() const override { return outputs_; }
+  int bus_count() const { return static_cast<int>(bus_driver_.size()); }
+  std::string name() const override;
+
+  /// Routes over an existing bus when the input already drives one;
+  /// otherwise claims a free bus.  Fails when every bus is driven by
+  /// other inputs.
+  bool connect(PortId input, PortId output) override;
+  void disconnect(PortId output) override;
+  std::optional<PortId> source_of(PortId output) const override;
+  bool reachable(PortId input, PortId output) const override;
+  std::int64_t config_bits() const override;
+  int route_latency(PortId output) const override;
+
+  /// Number of buses currently carrying a driver.
+  int buses_in_use() const;
+
+ private:
+  void release_unused_buses();
+
+  int inputs_;
+  int outputs_;
+  std::vector<PortId> bus_driver_;   ///< per bus: driving input or -1
+  std::vector<int> output_bus_;      ///< per output: bus listened to or -1
+};
+
+}  // namespace mpct::interconnect

@@ -1,0 +1,89 @@
+#include "interconnect/crossbar.hpp"
+
+#include <stdexcept>
+
+#include "cost/switch_cost.hpp"
+
+namespace mpct::interconnect {
+
+Crossbar::Crossbar(int inputs, int outputs)
+    : inputs_(inputs),
+      outputs_(outputs),
+      select_(static_cast<std::size_t>(outputs), -1) {
+  if (inputs < 1 || outputs < 1) {
+    throw std::invalid_argument("Crossbar needs at least 1x1 ports");
+  }
+}
+
+std::string Crossbar::name() const {
+  return "crossbar " + std::to_string(inputs_) + "x" +
+         std::to_string(outputs_);
+}
+
+bool Crossbar::connect(PortId input, PortId output) {
+  if (!valid_ports(input, output)) return false;
+  select_[static_cast<std::size_t>(output)] = input;
+  return true;
+}
+
+void Crossbar::disconnect(PortId output) {
+  if (output < 0 || output >= outputs_) return;
+  select_[static_cast<std::size_t>(output)] = -1;
+}
+
+std::optional<PortId> Crossbar::source_of(PortId output) const {
+  if (output < 0 || output >= outputs_) return std::nullopt;
+  const PortId src = select_[static_cast<std::size_t>(output)];
+  if (src < 0) return std::nullopt;
+  return src;
+}
+
+bool Crossbar::reachable(PortId input, PortId output) const {
+  return valid_ports(input, output);
+}
+
+int Crossbar::select_bits() const { return cost::ceil_log2(inputs_ + 1); }
+
+std::int64_t Crossbar::config_bits() const {
+  return static_cast<std::int64_t>(outputs_) * select_bits();
+}
+
+int Crossbar::route_latency(PortId output) const {
+  return source_of(output) ? 1 : 0;
+}
+
+std::vector<bool> Crossbar::bitstream() const {
+  const int width = select_bits();
+  std::vector<bool> bits;
+  bits.reserve(static_cast<std::size_t>(config_bits()));
+  for (PortId out = 0; out < outputs_; ++out) {
+    // Encode "disconnected" as 0 and input i as i+1, LSB first.
+    const PortId src = select_[static_cast<std::size_t>(out)];
+    const unsigned code = src < 0 ? 0u : static_cast<unsigned>(src) + 1u;
+    for (int b = 0; b < width; ++b) {
+      bits.push_back((code >> b) & 1u);
+    }
+  }
+  return bits;
+}
+
+bool Crossbar::load_bitstream(const std::vector<bool>& bits) {
+  const int width = select_bits();
+  if (bits.size() != static_cast<std::size_t>(config_bits())) return false;
+  std::vector<PortId> decoded(static_cast<std::size_t>(outputs_), -1);
+  for (PortId out = 0; out < outputs_; ++out) {
+    unsigned code = 0;
+    for (int b = 0; b < width; ++b) {
+      if (bits[static_cast<std::size_t>(out * width + b)]) {
+        code |= 1u << b;
+      }
+    }
+    if (code > static_cast<unsigned>(inputs_)) return false;
+    decoded[static_cast<std::size_t>(out)] =
+        code == 0 ? -1 : static_cast<PortId>(code - 1);
+  }
+  select_ = std::move(decoded);
+  return true;
+}
+
+}  // namespace mpct::interconnect

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "interconnect/network.hpp"
+
+namespace mpct::interconnect {
+
+/// Full (possibly rectangular) crossbar: every output carries an
+/// inputs:1 multiplexer, so any input reaches any output and distinct
+/// outputs never conflict — the 'x' switch of the taxonomy in executable
+/// form.
+///
+/// Configuration state: one select field per output wide enough to
+/// address any input plus the disconnected state, i.e.
+/// outputs * ceil(log2(inputs + 1)) bits — exactly the Eq. 2 crossbar
+/// term, which the tests assert against cost::switch_cost.
+class Crossbar final : public Network {
+ public:
+  Crossbar(int inputs, int outputs);
+
+  int input_count() const override { return inputs_; }
+  int output_count() const override { return outputs_; }
+  std::string name() const override;
+
+  bool connect(PortId input, PortId output) override;
+  void disconnect(PortId output) override;
+  std::optional<PortId> source_of(PortId output) const override;
+  bool reachable(PortId input, PortId output) const override;
+  std::int64_t config_bits() const override;
+  int route_latency(PortId output) const override;
+
+  /// Serialise the select fields into a bitstream (LSB-first per output),
+  /// the "configuration bits" a real device would shift in.  Length
+  /// equals config_bits().
+  std::vector<bool> bitstream() const;
+
+  /// Program the crossbar from a bitstream produced by bitstream().
+  /// Returns false (leaving the configuration untouched) if the length is
+  /// wrong or any select field decodes to an invalid input.
+  bool load_bitstream(const std::vector<bool>& bits);
+
+ private:
+  int select_bits() const;
+
+  int inputs_;
+  int outputs_;
+  /// Per-output source; -1 = disconnected.
+  std::vector<PortId> select_;
+};
+
+}  // namespace mpct::interconnect

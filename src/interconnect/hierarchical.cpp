@@ -1,0 +1,103 @@
+#include "interconnect/hierarchical.hpp"
+
+#include <stdexcept>
+
+#include "cost/switch_cost.hpp"
+
+namespace mpct::interconnect {
+
+HierarchicalNetwork::HierarchicalNetwork(int elements, int cluster_size,
+                                         int global_links)
+    : elements_(elements),
+      cluster_size_(cluster_size),
+      cluster_count_(cluster_size > 0
+                         ? (elements + cluster_size - 1) / cluster_size
+                         : 0),
+      global_links_(global_links),
+      routes_(static_cast<std::size_t>(elements)) {
+  if (elements < 1 || cluster_size < 1 || global_links < 0) {
+    throw std::invalid_argument("HierarchicalNetwork: bad shape");
+  }
+}
+
+std::string HierarchicalNetwork::name() const {
+  return "hierarchical " + std::to_string(elements_) + " elements, clusters "
+         "of " + std::to_string(cluster_size_) + ", " +
+         std::to_string(global_links_) + " global links/cluster";
+}
+
+int HierarchicalNetwork::global_links_in_use(int cluster) const {
+  int used = 0;
+  for (PortId out = 0; out < elements_; ++out) {
+    const Route& route = routes_[static_cast<std::size_t>(out)];
+    if (route.input < 0 || !route.global) continue;
+    // A global route consumes one up-link in the source cluster and one
+    // down-link in the destination cluster.
+    if (cluster_of(route.input) == cluster || cluster_of(out) == cluster) {
+      ++used;
+    }
+  }
+  return used;
+}
+
+bool HierarchicalNetwork::reachable(PortId input, PortId output) const {
+  return valid_ports(input, output);
+}
+
+bool HierarchicalNetwork::connect(PortId input, PortId output) {
+  if (!valid_ports(input, output)) return false;
+  const bool global = cluster_of(input) != cluster_of(output);
+  if (global) {
+    // Account for the link this connect would add; the route being
+    // replaced (if any) is torn down first.
+    Route& slot = routes_[static_cast<std::size_t>(output)];
+    const Route saved = slot;
+    slot = Route{};  // temporarily free the output
+    const bool fits =
+        global_links_in_use(cluster_of(input)) < global_links_ &&
+        global_links_in_use(cluster_of(output)) < global_links_;
+    if (!fits) {
+      slot = saved;
+      return false;
+    }
+  }
+  routes_[static_cast<std::size_t>(output)] = Route{input, global};
+  return true;
+}
+
+void HierarchicalNetwork::disconnect(PortId output) {
+  if (output < 0 || output >= elements_) return;
+  routes_[static_cast<std::size_t>(output)] = Route{};
+}
+
+std::optional<PortId> HierarchicalNetwork::source_of(PortId output) const {
+  if (output < 0 || output >= elements_) return std::nullopt;
+  const Route& route = routes_[static_cast<std::size_t>(output)];
+  if (route.input < 0) return std::nullopt;
+  return route.input;
+}
+
+std::int64_t HierarchicalNetwork::config_bits() const {
+  // Each cluster's local crossbar: (cluster elements + global down-links)
+  // sources feeding (cluster elements + global up-links) sinks; plus the
+  // global crossbar over cluster up-links -> down-links.
+  const int local_ins = cluster_size_ + global_links_;
+  const int local_outs = cluster_size_ + global_links_;
+  const std::int64_t local = static_cast<std::int64_t>(local_outs) *
+                             cost::ceil_log2(local_ins + 1);
+  const int global_ports = cluster_count_ * global_links_;
+  const std::int64_t global =
+      global_ports > 0 ? static_cast<std::int64_t>(global_ports) *
+                             cost::ceil_log2(global_ports + 1)
+                       : 0;
+  return local * cluster_count_ + global;
+}
+
+int HierarchicalNetwork::route_latency(PortId output) const {
+  if (output < 0 || output >= elements_) return 0;
+  const Route& route = routes_[static_cast<std::size_t>(output)];
+  if (route.input < 0) return 0;
+  return route.global ? 3 : 1;
+}
+
+}  // namespace mpct::interconnect

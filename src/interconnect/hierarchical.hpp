@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+
+#include "interconnect/crossbar.hpp"
+#include "interconnect/network.hpp"
+
+namespace mpct::interconnect {
+
+/// Two-level hierarchical network (PADDI-2 style): elements are grouped
+/// into clusters; each cluster has a local crossbar, and clusters talk
+/// through a global crossbar with a limited number of up/down links per
+/// cluster.  Local routes cost 1 cycle; global routes 3 (local up,
+/// global, local down).
+///
+/// With cluster-local traffic this matches a flat crossbar at a fraction
+/// of its area/configuration; with all-to-all traffic the limited global
+/// links block — the classic hierarchy trade-off the benches quantify.
+class HierarchicalNetwork final : public Network {
+ public:
+  /// @param elements    total elements (inputs == outputs == elements)
+  /// @param cluster_size elements per cluster (last cluster may be short)
+  /// @param global_links up/down ports each cluster has on the global
+  ///                     crossbar (bounds the number of concurrent
+  ///                     inter-cluster routes per cluster)
+  HierarchicalNetwork(int elements, int cluster_size, int global_links);
+
+  int input_count() const override { return elements_; }
+  int output_count() const override { return elements_; }
+  std::string name() const override;
+
+  bool connect(PortId input, PortId output) override;
+  void disconnect(PortId output) override;
+  std::optional<PortId> source_of(PortId output) const override;
+  bool reachable(PortId input, PortId output) const override;
+  std::int64_t config_bits() const override;
+  int route_latency(PortId output) const override;
+
+  int cluster_of(PortId element) const { return element / cluster_size_; }
+  int cluster_count() const { return cluster_count_; }
+
+  /// Inter-cluster routes currently using global links out of a cluster.
+  int global_links_in_use(int cluster) const;
+
+ private:
+  struct Route {
+    PortId input = -1;
+    bool global = false;
+  };
+
+  int elements_;
+  int cluster_size_;
+  int cluster_count_;
+  int global_links_;
+  std::vector<Route> routes_;  ///< per output
+};
+
+}  // namespace mpct::interconnect

@@ -1,0 +1,131 @@
+#include "interconnect/mesh_noc.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+
+namespace mpct::interconnect {
+
+MeshNoc::MeshNoc(int width, int height, int link_capacity)
+    : width_(width), height_(height), link_capacity_(link_capacity) {
+  if (width < 1 || height < 1 || link_capacity < 1) {
+    throw std::invalid_argument("MeshNoc: bad shape");
+  }
+}
+
+std::string MeshNoc::name() const {
+  return "mesh " + std::to_string(width_) + "x" + std::to_string(height_) +
+         " XY-routed";
+}
+
+int MeshNoc::hops(int from, int to) const {
+  return std::abs(x_of(from) - x_of(to)) + std::abs(y_of(from) - y_of(to));
+}
+
+int MeshNoc::next_hop(int current, int dst) const {
+  const int cx = x_of(current), cy = y_of(current);
+  const int dx = x_of(dst), dy = y_of(dst);
+  if (cx < dx) return node_id(cx + 1, cy);
+  if (cx > dx) return node_id(cx - 1, cy);
+  if (cy < dy) return node_id(cx, cy + 1);
+  if (cy > dy) return node_id(cx, cy - 1);
+  return current;
+}
+
+MeshNoc::Stats MeshNoc::simulate(std::vector<Packet>& packets,
+                                 std::int64_t max_cycles) const {
+  struct InFlight {
+    std::size_t index;  ///< into packets
+    int position;
+  };
+  // Sort indices by injection time so activation is O(n) overall.
+  std::vector<std::size_t> order(packets.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return packets[a].inject_cycle < packets[b].inject_cycle;
+  });
+
+  std::vector<InFlight> flying;
+  std::size_t next_to_inject = 0;
+  Stats stats;
+  std::int64_t cycle = 0;
+  std::int64_t latency_sum = 0;
+
+  for (Packet& p : packets) p.arrive_cycle = -1;
+
+  while (cycle < max_cycles &&
+         (next_to_inject < order.size() || !flying.empty())) {
+    // Inject everything due this cycle.
+    while (next_to_inject < order.size() &&
+           packets[order[next_to_inject]].inject_cycle <= cycle) {
+      const std::size_t idx = order[next_to_inject++];
+      Packet& p = packets[idx];
+      if (p.src == p.dst) {
+        p.arrive_cycle = cycle;
+        ++stats.delivered;
+        continue;
+      }
+      flying.push_back({idx, p.src});
+    }
+
+    // Plan moves: group by desired directed link, admit up to
+    // link_capacity per link, oldest injection first.
+    std::map<std::pair<int, int>, std::vector<std::size_t>> want;
+    for (std::size_t f = 0; f < flying.size(); ++f) {
+      const int to = next_hop(flying[f].position, packets[flying[f].index].dst);
+      want[{flying[f].position, to}].push_back(f);
+    }
+    std::vector<int> new_position(flying.size(), -1);
+    for (auto& [link, contenders] : want) {
+      std::sort(contenders.begin(), contenders.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const Packet& pa = packets[flying[a].index];
+                  const Packet& pb = packets[flying[b].index];
+                  if (pa.inject_cycle != pb.inject_cycle) {
+                    return pa.inject_cycle < pb.inject_cycle;
+                  }
+                  return flying[a].index < flying[b].index;
+                });
+      for (std::size_t k = 0; k < contenders.size(); ++k) {
+        new_position[contenders[k]] =
+            k < static_cast<std::size_t>(link_capacity_) ? link.second
+                                                         : link.first;
+      }
+    }
+
+    // Commit moves and retire arrivals.
+    std::vector<InFlight> still_flying;
+    still_flying.reserve(flying.size());
+    for (std::size_t f = 0; f < flying.size(); ++f) {
+      InFlight inflight = flying[f];
+      inflight.position = new_position[f];
+      Packet& p = packets[inflight.index];
+      if (inflight.position == p.dst) {
+        p.arrive_cycle = cycle + 1;
+        ++stats.delivered;
+        latency_sum += p.latency();
+        stats.max_latency = std::max(stats.max_latency, p.latency());
+      } else {
+        still_flying.push_back(inflight);
+      }
+    }
+    flying = std::move(still_flying);
+    ++cycle;
+  }
+
+  stats.cycles = cycle;
+  stats.undelivered =
+      static_cast<std::int64_t>(packets.size()) - stats.delivered;
+  if (stats.delivered > 0) {
+    stats.avg_latency =
+        static_cast<double>(latency_sum) / static_cast<double>(stats.delivered);
+  }
+  if (cycle > 0) {
+    stats.throughput = static_cast<double>(stats.delivered) /
+                       static_cast<double>(cycle) / node_count();
+  }
+  return stats;
+}
+
+}  // namespace mpct::interconnect

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpct::interconnect {
+
+/// One packet travelling the mesh.
+struct Packet {
+  int src = 0;               ///< source node id
+  int dst = 0;               ///< destination node id
+  std::int64_t inject_cycle = 0;
+  // Filled by the simulation:
+  std::int64_t arrive_cycle = -1;  ///< -1 until delivered
+
+  bool delivered() const { return arrive_cycle >= 0; }
+  std::int64_t latency() const {
+    return delivered() ? arrive_cycle - inject_cycle : -1;
+  }
+};
+
+/// Cycle-accurate 2-D mesh network-on-chip with dimension-ordered (XY)
+/// routing — the packet-switched substrate of REDEFINE's compute fabric
+/// (Section IV).  Unlike the circuit-switched Network models, a NoC
+/// carries no per-route configuration state: routing is computed from
+/// the packet header, which is why data-flow fabrics like REDEFINE pay
+/// their flexibility in network area rather than configuration bits.
+///
+/// Model: one packet per directed link per cycle (configurable); packets
+/// advance one hop per cycle along X first, then Y; link contention is
+/// resolved oldest-injection-first (deterministic).
+class MeshNoc {
+ public:
+  MeshNoc(int width, int height, int link_capacity = 1);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int node_count() const { return width_ * height_; }
+  std::string name() const;
+
+  int node_id(int x, int y) const { return y * width_ + x; }
+  int x_of(int node) const { return node % width_; }
+  int y_of(int node) const { return node / width_; }
+
+  /// Manhattan hop count between two nodes (the zero-load latency).
+  int hops(int from, int to) const;
+
+  /// Aggregate results of a simulation run.
+  struct Stats {
+    std::int64_t cycles = 0;       ///< cycles simulated
+    std::int64_t delivered = 0;    ///< packets that reached their dst
+    std::int64_t undelivered = 0;  ///< packets still in flight at cutoff
+    double avg_latency = 0;        ///< mean inject->arrive latency
+    std::int64_t max_latency = 0;
+    double throughput = 0;  ///< delivered packets per node per cycle
+  };
+
+  /// Run until every packet is delivered or @p max_cycles elapse.
+  /// Packets are annotated with their arrival cycles in place.
+  Stats simulate(std::vector<Packet>& packets,
+                 std::int64_t max_cycles = 1'000'000) const;
+
+ private:
+  int next_hop(int current, int dst) const;
+
+  int width_;
+  int height_;
+  int link_capacity_;
+};
+
+}  // namespace mpct::interconnect

@@ -1,0 +1,71 @@
+#include "interconnect/neighbor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "cost/switch_cost.hpp"
+
+namespace mpct::interconnect {
+
+NeighborNetwork::NeighborNetwork(int elements, int hops, bool wrap)
+    : elements_(elements),
+      hops_(hops),
+      wrap_(wrap),
+      source_(static_cast<std::size_t>(elements), -1) {
+  if (elements < 1) {
+    throw std::invalid_argument("NeighborNetwork needs >= 1 element");
+  }
+  if (hops < 0) {
+    throw std::invalid_argument("NeighborNetwork needs hops >= 0");
+  }
+}
+
+std::string NeighborNetwork::name() const {
+  return "neighbor window +-" + std::to_string(hops_) + " over " +
+         std::to_string(elements_) + (wrap_ ? " (torus)" : " (line)");
+}
+
+int NeighborNetwork::distance(PortId a, PortId b) const {
+  const int direct = std::abs(a - b);
+  if (!wrap_) return direct;
+  return std::min(direct, elements_ - direct);
+}
+
+bool NeighborNetwork::reachable(PortId input, PortId output) const {
+  if (!valid_ports(input, output)) return false;
+  return distance(input, output) <= hops_;
+}
+
+bool NeighborNetwork::connect(PortId input, PortId output) {
+  if (!reachable(input, output)) return false;
+  source_[static_cast<std::size_t>(output)] = input;
+  return true;
+}
+
+void NeighborNetwork::disconnect(PortId output) {
+  if (output < 0 || output >= elements_) return;
+  source_[static_cast<std::size_t>(output)] = -1;
+}
+
+std::optional<PortId> NeighborNetwork::source_of(PortId output) const {
+  if (output < 0 || output >= elements_) return std::nullopt;
+  const PortId src = source_[static_cast<std::size_t>(output)];
+  if (src < 0) return std::nullopt;
+  return src;
+}
+
+std::int64_t NeighborNetwork::config_bits() const {
+  // Window candidates, clipped by the array size, plus "disconnected".
+  const int window = std::min(elements_, 2 * hops_ + 1);
+  return static_cast<std::int64_t>(elements_) *
+         cost::ceil_log2(window + 1);
+}
+
+int NeighborNetwork::route_latency(PortId output) const {
+  const std::optional<PortId> src = source_of(output);
+  if (!src) return 0;
+  return std::max(1, distance(*src, output));
+}
+
+}  // namespace mpct::interconnect

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "interconnect/network.hpp"
+
+namespace mpct::interconnect {
+
+/// Windowed nearest-neighbour network over a linear array of elements
+/// (the DRRA "sliding window" connectivity: every element reaches
+/// elements within +-hops positions; MorphoSys/REMARC row-column
+/// neighbourhoods reduce to the same constraint along each axis).
+///
+/// Port i of either side belongs to element i; output o may only be
+/// driven by inputs whose element index lies within the window
+/// |i - o| <= hops (optionally wrapping around, torus style).
+///
+/// Configuration state: one select field per output over the window
+/// (2*hops + 1 candidates + disconnected) — O(n log hops) instead of the
+/// crossbar's O(n log n): the area/configuration saving that motivates
+/// windowed fabrics.
+class NeighborNetwork final : public Network {
+ public:
+  NeighborNetwork(int elements, int hops, bool wrap = false);
+
+  int input_count() const override { return elements_; }
+  int output_count() const override { return elements_; }
+  int hops() const { return hops_; }
+  bool wraps() const { return wrap_; }
+  std::string name() const override;
+
+  bool connect(PortId input, PortId output) override;
+  void disconnect(PortId output) override;
+  std::optional<PortId> source_of(PortId output) const override;
+  bool reachable(PortId input, PortId output) const override;
+  std::int64_t config_bits() const override;
+  int route_latency(PortId output) const override;
+
+  /// Distance between two elements under this topology (hop count,
+  /// respecting wrap).
+  int distance(PortId a, PortId b) const;
+
+ private:
+  int elements_;
+  int hops_;
+  bool wrap_;
+  std::vector<PortId> source_;
+};
+
+}  // namespace mpct::interconnect

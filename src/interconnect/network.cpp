@@ -1,0 +1,25 @@
+#include "interconnect/network.hpp"
+
+namespace mpct::interconnect {
+
+std::vector<std::uint64_t> Network::propagate(
+    const std::vector<std::uint64_t>& inputs) const {
+  std::vector<std::uint64_t> outputs(
+      static_cast<std::size_t>(output_count()), 0);
+  for (PortId out = 0; out < output_count(); ++out) {
+    const std::optional<PortId> src = source_of(out);
+    if (src && *src >= 0 && static_cast<std::size_t>(*src) < inputs.size()) {
+      outputs[static_cast<std::size_t>(out)] =
+          inputs[static_cast<std::size_t>(*src)];
+    }
+  }
+  return outputs;
+}
+
+void Network::reset() {
+  for (PortId out = 0; out < output_count(); ++out) {
+    disconnect(out);
+  }
+}
+
+}  // namespace mpct::interconnect

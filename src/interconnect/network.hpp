@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mpct::interconnect {
+
+/// Index of a port on a network; inputs and outputs are numbered
+/// independently from 0.
+using PortId = int;
+
+/// Abstract circuit-switched interconnection network between a set of
+/// producer (input) ports and consumer (output) ports.
+///
+/// This is the executable counterpart of a taxonomy switch column: a
+/// SwitchKind::Crossbar cell corresponds to a Crossbar instance, a
+/// Direct cell to fixed wiring, and richer real-world fabrics (buses,
+/// neighbourhoods, hierarchies) refine the crossbar abstraction with
+/// reachability limits.  The measured `config_bits()` of each model is
+/// what Eq. 2's CW_X-Y terms predict.
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  virtual int input_count() const = 0;
+  virtual int output_count() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Attempt to program a route so that @p output is driven by @p input.
+  /// Returns false when the topology forbids it (unreachable) or a
+  /// structural conflict exists (e.g. bus already driven by another
+  /// input).  Reprogramming an output that was already connected is
+  /// allowed and replaces the old route.
+  virtual bool connect(PortId input, PortId output) = 0;
+
+  /// Tear down whatever drives @p output (no-op if disconnected).
+  virtual void disconnect(PortId output) = 0;
+
+  /// The input currently driving @p output, if any.
+  virtual std::optional<PortId> source_of(PortId output) const = 0;
+
+  /// Whether a route input->output could ever be programmed on an
+  /// otherwise empty network.
+  virtual bool reachable(PortId input, PortId output) const = 0;
+
+  /// Size of the configuration state in bits — the measured CW of this
+  /// switch instance.
+  virtual std::int64_t config_bits() const = 0;
+
+  /// Circuit latency of an established route in cycles (1 for a plain
+  /// crossbar, more for multi-hop fabrics); 0 if the route is not
+  /// currently programmed.
+  virtual int route_latency(PortId output) const = 0;
+
+  /// Drive the network: values presented at the inputs propagate to the
+  /// outputs according to the current configuration; disconnected
+  /// outputs read 0.
+  std::vector<std::uint64_t> propagate(
+      const std::vector<std::uint64_t>& inputs) const;
+
+  /// Convenience: tear down every route.
+  void reset();
+
+ protected:
+  /// Bounds check helper shared by implementations.
+  bool valid_ports(PortId input, PortId output) const {
+    return input >= 0 && input < input_count() && output >= 0 &&
+           output < output_count();
+  }
+};
+
+}  // namespace mpct::interconnect

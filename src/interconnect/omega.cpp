@@ -1,0 +1,152 @@
+#include "interconnect/omega.hpp"
+
+#include <stdexcept>
+
+namespace mpct::interconnect {
+
+namespace {
+
+bool is_power_of_two(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+OmegaNetwork::OmegaNetwork(int ports) : ports_(ports), stages_(0) {
+  if (!is_power_of_two(ports) || ports < 2) {
+    throw std::invalid_argument(
+        "OmegaNetwork needs a power-of-two port count >= 2");
+  }
+  for (int p = 1; p < ports; p <<= 1) ++stages_;
+  switches_.assign(static_cast<std::size_t>(stages_),
+                   std::vector<SwitchState>(
+                       static_cast<std::size_t>(ports / 2)));
+  routes_.resize(static_cast<std::size_t>(ports));
+}
+
+std::string OmegaNetwork::name() const {
+  return "omega " + std::to_string(ports_) + " ports, " +
+         std::to_string(stages_) + " stages";
+}
+
+int OmegaNetwork::shuffle(int wire) const {
+  // Left-rotate the k-bit wire index.
+  const int msb = (wire >> (stages_ - 1)) & 1;
+  return ((wire << 1) | msb) & (ports_ - 1);
+}
+
+OmegaNetwork::SwitchRef OmegaNetwork::switch_at(int /*stage*/,
+                                                int wire) const {
+  return SwitchRef{wire >> 1, wire & 1};
+}
+
+bool OmegaNetwork::reachable(PortId input, PortId output) const {
+  return valid_ports(input, output);
+}
+
+bool OmegaNetwork::connect(PortId input, PortId output) {
+  if (!valid_ports(input, output)) return false;
+
+  // Temporarily release the route currently terminating at this output.
+  Route previous = routes_[static_cast<std::size_t>(output)];
+  if (previous.input >= 0) {
+    for (int s = 0; s < stages_; ++s) {
+      SwitchState& sw = switches_[static_cast<std::size_t>(s)]
+                                 [static_cast<std::size_t>(
+                                     previous.switches
+                                         [static_cast<std::size_t>(s)])];
+      if (--sw.users == 0) sw.setting = -1;
+    }
+    routes_[static_cast<std::size_t>(output)] = Route{};
+  }
+
+  // Walk the destination-tag path and collect switch requirements.
+  Route route;
+  route.input = input;
+  bool ok = true;
+  int wire = input;
+  for (int s = 0; s < stages_ && ok; ++s) {
+    wire = shuffle(wire);
+    const SwitchRef ref = switch_at(s, wire);
+    const int desired_leg = (output >> (stages_ - 1 - s)) & 1;
+    const int setting = ref.leg ^ desired_leg;  // 0 through, 1 cross
+    const SwitchState& sw =
+        switches_[static_cast<std::size_t>(s)]
+                 [static_cast<std::size_t>(ref.index)];
+    if (sw.setting != -1 && sw.setting != setting) {
+      ok = false;
+      break;
+    }
+    route.switches.push_back(ref.index);
+    route.settings.push_back(setting);
+    wire = (ref.index << 1) | desired_leg;
+  }
+
+  if (!ok) {
+    // Restore the released route, if any.
+    if (previous.input >= 0) {
+      for (int s = 0; s < stages_; ++s) {
+        SwitchState& sw =
+            switches_[static_cast<std::size_t>(s)]
+                     [static_cast<std::size_t>(
+                         previous.switches[static_cast<std::size_t>(s)])];
+        sw.setting = previous.settings[static_cast<std::size_t>(s)];
+        ++sw.users;
+      }
+      routes_[static_cast<std::size_t>(output)] = std::move(previous);
+    }
+    return false;
+  }
+
+  for (int s = 0; s < stages_; ++s) {
+    SwitchState& sw =
+        switches_[static_cast<std::size_t>(s)]
+                 [static_cast<std::size_t>(
+                     route.switches[static_cast<std::size_t>(s)])];
+    sw.setting = route.settings[static_cast<std::size_t>(s)];
+    ++sw.users;
+  }
+  routes_[static_cast<std::size_t>(output)] = std::move(route);
+  return true;
+}
+
+void OmegaNetwork::disconnect(PortId output) {
+  if (output < 0 || output >= ports_) return;
+  Route& route = routes_[static_cast<std::size_t>(output)];
+  if (route.input < 0) return;
+  for (int s = 0; s < stages_; ++s) {
+    SwitchState& sw =
+        switches_[static_cast<std::size_t>(s)]
+                 [static_cast<std::size_t>(
+                     route.switches[static_cast<std::size_t>(s)])];
+    if (--sw.users == 0) sw.setting = -1;
+  }
+  route = Route{};
+}
+
+std::optional<PortId> OmegaNetwork::source_of(PortId output) const {
+  if (output < 0 || output >= ports_) return std::nullopt;
+  const Route& route = routes_[static_cast<std::size_t>(output)];
+  if (route.input < 0) return std::nullopt;
+  return route.input;
+}
+
+std::int64_t OmegaNetwork::config_bits() const {
+  // One through/cross bit per 2x2 switch.
+  return static_cast<std::int64_t>(stages_) * (ports_ / 2);
+}
+
+int OmegaNetwork::route_latency(PortId output) const {
+  return source_of(output) ? stages_ : 0;
+}
+
+int OmegaNetwork::route_permutation(const std::vector<PortId>& perm) {
+  reset();
+  int routed = 0;
+  for (std::size_t out = 0; out < perm.size() &&
+                            out < static_cast<std::size_t>(ports_);
+       ++out) {
+    if (connect(perm[out], static_cast<PortId>(out))) ++routed;
+  }
+  return routed;
+}
+
+}  // namespace mpct::interconnect

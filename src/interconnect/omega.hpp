@@ -1,0 +1,78 @@
+#pragma once
+
+#include <vector>
+
+#include "interconnect/network.hpp"
+
+namespace mpct::interconnect {
+
+/// Omega (shuffle-exchange) multistage interconnection network: N = 2^k
+/// ports routed through k stages of N/2 two-by-two switches with a
+/// perfect shuffle between stages.
+///
+/// In the taxonomy's cost spectrum this sits between the bus and the
+/// full crossbar: every input can reach every output (destination-tag
+/// routing), but the network *blocks* — two routes may demand opposite
+/// settings of the same 2x2 switch.  Configuration state is one bit per
+/// switch per traversal-pair... modelled here as one through/cross bit
+/// per 2x2 switch: (N/2)*log2(N) bits, versus the crossbar's
+/// N*ceil(log2(N+1)).
+class OmegaNetwork final : public Network {
+ public:
+  /// @param ports must be a power of two >= 2.
+  explicit OmegaNetwork(int ports);
+
+  int input_count() const override { return ports_; }
+  int output_count() const override { return ports_; }
+  int stage_count() const { return stages_; }
+  std::string name() const override;
+
+  /// Destination-tag routing: walks input @p input through the shuffle
+  /// stages; fails (without disturbing the configuration) when any
+  /// required 2x2 switch is already locked in the opposite state by
+  /// a previously routed connection.
+  bool connect(PortId input, PortId output) override;
+  void disconnect(PortId output) override;
+  std::optional<PortId> source_of(PortId output) const override;
+  bool reachable(PortId input, PortId output) const override;
+  std::int64_t config_bits() const override;
+  /// Routed latency equals the stage count.
+  int route_latency(PortId output) const override;
+
+  /// Try to route a full permutation (output i driven by perm[i]);
+  /// returns how many routes succeeded.  The identity and uniform
+  /// shifts route fully; many permutations block — the classic Omega
+  /// property the tests sweep.
+  int route_permutation(const std::vector<PortId>& perm);
+
+ private:
+  /// The switch on @p stage that the path through @p wire traverses,
+  /// and whether the wire enters its upper (0) or lower (1) leg.
+  struct SwitchRef {
+    int index;
+    int leg;
+  };
+  SwitchRef switch_at(int stage, int wire) const;
+  /// Perfect shuffle applied to a wire index (left rotate of k bits).
+  int shuffle(int wire) const;
+
+  /// Per-route bookkeeping so disconnect can release switches.
+  struct Route {
+    PortId input = -1;
+    std::vector<int> switches;  ///< switch index per stage
+    std::vector<int> settings;  ///< 0 = through, 1 = cross per stage
+  };
+
+  int ports_;
+  int stages_;
+  /// Per stage, per switch: -1 free, 0 locked through, 1 locked cross,
+  /// with a use count to release correctly on disconnect.
+  struct SwitchState {
+    int setting = -1;
+    int users = 0;
+  };
+  std::vector<std::vector<SwitchState>> switches_;
+  std::vector<Route> routes_;  ///< per output
+};
+
+}  // namespace mpct::interconnect

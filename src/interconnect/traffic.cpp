@@ -1,0 +1,91 @@
+#include "interconnect/traffic.hpp"
+
+namespace mpct::interconnect {
+
+std::uint64_t Rng::next() {
+  // xorshift64* (Vigna): passes BigCrush small-state tests, plenty for
+  // workload generation.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545F4914F6CDD1DULL;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - ~0ULL % bound;
+  std::uint64_t value = next();
+  while (value >= limit) value = next();
+  return value % bound;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+namespace {
+
+template <typename DstPicker>
+std::vector<Packet> generate(const MeshNoc& mesh, const TrafficParams& params,
+                             DstPicker&& pick_dst) {
+  Rng rng(params.seed);
+  std::vector<Packet> packets;
+  for (int cycle = 0; cycle < params.cycles; ++cycle) {
+    for (int node = 0; node < mesh.node_count(); ++node) {
+      if (rng.next_double() >= params.rate) continue;
+      const int dst = pick_dst(rng, node);
+      if (dst == node) continue;
+      packets.push_back(Packet{node, dst, cycle, -1});
+    }
+  }
+  return packets;
+}
+
+}  // namespace
+
+std::vector<Packet> uniform_traffic(const MeshNoc& mesh,
+                                    const TrafficParams& params) {
+  return generate(mesh, params, [&](Rng& rng, int node) {
+    int dst = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(mesh.node_count())));
+    if (dst == node) dst = (dst + 1) % mesh.node_count();
+    return dst;
+  });
+}
+
+std::vector<Packet> hotspot_traffic(const MeshNoc& mesh,
+                                    const TrafficParams& params,
+                                    int hot_node, double hot_fraction) {
+  return generate(mesh, params, [&](Rng& rng, int node) {
+    if (rng.next_double() < hot_fraction && node != hot_node) {
+      return hot_node;
+    }
+    int dst = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(mesh.node_count())));
+    if (dst == node) dst = (dst + 1) % mesh.node_count();
+    return dst;
+  });
+}
+
+std::vector<Packet> neighbor_traffic(const MeshNoc& mesh,
+                                     const TrafficParams& params) {
+  return generate(mesh, params, [&](Rng&, int node) {
+    return (node + 1) % mesh.node_count();
+  });
+}
+
+std::vector<Packet> transpose_traffic(const MeshNoc& mesh,
+                                      const TrafficParams& params) {
+  return generate(mesh, params, [&](Rng&, int node) {
+    const int x = mesh.x_of(node);
+    const int y = mesh.y_of(node);
+    // Clip for non-square meshes: transpose within the largest square.
+    const int side = std::min(mesh.width(), mesh.height());
+    if (x >= side || y >= side) return node;
+    return mesh.node_id(y, x);
+  });
+}
+
+}  // namespace mpct::interconnect

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interconnect/mesh_noc.hpp"
+
+namespace mpct::interconnect {
+
+/// Small deterministic PRNG (xorshift64*) so traffic generation and every
+/// simulation built on it reproduce bit-exactly across platforms — no
+/// dependence on std::random distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Synthetic traffic patterns for the mesh NoC, parameterised by
+/// injection rate (packets per node per cycle).
+struct TrafficParams {
+  int cycles = 1000;       ///< injection window length
+  double rate = 0.05;      ///< packets per node per cycle
+  std::uint64_t seed = 1;  ///< generator seed
+};
+
+/// Every packet targets a uniformly random other node.
+std::vector<Packet> uniform_traffic(const MeshNoc& mesh,
+                                    const TrafficParams& params);
+
+/// A fraction of packets target one hot node, the rest are uniform —
+/// models the shared-memory port of an IAP-III style machine.
+std::vector<Packet> hotspot_traffic(const MeshNoc& mesh,
+                                    const TrafficParams& params,
+                                    int hot_node, double hot_fraction);
+
+/// Each node talks to its +1 neighbour (wrapping), the friendliest
+/// pattern for a mesh — systolic/pipelined workloads.
+std::vector<Packet> neighbor_traffic(const MeshNoc& mesh,
+                                     const TrafficParams& params);
+
+/// Node (x, y) sends to (y, x): the classic adversarial pattern for XY
+/// routing on square meshes.
+std::vector<Packet> transpose_traffic(const MeshNoc& mesh,
+                                      const TrafficParams& params);
+
+}  // namespace mpct::interconnect

@@ -1,0 +1,86 @@
+#pragma once
+
+/// Umbrella header: the whole public API of the mpct library.
+///
+/// Subsystem headers remain individually includable; this exists for
+/// quick experiments and downstream projects that prefer one include.
+
+// Taxonomy core (the paper's primary contribution).
+#include "core/classifier.hpp"
+#include "core/comparison.hpp"
+#include "core/connectivity.hpp"
+#include "core/flexibility.hpp"
+#include "core/flynn.hpp"
+#include "core/hierarchy.hpp"
+#include "core/machine_class.hpp"
+#include "core/multiplicity.hpp"
+#include "core/naming.hpp"
+#include "core/roman.hpp"
+#include "core/taxonomy_table.hpp"
+
+// Concrete architecture descriptions and the survey registries.
+#include "arch/adl_parser.hpp"
+#include "arch/connectivity_expr.hpp"
+#include "arch/count.hpp"
+#include "arch/modern.hpp"
+#include "arch/registry.hpp"
+#include "arch/spec.hpp"
+#include "arch/template_spec.hpp"
+#include "arch/validate.hpp"
+
+// Predictive cost models (Eq. 1 / Eq. 2 and extensions).
+#include "cost/area_model.hpp"
+#include "cost/component_library.hpp"
+#include "cost/config_bits.hpp"
+#include "cost/config_map.hpp"
+#include "cost/energy.hpp"
+#include "cost/switch_cost.hpp"
+#include "cost/technology.hpp"
+
+// Design-space exploration.
+#include "explore/recommend.hpp"
+#include "explore/upgrade.hpp"
+
+// Executable interconnect substrates.
+#include "interconnect/benes.hpp"
+#include "interconnect/bus.hpp"
+#include "interconnect/crossbar.hpp"
+#include "interconnect/hierarchical.hpp"
+#include "interconnect/mesh_noc.hpp"
+#include "interconnect/neighbor.hpp"
+#include "interconnect/network.hpp"
+#include "interconnect/omega.hpp"
+#include "interconnect/traffic.hpp"
+
+// Paradigm machine simulators.
+#include "sim/cgra/cgra.hpp"
+#include "sim/cgra/pipeline.hpp"
+#include "sim/cgra/scheduler.hpp"
+#include "sim/dataflow/expr_parser.hpp"
+#include "sim/dataflow/graph.hpp"
+#include "sim/dataflow/token_machine.hpp"
+#include "sim/isa/assembler.hpp"
+#include "sim/isa/isa.hpp"
+#include "sim/isa/uniprocessor.hpp"
+#include "sim/machine.hpp"
+#include "sim/memory.hpp"
+#include "sim/mimd/multiprocessor.hpp"
+#include "sim/morph.hpp"
+#include "sim/simd/array_processor.hpp"
+#include "sim/spatial/fabric.hpp"
+#include "sim/spatial/mapper.hpp"
+#include "sim/spatial/netlist.hpp"
+#include "sim/word.hpp"
+
+// Bibliometrics (Figure 1 substitute).
+#include "bibliometrics/corpus.hpp"
+#include "bibliometrics/query.hpp"
+#include "bibliometrics/topics.hpp"
+#include "bibliometrics/trends.hpp"
+
+// Reporting.
+#include "report/chart.hpp"
+#include "report/csv.hpp"
+#include "report/dot.hpp"
+#include "report/svg.hpp"
+#include "report/table.hpp"

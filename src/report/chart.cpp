@@ -1,0 +1,102 @@
+#include "report/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace mpct::report {
+
+std::string render_bar_chart(const std::vector<Bar>& bars,
+                             const BarChartOptions& options) {
+  if (bars.empty()) return "";
+  std::size_t label_width = 0;
+  double max_value = 0;
+  for (const Bar& bar : bars) {
+    label_width = std::max(label_width, bar.label.size());
+    max_value = std::max(max_value, bar.value);
+  }
+  std::ostringstream os;
+  for (const Bar& bar : bars) {
+    os << std::left << std::setw(static_cast<int>(label_width)) << bar.label
+       << " |";
+    const int cells =
+        max_value <= 0
+            ? 0
+            : static_cast<int>(std::lround(bar.value / max_value *
+                                           options.max_bar_width));
+    os << std::string(static_cast<std::size_t>(std::max(0, cells)),
+                      options.fill);
+    if (options.show_value) {
+      os << ' ' << std::defaultfloat << bar.value;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_line_chart(const std::vector<std::string>& x_labels,
+                              std::vector<Series> series,
+                              const LineChartOptions& options) {
+  if (x_labels.empty() || series.empty()) return "";
+  const std::size_t columns = x_labels.size();
+  double max_value = 1;
+  for (Series& s : series) {
+    s.values.resize(columns, 0.0);
+    for (double v : s.values) max_value = std::max(max_value, v);
+  }
+
+  const int height = std::max(2, options.height);
+  // grid[row][col]: row 0 is the top.
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(columns, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph =
+        options.glyphs.empty()
+            ? '*'
+            : options.glyphs[si % options.glyphs.size()];
+    for (std::size_t c = 0; c < columns; ++c) {
+      const double v = series[si].values[c];
+      if (v <= 0) continue;
+      int row = height - 1 -
+                static_cast<int>(std::lround(v / max_value * (height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      grid[static_cast<std::size_t>(row)][c] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  const int axis_width = 8;
+  for (int r = 0; r < height; ++r) {
+    const double level = max_value * (height - 1 - r) / (height - 1);
+    os << std::right << std::setw(axis_width) << std::fixed
+       << std::setprecision(0) << level << " |";
+    // Stretch each column to two cells for readability.
+    for (char c : grid[static_cast<std::size_t>(r)]) {
+      os << c << ' ';
+    }
+    os << '\n';
+  }
+  os << std::string(axis_width, ' ') << " +" << std::string(columns * 2, '-')
+     << '\n';
+  // X labels, vertical-ish: print first/last plus every 4th.
+  os << std::string(axis_width + 2, ' ');
+  for (std::size_t c = 0; c < columns; ++c) {
+    if (c % 4 == 0 && x_labels[c].size() >= 2) {
+      os << x_labels[c].substr(x_labels[c].size() - 2);
+    } else {
+      os << "  ";
+    }
+  }
+  os << '\n';
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph =
+        options.glyphs.empty()
+            ? '*'
+            : options.glyphs[si % options.glyphs.size()];
+    os << "  " << glyph << " = " << series[si].name << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mpct::report

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpct::report {
+
+/// One labelled value of a bar chart (Figure 7 style: architectures on
+/// the category axis, flexibility on the value axis).
+struct Bar {
+  std::string label;
+  double value = 0;
+};
+
+/// Options for ASCII bar rendering.
+struct BarChartOptions {
+  int max_bar_width = 50;  ///< character cells for the largest value
+  bool show_value = true;  ///< append the numeric value after the bar
+  char fill = '#';
+};
+
+/// Render a horizontal ASCII bar chart; labels are right-padded to align
+/// the bars.  Zero and negative values render as empty bars.
+std::string render_bar_chart(const std::vector<Bar>& bars,
+                             const BarChartOptions& options = {});
+
+/// One series of a line chart (Figure 1 style: publications per year per
+/// topic).
+struct Series {
+  std::string name;
+  std::vector<double> values;  ///< one value per x position
+};
+
+/// Options for ASCII line-chart rendering.
+struct LineChartOptions {
+  int height = 16;  ///< plot rows
+  /// Glyphs cycled across series.
+  std::string glyphs = "*o+x@%";
+};
+
+/// Render a multi-series ASCII line chart over shared x labels.  Values
+/// are scaled into `height` rows; each series plots with its own glyph
+/// and a legend is appended.  All series must have values.size() ==
+/// x_labels.size() (shorter series are padded with 0).
+std::string render_line_chart(const std::vector<std::string>& x_labels,
+                              std::vector<Series> series,
+                              const LineChartOptions& options = {});
+
+}  // namespace mpct::report

@@ -1,0 +1,82 @@
+#include "report/csv.hpp"
+
+namespace mpct::report {
+
+std::string CsvWriter::escape(const std::string& field, char separator) {
+  const bool needs_quotes =
+      field.find_first_of(std::string("\"\r\n") + separator) !=
+      std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ += separator_;
+    out_ += escape(cells[i], separator_);
+  }
+  out_ += '\n';
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text,
+                                                char separator) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  const auto end_row = [&] {
+    if (field_started || !field.empty() || !row.empty()) {
+      end_field();
+      rows.push_back(std::move(row));
+      row.clear();
+    }
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == separator) {
+      end_field();
+      field_started = true;  // the next field exists even if empty
+    } else if (c == '\n') {
+      end_row();
+    } else if (c == '\r') {
+      // swallow; \r\n handled by the \n branch
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  end_row();
+  return rows;
+}
+
+}  // namespace mpct::report

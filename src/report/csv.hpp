@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpct::report {
+
+/// RFC-4180-style CSV writer: fields containing separators, quotes or
+/// newlines are quoted and embedded quotes doubled.  Used by benches to
+/// dump the regenerated table/figure data next to the pretty print.
+class CsvWriter {
+ public:
+  explicit CsvWriter(char separator = ',') : separator_(separator) {}
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Serialise all rows added so far.
+  const std::string& str() const { return out_; }
+
+  /// Escape one field according to the writer's separator.
+  static std::string escape(const std::string& field, char separator = ',');
+
+ private:
+  char separator_;
+  std::string out_;
+};
+
+/// Parse a CSV document back into rows (handles quoted fields, doubled
+/// quotes and embedded newlines); used by tests to round-trip.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text,
+                                                char separator = ',');
+
+}  // namespace mpct::report

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "core/hierarchy.hpp"
+
+namespace mpct::report {
+
+/// Render the Fig. 2 machine hierarchy as a Graphviz digraph.
+std::string hierarchy_dot(const HierarchyNode& root);
+
+/// Render the morphability partial order of the 43 named classes as a
+/// Graphviz digraph (Hasse diagram: transitively implied edges and
+/// self-loops are omitted; nodes are ranked by flexibility score).
+std::string morph_dot();
+
+}  // namespace mpct::report

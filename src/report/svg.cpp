@@ -1,0 +1,168 @@
+#include "report/svg.hpp"
+
+#include <algorithm>
+#include <array>
+#include <iomanip>
+#include <sstream>
+
+namespace mpct::report {
+
+namespace {
+
+constexpr std::array<std::string_view, 6> kPalette{
+    "#4878a8", "#d95f02", "#1b9e77", "#7570b3", "#e7298a", "#66a61e"};
+
+struct Frame {
+  double x0, y0;  ///< plot-area origin (bottom-left) in SVG coordinates
+  double w, h;    ///< plot-area size
+};
+
+Frame frame_of(const SvgOptions& o) {
+  return Frame{static_cast<double>(o.margin_left),
+               static_cast<double>(o.height - o.margin_bottom),
+               static_cast<double>(o.width - o.margin_left - o.margin_right),
+               static_cast<double>(o.height - o.margin_top -
+                                   o.margin_bottom)};
+}
+
+void open_document(std::ostringstream& os, const SvgOptions& o) {
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << o.width
+     << "\" height=\"" << o.height << "\" viewBox=\"0 0 " << o.width << ' '
+     << o.height << "\">\n"
+     << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!o.title.empty()) {
+    os << "<text x=\"" << o.width / 2 << "\" y=\"" << o.margin_top - 8
+       << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+          "font-size=\"15\" font-weight=\"bold\">"
+       << xml_escape(o.title) << "</text>\n";
+  }
+}
+
+void axes(std::ostringstream& os, const Frame& f, double max_value) {
+  os << "<line x1=\"" << f.x0 << "\" y1=\"" << f.y0 << "\" x2=\""
+     << f.x0 + f.w << "\" y2=\"" << f.y0
+     << "\" stroke=\"black\" stroke-width=\"1\"/>\n";
+  os << "<line x1=\"" << f.x0 << "\" y1=\"" << f.y0 << "\" x2=\"" << f.x0
+     << "\" y2=\"" << f.y0 - f.h
+     << "\" stroke=\"black\" stroke-width=\"1\"/>\n";
+  for (int tick = 0; tick <= 4; ++tick) {
+    const double value = max_value * tick / 4.0;
+    const double y = f.y0 - f.h * tick / 4.0;
+    os << "<text x=\"" << f.x0 - 8 << "\" y=\"" << y + 4
+       << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+          "font-size=\"11\">"
+       << std::fixed << std::setprecision(0) << value << "</text>\n";
+    os << "<line x1=\"" << f.x0 << "\" y1=\"" << y << "\" x2=\""
+       << f.x0 + f.w << "\" y2=\"" << y
+       << "\" stroke=\"#dddddd\" stroke-width=\"0.5\"/>\n";
+  }
+}
+
+}  // namespace
+
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string svg_bar_chart(const std::vector<Bar>& bars,
+                          const SvgOptions& options) {
+  std::ostringstream os;
+  open_document(os, options);
+  const Frame f = frame_of(options);
+  double max_value = 1;
+  for (const Bar& b : bars) max_value = std::max(max_value, b.value);
+
+  axes(os, f, max_value);
+  const double slot = bars.empty() ? f.w : f.w / bars.size();
+  const double bar_w = slot * 0.7;
+  for (std::size_t i = 0; i < bars.size(); ++i) {
+    const double h = bars[i].value / max_value * f.h;
+    const double x = f.x0 + slot * i + (slot - bar_w) / 2;
+    os << "<rect x=\"" << x << "\" y=\"" << f.y0 - h << "\" width=\""
+       << bar_w << "\" height=\"" << h << "\" fill=\""
+       << kPalette[i % kPalette.size()] << "\"/>\n";
+    const double lx = f.x0 + slot * i + slot / 2;
+    os << "<text x=\"" << lx << "\" y=\"" << f.y0 + 12
+       << "\" font-family=\"sans-serif\" font-size=\"10\" "
+          "text-anchor=\"end\" transform=\"rotate(-45 "
+       << lx << ' ' << f.y0 + 12 << ")\">" << xml_escape(bars[i].label)
+       << "</text>\n";
+    os << "<text x=\"" << lx << "\" y=\"" << f.y0 - h - 4
+       << "\" font-family=\"sans-serif\" font-size=\"10\" "
+          "text-anchor=\"middle\">"
+       << std::defaultfloat << bars[i].value << "</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string svg_line_chart(const std::vector<std::string>& x_labels,
+                           const std::vector<Series>& series,
+                           const SvgOptions& options) {
+  std::ostringstream os;
+  open_document(os, options);
+  const Frame f = frame_of(options);
+
+  double max_value = 1;
+  for (const Series& s : series) {
+    for (double v : s.values) max_value = std::max(max_value, v);
+  }
+  axes(os, f, max_value);
+
+  const std::size_t columns = std::max<std::size_t>(2, x_labels.size());
+  const double step = f.w / (columns - 1);
+
+  for (std::size_t c = 0; c < x_labels.size(); ++c) {
+    if (c % 2) continue;
+    const double x = f.x0 + step * c;
+    os << "<text x=\"" << x << "\" y=\"" << f.y0 + 16
+       << "\" font-family=\"sans-serif\" font-size=\"10\" "
+          "text-anchor=\"middle\">"
+       << xml_escape(x_labels[c]) << "</text>\n";
+  }
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "<polyline fill=\"none\" stroke=\""
+       << kPalette[si % kPalette.size()] << "\" stroke-width=\"2\" points=\"";
+    for (std::size_t c = 0; c < series[si].values.size() &&
+                            c < x_labels.size();
+         ++c) {
+      const double x = f.x0 + step * c;
+      const double y = f.y0 - series[si].values[c] / max_value * f.h;
+      os << x << ',' << y << ' ';
+    }
+    os << "\"/>\n";
+    // Legend entry.
+    const double ly = options.margin_top + 16.0 * si;
+    os << "<rect x=\"" << f.x0 + f.w - 150 << "\" y=\"" << ly
+       << "\" width=\"12\" height=\"12\" fill=\""
+       << kPalette[si % kPalette.size()] << "\"/>\n";
+    os << "<text x=\"" << f.x0 + f.w - 132 << "\" y=\"" << ly + 10
+       << "\" font-family=\"sans-serif\" font-size=\"11\">"
+       << xml_escape(series[si].name) << "</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace mpct::report

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/chart.hpp"
+
+namespace mpct::report {
+
+/// Options shared by the SVG chart writers.
+struct SvgOptions {
+  int width = 900;
+  int height = 420;
+  int margin_left = 70;
+  int margin_bottom = 90;
+  int margin_top = 30;
+  int margin_right = 20;
+  std::string title;
+};
+
+/// Emit a self-contained SVG document with one vertical bar per entry
+/// (Figure 7 rendering).  Labels are rotated under the axis.
+std::string svg_bar_chart(const std::vector<Bar>& bars,
+                          const SvgOptions& options = {});
+
+/// Emit a self-contained SVG document with one polyline per series over
+/// shared x labels (Figure 1 rendering), with legend.
+std::string svg_line_chart(const std::vector<std::string>& x_labels,
+                           const std::vector<Series>& series,
+                           const SvgOptions& options = {});
+
+/// XML-escape text for SVG attributes/content.
+std::string xml_escape(const std::string& text);
+
+}  // namespace mpct::report

@@ -1,0 +1,127 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace mpct::report {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::Left) {}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  if (column < aligns_.size()) aligns_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{false, "", std::move(cells)});
+}
+
+void TextTable::add_section(std::string title) {
+  rows_.push_back(Row{true, std::move(title), {}});
+}
+
+std::vector<std::size_t> TextTable::column_widths() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.is_section) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  return widths;
+}
+
+std::string TextTable::render_ascii() const {
+  std::vector<std::size_t> widths = column_widths();
+  // Section banners must fit inside the box: widen the last column when
+  // a title exceeds the combined data width.
+  if (!widths.empty()) {
+    const auto row_width = [&] {
+      return std::accumulate(widths.begin(), widths.end(),
+                             std::size_t{0}) +
+             3 * widths.size() - 1;
+    };
+    for (const Row& row : rows_) {
+      if (!row.is_section) continue;
+      const std::size_t needed = row.section_title.size() + 2;
+      if (needed > row_width()) {
+        widths.back() += needed - row_width();
+      }
+    }
+  }
+  std::ostringstream os;
+
+  const auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto cell = [&](const std::string& text, std::size_t width,
+                        Align align) {
+    const std::size_t pad = width - std::min(width, text.size());
+    os << ' ';
+    if (align == Align::Right) os << std::string(pad, ' ');
+    os << text;
+    if (align == Align::Left) os << std::string(pad, ' ');
+    os << " |";
+  };
+  const std::size_t total_width =
+      std::accumulate(widths.begin(), widths.end(), std::size_t{0}) +
+      3 * widths.size() - 1;
+
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    cell(headers_[c], widths[c], Align::Left);
+  }
+  os << '\n';
+  rule();
+  for (const Row& row : rows_) {
+    if (row.is_section) {
+      os << '|';
+      std::string title = " " + row.section_title;
+      title.resize(total_width, ' ');
+      os << title << "|\n";
+      continue;
+    }
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      cell(row.cells[c], widths[c], aligns_[c]);
+    }
+    os << '\n';
+  }
+  rule();
+  return os.str();
+}
+
+std::string TextTable::render_markdown() const {
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (const std::string& cell : cells) os << ' ' << cell << " |";
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (aligns_[c] == Align::Right ? " ---: |" : " --- |");
+  }
+  os << '\n';
+  for (const Row& row : rows_) {
+    if (row.is_section) {
+      std::vector<std::string> cells(headers_.size());
+      cells[0] = "**" + row.section_title + "**";
+      emit_row(cells);
+    } else {
+      emit_row(row.cells);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mpct::report

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpct::report {
+
+/// Column alignment for TextTable rendering.
+enum class Align { Left, Right };
+
+/// A simple text table renderer used by every bench binary to print the
+/// regenerated paper tables in both ASCII (for terminals) and GitHub
+/// markdown (for EXPERIMENTS.md).
+class TextTable {
+ public:
+  /// Define the header row; alignments default to Left and may be set per
+  /// column afterwards.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Set a column's alignment (out-of-range indices are ignored).
+  void set_align(std::size_t column, Align align);
+
+  /// Append a data row.  Rows shorter than the header are padded with
+  /// empty cells; longer rows are truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a full-width section banner row (rendered as a merged line).
+  void add_section(std::string title);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+
+  /// ASCII rendering with +---+ rules.
+  std::string render_ascii() const;
+
+  /// GitHub-flavoured markdown rendering (sections become bold rows).
+  std::string render_markdown() const;
+
+ private:
+  struct Row {
+    bool is_section = false;
+    std::string section_title;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::size_t> column_widths() const;
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mpct::report

@@ -1,0 +1,151 @@
+#include "sim/cgra/cgra.hpp"
+
+#include <stdexcept>
+
+#include "cost/switch_cost.hpp"
+#include "sim/memory.hpp"
+
+namespace mpct::sim::cgra {
+
+Cgra::Cgra(CgraShape shape) : shape_(shape) {
+  if (shape_.fus < 1 || shape_.contexts < 1 || shape_.primary_inputs < 0) {
+    throw std::invalid_argument("Cgra: bad shape");
+  }
+  contexts_.assign(static_cast<std::size_t>(shape_.contexts),
+                   std::vector<FuInstruction>(
+                       static_cast<std::size_t>(shape_.fus)));
+  latched_.assign(static_cast<std::size_t>(shape_.fus), 0);
+}
+
+void Cgra::program(int context, int fu, const FuInstruction& instruction) {
+  if (context < 0 || context >= shape_.contexts) {
+    throw SimError("Cgra: context index out of range");
+  }
+  if (fu < 0 || fu >= shape_.fus) {
+    throw SimError("Cgra: fu index out of range");
+  }
+  if (instruction.active) {
+    if (instruction.op == df::Op::Input ||
+        instruction.op == df::Op::Output ||
+        instruction.op == df::Op::Const) {
+      // Constants travel as operands (Operand::Kind::Const); I/O lives
+      // at the fabric boundary.
+      throw SimError("Cgra: Input/Output/Const are not FU operators");
+    }
+    const int needed = df::arity(instruction.op);
+    const Operand* operands[3] = {&instruction.a, &instruction.b,
+                                  &instruction.c};
+    for (int k = 0; k < needed; ++k) {
+      const Operand& operand = *operands[k];
+      switch (operand.kind) {
+        case Operand::Kind::None:
+          throw SimError("Cgra: operator needs " + std::to_string(needed) +
+                         " operands");
+        case Operand::Kind::Fu:
+          if (operand.fu < 0 || operand.fu >= shape_.fus) {
+            throw SimError("Cgra: operand references missing FU");
+          }
+          if (!shape_.reachable(operand.fu, fu)) {
+            throw SimError("Cgra: FU " + std::to_string(operand.fu) +
+                           " is outside FU " + std::to_string(fu) +
+                           "'s interconnect window");
+          }
+          break;
+        case Operand::Kind::Input:
+          if (operand.input < 0 ||
+              operand.input >= shape_.primary_inputs) {
+            throw SimError("Cgra: bad primary input index");
+          }
+          break;
+        case Operand::Kind::Const:
+          break;
+      }
+    }
+  }
+  contexts_[static_cast<std::size_t>(context)]
+           [static_cast<std::size_t>(fu)] = instruction;
+}
+
+void Cgra::clear() {
+  for (auto& context : contexts_) {
+    for (FuInstruction& slot : context) slot = FuInstruction{};
+  }
+  latched_.assign(latched_.size(), 0);
+}
+
+std::int64_t Cgra::config_bits() const {
+  // Operator field over the dataflow algebra (16 ops fits in 4 bits,
+  // computed to stay honest if ops are added).
+  const int op_bits = cost::ceil_log2(16);
+  const int source_bits =
+      std::max(cost::ceil_log2(shape_.fus + 1),
+               cost::ceil_log2(shape_.primary_inputs + 1));
+  constexpr int kKindBits = 2;
+  constexpr int kConstBits = 16;
+  const int operand_bits =
+      kKindBits + std::max(source_bits, kConstBits);
+  const std::int64_t per_slot = 1 + op_bits + 3 * operand_bits;
+  return per_slot * shape_.fus * shape_.contexts;
+}
+
+Word Cgra::read(const Operand& operand,
+                const std::vector<Word>& primary_inputs) const {
+  switch (operand.kind) {
+    case Operand::Kind::None:
+      return 0;
+    case Operand::Kind::Const:
+      return operand.constant;
+    case Operand::Kind::Fu:
+      return latched_[static_cast<std::size_t>(operand.fu)];
+    case Operand::Kind::Input:
+      return primary_inputs[static_cast<std::size_t>(operand.input)];
+  }
+  return 0;
+}
+
+RunStats Cgra::run(const std::vector<Word>& primary_inputs, int cycles) {
+  if (static_cast<int>(primary_inputs.size()) != shape_.primary_inputs) {
+    throw SimError("Cgra: expected " +
+                   std::to_string(shape_.primary_inputs) +
+                   " primary inputs, got " +
+                   std::to_string(primary_inputs.size()));
+  }
+  if (cycles < 0) cycles = shape_.contexts;
+  if (cycles > shape_.contexts) {
+    throw SimError("Cgra: cannot run past the context depth in one pass");
+  }
+
+  RunStats stats;
+  for (int c = 0; c < cycles; ++c) {
+    const auto& context = contexts_[static_cast<std::size_t>(c)];
+    std::vector<Word> next = latched_;
+    for (int fu = 0; fu < shape_.fus; ++fu) {
+      const FuInstruction& inst = context[static_cast<std::size_t>(fu)];
+      if (!inst.active) continue;
+      ++stats.instructions;
+      std::vector<Word> operands;
+      const int needed = df::arity(inst.op);
+      const Operand* sources[3] = {&inst.a, &inst.b, &inst.c};
+      operands.reserve(static_cast<std::size_t>(needed));
+      for (int k = 0; k < needed; ++k) {
+        operands.push_back(read(*sources[k], primary_inputs));
+      }
+      df::Node node;
+      node.op = inst.op;
+      next[static_cast<std::size_t>(fu)] = df::apply_op(node, operands);
+    }
+    latched_ = std::move(next);
+    ++stats.cycles;
+  }
+  stats.halted = true;
+  return stats;
+}
+
+Word Cgra::fu_value(int fu) const {
+  if (fu < 0 || fu >= shape_.fus) {
+    throw SimError("Cgra: fu index out of range");
+  }
+  return latched_[static_cast<std::size_t>(fu)];
+}
+
+}  // namespace mpct::sim::cgra

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/connectivity.hpp"
+#include "sim/dataflow/graph.hpp"
+#include "sim/machine.hpp"
+
+namespace mpct::sim::cgra {
+
+/// Where an FU operand comes from.
+struct Operand {
+  enum class Kind : std::uint8_t { None, Const, Fu, Input };
+  Kind kind = Kind::None;
+  Word constant = 0;  ///< Kind::Const
+  int fu = 0;         ///< Kind::Fu — reads that FU's *latched* value
+  int input = 0;      ///< Kind::Input — primary input index
+
+  static Operand none() { return {}; }
+  static Operand constant_of(Word value) {
+    Operand op;
+    op.kind = Kind::Const;
+    op.constant = value;
+    return op;
+  }
+  static Operand fu_of(int index) {
+    Operand op;
+    op.kind = Kind::Fu;
+    op.fu = index;
+    return op;
+  }
+  static Operand input_of(int index) {
+    Operand op;
+    op.kind = Kind::Input;
+    op.input = index;
+    return op;
+  }
+};
+
+/// One functional unit's instruction in one context (one cycle slot of
+/// the context memory).  The operator set reuses the dataflow algebra.
+struct FuInstruction {
+  bool active = false;
+  df::Op op = df::Op::Add;
+  Operand a, b, c;  ///< c only for Select
+};
+
+/// Shape of the fabric.
+struct CgraShape {
+  int fus = 8;           ///< functional units in a row
+  int contexts = 16;     ///< context-memory depth (cycles per pass)
+  int primary_inputs = 8;
+  /// FU-to-FU reach: -1 = full crossbar; otherwise |src - dst| <= window
+  /// (the DRRA/MorphoSys-style neighbourhood).
+  int window = -1;
+
+  bool reachable(int src_fu, int dst_fu) const {
+    if (window < 0) return true;
+    const int distance = src_fu >= dst_fu ? src_fu - dst_fu : dst_fu - src_fu;
+    return distance <= window;
+  }
+};
+
+/// A coarse-grained reconfigurable array in the style the paper surveys
+/// (MorphoSys/Montium/ADRES): a row of word-level FUs driven by context
+/// memory — one VLIW-like configuration word per FU per cycle — over a
+/// configurable FU-to-FU interconnect.
+///
+/// Execution is synchronous: in cycle c every active FU of context c
+/// reads its operands (latched FU outputs from earlier cycles, primary
+/// inputs, or constants), computes, and latches its result at the end of
+/// the cycle.  A latched value persists until the same FU computes
+/// again, which is what makes purely spatial mappings (one node per FU)
+/// correct.
+class Cgra {
+ public:
+  explicit Cgra(CgraShape shape);
+
+  const CgraShape& shape() const { return shape_; }
+
+  /// Program one context slot.  Throws SimError on bad indices, on an
+  /// operand whose producer FU is out of interconnect reach, or on an
+  /// operator that needs more operands than provided.
+  void program(int context, int fu, const FuInstruction& instruction);
+
+  /// Clear all contexts and latched state.
+  void clear();
+
+  /// Measured configuration size in bits: per context slot one active
+  /// bit, an operator field, and per operand a kind field plus the
+  /// widest source field (constants are stored in a 16-bit immediate).
+  std::int64_t config_bits() const;
+
+  /// Execute contexts 0..cycles-1 once (cycles defaults to the full
+  /// context depth); primary inputs are held stable for the pass.
+  /// Returns stats (instructions = active FU executions).
+  RunStats run(const std::vector<Word>& primary_inputs, int cycles = -1);
+
+  /// Latched output of an FU (after run).
+  Word fu_value(int fu) const;
+
+ private:
+  Word read(const Operand& operand,
+            const std::vector<Word>& primary_inputs) const;
+
+  CgraShape shape_;
+  /// contexts_[cycle][fu].
+  std::vector<std::vector<FuInstruction>> contexts_;
+  std::vector<Word> latched_;
+};
+
+}  // namespace mpct::sim::cgra

@@ -1,0 +1,172 @@
+#include "sim/cgra/pipeline.hpp"
+
+#include <algorithm>
+
+#include "sim/memory.hpp"
+
+namespace mpct::sim::cgra {
+
+namespace {
+
+bool is_compute(df::Op op) {
+  return op != df::Op::Input && op != df::Op::Const && op != df::Op::Output;
+}
+
+}  // namespace
+
+PipelineSchedule map_graph_pipelined(const df::Graph& graph, Cgra& cgra) {
+  const std::vector<std::string> problems = graph.validate();
+  if (!problems.empty()) {
+    throw SimError("map_graph_pipelined: graph invalid: " +
+                   problems.front());
+  }
+  const auto order = graph.topological_order();
+
+  PipelineSchedule schedule;
+  for (df::NodeId id : graph.input_nodes()) {
+    const int index = static_cast<int>(schedule.input_index.size());
+    if (index >= cgra.shape().primary_inputs) {
+      throw SimError("map_graph_pipelined: too few primary inputs");
+    }
+    schedule.input_index[graph.node(id).name] = index;
+  }
+
+  cgra.clear();
+  int next_fu = 0;
+  const auto allocate_fu = [&] {
+    if (next_fu >= cgra.shape().fus) {
+      throw SimError(
+          "map_graph_pipelined: fabric has too few FUs for the retimed "
+          "pipeline");
+    }
+    ++schedule.fus_used;
+    return next_fu++;
+  };
+
+  const int n = graph.node_count();
+  // Pipeline level per compute node (inputs are level 0).
+  std::vector<int> level(static_cast<std::size_t>(n), 0);
+  std::vector<int> fu(static_cast<std::size_t>(n), -1);
+
+  // (node, level) -> operand carrying that node's value for consumers at
+  // level + 1; pass-through FUs are created on demand.
+  std::map<std::pair<df::NodeId, int>, Operand> carried;
+  // Recursive delay-chain builder (iterative by level).
+  const auto operand_at = [&](df::NodeId u, int at_level) -> Operand {
+    const df::Node& node = graph.node(u);
+    const int base_level = node.op == df::Op::Input ? 0 : level[static_cast<std::size_t>(u)];
+    Operand base = node.op == df::Op::Input
+                       ? Operand::input_of(schedule.input_index.at(node.name))
+                       : Operand::fu_of(fu[static_cast<std::size_t>(u)]);
+    if (at_level <= base_level) return base;
+    // Build/reuse the chain base_level+1 .. at_level.
+    Operand previous = base;
+    for (int l = base_level + 1; l <= at_level; ++l) {
+      const auto key = std::make_pair(u, l);
+      const auto it = carried.find(key);
+      if (it != carried.end()) {
+        previous = it->second;
+        continue;
+      }
+      const int pass_fu = allocate_fu();
+      ++schedule.pass_fus;
+      FuInstruction pass;
+      pass.active = true;
+      pass.op = df::Op::Or;  // x | x == x: a pure register stage
+      pass.a = previous;
+      pass.b = previous;
+      cgra.program(0, pass_fu, pass);
+      previous = Operand::fu_of(pass_fu);
+      carried.emplace(key, previous);
+    }
+    return previous;
+  };
+
+  for (df::NodeId id : *order) {
+    const df::Node& node = graph.node(id);
+    if (!is_compute(node.op)) continue;
+
+    int lvl = 1;
+    for (df::NodeId producer : node.inputs) {
+      const df::Node& p = graph.node(producer);
+      if (p.op == df::Op::Const) continue;
+      const int producer_level =
+          p.op == df::Op::Input ? 0 : level[static_cast<std::size_t>(producer)];
+      lvl = std::max(lvl, producer_level + 1);
+    }
+    level[static_cast<std::size_t>(id)] = lvl;
+    fu[static_cast<std::size_t>(id)] = allocate_fu();
+
+    FuInstruction inst;
+    inst.active = true;
+    inst.op = node.op;
+    Operand* slots[3] = {&inst.a, &inst.b, &inst.c};
+    for (std::size_t k = 0; k < node.inputs.size() && k < 3; ++k) {
+      const df::NodeId producer = node.inputs[k];
+      const df::Node& p = graph.node(producer);
+      if (p.op == df::Op::Const) {
+        *slots[k] = Operand::constant_of(p.imm);
+      } else {
+        *slots[k] = operand_at(producer, lvl - 1);
+      }
+    }
+    cgra.program(0, fu[static_cast<std::size_t>(id)], inst);
+  }
+
+  // All outputs are padded to the same depth so a complete result
+  // emerges once per cycle.
+  int depth = 1;
+  for (df::NodeId id : graph.output_nodes()) {
+    const df::NodeId source = graph.node(id).inputs[0];
+    if (fu[static_cast<std::size_t>(source)] < 0) {
+      throw SimError("map_graph_pipelined: output '" + graph.node(id).name +
+                     "' is fed directly by an input/constant");
+    }
+    depth = std::max(depth, level[static_cast<std::size_t>(source)]);
+  }
+  schedule.depth = depth;
+  for (df::NodeId id : graph.output_nodes()) {
+    const df::NodeId source = graph.node(id).inputs[0];
+    const Operand at_depth = operand_at(source, depth);
+    schedule.output_fu.emplace_back(graph.node(id).name, at_depth.fu);
+  }
+  return schedule;
+}
+
+std::vector<std::vector<Word>> run_stream(
+    Cgra& cgra, const PipelineSchedule& schedule,
+    const std::vector<std::vector<std::pair<std::string, Word>>>& samples) {
+  const int sample_count = static_cast<int>(samples.size());
+  std::vector<std::vector<Word>> results(
+      static_cast<std::size_t>(sample_count));
+
+  const int total_cycles = sample_count + schedule.depth - 1;
+  for (int cycle = 0; cycle < total_cycles; ++cycle) {
+    std::vector<Word> primary(
+        static_cast<std::size_t>(cgra.shape().primary_inputs), 0);
+    if (cycle < sample_count) {
+      for (const auto& [name, value] :
+           samples[static_cast<std::size_t>(cycle)]) {
+        const auto it = schedule.input_index.find(name);
+        if (it == schedule.input_index.end()) {
+          throw SimError("run_stream: unknown input '" + name + "'");
+        }
+        primary[static_cast<std::size_t>(it->second)] = value;
+      }
+    }
+    cgra.run(primary, 1);
+
+    const int ready_sample = cycle - schedule.depth + 1;
+    if (ready_sample >= 0 && ready_sample < sample_count) {
+      std::vector<Word>& out =
+          results[static_cast<std::size_t>(ready_sample)];
+      out.reserve(schedule.output_fu.size());
+      for (const auto& [name, fu] : schedule.output_fu) {
+        out.push_back(cgra.fu_value(fu));
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace mpct::sim::cgra

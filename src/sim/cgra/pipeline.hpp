@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/cgra/cgra.hpp"
+#include "sim/dataflow/graph.hpp"
+
+namespace mpct::sim::cgra {
+
+/// A fully pipelined (initiation interval 1) mapping — the PipeRench
+/// execution model: one new input sample enters the fabric every cycle
+/// and one result leaves every cycle after a fill latency of `depth`
+/// cycles.
+struct PipelineSchedule {
+  std::map<std::string, int> input_index;
+  /// (output name, FU) in graph output order.
+  std::vector<std::pair<std::string, int>> output_fu;
+  int depth = 0;     ///< pipeline latency (levels)
+  int fus_used = 0;  ///< compute FUs + inserted delay FUs
+  int pass_fus = 0;  ///< delay (pass-through) FUs inserted by retiming
+};
+
+/// Map @p graph for II = 1 streaming.  Every compute node is placed at
+/// pipeline level 1 + max(producer levels); any operand arriving from
+/// more than one level up (including primary inputs consumed deep in
+/// the pipe) is carried through inserted pass-through FUs so that every
+/// edge spans exactly one level — the retiming a real pipelined CGRA's
+/// register chains perform.  The whole schedule lives in context 0, all
+/// FUs firing every cycle.
+///
+/// Throws SimError when the fabric lacks FUs/inputs, when the graph is
+/// invalid, or when an output is fed directly by an input/constant.
+PipelineSchedule map_graph_pipelined(const df::Graph& graph, Cgra& cgra);
+
+/// Stream @p samples through a pipelined mapping: sample s enters at
+/// cycle s, its outputs emerge at cycle s + depth.  Returns one output
+/// vector per sample (graph output order).  The fabric keeps running on
+/// zero-inputs during the drain phase.
+std::vector<std::vector<Word>> run_stream(
+    Cgra& cgra, const PipelineSchedule& schedule,
+    const std::vector<std::vector<std::pair<std::string, Word>>>& samples);
+
+}  // namespace mpct::sim::cgra

@@ -1,0 +1,148 @@
+#include "sim/cgra/scheduler.hpp"
+
+#include <algorithm>
+
+#include "sim/memory.hpp"
+
+namespace mpct::sim::cgra {
+
+namespace {
+
+bool is_compute(df::Op op) {
+  return op != df::Op::Input && op != df::Op::Const && op != df::Op::Output;
+}
+
+}  // namespace
+
+Schedule map_graph(const df::Graph& graph, Cgra& cgra) {
+  const std::vector<std::string> problems = graph.validate();
+  if (!problems.empty()) {
+    throw SimError("map_graph: graph invalid: " + problems.front());
+  }
+  const auto order = graph.topological_order();
+
+  Schedule schedule;
+  const int n = graph.node_count();
+  schedule.node_fu.assign(static_cast<std::size_t>(n), -1);
+  schedule.node_cycle.assign(static_cast<std::size_t>(n), -1);
+
+  // Bind primary inputs.
+  for (df::NodeId id : graph.input_nodes()) {
+    const int index = static_cast<int>(schedule.input_index.size());
+    if (index >= cgra.shape().primary_inputs) {
+      throw SimError("map_graph: fabric has too few primary inputs");
+    }
+    schedule.input_index[graph.node(id).name] = index;
+  }
+
+  cgra.clear();
+  std::vector<bool> fu_taken(static_cast<std::size_t>(cgra.shape().fus),
+                             false);
+
+  // The operand feeding a given producer node, for a consumer placed on
+  // @p consumer_fu (used only for reachability checks by program()).
+  const auto operand_of = [&](df::NodeId producer) -> Operand {
+    const df::Node& node = graph.node(producer);
+    switch (node.op) {
+      case df::Op::Const:
+        return Operand::constant_of(node.imm);
+      case df::Op::Input:
+        return Operand::input_of(schedule.input_index.at(node.name));
+      default:
+        return Operand::fu_of(
+            schedule.node_fu[static_cast<std::size_t>(producer)]);
+    }
+  };
+
+  for (df::NodeId id : *order) {
+    const df::Node& node = graph.node(id);
+    if (!is_compute(node.op)) continue;
+
+    // Cycle: one after the last *computed* producer (inputs/constants
+    // are available from cycle 0).
+    int cycle = 0;
+    for (df::NodeId producer : node.inputs) {
+      const int producer_cycle =
+          schedule.node_cycle[static_cast<std::size_t>(producer)];
+      cycle = std::max(cycle, producer_cycle + 1);
+    }
+    if (cycle >= cgra.shape().contexts) {
+      throw SimError("map_graph: graph depth " + std::to_string(cycle + 1) +
+                     " exceeds the fabric's context memory (" +
+                     std::to_string(cgra.shape().contexts) + ")");
+    }
+
+    // FU: first free unit reachable from every producer FU.
+    int chosen = -1;
+    for (int fu = 0; fu < cgra.shape().fus && chosen < 0; ++fu) {
+      if (fu_taken[static_cast<std::size_t>(fu)]) continue;
+      bool reaches = true;
+      for (df::NodeId producer : node.inputs) {
+        const int producer_fu =
+            schedule.node_fu[static_cast<std::size_t>(producer)];
+        if (producer_fu >= 0 &&
+            !cgra.shape().reachable(producer_fu, fu)) {
+          reaches = false;
+          break;
+        }
+      }
+      if (reaches) chosen = fu;
+    }
+    if (chosen < 0) {
+      throw SimError(
+          "map_graph: no free FU reachable from all producers (fabric "
+          "too small or window too narrow)");
+    }
+    fu_taken[static_cast<std::size_t>(chosen)] = true;
+    schedule.node_fu[static_cast<std::size_t>(id)] = chosen;
+    schedule.node_cycle[static_cast<std::size_t>(id)] = cycle;
+    schedule.depth = std::max(schedule.depth, cycle + 1);
+    ++schedule.fus_used;
+
+    FuInstruction instruction;
+    instruction.active = true;
+    instruction.op = node.op;
+    Operand* slots[3] = {&instruction.a, &instruction.b, &instruction.c};
+    for (std::size_t k = 0; k < node.inputs.size() && k < 3; ++k) {
+      *slots[k] = operand_of(node.inputs[k]);
+    }
+    cgra.program(cycle, chosen, instruction);
+  }
+
+  // Bind outputs to the FU (or constant/input passthrough is not
+  // supported: an Output fed directly by an Input/Const has no FU).
+  for (df::NodeId id : graph.output_nodes()) {
+    const df::NodeId source = graph.node(id).inputs[0];
+    const int fu = schedule.node_fu[static_cast<std::size_t>(source)];
+    if (fu < 0) {
+      throw SimError(
+          "map_graph: output '" + graph.node(id).name +
+          "' is fed directly by an input/constant; insert a compute node");
+    }
+    schedule.output_fu.emplace_back(graph.node(id).name, fu);
+  }
+  return schedule;
+}
+
+std::vector<std::pair<std::string, Word>> run_mapped(
+    Cgra& cgra, const Schedule& schedule,
+    const std::vector<std::pair<std::string, Word>>& inputs) {
+  std::vector<Word> primary(
+      static_cast<std::size_t>(cgra.shape().primary_inputs), 0);
+  for (const auto& [name, value] : inputs) {
+    const auto it = schedule.input_index.find(name);
+    if (it == schedule.input_index.end()) {
+      throw SimError("run_mapped: unknown input '" + name + "'");
+    }
+    primary[static_cast<std::size_t>(it->second)] = value;
+  }
+  cgra.run(primary, schedule.depth);
+  std::vector<std::pair<std::string, Word>> outputs;
+  outputs.reserve(schedule.output_fu.size());
+  for (const auto& [name, fu] : schedule.output_fu) {
+    outputs.emplace_back(name, cgra.fu_value(fu));
+  }
+  return outputs;
+}
+
+}  // namespace mpct::sim::cgra

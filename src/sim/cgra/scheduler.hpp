@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/cgra/cgra.hpp"
+#include "sim/dataflow/graph.hpp"
+
+namespace mpct::sim::cgra {
+
+/// Result of mapping a dataflow graph onto a CGRA: the fully spatial
+/// schedule (one FU per compute node, one context per dependence level)
+/// plus the boundary bindings needed to run it.
+struct Schedule {
+  /// Graph node -> FU (-1 for Input/Const/Output nodes, which map to
+  /// operands / boundary reads instead of FU slots).
+  std::vector<int> node_fu;
+  /// Graph node -> context cycle it executes in (-1 as above).
+  std::vector<int> node_cycle;
+  /// Input name -> primary input index.
+  std::map<std::string, int> input_index;
+  /// (output name, FU holding the result after the pass), in the
+  /// graph's output-node order.
+  std::vector<std::pair<std::string, int>> output_fu;
+  int depth = 0;      ///< contexts used (critical-path length)
+  int fus_used = 0;   ///< FUs consumed by the spatial mapping
+};
+
+/// Spatially map @p graph onto @p cgra (which is cleared and
+/// reprogrammed):
+///  * every compute node gets its own FU — values stay latched for all
+///    consumers, so the mapping is correct by construction;
+///  * a node executes one cycle after its last producer (list
+///    scheduling over the topological order);
+///  * Const and Input nodes fold into consumer operands;
+///  * with a windowed interconnect, each node greedily takes the first
+///    free FU reachable from all of its producers' FUs.
+/// Throws SimError when the fabric lacks FUs, contexts, primary inputs,
+/// or (windowed) reachable placements.
+Schedule map_graph(const df::Graph& graph, Cgra& cgra);
+
+/// Run a mapped graph: binds named inputs, executes one pass of
+/// schedule.depth cycles, returns outputs by name in output-node order.
+std::vector<std::pair<std::string, Word>> run_mapped(
+    Cgra& cgra, const Schedule& schedule,
+    const std::vector<std::pair<std::string, Word>>& inputs);
+
+}  // namespace mpct::sim::cgra

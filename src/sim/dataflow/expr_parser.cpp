@@ -1,0 +1,368 @@
+#include "sim/dataflow/expr_parser.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+#include "sim/memory.hpp"
+
+namespace mpct::sim::df {
+
+namespace {
+
+enum class TokenKind : std::uint8_t {
+  End,
+  Number,
+  Ident,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Amp,
+  Pipe,
+  Caret,
+  Shl,
+  Shr,
+  Lt,
+  Question,
+  Colon,
+  Assign,
+  Semicolon,
+  LParen,
+  RParen,
+  Comma,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  Word number = 0;
+  std::string ident;
+  int position = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Token next() {
+    skip_space();
+    Token token;
+    token.position = static_cast<int>(pos_);
+    if (pos_ >= source_.size()) return token;  // End
+    const char c = source_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Word value = 0;
+      while (pos_ < source_.size() &&
+             std::isdigit(static_cast<unsigned char>(source_[pos_]))) {
+        value = value * 10 + (source_[pos_++] - '0');
+      }
+      token.kind = TokenKind::Number;
+      token.number = value;
+      return token;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name;
+      while (pos_ < source_.size() &&
+             (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+              source_[pos_] == '_')) {
+        name += source_[pos_++];
+      }
+      token.kind = TokenKind::Ident;
+      token.ident = std::move(name);
+      return token;
+    }
+    ++pos_;
+    switch (c) {
+      case '+':
+        token.kind = TokenKind::Plus;
+        return token;
+      case '-':
+        token.kind = TokenKind::Minus;
+        return token;
+      case '*':
+        token.kind = TokenKind::Star;
+        return token;
+      case '/':
+        token.kind = TokenKind::Slash;
+        return token;
+      case '&':
+        token.kind = TokenKind::Amp;
+        return token;
+      case '|':
+        token.kind = TokenKind::Pipe;
+        return token;
+      case '^':
+        token.kind = TokenKind::Caret;
+        return token;
+      case '?':
+        token.kind = TokenKind::Question;
+        return token;
+      case ':':
+        token.kind = TokenKind::Colon;
+        return token;
+      case '=':
+        token.kind = TokenKind::Assign;
+        return token;
+      case ';':
+      case '\n':
+        token.kind = TokenKind::Semicolon;
+        return token;
+      case '(':
+        token.kind = TokenKind::LParen;
+        return token;
+      case ')':
+        token.kind = TokenKind::RParen;
+        return token;
+      case ',':
+        token.kind = TokenKind::Comma;
+        return token;
+      case '<':
+        if (pos_ < source_.size() && source_[pos_] == '<') {
+          ++pos_;
+          token.kind = TokenKind::Shl;
+        } else {
+          token.kind = TokenKind::Lt;
+        }
+        return token;
+      case '>':
+        if (pos_ < source_.size() && source_[pos_] == '>') {
+          ++pos_;
+          token.kind = TokenKind::Shr;
+          return token;
+        }
+        break;
+      default:
+        break;
+    }
+    token.kind = TokenKind::End;
+    token.ident = std::string(1, c);
+    token.position = static_cast<int>(pos_ - 1);
+    bad_char_ = true;
+    return token;
+  }
+
+  bool saw_bad_char() const { return bad_char_; }
+
+ private:
+  void skip_space() {
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (c == '#') {  // comment to end of line
+        while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      // Newlines are statement separators, not whitespace.
+      if (c == '\n') break;
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  bool bad_char_ = false;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : lexer_(source) { advance(); }
+
+  ExprResult run() {
+    while (current_.kind != TokenKind::End) {
+      if (current_.kind == TokenKind::Semicolon) {
+        advance();
+        continue;
+      }
+      parse_statement();
+      if (!result_.errors.empty()) break;  // first error wins: positions stay exact
+    }
+    if (lexer_.saw_bad_char() && result_.errors.empty()) {
+      error("unexpected character");
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void parse_statement() {
+    if (current_.kind != TokenKind::Ident) {
+      error("expected an assignment 'name = expr'");
+      return;
+    }
+    const std::string name = current_.ident;
+    advance();
+    if (current_.kind != TokenKind::Assign) {
+      error("expected '=' after '" + name + "'");
+      return;
+    }
+    advance();
+    const std::optional<NodeId> value = parse_ternary();
+    if (!value) return;
+    if (defined_.count(name)) {
+      error("'" + name + "' assigned twice");
+      return;
+    }
+    defined_[name] = *value;
+    result_.graph.add_output(name, *value);
+  }
+
+  std::optional<NodeId> parse_ternary() {
+    const std::optional<NodeId> cond = parse_binary(0);
+    if (!cond || current_.kind != TokenKind::Question) return cond;
+    advance();
+    const std::optional<NodeId> if_true = parse_ternary();
+    if (!if_true) return std::nullopt;
+    if (current_.kind != TokenKind::Colon) {
+      error("expected ':' in conditional");
+      return std::nullopt;
+    }
+    advance();
+    const std::optional<NodeId> if_false = parse_ternary();
+    if (!if_false) return std::nullopt;
+    return result_.graph.add_select(*cond, *if_true, *if_false);
+  }
+
+  /// Binary operators by precedence level (loosest first).
+  std::optional<NodeId> parse_binary(int level) {
+    struct Level {
+      TokenKind kinds[2];
+      Op ops[2];
+      int arity;  ///< how many kinds are meaningful at this level
+    };
+    static const Level kLevels[] = {
+        {{TokenKind::Pipe, TokenKind::Pipe}, {Op::Or, Op::Or}, 1},
+        {{TokenKind::Caret, TokenKind::Caret}, {Op::Xor, Op::Xor}, 1},
+        {{TokenKind::Amp, TokenKind::Amp}, {Op::And, Op::And}, 1},
+        {{TokenKind::Lt, TokenKind::Lt}, {Op::Lt, Op::Lt}, 1},
+        {{TokenKind::Shl, TokenKind::Shr}, {Op::Shl, Op::Shr}, 2},
+        {{TokenKind::Plus, TokenKind::Minus}, {Op::Add, Op::Sub}, 2},
+        {{TokenKind::Star, TokenKind::Slash}, {Op::Mul, Op::Divs}, 2},
+    };
+    constexpr int kDeepest = static_cast<int>(std::size(kLevels));
+    if (level >= kDeepest) return parse_unary();
+
+    const Level& spec = kLevels[level];
+    std::optional<NodeId> left = parse_binary(level + 1);
+    while (left) {
+      int match = -1;
+      for (int k = 0; k < spec.arity; ++k) {
+        if (current_.kind == spec.kinds[k]) match = k;
+      }
+      if (match < 0) break;
+      advance();
+      const std::optional<NodeId> right = parse_binary(level + 1);
+      if (!right) return std::nullopt;
+      left = result_.graph.add_op(spec.ops[match], *left, *right);
+    }
+    return left;
+  }
+
+  std::optional<NodeId> parse_unary() {
+    if (current_.kind == TokenKind::Minus) {
+      advance();
+      const std::optional<NodeId> operand = parse_unary();
+      if (!operand) return std::nullopt;
+      return result_.graph.add_op(Op::Sub, zero(), *operand);
+    }
+    return parse_primary();
+  }
+
+  std::optional<NodeId> parse_primary() {
+    switch (current_.kind) {
+      case TokenKind::Number: {
+        const Word value = current_.number;
+        advance();
+        return result_.graph.add_const(value);
+      }
+      case TokenKind::LParen: {
+        advance();
+        const std::optional<NodeId> inner = parse_ternary();
+        if (!inner) return std::nullopt;
+        if (current_.kind != TokenKind::RParen) {
+          error("expected ')'");
+          return std::nullopt;
+        }
+        advance();
+        return inner;
+      }
+      case TokenKind::Ident: {
+        const std::string name = current_.ident;
+        advance();
+        if ((name == "min" || name == "max") &&
+            current_.kind == TokenKind::LParen) {
+          advance();
+          const std::optional<NodeId> a = parse_ternary();
+          if (!a) return std::nullopt;
+          if (current_.kind != TokenKind::Comma) {
+            error("expected ',' in " + name + "()");
+            return std::nullopt;
+          }
+          advance();
+          const std::optional<NodeId> b = parse_ternary();
+          if (!b) return std::nullopt;
+          if (current_.kind != TokenKind::RParen) {
+            error("expected ')' in " + name + "()");
+            return std::nullopt;
+          }
+          advance();
+          return result_.graph.add_op(name == "min" ? Op::Min : Op::Max,
+                                      *a, *b);
+        }
+        return variable(name);
+      }
+      default:
+        error("expected a value");
+        return std::nullopt;
+    }
+  }
+
+  NodeId variable(const std::string& name) {
+    const auto defined = defined_.find(name);
+    if (defined != defined_.end()) return defined->second;
+    const auto input = inputs_.find(name);
+    if (input != inputs_.end()) return input->second;
+    const NodeId id = result_.graph.add_input(name);
+    inputs_[name] = id;
+    return id;
+  }
+
+  NodeId zero() {
+    if (zero_ < 0) zero_ = result_.graph.add_const(0);
+    return zero_;
+  }
+
+  void advance() { current_ = lexer_.next(); }
+
+  void error(std::string message) {
+    result_.errors.push_back({current_.position, std::move(message)});
+  }
+
+  Lexer lexer_;
+  Token current_;
+  ExprResult result_;
+  std::map<std::string, NodeId> defined_;
+  std::map<std::string, NodeId> inputs_;
+  NodeId zero_ = -1;
+};
+
+}  // namespace
+
+ExprResult compile_expression(std::string_view source) {
+  return Parser(source).run();
+}
+
+Graph compile_expression_or_throw(std::string_view source) {
+  ExprResult result = compile_expression(source);
+  if (!result.ok()) {
+    std::string message = "expression compilation failed:";
+    for (const ExprError& error : result.errors) {
+      message += "\n  " + error.to_string();
+    }
+    throw SimError(message);
+  }
+  return std::move(result.graph);
+}
+
+}  // namespace mpct::sim::df

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/dataflow/graph.hpp"
+
+namespace mpct::sim::df {
+
+/// Diagnostic from the expression compiler.
+struct ExprError {
+  int position = 0;  ///< character offset into the source
+  std::string message;
+  std::string to_string() const {
+    return "offset " + std::to_string(position) + ": " + message;
+  }
+};
+
+/// Result of compiling an expression program.
+struct ExprResult {
+  Graph graph;
+  std::vector<ExprError> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+/// Compile a small expression language into a dataflow graph — the
+/// front-end for the token machines and the CGRA mapper.
+///
+/// A program is a sequence of assignments separated by ';' or newlines:
+///
+///   acc = a*x + y;
+///   out = acc < limit ? acc : limit
+///
+/// Semantics:
+///  * every assigned name becomes a graph *output* and is usable in
+///    later statements;
+///  * every name used before assignment becomes a graph *input*;
+///  * operators (loosest to tightest): ?: | ^ & < (Lt) << >> + - * /
+///    unary-minus; parentheses group; min(a,b) / max(a,b) are builtin;
+///  * integer literals only ('#' comments run to end of line).
+ExprResult compile_expression(std::string_view source);
+
+/// Compile or throw SimError listing the diagnostics.
+Graph compile_expression_or_throw(std::string_view source);
+
+}  // namespace mpct::sim::df

@@ -1,0 +1,278 @@
+#include "sim/dataflow/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "sim/memory.hpp"
+
+namespace mpct::sim::df {
+
+std::string_view to_string(Op op) {
+  switch (op) {
+    case Op::Const:
+      return "const";
+    case Op::Input:
+      return "input";
+    case Op::Add:
+      return "add";
+    case Op::Sub:
+      return "sub";
+    case Op::Mul:
+      return "mul";
+    case Op::Divs:
+      return "divs";
+    case Op::And:
+      return "and";
+    case Op::Or:
+      return "or";
+    case Op::Xor:
+      return "xor";
+    case Op::Shl:
+      return "shl";
+    case Op::Shr:
+      return "shr";
+    case Op::Min:
+      return "min";
+    case Op::Max:
+      return "max";
+    case Op::Lt:
+      return "lt";
+    case Op::Select:
+      return "select";
+    case Op::Output:
+      return "output";
+  }
+  return "?";
+}
+
+int arity(Op op) {
+  switch (op) {
+    case Op::Const:
+    case Op::Input:
+      return 0;
+    case Op::Output:
+      return 1;
+    case Op::Select:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+NodeId Graph::append(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Graph::add_const(Word value) {
+  Node node;
+  node.op = Op::Const;
+  node.imm = value;
+  return append(std::move(node));
+}
+
+NodeId Graph::add_input(std::string name) {
+  Node node;
+  node.op = Op::Input;
+  node.name = std::move(name);
+  const NodeId id = append(std::move(node));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Graph::add_op(Op op, NodeId a, NodeId b) {
+  Node node;
+  node.op = op;
+  node.inputs = {a, b};
+  return append(std::move(node));
+}
+
+NodeId Graph::add_select(NodeId cond, NodeId if_true, NodeId if_false) {
+  Node node;
+  node.op = Op::Select;
+  node.inputs = {cond, if_true, if_false};
+  return append(std::move(node));
+}
+
+NodeId Graph::add_output(std::string name, NodeId source) {
+  Node node;
+  node.op = Op::Output;
+  node.name = std::move(name);
+  node.inputs = {source};
+  const NodeId id = append(std::move(node));
+  outputs_.push_back(id);
+  return id;
+}
+
+std::optional<std::vector<NodeId>> Graph::topological_order() const {
+  const int n = node_count();
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<NodeId>> consumers(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    for (NodeId producer : nodes_[static_cast<std::size_t>(id)].inputs) {
+      if (producer < 0 || producer >= n) return std::nullopt;
+      consumers[static_cast<std::size_t>(producer)].push_back(id);
+      ++indegree[static_cast<std::size_t>(id)];
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<NodeId> frontier;
+  for (NodeId id = 0; id < n; ++id) {
+    if (indegree[static_cast<std::size_t>(id)] == 0) frontier.push_back(id);
+  }
+  while (!frontier.empty()) {
+    const NodeId id = frontier.back();
+    frontier.pop_back();
+    order.push_back(id);
+    for (NodeId consumer : consumers[static_cast<std::size_t>(id)]) {
+      if (--indegree[static_cast<std::size_t>(consumer)] == 0) {
+        frontier.push_back(consumer);
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != n) return std::nullopt;  // cycle
+  return order;
+}
+
+std::vector<std::string> Graph::validate() const {
+  std::vector<std::string> problems;
+  const int n = node_count();
+  std::map<std::string, int> input_names;
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& node = nodes_[static_cast<std::size_t>(id)];
+    if (static_cast<int>(node.inputs.size()) != arity(node.op)) {
+      problems.push_back("node " + std::to_string(id) + " (" +
+                         std::string(to_string(node.op)) + ") has " +
+                         std::to_string(node.inputs.size()) +
+                         " operands, expected " +
+                         std::to_string(arity(node.op)));
+    }
+    for (NodeId producer : node.inputs) {
+      if (producer < 0 || producer >= n) {
+        problems.push_back("node " + std::to_string(id) +
+                           " references missing node " +
+                           std::to_string(producer));
+      }
+    }
+    if (node.op == Op::Input && ++input_names[node.name] > 1) {
+      problems.push_back("duplicate input name '" + node.name + "'");
+    }
+  }
+  if (problems.empty() && !topological_order()) {
+    problems.push_back("graph is cyclic (static dataflow must be acyclic)");
+  }
+  return problems;
+}
+
+std::vector<int> Graph::components() const {
+  const int n = node_count();
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (NodeId id = 0; id < n; ++id) {
+    for (NodeId producer : nodes_[static_cast<std::size_t>(id)].inputs) {
+      if (producer < 0 || producer >= n) continue;
+      parent[static_cast<std::size_t>(find(id))] = find(producer);
+    }
+  }
+  std::map<int, int> labels;
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    const int root = find(id);
+    const auto [it, inserted] =
+        labels.emplace(root, static_cast<int>(labels.size()));
+    out[static_cast<std::size_t>(id)] = it->second;
+  }
+  return out;
+}
+
+Word apply_op(const Node& node, const std::vector<Word>& operands) {
+  const auto in = [&](int index) {
+    return operands[static_cast<std::size_t>(index)];
+  };
+  switch (node.op) {
+    case Op::Const:
+      return node.imm;
+    case Op::Input:
+      throw SimError("dataflow: apply_op() called on an Input node");
+    case Op::Add:
+      return in(0) + in(1);
+    case Op::Sub:
+      return in(0) - in(1);
+    case Op::Mul:
+      return in(0) * in(1);
+    case Op::Divs:
+      if (in(1) == 0) throw SimError("dataflow: division by zero");
+      return in(0) / in(1);
+    case Op::And:
+      return in(0) & in(1);
+    case Op::Or:
+      return in(0) | in(1);
+    case Op::Xor:
+      return in(0) ^ in(1);
+    case Op::Shl:
+      return static_cast<Word>(static_cast<std::uint64_t>(in(0))
+                               << (static_cast<std::uint64_t>(in(1)) & 63));
+    case Op::Shr:
+      return static_cast<Word>(static_cast<std::uint64_t>(in(0)) >>
+                               (static_cast<std::uint64_t>(in(1)) & 63));
+    case Op::Min:
+      return std::min(in(0), in(1));
+    case Op::Max:
+      return std::max(in(0), in(1));
+    case Op::Lt:
+      return in(0) < in(1) ? 1 : 0;
+    case Op::Select:
+      return in(0) != 0 ? in(1) : in(2);
+    case Op::Output:
+      return in(0);
+  }
+  throw SimError("dataflow: unknown op");
+}
+
+std::vector<std::pair<std::string, Word>> evaluate(
+    const Graph& graph,
+    const std::vector<std::pair<std::string, Word>>& inputs) {
+  const std::vector<std::string> problems = graph.validate();
+  if (!problems.empty()) {
+    throw SimError("dataflow graph invalid: " + problems.front());
+  }
+  std::map<std::string, Word> bound(inputs.begin(), inputs.end());
+  const auto order = graph.topological_order();
+  std::vector<Word> value(static_cast<std::size_t>(graph.node_count()), 0);
+  for (NodeId id : *order) {
+    const Node& node = graph.node(id);
+    if (node.op == Op::Input) {
+      const auto it = bound.find(node.name);
+      if (it == bound.end()) {
+        throw SimError("dataflow: missing input '" + node.name + "'");
+      }
+      value[static_cast<std::size_t>(id)] = it->second;
+      continue;
+    }
+    std::vector<Word> operands;
+    operands.reserve(node.inputs.size());
+    for (NodeId producer : node.inputs) {
+      operands.push_back(value[static_cast<std::size_t>(producer)]);
+    }
+    value[static_cast<std::size_t>(id)] = apply_op(node, operands);
+  }
+  std::vector<std::pair<std::string, Word>> outputs;
+  for (NodeId id : graph.output_nodes()) {
+    outputs.emplace_back(graph.node(id).name,
+                         value[static_cast<std::size_t>(id)]);
+  }
+  return outputs;
+}
+
+}  // namespace mpct::sim::df

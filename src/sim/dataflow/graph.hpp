@@ -1,0 +1,102 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/word.hpp"
+
+namespace mpct::sim::df {
+
+/// Operator of one dataflow node.  In a data-flow machine "the data
+/// elements carry instructions which are then executed on the arrival of
+/// the data at the inputs of the processing elements" (Section II-C.1);
+/// a node fires when all of its operands hold tokens.
+enum class Op : std::uint8_t {
+  Const,   ///< source producing a fixed value (fires once)
+  Input,   ///< named external input (token provided at run start)
+  Add,
+  Sub,
+  Mul,
+  Divs,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Min,
+  Max,
+  Lt,      ///< a < b ? 1 : 0
+  Select,  ///< cond ? a : b  (three operands)
+  Output,  ///< named external output (one operand)
+};
+
+std::string_view to_string(Op op);
+
+/// Number of operands an operator consumes.
+int arity(Op op);
+
+using NodeId = int;
+
+/// One node of a dataflow graph.
+struct Node {
+  Op op = Op::Const;
+  Word imm = 0;                ///< Const value
+  std::string name;            ///< Input/Output name
+  std::vector<NodeId> inputs;  ///< operand producers, size == arity(op)
+};
+
+/// A static dataflow graph (the program of a data-flow machine).  Nodes
+/// are appended through the builder methods; `validate()` checks arities,
+/// dangling references and acyclicity (static dataflow: no back edges).
+class Graph {
+ public:
+  NodeId add_const(Word value);
+  NodeId add_input(std::string name);
+  NodeId add_op(Op op, NodeId a, NodeId b);
+  NodeId add_select(NodeId cond, NodeId if_true, NodeId if_false);
+  NodeId add_output(std::string name, NodeId source);
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(NodeId id) const {
+    return nodes_.at(static_cast<std::size_t>(id));
+  }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Ids of Input / Output nodes in creation order.
+  const std::vector<NodeId>& input_nodes() const { return inputs_; }
+  const std::vector<NodeId>& output_nodes() const { return outputs_; }
+
+  /// Topological order of the nodes; std::nullopt if the graph is cyclic.
+  std::optional<std::vector<NodeId>> topological_order() const;
+
+  /// Empty on success; otherwise human-readable problems (bad arity,
+  /// dangling operand, cycle, duplicate input name).
+  std::vector<std::string> validate() const;
+
+  /// Connected-component label per node (undirected connectivity) — the
+  /// unit of parallelism available to a DMP-I machine, whose PEs cannot
+  /// exchange tokens at all.
+  std::vector<int> components() const;
+
+ private:
+  NodeId append(Node node);
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+};
+
+/// Apply one node's operator to already-computed operand values.
+/// Const returns node.imm; Input is not applicable (throws SimError) —
+/// its value comes from the run's input bindings.
+Word apply_op(const Node& node, const std::vector<Word>& operands);
+
+/// Evaluate the graph functionally (reference semantics for the token
+/// machines): inputs by name, returns outputs by name in output-node
+/// order.  Throws SimError on validation failure or missing inputs.
+std::vector<std::pair<std::string, Word>> evaluate(
+    const Graph& graph,
+    const std::vector<std::pair<std::string, Word>>& inputs);
+
+}  // namespace mpct::sim::df

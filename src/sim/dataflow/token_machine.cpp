@@ -1,0 +1,220 @@
+#include "sim/dataflow/token_machine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "sim/memory.hpp"
+
+namespace mpct::sim::df {
+
+TokenMachineConfig TokenMachineConfig::uniprocessor() {
+  TokenMachineConfig config;
+  config.pes = 1;
+  return config;
+}
+
+TokenMachineConfig TokenMachineConfig::for_subtype(int subtype, int pes) {
+  if (subtype < 1 || subtype > 4) {
+    throw std::invalid_argument("DMP subtype must be 1..4");
+  }
+  TokenMachineConfig config;
+  config.pes = pes;
+  const int bits = subtype - 1;
+  config.dp_dm =
+      (bits & 2) ? mpct::SwitchKind::Crossbar : mpct::SwitchKind::Direct;
+  config.dp_dp =
+      (bits & 1) ? mpct::SwitchKind::Crossbar : mpct::SwitchKind::None;
+  return config;
+}
+
+int TokenMachineConfig::subtype() const {
+  if (pes <= 1) return 0;
+  return 1 + 2 * (dp_dm == mpct::SwitchKind::Crossbar ? 1 : 0) +
+         (dp_dp == mpct::SwitchKind::Crossbar ? 1 : 0);
+}
+
+TokenMachine::TokenMachine(const Graph& graph, TokenMachineConfig config)
+    : graph_(graph), config_(config) {
+  if (config_.pes < 1) {
+    throw std::invalid_argument("TokenMachine needs >= 1 PE");
+  }
+  const std::vector<std::string> problems = graph_.validate();
+  if (!problems.empty()) {
+    throw SimError("dataflow graph invalid: " + problems.front());
+  }
+
+  const int n = graph_.node_count();
+  placement_.assign(static_cast<std::size_t>(n), 0);
+  if (config_.pes == 1) return;
+
+  const bool isolated = config_.dp_dp == mpct::SwitchKind::None &&
+                        config_.dp_dm == mpct::SwitchKind::Direct;
+  const std::vector<int> component = graph_.components();
+  const int components =
+      component.empty()
+          ? 0
+          : 1 + *std::max_element(component.begin(), component.end());
+  if (isolated || components >= config_.pes) {
+    // DMP-I has no inter-PE path, so whole connected components are the
+    // only possible placement unit.  The flexible sub-types use the same
+    // placement whenever it already saturates the PEs: component-local
+    // schedules avoid all transfer latency, so a more flexible machine
+    // never loses to DMP-I on component-parallel workloads.
+    for (NodeId id = 0; id < n; ++id) {
+      placement_[static_cast<std::size_t>(id)] =
+          component[static_cast<std::size_t>(id)] % config_.pes;
+    }
+  } else {
+    // Fewer components than PEs: spread nodes round-robin over the
+    // topological order to expose intra-component parallelism (only the
+    // sub-types with an inter-PE path ever get here).
+    const auto order = graph_.topological_order();
+    int index = 0;
+    for (NodeId id : *order) {
+      placement_[static_cast<std::size_t>(id)] = index++ % config_.pes;
+    }
+  }
+}
+
+DataflowRunResult TokenMachine::run(
+    const std::vector<std::pair<std::string, Word>>& inputs,
+    std::int64_t max_cycles) const {
+  const int n = graph_.node_count();
+  const std::map<std::string, Word> bound(inputs.begin(), inputs.end());
+
+  // Edge latency between producer u and consumer v.
+  const auto transfer = [&](NodeId u, NodeId v) -> std::int64_t {
+    if (placement_[static_cast<std::size_t>(u)] ==
+        placement_[static_cast<std::size_t>(v)]) {
+      return 0;
+    }
+    // Global inputs: with a DP-DM crossbar every PE reads external
+    // inputs directly from memory.
+    if (graph_.node(u).op == Op::Input &&
+        config_.dp_dm == mpct::SwitchKind::Crossbar) {
+      return 0;
+    }
+    if (config_.dp_dp == mpct::SwitchKind::Crossbar) {
+      return config_.cross_latency;
+    }
+    if (config_.dp_dm == mpct::SwitchKind::Crossbar) {
+      return config_.memory_latency;
+    }
+    throw SimError(
+        "DMP-I token crossed PEs: placement must keep components local");
+  };
+
+  constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+  // arrival[v][k]: cycle at which operand k of node v holds a token.
+  std::vector<std::vector<std::int64_t>> arrival(
+      static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    arrival[static_cast<std::size_t>(id)].assign(
+        graph_.node(id).inputs.size(), kNever);
+  }
+  std::vector<Word> value(static_cast<std::size_t>(n), 0);
+  std::vector<bool> fired(static_cast<std::size_t>(n), false);
+  // consumers[u]: list of (consumer, operand index).
+  std::vector<std::vector<std::pair<NodeId, int>>> consumers(
+      static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& node = graph_.node(id);
+    for (std::size_t k = 0; k < node.inputs.size(); ++k) {
+      consumers[static_cast<std::size_t>(node.inputs[k])].push_back(
+          {id, static_cast<int>(k)});
+    }
+  }
+
+  DataflowRunResult result;
+  result.placement = placement_;
+
+  std::int64_t cycle = 0;
+  int remaining = n;
+  while (remaining > 0 && cycle < max_cycles) {
+    // Each PE fires its lowest-numbered ready node this cycle.
+    std::vector<NodeId> firing;
+    std::vector<bool> pe_busy(static_cast<std::size_t>(config_.pes), false);
+    for (NodeId id = 0; id < n; ++id) {
+      if (fired[static_cast<std::size_t>(id)]) continue;
+      const int pe = placement_[static_cast<std::size_t>(id)];
+      if (pe_busy[static_cast<std::size_t>(pe)]) continue;
+      bool ready = true;
+      for (std::int64_t at : arrival[static_cast<std::size_t>(id)]) {
+        if (at > cycle) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      firing.push_back(id);
+      pe_busy[static_cast<std::size_t>(pe)] = true;
+    }
+
+    if (firing.empty()) {
+      // Nothing ready: fast-forward to the next token arrival.
+      std::int64_t next = kNever;
+      for (NodeId id = 0; id < n; ++id) {
+        if (fired[static_cast<std::size_t>(id)]) continue;
+        std::int64_t node_ready = cycle;
+        bool possible = true;
+        for (std::int64_t at : arrival[static_cast<std::size_t>(id)]) {
+          if (at == kNever) {
+            possible = false;
+            break;
+          }
+          node_ready = std::max(node_ready, at);
+        }
+        if (possible) next = std::min(next, node_ready);
+      }
+      if (next == kNever) {
+        throw SimError("token machine stalled: tokens can never arrive");
+      }
+      cycle = next;
+      continue;
+    }
+
+    for (NodeId id : firing) {
+      const Node& node = graph_.node(id);
+      Word out;
+      if (node.op == Op::Input) {
+        const auto it = bound.find(node.name);
+        if (it == bound.end()) {
+          throw SimError("dataflow: missing input '" + node.name + "'");
+        }
+        out = it->second;
+      } else {
+        std::vector<Word> operands;
+        operands.reserve(node.inputs.size());
+        for (NodeId producer : node.inputs) {
+          operands.push_back(value[static_cast<std::size_t>(producer)]);
+        }
+        out = apply_op(node, operands);
+      }
+      value[static_cast<std::size_t>(id)] = out;
+      fired[static_cast<std::size_t>(id)] = true;
+      --remaining;
+      ++result.stats.instructions;
+      const std::int64_t done = cycle + 1;
+      result.stats.cycles = std::max(result.stats.cycles, done);
+      for (const auto& [consumer, operand] :
+           consumers[static_cast<std::size_t>(id)]) {
+        arrival[static_cast<std::size_t>(consumer)]
+               [static_cast<std::size_t>(operand)] =
+                   done + transfer(id, consumer);
+      }
+    }
+    ++cycle;
+  }
+
+  result.stats.halted = remaining == 0;
+  for (NodeId id : graph_.output_nodes()) {
+    result.outputs.emplace_back(graph_.node(id).name,
+                                value[static_cast<std::size_t>(id)]);
+    result.stats.output.push_back(value[static_cast<std::size_t>(id)]);
+  }
+  return result;
+}
+
+}  // namespace mpct::sim::df

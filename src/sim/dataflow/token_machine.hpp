@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/connectivity.hpp"
+#include "sim/dataflow/graph.hpp"
+#include "sim/machine.hpp"
+
+namespace mpct::sim::df {
+
+/// Configuration of a token-driven data-flow machine (classes DUP and
+/// DMP-I..IV).  The sub-type's switches decide how a token produced on
+/// one processing element reaches a consumer on another:
+///
+///  * DMP-I  (DP-DM direct, no DP-DP): PEs cannot exchange tokens at
+///    all — every connected component of the graph must execute on a
+///    single PE, so parallelism only exists *across* components.
+///  * DMP-II (DP-DP crossbar): direct PE-to-PE token transfer,
+///    cross_latency cycles; inputs still materialise on their home PE.
+///  * DMP-III (DP-DM crossbar): tokens cross through shared memory,
+///    memory_latency cycles; any PE can read any external input.
+///  * DMP-IV (both): crossbar transfer *and* global inputs.
+struct TokenMachineConfig {
+  int pes = 1;  ///< processing elements; 1 = DUP
+  mpct::SwitchKind dp_dm = mpct::SwitchKind::Direct;
+  mpct::SwitchKind dp_dp = mpct::SwitchKind::None;
+  int cross_latency = 1;   ///< PE->PE token hop over the DP-DP crossbar
+  int memory_latency = 2;  ///< PE->memory->PE when only DP-DM is flexible
+
+  static TokenMachineConfig uniprocessor();  ///< DUP
+  static TokenMachineConfig for_subtype(int subtype, int pes);
+
+  /// 0 for DUP (single PE), otherwise the DMP sub-type 1..4.
+  int subtype() const;
+};
+
+/// Result of a token-machine run.
+struct DataflowRunResult {
+  RunStats stats;  ///< cycles = makespan, instructions = node firings
+  std::vector<std::pair<std::string, Word>> outputs;
+  /// Node -> PE assignment used.
+  std::vector<int> placement;
+};
+
+/// Execute a dataflow graph on a token-driven machine.  Scheduling is
+/// deterministic: each cycle every PE fires its lowest-numbered ready
+/// node (all operand tokens arrived); results appear after 1 cycle plus
+/// the class's transfer latency for remote consumers.
+///
+/// Placement: nodes spread round-robin by topological index; for
+/// machines without any inter-PE path (DMP-I semantics) placement is by
+/// connected component, and a graph whose component spans are fine
+/// because components are self-contained by construction.
+class TokenMachine {
+ public:
+  TokenMachine(const Graph& graph, TokenMachineConfig config);
+
+  const TokenMachineConfig& config() const { return config_; }
+
+  DataflowRunResult run(
+      const std::vector<std::pair<std::string, Word>>& inputs,
+      std::int64_t max_cycles = 1'000'000) const;
+
+ private:
+  const Graph& graph_;
+  TokenMachineConfig config_;
+  std::vector<int> placement_;
+};
+
+}  // namespace mpct::sim::df

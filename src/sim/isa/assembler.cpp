@@ -1,0 +1,297 @@
+#include "sim/isa/assembler.hpp"
+
+#include <cctype>
+#include <optional>
+
+#include "sim/memory.hpp"
+
+namespace mpct::sim {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// Split an operand list on commas.
+std::vector<std::string> split_operands(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string_view piece =
+        comma == std::string_view::npos
+            ? text.substr(start)
+            : text.substr(start, comma - start);
+    const std::string_view trimmed = trim(piece);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+struct PendingBranch {
+  std::size_t instruction;  ///< index into the program
+  std::string label;
+  int line;
+};
+
+}  // namespace
+
+AssemblyResult assemble(std::string_view source) {
+  AssemblyResult result;
+  std::vector<PendingBranch> pending;
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    std::string_view raw =
+        eol == std::string_view::npos ? source.substr(pos)
+                                      : source.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+    ++line_no;
+
+    // Strip comments.
+    const std::size_t comment = raw.find_first_of(";#");
+    if (comment != std::string_view::npos) raw = raw.substr(0, comment);
+    std::string_view line = trim(raw);
+    if (line.empty()) continue;
+
+    // Labels (possibly several, possibly followed by an instruction).
+    while (true) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string_view::npos) break;
+      const std::string label = lower(trim(line.substr(0, colon)));
+      if (label.empty() ||
+          !std::isalpha(static_cast<unsigned char>(label[0]))) {
+        result.errors.push_back({line_no, "bad label '" + label + "'"});
+        break;
+      }
+      if (result.labels.count(label)) {
+        result.errors.push_back({line_no, "duplicate label '" + label + "'"});
+      }
+      result.labels[label] = static_cast<int>(result.program.size());
+      line = trim(line.substr(colon + 1));
+    }
+    if (line.empty()) continue;
+
+    // Mnemonic and operands.
+    std::size_t space = line.find_first_of(" \t");
+    const std::string mnem =
+        lower(space == std::string_view::npos ? line : line.substr(0, space));
+    const std::optional<Opcode> op = opcode_from_mnemonic(mnem);
+    if (!op) {
+      result.errors.push_back({line_no, "unknown mnemonic '" + mnem + "'"});
+      continue;
+    }
+    const std::vector<std::string> operands = split_operands(
+        space == std::string_view::npos ? std::string_view{}
+                                        : line.substr(space + 1));
+
+    const auto reg = [&](const std::string& token) -> std::optional<int> {
+      const std::string t = lower(token);
+      if (t.size() < 2 || t[0] != 'r') return std::nullopt;
+      int value = 0;
+      for (std::size_t i = 1; i < t.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(t[i]))) {
+          return std::nullopt;
+        }
+        value = value * 10 + (t[i] - '0');
+      }
+      if (value >= kRegisterCount) return std::nullopt;
+      return value;
+    };
+    const auto imm = [&](const std::string& token) -> std::optional<Word> {
+      if (token.empty()) return std::nullopt;
+      std::size_t i = token[0] == '-' ? 1 : 0;
+      if (i == token.size()) return std::nullopt;
+      Word value = 0;
+      for (; i < token.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(token[i]))) {
+          return std::nullopt;
+        }
+        value = value * 10 + (token[i] - '0');
+      }
+      return token[0] == '-' ? -value : value;
+    };
+
+    Instruction inst;
+    inst.op = *op;
+    bool ok = true;
+    const auto need = [&](std::size_t count) {
+      if (operands.size() != count) {
+        result.errors.push_back(
+            {line_no, mnem + " expects " + std::to_string(count) +
+                          " operand(s), got " +
+                          std::to_string(operands.size())});
+        ok = false;
+        return false;
+      }
+      return true;
+    };
+    const auto take_reg = [&](const std::string& token, std::uint8_t& out) {
+      const std::optional<int> r = reg(token);
+      if (!r) {
+        result.errors.push_back({line_no, "bad register '" + token + "'"});
+        ok = false;
+        return;
+      }
+      out = static_cast<std::uint8_t>(*r);
+    };
+    const auto take_target = [&](const std::string& token) {
+      if (const std::optional<Word> value = imm(token)) {
+        inst.imm = *value;
+        return;
+      }
+      pending.push_back(
+          {result.program.size(), lower(token), line_no});
+    };
+
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+        need(0);
+        break;
+      case Opcode::Ldi:
+        if (need(2)) {
+          take_reg(operands[0], inst.rd);
+          if (const auto value = imm(operands[1])) {
+            inst.imm = *value;
+          } else {
+            result.errors.push_back(
+                {line_no, "bad immediate '" + operands[1] + "'"});
+            ok = false;
+          }
+        }
+        break;
+      case Opcode::Mov:
+        if (need(2)) {
+          take_reg(operands[0], inst.rd);
+          take_reg(operands[1], inst.ra);
+        }
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Divs:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Shuf:
+        if (need(3)) {
+          take_reg(operands[0], inst.rd);
+          take_reg(operands[1], inst.ra);
+          take_reg(operands[2], inst.rb);
+        }
+        break;
+      case Opcode::Addi:
+      case Opcode::Ld:
+        if (need(3)) {
+          take_reg(operands[0], inst.rd);
+          take_reg(operands[1], inst.ra);
+          if (const auto value = imm(operands[2])) {
+            inst.imm = *value;
+          } else {
+            result.errors.push_back(
+                {line_no, "bad immediate '" + operands[2] + "'"});
+            ok = false;
+          }
+        }
+        break;
+      case Opcode::St:
+        if (need(3)) {
+          take_reg(operands[0], inst.ra);  // address base
+          take_reg(operands[1], inst.rb);  // value
+          if (const auto value = imm(operands[2])) {
+            inst.imm = *value;
+          } else {
+            result.errors.push_back(
+                {line_no, "bad immediate '" + operands[2] + "'"});
+            ok = false;
+          }
+        }
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+        if (need(3)) {
+          take_reg(operands[0], inst.ra);
+          take_reg(operands[1], inst.rb);
+          take_target(operands[2]);
+        }
+        break;
+      case Opcode::Jmp:
+        if (need(1)) take_target(operands[0]);
+        break;
+      case Opcode::Lane:
+      case Opcode::Recv:
+        if (need(1)) take_reg(operands[0], inst.rd);
+        break;
+      case Opcode::Send:
+        if (need(2)) {
+          take_reg(operands[0], inst.ra);
+          take_reg(operands[1], inst.rb);
+        }
+        break;
+      case Opcode::Out:
+        if (need(1)) take_reg(operands[0], inst.ra);
+        break;
+    }
+    if (ok) {
+      result.program.push_back(inst);
+    } else {
+      // Drop label fixups recorded for this discarded instruction, or a
+      // later instruction at the same index would be mispatched.
+      while (!pending.empty() &&
+             pending.back().instruction == result.program.size()) {
+        pending.pop_back();
+      }
+    }
+  }
+
+  // Resolve label references.
+  for (const PendingBranch& branch : pending) {
+    const auto it = result.labels.find(branch.label);
+    if (it == result.labels.end()) {
+      result.errors.push_back(
+          {branch.line, "undefined label '" + branch.label + "'"});
+      continue;
+    }
+    if (branch.instruction < result.program.size()) {
+      result.program[branch.instruction].imm = it->second;
+    }
+  }
+  return result;
+}
+
+Program assemble_or_throw(std::string_view source) {
+  AssemblyResult result = assemble(source);
+  if (!result.ok()) {
+    std::string message = "assembly failed:";
+    for (const AsmError& error : result.errors) {
+      message += "\n  " + error.to_string();
+    }
+    throw SimError(message);
+  }
+  return std::move(result.program);
+}
+
+}  // namespace mpct::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/isa/isa.hpp"
+
+namespace mpct::sim {
+
+/// Assembler diagnostic.
+struct AsmError {
+  int line = 0;
+  std::string message;
+  std::string to_string() const {
+    return "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+/// Result of assembling a source text.
+struct AssemblyResult {
+  Program program;
+  std::map<std::string, int> labels;  ///< label -> instruction index
+  std::vector<AsmError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Two-pass assembler for the simulator ISA.
+///
+/// Syntax, one statement per line:
+///   ; or # start a comment
+///   label:                 (may share a line with an instruction)
+///   ldi  r1, 42
+///   add  r2, r1, r1
+///   addi r2, r1, -3
+///   ld   r3, r1, 4         ; r3 = DM[r1 + 4]
+///   st   r1, r2, 0         ; DM[r1 + 0] = r2
+///   beq  r1, r2, done      ; branch targets are labels or integers
+///   jmp  loop
+///   lane r5
+///   shuf r6, r2, r5        ; r6 = lane[r5].r2
+///   send r2, r5            ; to core r5
+///   recv r7
+///   out  r7
+///   halt
+AssemblyResult assemble(std::string_view source);
+
+/// Assemble and throw SimError on any diagnostic — for tests/examples
+/// with known-good sources.
+Program assemble_or_throw(std::string_view source);
+
+}  // namespace mpct::sim

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/word.hpp"
+
+namespace mpct::sim {
+
+/// The minimal RISC instruction set shared by the instruction-flow
+/// simulators (IUP, IAP lanes, IMP cores).  Three-address register
+/// format over 16 general registers; r0 reads as a normal register (not
+/// hard-wired zero).
+///
+/// Two instructions exist specifically to make the taxonomy's
+/// connectivity columns executable:
+///  * SHUF (array processors): lane-to-lane register exchange — legal
+///    only when the machine's DP-DP switch exists (IAP-II/IV).
+///  * SEND/RECV (multiprocessors): core-to-core messages over the DP-DP
+///    network (IMP-II/IV/...).
+/// Executing them on a class without the switch raises a SimError: the
+/// flexibility scores of Table II are enforced, not just asserted.
+enum class Opcode : std::uint8_t {
+  Nop,
+  Halt,
+  Ldi,   ///< rd = imm
+  Mov,   ///< rd = ra
+  Add,   ///< rd = ra + rb
+  Sub,   ///< rd = ra - rb
+  Mul,   ///< rd = ra * rb
+  Divs,  ///< rd = ra / rb (traps on rb == 0)
+  And,   ///< rd = ra & rb
+  Or,    ///< rd = ra | rb
+  Xor,   ///< rd = ra ^ rb
+  Shl,   ///< rd = ra << (rb & 63)
+  Shr,   ///< rd = (unsigned)ra >> (rb & 63)
+  Addi,  ///< rd = ra + imm
+  Ld,    ///< rd = DM[ra + imm]
+  St,    ///< DM[ra + imm] = rb   (note: address base in ra)
+  Beq,   ///< if ra == rb jump to imm
+  Bne,   ///< if ra != rb jump to imm
+  Blt,   ///< if ra <  rb jump to imm
+  Jmp,   ///< jump to imm
+  Lane,  ///< rd = lane/core index (0 on a uniprocessor)
+  Shuf,  ///< rd = register ra of lane (rb mod lanes)  [needs DP-DP switch]
+  Send,  ///< send ra to core (rb mod cores)           [needs DP-DP switch]
+  Recv,  ///< rd = next message (blocks until one arrives)
+  Out,   ///< append ra to the machine's output stream
+};
+
+/// Number of general-purpose registers per data processor.
+inline constexpr int kRegisterCount = 16;
+
+/// One decoded instruction.  Branch/jump targets live in imm after
+/// assembly (absolute instruction index).
+struct Instruction {
+  Opcode op = Opcode::Nop;
+  std::uint8_t rd = 0;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  Word imm = 0;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+using Program = std::vector<Instruction>;
+
+/// Mnemonic of an opcode ("add", "beq", ...).
+std::string_view mnemonic(Opcode op);
+
+/// Opcode from mnemonic; nullopt for unknown text.
+std::optional<Opcode> opcode_from_mnemonic(std::string_view text);
+
+/// Disassemble one instruction.
+std::string to_string(const Instruction& inst);
+
+/// Pure ALU function for the 3-register arithmetic/logic opcodes.
+/// Throws SimError for Divs by zero; must not be called with non-ALU
+/// opcodes (throws SimError).
+Word alu(Opcode op, Word a, Word b);
+
+/// True for opcodes the ALU helper handles.
+bool is_alu_op(Opcode op);
+
+}  // namespace mpct::sim

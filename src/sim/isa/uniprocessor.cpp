@@ -1,0 +1,57 @@
+#include "sim/isa/uniprocessor.hpp"
+
+namespace mpct::sim {
+
+Uniprocessor::Uniprocessor(Program program, std::size_t dm_words)
+    : program_(std::move(program)), dm_("DM", dm_words) {}
+
+void Uniprocessor::reset() { core_ = CoreState{}; }
+
+RunStats Uniprocessor::run(std::int64_t max_cycles) {
+  RunStats stats;
+  const int size = static_cast<int>(program_.size());
+  while (!core_.halted && stats.cycles < max_cycles) {
+    if (core_.pc < 0 || core_.pc >= size) {
+      throw SimError("IUP: pc out of program at " + std::to_string(core_.pc));
+    }
+    const Instruction& inst = program_[static_cast<std::size_t>(core_.pc)];
+    ++stats.cycles;
+    ++stats.instructions;
+    if (execute_common(core_, inst, size)) continue;
+    switch (inst.op) {
+      case Opcode::Ld:
+        core_.set_reg(inst.rd, dm_.load(static_cast<std::size_t>(
+                                   core_.reg(inst.ra) + inst.imm)));
+        ++core_.pc;
+        break;
+      case Opcode::St:
+        dm_.store(static_cast<std::size_t>(core_.reg(inst.ra) + inst.imm),
+                  core_.reg(inst.rb));
+        ++core_.pc;
+        break;
+      case Opcode::Lane:
+        core_.set_reg(inst.rd, 0);
+        ++core_.pc;
+        break;
+      case Opcode::Out:
+        stats.output.push_back(core_.reg(inst.ra));
+        ++core_.pc;
+        break;
+      case Opcode::Shuf:
+        throw SimError(
+            "IUP has no DP-DP switch: SHUF is not executable on this class");
+      case Opcode::Send:
+      case Opcode::Recv:
+        throw SimError(
+            "IUP has no DP-DP switch: SEND/RECV are not executable on this "
+            "class");
+      default:
+        throw SimError("IUP: unhandled opcode " +
+                       std::string(mnemonic(inst.op)));
+    }
+  }
+  stats.halted = core_.halted;
+  return stats;
+}
+
+}  // namespace mpct::sim

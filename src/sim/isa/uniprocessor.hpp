@@ -1,0 +1,37 @@
+#pragma once
+
+#include "sim/machine.hpp"
+#include "sim/memory.hpp"
+
+namespace mpct::sim {
+
+/// Instruction-flow uni-processor (class IUP, Table I row 6): one IP
+/// fetching from one IM, one DP with a direct path to one DM.
+///
+/// The IM is the loaded program; the DM is a word-addressed bank.  One
+/// instruction executes per cycle.  The communication opcodes (SHUF,
+/// SEND, RECV) trap with SimError — a uniprocessor has no DP-DP switch,
+/// which is precisely why IUP scores flexibility 0.
+class Uniprocessor {
+ public:
+  Uniprocessor(Program program, std::size_t dm_words);
+
+  Memory& dm() { return dm_; }
+  const Memory& dm() const { return dm_; }
+  const CoreState& core() const { return core_; }
+  const Program& program() const { return program_; }
+
+  /// Run until HALT or @p max_cycles; re-running continues from the
+  /// current state.
+  RunStats run(std::int64_t max_cycles = 1'000'000);
+
+  /// Reset pc/registers/halt flag (memory contents are preserved).
+  void reset();
+
+ private:
+  Program program_;
+  Memory dm_;
+  CoreState core_;
+};
+
+}  // namespace mpct::sim

@@ -1,0 +1,75 @@
+#include "sim/machine.hpp"
+
+#include <string>
+
+#include "sim/memory.hpp"
+
+namespace mpct::sim {
+
+namespace {
+
+void branch_to(CoreState& core, Word target, int program_size) {
+  if (target < 0 || target > program_size) {
+    throw SimError("branch target out of range: " + std::to_string(target));
+  }
+  core.pc = static_cast<int>(target);
+}
+
+}  // namespace
+
+bool execute_common(CoreState& core, const Instruction& inst,
+                    int program_size) {
+  if (is_alu_op(inst.op)) {
+    core.set_reg(inst.rd, alu(inst.op, core.reg(inst.ra), core.reg(inst.rb)));
+    ++core.pc;
+    return true;
+  }
+  switch (inst.op) {
+    case Opcode::Nop:
+      ++core.pc;
+      return true;
+    case Opcode::Halt:
+      core.halted = true;
+      return true;
+    case Opcode::Ldi:
+      core.set_reg(inst.rd, inst.imm);
+      ++core.pc;
+      return true;
+    case Opcode::Mov:
+      core.set_reg(inst.rd, core.reg(inst.ra));
+      ++core.pc;
+      return true;
+    case Opcode::Addi:
+      core.set_reg(inst.rd, core.reg(inst.ra) + inst.imm);
+      ++core.pc;
+      return true;
+    case Opcode::Beq:
+      if (core.reg(inst.ra) == core.reg(inst.rb)) {
+        branch_to(core, inst.imm, program_size);
+      } else {
+        ++core.pc;
+      }
+      return true;
+    case Opcode::Bne:
+      if (core.reg(inst.ra) != core.reg(inst.rb)) {
+        branch_to(core, inst.imm, program_size);
+      } else {
+        ++core.pc;
+      }
+      return true;
+    case Opcode::Blt:
+      if (core.reg(inst.ra) < core.reg(inst.rb)) {
+        branch_to(core, inst.imm, program_size);
+      } else {
+        ++core.pc;
+      }
+      return true;
+    case Opcode::Jmp:
+      branch_to(core, inst.imm, program_size);
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace mpct::sim

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/isa/isa.hpp"
+#include "sim/word.hpp"
+
+namespace mpct::sim {
+
+/// Aggregate result of running any paradigm machine.
+struct RunStats {
+  std::int64_t cycles = 0;        ///< machine cycles simulated
+  std::int64_t instructions = 0;  ///< instructions (or tokens) executed
+  bool halted = false;            ///< every processor reached halt
+  std::vector<Word> output;       ///< values emitted via OUT, in order
+};
+
+/// Architected state of one data processor (register file + program
+/// counter); shared by the uniprocessor, the array-processor lanes and
+/// the multiprocessor cores.
+struct CoreState {
+  std::array<Word, kRegisterCount> regs{};
+  int pc = 0;
+  bool halted = false;
+  bool blocked = false;  ///< waiting on RECV
+
+  Word reg(int index) const { return regs[static_cast<std::size_t>(index)]; }
+  void set_reg(int index, Word value) {
+    regs[static_cast<std::size_t>(index)] = value;
+  }
+};
+
+/// Execute the control/ALU subset every machine shares (NOP, HALT, LDI,
+/// MOV, ALU ops, ADDI, branches, JMP) against @p core, advancing the pc.
+/// Returns false for the opcodes the caller must handle (LD, ST, SHUF,
+/// SEND, RECV, OUT, LANE), leaving the pc untouched.
+/// Throws SimError on branch targets outside [0, program_size].
+bool execute_common(CoreState& core, const Instruction& inst,
+                    int program_size);
+
+}  // namespace mpct::sim

@@ -1,0 +1,39 @@
+#include "sim/memory.hpp"
+
+namespace mpct::sim {
+
+Memory::Memory(std::string name, std::size_t words)
+    : name_(std::move(name)), data_(words, 0) {}
+
+Word Memory::load(std::size_t address) const {
+  if (address >= data_.size()) {
+    throw SimError("memory '" + name_ + "': load out of range at " +
+                   std::to_string(address) + " (size " +
+                   std::to_string(data_.size()) + ")");
+  }
+  ++loads_;
+  return data_[address];
+}
+
+void Memory::store(std::size_t address, Word value) {
+  if (address >= data_.size()) {
+    throw SimError("memory '" + name_ + "': store out of range at " +
+                   std::to_string(address) + " (size " +
+                   std::to_string(data_.size()) + ")");
+  }
+  ++stores_;
+  data_[address] = value;
+}
+
+void Memory::fill(const std::vector<Word>& data) {
+  for (std::size_t i = 0; i < data.size() && i < data_.size(); ++i) {
+    data_[i] = data[i];
+  }
+}
+
+void Memory::reset_counters() {
+  loads_ = 0;
+  stores_ = 0;
+}
+
+}  // namespace mpct::sim

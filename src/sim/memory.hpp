@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/word.hpp"
+
+namespace mpct::sim {
+
+/// One memory bank (an IM or DM block of the taxonomy).  Bounds-checked;
+/// out-of-range access throws SimError carrying the bank name so machine
+/// traps diagnose cleanly.  Access counters feed the simulators' run
+/// statistics.
+class Memory {
+ public:
+  Memory(std::string name, std::size_t words);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return data_.size(); }
+
+  Word load(std::size_t address) const;
+  void store(std::size_t address, Word value);
+
+  /// Bulk initialise from a vector (shorter data leaves the tail zero).
+  void fill(const std::vector<Word>& data);
+
+  /// Raw read-only view for test assertions.
+  const std::vector<Word>& data() const { return data_; }
+
+  std::size_t loads() const { return loads_; }
+  std::size_t stores() const { return stores_; }
+  void reset_counters();
+
+ private:
+  std::string name_;
+  std::vector<Word> data_;
+  mutable std::size_t loads_ = 0;
+  std::size_t stores_ = 0;
+};
+
+/// Error thrown by simulators on structural violations: out-of-range
+/// memory access, use of a connectivity the machine class does not have
+/// (e.g. lane shuffle on an IAP-I), malformed programs.
+class SimError : public std::exception {
+ public:
+  explicit SimError(std::string message) : message_(std::move(message)) {}
+  const char* what() const noexcept override { return message_.c_str(); }
+
+ private:
+  std::string message_;
+};
+
+}  // namespace mpct::sim

@@ -1,0 +1,225 @@
+#include "sim/mimd/multiprocessor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mpct::sim {
+
+MultiprocessorConfig MultiprocessorConfig::for_subtype(
+    int subtype, int cores, std::size_t bank_words) {
+  if (subtype < 1 || subtype > 16) {
+    throw std::invalid_argument("IMP subtype must be 1..16");
+  }
+  MultiprocessorConfig config;
+  config.cores = cores;
+  config.bank_words = bank_words;
+  const int bits = subtype - 1;
+  config.dp_dm =
+      (bits & 2) ? mpct::SwitchKind::Crossbar : mpct::SwitchKind::Direct;
+  config.dp_dp =
+      (bits & 1) ? mpct::SwitchKind::Crossbar : mpct::SwitchKind::None;
+  return config;
+}
+
+Multiprocessor::Multiprocessor(std::vector<Program> programs,
+                               MultiprocessorConfig config)
+    : programs_(std::move(programs)), config_(config) {
+  if (config_.cores < 1) {
+    throw std::invalid_argument("Multiprocessor needs >= 1 core");
+  }
+  if (static_cast<int>(programs_.size()) != config_.cores) {
+    throw std::invalid_argument(
+        "Multiprocessor needs one program per core (got " +
+        std::to_string(programs_.size()) + " for " +
+        std::to_string(config_.cores) + " cores)");
+  }
+  banks_.reserve(static_cast<std::size_t>(config_.cores));
+  for (int b = 0; b < config_.cores; ++b) {
+    banks_.emplace_back("DM" + std::to_string(b), config_.bank_words);
+  }
+  cores_.resize(static_cast<std::size_t>(config_.cores));
+  mailboxes_.resize(static_cast<std::size_t>(config_.cores));
+}
+
+Multiprocessor Multiprocessor::broadcast(const Program& program,
+                                         MultiprocessorConfig config) {
+  std::vector<Program> programs(static_cast<std::size_t>(config.cores),
+                                program);
+  return Multiprocessor(std::move(programs), config);
+}
+
+void Multiprocessor::reset() {
+  for (CoreState& core : cores_) core = CoreState{};
+  for (auto& mailbox : mailboxes_) mailbox.clear();
+  deadlocked_ = false;
+}
+
+Word Multiprocessor::load(int core, Word address) const {
+  if (config_.dp_dm == mpct::SwitchKind::Direct) {
+    return banks_[static_cast<std::size_t>(core)].load(
+        static_cast<std::size_t>(address));
+  }
+  const std::size_t bank =
+      static_cast<std::size_t>(address) / config_.bank_words;
+  if (address < 0 || bank >= banks_.size()) {
+    throw SimError("IMP: global load out of range at " +
+                   std::to_string(address));
+  }
+  return banks_[bank].load(static_cast<std::size_t>(address) %
+                           config_.bank_words);
+}
+
+void Multiprocessor::store(int core, Word address, Word value) {
+  if (config_.dp_dm == mpct::SwitchKind::Direct) {
+    banks_[static_cast<std::size_t>(core)].store(
+        static_cast<std::size_t>(address), value);
+    return;
+  }
+  const std::size_t bank =
+      static_cast<std::size_t>(address) / config_.bank_words;
+  if (address < 0 || bank >= banks_.size()) {
+    throw SimError("IMP: global store out of range at " +
+                   std::to_string(address));
+  }
+  banks_[bank].store(static_cast<std::size_t>(address) % config_.bank_words,
+                     value);
+}
+
+RunStats Multiprocessor::run(std::int64_t max_cycles) {
+  RunStats stats;
+  deadlocked_ = false;
+
+  struct PendingSend {
+    std::int64_t deliver_cycle;  ///< first cycle the message is readable
+    int to;
+    Word value;
+  };
+  // Manhattan distance between cores under the configured layout.
+  const auto message_latency = [&](int from, int to) -> std::int64_t {
+    if (config_.mesh_width <= 0) return 1;  // ideal crossbar
+    const int w = config_.mesh_width;
+    const int dx = std::abs(from % w - to % w);
+    const int dy = std::abs(from / w - to / w);
+    return std::max(1, dx + dy);
+  };
+
+  std::vector<PendingSend> in_flight;
+  while (stats.cycles < max_cycles) {
+    bool any_running = false;
+    bool any_progress = false;
+    std::vector<PendingSend> sends;  // issued this cycle
+
+    for (int c = 0; c < config_.cores; ++c) {
+      CoreState& core = cores_[static_cast<std::size_t>(c)];
+      if (core.halted) continue;
+      any_running = true;
+      const Program& program = programs_[static_cast<std::size_t>(c)];
+      const int size = static_cast<int>(program.size());
+      if (core.pc < 0 || core.pc >= size) {
+        throw SimError("IMP core " + std::to_string(c) +
+                       ": pc out of program at " + std::to_string(core.pc));
+      }
+      const Instruction& inst =
+          program[static_cast<std::size_t>(core.pc)];
+
+      if (inst.op == Opcode::Recv) {
+        auto& mailbox = mailboxes_[static_cast<std::size_t>(c)];
+        if (mailbox.empty()) {
+          core.blocked = true;
+          continue;  // stall this cycle
+        }
+        core.blocked = false;
+        core.set_reg(inst.rd, mailbox.front());
+        mailbox.pop_front();
+        ++core.pc;
+        ++stats.instructions;
+        any_progress = true;
+        continue;
+      }
+
+      ++stats.instructions;
+      any_progress = true;
+      if (execute_common(core, inst, size)) continue;
+      switch (inst.op) {
+        case Opcode::Ld:
+          core.set_reg(inst.rd, load(c, core.reg(inst.ra) + inst.imm));
+          ++core.pc;
+          break;
+        case Opcode::St:
+          store(c, core.reg(inst.ra) + inst.imm, core.reg(inst.rb));
+          ++core.pc;
+          break;
+        case Opcode::Lane:
+          core.set_reg(inst.rd, c);
+          ++core.pc;
+          break;
+        case Opcode::Send: {
+          if (config_.dp_dp != mpct::SwitchKind::Crossbar) {
+            throw SimError(
+                "this IMP sub-type has no DP-DP switch: SEND needs e.g. "
+                "IMP-II or IMP-IV");
+          }
+          const Word target = core.reg(inst.rb);
+          const int to = static_cast<int>(
+              ((target % config_.cores) + config_.cores) % config_.cores);
+          sends.push_back({stats.cycles + message_latency(c, to), to,
+                           core.reg(inst.ra)});
+          ++core.pc;
+          break;
+        }
+        case Opcode::Out:
+          stats.output.push_back(core.reg(inst.ra));
+          ++core.pc;
+          break;
+        case Opcode::Shuf:
+          throw SimError(
+              "IMP cores are autonomous: lockstep SHUF is an array-"
+              "processor operation; use SEND/RECV");
+        default:
+          throw SimError("IMP: unhandled opcode " +
+                         std::string(mnemonic(inst.op)));
+      }
+    }
+
+    if (!any_running) break;  // all halted
+    ++stats.cycles;
+
+    if (config_.dp_dp != mpct::SwitchKind::Crossbar && !sends.empty()) {
+      throw SimError("internal: sends queued without DP-DP switch");
+    }
+    in_flight.insert(in_flight.end(), sends.begin(), sends.end());
+    // Deliver everything that has finished its network traversal; FIFO
+    // per sender order is preserved because latencies are per-pair
+    // constants and the scan is stable.
+    std::vector<PendingSend> still_flying;
+    still_flying.reserve(in_flight.size());
+    bool delivered_any = false;
+    for (const PendingSend& message : in_flight) {
+      if (message.deliver_cycle <= stats.cycles) {
+        mailboxes_[static_cast<std::size_t>(message.to)].push_back(
+            message.value);
+        delivered_any = true;
+      } else {
+        still_flying.push_back(message);
+      }
+    }
+    in_flight = std::move(still_flying);
+
+    if (!any_progress && sends.empty() && in_flight.empty() &&
+        !delivered_any) {
+      // Every unhalted core is blocked on RECV, nothing is in flight and
+      // nothing just landed that could unblock a core next cycle.
+      deadlocked_ = true;
+      break;
+    }
+  }
+
+  stats.halted = true;
+  for (const CoreState& core : cores_) {
+    if (!core.halted) stats.halted = false;
+  }
+  return stats;
+}
+
+}  // namespace mpct::sim

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/connectivity.hpp"
+#include "sim/machine.hpp"
+#include "sim/memory.hpp"
+
+namespace mpct::sim {
+
+/// Configuration of a multiprocessor (classes IMP-I..XVI restricted to
+/// the data-side switches the ISA can exercise).
+struct MultiprocessorConfig {
+  int cores = 4;
+  std::size_t bank_words = 256;
+  /// Direct: core i owns bank i with local addressing (IMP-I style).
+  /// Crossbar: one global address space over all banks — shared memory.
+  mpct::SwitchKind dp_dm = mpct::SwitchKind::Direct;
+  /// None: cores are isolated Von Neumann machines (SEND/RECV trap).
+  /// Crossbar: message passing between any pair of cores.
+  mpct::SwitchKind dp_dp = mpct::SwitchKind::None;
+  /// Message latency model: 0 = ideal crossbar (messages arrive the
+  /// next cycle); > 0 = cores laid out row-major on a mesh of this
+  /// width, and a message takes max(1, manhattan distance) cycles —
+  /// the REDEFINE-style NoC substrate without per-packet simulation.
+  int mesh_width = 0;
+
+  /// Canonical data-side configuration of IMP-<subtype>: the DP-DM and
+  /// DP-DP bits of the sub-type numeral (the IP-side switch bits do not
+  /// change what the ISA can express and are ignored here).
+  static MultiprocessorConfig for_subtype(int subtype, int cores = 4,
+                                          std::size_t bank_words = 256);
+};
+
+/// Executable multiprocessor (instruction flow, n IPs, n DPs): every
+/// core runs its *own* program — the capability that separates IMP from
+/// IAP in the paper's flexibility argument.  Cores step round-robin
+/// within a cycle (core 0 first), messages sent in a cycle are
+/// deliverable from the next cycle, and RECV blocks until a message
+/// arrives.  OUT is collected per (cycle, core) so the merged stream is
+/// deterministic.
+class Multiprocessor {
+ public:
+  Multiprocessor(std::vector<Program> programs, MultiprocessorConfig config);
+
+  /// The morph of Section III-B: an IMP acting as an array processor by
+  /// broadcasting one program to every core.
+  static Multiprocessor broadcast(const Program& program,
+                                  MultiprocessorConfig config);
+
+  int cores() const { return config_.cores; }
+  const MultiprocessorConfig& config() const { return config_; }
+
+  Memory& bank(int index) { return banks_.at(static_cast<std::size_t>(index)); }
+  const Memory& bank(int index) const {
+    return banks_.at(static_cast<std::size_t>(index));
+  }
+  const CoreState& core_state(int core) const {
+    return cores_.at(static_cast<std::size_t>(core));
+  }
+
+  /// Run until every core halts, deadlock (all runnable cores blocked on
+  /// RECV), or max_cycles.  stats.halted is true only on full halt.
+  RunStats run(std::int64_t max_cycles = 1'000'000);
+  void reset();
+
+  /// True if the last run() ended with every unhalted core blocked.
+  bool deadlocked() const { return deadlocked_; }
+
+ private:
+  Word load(int core, Word address) const;
+  void store(int core, Word address, Word value);
+
+  std::vector<Program> programs_;
+  MultiprocessorConfig config_;
+  std::vector<Memory> banks_;
+  std::vector<CoreState> cores_;
+  std::vector<std::deque<Word>> mailboxes_;
+  bool deadlocked_ = false;
+};
+
+}  // namespace mpct::sim

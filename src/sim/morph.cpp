@@ -1,0 +1,218 @@
+#include "sim/morph.hpp"
+
+#include <sstream>
+
+#include "sim/isa/assembler.hpp"
+#include "sim/isa/uniprocessor.hpp"
+#include "sim/memory.hpp"
+#include "sim/mimd/multiprocessor.hpp"
+#include "sim/simd/array_processor.hpp"
+
+namespace mpct::sim {
+
+namespace {
+
+using mpct::MachineType;
+using mpct::ProcessingType;
+using mpct::TaxonomicName;
+
+std::string join(const std::vector<Word>& values) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ' ';
+    os << values[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+/// lane-indexed affine kernel: every lane emits 3*lane + 7.
+constexpr std::string_view kVectorKernel = R"(
+  lane r1
+  ldi  r2, 3
+  mul  r3, r1, r2
+  ldi  r4, 7
+  add  r3, r3, r4
+  out  r3
+  halt
+)";
+
+/// scalar 6*7 by repeated addition.
+constexpr std::string_view kScalarKernel = R"(
+  ldi r1, 0
+  ldi r2, 7
+  ldi r3, 6
+  ldi r4, 0
+loop:
+  beq r3, r4, done
+  add r1, r1, r2
+  addi r3, r3, -1
+  jmp loop
+done:
+  out r1
+  halt
+)";
+
+/// rotate-left register exchange across lanes: lane l emits 10*((l+1)%n).
+constexpr std::string_view kShuffleKernel = R"(
+  lane r1
+  ldi  r2, 10
+  mul  r3, r1, r2
+  addi r4, r1, 1
+  shuf r5, r3, r4
+  out  r5
+  halt
+)";
+
+}  // namespace
+
+MorphDemo demo_imp_acts_as_iap(int lanes) {
+  MorphDemo demo;
+  demo.description =
+      "IMP-I runs the array kernel with one program broadcast to every "
+      "core and reproduces the IAP-I output stream";
+  demo.from = {MachineType::InstructionFlow, ProcessingType::MultiProcessor,
+               1};
+  demo.to = {MachineType::InstructionFlow, ProcessingType::ArrayProcessor,
+             1};
+
+  const Program program = assemble_or_throw(kVectorKernel);
+
+  ArrayProcessor iap(program,
+                     ArrayProcessorConfig::for_subtype(1, lanes, 64));
+  const RunStats iap_stats = iap.run();
+
+  MultiprocessorConfig imp_config = MultiprocessorConfig::for_subtype(1);
+  imp_config.cores = lanes;
+  imp_config.bank_words = 64;
+  Multiprocessor imp = Multiprocessor::broadcast(program, imp_config);
+  const RunStats imp_stats = imp.run();
+
+  demo.succeeded = iap_stats.output == imp_stats.output &&
+                   iap_stats.halted && imp_stats.halted;
+  demo.detail = "IAP output " + join(iap_stats.output) + ", IMP output " +
+                join(imp_stats.output);
+  return demo;
+}
+
+MorphDemo demo_iap_cannot_act_as_imp(int lanes) {
+  MorphDemo demo;
+  demo.description =
+      "IAP-I cannot execute an n-different-programs workload: the single "
+      "IP holds exactly one program, while an IMP-I runs it directly";
+  demo.from = {MachineType::InstructionFlow, ProcessingType::ArrayProcessor,
+               1};
+  demo.to = {MachineType::InstructionFlow, ProcessingType::MultiProcessor,
+             1};
+
+  // Two genuinely different programs: adders and multipliers.
+  const Program add_program = assemble_or_throw(R"(
+    lane r1
+    ldi  r2, 100
+    add  r3, r1, r2
+    out  r3
+    halt
+  )");
+  const Program mul_program = assemble_or_throw(R"(
+    lane r1
+    ldi  r2, 100
+    mul  r3, r1, r2
+    out  r3
+    halt
+  )");
+
+  MultiprocessorConfig config = MultiprocessorConfig::for_subtype(1);
+  config.cores = lanes;
+  config.bank_words = 64;
+  std::vector<Program> programs;
+  for (int c = 0; c < lanes; ++c) {
+    programs.push_back(c % 2 == 0 ? add_program : mul_program);
+  }
+  Multiprocessor imp(std::move(programs), config);
+  const RunStats imp_stats = imp.run();
+
+  // The array processor's construction takes a single Program: there is
+  // no way to even express the workload.  The morph fails structurally.
+  demo.succeeded = false;
+  demo.detail =
+      "structural: ArrayProcessor(Program, ...) admits one instruction "
+      "stream for all lanes; the IMP ran the mixed workload and emitted " +
+      join(imp_stats.output);
+  return demo;
+}
+
+MorphDemo demo_iap_acts_as_iup() {
+  MorphDemo demo;
+  const int lanes = 4;
+  demo.description =
+      "IAP-I acts as a uniprocessor by switching off every lane but lane "
+      "0 (outputs filtered to lane 0) and matches the IUP";
+  demo.from = {MachineType::InstructionFlow, ProcessingType::ArrayProcessor,
+               1};
+  demo.to = {MachineType::InstructionFlow, ProcessingType::UniProcessor, 0};
+
+  const Program program = assemble_or_throw(kScalarKernel);
+
+  Uniprocessor iup(program, 64);
+  const RunStats iup_stats = iup.run();
+
+  ArrayProcessor iap(program,
+                     ArrayProcessorConfig::for_subtype(1, lanes, 64));
+  const RunStats iap_stats = iap.run();
+  // "Turn off the extra DPs": keep only lane 0's slice of each vector OUT.
+  std::vector<Word> lane0;
+  for (std::size_t i = 0; i < iap_stats.output.size();
+       i += static_cast<std::size_t>(lanes)) {
+    lane0.push_back(iap_stats.output[i]);
+  }
+
+  demo.succeeded =
+      lane0 == iup_stats.output && iup_stats.halted && iap_stats.halted;
+  demo.detail = "IUP output " + join(iup_stats.output) +
+                ", IAP lane-0 output " + join(lane0);
+  return demo;
+}
+
+MorphDemo demo_subtype_gates_shuffle(int lanes) {
+  MorphDemo demo;
+  demo.description =
+      "SHUF needs the DP-DP crossbar: IAP-I traps, IAP-II executes the "
+      "rotate-left exchange";
+  demo.from = {MachineType::InstructionFlow, ProcessingType::ArrayProcessor,
+               1};
+  demo.to = {MachineType::InstructionFlow, ProcessingType::ArrayProcessor,
+             2};
+
+  const Program program = assemble_or_throw(kShuffleKernel);
+
+  std::string trap;
+  try {
+    ArrayProcessor iap1(program,
+                        ArrayProcessorConfig::for_subtype(1, lanes, 64));
+    iap1.run();
+    trap = "(no trap!)";
+  } catch (const SimError& error) {
+    trap = error.what();
+  }
+
+  ArrayProcessor iap2(program,
+                      ArrayProcessorConfig::for_subtype(2, lanes, 64));
+  const RunStats iap2_stats = iap2.run();
+
+  demo.succeeded = false;  // the morph I -> II is impossible, as predicted
+  demo.detail = "IAP-I trapped with: " + trap + "; IAP-II emitted " +
+                join(iap2_stats.output);
+  return demo;
+}
+
+std::vector<MorphDemo> all_morph_demos(int lanes) {
+  return {
+      demo_imp_acts_as_iap(lanes),
+      demo_iap_cannot_act_as_imp(lanes),
+      demo_iap_acts_as_iup(),
+      demo_subtype_gates_shuffle(lanes),
+  };
+}
+
+}  // namespace mpct::sim

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/naming.hpp"
+#include "sim/isa/isa.hpp"
+#include "sim/machine.hpp"
+
+namespace mpct::sim {
+
+/// Outcome of an executable morphing experiment: can a machine of class
+/// `from` behave as a machine of class `to` on a concrete workload?
+/// These demos back Section III-B's flexibility ordering with running
+/// code instead of argument:
+///  * IMP runs the IAP's single program on every core and reproduces the
+///    array processor's output (IMP >= IAP).
+///  * IAP cannot run a multi-program workload (attempt trips SimError).
+///  * IAP acts as a uniprocessor by ignoring all lanes but lane 0
+///    (IAP >= IUP); an IUP has no lanes to offer the converse.
+struct MorphDemo {
+  std::string description;
+  mpct::TaxonomicName from;
+  mpct::TaxonomicName to;
+  bool succeeded = false;
+  std::string detail;  ///< outputs compared, or the trap message
+};
+
+/// Run a fixed vector workload (element-wise a[i]*b[i] + lane constant)
+/// on an IAP-I array processor and on an IMP-I multiprocessor with the
+/// same program broadcast to every core; succeeds when the output
+/// streams match.
+MorphDemo demo_imp_acts_as_iap(int lanes);
+
+/// Attempt an n-different-programs workload on an array processor by
+/// construction: the IAP's single IP cannot even load n programs, so the
+/// demo reports the structural failure (and runs the workload on an IMP
+/// to show it is executable there).
+MorphDemo demo_iap_cannot_act_as_imp(int lanes);
+
+/// Run a scalar program on an IAP (using lane 0 only) and on an IUP;
+/// succeeds when outputs agree — the "switch off the extra DPs" morph.
+MorphDemo demo_iap_acts_as_iup();
+
+/// SHUF on an IAP-I (no DP-DP switch) traps; the same program runs on an
+/// IAP-II.  Demonstrates the sub-type flexibility step inside one family.
+MorphDemo demo_subtype_gates_shuffle(int lanes);
+
+/// All of the above, in presentation order.
+std::vector<MorphDemo> all_morph_demos(int lanes = 4);
+
+}  // namespace mpct::sim

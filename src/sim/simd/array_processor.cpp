@@ -1,0 +1,183 @@
+#include "sim/simd/array_processor.hpp"
+
+#include <stdexcept>
+
+namespace mpct::sim {
+
+ArrayProcessorConfig ArrayProcessorConfig::for_subtype(
+    int subtype, int lanes, std::size_t bank_words) {
+  if (subtype < 1 || subtype > 4) {
+    throw std::invalid_argument("IAP subtype must be 1..4");
+  }
+  ArrayProcessorConfig config;
+  config.lanes = lanes;
+  config.bank_words = bank_words;
+  const int bits = subtype - 1;
+  config.dp_dm =
+      (bits & 2) ? mpct::SwitchKind::Crossbar : mpct::SwitchKind::Direct;
+  config.dp_dp =
+      (bits & 1) ? mpct::SwitchKind::Crossbar : mpct::SwitchKind::None;
+  return config;
+}
+
+int ArrayProcessorConfig::subtype() const {
+  return 1 + 2 * (dp_dm == mpct::SwitchKind::Crossbar ? 1 : 0) +
+         (dp_dp == mpct::SwitchKind::Crossbar ? 1 : 0);
+}
+
+ArrayProcessor::ArrayProcessor(Program program, ArrayProcessorConfig config)
+    : program_(std::move(program)), config_(config) {
+  if (config_.lanes < 1) {
+    throw std::invalid_argument("ArrayProcessor needs >= 1 lane");
+  }
+  const int banks = config_.banks < 0 ? config_.lanes : config_.banks;
+  if (banks < 1) throw std::invalid_argument("ArrayProcessor needs banks");
+  if (config_.dp_dm == mpct::SwitchKind::Direct && banks < config_.lanes) {
+    throw std::invalid_argument(
+        "direct DP-DM needs at least one bank per lane");
+  }
+  banks_.reserve(static_cast<std::size_t>(banks));
+  for (int b = 0; b < banks; ++b) {
+    banks_.emplace_back("DM" + std::to_string(b), config_.bank_words);
+  }
+  lanes_.resize(static_cast<std::size_t>(config_.lanes));
+}
+
+void ArrayProcessor::reset() {
+  for (CoreState& lane : lanes_) lane = CoreState{};
+  ip_ = CoreState{};
+}
+
+Word ArrayProcessor::load(int lane, Word address) const {
+  if (config_.dp_dm == mpct::SwitchKind::Direct) {
+    return banks_[static_cast<std::size_t>(lane)].load(
+        static_cast<std::size_t>(address));
+  }
+  // Crossbar: global address space across banks.
+  const std::size_t bank =
+      static_cast<std::size_t>(address) / config_.bank_words;
+  if (address < 0 || bank >= banks_.size()) {
+    throw SimError("IAP: global load out of range at " +
+                   std::to_string(address));
+  }
+  return banks_[bank].load(static_cast<std::size_t>(address) %
+                           config_.bank_words);
+}
+
+void ArrayProcessor::store(int lane, Word address, Word value) {
+  if (config_.dp_dm == mpct::SwitchKind::Direct) {
+    banks_[static_cast<std::size_t>(lane)].store(
+        static_cast<std::size_t>(address), value);
+    return;
+  }
+  const std::size_t bank =
+      static_cast<std::size_t>(address) / config_.bank_words;
+  if (address < 0 || bank >= banks_.size()) {
+    throw SimError("IAP: global store out of range at " +
+                   std::to_string(address));
+  }
+  banks_[bank].store(static_cast<std::size_t>(address) % config_.bank_words,
+                     value);
+}
+
+RunStats ArrayProcessor::run(std::int64_t max_cycles) {
+  RunStats stats;
+  const int size = static_cast<int>(program_.size());
+
+  while (!ip_.halted && stats.cycles < max_cycles) {
+    if (ip_.pc < 0 || ip_.pc >= size) {
+      throw SimError("IAP: pc out of program at " + std::to_string(ip_.pc));
+    }
+    const Instruction& inst = program_[static_cast<std::size_t>(ip_.pc)];
+    ++stats.cycles;
+    stats.instructions += config_.lanes;
+
+    switch (inst.op) {
+      case Opcode::Halt:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Jmp:
+      case Opcode::Nop: {
+        // Scalar control: the IP resolves flow against lane 0's state.
+        CoreState control;
+        control.regs = lanes_[0].regs;
+        control.pc = ip_.pc;
+        execute_common(control, inst, size);
+        ip_.pc = control.pc;
+        ip_.halted = control.halted;
+        break;
+      }
+      case Opcode::Ld:
+        for (int l = 0; l < config_.lanes; ++l) {
+          CoreState& lane = lanes_[static_cast<std::size_t>(l)];
+          lane.set_reg(inst.rd, load(l, lane.reg(inst.ra) + inst.imm));
+        }
+        ++ip_.pc;
+        break;
+      case Opcode::St:
+        for (int l = 0; l < config_.lanes; ++l) {
+          CoreState& lane = lanes_[static_cast<std::size_t>(l)];
+          store(l, lane.reg(inst.ra) + inst.imm, lane.reg(inst.rb));
+        }
+        ++ip_.pc;
+        break;
+      case Opcode::Lane:
+        for (int l = 0; l < config_.lanes; ++l) {
+          lanes_[static_cast<std::size_t>(l)].set_reg(inst.rd, l);
+        }
+        ++ip_.pc;
+        break;
+      case Opcode::Shuf: {
+        if (config_.dp_dp != mpct::SwitchKind::Crossbar) {
+          throw SimError(
+              "IAP-" + std::to_string(config_.subtype()) +
+              " has no DP-DP switch: SHUF needs IAP-II or IAP-IV");
+        }
+        // Simultaneous gather: all reads see pre-instruction values.
+        std::vector<Word> snapshot(static_cast<std::size_t>(config_.lanes));
+        for (int l = 0; l < config_.lanes; ++l) {
+          snapshot[static_cast<std::size_t>(l)] =
+              lanes_[static_cast<std::size_t>(l)].reg(inst.ra);
+        }
+        for (int l = 0; l < config_.lanes; ++l) {
+          CoreState& lane = lanes_[static_cast<std::size_t>(l)];
+          const Word selector = lane.reg(inst.rb);
+          const int src = static_cast<int>(
+              ((selector % config_.lanes) + config_.lanes) % config_.lanes);
+          lane.set_reg(inst.rd, snapshot[static_cast<std::size_t>(src)]);
+        }
+        ++ip_.pc;
+        break;
+      }
+      case Opcode::Out:
+        for (int l = 0; l < config_.lanes; ++l) {
+          stats.output.push_back(
+              lanes_[static_cast<std::size_t>(l)].reg(inst.ra));
+        }
+        ++ip_.pc;
+        break;
+      case Opcode::Send:
+      case Opcode::Recv:
+        throw SimError(
+            "array processors have a single IP: SEND/RECV message passing "
+            "needs a multiprocessor (IMP) class");
+      default:
+        // Per-lane data instructions (ALU, LDI, MOV, ADDI).
+        for (int l = 0; l < config_.lanes; ++l) {
+          CoreState& lane = lanes_[static_cast<std::size_t>(l)];
+          lane.pc = ip_.pc;
+          if (!execute_common(lane, inst, size)) {
+            throw SimError("IAP: unhandled opcode " +
+                           std::string(mnemonic(inst.op)));
+          }
+        }
+        ++ip_.pc;
+        break;
+    }
+  }
+  stats.halted = ip_.halted;
+  return stats;
+}
+
+}  // namespace mpct::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/connectivity.hpp"
+#include "sim/machine.hpp"
+#include "sim/memory.hpp"
+
+namespace mpct::sim {
+
+/// Configuration of an array processor (classes IAP-I..IV): one IP
+/// broadcasting to n data-processor lanes; the sub-type is determined by
+/// the DP-DM and DP-DP switch kinds exactly as in the taxonomy.
+struct ArrayProcessorConfig {
+  int lanes = 8;
+  int banks = -1;  ///< memory banks; -1 = one per lane
+  std::size_t bank_words = 256;
+  /// Direct: lane i reaches only bank i, local addressing.
+  /// Crossbar: global address space over all banks (addr / bank_words
+  /// selects the bank) — any lane reaches any bank.
+  mpct::SwitchKind dp_dm = mpct::SwitchKind::Direct;
+  /// None: no lane-to-lane exchange (SHUF traps).
+  /// Crossbar: SHUF performs a simultaneous register gather across lanes.
+  mpct::SwitchKind dp_dp = mpct::SwitchKind::None;
+
+  /// Build the canonical configuration of IAP-<subtype> (1..4).
+  static ArrayProcessorConfig for_subtype(int subtype, int lanes = 8,
+                                          std::size_t bank_words = 256);
+
+  /// The IAP sub-type this configuration realises (1..4).
+  int subtype() const;
+};
+
+/// Executable array processor (instruction flow, single IP, n DP lanes).
+///
+/// SIMD semantics: one shared program counter (the single IP); every
+/// non-masked lane executes the broadcast instruction on its private
+/// register file.  Control flow is scalar and resolved on lane 0's
+/// registers (the IP observes the state of the DP feeding it,
+/// Skillicorn's definition).  LANE materialises the lane index so
+/// programs can diverge in data.  OUT emits every lane's value in lane
+/// order (a vector store to the output stream).
+class ArrayProcessor {
+ public:
+  ArrayProcessor(Program program, ArrayProcessorConfig config);
+
+  int lanes() const { return config_.lanes; }
+  int banks() const { return static_cast<int>(banks_.size()); }
+  const ArrayProcessorConfig& config() const { return config_; }
+
+  Memory& bank(int index) { return banks_.at(static_cast<std::size_t>(index)); }
+  const Memory& bank(int index) const {
+    return banks_.at(static_cast<std::size_t>(index));
+  }
+  /// Registers of one lane (for assertions).
+  const CoreState& lane_state(int lane) const {
+    return lanes_.at(static_cast<std::size_t>(lane));
+  }
+
+  RunStats run(std::int64_t max_cycles = 1'000'000);
+  void reset();
+
+ private:
+  Word load(int lane, Word address) const;
+  void store(int lane, Word address, Word value);
+
+  Program program_;
+  ArrayProcessorConfig config_;
+  std::vector<Memory> banks_;
+  std::vector<CoreState> lanes_;  ///< register files; pc lives in ip_
+  CoreState ip_;                  ///< shared control state (pc, halted)
+};
+
+}  // namespace mpct::sim

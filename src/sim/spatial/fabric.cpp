@@ -1,0 +1,155 @@
+#include "sim/spatial/fabric.hpp"
+
+#include <stdexcept>
+
+#include "cost/switch_cost.hpp"
+#include "sim/memory.hpp"
+
+namespace mpct::sim::spatial {
+
+LutFabric::LutFabric(int cells, int primary_inputs, int primary_outputs)
+    : primary_inputs_(primary_inputs),
+      cells_(static_cast<std::size_t>(cells)),
+      state_(static_cast<std::size_t>(cells), false),
+      output_sources_(static_cast<std::size_t>(primary_outputs)) {
+  if (cells < 1 || primary_inputs < 0 || primary_outputs < 0) {
+    throw std::invalid_argument("LutFabric: bad shape");
+  }
+}
+
+void LutFabric::configure_cell(int cell, const LutCell& config) {
+  if (cell < 0 || cell >= cell_count()) {
+    throw SimError("LutFabric: cell index out of range");
+  }
+  for (const Source& source : config.inputs) {
+    if (source.kind == Source::Kind::Primary &&
+        (source.index < 0 || source.index >= primary_inputs_)) {
+      throw SimError("LutFabric: bad primary input route");
+    }
+    if (source.kind == Source::Kind::Cell &&
+        (source.index < 0 || source.index >= cell_count())) {
+      throw SimError("LutFabric: bad cell route");
+    }
+  }
+  cells_[static_cast<std::size_t>(cell)] = config;
+}
+
+const LutCell& LutFabric::cell(int index) const {
+  if (index < 0 || index >= cell_count()) {
+    throw SimError("LutFabric: cell index out of range");
+  }
+  return cells_[static_cast<std::size_t>(index)];
+}
+
+void LutFabric::route_output(int output, Source source) {
+  if (output < 0 || output >= primary_outputs()) {
+    throw SimError("LutFabric: output index out of range");
+  }
+  output_sources_[static_cast<std::size_t>(output)] = source;
+}
+
+void LutFabric::clear() {
+  for (LutCell& cell : cells_) cell = LutCell{};
+  for (Source& source : output_sources_) source = Source::none();
+  state_.assign(state_.size(), false);
+}
+
+std::int64_t LutFabric::config_bits() const {
+  // Route candidates per LUT input: any primary, any cell output, or
+  // unconnected.
+  const int candidates = primary_inputs_ + cell_count() + 1;
+  const std::int64_t per_cell =
+      (1 << kLutInputs) + kLutInputs * cost::ceil_log2(candidates) + 1;
+  return per_cell * cell_count() +
+         static_cast<std::int64_t>(primary_outputs()) *
+             cost::ceil_log2(candidates);
+}
+
+bool LutFabric::cell_state(int index) const {
+  if (index < 0 || index >= cell_count()) {
+    throw SimError("LutFabric: cell index out of range");
+  }
+  return state_[static_cast<std::size_t>(index)];
+}
+
+bool LutFabric::read(const Source& source,
+                     const std::vector<bool>& primary_in,
+                     const std::vector<bool>& cell_out) const {
+  switch (source.kind) {
+    case Source::Kind::None:
+      return false;
+    case Source::Kind::Primary:
+      return primary_in[static_cast<std::size_t>(source.index)];
+    case Source::Kind::Cell:
+      return cell_out[static_cast<std::size_t>(source.index)];
+  }
+  return false;
+}
+
+std::vector<bool> LutFabric::step(const std::vector<bool>& primary_in) {
+  if (static_cast<int>(primary_in.size()) != primary_inputs_) {
+    throw SimError("LutFabric: expected " + std::to_string(primary_inputs_) +
+                   " primary inputs, got " +
+                   std::to_string(primary_in.size()));
+  }
+
+  const int n = cell_count();
+  // Iteratively settle the combinational network.  Registered cells
+  // output their latched state; combinational cells recompute until a
+  // fixed point.  More than n sweeps without convergence means a
+  // combinational cycle.
+  std::vector<bool> out(static_cast<std::size_t>(n), false);
+  for (int c = 0; c < n; ++c) {
+    if (cells_[static_cast<std::size_t>(c)].registered) {
+      out[static_cast<std::size_t>(c)] = state_[static_cast<std::size_t>(c)];
+    }
+  }
+  bool changed = true;
+  int sweeps = 0;
+  while (changed) {
+    if (++sweeps > n + 1) {
+      throw SimError("LutFabric: combinational cycle (no fixed point)");
+    }
+    changed = false;
+    for (int c = 0; c < n; ++c) {
+      const LutCell& cell = cells_[static_cast<std::size_t>(c)];
+      if (cell.registered) continue;
+      unsigned address = 0;
+      for (int k = 0; k < kLutInputs; ++k) {
+        if (read(cell.inputs[static_cast<std::size_t>(k)], primary_in,
+                 out)) {
+          address |= 1u << k;
+        }
+      }
+      const bool value = cell.truth[address];
+      if (value != out[static_cast<std::size_t>(c)]) {
+        out[static_cast<std::size_t>(c)] = value;
+        changed = true;
+      }
+    }
+  }
+
+  // Latch registered cells from their (settled) D inputs.
+  std::vector<bool> next_state = state_;
+  for (int c = 0; c < n; ++c) {
+    const LutCell& cell = cells_[static_cast<std::size_t>(c)];
+    if (!cell.registered) continue;
+    unsigned address = 0;
+    for (int k = 0; k < kLutInputs; ++k) {
+      if (read(cell.inputs[static_cast<std::size_t>(k)], primary_in, out)) {
+        address |= 1u << k;
+      }
+    }
+    next_state[static_cast<std::size_t>(c)] = cell.truth[address];
+  }
+  state_ = std::move(next_state);
+
+  std::vector<bool> primary_out;
+  primary_out.reserve(output_sources_.size());
+  for (const Source& source : output_sources_) {
+    primary_out.push_back(read(source, primary_in, out));
+  }
+  return primary_out;
+}
+
+}  // namespace mpct::sim::spatial

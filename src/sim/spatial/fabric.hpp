@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpct::sim::spatial {
+
+/// Where a routed signal comes from on the fabric.
+struct Source {
+  enum class Kind : std::uint8_t { None, Primary, Cell };
+  Kind kind = Kind::None;
+  int index = 0;  ///< primary-input index or cell index
+
+  static Source none() { return {}; }
+  static Source primary(int index) { return {Kind::Primary, index}; }
+  static Source cell(int index) { return {Kind::Cell, index}; }
+
+  friend bool operator==(const Source&, const Source&) = default;
+};
+
+/// Number of inputs per LUT (classic island-style 4-LUT).
+inline constexpr int kLutInputs = 4;
+
+/// Configuration of one cell: a 4-input truth table, four routed input
+/// sources and a registered/combinational mode bit.
+struct LutCell {
+  std::array<bool, 1 << kLutInputs> truth{};  ///< 16 truth-table bits
+  std::array<Source, kLutInputs> inputs{};
+  bool registered = false;  ///< output latches on clock when true
+};
+
+/// The universal-flow spatial processor (class USP, Table I row 47): a
+/// pool of LUT cells behind a global routing crossbar.  Every cell can be
+/// configured to behave as part of a data processor, an instruction
+/// processor (state machine — registered cells), or storage; the *count*
+/// of IPs/DPs is therefore variable ('v'), decided by the bitstream, not
+/// the silicon.
+///
+/// The measured config_bits() — truth tables + routing selects + mode
+/// bits — is the reconfiguration overhead that Section III-B trades
+/// against flexibility.
+class LutFabric {
+ public:
+  LutFabric(int cells, int primary_inputs, int primary_outputs);
+
+  int cell_count() const { return static_cast<int>(cells_.size()); }
+  int primary_inputs() const { return primary_inputs_; }
+  int primary_outputs() const {
+    return static_cast<int>(output_sources_.size());
+  }
+
+  /// Program one cell (throws SimError on bad indices).
+  void configure_cell(int cell, const LutCell& config);
+  const LutCell& cell(int index) const;
+
+  /// Route a primary output.
+  void route_output(int output, Source source);
+
+  /// Clear all configuration and state.
+  void clear();
+
+  /// Measured configuration size in bits: per cell 16 truth bits +
+  /// 4 input selects over (primaries + cells + 1) candidates + 1 mode
+  /// bit; per primary output one select.
+  std::int64_t config_bits() const;
+
+  /// Evaluate one clock cycle: combinational settle from the given
+  /// primary inputs, then latch registered cells.  Returns the primary
+  /// outputs.  Throws SimError on combinational cycles.
+  std::vector<bool> step(const std::vector<bool>& primary_in);
+
+  /// Current registered state of a cell (for assertions).
+  bool cell_state(int index) const;
+
+ private:
+  bool read(const Source& source, const std::vector<bool>& primary_in,
+            const std::vector<bool>& cell_out) const;
+
+  int primary_inputs_;
+  std::vector<LutCell> cells_;
+  std::vector<bool> state_;  ///< latched value per cell
+  std::vector<Source> output_sources_;
+};
+
+}  // namespace mpct::sim::spatial

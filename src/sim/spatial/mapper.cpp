@@ -1,0 +1,153 @@
+#include "sim/spatial/mapper.hpp"
+
+#include "sim/memory.hpp"
+
+namespace mpct::sim::spatial {
+
+namespace {
+
+/// Truth table of a gate as a 4-LUT (unused inputs are don't-care /
+/// wired to the disconnected source which reads 0).
+std::array<bool, 16> truth_of(GateOp op) {
+  std::array<bool, 16> t{};
+  for (unsigned address = 0; address < 16; ++address) {
+    const bool a = address & 1u;
+    const bool b = address & 2u;
+    const bool c = address & 4u;
+    bool v = false;
+    switch (op) {
+      case GateOp::Zero:
+        v = false;
+        break;
+      case GateOp::One:
+        v = true;
+        break;
+      case GateOp::Not:
+        v = !a;
+        break;
+      case GateOp::And:
+        v = a && b;
+        break;
+      case GateOp::Or:
+        v = a || b;
+        break;
+      case GateOp::Xor:
+        v = a != b;
+        break;
+      case GateOp::Mux:
+        v = a ? b : c;  // inputs: sel, if_true, if_false
+        break;
+      case GateOp::Dff:
+        v = a;  // registered identity
+        break;
+      default:
+        v = false;
+        break;
+    }
+    t[address] = v;
+  }
+  return t;
+}
+
+}  // namespace
+
+MappingReport map_netlist(const Netlist& netlist, LutFabric& fabric) {
+  const std::vector<std::string> problems = netlist.validate();
+  if (!problems.empty()) {
+    throw SimError("map_netlist: netlist invalid: " + problems.front());
+  }
+
+  MappingReport report;
+  const int n = netlist.gate_count();
+  report.gate_cell.assign(static_cast<std::size_t>(n), -1);
+
+  // Assign fabric pins to named ports.
+  {
+    int next = 0;
+    for (GateId id : netlist.input_gates()) {
+      if (next >= fabric.primary_inputs()) {
+        throw SimError("map_netlist: fabric has too few primary inputs");
+      }
+      report.input_index[netlist.gate(id).name] = next++;
+    }
+  }
+  {
+    int next = 0;
+    for (GateId id : netlist.output_gates()) {
+      if (next >= fabric.primary_outputs()) {
+        throw SimError("map_netlist: fabric has too few primary outputs");
+      }
+      report.output_index[netlist.gate(id).name] = next++;
+    }
+  }
+
+  // One cell per logic gate (inputs/outputs are pure routing).
+  int next_cell = 0;
+  for (GateId id = 0; id < n; ++id) {
+    const GateOp op = netlist.gate(id).op;
+    if (op == GateOp::Input || op == GateOp::Output) continue;
+    if (next_cell >= fabric.cell_count()) {
+      throw SimError("map_netlist: fabric has too few cells (" +
+                     std::to_string(fabric.cell_count()) + ")");
+    }
+    report.gate_cell[static_cast<std::size_t>(id)] = next_cell++;
+  }
+  report.cells_used = next_cell;
+
+  // The source feeding a given netlist gate output.
+  const auto source_of_gate = [&](GateId id) -> Source {
+    const Gate& gate = netlist.gate(id);
+    if (gate.op == GateOp::Input) {
+      return Source::primary(report.input_index.at(gate.name));
+    }
+    return Source::cell(report.gate_cell[static_cast<std::size_t>(id)]);
+  };
+
+  fabric.clear();
+  for (GateId id = 0; id < n; ++id) {
+    const Gate& gate = netlist.gate(id);
+    if (gate.op == GateOp::Input || gate.op == GateOp::Output) continue;
+    LutCell cell;
+    cell.truth = truth_of(gate.op);
+    cell.registered = gate.op == GateOp::Dff;
+    for (std::size_t k = 0; k < gate.inputs.size() && k < kLutInputs; ++k) {
+      cell.inputs[k] = source_of_gate(gate.inputs[k]);
+    }
+    fabric.configure_cell(report.gate_cell[static_cast<std::size_t>(id)],
+                          cell);
+  }
+  for (GateId id : netlist.output_gates()) {
+    const Gate& gate = netlist.gate(id);
+    fabric.route_output(report.output_index.at(gate.name),
+                        source_of_gate(gate.inputs[0]));
+  }
+  return report;
+}
+
+std::vector<bool> pack_inputs(
+    const MappingReport& report, int primary_inputs,
+    const std::vector<std::pair<std::string, bool>>& values) {
+  std::vector<bool> packed(static_cast<std::size_t>(primary_inputs), false);
+  for (const auto& [name, value] : values) {
+    const auto it = report.input_index.find(name);
+    if (it == report.input_index.end()) {
+      throw SimError("pack_inputs: unknown input '" + name + "'");
+    }
+    packed[static_cast<std::size_t>(it->second)] = value;
+  }
+  return packed;
+}
+
+std::vector<std::pair<std::string, bool>> unpack_outputs(
+    const MappingReport& report, const std::vector<bool>& outputs) {
+  std::vector<std::pair<std::string, bool>> named;
+  named.reserve(report.output_index.size());
+  for (const auto& [name, index] : report.output_index) {
+    if (index >= 0 && static_cast<std::size_t>(index) < outputs.size()) {
+      named.emplace_back(name, outputs[static_cast<std::size_t>(index)]);
+    }
+  }
+  return named;
+}
+
+}  // namespace mpct::sim::spatial

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/spatial/fabric.hpp"
+#include "sim/spatial/netlist.hpp"
+
+namespace mpct::sim::spatial {
+
+/// Result of mapping a netlist onto a fabric.
+struct MappingReport {
+  int cells_used = 0;
+  /// Primary input name -> fabric primary-input index.
+  std::map<std::string, int> input_index;
+  /// Primary output name -> fabric primary-output index.
+  std::map<std::string, int> output_index;
+  /// Netlist gate -> fabric cell (-1 for gates that map to no cell:
+  /// inputs and outputs become routes).
+  std::vector<int> gate_cell;
+};
+
+/// Technology-map a gate netlist onto a LUT fabric: one logic gate per
+/// 4-LUT (trivial but correct mapping; the netlists here are small),
+/// DFFs become registered identity LUTs, constants become constant
+/// LUTs.  Throws SimError if the fabric lacks cells or pins.
+///
+/// This is the "configure the universal machine" step: calling it twice
+/// on the same fabric with an adder and then an FSM is the executable
+/// form of Section II-C.3's claim that fine-grained fabrics implement
+/// either flow paradigm.
+MappingReport map_netlist(const Netlist& netlist, LutFabric& fabric);
+
+/// Convenience for driving a mapped design: translate named input values
+/// to the fabric's primary-input vector.
+std::vector<bool> pack_inputs(
+    const MappingReport& report, int primary_inputs,
+    const std::vector<std::pair<std::string, bool>>& values);
+
+/// Translate the fabric's primary-output vector back to named values.
+std::vector<std::pair<std::string, bool>> unpack_outputs(
+    const MappingReport& report, const std::vector<bool>& outputs);
+
+}  // namespace mpct::sim::spatial

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpct::sim::spatial {
+
+/// Gate-level operators for netlists targeting the LUT fabric.
+enum class GateOp : std::uint8_t {
+  Input,  ///< primary input (named)
+  Zero,   ///< constant 0
+  One,    ///< constant 1
+  Not,    ///< 1 operand
+  And,    ///< 2 operands
+  Or,     ///< 2 operands
+  Xor,    ///< 2 operands
+  Mux,    ///< 3 operands: sel ? a : b  (sel, a, b)
+  Dff,    ///< 1 operand: D flip-flop, output is last clocked value
+  Output  ///< primary output (named, 1 operand)
+};
+
+std::string_view to_string(GateOp op);
+int gate_arity(GateOp op);
+
+using GateId = int;
+
+/// One gate.
+struct Gate {
+  GateOp op = GateOp::Zero;
+  std::string name;            ///< Input/Output name
+  std::vector<GateId> inputs;  ///< operand producers
+};
+
+/// A gate-level netlist — the portable description a universal-flow
+/// fabric is configured from.  Cycles are legal only through DFFs
+/// (synchronous design rule); validate() enforces it.
+class Netlist {
+ public:
+  GateId add_input(std::string name);
+  GateId add_const(bool value);
+  GateId add_not(GateId a);
+  GateId add_and(GateId a, GateId b);
+  GateId add_or(GateId a, GateId b);
+  GateId add_xor(GateId a, GateId b);
+  GateId add_mux(GateId sel, GateId if_true, GateId if_false);
+  /// Declare a DFF whose input may be set later (enables feedback
+  /// loops); connect with connect_dff().
+  GateId add_dff();
+  void connect_dff(GateId dff, GateId d);
+  GateId add_output(std::string name, GateId source);
+
+  int gate_count() const { return static_cast<int>(gates_.size()); }
+  const Gate& gate(GateId id) const {
+    return gates_.at(static_cast<std::size_t>(id));
+  }
+  const std::vector<GateId>& input_gates() const { return inputs_; }
+  const std::vector<GateId>& output_gates() const { return outputs_; }
+  int dff_count() const;
+
+  /// Empty on success: checks arities, dangling references, unconnected
+  /// DFFs and combinational cycles.
+  std::vector<std::string> validate() const;
+
+  /// Reference simulation: clock the netlist over input vectors (one
+  /// map of input values per cycle); returns per-cycle output values in
+  /// output-gate order.  DFFs start at 0.
+  std::vector<std::vector<bool>> simulate(
+      const std::vector<std::vector<std::pair<std::string, bool>>>& stimulus)
+      const;
+
+ private:
+  GateId append(Gate gate);
+
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+};
+
+/// Ripple-carry adder: inputs a0..a{n-1}, b0..b{n-1}, cin; outputs
+/// s0..s{n-1}, cout.  Pure combinational logic — a *data-flow* machine
+/// in the paper's sense: results appear as operands arrive.
+Netlist build_ripple_adder(int bits);
+
+/// Synchronous up-counter with enable: input en, outputs q0..q{n-1} —
+/// a sequential state machine, i.e. the seed of an *instruction-flow*
+/// machine (the IP is a state machine, Section II-B).
+Netlist build_counter(int bits);
+
+/// 2-bit sequence-detector FSM (detects the input pattern 1,1) with
+/// output 'hit' — a pure instruction-processor-like state machine.
+Netlist build_sequence_detector();
+
+}  // namespace mpct::sim::spatial

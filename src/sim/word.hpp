@@ -1,0 +1,13 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mpct::sim {
+
+/// Machine word of every paradigm simulator.  Signed 64-bit keeps the
+/// arithmetic semantics trivial (no overflow UB concerns in practice for
+/// the workloads the benches run) and wide enough for addresses and data
+/// alike.
+using Word = std::int64_t;
+
+}  // namespace mpct::sim

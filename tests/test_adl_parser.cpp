@@ -1,0 +1,148 @@
+#include "arch/adl_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpct::arch {
+namespace {
+
+constexpr const char* kGoodDoc = R"(
+# A comment line
+architecture "Toy CGRA" {
+  citation = "[99]"
+  year = 2011
+  category = "CGRA"
+  granularity = ip/dp
+  ips = 1
+  dps = 16            # inline comment
+  ip-ip = none
+  ip-dp = 1-16
+  ip-im = 1-1
+  dp-dm = 16-1
+  dp-dp = 16x16
+  paper-name = "IAP-II"
+  paper-flexibility = 2
+  description = "a toy"
+}
+)";
+
+TEST(AdlParser, ParsesWellFormedBlock) {
+  const ParseResult result = parse_adl(kGoodDoc);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.specs.size(), 1u);
+  const ArchitectureSpec& spec = result.specs[0];
+  EXPECT_EQ(spec.name, "Toy CGRA");
+  EXPECT_EQ(spec.citation, "[99]");
+  EXPECT_EQ(spec.year, 2011);
+  EXPECT_EQ(spec.category, "CGRA");
+  EXPECT_EQ(spec.ips, Count::fixed(1));
+  EXPECT_EQ(spec.dps, Count::fixed(16));
+  EXPECT_EQ(spec.at(ConnectivityRole::DpDp).kind, SwitchKind::Crossbar);
+  EXPECT_EQ(spec.paper_name, "IAP-II");
+  EXPECT_EQ(spec.paper_flexibility, 2);
+  EXPECT_EQ(spec.description, "a toy");
+}
+
+TEST(AdlParser, ParsesMultipleBlocks) {
+  const std::string doc = std::string(kGoodDoc) + R"(
+architecture Second {
+  ips = n
+  dps = n
+  dp-dp = nxn
+}
+)";
+  const ParseResult result = parse_adl(doc);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.specs.size(), 2u);
+  EXPECT_EQ(result.specs[1].name, "Second");
+  EXPECT_EQ(result.specs[1].ips, Count::symbolic('n'));
+}
+
+TEST(AdlParser, UnquotedNamesWork) {
+  const ParseResult result = parse_adl(
+      "architecture GARP {\n  ips = 1\n  dps = 24n\n}\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.specs[0].name, "GARP");
+  EXPECT_EQ(result.specs[0].dps, Count::scaled_symbolic(24, 'n'));
+}
+
+TEST(AdlParser, ReportsUnknownKeyWithLine) {
+  const ParseResult result = parse_adl(
+      "architecture X {\n  ips = 1\n  dps = 1\n  bogus = 3\n}\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.errors[0].line, 4);
+  EXPECT_NE(result.errors[0].message.find("unknown key"),
+            std::string::npos);
+  EXPECT_TRUE(result.specs.empty());  // the broken block is dropped
+}
+
+TEST(AdlParser, ReportsBadCount) {
+  const ParseResult result =
+      parse_adl("architecture X {\n  ips = 1\n  dps = lots\n}\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errors[0].message.find("bad count"), std::string::npos);
+}
+
+TEST(AdlParser, ReportsBadConnectivity) {
+  const ParseResult result = parse_adl(
+      "architecture X {\n  ips = 1\n  dps = 4\n  dp-dp = 4~4\n}\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errors[0].message.find("bad connectivity"),
+            std::string::npos);
+}
+
+TEST(AdlParser, RequiresIpsAndDps) {
+  const ParseResult result = parse_adl("architecture X {\n  ips = 1\n}\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errors[0].message.find("missing required key 'dps'"),
+            std::string::npos);
+}
+
+TEST(AdlParser, ReportsUnterminatedBlock) {
+  const ParseResult result =
+      parse_adl("architecture X {\n  ips = 1\n  dps = 1\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errors.back().message.find("unterminated"),
+            std::string::npos);
+}
+
+TEST(AdlParser, ReportsUnterminatedString) {
+  const ParseResult result = parse_adl(
+      "architecture X {\n  ips = 1\n  dps = 1\n  description = \"oops\n}\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errors[0].message.find("unterminated string"),
+            std::string::npos);
+}
+
+TEST(AdlParser, GoodBlocksSurviveBadNeighbours) {
+  const std::string doc = std::string("architecture Bad {\n  zzz = 1\n}\n") +
+                          kGoodDoc;
+  const ParseResult result = parse_adl(doc);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.specs.size(), 1u);
+  EXPECT_EQ(result.specs[0].name, "Toy CGRA");
+}
+
+TEST(AdlParser, SingleBlockHelperEnforcesCount) {
+  EXPECT_FALSE(parse_single_adl("").ok());
+  const std::string two = std::string(kGoodDoc) + kGoodDoc;
+  EXPECT_FALSE(parse_single_adl(two).ok());
+  EXPECT_TRUE(parse_single_adl(kGoodDoc).ok());
+}
+
+TEST(AdlParser, HashInsideQuotesIsNotComment) {
+  const ParseResult result = parse_adl(
+      "architecture X {\n  ips = 1\n  dps = 1\n"
+      "  description = \"issue #42\"\n}\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.specs[0].description, "issue #42");
+}
+
+TEST(AdlParser, LutGranularityKeyword) {
+  const ParseResult result = parse_adl(
+      "architecture F {\n  granularity = lut\n  ips = v\n  dps = v\n}\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.specs[0].granularity, Granularity::Lut);
+}
+
+}  // namespace
+}  // namespace mpct::arch

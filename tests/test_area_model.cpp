@@ -1,0 +1,185 @@
+#include "cost/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "core/classifier.hpp"
+#include "core/flexibility.hpp"
+#include "core/taxonomy_table.hpp"
+
+namespace mpct::cost {
+namespace {
+
+MachineClass named(const char* text) {
+  return *canonical_class(*parse_taxonomic_name(text));
+}
+
+TEST(AreaModel, IupIsBlocksOnly) {
+  // Eq. 1 for a uniprocessor: 1*A_IP + 1*A_IM + 1*A_DP + 1*A_DM plus
+  // three direct links (wire-only area).
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const AreaEstimate e = estimate_area(named("IUP"), lib);
+  EXPECT_EQ(e.n_ips, 1);
+  EXPECT_EQ(e.n_dps, 1);
+  EXPECT_DOUBLE_EQ(e.ip_blocks, lib.ip.area_kge);
+  EXPECT_DOUBLE_EQ(e.dp_blocks, lib.dp.area_kge);
+  EXPECT_DOUBLE_EQ(e.im_blocks, lib.im.area_kge);
+  EXPECT_DOUBLE_EQ(e.dm_blocks, lib.dm.area_kge);
+  EXPECT_EQ(e.ip_ip_switch, 0);
+  EXPECT_EQ(e.dp_dp_switch, 0);
+  EXPECT_GT(e.total_kge(), lib.ip.area_kge + lib.dp.area_kge +
+                               lib.im.area_kge + lib.dm.area_kge);
+}
+
+TEST(AreaModel, DataFlowIgnoresIpTerms) {
+  // "In a data flow machine, the first part involving IP and IM will be
+  // ignored" — falls out of the zero counts.
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const AreaEstimate e = estimate_area(named("DMP-IV"), lib, {.n = 8});
+  EXPECT_EQ(e.ip_blocks, 0);
+  EXPECT_EQ(e.im_blocks, 0);
+  EXPECT_EQ(e.ip_ip_switch, 0);
+  EXPECT_EQ(e.ip_im_switch, 0);
+  EXPECT_GT(e.dp_blocks, 0);
+  EXPECT_GT(e.dp_dp_switch, 0);
+}
+
+TEST(AreaModel, BlockTermsScaleWithN) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const AreaEstimate e8 = estimate_area(named("IMP-I"), lib, {.n = 8});
+  const AreaEstimate e16 = estimate_area(named("IMP-I"), lib, {.n = 16});
+  EXPECT_DOUBLE_EQ(e16.ip_blocks, 2 * e8.ip_blocks);
+  EXPECT_DOUBLE_EQ(e16.dp_blocks, 2 * e8.dp_blocks);
+}
+
+TEST(AreaModel, FlexibilityCostsArea) {
+  // Section III-C: area increases with flexibility inside a family.
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const EstimateOptions options{.n = 16};
+  double previous = -1;
+  for (const char* name : {"IMP-I", "IMP-II", "IMP-IV"}) {
+    const double area = estimate_area(named(name), lib, options).total_kge();
+    EXPECT_GT(area, previous) << name;
+    previous = area;
+  }
+}
+
+TEST(AreaModel, IspCostsMoreThanImp) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const EstimateOptions options{.n = 16};
+  for (int sub = 1; sub <= 16; ++sub) {
+    const TaxonomicName imp{MachineType::InstructionFlow,
+                            ProcessingType::MultiProcessor, sub};
+    const TaxonomicName isp{MachineType::InstructionFlow,
+                            ProcessingType::SpatialProcessor, sub};
+    EXPECT_GT(estimate_area(*canonical_class(isp), lib, options).total_kge(),
+              estimate_area(*canonical_class(imp), lib, options).total_kge())
+        << sub;
+  }
+}
+
+TEST(AreaModel, CrossbarGrowthDominatesAtScale) {
+  // The nxn crossbar term grows quadratically, blocks linearly: at large
+  // N the switch share of an IMP-XVI must exceed the block share.
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const AreaEstimate e =
+      estimate_area(named("IMP-XVI"), lib, {.n = 1024});
+  EXPECT_GT(e.switch_kge(), e.total_kge() / 2);
+}
+
+TEST(AreaModel, UspUsesLutBlocks) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const AreaEstimate e = estimate_area(named("USP"), lib, {.v = 512});
+  EXPECT_EQ(e.n_luts, 512);
+  EXPECT_DOUBLE_EQ(e.lut_blocks, 512 * lib.lut.area_kge);
+  EXPECT_EQ(e.ip_blocks, 0);
+  EXPECT_EQ(e.dp_blocks, 0);
+  EXPECT_GT(e.switch_kge(), 0);
+}
+
+TEST(AreaModel, Eq1OmitsIpDpSwitchByDefault) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  // IMP-IX has a crossbar on IP-DP; Eq. 1 as printed still charges
+  // nothing for it.
+  const AreaEstimate faithful = estimate_area(named("IMP-IX"), lib, {.n = 8});
+  EXPECT_EQ(faithful.ip_dp_switch, 0);
+  EstimateOptions extended{.n = 8};
+  extended.include_ip_dp_switch = true;
+  const AreaEstimate with_term = estimate_area(named("IMP-IX"), lib, extended);
+  EXPECT_GT(with_term.ip_dp_switch, 0);
+  EXPECT_GT(with_term.total_kge(), faithful.total_kge());
+}
+
+TEST(AreaModel, SpecUsesExactCounts) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const arch::ArchitectureSpec* morphosys =
+      arch::find_architecture("MorphoSys");
+  ASSERT_NE(morphosys, nullptr);
+  const AreaEstimate e = estimate_area(*morphosys, lib);
+  EXPECT_EQ(e.n_ips, 1);
+  EXPECT_EQ(e.n_dps, 64);
+  EXPECT_DOUBLE_EQ(e.dp_blocks, 64 * lib.dp.area_kge);
+}
+
+TEST(AreaModel, SpecMemoryBankCountsFromCells) {
+  // Montium: 5 ALUs, 10 memory banks (DP-DM cell "5x10").
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const arch::ArchitectureSpec* montium = arch::find_architecture("Montium");
+  ASSERT_NE(montium, nullptr);
+  const AreaEstimate e = estimate_area(*montium, lib);
+  EXPECT_EQ(e.n_dps, 5);
+  EXPECT_EQ(e.n_dms, 10);
+  EXPECT_DOUBLE_EQ(e.dm_blocks, 10 * lib.dm.area_kge);
+}
+
+TEST(AreaModel, SpecSymbolicCountsBind) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const arch::ArchitectureSpec* garp = arch::find_architecture("GARP");
+  ASSERT_NE(garp, nullptr);
+  // GARP has 24n DPs: with n = 4 that is 96.
+  const AreaEstimate e = estimate_area(*garp, lib, {.n = 4});
+  EXPECT_EQ(e.n_dps, 96);
+}
+
+TEST(AreaModel, SpecRapidBindsBothSymbols) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const arch::ArchitectureSpec* rapid = arch::find_architecture("RaPiD");
+  ASSERT_NE(rapid, nullptr);
+  const AreaEstimate e = estimate_area(*rapid, lib, {.n = 4, .m = 12});
+  EXPECT_EQ(e.n_ips, 4);
+  EXPECT_EQ(e.n_dps, 12);
+}
+
+TEST(AreaModel, Mm2ConversionUsesNode) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const AreaEstimate e = estimate_area(named("IUP"), lib);
+  const TechnologyNode n90 = technology_node("90nm");
+  const TechnologyNode n45 = technology_node("45nm");
+  EXPECT_NEAR(e.total_mm2(n45), e.total_mm2(n90) / 4.0, 1e-9);
+}
+
+/// Property: area is monotone in N for every implementable class.
+class AreaMonotoneInN : public ::testing::TestWithParam<int> {};
+
+TEST_P(AreaMonotoneInN, EveryClassGrowsWithN) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const int serial = GetParam();
+  const TaxonomyEntry* row = find_entry(serial);
+  ASSERT_NE(row, nullptr);
+  if (!row->implementable) GTEST_SKIP() << "NI row";
+  double previous = -1;
+  for (std::int64_t n : {2, 4, 8, 16, 32}) {
+    EstimateOptions options;
+    options.n = n;
+    options.v = n * 16;
+    const double area = estimate_area(row->machine, lib, options).total_kge();
+    EXPECT_GE(area, previous) << "serial " << serial << " n " << n;
+    previous = area;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSerials, AreaMonotoneInN,
+                         ::testing::Range(1, 48));
+
+}  // namespace
+}  // namespace mpct::cost

@@ -1,0 +1,200 @@
+#include "sim/simd/array_processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/isa/assembler.hpp"
+
+namespace mpct::sim {
+namespace {
+
+TEST(ArrayProcessorConfig, SubtypeFactory) {
+  const auto i = ArrayProcessorConfig::for_subtype(1);
+  EXPECT_EQ(i.dp_dm, mpct::SwitchKind::Direct);
+  EXPECT_EQ(i.dp_dp, mpct::SwitchKind::None);
+  EXPECT_EQ(i.subtype(), 1);
+  const auto ii = ArrayProcessorConfig::for_subtype(2);
+  EXPECT_EQ(ii.dp_dp, mpct::SwitchKind::Crossbar);
+  EXPECT_EQ(ii.subtype(), 2);
+  const auto iii = ArrayProcessorConfig::for_subtype(3);
+  EXPECT_EQ(iii.dp_dm, mpct::SwitchKind::Crossbar);
+  EXPECT_EQ(iii.subtype(), 3);
+  const auto iv = ArrayProcessorConfig::for_subtype(4);
+  EXPECT_EQ(iv.subtype(), 4);
+  EXPECT_THROW(ArrayProcessorConfig::for_subtype(0), std::invalid_argument);
+  EXPECT_THROW(ArrayProcessorConfig::for_subtype(5), std::invalid_argument);
+}
+
+TEST(ArrayProcessor, BroadcastArithmeticDivergesByLane) {
+  ArrayProcessor iap(assemble_or_throw(R"(
+    lane r1
+    ldi r2, 10
+    mul r3, r1, r2
+    out r3
+    halt
+  )"),
+                     ArrayProcessorConfig::for_subtype(1, 4, 32));
+  const RunStats stats = iap.run();
+  EXPECT_TRUE(stats.halted);
+  EXPECT_EQ(stats.output, (std::vector<Word>{0, 10, 20, 30}));
+  // 5 broadcast cycles, 4 lanes of work each.
+  EXPECT_EQ(stats.cycles, 5);
+  EXPECT_EQ(stats.instructions, 20);
+}
+
+TEST(ArrayProcessor, DirectMemoryIsLaneLocal) {
+  ArrayProcessor iap(assemble_or_throw(R"(
+    lane r1
+    ldi r2, 0
+    st r2, r1, 0   ; DM_lane[0] = lane
+    halt
+  )"),
+                     ArrayProcessorConfig::for_subtype(1, 4, 8));
+  iap.run();
+  for (int lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(iap.bank(lane).load(0), lane);
+  }
+}
+
+TEST(ArrayProcessor, CrossbarMemoryIsGlobal) {
+  // IAP-III: every lane can address every bank; lane l writes to global
+  // address 8*... here each lane writes its id to global address lane*2
+  // (bank = addr / bank_words).
+  ArrayProcessorConfig config = ArrayProcessorConfig::for_subtype(3, 4, 2);
+  ArrayProcessor iap(assemble_or_throw(R"(
+    lane r1
+    ldi r2, 2
+    mul r3, r1, r2   ; addr = 2*lane -> bank 'lane', offset 0
+    st r3, r1, 0
+    halt
+  )"),
+                     config);
+  iap.run();
+  for (int lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(iap.bank(lane).load(0), lane);
+  }
+}
+
+TEST(ArrayProcessor, CrossbarMemoryAllowsRemoteBank) {
+  // Every lane writes into bank 3 at its own offset... offsets collide
+  // across lanes, so instead: lane l stores to global address
+  // (3 * bank_words) only from lane 0, the rest store to their own.
+  // Simpler: lane 0 writes to the last bank.
+  ArrayProcessorConfig config = ArrayProcessorConfig::for_subtype(3, 4, 4);
+  ArrayProcessor iap(assemble_or_throw(R"(
+    lane r1
+    ldi r2, 4
+    mul r3, r1, r2
+    addi r4, r1, 70
+    st r3, r4, 1    ; lane l: global[4*l + 1] = 70 + l
+    halt
+  )"),
+                     config);
+  iap.run();
+  for (int lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(iap.bank(lane).load(1), 70 + lane);
+  }
+}
+
+TEST(ArrayProcessor, ShuffleRotates) {
+  ArrayProcessor iap(assemble_or_throw(R"(
+    lane r1
+    ldi r2, 100
+    add r3, r1, r2   ; r3 = 100 + lane
+    addi r4, r1, 1   ; neighbour on the right
+    shuf r5, r3, r4
+    out r5
+    halt
+  )"),
+                     ArrayProcessorConfig::for_subtype(2, 4, 8));
+  const RunStats stats = iap.run();
+  EXPECT_EQ(stats.output, (std::vector<Word>{101, 102, 103, 100}));
+}
+
+TEST(ArrayProcessor, ShuffleReadsPreInstructionSnapshot) {
+  // Pairwise swap: every lane reads its partner's value simultaneously.
+  ArrayProcessor iap(assemble_or_throw(R"(
+    lane r1
+    ldi r2, 1
+    xor r4, r1, r2   ; partner = lane ^ 1
+    shuf r5, r1, r4  ; r5 = partner's lane id
+    out r5
+    halt
+  )"),
+                     ArrayProcessorConfig::for_subtype(2, 4, 8));
+  const RunStats stats = iap.run();
+  EXPECT_EQ(stats.output, (std::vector<Word>{1, 0, 3, 2}));
+}
+
+TEST(ArrayProcessor, ShuffleTrapsWithoutDpDpSwitch) {
+  for (int subtype : {1, 3}) {
+    ArrayProcessor iap(assemble_or_throw("lane r1\nshuf r2, r1, r1\nhalt\n"),
+                       ArrayProcessorConfig::for_subtype(subtype, 4, 8));
+    EXPECT_THROW(iap.run(), SimError) << "IAP-" << subtype;
+  }
+}
+
+TEST(ArrayProcessor, MessagePassingTraps) {
+  ArrayProcessor iap(assemble_or_throw("send r1, r2\nhalt\n"),
+                     ArrayProcessorConfig::for_subtype(4, 4, 8));
+  EXPECT_THROW(iap.run(), SimError);
+}
+
+TEST(ArrayProcessor, ScalarControlUsesLaneZero) {
+  // Lane 0 exits the loop after 3 iterations; all lanes follow the
+  // single instruction stream (SIMD semantics).
+  ArrayProcessor iap(assemble_or_throw(R"(
+    ldi r1, 0      ; counter (same on all lanes)
+    ldi r2, 3
+loop:
+    addi r1, r1, 1
+    bne r1, r2, loop
+    out r1
+    halt
+  )"),
+                     ArrayProcessorConfig::for_subtype(1, 4, 8));
+  const RunStats stats = iap.run();
+  EXPECT_EQ(stats.output, (std::vector<Word>{3, 3, 3, 3}));
+}
+
+TEST(ArrayProcessor, DirectModeRequiresBankPerLane) {
+  ArrayProcessorConfig config = ArrayProcessorConfig::for_subtype(1, 8, 8);
+  config.banks = 4;  // fewer banks than lanes
+  EXPECT_THROW(ArrayProcessor(assemble_or_throw("halt\n"), config),
+               std::invalid_argument);
+}
+
+TEST(ArrayProcessor, MontiumStyleMoreBanksThanLanes) {
+  // IAP-IV with 5 lanes and 10 banks (Montium's 5x10 DP-DM crossbar).
+  ArrayProcessorConfig config = ArrayProcessorConfig::for_subtype(4, 5, 4);
+  config.banks = 10;
+  ArrayProcessor iap(assemble_or_throw(R"(
+    lane r1
+    ldi r2, 36     ; bank 9, offset 0
+    st r2, r1, 0   ; every lane writes, lane 4 wins the final value
+    halt
+  )"),
+                     config);
+  iap.run();
+  EXPECT_EQ(iap.banks(), 10);
+  EXPECT_EQ(iap.bank(9).load(0), 4);
+}
+
+TEST(ArrayProcessor, ResetClearsState) {
+  ArrayProcessor iap(assemble_or_throw("lane r1\nhalt\n"),
+                     ArrayProcessorConfig::for_subtype(1, 2, 8));
+  iap.run();
+  EXPECT_EQ(iap.lane_state(1).reg(1), 1);
+  iap.reset();
+  EXPECT_EQ(iap.lane_state(1).reg(1), 0);
+}
+
+TEST(ArrayProcessor, MaxCyclesBoundsRun) {
+  ArrayProcessor iap(assemble_or_throw("loop: jmp loop\n"),
+                     ArrayProcessorConfig::for_subtype(1, 2, 8));
+  const RunStats stats = iap.run(100);
+  EXPECT_FALSE(stats.halted);
+  EXPECT_EQ(stats.cycles, 100);
+}
+
+}  // namespace
+}  // namespace mpct::sim

@@ -1,0 +1,163 @@
+#include "sim/isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hpp"
+
+namespace mpct::sim {
+namespace {
+
+TEST(Assembler, AssemblesStraightLineCode) {
+  const AssemblyResult result = assemble(R"(
+    ldi r1, 10
+    ldi r2, -3
+    add r3, r1, r2
+    halt
+  )");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.program.size(), 4u);
+  EXPECT_EQ(result.program[0],
+            (Instruction{Opcode::Ldi, 1, 0, 0, 10}));
+  EXPECT_EQ(result.program[1],
+            (Instruction{Opcode::Ldi, 2, 0, 0, -3}));
+  EXPECT_EQ(result.program[2], (Instruction{Opcode::Add, 3, 1, 2, 0}));
+  EXPECT_EQ(result.program[3].op, Opcode::Halt);
+}
+
+TEST(Assembler, ResolvesForwardAndBackwardLabels) {
+  const AssemblyResult result = assemble(R"(
+start:
+    beq r0, r0, end
+    jmp start
+end:
+    halt
+  )");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.labels.at("start"), 0);
+  EXPECT_EQ(result.labels.at("end"), 2);
+  EXPECT_EQ(result.program[0].imm, 2);  // forward reference
+  EXPECT_EQ(result.program[1].imm, 0);  // backward reference
+}
+
+TEST(Assembler, LabelSharesLineWithInstruction) {
+  const AssemblyResult result = assemble("loop: jmp loop\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.program[0].imm, 0);
+}
+
+TEST(Assembler, NumericBranchTargets) {
+  const AssemblyResult result = assemble("jmp 0\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.program[0].imm, 0);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const AssemblyResult result = assemble(R"(
+    ; full line comment
+    # hash comment
+    nop        ; trailing comment
+    halt       # another
+  )");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.program.size(), 2u);
+}
+
+TEST(Assembler, MemoryOperandForms) {
+  const AssemblyResult result = assemble(R"(
+    ld r3, r1, 4
+    st r1, r2, 0
+  )");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.program[0], (Instruction{Opcode::Ld, 3, 1, 0, 4}));
+  // St: ra = address base, rb = value.
+  EXPECT_EQ(result.program[1], (Instruction{Opcode::St, 0, 1, 2, 0}));
+}
+
+TEST(Assembler, CommunicationOps) {
+  const AssemblyResult result = assemble(R"(
+    lane r1
+    shuf r2, r3, r1
+    send r2, r1
+    recv r4
+    out r4
+  )");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.program[0].op, Opcode::Lane);
+  EXPECT_EQ(result.program[1], (Instruction{Opcode::Shuf, 2, 3, 1, 0}));
+  EXPECT_EQ(result.program[2], (Instruction{Opcode::Send, 0, 2, 1, 0}));
+  EXPECT_EQ(result.program[3].op, Opcode::Recv);
+}
+
+TEST(Assembler, ReportsUnknownMnemonic) {
+  const AssemblyResult result = assemble("bogus r1, r2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.errors[0].line, 1);
+  EXPECT_NE(result.errors[0].message.find("unknown mnemonic"),
+            std::string::npos);
+}
+
+TEST(Assembler, ReportsBadRegister) {
+  EXPECT_FALSE(assemble("ldi r16, 1\n").ok());  // only r0..r15
+  EXPECT_FALSE(assemble("ldi x1, 1\n").ok());
+  EXPECT_FALSE(assemble("mov r1, 7\n").ok());
+}
+
+TEST(Assembler, ReportsWrongOperandCount) {
+  const AssemblyResult result = assemble("add r1, r2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errors[0].message.find("expects 3 operand"),
+            std::string::npos);
+}
+
+TEST(Assembler, ReportsUndefinedLabel) {
+  const AssemblyResult result = assemble("jmp nowhere\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errors[0].message.find("undefined label"),
+            std::string::npos);
+}
+
+TEST(Assembler, ReportsDuplicateLabel) {
+  const AssemblyResult result = assemble("a: nop\na: halt\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errors[0].message.find("duplicate label"),
+            std::string::npos);
+}
+
+TEST(Assembler, BadInstructionDoesNotCorruptLabelFixups) {
+  // The discarded instruction carried a label reference; the following
+  // instruction must not inherit its fixup.
+  const AssemblyResult result = assemble(R"(
+    beq r1, r99, target
+    ldi r1, 5
+target:
+    halt
+  )");
+  ASSERT_FALSE(result.ok());
+  // The surviving ldi keeps its own immediate.
+  ASSERT_GE(result.program.size(), 1u);
+  EXPECT_EQ(result.program[0].op, Opcode::Ldi);
+  EXPECT_EQ(result.program[0].imm, 5);
+}
+
+TEST(Assembler, CollectsMultipleErrors) {
+  const AssemblyResult result = assemble(R"(
+    bogus
+    add r1, r2
+    ldi r77, 3
+  )");
+  EXPECT_EQ(result.errors.size(), 3u);
+}
+
+TEST(Assembler, OrThrowHelper) {
+  EXPECT_NO_THROW(assemble_or_throw("halt\n"));
+  EXPECT_THROW(assemble_or_throw("bogus\n"), SimError);
+}
+
+TEST(Assembler, CaseInsensitiveMnemonicsAndRegisters) {
+  const AssemblyResult result = assemble("LDI R1, 3\nHALT\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.program[0], (Instruction{Opcode::Ldi, 1, 0, 0, 3}));
+}
+
+}  // namespace
+}  // namespace mpct::sim

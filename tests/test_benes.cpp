@@ -1,0 +1,143 @@
+#include "interconnect/benes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "interconnect/crossbar.hpp"
+#include "interconnect/omega.hpp"
+#include "interconnect/traffic.hpp"
+
+namespace mpct::interconnect {
+namespace {
+
+std::vector<int> random_permutation(int n, Rng& rng) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[rng.next_below(static_cast<std::uint64_t>(i + 1))]);
+  }
+  return perm;
+}
+
+TEST(Benes, ShapeRules) {
+  EXPECT_THROW(BenesNetwork(3), std::invalid_argument);
+  EXPECT_THROW(BenesNetwork(0), std::invalid_argument);
+  EXPECT_EQ(BenesNetwork(2).stage_count(), 1);
+  EXPECT_EQ(BenesNetwork(8).stage_count(), 5);
+  EXPECT_EQ(BenesNetwork(64).stage_count(), 11);
+}
+
+TEST(Benes, IdentityByDefault) {
+  const BenesNetwork net(8);
+  for (int o = 0; o < 8; ++o) {
+    EXPECT_EQ(net.source_of(o), o);
+  }
+}
+
+TEST(Benes, RoutesSimpleSwap) {
+  BenesNetwork net(4);
+  net.route_permutation({1, 0, 2, 3});
+  EXPECT_EQ(net.source_of(0), 1);
+  EXPECT_EQ(net.source_of(1), 0);
+  EXPECT_EQ(net.source_of(2), 2);
+  const auto out = net.propagate({10, 20, 30, 40});
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{20, 10, 30, 40}));
+}
+
+TEST(Benes, RejectsMalformedPermutations) {
+  BenesNetwork net(4);
+  EXPECT_THROW(net.route_permutation({0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(net.route_permutation({0, 0, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(net.route_permutation({0, 1, 2, 9}), std::invalid_argument);
+}
+
+TEST(Benes, BitReversalRoutes) {
+  // The permutation that blocks an Omega network routes on a Beneš.
+  BenesNetwork net(8);
+  const std::vector<int> reversal{0, 4, 2, 6, 1, 5, 3, 7};
+  net.route_permutation(reversal);
+  for (int o = 0; o < 8; ++o) {
+    EXPECT_EQ(net.source_of(o), reversal[static_cast<std::size_t>(o)]);
+  }
+}
+
+TEST(Benes, RearrangeableWhereOmegaBlocks) {
+  // Find a permutation the Omega cannot route; the Beneš must route it.
+  OmegaNetwork omega(16);
+  BenesNetwork benes(16);
+  Rng rng(31);
+  bool found = false;
+  for (int attempt = 0; attempt < 50 && !found; ++attempt) {
+    const std::vector<int> perm = random_permutation(16, rng);
+    if (omega.route_permutation(perm) < 16) {
+      found = true;
+      benes.route_permutation(perm);
+      for (int o = 0; o < 16; ++o) {
+        EXPECT_EQ(benes.source_of(o), perm[static_cast<std::size_t>(o)]);
+      }
+    }
+  }
+  EXPECT_TRUE(found) << "no omega-blocking permutation sampled";
+}
+
+TEST(Benes, ConfigBitsBetweenOmegaAndCrossbar) {
+  BenesNetwork benes(64);
+  OmegaNetwork omega(64);
+  Crossbar xbar(64, 64);
+  EXPECT_EQ(benes.config_bits(), 11 * 32);
+  EXPECT_GT(benes.config_bits(), omega.config_bits());
+  EXPECT_LT(benes.config_bits(), xbar.config_bits());
+}
+
+TEST(Benes, ReRoutingReplacesConfiguration) {
+  BenesNetwork net(8);
+  Rng rng(5);
+  const auto first = random_permutation(8, rng);
+  const auto second = random_permutation(8, rng);
+  net.route_permutation(first);
+  net.route_permutation(second);
+  for (int o = 0; o < 8; ++o) {
+    EXPECT_EQ(net.source_of(o), second[static_cast<std::size_t>(o)]);
+  }
+}
+
+TEST(Benes, PropagateValidatesWidth) {
+  BenesNetwork net(4);
+  EXPECT_THROW(net.propagate({1, 2}), std::invalid_argument);
+  EXPECT_THROW(net.source_of(9), std::invalid_argument);
+}
+
+/// The rearrangeability property: EVERY sampled random permutation
+/// routes exactly, across sizes — the defining contrast with Omega.
+class BenesRearrangeable : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenesRearrangeable, AllSampledPermutationsRoute) {
+  const int n = GetParam();
+  BenesNetwork net(n);
+  Rng rng(static_cast<std::uint64_t>(n) * 7919);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<int> perm = random_permutation(n, rng);
+    net.route_permutation(perm);
+    // Validate through actual value propagation, not bookkeeping.
+    std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      inputs[static_cast<std::size_t>(i)] =
+          static_cast<std::uint64_t>(100 + i);
+    }
+    const auto out = net.propagate(inputs);
+    for (int o = 0; o < n; ++o) {
+      EXPECT_EQ(out[static_cast<std::size_t>(o)],
+                static_cast<std::uint64_t>(
+                    100 + perm[static_cast<std::size_t>(o)]))
+          << "n=" << n << " trial=" << trial << " output=" << o;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, BenesRearrangeable,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128));
+
+}  // namespace
+}  // namespace mpct::interconnect

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "bibliometrics/corpus.hpp"
+#include "bibliometrics/query.hpp"
+#include "bibliometrics/topics.hpp"
+#include "bibliometrics/trends.hpp"
+
+namespace mpct::biblio {
+namespace {
+
+TEST(Topics, SixDefaultTopics) {
+  EXPECT_EQ(default_topics().size(), 6u);
+  EXPECT_NE(find_topic("multicore"), nullptr);
+  EXPECT_NE(find_topic("reconfigurable computing"), nullptr);
+  EXPECT_EQ(find_topic("quantum"), nullptr);
+}
+
+TEST(Topics, LogisticCurveShape) {
+  const TopicModel* multicore = find_topic("multicore");
+  ASSERT_NE(multicore, nullptr);
+  // Near-zero before the midpoint, near-saturation after.
+  EXPECT_LT(multicore->expected(1995), multicore->saturation * 0.05);
+  EXPECT_GT(multicore->expected(2010),
+            multicore->base + multicore->saturation * 0.9);
+  // Monotone nondecreasing.
+  for (int year = 1995; year < 2010; ++year) {
+    EXPECT_LE(multicore->expected(year), multicore->expected(year + 1))
+        << year;
+  }
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  const Corpus a = Corpus::standard(7);
+  const Corpus b = Corpus::standard(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.publications()[i].title, b.publications()[i].title);
+    EXPECT_EQ(a.publications()[i].year, b.publications()[i].year);
+  }
+}
+
+TEST(Corpus, DifferentSeedsDiffer) {
+  const Corpus a = Corpus::standard(1);
+  const Corpus b = Corpus::standard(2);
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(Corpus, RecordsAreWellFormed) {
+  const Corpus corpus = Corpus::standard();
+  ASSERT_GT(corpus.size(), 1000u);
+  std::int64_t last_id = 0;
+  for (const Publication& pub : corpus.publications()) {
+    EXPECT_GT(pub.id, last_id);  // ids strictly increase
+    last_id = pub.id;
+    EXPECT_GE(pub.year, 1995);
+    EXPECT_LE(pub.year, 2010);
+    EXPECT_FALSE(pub.title.empty());
+    EXPECT_FALSE(pub.venue.empty());
+    EXPECT_FALSE(pub.keywords.empty());
+  }
+}
+
+TEST(Corpus, TitlesMentionTheTopic) {
+  const Corpus corpus = Corpus::standard();
+  int mentioning = 0;
+  for (const Publication& pub : corpus.publications()) {
+    if (pub.title.find("multicore") != std::string::npos) ++mentioning;
+  }
+  EXPECT_GT(mentioning, 100);
+}
+
+TEST(Query, CountsMatchManualScan) {
+  const Corpus corpus = Corpus::standard();
+  const QueryEngine engine(corpus);
+  int manual = 0;
+  for (const Publication& pub : corpus.publications()) {
+    if (pub.year != 2008) continue;
+    for (const auto& keyword : pub.keywords) {
+      if (keyword == "fpga") ++manual;
+    }
+  }
+  EXPECT_EQ(engine.count("fpga", 2008), manual);
+}
+
+TEST(Query, TotalSumsYears) {
+  const QueryEngine engine(Corpus::standard());
+  int sum = 0;
+  for (int year = 1995; year <= 2010; ++year) {
+    sum += engine.count("cgra", year);
+  }
+  EXPECT_EQ(engine.total("cgra"), sum);
+}
+
+TEST(Query, YearlyCountsSpanCorpusRange) {
+  const QueryEngine engine(Corpus::standard());
+  const auto counts = engine.yearly_counts("parallel");
+  EXPECT_EQ(counts.size(), 16u);  // 1995..2010
+  EXPECT_EQ(counts.front(), engine.count("parallel", 1995));
+  EXPECT_EQ(counts.back(), engine.count("parallel", 2010));
+}
+
+TEST(Query, UnknownKeywordIsZero) {
+  const QueryEngine engine(Corpus::standard());
+  EXPECT_EQ(engine.count("blockchain", 2008), 0);
+  EXPECT_EQ(engine.total("blockchain"), 0);
+}
+
+TEST(Query, ConjunctiveQueries) {
+  const Corpus corpus = Corpus::standard();
+  const QueryEngine engine(corpus);
+  // Papers tagged both with a narrow keyword and "parallel".
+  const int both = engine.count_all_of({"fpga", "parallel"}, 2008);
+  EXPECT_GT(both, 0);
+  EXPECT_LE(both, engine.count("fpga", 2008));
+  EXPECT_EQ(engine.count_all_of({"fpga", "blockchain"}, 2008), 0);
+  EXPECT_EQ(engine.count_all_of({}, 2008), 0);
+}
+
+TEST(Query, KeywordListCoversTopics) {
+  const QueryEngine engine(Corpus::standard());
+  const auto keywords = engine.keywords();
+  EXPECT_GE(keywords.size(), 6u);
+}
+
+TEST(Trends, SeriesPerTopic) {
+  const QueryEngine engine(Corpus::standard());
+  const auto series = research_trends(engine);
+  ASSERT_EQ(series.size(), 6u);
+  for (const TrendSeries& s : series) {
+    EXPECT_EQ(s.years.size(), 16u);
+    EXPECT_EQ(s.counts.size(), 16u);
+  }
+}
+
+TEST(Trends, Figure1ShapeHolds) {
+  // The paper's Section I claim: research interest in multicore and
+  // reconfigurable architectures "increased significantly in the last
+  // five years" (2005-2010), while broad parallel computing grew
+  // steadily.
+  const QueryEngine engine(Corpus::standard());
+  const auto series = research_trends(engine);
+  const auto find = [&](std::string_view name) -> const TrendSeries& {
+    for (const TrendSeries& s : series) {
+      if (s.topic == name) return s;
+    }
+    throw std::runtime_error("missing series");
+  };
+  EXPECT_TRUE(took_off(find("multicore"), 2005));
+  EXPECT_TRUE(took_off(find("reconfigurable computing"), 2005));
+  EXPECT_TRUE(took_off(find("GPU computing"), 2005));
+  // Parallel computing is the largest series at the end of the window.
+  const TrendSeries& parallel = find("parallel computing");
+  const TrendSeries& cgra = find("CGRA");
+  EXPECT_GT(parallel.counts.back(), cgra.counts.back());
+  // CGRA is the smallest of the six in 2010 (a niche the paper surveys).
+  for (const TrendSeries& s : series) {
+    if (s.topic == "CGRA") continue;
+    EXPECT_GE(s.counts.back(), cgra.counts.back()) << s.topic;
+  }
+}
+
+TEST(Trends, AverageSlopeComputation) {
+  TrendSeries series;
+  series.topic = "test";
+  series.years = {2000, 2001, 2002, 2003, 2004};
+  series.counts = {0, 10, 20, 40, 80};
+  EXPECT_NEAR(average_slope(series, 2000, 2002), 10.0, 1e-9);
+  EXPECT_NEAR(average_slope(series, 2002, 2004), 30.0, 1e-9);
+  EXPECT_TRUE(took_off(series, 2002, 2.0));
+  EXPECT_FALSE(took_off(series, 2002, 4.0));
+}
+
+TEST(Trends, FlatSeriesNeverTakesOff) {
+  TrendSeries series;
+  series.years = {2000, 2001, 2002, 2003};
+  series.counts = {50, 50, 50, 50};
+  EXPECT_FALSE(took_off(series, 2001));
+}
+
+}  // namespace
+}  // namespace mpct::biblio

@@ -1,0 +1,116 @@
+#include "interconnect/bus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpct::interconnect {
+namespace {
+
+TEST(Bus, SingleBusBroadcasts) {
+  BusNetwork bus(4, 4, 1);
+  EXPECT_TRUE(bus.connect(2, 0));
+  EXPECT_TRUE(bus.connect(2, 1));  // same driver, same bus
+  EXPECT_EQ(bus.source_of(0), 2);
+  EXPECT_EQ(bus.source_of(1), 2);
+  EXPECT_EQ(bus.buses_in_use(), 1);
+}
+
+TEST(Bus, SingleBusBlocksSecondDriver) {
+  BusNetwork bus(4, 4, 1);
+  EXPECT_TRUE(bus.connect(0, 0));
+  EXPECT_FALSE(bus.connect(1, 1));  // the only bus is owned by input 0
+}
+
+TEST(Bus, MultipleBusesAllowMultipleDrivers) {
+  BusNetwork bus(4, 4, 2);
+  EXPECT_TRUE(bus.connect(0, 0));
+  EXPECT_TRUE(bus.connect(1, 1));
+  EXPECT_FALSE(bus.connect(2, 2));  // third distinct driver blocks
+  EXPECT_EQ(bus.buses_in_use(), 2);
+}
+
+TEST(Bus, DisconnectFreesBusWhenUnlistened) {
+  BusNetwork bus(4, 4, 1);
+  EXPECT_TRUE(bus.connect(0, 0));
+  bus.disconnect(0);
+  EXPECT_EQ(bus.buses_in_use(), 0);
+  EXPECT_TRUE(bus.connect(3, 2));  // bus is free again
+}
+
+TEST(Bus, DisconnectKeepsBusWhileOthersListen) {
+  BusNetwork bus(4, 4, 1);
+  EXPECT_TRUE(bus.connect(0, 0));
+  EXPECT_TRUE(bus.connect(0, 1));
+  bus.disconnect(0);
+  EXPECT_EQ(bus.source_of(1), 0);
+  EXPECT_FALSE(bus.connect(2, 2));  // still held for output 1
+}
+
+TEST(Bus, ReroutingOutputReleasesOldBus) {
+  BusNetwork bus(4, 4, 2);
+  EXPECT_TRUE(bus.connect(0, 0));
+  EXPECT_TRUE(bus.connect(1, 0));  // output 0 switches buses
+  EXPECT_EQ(bus.source_of(0), 1);
+  // Input 0's bus became unlistened and must be free now.
+  EXPECT_TRUE(bus.connect(2, 1));
+}
+
+TEST(Bus, PropagateFollowsBusConfiguration) {
+  BusNetwork bus(3, 3, 2);
+  bus.connect(1, 0);
+  bus.connect(1, 2);
+  const auto out = bus.propagate({5, 6, 7});
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{6, 0, 6}));
+}
+
+TEST(Bus, ConfigBitsFormula) {
+  // k buses * ceil(log2(inputs+1)) + outputs * ceil(log2(k+1)).
+  BusNetwork bus(16, 16, 4);
+  EXPECT_EQ(bus.config_bits(), 4 * 5 + 16 * 3);
+}
+
+TEST(Bus, FewerBusesMeanFewerConfigBitsThanCrossbar) {
+  // The bus trades routability for configuration: with k << n it must
+  // be cheaper than the full crossbar of the same port count.
+  BusNetwork bus(64, 64, 4);
+  // Crossbar: 64 * ceil(log2(65)) = 64 * 7.
+  EXPECT_LT(bus.config_bits(), 64 * 7);
+}
+
+TEST(Bus, RejectsBadShape) {
+  EXPECT_THROW(BusNetwork(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(BusNetwork(4, 0, 1), std::invalid_argument);
+  EXPECT_THROW(BusNetwork(4, 4, 0), std::invalid_argument);
+}
+
+TEST(Bus, RejectsBadPorts) {
+  BusNetwork bus(2, 2, 1);
+  EXPECT_FALSE(bus.connect(2, 0));
+  EXPECT_FALSE(bus.connect(0, 2));
+}
+
+TEST(Bus, NameDescribesShape) {
+  EXPECT_EQ(BusNetwork(8, 8, 2).name(), "bus 8x8 over 2 buses");
+}
+
+/// Property (the RaPiD scalability point, Section IV): with k buses, at
+/// most k distinct sources can be live simultaneously, independent of
+/// how many ports exist.
+class BusSaturation : public ::testing::TestWithParam<int> {};
+
+TEST_P(BusSaturation, AtMostKDistinctDrivers) {
+  const int k = GetParam();
+  const int ports = 32;
+  BusNetwork bus(ports, ports, k);
+  int routed = 0;
+  for (int i = 0; i < ports; ++i) {
+    if (bus.connect(i, i)) ++routed;
+  }
+  EXPECT_EQ(routed, k);
+  EXPECT_EQ(bus.buses_in_use(), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(BusCounts, BusSaturation,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace mpct::interconnect

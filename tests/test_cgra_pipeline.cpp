@@ -1,0 +1,154 @@
+#include "sim/cgra/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cgra/scheduler.hpp"
+#include "sim/dataflow/expr_parser.hpp"
+#include "sim/memory.hpp"
+
+namespace mpct::sim::cgra {
+namespace {
+
+using Sample = std::vector<std::pair<std::string, Word>>;
+
+df::Graph axpy() { return df::compile_expression_or_throw("out = a*x + y"); }
+
+TEST(Pipeline, AxpyMappingShape) {
+  const df::Graph g = axpy();
+  Cgra cgra(CgraShape{.fus = 8, .contexts = 4, .primary_inputs = 4});
+  const PipelineSchedule schedule = map_graph_pipelined(g, cgra);
+  EXPECT_EQ(schedule.depth, 2);     // mul level 1, add level 2
+  EXPECT_EQ(schedule.pass_fus, 1);  // 'y' delayed one stage into the add
+  EXPECT_EQ(schedule.fus_used, 3);  // mul + add + pass
+}
+
+TEST(Pipeline, StreamMatchesPerSampleEvaluation) {
+  const df::Graph g = axpy();
+  Cgra cgra(CgraShape{.fus = 8, .contexts = 4, .primary_inputs = 4});
+  const PipelineSchedule schedule = map_graph_pipelined(g, cgra);
+
+  std::vector<Sample> samples;
+  for (int s = 0; s < 10; ++s) {
+    samples.push_back(
+        {{"a", s + 1}, {"x", 2 * s + 1}, {"y", 7 - s}});
+  }
+  const auto results = run_stream(cgra, schedule, samples);
+  ASSERT_EQ(results.size(), samples.size());
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    const auto expected = df::evaluate(g, samples[s]);
+    ASSERT_EQ(results[s].size(), expected.size()) << s;
+    for (std::size_t o = 0; o < expected.size(); ++o) {
+      EXPECT_EQ(results[s][o], expected[o].second) << "sample " << s;
+    }
+  }
+}
+
+TEST(Pipeline, ThroughputIsOneSamplePerCycle) {
+  // N samples drain in N + depth - 1 cycles; the one-shot spatial
+  // schedule needs N * depth cycles — the PipeRench win.
+  const df::Graph g = df::compile_expression_or_throw(
+      "out = ((a + b) * (a - b) + a) * b");
+  Cgra pipe(CgraShape{.fus = 32, .contexts = 4, .primary_inputs = 4});
+  const PipelineSchedule pipelined = map_graph_pipelined(g, pipe);
+
+  const int n_samples = 20;
+  const std::int64_t pipelined_cycles = n_samples + pipelined.depth - 1;
+  Cgra oneshot(CgraShape{.fus = 32, .contexts = 8, .primary_inputs = 4});
+  const Schedule spatial = map_graph(g, oneshot);
+  const std::int64_t oneshot_cycles =
+      static_cast<std::int64_t>(n_samples) * spatial.depth;
+  EXPECT_LT(pipelined_cycles, oneshot_cycles / 2);
+}
+
+TEST(Pipeline, DeepInputsGetDelayChains) {
+  // Levels: a*b (1), +c (2), *2 (3), +d (4).  'c' needs one delay stage
+  // and 'd' needs three.
+  const df::Graph g =
+      df::compile_expression_or_throw("out = (a*b + c) * 2 + d");
+  Cgra cgra(CgraShape{.fus = 16, .contexts = 4, .primary_inputs = 4});
+  const PipelineSchedule schedule = map_graph_pipelined(g, cgra);
+  EXPECT_EQ(schedule.depth, 4);
+  EXPECT_EQ(schedule.pass_fus, 4);  // c@1 + d@{1,2,3}
+}
+
+TEST(Pipeline, SharedDelayChainsAreReused) {
+  // 'a' feeds two level-2 consumers: one pass FU serves both.  Output
+  // 's' (level 1) is padded to the common depth 3 with two more.
+  const df::Graph g = df::compile_expression_or_throw(
+      "s = b + c\nout = (s * a) + (s - a)");
+  Cgra cgra(CgraShape{.fus = 16, .contexts = 4, .primary_inputs = 4});
+  const PipelineSchedule schedule = map_graph_pipelined(g, cgra);
+  EXPECT_EQ(schedule.depth, 3);
+  EXPECT_EQ(schedule.pass_fus, 3);  // a@1 shared + s@{2,3}
+}
+
+TEST(Pipeline, MultipleOutputsPaddedToCommonDepth) {
+  const df::Graph g = df::compile_expression_or_throw(
+      "early = a + b\nlate = (a * b) * (a + 1)");
+  Cgra cgra(CgraShape{.fus = 16, .contexts = 4, .primary_inputs = 4});
+  const PipelineSchedule schedule = map_graph_pipelined(g, cgra);
+  std::vector<Sample> samples{{{"a", 3}, {"b", 4}},
+                              {{"a", 10}, {"b", 20}}};
+  const auto results = run_stream(cgra, schedule, samples);
+  // Both outputs of the same sample arrive together.
+  EXPECT_EQ(results[0][0], 7);        // early(3,4)
+  EXPECT_EQ(results[0][1], 48);       // late(3,4) = 12*4
+  EXPECT_EQ(results[1][0], 30);
+  EXPECT_EQ(results[1][1], 2200);     // 200*11
+}
+
+TEST(Pipeline, RejectsTooSmallFabric) {
+  const df::Graph g = axpy();
+  Cgra tiny(CgraShape{.fus = 2, .contexts = 4, .primary_inputs = 4});
+  EXPECT_THROW(map_graph_pipelined(g, tiny), SimError);
+}
+
+TEST(Pipeline, RejectsOutputFedByInput) {
+  df::Graph g;
+  g.add_output("echo", g.add_input("a"));
+  Cgra cgra(CgraShape{.fus = 4, .contexts = 4, .primary_inputs = 4});
+  EXPECT_THROW(map_graph_pipelined(g, cgra), SimError);
+}
+
+TEST(Pipeline, UnknownStreamInputThrows) {
+  const df::Graph g = axpy();
+  Cgra cgra(CgraShape{.fus = 8, .contexts = 4, .primary_inputs = 4});
+  const PipelineSchedule schedule = map_graph_pipelined(g, cgra);
+  EXPECT_THROW(run_stream(cgra, schedule, {{{"zz", 1}}}), SimError);
+}
+
+TEST(Pipeline, EmptyStreamYieldsNothing) {
+  const df::Graph g = axpy();
+  Cgra cgra(CgraShape{.fus = 8, .contexts = 4, .primary_inputs = 4});
+  const PipelineSchedule schedule = map_graph_pipelined(g, cgra);
+  EXPECT_TRUE(run_stream(cgra, schedule, {}).empty());
+}
+
+/// Property: streams of any length match the reference on a reduction
+/// expression with constants and selects.
+class PipelineStreamSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineStreamSweep, MatchesReference) {
+  const df::Graph g = df::compile_expression_or_throw(
+      "clamped = min(a * b + 5, 100)\nout = clamped < c ? clamped : c");
+  Cgra cgra(CgraShape{.fus = 32, .contexts = 4, .primary_inputs = 4});
+  const PipelineSchedule schedule = map_graph_pipelined(g, cgra);
+  std::vector<Sample> samples;
+  for (int s = 0; s < GetParam(); ++s) {
+    samples.push_back({{"a", s}, {"b", 3 - s}, {"c", 40 + s}});
+  }
+  const auto results = run_stream(cgra, schedule, samples);
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    const auto expected = df::evaluate(g, samples[s]);
+    for (std::size_t o = 0; o < expected.size(); ++o) {
+      EXPECT_EQ(results[s][o], expected[o].second)
+          << "sample " << s << " output " << o;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PipelineStreamSweep,
+                         ::testing::Values(1, 2, 5, 16, 64));
+
+}  // namespace
+}  // namespace mpct::sim::cgra

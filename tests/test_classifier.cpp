@@ -1,0 +1,215 @@
+#include "core/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/taxonomy_table.hpp"
+
+namespace mpct {
+namespace {
+
+MachineClass make(Multiplicity ips, Multiplicity dps, SwitchKind ip_ip,
+                  SwitchKind ip_dp, SwitchKind ip_im, SwitchKind dp_dm,
+                  SwitchKind dp_dp,
+                  Granularity granularity = Granularity::IpDp) {
+  MachineClass mc;
+  mc.granularity = granularity;
+  mc.ips = ips;
+  mc.dps = dps;
+  mc.set_switch(ConnectivityRole::IpIp, ip_ip);
+  mc.set_switch(ConnectivityRole::IpDp, ip_dp);
+  mc.set_switch(ConnectivityRole::IpIm, ip_im);
+  mc.set_switch(ConnectivityRole::DpDm, dp_dm);
+  mc.set_switch(ConnectivityRole::DpDp, dp_dp);
+  return mc;
+}
+
+TEST(SubtypeNumbering, ArraySubtypeBits) {
+  // Bits (DP-DM, DP-DP), I..IV — the DMP/IAP ordering of Table I.
+  EXPECT_EQ(array_subtype(SwitchKind::Direct, SwitchKind::None), 1);
+  EXPECT_EQ(array_subtype(SwitchKind::Direct, SwitchKind::Crossbar), 2);
+  EXPECT_EQ(array_subtype(SwitchKind::Crossbar, SwitchKind::None), 3);
+  EXPECT_EQ(array_subtype(SwitchKind::Crossbar, SwitchKind::Crossbar), 4);
+}
+
+TEST(SubtypeNumbering, MultiSubtypeBits) {
+  // Bits (IP-DP, IP-IM, DP-DM, DP-DP), I..XVI.
+  EXPECT_EQ(multi_subtype(SwitchKind::Direct, SwitchKind::Direct,
+                          SwitchKind::Direct, SwitchKind::None),
+            1);
+  EXPECT_EQ(multi_subtype(SwitchKind::Direct, SwitchKind::Direct,
+                          SwitchKind::Direct, SwitchKind::Crossbar),
+            2);
+  EXPECT_EQ(multi_subtype(SwitchKind::Direct, SwitchKind::Crossbar,
+                          SwitchKind::Direct, SwitchKind::None),
+            5);
+  EXPECT_EQ(multi_subtype(SwitchKind::Crossbar, SwitchKind::Direct,
+                          SwitchKind::Direct, SwitchKind::None),
+            9);
+  EXPECT_EQ(multi_subtype(SwitchKind::Crossbar, SwitchKind::Crossbar,
+                          SwitchKind::Direct, SwitchKind::Crossbar),
+            14);  // RaPiD's IMP-XIV pattern
+  EXPECT_EQ(multi_subtype(SwitchKind::Crossbar, SwitchKind::Crossbar,
+                          SwitchKind::Crossbar, SwitchKind::Crossbar),
+            16);
+}
+
+TEST(Classifier, DataFlowUniProcessor) {
+  const auto result =
+      classify(make(Multiplicity::Zero, Multiplicity::One, SwitchKind::None,
+                    SwitchKind::None, SwitchKind::None, SwitchKind::Direct,
+                    SwitchKind::None));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(to_string(*result.name), "DUP");
+}
+
+TEST(Classifier, DataFlowMultiProcessorSubtypes) {
+  for (int sub = 1; sub <= 4; ++sub) {
+    const bool dm_x = (sub - 1) & 2;
+    const bool dp_x = (sub - 1) & 1;
+    const auto result = classify(
+        make(Multiplicity::Zero, Multiplicity::Many, SwitchKind::None,
+             SwitchKind::None, SwitchKind::None,
+             dm_x ? SwitchKind::Crossbar : SwitchKind::Direct,
+             dp_x ? SwitchKind::Crossbar : SwitchKind::None));
+    ASSERT_TRUE(result.ok()) << sub;
+    EXPECT_EQ(result.name->subtype, sub);
+    EXPECT_EQ(result.name->machine_type, MachineType::DataFlow);
+  }
+}
+
+TEST(Classifier, InstructionFlowUniProcessor) {
+  const auto result = classify(
+      make(Multiplicity::One, Multiplicity::One, SwitchKind::None,
+           SwitchKind::Direct, SwitchKind::Direct, SwitchKind::Direct,
+           SwitchKind::None));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(to_string(*result.name), "IUP");
+}
+
+TEST(Classifier, IpIpConnectivityMakesSpatial) {
+  const MachineClass imp =
+      make(Multiplicity::Many, Multiplicity::Many, SwitchKind::None,
+           SwitchKind::Direct, SwitchKind::Direct, SwitchKind::Direct,
+           SwitchKind::Crossbar);
+  MachineClass isp = imp;
+  isp.set_switch(ConnectivityRole::IpIp, SwitchKind::Crossbar);
+
+  const auto imp_result = classify(imp);
+  const auto isp_result = classify(isp);
+  ASSERT_TRUE(imp_result.ok());
+  ASSERT_TRUE(isp_result.ok());
+  EXPECT_EQ(to_string(*imp_result.name), "IMP-II");
+  EXPECT_EQ(to_string(*isp_result.name), "ISP-II");
+}
+
+TEST(Classifier, LutGranularityIsUniversal) {
+  const auto result = classify(
+      make(Multiplicity::Variable, Multiplicity::Variable,
+           SwitchKind::Crossbar, SwitchKind::Crossbar, SwitchKind::Crossbar,
+           SwitchKind::Crossbar, SwitchKind::Crossbar, Granularity::Lut));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(to_string(*result.name), "USP");
+}
+
+TEST(Classifier, VariableCountsWithoutLutGranularityRejected) {
+  const auto result = classify(
+      make(Multiplicity::Variable, Multiplicity::Variable,
+           SwitchKind::Crossbar, SwitchKind::Crossbar, SwitchKind::Crossbar,
+           SwitchKind::Crossbar, SwitchKind::Crossbar));
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.implementable);
+  EXPECT_NE(result.note.find("LUT granularity"), std::string::npos);
+}
+
+TEST(Classifier, ManyIpsOneDpIsNotImplementable) {
+  const auto result = classify(
+      make(Multiplicity::Many, Multiplicity::One, SwitchKind::None,
+           SwitchKind::Direct, SwitchKind::Direct, SwitchKind::Direct,
+           SwitchKind::None));
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.implementable);
+  EXPECT_NE(result.note.find("not implementable"), std::string::npos);
+}
+
+TEST(Classifier, ZeroDpsRejected) {
+  const auto result = classify(
+      make(Multiplicity::One, Multiplicity::Zero, SwitchKind::None,
+           SwitchKind::Direct, SwitchKind::Direct, SwitchKind::None,
+           SwitchKind::None));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Classifier, DataFlowWithIpConnectivityRejected) {
+  const auto result = classify(
+      make(Multiplicity::Zero, Multiplicity::Many, SwitchKind::None,
+           SwitchKind::Direct, SwitchKind::None, SwitchKind::Direct,
+           SwitchKind::None));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Classifier, DirectIpIpStillSpatial) {
+  // DRRA's IP-IP window is a restricted switch, but any IP-IP
+  // connectivity composes processors: the class is spatial.
+  const auto result = classify(
+      make(Multiplicity::Many, Multiplicity::Many, SwitchKind::Direct,
+           SwitchKind::Direct, SwitchKind::Direct, SwitchKind::Direct,
+           SwitchKind::None));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.name->processing_type, ProcessingType::SpatialProcessor);
+  EXPECT_EQ(result.name->subtype, 1);
+}
+
+/// Property: classify(canonical_class(name)) == name for every named row.
+TEST(Classifier, RoundTripsOverCanonicalTable) {
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (!row.name) continue;
+    const auto mc = canonical_class(*row.name);
+    ASSERT_TRUE(mc.has_value()) << to_string(*row.name);
+    const auto result = classify(*mc);
+    ASSERT_TRUE(result.ok()) << to_string(*row.name);
+    EXPECT_EQ(*result.name, *row.name) << to_string(*row.name);
+  }
+}
+
+/// Property: the four NI rows classify as not implementable.
+TEST(Classifier, NiRowsRejected) {
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (row.name) continue;
+    const auto result = classify(row.machine);
+    EXPECT_FALSE(result.ok()) << row.serial;
+    EXPECT_FALSE(result.implementable) << row.serial;
+  }
+}
+
+TEST(CanonicalClass, RejectsNonCanonicalNames) {
+  EXPECT_EQ(canonical_class(TaxonomicName{MachineType::DataFlow,
+                                          ProcessingType::ArrayProcessor, 1}),
+            std::nullopt);
+  EXPECT_EQ(canonical_class(TaxonomicName{MachineType::InstructionFlow,
+                                          ProcessingType::MultiProcessor,
+                                          17}),
+            std::nullopt);
+  EXPECT_EQ(canonical_class(TaxonomicName{MachineType::InstructionFlow,
+                                          ProcessingType::MultiProcessor, 0}),
+            std::nullopt);
+  EXPECT_EQ(canonical_class(TaxonomicName{MachineType::UniversalFlow,
+                                          ProcessingType::SpatialProcessor,
+                                          2}),
+            std::nullopt);
+}
+
+TEST(CanonicalClass, UspIsLutGrainAllCrossbar) {
+  const auto usp = canonical_class(
+      TaxonomicName{MachineType::UniversalFlow,
+                    ProcessingType::SpatialProcessor, 0});
+  ASSERT_TRUE(usp.has_value());
+  EXPECT_EQ(usp->granularity, Granularity::Lut);
+  EXPECT_EQ(usp->ips, Multiplicity::Variable);
+  EXPECT_EQ(usp->dps, Multiplicity::Variable);
+  for (ConnectivityRole role : kAllConnectivityRoles) {
+    EXPECT_EQ(usp->switch_at(role), SwitchKind::Crossbar);
+  }
+}
+
+}  // namespace
+}  // namespace mpct

@@ -1,0 +1,140 @@
+#include "core/comparison.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/flexibility.hpp"
+#include "core/taxonomy_table.hpp"
+
+namespace mpct {
+namespace {
+
+TaxonomicName name_of(const char* text) {
+  return *parse_taxonomic_name(text);
+}
+
+TEST(Compare, IdenticalNames) {
+  const NameComparison cmp = compare(name_of("IMP-III"), name_of("IMP-III"));
+  EXPECT_TRUE(cmp.identical);
+  EXPECT_TRUE(cmp.same_machine_type);
+  EXPECT_TRUE(cmp.same_processing_type);
+  EXPECT_TRUE(cmp.same_subtype);
+  EXPECT_TRUE(cmp.differing_columns.empty());
+  EXPECT_EQ(cmp.similarity_level(), 3);
+  EXPECT_EQ(cmp.summary(), "identical classes");
+}
+
+TEST(Compare, SameSubtypeAcrossFamilies) {
+  // Section III-A: IAP-I and IMP-I share the same connectivity pattern.
+  const NameComparison cmp = compare(name_of("IAP-I"), name_of("IMP-I"));
+  EXPECT_FALSE(cmp.identical);
+  EXPECT_TRUE(cmp.same_machine_type);
+  EXPECT_FALSE(cmp.same_processing_type);
+  EXPECT_TRUE(cmp.same_subtype);
+  // Canonical structures differ only in multiplicity, not switch kinds.
+  EXPECT_TRUE(cmp.differing_columns.empty());
+}
+
+TEST(Compare, DifferentFlowParadigms) {
+  const NameComparison cmp = compare(name_of("DMP-II"), name_of("IAP-II"));
+  EXPECT_FALSE(cmp.same_machine_type);
+  EXPECT_FALSE(cmp.same_processing_type);
+  EXPECT_TRUE(cmp.same_subtype);
+  EXPECT_EQ(cmp.similarity_level(), 1);
+}
+
+TEST(Compare, ColumnDiffsIdentifyTheSwitch) {
+  const NameComparison cmp = compare(name_of("IMP-I"), name_of("IMP-II"));
+  ASSERT_EQ(cmp.differing_columns.size(), 1u);
+  EXPECT_EQ(cmp.differing_columns[0].role, ConnectivityRole::DpDp);
+  EXPECT_EQ(cmp.differing_columns[0].left, SwitchKind::None);
+  EXPECT_EQ(cmp.differing_columns[0].right, SwitchKind::Crossbar);
+  EXPECT_NE(cmp.summary().find("DP-DP"), std::string::npos);
+}
+
+TEST(Compare, ImpVsIspDiffersInIpIp) {
+  const NameComparison cmp = compare(name_of("IMP-VII"), name_of("ISP-VII"));
+  ASSERT_EQ(cmp.differing_columns.size(), 1u);
+  EXPECT_EQ(cmp.differing_columns[0].role, ConnectivityRole::IpIp);
+}
+
+// -- can_morph_into: the executable form of Section III-B's ordering. --
+
+TEST(Morph, ImpActsAsArrayProcessor) {
+  EXPECT_TRUE(can_morph_into(name_of("IMP-I"), name_of("IAP-I")));
+  EXPECT_TRUE(can_morph_into(name_of("IMP-IV"), name_of("IAP-IV")));
+  EXPECT_TRUE(can_morph_into(name_of("IMP-XVI"), name_of("IAP-I")));
+}
+
+TEST(Morph, IapCannotActAsImp) {
+  EXPECT_FALSE(can_morph_into(name_of("IAP-I"), name_of("IMP-I")));
+  EXPECT_FALSE(can_morph_into(name_of("IAP-IV"), name_of("IMP-I")));
+}
+
+TEST(Morph, IapActsAsUniprocessorButNotConversely) {
+  EXPECT_TRUE(can_morph_into(name_of("IAP-I"), name_of("IUP")));
+  EXPECT_FALSE(can_morph_into(name_of("IUP"), name_of("IAP-I")));
+}
+
+TEST(Morph, SubtypeSwitchesGate) {
+  // IMP-I lacks the DP-DP crossbar IAP-II needs.
+  EXPECT_FALSE(can_morph_into(name_of("IMP-I"), name_of("IAP-II")));
+  EXPECT_TRUE(can_morph_into(name_of("IMP-II"), name_of("IAP-II")));
+  // A crossbar can impersonate a direct link: XVI reaches everything
+  // below it in its own family.
+  EXPECT_TRUE(can_morph_into(name_of("IMP-XVI"), name_of("IMP-I")));
+  EXPECT_FALSE(can_morph_into(name_of("IMP-I"), name_of("IMP-XVI")));
+}
+
+TEST(Morph, SpatialReachesMultiButNotConversely) {
+  EXPECT_TRUE(can_morph_into(name_of("ISP-I"), name_of("IMP-I")));
+  EXPECT_FALSE(can_morph_into(name_of("IMP-I"), name_of("ISP-I")));
+}
+
+TEST(Morph, FlowParadigmsDoNotSubstitute) {
+  EXPECT_FALSE(can_morph_into(name_of("IMP-XVI"), name_of("DMP-I")));
+  EXPECT_FALSE(can_morph_into(name_of("DMP-IV"), name_of("IUP")));
+}
+
+TEST(Morph, UniversalReachesEverything) {
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (!row.name) continue;
+    EXPECT_TRUE(can_morph_into(name_of("USP"), *row.name))
+        << to_string(*row.name);
+  }
+}
+
+TEST(Morph, NothingReachesUniversal) {
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (!row.name || row.name->machine_type == MachineType::UniversalFlow) {
+      continue;
+    }
+    EXPECT_FALSE(can_morph_into(*row.name, name_of("USP")))
+        << to_string(*row.name);
+  }
+}
+
+TEST(Morph, ReflexiveOverCanonicalClasses) {
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (!row.name) continue;
+    EXPECT_TRUE(can_morph_into(*row.name, *row.name))
+        << to_string(*row.name);
+  }
+}
+
+/// Property: morphing is consistent with flexibility — if a can morph
+/// into b (a != b, same machine type), then flex(a) >= flex(b).
+TEST(Morph, ConsistentWithFlexibilityScores) {
+  for (const TaxonomyEntry& a : extended_taxonomy()) {
+    if (!a.name) continue;
+    for (const TaxonomyEntry& b : extended_taxonomy()) {
+      if (!b.name) continue;
+      if (can_morph_into(*a.name, *b.name)) {
+        EXPECT_GE(flexibility_score(a.machine), flexibility_score(b.machine))
+            << to_string(*a.name) << " -> " << to_string(*b.name);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpct

@@ -1,0 +1,153 @@
+#include "cost/config_bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "core/classifier.hpp"
+#include "core/taxonomy_table.hpp"
+
+namespace mpct::cost {
+namespace {
+
+MachineClass named(const char* text) {
+  return *canonical_class(*parse_taxonomic_name(text));
+}
+
+TEST(ConfigBits, IupHasOnlyBlockConfiguration) {
+  // Direct links carry no configuration, so an IUP's CB is the block CWs.
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const ConfigBitsEstimate e = estimate_config_bits(named("IUP"), lib);
+  EXPECT_EQ(e.switch_bits(), 0);
+  EXPECT_EQ(e.total(), lib.ip.config_bits + lib.dp.config_bits +
+                           lib.im.config_bits + lib.dm.config_bits);
+}
+
+TEST(ConfigBits, DataFlowDropsIpTerms) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const ConfigBitsEstimate e =
+      estimate_config_bits(named("DMP-II"), lib, {.n = 8});
+  EXPECT_EQ(e.ip_blocks, 0);
+  EXPECT_EQ(e.im_blocks, 0);
+  EXPECT_EQ(e.dp_blocks, 8 * lib.dp.config_bits);
+  // DMP-II: DP-DP crossbar of 8x8 -> 8 * ceil(log2(9)) = 8 * 4.
+  EXPECT_EQ(e.dp_dp_switch, 8 * 4);
+  EXPECT_EQ(e.dp_dm_switch, 0);  // direct
+}
+
+TEST(ConfigBits, CrossbarTermMatchesFormula) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const ConfigBitsEstimate e =
+      estimate_config_bits(named("IMP-XVI"), lib, {.n = 16});
+  const std::int64_t per_square_crossbar = 16 * ceil_log2(17);  // 16*5
+  EXPECT_EQ(e.ip_im_switch, per_square_crossbar);
+  EXPECT_EQ(e.dp_dm_switch, per_square_crossbar);
+  EXPECT_EQ(e.dp_dp_switch, per_square_crossbar);
+  EXPECT_EQ(e.ip_dp_switch, 0);  // Eq. 2 as printed omits CW_IP-DP
+}
+
+TEST(ConfigBits, FlexibilityCostsConfiguration) {
+  // Section III-B: flexibility and configuration overhead trade off.
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const EstimateOptions options{.n = 16};
+  EXPECT_LT(estimate_config_bits(named("IMP-I"), lib, options).total(),
+            estimate_config_bits(named("IMP-II"), lib, options).total());
+  EXPECT_LT(estimate_config_bits(named("IMP-II"), lib, options).total(),
+            estimate_config_bits(named("IMP-IV"), lib, options).total());
+  EXPECT_LT(estimate_config_bits(named("IMP-IV"), lib, options).total(),
+            estimate_config_bits(named("IMP-VIII"), lib, options).total());
+}
+
+TEST(ConfigBits, UspDominatesCoarseClasses) {
+  // An FPGA-style fabric with a comparable compute budget pays far more
+  // configuration than any coarse class — the paper's FPGA-vs-CGRA
+  // trade-off.
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const EstimateOptions options{.n = 16, .v = 2048};
+  const std::int64_t usp =
+      estimate_config_bits(named("USP"), lib, options).total();
+  for (const char* name : {"IUP", "IAP-IV", "IMP-XVI", "ISP-XVI"}) {
+    EXPECT_GT(usp, estimate_config_bits(named(name), lib, options).total())
+        << name;
+  }
+}
+
+TEST(ConfigBits, SpecAsymmetricCrossbar) {
+  // Montium's 5x10 DP-DM crossbar: 10 outputs * ceil(log2(6)) = 10 * 3.
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const arch::ArchitectureSpec* montium = arch::find_architecture("Montium");
+  ASSERT_NE(montium, nullptr);
+  const ConfigBitsEstimate e = estimate_config_bits(*montium, lib);
+  EXPECT_EQ(e.dp_dm_switch, 10 * 3);
+  // DP-DP 5x5: 5 * ceil(log2(6)) = 15.
+  EXPECT_EQ(e.dp_dp_switch, 5 * 3);
+}
+
+TEST(ConfigBits, DirectRowsHaveZeroSwitchBits) {
+  // PADDI-2 / Cortex-A9 / Core2Duo are all-direct (IMP-I): the whole CB
+  // is block configuration.
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  for (const char* name : {"PADDI-2", "Cortex-A9 (Quad core)", "Core2Duo"}) {
+    const arch::ArchitectureSpec* spec = arch::find_architecture(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_EQ(estimate_config_bits(*spec, lib).switch_bits(), 0) << name;
+  }
+}
+
+TEST(ConfigBits, IncludeIpDpOptionAddsTerm) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const arch::ArchitectureSpec* rapid = arch::find_architecture("RaPiD");
+  ASSERT_NE(rapid, nullptr);
+  const EstimateOptions faithful{.n = 8, .m = 8};
+  EstimateOptions extended = faithful;
+  extended.include_ip_dp_switch = true;
+  // RaPiD's IP-DP is a crossbar (nxm): the extended model charges it.
+  EXPECT_EQ(estimate_config_bits(*rapid, lib, faithful).ip_dp_switch, 0);
+  EXPECT_GT(estimate_config_bits(*rapid, lib, extended).ip_dp_switch, 0);
+}
+
+/// Property: config bits never decrease when any switch upgrades to a
+/// crossbar (flexibility has a monotone configuration price).
+TEST(ConfigBits, MonotoneUnderSwitchUpgrade) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const EstimateOptions options{.n = 16};
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    for (ConnectivityRole role :
+         {ConnectivityRole::IpIp, ConnectivityRole::IpIm,
+          ConnectivityRole::DpDm, ConnectivityRole::DpDp}) {
+      MachineClass upgraded = row.machine;
+      if (upgraded.switch_at(role) == SwitchKind::Crossbar) continue;
+      const std::int64_t before =
+          estimate_config_bits(upgraded, lib, options).total();
+      upgraded.set_switch(role, SwitchKind::Crossbar);
+      const std::int64_t after =
+          estimate_config_bits(upgraded, lib, options).total();
+      EXPECT_GE(after, before)
+          << to_string(row.machine) << " role " << to_string(role);
+    }
+  }
+}
+
+/// Property: per class, CB grows with N.
+class ConfigBitsMonotoneInN : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConfigBitsMonotoneInN, GrowsWithN) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const TaxonomyEntry* row = find_entry(GetParam());
+  ASSERT_NE(row, nullptr);
+  std::int64_t previous = -1;
+  for (std::int64_t n : {2, 4, 8, 16, 32, 64}) {
+    EstimateOptions options;
+    options.n = n;
+    options.v = n * 16;
+    const std::int64_t bits =
+        estimate_config_bits(row->machine, lib, options).total();
+    EXPECT_GE(bits, previous) << "n " << n;
+    previous = bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSerials, ConfigBitsMonotoneInN,
+                         ::testing::Range(1, 48));
+
+}  // namespace
+}  // namespace mpct::cost

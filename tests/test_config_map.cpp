@@ -1,0 +1,142 @@
+#include "cost/config_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "core/classifier.hpp"
+
+namespace mpct::cost {
+namespace {
+
+MachineClass named(const char* text) {
+  return *canonical_class(*parse_taxonomic_name(text));
+}
+
+TEST(ConfigMap, TotalEqualsEq2ForEveryClass) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const EstimateOptions options{.n = 8, .v = 64};
+  for (const char* name : {"DUP", "DMP-IV", "IUP", "IAP-II", "IMP-I",
+                           "IMP-XVI", "ISP-IV", "USP"}) {
+    const MachineClass mc = named(name);
+    const ConfigMap map = plan_config_map(mc, lib, options);
+    EXPECT_EQ(map.total_bits(),
+              estimate_config_bits(mc, lib, options).total())
+        << name;
+  }
+}
+
+TEST(ConfigMap, TotalEqualsEq2ForEverySurveyRow) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const EstimateOptions options{.n = 8, .m = 8, .v = 64};
+  for (const arch::ArchitectureSpec& spec :
+       arch::surveyed_architectures()) {
+    const ConfigMap map = plan_config_map(spec, lib, options);
+    EXPECT_EQ(map.total_bits(),
+              estimate_config_bits(spec, lib, options).total())
+        << spec.name;
+  }
+}
+
+TEST(ConfigMap, FieldsAreContiguousAndDisjoint) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const ConfigMap map =
+      plan_config_map(named("IMP-XVI"), lib, {.n = 4});
+  ASSERT_FALSE(map.fields.empty());
+  EXPECT_EQ(map.fields.front().offset, 0);
+  for (std::size_t i = 1; i < map.fields.size(); ++i) {
+    EXPECT_EQ(map.fields[i].offset, map.fields[i - 1].end()) << i;
+    EXPECT_GT(map.fields[i].width, 0) << i;
+  }
+}
+
+TEST(ConfigMap, PerInstanceFieldsAreAddressable) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const ConfigMap map = plan_config_map(named("IMP-I"), lib, {.n = 4});
+  int ips = 0, dps = 0;
+  for (const ConfigField& field : map.fields) {
+    if (field.component.rfind("IP[", 0) == 0) ++ips;
+    if (field.component.rfind("DP[", 0) == 0) ++dps;
+  }
+  EXPECT_EQ(ips, 4);
+  EXPECT_EQ(dps, 4);
+}
+
+TEST(ConfigMap, DirectOnlyMachinesHaveNoSwitchFields) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const ConfigMap map = plan_config_map(named("IUP"), lib);
+  for (const ConfigField& field : map.fields) {
+    EXPECT_EQ(field.component.find("switch"), std::string::npos)
+        << field.component;
+  }
+}
+
+TEST(ConfigMap, SwitchFieldsAppearForCrossbars) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const ConfigMap map = plan_config_map(named("IMP-XVI"), lib, {.n = 8});
+  bool dpdp = false, ipim = false, ipdp = false;
+  for (const ConfigField& field : map.fields) {
+    if (field.component == "DP-DP switch") dpdp = true;
+    if (field.component == "IP-IM switch") ipim = true;
+    if (field.component == "IP-DP switch") ipdp = true;
+  }
+  EXPECT_TRUE(dpdp);
+  EXPECT_TRUE(ipim);
+  EXPECT_FALSE(ipdp);  // Eq. 2 as printed omits it
+
+  EstimateOptions extended{.n = 8};
+  extended.include_ip_dp_switch = true;
+  const ConfigMap with_term =
+      plan_config_map(named("IMP-XVI"), lib, extended);
+  bool found = false;
+  for (const ConfigField& field : with_term.fields) {
+    if (field.component == "IP-DP switch") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ConfigMap, LutFabricFields) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const ConfigMap map = plan_config_map(named("USP"), lib, {.v = 16});
+  int luts = 0;
+  for (const ConfigField& field : map.fields) {
+    if (field.component.rfind("LUT[", 0) == 0) ++luts;
+  }
+  EXPECT_EQ(luts, 16);
+}
+
+TEST(ConfigMap, FieldAtLookup) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const ConfigMap map = plan_config_map(named("IUP"), lib);
+  const ConfigField* first = map.field_at(0);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->component, "IP[0]");
+  const ConfigField* last = map.field_at(map.total_bits() - 1);
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->component, "DM[0]");
+  EXPECT_EQ(map.field_at(map.total_bits()), nullptr);
+  EXPECT_EQ(map.field_at(-1), nullptr);
+}
+
+TEST(ConfigMap, ToStringListsFields) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const std::string text =
+      plan_config_map(named("IAP-II"), lib, {.n = 2}).to_string();
+  EXPECT_NE(text.find("DP[1]"), std::string::npos);
+  EXPECT_NE(text.find("DP-DP switch"), std::string::npos);
+  EXPECT_NE(text.find("total:"), std::string::npos);
+}
+
+TEST(ConfigMap, MontiumAsymmetricLayout) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const arch::ArchitectureSpec* montium = arch::find_architecture("Montium");
+  ASSERT_NE(montium, nullptr);
+  const ConfigMap map = plan_config_map(*montium, lib);
+  int dms = 0;
+  for (const ConfigField& field : map.fields) {
+    if (field.component.rfind("DM[", 0) == 0) ++dms;
+  }
+  EXPECT_EQ(dms, 10);  // 10 memory banks from the 5x10 cell
+}
+
+}  // namespace
+}  // namespace mpct::cost

@@ -1,0 +1,101 @@
+#include "arch/connectivity_expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpct::arch {
+namespace {
+
+TEST(ConnectivityExpr, NoneRoundTrips) {
+  EXPECT_EQ(ConnectivityExpr::none().to_string(), "none");
+  EXPECT_EQ(ConnectivityExpr::parse("none"), ConnectivityExpr::none());
+  EXPECT_EQ(ConnectivityExpr::parse("NONE"), ConnectivityExpr::none());
+}
+
+TEST(ConnectivityExpr, DirectCells) {
+  const auto expr = ConnectivityExpr::parse("1-6");
+  ASSERT_TRUE(expr.has_value());
+  EXPECT_EQ(expr->kind, SwitchKind::Direct);
+  EXPECT_EQ(expr->left, Count::fixed(1));
+  EXPECT_EQ(expr->right, Count::fixed(6));
+}
+
+TEST(ConnectivityExpr, CrossbarCells) {
+  const auto expr = ConnectivityExpr::parse("5x10");
+  ASSERT_TRUE(expr.has_value());
+  EXPECT_EQ(expr->kind, SwitchKind::Crossbar);
+  EXPECT_EQ(expr->left, Count::fixed(5));
+  EXPECT_EQ(expr->right, Count::fixed(10));
+}
+
+TEST(ConnectivityExpr, SymbolicCells) {
+  const auto nxm = ConnectivityExpr::parse("nxm");
+  ASSERT_TRUE(nxm.has_value());
+  EXPECT_EQ(nxm->kind, SwitchKind::Crossbar);
+  EXPECT_EQ(nxm->left, Count::symbolic('n'));
+  EXPECT_EQ(nxm->right, Count::symbolic('m'));
+
+  const auto nx14 = ConnectivityExpr::parse("nx14");
+  ASSERT_TRUE(nx14.has_value());
+  EXPECT_EQ(nx14->left, Count::symbolic('n'));
+  EXPECT_EQ(nx14->right, Count::fixed(14));
+}
+
+TEST(ConnectivityExpr, GarpProductCells) {
+  // The trickiest cell in Table III: "24nx24n" — separator between two
+  // scaled products.
+  const auto expr = ConnectivityExpr::parse("24nx24n");
+  ASSERT_TRUE(expr.has_value());
+  EXPECT_EQ(expr->kind, SwitchKind::Crossbar);
+  EXPECT_EQ(expr->left, Count::scaled_symbolic(24, 'n'));
+  EXPECT_EQ(expr->right, Count::scaled_symbolic(24, 'n'));
+
+  const auto direct = ConnectivityExpr::parse("1-24n");
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(direct->kind, SwitchKind::Direct);
+  EXPECT_EQ(direct->right, Count::scaled_symbolic(24, 'n'));
+}
+
+TEST(ConnectivityExpr, VariableCells) {
+  const auto expr = ConnectivityExpr::parse("vxv");
+  ASSERT_TRUE(expr.has_value());
+  EXPECT_EQ(expr->kind, SwitchKind::Crossbar);
+  EXPECT_EQ(expr->left, Count::variable());
+  EXPECT_EQ(expr->right, Count::variable());
+}
+
+TEST(ConnectivityExpr, ParseIsCaseInsensitive) {
+  EXPECT_EQ(ConnectivityExpr::parse("VXV"), ConnectivityExpr::parse("vxv"));
+  EXPECT_EQ(ConnectivityExpr::parse("64X64"),
+            ConnectivityExpr::parse("64x64"));
+}
+
+TEST(ConnectivityExpr, RejectsMalformed) {
+  EXPECT_EQ(ConnectivityExpr::parse(""), std::nullopt);
+  EXPECT_EQ(ConnectivityExpr::parse("x"), std::nullopt);
+  EXPECT_EQ(ConnectivityExpr::parse("64x"), std::nullopt);
+  EXPECT_EQ(ConnectivityExpr::parse("x64"), std::nullopt);
+  EXPECT_EQ(ConnectivityExpr::parse("64"), std::nullopt);
+  EXPECT_EQ(ConnectivityExpr::parse("a-b"), std::nullopt);
+  EXPECT_EQ(ConnectivityExpr::parse("64~64"), std::nullopt);
+}
+
+/// Property: every cell string appearing in Table III round-trips.
+class ExprRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExprRoundTrip, RoundTrips) {
+  const auto parsed = ConnectivityExpr::parse(GetParam());
+  ASSERT_TRUE(parsed.has_value()) << GetParam();
+  EXPECT_EQ(parsed->to_string(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIIICells, ExprRoundTrip,
+    ::testing::Values("none", "1-1", "1-6", "1-64", "1-n", "1-8", "n-n",
+                      "1-5", "1-24n", "1-2", "48-48", "4-4", "2-2", "n-1",
+                      "6-1", "64-1", "8-1", "m-1", "6x6", "64x64", "nxn",
+                      "8x8", "5x10", "24nx1", "24nx24n", "nx1", "2x2",
+                      "nxm", "mxm", "22x1", "16x6", "16x16", "nx14", "vxv",
+                      "5x5"));
+
+}  // namespace
+}  // namespace mpct::arch

@@ -1,0 +1,97 @@
+#include "arch/count.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpct::arch {
+namespace {
+
+TEST(Count, DefaultIsFixedZero) {
+  const Count c;
+  EXPECT_EQ(c.kind(), Count::Kind::Fixed);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(c.multiplicity(), Multiplicity::Zero);
+}
+
+TEST(Count, FixedMultiplicities) {
+  EXPECT_EQ(Count::fixed(0).multiplicity(), Multiplicity::Zero);
+  EXPECT_EQ(Count::fixed(1).multiplicity(), Multiplicity::One);
+  EXPECT_EQ(Count::fixed(2).multiplicity(), Multiplicity::Many);
+  EXPECT_EQ(Count::fixed(64).multiplicity(), Multiplicity::Many);
+}
+
+TEST(Count, SymbolicAndVariable) {
+  EXPECT_EQ(Count::symbolic('n').multiplicity(), Multiplicity::Many);
+  EXPECT_EQ(Count::symbolic('m').multiplicity(), Multiplicity::Many);
+  EXPECT_EQ(Count::scaled_symbolic(24, 'n').multiplicity(),
+            Multiplicity::Many);
+  EXPECT_EQ(Count::variable().multiplicity(), Multiplicity::Variable);
+}
+
+TEST(Count, ToStringUsesTableNotation) {
+  EXPECT_EQ(Count::fixed(64).to_string(), "64");
+  EXPECT_EQ(Count::symbolic('n').to_string(), "n");
+  EXPECT_EQ(Count::symbolic('m').to_string(), "m");
+  EXPECT_EQ(Count::scaled_symbolic(24, 'n').to_string(), "24n");
+  EXPECT_EQ(Count::variable().to_string(), "v");
+}
+
+TEST(Count, ParseAcceptsTableNotation) {
+  EXPECT_EQ(Count::parse("0"), Count::fixed(0));
+  EXPECT_EQ(Count::parse("1"), Count::fixed(1));
+  EXPECT_EQ(Count::parse("64"), Count::fixed(64));
+  EXPECT_EQ(Count::parse("n"), Count::symbolic('n'));
+  EXPECT_EQ(Count::parse("m"), Count::symbolic('m'));
+  EXPECT_EQ(Count::parse("N"), Count::symbolic('n'));
+  EXPECT_EQ(Count::parse("v"), Count::variable());
+  EXPECT_EQ(Count::parse("V"), Count::variable());
+  EXPECT_EQ(Count::parse("24n"), Count::scaled_symbolic(24, 'n'));
+}
+
+TEST(Count, ParseRejectsMalformed) {
+  EXPECT_EQ(Count::parse(""), std::nullopt);
+  EXPECT_EQ(Count::parse("-1"), std::nullopt);
+  EXPECT_EQ(Count::parse("n24"), std::nullopt);
+  EXPECT_EQ(Count::parse("24v"), std::nullopt);  // scaled variable: no
+  EXPECT_EQ(Count::parse("0n"), std::nullopt);   // zero scale: no
+  EXPECT_EQ(Count::parse("24x"), std::nullopt);
+  EXPECT_EQ(Count::parse("nn"), std::nullopt);
+  EXPECT_EQ(Count::parse("12345678901"), std::nullopt);  // implausible
+}
+
+TEST(Count, EvaluateFixedIgnoresBindings) {
+  EXPECT_EQ(Count::fixed(7).evaluate(), 7);
+  EXPECT_EQ(Count::fixed(7).evaluate({{'n', 99}}), 7);
+}
+
+TEST(Count, EvaluateSymbolicNeedsBinding) {
+  EXPECT_EQ(Count::symbolic('n').evaluate(), std::nullopt);
+  EXPECT_EQ(Count::symbolic('n').evaluate({{'n', 8}}), 8);
+  EXPECT_EQ(Count::symbolic('m').evaluate({{'n', 8}}), std::nullopt);
+  EXPECT_EQ(Count::symbolic('m').evaluate({{'m', 3}}), 3);
+}
+
+TEST(Count, EvaluateScaledMultiplies) {
+  // GARP: 24 logic elements per row, n rows.
+  EXPECT_EQ(Count::scaled_symbolic(24, 'n').evaluate({{'n', 4}}), 96);
+}
+
+TEST(Count, EvaluateVariableIsUnbound) {
+  EXPECT_EQ(Count::variable().evaluate({{'n', 8}}), std::nullopt);
+}
+
+/// Property: parse/to_string round-trip over representative counts.
+class CountRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CountRoundTrip, RoundTrips) {
+  const auto parsed = Count::parse(GetParam());
+  ASSERT_TRUE(parsed.has_value()) << GetParam();
+  EXPECT_EQ(parsed->to_string(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(TableIIICounts, CountRoundTrip,
+                         ::testing::Values("0", "1", "2", "4", "5", "6", "8",
+                                           "16", "24", "48", "64", "n", "m",
+                                           "v", "24n"));
+
+}  // namespace
+}  // namespace mpct::arch

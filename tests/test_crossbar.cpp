@@ -1,0 +1,139 @@
+#include "interconnect/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cost/switch_cost.hpp"
+
+namespace mpct::interconnect {
+namespace {
+
+TEST(Crossbar, StartsDisconnected) {
+  Crossbar xbar(4, 4);
+  for (PortId out = 0; out < 4; ++out) {
+    EXPECT_EQ(xbar.source_of(out), std::nullopt);
+    EXPECT_EQ(xbar.route_latency(out), 0);
+  }
+}
+
+TEST(Crossbar, AnyToAnyRouting) {
+  Crossbar xbar(4, 4);
+  for (PortId in = 0; in < 4; ++in) {
+    for (PortId out = 0; out < 4; ++out) {
+      EXPECT_TRUE(xbar.reachable(in, out));
+      EXPECT_TRUE(xbar.connect(in, out));
+      EXPECT_EQ(xbar.source_of(out), in);
+    }
+  }
+}
+
+TEST(Crossbar, OneInputMayDriveManyOutputs) {
+  Crossbar xbar(2, 4);
+  for (PortId out = 0; out < 4; ++out) {
+    EXPECT_TRUE(xbar.connect(0, out));
+  }
+  const auto result = xbar.propagate({7, 9});
+  EXPECT_EQ(result, (std::vector<std::uint64_t>{7, 7, 7, 7}));
+}
+
+TEST(Crossbar, ReprogrammingReplacesRoute) {
+  Crossbar xbar(4, 4);
+  EXPECT_TRUE(xbar.connect(1, 2));
+  EXPECT_TRUE(xbar.connect(3, 2));
+  EXPECT_EQ(xbar.source_of(2), 3);
+}
+
+TEST(Crossbar, DisconnectAndReset) {
+  Crossbar xbar(4, 4);
+  xbar.connect(0, 1);
+  xbar.connect(2, 3);
+  xbar.disconnect(1);
+  EXPECT_EQ(xbar.source_of(1), std::nullopt);
+  EXPECT_EQ(xbar.source_of(3), 2);
+  xbar.reset();
+  EXPECT_EQ(xbar.source_of(3), std::nullopt);
+}
+
+TEST(Crossbar, RejectsOutOfRangePorts) {
+  Crossbar xbar(2, 3);
+  EXPECT_FALSE(xbar.connect(-1, 0));
+  EXPECT_FALSE(xbar.connect(2, 0));
+  EXPECT_FALSE(xbar.connect(0, 3));
+  EXPECT_FALSE(xbar.reachable(0, 5));
+}
+
+TEST(Crossbar, RejectsDegenerateShape) {
+  EXPECT_THROW(Crossbar(0, 4), std::invalid_argument);
+  EXPECT_THROW(Crossbar(4, 0), std::invalid_argument);
+}
+
+TEST(Crossbar, PropagateReadsConfiguredSources) {
+  Crossbar xbar(3, 3);
+  xbar.connect(2, 0);
+  xbar.connect(0, 1);
+  const auto out = xbar.propagate({10, 20, 30});
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{30, 10, 0}));
+}
+
+TEST(Crossbar, MeasuredConfigBitsMatchEq2Prediction) {
+  // The headline cross-check: the executable crossbar stores exactly the
+  // state Eq. 2's crossbar term predicts.
+  for (int inputs : {1, 2, 4, 5, 8, 16, 64}) {
+    for (int outputs : {1, 3, 8, 10, 64}) {
+      Crossbar xbar(inputs, outputs);
+      const auto predicted =
+          cost::switch_cost(SwitchKind::Crossbar, inputs, outputs, 32)
+              .config_bits;
+      EXPECT_EQ(xbar.config_bits(), predicted) << inputs << "x" << outputs;
+    }
+  }
+}
+
+TEST(Crossbar, BitstreamRoundTrip) {
+  Crossbar xbar(5, 7);
+  xbar.connect(4, 0);
+  xbar.connect(0, 3);
+  xbar.connect(2, 6);
+  const std::vector<bool> bits = xbar.bitstream();
+  EXPECT_EQ(bits.size(), static_cast<std::size_t>(xbar.config_bits()));
+
+  Crossbar other(5, 7);
+  ASSERT_TRUE(other.load_bitstream(bits));
+  for (PortId out = 0; out < 7; ++out) {
+    EXPECT_EQ(other.source_of(out), xbar.source_of(out)) << out;
+  }
+}
+
+TEST(Crossbar, LoadBitstreamRejectsWrongLength) {
+  Crossbar xbar(4, 4);
+  EXPECT_FALSE(xbar.load_bitstream(std::vector<bool>(3, false)));
+}
+
+TEST(Crossbar, LoadBitstreamRejectsInvalidSelect) {
+  Crossbar xbar(4, 1);  // select field: 3 bits, valid codes 0..4
+  const std::vector<bool> bits{true, true, true};  // code 7 > 4
+  EXPECT_FALSE(xbar.load_bitstream(bits));
+  // Configuration untouched.
+  EXPECT_EQ(xbar.source_of(0), std::nullopt);
+}
+
+TEST(Crossbar, NameDescribesShape) {
+  EXPECT_EQ(Crossbar(8, 4).name(), "crossbar 8x4");
+}
+
+/// Property: route_latency of a plain crossbar is exactly 1 when routed.
+class CrossbarSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossbarSizes, SingleCycleRoutes) {
+  const int n = GetParam();
+  Crossbar xbar(n, n);
+  for (PortId p = 0; p < n; ++p) {
+    ASSERT_TRUE(xbar.connect((p + 1) % n, p));
+    EXPECT_EQ(xbar.route_latency(p), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CrossbarSizes,
+                         ::testing::Values(1, 2, 5, 16, 64));
+
+}  // namespace
+}  // namespace mpct::interconnect

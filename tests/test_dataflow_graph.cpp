@@ -1,0 +1,174 @@
+#include "sim/dataflow/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hpp"
+
+namespace mpct::sim::df {
+namespace {
+
+Graph axpy() {
+  // out = a*x + y
+  Graph g;
+  const NodeId a = g.add_input("a");
+  const NodeId x = g.add_input("x");
+  const NodeId y = g.add_input("y");
+  const NodeId ax = g.add_op(Op::Mul, a, x);
+  const NodeId sum = g.add_op(Op::Add, ax, y);
+  g.add_output("out", sum);
+  return g;
+}
+
+TEST(DataflowGraph, BuildAndEvaluate) {
+  const Graph g = axpy();
+  EXPECT_EQ(g.node_count(), 6);
+  EXPECT_TRUE(g.validate().empty());
+  const auto outputs = evaluate(g, {{"a", 3}, {"x", 4}, {"y", 5}});
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].first, "out");
+  EXPECT_EQ(outputs[0].second, 17);
+}
+
+TEST(DataflowGraph, ConstNodes) {
+  Graph g;
+  const NodeId c = g.add_const(21);
+  const NodeId two = g.add_const(2);
+  g.add_output("res", g.add_op(Op::Mul, c, two));
+  EXPECT_EQ(evaluate(g, {})[0].second, 42);
+}
+
+TEST(DataflowGraph, AllOperators) {
+  Graph g;
+  const NodeId a = g.add_input("a");
+  const NodeId b = g.add_input("b");
+  g.add_output("add", g.add_op(Op::Add, a, b));
+  g.add_output("sub", g.add_op(Op::Sub, a, b));
+  g.add_output("mul", g.add_op(Op::Mul, a, b));
+  g.add_output("div", g.add_op(Op::Divs, a, b));
+  g.add_output("min", g.add_op(Op::Min, a, b));
+  g.add_output("max", g.add_op(Op::Max, a, b));
+  g.add_output("lt", g.add_op(Op::Lt, a, b));
+  g.add_output("and", g.add_op(Op::And, a, b));
+  g.add_output("or", g.add_op(Op::Or, a, b));
+  g.add_output("xor", g.add_op(Op::Xor, a, b));
+  g.add_output("shl", g.add_op(Op::Shl, a, b));
+  g.add_output("shr", g.add_op(Op::Shr, a, b));
+  const auto out = evaluate(g, {{"a", 12}, {"b", 2}});
+  const auto value = [&](const char* name) {
+    for (const auto& [n, v] : out) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << name;
+    return Word{0};
+  };
+  EXPECT_EQ(value("add"), 14);
+  EXPECT_EQ(value("sub"), 10);
+  EXPECT_EQ(value("mul"), 24);
+  EXPECT_EQ(value("div"), 6);
+  EXPECT_EQ(value("min"), 2);
+  EXPECT_EQ(value("max"), 12);
+  EXPECT_EQ(value("lt"), 0);
+  EXPECT_EQ(value("and"), 0);
+  EXPECT_EQ(value("or"), 14);
+  EXPECT_EQ(value("xor"), 14);
+  EXPECT_EQ(value("shl"), 48);
+  EXPECT_EQ(value("shr"), 3);
+}
+
+TEST(DataflowGraph, SelectPicksBranch) {
+  Graph g;
+  const NodeId c = g.add_input("c");
+  const NodeId t = g.add_const(100);
+  const NodeId f = g.add_const(200);
+  g.add_output("r", g.add_select(c, t, f));
+  EXPECT_EQ(evaluate(g, {{"c", 1}})[0].second, 100);
+  EXPECT_EQ(evaluate(g, {{"c", 0}})[0].second, 200);
+}
+
+TEST(DataflowGraph, MissingInputThrows) {
+  EXPECT_THROW(evaluate(axpy(), {{"a", 1}}), SimError);
+}
+
+TEST(DataflowGraph, DivisionByZeroThrows) {
+  Graph g;
+  const NodeId a = g.add_input("a");
+  const NodeId z = g.add_const(0);
+  g.add_output("r", g.add_op(Op::Divs, a, z));
+  EXPECT_THROW(evaluate(g, {{"a", 1}}), SimError);
+}
+
+TEST(DataflowGraph, ValidateCatchesDanglingReference) {
+  Graph g;
+  const NodeId a = g.add_input("a");
+  g.add_op(Op::Add, a, 99);  // node 99 does not exist
+  const auto problems = g.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("missing node"), std::string::npos);
+}
+
+TEST(DataflowGraph, ValidateCatchesDuplicateInputNames) {
+  Graph g;
+  g.add_input("a");
+  g.add_input("a");
+  const auto problems = g.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("duplicate input"), std::string::npos);
+}
+
+TEST(DataflowGraph, TopologicalOrderRespectsEdges) {
+  const Graph g = axpy();
+  const auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> position(static_cast<std::size_t>(g.node_count()));
+  for (std::size_t i = 0; i < order->size(); ++i) {
+    position[static_cast<std::size_t>((*order)[i])] = static_cast<int>(i);
+  }
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    for (NodeId producer : g.node(id).inputs) {
+      EXPECT_LT(position[static_cast<std::size_t>(producer)],
+                position[static_cast<std::size_t>(id)]);
+    }
+  }
+}
+
+TEST(DataflowGraph, ComponentsSeparateIndependentChains) {
+  Graph g;
+  // Component 0: a+b; component 1: c*d.
+  const NodeId a = g.add_input("a");
+  const NodeId b = g.add_input("b");
+  g.add_output("s", g.add_op(Op::Add, a, b));
+  const NodeId c = g.add_input("c");
+  const NodeId d = g.add_input("d");
+  g.add_output("p", g.add_op(Op::Mul, c, d));
+  const auto comp = g.components();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[4], comp[5]);
+  EXPECT_NE(comp[0], comp[4]);
+}
+
+TEST(DataflowGraph, ArityTable) {
+  EXPECT_EQ(arity(Op::Const), 0);
+  EXPECT_EQ(arity(Op::Input), 0);
+  EXPECT_EQ(arity(Op::Add), 2);
+  EXPECT_EQ(arity(Op::Select), 3);
+  EXPECT_EQ(arity(Op::Output), 1);
+}
+
+TEST(DataflowGraph, ApplyOpRejectsInput) {
+  Node node;
+  node.op = Op::Input;
+  EXPECT_THROW(apply_op(node, {}), SimError);
+}
+
+TEST(DataflowGraph, DiamondSharedOperand) {
+  // One producer feeding two consumers that rejoin.
+  Graph g;
+  const NodeId x = g.add_input("x");
+  const NodeId sq = g.add_op(Op::Mul, x, x);
+  const NodeId twice = g.add_op(Op::Add, x, x);
+  g.add_output("r", g.add_op(Op::Sub, sq, twice));
+  EXPECT_EQ(evaluate(g, {{"x", 5}})[0].second, 25 - 10);
+}
+
+}  // namespace
+}  // namespace mpct::sim::df

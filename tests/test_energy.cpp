@@ -1,0 +1,111 @@
+#include "cost/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cost/config_bits.hpp"
+#include "core/classifier.hpp"
+#include "sim/isa/assembler.hpp"
+#include "sim/isa/uniprocessor.hpp"
+
+namespace mpct::cost {
+namespace {
+
+TEST(Energy, ZeroActivityIsFree) {
+  const EnergyEstimate e = estimate_energy({});
+  EXPECT_EQ(e.total_pj(), 0);
+}
+
+TEST(Energy, TermsPriceIndependently) {
+  EnergyParams params;
+  params.alu_op_pj = 2;
+  params.control_op_pj = 1;
+  params.memory_access_pj = 5;
+  params.hop_pj = 3;
+  params.config_bit_pj = 0.5;
+  ActivityCounts activity;
+  activity.instructions = 10;
+  activity.memory_accesses = 4;
+  activity.interconnect_hops = 6;
+  activity.config_bits_written = 100;
+  const EnergyEstimate e = estimate_energy(activity, params);
+  EXPECT_DOUBLE_EQ(e.compute_pj, 20);
+  EXPECT_DOUBLE_EQ(e.control_pj, 10);
+  EXPECT_DOUBLE_EQ(e.memory_pj, 20);
+  EXPECT_DOUBLE_EQ(e.interconnect_pj, 18);
+  EXPECT_DOUBLE_EQ(e.configuration_pj, 50);
+  EXPECT_DOUBLE_EQ(e.total_pj(), 118);
+  EXPECT_DOUBLE_EQ(e.total_nj(), 0.118);
+}
+
+TEST(Energy, DataFlowSkipsControlOverhead) {
+  ActivityCounts activity;
+  activity.instructions = 100;
+  const EnergyEstimate with_ip = estimate_energy(activity, {}, true);
+  const EnergyEstimate without_ip = estimate_energy(activity, {}, false);
+  EXPECT_GT(with_ip.total_pj(), without_ip.total_pj());
+  EXPECT_EQ(without_ip.control_pj, 0);
+  EXPECT_EQ(with_ip.compute_pj, without_ip.compute_pj);
+}
+
+TEST(Energy, AccumulationOperator) {
+  ActivityCounts a;
+  a.instructions = 5;
+  a.memory_accesses = 2;
+  ActivityCounts b;
+  b.instructions = 7;
+  b.interconnect_hops = 3;
+  a += b;
+  EXPECT_EQ(a.instructions, 12);
+  EXPECT_EQ(a.memory_accesses, 2);
+  EXPECT_EQ(a.interconnect_hops, 3);
+}
+
+TEST(Energy, ConfigurationEnergyPricesEq2) {
+  const ComponentLibrary lib = ComponentLibrary::default_library();
+  const MachineClass usp =
+      *canonical_class(*parse_taxonomic_name("USP"));
+  const MachineClass iup =
+      *canonical_class(*parse_taxonomic_name("IUP"));
+  const EstimateOptions options{.n = 16, .v = 1024};
+  const double usp_pj = configuration_energy_pj(
+      estimate_config_bits(usp, lib, options).total());
+  const double iup_pj = configuration_energy_pj(
+      estimate_config_bits(iup, lib, options).total());
+  // The flexibility/energy trade-off: configuring the universal fabric
+  // costs orders of magnitude more than the fixed machine.
+  EXPECT_GT(usp_pj, 100 * iup_pj);
+}
+
+TEST(Energy, PricedFromSimulatorRun) {
+  // End-to-end: run a program, price the measured activity.
+  sim::Uniprocessor cpu(sim::assemble_or_throw(R"(
+    ldi r1, 5
+    ldi r2, 0
+    st r2, r1, 0
+    ld r3, r2, 0
+    halt
+  )"),
+                        16);
+  const sim::RunStats stats = cpu.run();
+  ActivityCounts activity;
+  activity.instructions = stats.instructions;
+  activity.memory_accesses = static_cast<std::int64_t>(
+      cpu.dm().loads() + cpu.dm().stores());
+  const EnergyEstimate e = estimate_energy(activity);
+  EXPECT_EQ(activity.instructions, 5);
+  EXPECT_EQ(activity.memory_accesses, 2);
+  EXPECT_GT(e.compute_pj, 0);
+  EXPECT_GT(e.memory_pj, 0);
+  EXPECT_EQ(e.interconnect_pj, 0);
+}
+
+TEST(Energy, ToStringListsTerms) {
+  ActivityCounts activity;
+  activity.instructions = 1;
+  const std::string text = estimate_energy(activity).to_string();
+  EXPECT_NE(text.find("compute"), std::string::npos);
+  EXPECT_NE(text.find("pJ"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpct::cost

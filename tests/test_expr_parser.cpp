@@ -1,0 +1,133 @@
+#include "sim/dataflow/expr_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cgra/scheduler.hpp"
+#include "sim/dataflow/token_machine.hpp"
+#include "sim/memory.hpp"
+
+namespace mpct::sim::df {
+namespace {
+
+Word eval_single(const char* source,
+                 const std::vector<std::pair<std::string, Word>>& inputs) {
+  const Graph g = compile_expression_or_throw(source);
+  const auto outputs = evaluate(g, inputs);
+  EXPECT_EQ(outputs.size(), 1u) << source;
+  return outputs.at(0).second;
+}
+
+TEST(ExprParser, Arithmetic) {
+  EXPECT_EQ(eval_single("r = 2 + 3 * 4", {}), 14);
+  EXPECT_EQ(eval_single("r = (2 + 3) * 4", {}), 20);
+  EXPECT_EQ(eval_single("r = 10 - 3 - 2", {}), 5);  // left associative
+  EXPECT_EQ(eval_single("r = 20 / 4 / 5", {}), 1);
+  EXPECT_EQ(eval_single("r = -5 + 2", {}), -3);
+  EXPECT_EQ(eval_single("r = --5", {}), 5);
+}
+
+TEST(ExprParser, BitwiseAndShifts) {
+  EXPECT_EQ(eval_single("r = 12 & 10", {}), 8);
+  EXPECT_EQ(eval_single("r = 12 | 10", {}), 14);
+  EXPECT_EQ(eval_single("r = 12 ^ 10", {}), 6);
+  EXPECT_EQ(eval_single("r = 1 << 4", {}), 16);
+  EXPECT_EQ(eval_single("r = 32 >> 2", {}), 8);
+  // Precedence: shifts bind tighter than &, which binds tighter than |.
+  EXPECT_EQ(eval_single("r = 1 | 2 & 3", {}), 3);
+  EXPECT_EQ(eval_single("r = 2 & 1 << 1", {}), 2);
+}
+
+TEST(ExprParser, ComparisonAndTernary) {
+  EXPECT_EQ(eval_single("r = 3 < 5", {}), 1);
+  EXPECT_EQ(eval_single("r = 5 < 3", {}), 0);
+  EXPECT_EQ(eval_single("r = 3 < 5 ? 10 : 20", {}), 10);
+  EXPECT_EQ(eval_single("r = 5 < 3 ? 10 : 20", {}), 20);
+  // Nested arms.
+  EXPECT_EQ(eval_single("r = 1 ? 2 ? 30 : 40 : 50", {}), 30);
+}
+
+TEST(ExprParser, MinMaxBuiltins) {
+  EXPECT_EQ(eval_single("r = min(3, 9)", {}), 3);
+  EXPECT_EQ(eval_single("r = max(3, 9)", {}), 9);
+  EXPECT_EQ(eval_single("r = max(min(5, 2), 1 + 1)", {}), 2);
+}
+
+TEST(ExprParser, FreeNamesBecomeInputs) {
+  const Graph g = compile_expression_or_throw("out = a*x + y");
+  EXPECT_EQ(g.input_nodes().size(), 3u);
+  EXPECT_EQ(eval_single("out = a*x + y", {{"a", 3}, {"x", 4}, {"y", 5}}),
+            17);
+}
+
+TEST(ExprParser, AssignedNamesChainAndBecomeOutputs) {
+  const Graph g = compile_expression_or_throw(R"(
+    prod = a * b
+    out = prod + prod
+  )");
+  EXPECT_EQ(g.output_nodes().size(), 2u);
+  const auto outputs = evaluate(g, {{"a", 3}, {"b", 4}});
+  EXPECT_EQ(outputs[0], (std::pair<std::string, Word>{"prod", 12}));
+  EXPECT_EQ(outputs[1], (std::pair<std::string, Word>{"out", 24}));
+}
+
+TEST(ExprParser, SemicolonsAndNewlinesSeparate) {
+  const Graph g =
+      compile_expression_or_throw("a2 = x + 1; b2 = x + 2\nc2 = a2 * b2");
+  EXPECT_EQ(g.output_nodes().size(), 3u);
+}
+
+TEST(ExprParser, CommentsIgnored) {
+  EXPECT_EQ(eval_single("r = 1 + 2 # trailing comment", {}), 3);
+  const Graph g = compile_expression_or_throw(R"(
+    # leading comment line
+    r = 7
+  )");
+  EXPECT_EQ(evaluate(g, {}).at(0).second, 7);
+}
+
+TEST(ExprParser, ReportsErrors) {
+  EXPECT_FALSE(compile_expression("= 3").ok());
+  EXPECT_FALSE(compile_expression("x").ok());
+  EXPECT_FALSE(compile_expression("x = ").ok());
+  EXPECT_FALSE(compile_expression("x = (1 + 2").ok());
+  EXPECT_FALSE(compile_expression("x = 1 ? 2").ok());
+  EXPECT_FALSE(compile_expression("x = min(1)").ok());
+  EXPECT_FALSE(compile_expression("x = 1 $ 2").ok());
+  EXPECT_FALSE(compile_expression("x = 1; x = 2").ok());  // reassignment
+  EXPECT_THROW(compile_expression_or_throw("="), SimError);
+}
+
+TEST(ExprParser, ErrorCarriesPosition) {
+  const ExprResult result = compile_expression("out = (1 + 2");
+  ASSERT_FALSE(result.ok());
+  EXPECT_GT(result.errors[0].position, 0);
+  EXPECT_NE(result.errors[0].to_string().find("')'"), std::string::npos);
+}
+
+TEST(ExprParser, CompiledGraphRunsOnTokenMachine) {
+  const Graph g = compile_expression_or_throw(
+      "clamped = min(a*b + c, 100); flag = clamped < 50");
+  TokenMachine machine(g, TokenMachineConfig::for_subtype(4, 4));
+  const auto result =
+      machine.run({{"a", 6}, {"b", 7}, {"c", 1}});
+  EXPECT_EQ(result.outputs.at(0).second, 43);
+  EXPECT_EQ(result.outputs.at(1).second, 1);
+}
+
+TEST(ExprParser, CompiledGraphMapsOntoCgra) {
+  const Graph g = compile_expression_or_throw("out = (a + b) * (a - b)");
+  cgra::Cgra fabric(
+      cgra::CgraShape{.fus = 4, .contexts = 4, .primary_inputs = 4});
+  const cgra::Schedule schedule = cgra::map_graph(g, fabric);
+  const auto outputs =
+      cgra::run_mapped(fabric, schedule, {{"a", 9}, {"b", 4}});
+  EXPECT_EQ(outputs.at(0).second, (9 + 4) * (9 - 4));
+}
+
+TEST(ExprParser, DivisionByZeroSurfacesAtRun) {
+  const Graph g = compile_expression_or_throw("r = a / b");
+  EXPECT_THROW(evaluate(g, {{"a", 1}, {"b", 0}}), SimError);
+}
+
+}  // namespace
+}  // namespace mpct::sim::df

@@ -1,0 +1,168 @@
+#include "sim/spatial/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hpp"
+
+namespace mpct::sim::spatial {
+namespace {
+
+/// Truth table builder: apply fn to the low `arity` address bits.
+template <typename Fn>
+std::array<bool, 16> table(Fn&& fn) {
+  std::array<bool, 16> t{};
+  for (unsigned address = 0; address < 16; ++address) {
+    t[address] = fn(address & 1u, (address >> 1) & 1u, (address >> 2) & 1u,
+                    (address >> 3) & 1u);
+  }
+  return t;
+}
+
+TEST(LutFabric, CombinationalAndGate) {
+  LutFabric fabric(1, 2, 1);
+  LutCell cell;
+  cell.truth = table([](bool a, bool b, bool, bool) { return a && b; });
+  cell.inputs[0] = Source::primary(0);
+  cell.inputs[1] = Source::primary(1);
+  fabric.configure_cell(0, cell);
+  fabric.route_output(0, Source::cell(0));
+  EXPECT_FALSE(fabric.step({false, true})[0]);
+  EXPECT_TRUE(fabric.step({true, true})[0]);
+}
+
+TEST(LutFabric, TwoLevelLogicSettles) {
+  // y = (a & b) ^ c over two cells.
+  LutFabric fabric(2, 3, 1);
+  LutCell and_cell;
+  and_cell.truth = table([](bool a, bool b, bool, bool) { return a && b; });
+  and_cell.inputs[0] = Source::primary(0);
+  and_cell.inputs[1] = Source::primary(1);
+  fabric.configure_cell(0, and_cell);
+  LutCell xor_cell;
+  xor_cell.truth = table([](bool a, bool b, bool, bool) { return a != b; });
+  xor_cell.inputs[0] = Source::cell(0);
+  xor_cell.inputs[1] = Source::primary(2);
+  fabric.configure_cell(1, xor_cell);
+  fabric.route_output(0, Source::cell(1));
+  EXPECT_TRUE(fabric.step({true, true, false})[0]);
+  EXPECT_FALSE(fabric.step({true, true, true})[0]);
+  EXPECT_TRUE(fabric.step({false, true, true})[0]);
+}
+
+TEST(LutFabric, CellOrderDoesNotMatter) {
+  // The consumer cell has a LOWER index than its producer: the settle
+  // loop must still converge.
+  LutFabric fabric(2, 1, 1);
+  LutCell consumer;  // cell 0 reads cell 1
+  consumer.truth = table([](bool a, bool, bool, bool) { return !a; });
+  consumer.inputs[0] = Source::cell(1);
+  fabric.configure_cell(0, consumer);
+  LutCell producer;  // cell 1 reads the primary input
+  producer.truth = table([](bool a, bool, bool, bool) { return a; });
+  producer.inputs[0] = Source::primary(0);
+  fabric.configure_cell(1, producer);
+  fabric.route_output(0, Source::cell(0));
+  EXPECT_FALSE(fabric.step({true})[0]);
+  EXPECT_TRUE(fabric.step({false})[0]);
+}
+
+TEST(LutFabric, RegisteredCellDelaysOneCycle) {
+  LutFabric fabric(1, 1, 1);
+  LutCell flop;
+  flop.truth = table([](bool a, bool, bool, bool) { return a; });
+  flop.inputs[0] = Source::primary(0);
+  flop.registered = true;
+  fabric.configure_cell(0, flop);
+  fabric.route_output(0, Source::cell(0));
+  EXPECT_FALSE(fabric.step({true})[0]);   // outputs pre-clock state
+  EXPECT_TRUE(fabric.step({false})[0]);   // captured last cycle's 1
+  EXPECT_FALSE(fabric.step({false})[0]);
+  EXPECT_TRUE(fabric.cell_state(0) == false);
+}
+
+TEST(LutFabric, RegisteredFeedbackToggles) {
+  LutFabric fabric(1, 0, 1);
+  LutCell toggle;
+  toggle.truth = table([](bool a, bool, bool, bool) { return !a; });
+  toggle.inputs[0] = Source::cell(0);  // own output (state feedback)
+  toggle.registered = true;
+  fabric.configure_cell(0, toggle);
+  fabric.route_output(0, Source::cell(0));
+  EXPECT_FALSE(fabric.step({})[0]);
+  EXPECT_TRUE(fabric.step({})[0]);
+  EXPECT_FALSE(fabric.step({})[0]);
+}
+
+TEST(LutFabric, CombinationalCycleThrows) {
+  LutFabric fabric(1, 0, 1);
+  LutCell inv;
+  inv.truth = table([](bool a, bool, bool, bool) { return !a; });
+  inv.inputs[0] = Source::cell(0);  // unregistered self-loop: oscillator
+  fabric.configure_cell(0, inv);
+  EXPECT_THROW(fabric.step({}), SimError);
+}
+
+TEST(LutFabric, UnroutedOutputReadsZero) {
+  LutFabric fabric(1, 1, 2);
+  EXPECT_FALSE(fabric.step({true})[1]);
+}
+
+TEST(LutFabric, RoutingValidation) {
+  LutFabric fabric(2, 1, 1);
+  LutCell cell;
+  cell.inputs[0] = Source::primary(5);  // out of range
+  EXPECT_THROW(fabric.configure_cell(0, cell), SimError);
+  cell.inputs[0] = Source::cell(9);
+  EXPECT_THROW(fabric.configure_cell(0, cell), SimError);
+  EXPECT_THROW(fabric.configure_cell(7, LutCell{}), SimError);
+  EXPECT_THROW(fabric.route_output(3, Source::none()), SimError);
+}
+
+TEST(LutFabric, WrongInputCountThrows) {
+  LutFabric fabric(1, 2, 1);
+  EXPECT_THROW(fabric.step({true}), SimError);
+}
+
+TEST(LutFabric, ConfigBitsFormula) {
+  // 8 cells, 4 primaries: candidates = 4 + 8 + 1 = 13 -> 4 select bits.
+  // Per cell: 16 truth + 4*4 select + 1 mode = 33; outputs: 2 * 4.
+  LutFabric fabric(8, 4, 2);
+  EXPECT_EQ(fabric.config_bits(), 8 * 33 + 2 * 4);
+}
+
+TEST(LutFabric, ClearResetsEverything) {
+  LutFabric fabric(1, 1, 1);
+  LutCell flop;
+  flop.truth = table([](bool a, bool, bool, bool) { return a; });
+  flop.inputs[0] = Source::primary(0);
+  flop.registered = true;
+  fabric.configure_cell(0, flop);
+  fabric.route_output(0, Source::cell(0));
+  fabric.step({true});
+  EXPECT_TRUE(fabric.cell_state(0));
+  fabric.clear();
+  EXPECT_FALSE(fabric.cell_state(0));
+  EXPECT_FALSE(fabric.cell(0).registered);
+}
+
+TEST(LutFabric, RejectsBadShape) {
+  EXPECT_THROW(LutFabric(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(LutFabric(4, -1, 1), std::invalid_argument);
+}
+
+/// Property: config bits grow strictly with the cell count (the
+/// flexibility-vs-overhead law at the fabric level).
+class FabricConfigGrowth : public ::testing::TestWithParam<int> {};
+
+TEST_P(FabricConfigGrowth, MoreCellsMoreBits) {
+  const int cells = GetParam();
+  LutFabric small(cells, 8, 8);
+  LutFabric large(cells * 2, 8, 8);
+  EXPECT_GT(large.config_bits(), small.config_bits());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FabricConfigGrowth,
+                         ::testing::Values(1, 4, 16, 64, 256));
+
+}  // namespace
+}  // namespace mpct::sim::spatial

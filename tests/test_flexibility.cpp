@@ -1,0 +1,184 @@
+#include "core/flexibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/classifier.hpp"
+#include "core/taxonomy_table.hpp"
+
+namespace mpct {
+namespace {
+
+int flex(const char* name) {
+  const auto parsed = parse_taxonomic_name(name);
+  EXPECT_TRUE(parsed.has_value()) << name;
+  return flexibility_of(*parsed);
+}
+
+/// Table II, transcribed: the ground truth this module must reproduce.
+const std::map<std::string, int> kTableII{
+    {"DUP", 0},      {"DMP-I", 1},    {"DMP-II", 2},   {"DMP-III", 2},
+    {"DMP-IV", 3},   {"IUP", 0},      {"IAP-I", 1},    {"IAP-II", 2},
+    {"IAP-III", 2},  {"IAP-IV", 3},   {"IMP-I", 2},    {"IMP-II", 3},
+    {"IMP-III", 3},  {"IMP-IV", 4},   {"IMP-V", 3},    {"IMP-VI", 4},
+    {"IMP-VII", 4},  {"IMP-VIII", 5}, {"IMP-IX", 3},   {"IMP-X", 4},
+    {"IMP-XI", 4},   {"IMP-XII", 5},  {"IMP-XIII", 4}, {"IMP-XIV", 5},
+    {"IMP-XV", 5},   {"IMP-XVI", 6},  {"ISP-I", 3},    {"ISP-II", 4},
+    {"ISP-III", 4},  {"ISP-IV", 5},   {"ISP-V", 4},    {"ISP-VI", 5},
+    {"ISP-VII", 5},  {"ISP-VIII", 6}, {"ISP-IX", 4},   {"ISP-X", 5},
+    {"ISP-XI", 5},   {"ISP-XII", 6},  {"ISP-XIII", 5}, {"ISP-XIV", 6},
+    {"ISP-XV", 6},   {"ISP-XVI", 7},  {"USP", 8},
+};
+
+TEST(Flexibility, ReproducesTableII) {
+  for (const auto& [name, expected] : kTableII) {
+    EXPECT_EQ(flex(name.c_str()), expected) << name;
+  }
+}
+
+TEST(Flexibility, TableIICoversAllNamedClasses) {
+  // Every named row of Table I has a Table II value and vice versa.
+  int named = 0;
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (!row.name) continue;
+    ++named;
+    EXPECT_EQ(kTableII.count(to_string(*row.name)), 1u)
+        << to_string(*row.name);
+  }
+  EXPECT_EQ(named, static_cast<int>(kTableII.size()));
+}
+
+TEST(Flexibility, BreakdownExplainsUsp) {
+  const auto usp = canonical_class(TaxonomicName{
+      MachineType::UniversalFlow, ProcessingType::SpatialProcessor, 0});
+  const FlexibilityBreakdown b = flexibility(*usp);
+  EXPECT_EQ(b.many_ips, 1);
+  EXPECT_EQ(b.many_dps, 1);
+  EXPECT_EQ(b.crossbar_switches, 5);
+  EXPECT_EQ(b.variability_bonus, 1);
+  EXPECT_EQ(b.total(), 8);
+}
+
+TEST(Flexibility, BreakdownToStringShowsDerivation) {
+  const auto usp = canonical_class(TaxonomicName{
+      MachineType::UniversalFlow, ProcessingType::SpatialProcessor, 0});
+  EXPECT_EQ(flexibility(*usp).to_string(),
+            "1(nIP) + 1(nDP) + 5(x) + 1(v) = 8");
+  const auto iup = canonical_class(TaxonomicName{
+      MachineType::InstructionFlow, ProcessingType::UniProcessor, 0});
+  EXPECT_EQ(flexibility(*iup).to_string(), "0 = 0");
+}
+
+TEST(Flexibility, CategoryOffsetsMatchTableIIHeaders) {
+  const auto offset = [](const char* name) {
+    return category_offset(*parse_taxonomic_name(name));
+  };
+  EXPECT_EQ(offset("DUP"), 0);
+  EXPECT_EQ(offset("DMP-I"), 1);
+  EXPECT_EQ(offset("IUP"), 0);
+  EXPECT_EQ(offset("IAP-III"), 1);
+  EXPECT_EQ(offset("IMP-VII"), 2);
+  EXPECT_EQ(offset("ISP-XVI"), 2);  // ISP rows sit under the (+2) header
+  EXPECT_EQ(offset("USP"), 3);
+}
+
+/// Property: upgrading any switch to a crossbar never decreases the
+/// score, and strictly increases it when the switch was not a crossbar.
+class SwitchUpgradeMonotonic
+    : public ::testing::TestWithParam<ConnectivityRole> {};
+
+TEST_P(SwitchUpgradeMonotonic, UpgradeNeverDecreases) {
+  const ConnectivityRole role = GetParam();
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    MachineClass upgraded = row.machine;
+    if (upgraded.switch_at(role) == SwitchKind::Crossbar) continue;
+    const int before = flexibility_score(upgraded);
+    upgraded.set_switch(role, SwitchKind::Crossbar);
+    EXPECT_EQ(flexibility_score(upgraded), before + 1)
+        << to_string(row.machine) << " role " << to_string(role);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRoles, SwitchUpgradeMonotonic,
+                         ::testing::ValuesIn(kAllConnectivityRoles.begin(),
+                                             kAllConnectivityRoles.end()));
+
+TEST(Flexibility, DirectSwitchScoresNothing) {
+  // Direct vs none is flexibility-neutral under the paper's scoring.
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    MachineClass modified = row.machine;
+    if (modified.switch_at(ConnectivityRole::DpDp) != SwitchKind::None) {
+      continue;
+    }
+    const int before = flexibility_score(modified);
+    modified.set_switch(ConnectivityRole::DpDp, SwitchKind::Direct);
+    EXPECT_EQ(flexibility_score(modified), before);
+  }
+}
+
+TEST(Flexibility, MultiplicityUpgradeMonotonic) {
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    MachineClass upgraded = row.machine;
+    if (upgraded.dps != Multiplicity::One) continue;
+    const int before = flexibility_score(upgraded);
+    upgraded.dps = Multiplicity::Many;
+    EXPECT_EQ(flexibility_score(upgraded), before + 1);
+  }
+}
+
+TEST(Flexibility, UspDominatesEverything) {
+  const int usp = flex("USP");
+  for (const auto& [name, value] : kTableII) {
+    EXPECT_LE(value, usp) << name;
+  }
+}
+
+TEST(Flexibility, IspExceedsMatchingImpByOne) {
+  // The IP-IP crossbar is worth exactly one point: ISP-k = IMP-k + 1.
+  for (int sub = 1; sub <= 16; ++sub) {
+    const TaxonomicName imp{MachineType::InstructionFlow,
+                            ProcessingType::MultiProcessor, sub};
+    const TaxonomicName isp{MachineType::InstructionFlow,
+                            ProcessingType::SpatialProcessor, sub};
+    EXPECT_EQ(flexibility_of(isp), flexibility_of(imp) + 1) << sub;
+  }
+}
+
+TEST(Flexibility, ImpExceedsMatchingIapByOne) {
+  // IMP-k has n IPs where IAP-k has one: exactly one extra point for the
+  // sub-types whose switch patterns align (k in 1..4 maps to the DP-side
+  // bits only when the IP-side bits are zero, i.e. IMP I..IV).
+  for (int sub = 1; sub <= 4; ++sub) {
+    const TaxonomicName iap{MachineType::InstructionFlow,
+                            ProcessingType::ArrayProcessor, sub};
+    const TaxonomicName imp{MachineType::InstructionFlow,
+                            ProcessingType::MultiProcessor, sub};
+    EXPECT_EQ(flexibility_of(imp), flexibility_of(iap) + 1) << sub;
+  }
+}
+
+TEST(Flexibility, ComparabilityRules) {
+  EXPECT_TRUE(flexibility_comparable(MachineType::DataFlow,
+                                     MachineType::DataFlow));
+  EXPECT_FALSE(flexibility_comparable(MachineType::DataFlow,
+                                      MachineType::InstructionFlow));
+  EXPECT_TRUE(flexibility_comparable(MachineType::DataFlow,
+                                     MachineType::UniversalFlow));
+  EXPECT_TRUE(flexibility_comparable(MachineType::InstructionFlow,
+                                     MachineType::UniversalFlow));
+}
+
+TEST(Flexibility, NonCanonicalNameThrows) {
+  EXPECT_THROW(flexibility_of(TaxonomicName{MachineType::DataFlow,
+                                            ProcessingType::ArrayProcessor,
+                                            1}),
+               std::invalid_argument);
+  EXPECT_THROW(category_offset(TaxonomicName{MachineType::InstructionFlow,
+                                             ProcessingType::MultiProcessor,
+                                             42}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpct

@@ -1,0 +1,98 @@
+#include "core/flynn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.hpp"
+#include "core/taxonomy_table.hpp"
+
+namespace mpct {
+namespace {
+
+std::optional<FlynnClass> flynn_of(const char* name) {
+  return flynn_class(*parse_taxonomic_name(name));
+}
+
+TEST(Flynn, NamesRender) {
+  EXPECT_EQ(to_string(FlynnClass::SISD), "SISD");
+  EXPECT_EQ(to_string(FlynnClass::SIMD), "SIMD");
+  EXPECT_EQ(to_string(FlynnClass::MISD), "MISD");
+  EXPECT_EQ(to_string(FlynnClass::MIMD), "MIMD");
+}
+
+TEST(Flynn, UniProcessorIsSisd) { EXPECT_EQ(flynn_of("IUP"), FlynnClass::SISD); }
+
+TEST(Flynn, ArrayProcessorsAreSimd) {
+  for (const char* name : {"IAP-I", "IAP-II", "IAP-III", "IAP-IV"}) {
+    EXPECT_EQ(flynn_of(name), FlynnClass::SIMD) << name;
+  }
+}
+
+TEST(Flynn, MultiAndSpatialAreMimd) {
+  EXPECT_EQ(flynn_of("IMP-I"), FlynnClass::MIMD);
+  EXPECT_EQ(flynn_of("IMP-XVI"), FlynnClass::MIMD);
+  EXPECT_EQ(flynn_of("ISP-IV"), FlynnClass::MIMD);
+}
+
+TEST(Flynn, NiClassesAreMisd) {
+  // The taxonomy's not-implementable rows are exactly Flynn's famously
+  // near-empty MISD quadrant.
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (row.implementable) continue;
+    EXPECT_EQ(flynn_class(row.machine), FlynnClass::MISD) << row.serial;
+  }
+}
+
+TEST(Flynn, DataAndUniversalFlowAreOutsideFlynn) {
+  EXPECT_EQ(flynn_of("DUP"), std::nullopt);
+  EXPECT_EQ(flynn_of("DMP-IV"), std::nullopt);
+  EXPECT_EQ(flynn_of("USP"), std::nullopt);
+}
+
+TEST(Flynn, EveryInstructionFlowRowHasAFlynnClass) {
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (!row.name) continue;
+    const bool instruction_flow =
+        row.name->machine_type == MachineType::InstructionFlow;
+    EXPECT_EQ(flynn_class(row.machine).has_value(), instruction_flow)
+        << row.serial;
+  }
+}
+
+TEST(Skillicorn, ProjectionStripsIpIp) {
+  const MachineClass isp =
+      *canonical_class(*parse_taxonomic_name("ISP-VII"));
+  const SkillicornProjection projection = project_to_skillicorn(isp);
+  EXPECT_TRUE(projection.required_extension);
+  EXPECT_EQ(projection.projected.switch_at(ConnectivityRole::IpIp),
+            SwitchKind::None);
+  // The stripped structure is the matching IMP class.
+  const Classification result = classify(projection.projected);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(to_string(*result.name), "IMP-VII");
+}
+
+TEST(Skillicorn, ProjectionDemotesVariableCounts) {
+  const MachineClass usp = *canonical_class(*parse_taxonomic_name("USP"));
+  const SkillicornProjection projection = project_to_skillicorn(usp);
+  EXPECT_TRUE(projection.required_extension);
+  EXPECT_EQ(projection.projected.ips, Multiplicity::Many);
+  EXPECT_EQ(projection.projected.granularity, Granularity::IpDp);
+}
+
+TEST(Skillicorn, OriginalClassesProjectToThemselves) {
+  for (const char* name : {"DUP", "DMP-III", "IUP", "IAP-II", "IMP-XVI"}) {
+    const MachineClass mc = *canonical_class(*parse_taxonomic_name(name));
+    const SkillicornProjection projection = project_to_skillicorn(mc);
+    EXPECT_FALSE(projection.required_extension) << name;
+    EXPECT_EQ(projection.projected, mc) << name;
+  }
+}
+
+TEST(Skillicorn, NineteenNewClasses) {
+  // Section II-C: "created a table with extension to Skillicorn's
+  // classification and introduced 19 new classes."
+  EXPECT_EQ(extension_only_class_count(), 19);
+}
+
+}  // namespace
+}  // namespace mpct

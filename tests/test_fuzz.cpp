@@ -1,0 +1,180 @@
+/// Randomised property sweeps: 1000 machine structures drawn from a
+/// seeded generator, checked against the library's core invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/classifier.hpp"
+#include "core/comparison.hpp"
+#include "core/flexibility.hpp"
+#include "core/flynn.hpp"
+#include "core/taxonomy_table.hpp"
+#include "cost/area_model.hpp"
+#include "cost/config_bits.hpp"
+#include "interconnect/traffic.hpp"
+
+namespace mpct {
+namespace {
+
+using interconnect::Rng;
+
+MachineClass random_class(Rng& rng) {
+  MachineClass mc;
+  mc.granularity =
+      rng.next_below(8) == 0 ? Granularity::Lut : Granularity::IpDp;
+  mc.ips = static_cast<Multiplicity>(rng.next_below(4));
+  mc.dps = static_cast<Multiplicity>(rng.next_below(4));
+  for (ConnectivityRole role : kAllConnectivityRoles) {
+    mc.set_switch(role, static_cast<SwitchKind>(rng.next_below(3)));
+  }
+  return mc;
+}
+
+TEST(Fuzz, ClassifierNeverCrashesAndRoundTrips) {
+  Rng rng(2012);
+  int classified = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const MachineClass mc = random_class(rng);
+    const Classification result = classify(mc);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.note.empty()) << to_string(mc);
+      continue;
+    }
+    ++classified;
+    // The name decodes to a canonical class that classifies to itself.
+    const auto canonical = canonical_class(*result.name);
+    ASSERT_TRUE(canonical.has_value()) << to_string(mc);
+    const Classification again = classify(*canonical);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again.name, *result.name) << to_string(mc);
+  }
+  // The generator should hit plenty of classifiable shapes.
+  EXPECT_GT(classified, 200);
+}
+
+TEST(Fuzz, FlexibilityBoundsAndBreakdownConsistency) {
+  Rng rng(88);
+  for (int i = 0; i < 1000; ++i) {
+    const MachineClass mc = random_class(rng);
+    const FlexibilityBreakdown b = flexibility(mc);
+    EXPECT_GE(b.total(), 0);
+    EXPECT_LE(b.total(), 8);  // USP is the ceiling
+    EXPECT_EQ(b.total(), b.many_ips + b.many_dps + b.crossbar_switches +
+                             b.variability_bonus);
+    EXPECT_LE(b.crossbar_switches, 5);
+  }
+}
+
+TEST(Fuzz, SubtypeEncodesSwitchKindsExactly) {
+  // For every classifiable coarse structure, the canonical class decoded
+  // from its name agrees on the crossbar-ness of every column the
+  // sub-type numeral encodes (all except IP-IP, where any connectivity
+  // marks the class spatial whether or not it is a full crossbar).
+  Rng rng(404);
+  for (int i = 0; i < 1000; ++i) {
+    const MachineClass mc = random_class(rng);
+    const Classification result = classify(mc);
+    if (!result.ok()) continue;
+    if (mc.granularity == Granularity::Lut) continue;  // USP normalises
+    const MachineClass canonical = *canonical_class(*result.name);
+    // Which columns the family's numeral encodes: the DP-side pair for
+    // DMP/IAP, all four for IMP/ISP; uni-processors encode none.
+    std::vector<ConnectivityRole> encoded;
+    if (result.name->machine_type == MachineType::InstructionFlow &&
+        (result.name->processing_type == ProcessingType::MultiProcessor ||
+         result.name->processing_type ==
+             ProcessingType::SpatialProcessor)) {
+      encoded = {ConnectivityRole::IpDp, ConnectivityRole::IpIm,
+                 ConnectivityRole::DpDm, ConnectivityRole::DpDp};
+    } else if (result.name->subtype > 0) {
+      encoded = {ConnectivityRole::DpDm, ConnectivityRole::DpDp};
+    }
+    for (ConnectivityRole role : encoded) {
+      EXPECT_EQ(is_flexible_switch(mc.switch_at(role)),
+                is_flexible_switch(canonical.switch_at(role)))
+          << to_string(mc) << " role " << to_string(role);
+    }
+  }
+}
+
+TEST(Fuzz, MorphPartialOrderProperties) {
+  // Reflexivity and transitivity over the canonical classes (sampled
+  // pairs/triples).
+  std::vector<TaxonomicName> names;
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (row.name) names.push_back(*row.name);
+  }
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const TaxonomicName& a = names[rng.next_below(names.size())];
+    const TaxonomicName& b = names[rng.next_below(names.size())];
+    const TaxonomicName& c = names[rng.next_below(names.size())];
+    EXPECT_TRUE(can_morph_into(a, a));
+    if (can_morph_into(a, b) && can_morph_into(b, c)) {
+      EXPECT_TRUE(can_morph_into(a, c))
+          << to_string(a) << " -> " << to_string(b) << " -> "
+          << to_string(c);
+    }
+  }
+}
+
+TEST(Fuzz, CostModelsAreFiniteAndNonNegative) {
+  const cost::ComponentLibrary lib = cost::ComponentLibrary::default_library();
+  Rng rng(5150);
+  for (int i = 0; i < 500; ++i) {
+    const MachineClass mc = random_class(rng);
+    cost::EstimateOptions options;
+    options.n = 1 + static_cast<std::int64_t>(rng.next_below(64));
+    options.v = 1 + static_cast<std::int64_t>(rng.next_below(1024));
+    const auto area = cost::estimate_area(mc, lib, options);
+    EXPECT_GE(area.total_kge(), 0);
+    EXPECT_TRUE(std::isfinite(area.total_kge()));
+    const auto bits = cost::estimate_config_bits(mc, lib, options);
+    EXPECT_GE(bits.total(), 0);
+    EXPECT_GE(bits.total(), bits.switch_bits());
+  }
+}
+
+TEST(Fuzz, FlynnProjectionAgreesWithClassifier) {
+  Rng rng(1966);
+  for (int i = 0; i < 1000; ++i) {
+    const MachineClass mc = random_class(rng);
+    const auto flynn = flynn_class(mc);
+    const Classification result = classify(mc);
+    if (!result.ok()) continue;
+    switch (result.name->machine_type) {
+      case MachineType::DataFlow:
+      case MachineType::UniversalFlow:
+        EXPECT_EQ(flynn, std::nullopt);
+        break;
+      case MachineType::InstructionFlow:
+        ASSERT_TRUE(flynn.has_value());
+        switch (result.name->processing_type) {
+          case ProcessingType::UniProcessor:
+            EXPECT_EQ(*flynn, FlynnClass::SISD);
+            break;
+          case ProcessingType::ArrayProcessor:
+            EXPECT_EQ(*flynn, FlynnClass::SIMD);
+            break;
+          default:
+            EXPECT_EQ(*flynn, FlynnClass::MIMD);
+        }
+        break;
+    }
+  }
+}
+
+TEST(Fuzz, SkillicornProjectionIsIdempotent) {
+  Rng rng(1988);
+  for (int i = 0; i < 1000; ++i) {
+    const MachineClass mc = random_class(rng);
+    const SkillicornProjection once = project_to_skillicorn(mc);
+    const SkillicornProjection twice =
+        project_to_skillicorn(once.projected);
+    EXPECT_EQ(twice.projected, once.projected);
+    EXPECT_FALSE(twice.required_extension);
+  }
+}
+
+}  // namespace
+}  // namespace mpct

@@ -1,0 +1,113 @@
+#include "interconnect/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpct::interconnect {
+namespace {
+
+TEST(Hierarchical, LocalRoutesAreCheapAndUnlimited) {
+  HierarchicalNetwork net(16, 4, 1);
+  // All of cluster 0 can interconnect locally.
+  EXPECT_TRUE(net.connect(0, 1));
+  EXPECT_TRUE(net.connect(1, 2));
+  EXPECT_TRUE(net.connect(2, 3));
+  EXPECT_EQ(net.route_latency(1), 1);
+  EXPECT_EQ(net.global_links_in_use(0), 0);
+}
+
+TEST(Hierarchical, GlobalRoutesCostThreeCycles) {
+  HierarchicalNetwork net(16, 4, 1);
+  EXPECT_TRUE(net.connect(0, 15));  // cluster 0 -> cluster 3
+  EXPECT_EQ(net.route_latency(15), 3);
+  EXPECT_EQ(net.global_links_in_use(0), 1);
+  EXPECT_EQ(net.global_links_in_use(3), 1);
+}
+
+TEST(Hierarchical, GlobalLinksBlockWhenExhausted) {
+  HierarchicalNetwork net(16, 4, 1);
+  EXPECT_TRUE(net.connect(0, 15));   // uses cluster 0's only up-link
+  EXPECT_FALSE(net.connect(1, 14));  // cluster 0 has no free link
+  // Traffic out of another cluster still fits.
+  EXPECT_TRUE(net.connect(8, 4));
+}
+
+TEST(Hierarchical, DisconnectReleasesGlobalLink) {
+  HierarchicalNetwork net(16, 4, 1);
+  EXPECT_TRUE(net.connect(0, 15));
+  net.disconnect(15);
+  EXPECT_EQ(net.global_links_in_use(0), 0);
+  EXPECT_TRUE(net.connect(1, 14));
+}
+
+TEST(Hierarchical, ReplacingARouteDoesNotDoubleCount) {
+  HierarchicalNetwork net(16, 4, 1);
+  EXPECT_TRUE(net.connect(0, 15));
+  // Re-route the same output to a different remote source: the old link
+  // must be released as part of the reprogram.
+  EXPECT_TRUE(net.connect(1, 15));
+  EXPECT_EQ(net.source_of(15), 1);
+  EXPECT_EQ(net.global_links_in_use(0), 1);
+}
+
+TEST(Hierarchical, FailedGlobalConnectRestoresOldRoute) {
+  HierarchicalNetwork net(16, 4, 1);
+  EXPECT_TRUE(net.connect(12, 0));  // cluster 3 -> cluster 0 (uses links)
+  EXPECT_TRUE(net.connect(1, 2));   // local in cluster 0
+  // Output 2 tries to re-route from cluster 3, but cluster 3's link and
+  // cluster 0's down-link are taken by output 0's route... cluster 0
+  // down-link is used, so this must fail and keep the local route.
+  EXPECT_FALSE(net.connect(13, 2));
+  EXPECT_EQ(net.source_of(2), 1);
+}
+
+TEST(Hierarchical, ClusterMath) {
+  HierarchicalNetwork net(10, 4, 1);
+  EXPECT_EQ(net.cluster_count(), 3);  // 4 + 4 + 2
+  EXPECT_EQ(net.cluster_of(0), 0);
+  EXPECT_EQ(net.cluster_of(7), 1);
+  EXPECT_EQ(net.cluster_of(9), 2);
+}
+
+TEST(Hierarchical, ConfigBitsBelowFlatCrossbar) {
+  // PADDI-2's reason for a hierarchy: 48 PEs behind a flat crossbar
+  // would need 48*ceil(log2(49)) = 288 select bits; clusters of 8 with a
+  // single global link must be cheaper.
+  HierarchicalNetwork net(48, 8, 1);
+  EXPECT_LT(net.config_bits(), 48 * 6);
+}
+
+TEST(Hierarchical, EverythingReachable) {
+  HierarchicalNetwork net(12, 4, 1);
+  for (int from = 0; from < 12; ++from) {
+    for (int to = 0; to < 12; ++to) {
+      EXPECT_TRUE(net.reachable(from, to));
+    }
+  }
+}
+
+TEST(Hierarchical, PropagateAcrossClusters) {
+  HierarchicalNetwork net(8, 4, 1);
+  ASSERT_TRUE(net.connect(0, 7));
+  ASSERT_TRUE(net.connect(5, 4));
+  const auto out =
+      net.propagate({100, 0, 0, 0, 0, 55, 0, 0});
+  EXPECT_EQ(out[7], 100u);
+  EXPECT_EQ(out[4], 55u);
+}
+
+TEST(Hierarchical, RejectsBadShape) {
+  EXPECT_THROW(HierarchicalNetwork(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(HierarchicalNetwork(8, 0, 1), std::invalid_argument);
+  EXPECT_THROW(HierarchicalNetwork(8, 4, -1), std::invalid_argument);
+}
+
+/// Property: with zero global links, only intra-cluster routes succeed.
+TEST(Hierarchical, ZeroGlobalLinksIsolatesClusters) {
+  HierarchicalNetwork net(16, 4, 0);
+  EXPECT_TRUE(net.connect(0, 3));
+  EXPECT_FALSE(net.connect(0, 4));
+  EXPECT_FALSE(net.connect(12, 0));
+}
+
+}  // namespace
+}  // namespace mpct::interconnect

@@ -1,0 +1,86 @@
+#include "core/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpct {
+namespace {
+
+TEST(Hierarchy, RootAndBranches) {
+  const HierarchyNode root = machine_hierarchy();
+  EXPECT_EQ(root.label, "Computing Machines");
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(root.children[0].label, "Data Flow");
+  EXPECT_EQ(root.children[1].label, "Instruction Flow");
+  EXPECT_EQ(root.children[2].label, "Universal Flow");
+}
+
+TEST(Hierarchy, DataFlowHasTwoProcessingTypes) {
+  const HierarchyNode root = machine_hierarchy();
+  const HierarchyNode& df = root.children[0];
+  ASSERT_EQ(df.children.size(), 2u);
+  EXPECT_EQ(df.children[0].label, "Uni Processor");
+  EXPECT_EQ(df.children[0].classes.size(), 1u);
+  EXPECT_EQ(df.children[1].label, "Multi Processor");
+  EXPECT_EQ(df.children[1].classes.size(), 4u);
+}
+
+TEST(Hierarchy, InstructionFlowHasFourProcessingTypes) {
+  const HierarchyNode root = machine_hierarchy();
+  const HierarchyNode& ifl = root.children[1];
+  ASSERT_EQ(ifl.children.size(), 4u);
+  EXPECT_EQ(ifl.children[0].classes.size(), 1u);   // IUP
+  EXPECT_EQ(ifl.children[1].classes.size(), 4u);   // IAP
+  EXPECT_EQ(ifl.children[2].classes.size(), 16u);  // IMP
+  EXPECT_EQ(ifl.children[3].classes.size(), 16u);  // ISP
+}
+
+TEST(Hierarchy, UniversalFlowIsSpatialComputingOnly) {
+  const HierarchyNode root = machine_hierarchy();
+  const HierarchyNode& uf = root.children[2];
+  ASSERT_EQ(uf.children.size(), 1u);
+  EXPECT_EQ(uf.children[0].label, "Spatial Computing");
+  EXPECT_EQ(uf.children[0].classes.size(), 1u);
+}
+
+TEST(Hierarchy, LeafCountEqualsNamedClasses) {
+  const HierarchyNode root = machine_hierarchy();
+  std::size_t leaves = 0;
+  for (const HierarchyNode& mt : root.children) {
+    for (const HierarchyNode& pt : mt.children) {
+      leaves += pt.classes.size();
+    }
+  }
+  EXPECT_EQ(leaves, 43u);  // 47 rows minus 4 NI
+}
+
+TEST(Hierarchy, RenderShowsRangesAndCounts) {
+  const std::string art = render_hierarchy(machine_hierarchy());
+  EXPECT_NE(art.find("Computing Machines"), std::string::npos);
+  EXPECT_NE(art.find("IMP-I..IMP-XVI"), std::string::npos);
+  EXPECT_NE(art.find("(16 classes)"), std::string::npos);
+  EXPECT_NE(art.find("USP"), std::string::npos);
+  EXPECT_NE(art.find("DMP-I..DMP-IV"), std::string::npos);
+}
+
+TEST(Hierarchy, PathOfClass) {
+  const auto path = hierarchy_path(
+      TaxonomicName{MachineType::InstructionFlow,
+                    ProcessingType::MultiProcessor, 3});
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], "Computing Machines");
+  EXPECT_EQ(path[1], "Instruction Flow");
+  EXPECT_EQ(path[2], "Multi Processor");
+  EXPECT_EQ(path[3], "IMP-III");
+}
+
+TEST(Hierarchy, PathOfUsp) {
+  const auto path = hierarchy_path(
+      TaxonomicName{MachineType::UniversalFlow,
+                    ProcessingType::SpatialProcessor, 0});
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[2], "Spatial Computing");
+  EXPECT_EQ(path[3], "USP");
+}
+
+}  // namespace
+}  // namespace mpct

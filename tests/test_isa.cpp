@@ -1,0 +1,120 @@
+#include "sim/isa/isa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hpp"
+
+namespace mpct::sim {
+namespace {
+
+TEST(Isa, MnemonicRoundTrip) {
+  for (Opcode op :
+       {Opcode::Nop, Opcode::Halt, Opcode::Ldi, Opcode::Mov, Opcode::Add,
+        Opcode::Sub, Opcode::Mul, Opcode::Divs, Opcode::And, Opcode::Or,
+        Opcode::Xor, Opcode::Shl, Opcode::Shr, Opcode::Addi, Opcode::Ld,
+        Opcode::St, Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Jmp,
+        Opcode::Lane, Opcode::Shuf, Opcode::Send, Opcode::Recv,
+        Opcode::Out}) {
+    EXPECT_EQ(opcode_from_mnemonic(mnemonic(op)), op)
+        << static_cast<int>(op);
+  }
+}
+
+TEST(Isa, UnknownMnemonic) {
+  EXPECT_EQ(opcode_from_mnemonic("frobnicate"), std::nullopt);
+  EXPECT_EQ(opcode_from_mnemonic(""), std::nullopt);
+}
+
+TEST(Isa, AluArithmetic) {
+  EXPECT_EQ(alu(Opcode::Add, 3, 4), 7);
+  EXPECT_EQ(alu(Opcode::Sub, 3, 4), -1);
+  EXPECT_EQ(alu(Opcode::Mul, -3, 4), -12);
+  EXPECT_EQ(alu(Opcode::Divs, 7, 2), 3);
+  EXPECT_EQ(alu(Opcode::Divs, -7, 2), -3);
+}
+
+TEST(Isa, AluLogic) {
+  EXPECT_EQ(alu(Opcode::And, 0b1100, 0b1010), 0b1000);
+  EXPECT_EQ(alu(Opcode::Or, 0b1100, 0b1010), 0b1110);
+  EXPECT_EQ(alu(Opcode::Xor, 0b1100, 0b1010), 0b0110);
+}
+
+TEST(Isa, AluShifts) {
+  EXPECT_EQ(alu(Opcode::Shl, 1, 4), 16);
+  EXPECT_EQ(alu(Opcode::Shr, 16, 4), 1);
+  // Shift amounts wrap at 64 and negative values are masked.
+  EXPECT_EQ(alu(Opcode::Shl, 1, 64), 1);
+  // Logical right shift of a negative number.
+  EXPECT_EQ(alu(Opcode::Shr, -1, 63), 1);
+}
+
+TEST(Isa, AluDivByZeroTraps) {
+  EXPECT_THROW(alu(Opcode::Divs, 1, 0), SimError);
+}
+
+TEST(Isa, AluRejectsNonAluOps) {
+  EXPECT_THROW(alu(Opcode::Jmp, 1, 2), SimError);
+  EXPECT_THROW(alu(Opcode::Ld, 1, 2), SimError);
+}
+
+TEST(Isa, IsAluOpPartition) {
+  EXPECT_TRUE(is_alu_op(Opcode::Add));
+  EXPECT_TRUE(is_alu_op(Opcode::Shr));
+  EXPECT_FALSE(is_alu_op(Opcode::Ldi));
+  EXPECT_FALSE(is_alu_op(Opcode::Beq));
+  EXPECT_FALSE(is_alu_op(Opcode::Out));
+}
+
+TEST(Isa, DisassemblyFormats) {
+  EXPECT_EQ(to_string(Instruction{Opcode::Halt, 0, 0, 0, 0}), "halt");
+  EXPECT_EQ(to_string(Instruction{Opcode::Ldi, 3, 0, 0, 42}), "ldi r3, 42");
+  EXPECT_EQ(to_string(Instruction{Opcode::Add, 1, 2, 3, 0}),
+            "add r1, r2, r3");
+  EXPECT_EQ(to_string(Instruction{Opcode::Ld, 3, 1, 0, 4}),
+            "ld r3, [r1+4]");
+  EXPECT_EQ(to_string(Instruction{Opcode::St, 0, 1, 2, 0}),
+            "st [r1+0], r2");
+  EXPECT_EQ(to_string(Instruction{Opcode::Beq, 0, 1, 2, 7}),
+            "beq r1, r2, @7");
+  EXPECT_EQ(to_string(Instruction{Opcode::Jmp, 0, 0, 0, 3}), "jmp @3");
+  EXPECT_EQ(to_string(Instruction{Opcode::Out, 0, 5, 0, 0}), "out r5");
+}
+
+TEST(Memory, BoundsCheckedAccess) {
+  Memory mem("DM", 8);
+  mem.store(0, 42);
+  EXPECT_EQ(mem.load(0), 42);
+  EXPECT_THROW(mem.load(8), SimError);
+  EXPECT_THROW(mem.store(8, 1), SimError);
+}
+
+TEST(Memory, ErrorsNameTheBank) {
+  Memory mem("DM3", 4);
+  try {
+    mem.load(99);
+    FAIL() << "expected SimError";
+  } catch (const SimError& error) {
+    EXPECT_NE(std::string(error.what()).find("DM3"), std::string::npos);
+  }
+}
+
+TEST(Memory, AccessCounters) {
+  Memory mem("DM", 8);
+  mem.store(1, 5);
+  mem.store(2, 6);
+  (void)mem.load(1);
+  EXPECT_EQ(mem.stores(), 2u);
+  EXPECT_EQ(mem.loads(), 1u);
+  mem.reset_counters();
+  EXPECT_EQ(mem.stores(), 0u);
+  EXPECT_EQ(mem.loads(), 0u);
+}
+
+TEST(Memory, FillInitialises) {
+  Memory mem("DM", 4);
+  mem.fill({1, 2, 3, 4, 5});  // fifth value ignored
+  EXPECT_EQ(mem.data(), (std::vector<Word>{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace mpct::sim

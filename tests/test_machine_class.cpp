@@ -1,0 +1,89 @@
+#include "core/machine_class.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/classifier.hpp"
+#include "core/taxonomy_table.hpp"
+
+namespace mpct {
+namespace {
+
+MachineClass iap2() {
+  MachineClass mc;
+  mc.ips = Multiplicity::One;
+  mc.dps = Multiplicity::Many;
+  mc.set_switch(ConnectivityRole::IpDp, SwitchKind::Direct);
+  mc.set_switch(ConnectivityRole::IpIm, SwitchKind::Direct);
+  mc.set_switch(ConnectivityRole::DpDm, SwitchKind::Direct);
+  mc.set_switch(ConnectivityRole::DpDp, SwitchKind::Crossbar);
+  return mc;
+}
+
+TEST(MachineClass, DefaultIsEmptyShell) {
+  const MachineClass mc;
+  EXPECT_EQ(mc.granularity, Granularity::IpDp);
+  EXPECT_EQ(mc.ips, Multiplicity::Zero);
+  EXPECT_EQ(mc.dps, Multiplicity::One);
+  for (ConnectivityRole role : kAllConnectivityRoles) {
+    EXPECT_EQ(mc.switch_at(role), SwitchKind::None);
+  }
+}
+
+TEST(MachineClass, SwitchAccessorsRoundTrip) {
+  MachineClass mc;
+  mc.set_switch(ConnectivityRole::DpDm, SwitchKind::Crossbar);
+  EXPECT_EQ(mc.switch_at(ConnectivityRole::DpDm), SwitchKind::Crossbar);
+  EXPECT_EQ(mc.switch_at(ConnectivityRole::DpDp), SwitchKind::None);
+}
+
+TEST(MachineClass, EqualityIsStructural) {
+  EXPECT_EQ(iap2(), iap2());
+  MachineClass other = iap2();
+  other.set_switch(ConnectivityRole::DpDp, SwitchKind::None);
+  EXPECT_NE(iap2(), other);
+}
+
+TEST(MachineClass, FormatCellUsesEndpointMultiplicities) {
+  const MachineClass mc = iap2();
+  EXPECT_EQ(format_cell(mc, ConnectivityRole::IpDp), "1-n");
+  EXPECT_EQ(format_cell(mc, ConnectivityRole::IpIm), "1-1");
+  EXPECT_EQ(format_cell(mc, ConnectivityRole::DpDm), "n-n");
+  EXPECT_EQ(format_cell(mc, ConnectivityRole::DpDp), "nxn");
+  EXPECT_EQ(format_cell(mc, ConnectivityRole::IpIp), "none");
+}
+
+TEST(MachineClass, ToStringMentionsEveryColumn) {
+  const std::string text = to_string(iap2());
+  EXPECT_NE(text.find("IP/DP"), std::string::npos);
+  EXPECT_NE(text.find("ips=1"), std::string::npos);
+  EXPECT_NE(text.find("dps=n"), std::string::npos);
+  EXPECT_NE(text.find("DP-DP:nxn"), std::string::npos);
+}
+
+TEST(MachineClass, GranularityNames) {
+  EXPECT_EQ(to_string(Granularity::IpDp), "IP/DP");
+  EXPECT_EQ(to_string(Granularity::Lut), "LUTs");
+}
+
+TEST(MachineClassHash, DistinctCanonicalClassesHashDistinctly) {
+  // 13 bits of packed state: the 47 canonical classes must be collision
+  // free (the hash is injective on the packed representation, so this
+  // also guards the packing).
+  std::unordered_set<std::size_t> hashes;
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    hashes.insert(MachineClassHash{}(row.machine));
+  }
+  EXPECT_EQ(hashes.size(), extended_taxonomy().size());
+}
+
+TEST(MachineClassHash, UsableAsUnorderedKey) {
+  std::unordered_set<MachineClass, MachineClassHash> set;
+  set.insert(iap2());
+  set.insert(iap2());
+  EXPECT_EQ(set.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mpct

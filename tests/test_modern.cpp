@@ -1,0 +1,91 @@
+#include "arch/modern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/validate.hpp"
+#include "core/flynn.hpp"
+
+namespace mpct::arch {
+namespace {
+
+std::string class_of(const char* name) {
+  const ArchitectureSpec* spec = find_modern_example(name);
+  EXPECT_NE(spec, nullptr) << name;
+  const Classification result = spec->classify();
+  EXPECT_TRUE(result.ok()) << name << ": " << result.note;
+  return result.ok() ? to_string(*result.name) : "?";
+}
+
+TEST(Modern, SixStyles) {
+  EXPECT_EQ(modern_examples().size(), 6u);
+  EXPECT_EQ(find_modern_example("nonexistent"), nullptr);
+  EXPECT_NE(find_modern_example("simt gpu sm"), nullptr);  // case-insensitive
+}
+
+TEST(Modern, GpuSmIsIapIV) {
+  // Warp shuffle + banked shared memory: both DP-side crossbars.
+  EXPECT_EQ(class_of("SIMT GPU SM"), "IAP-IV");
+}
+
+TEST(Modern, SystolicMxuIsIapI) {
+  // Fixed neighbour pipes, edge-fed memory: the least flexible parallel
+  // class — efficiency by inflexibility.
+  EXPECT_EQ(class_of("Systolic MXU"), "IAP-I");
+}
+
+TEST(Modern, VectorLanesAreIapIII) {
+  // Gather/scatter = DP-DM crossbar, no lane exchange.
+  EXPECT_EQ(class_of("Vector lanes"), "IAP-III");
+}
+
+TEST(Modern, MeshManycoreIsImpIV) {
+  EXPECT_EQ(class_of("Mesh manycore"), "IMP-IV");
+}
+
+TEST(Modern, SpatialDataflowIsIspClass) {
+  // Distributed sequencers that compose: the paper's extension classes.
+  const ArchitectureSpec* rdu = find_modern_example("Spatial dataflow RDU");
+  ASSERT_NE(rdu, nullptr);
+  const Classification result = rdu->classify();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.name->processing_type, ProcessingType::SpatialProcessor);
+  EXPECT_EQ(to_string(*result.name), "ISP-IV");
+}
+
+TEST(Modern, EfpgaIsUsp) { EXPECT_EQ(class_of("Embedded FPGA fabric"), "USP"); }
+
+TEST(Modern, AllStylesValid) {
+  for (const ArchitectureSpec& spec : modern_examples()) {
+    EXPECT_TRUE(is_valid(spec)) << spec.name;
+    EXPECT_FALSE(spec.description.empty()) << spec.name;
+    // These are library additions, so no paper values are claimed.
+    EXPECT_FALSE(spec.paper_name.has_value()) << spec.name;
+    EXPECT_FALSE(spec.paper_flexibility.has_value()) << spec.name;
+  }
+}
+
+TEST(Modern, FlexibilityOrderingTellsTheEfficiencyStory) {
+  // Systolic (most specialised) < vector < GPU SM < manycore <= spatial
+  // dataflow < eFPGA.
+  const auto flex = [&](const char* name) {
+    return find_modern_example(name)->flexibility().total();
+  };
+  EXPECT_LT(flex("Systolic MXU"), flex("Vector lanes"));
+  EXPECT_LT(flex("Vector lanes"), flex("SIMT GPU SM"));
+  EXPECT_LT(flex("SIMT GPU SM"), flex("Mesh manycore"));
+  EXPECT_LE(flex("Mesh manycore"), flex("Spatial dataflow RDU"));
+  EXPECT_LT(flex("Spatial dataflow RDU"), flex("Embedded FPGA fabric"));
+}
+
+TEST(Modern, FlynnViewMatchesFolkTaxonomy) {
+  const auto flynn = [&](const char* name) {
+    return flynn_class(find_modern_example(name)->machine_class());
+  };
+  EXPECT_EQ(flynn("SIMT GPU SM"), FlynnClass::SIMD);
+  EXPECT_EQ(flynn("Systolic MXU"), FlynnClass::SIMD);
+  EXPECT_EQ(flynn("Mesh manycore"), FlynnClass::MIMD);
+  EXPECT_EQ(flynn("Embedded FPGA fabric"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace mpct::arch

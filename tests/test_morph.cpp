@@ -1,0 +1,58 @@
+#include "sim/morph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpct::sim {
+namespace {
+
+TEST(Morph, ImpActsAsIap) {
+  const MorphDemo demo = demo_imp_acts_as_iap(4);
+  EXPECT_TRUE(demo.succeeded) << demo.detail;
+  EXPECT_EQ(to_string(demo.from), "IMP-I");
+  EXPECT_EQ(to_string(demo.to), "IAP-I");
+}
+
+TEST(Morph, ImpActsAsIapAcrossWidths) {
+  for (int lanes : {1, 2, 3, 8, 16}) {
+    EXPECT_TRUE(demo_imp_acts_as_iap(lanes).succeeded) << lanes;
+  }
+}
+
+TEST(Morph, IapCannotActAsImp) {
+  const MorphDemo demo = demo_iap_cannot_act_as_imp(4);
+  EXPECT_FALSE(demo.succeeded);
+  // The IMP ran the mixed workload: detail carries its outputs.
+  EXPECT_NE(demo.detail.find("IMP ran"), std::string::npos);
+  EXPECT_NE(demo.detail.find("100"), std::string::npos);
+}
+
+TEST(Morph, IapActsAsIup) {
+  const MorphDemo demo = demo_iap_acts_as_iup();
+  EXPECT_TRUE(demo.succeeded) << demo.detail;
+  EXPECT_NE(demo.detail.find("42"), std::string::npos);
+}
+
+TEST(Morph, SubtypeGatesShuffle) {
+  const MorphDemo demo = demo_subtype_gates_shuffle(4);
+  EXPECT_FALSE(demo.succeeded);
+  EXPECT_NE(demo.detail.find("trapped"), std::string::npos);
+  EXPECT_NE(demo.detail.find("DP-DP"), std::string::npos);
+}
+
+TEST(Morph, AllDemosRun) {
+  const auto demos = all_morph_demos(4);
+  ASSERT_EQ(demos.size(), 4u);
+  for (const MorphDemo& demo : demos) {
+    EXPECT_FALSE(demo.description.empty());
+    EXPECT_FALSE(demo.detail.empty());
+  }
+  // The positive morphs succeed, the negative ones fail — matching the
+  // can_morph_into partial order.
+  EXPECT_TRUE(demos[0].succeeded);
+  EXPECT_FALSE(demos[1].succeeded);
+  EXPECT_TRUE(demos[2].succeeded);
+  EXPECT_FALSE(demos[3].succeeded);
+}
+
+}  // namespace
+}  // namespace mpct::sim

@@ -1,0 +1,57 @@
+#include "core/multiplicity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpct {
+namespace {
+
+TEST(Multiplicity, SymbolsMatchTableNotation) {
+  EXPECT_EQ(to_symbol(Multiplicity::Zero), "0");
+  EXPECT_EQ(to_symbol(Multiplicity::One), "1");
+  EXPECT_EQ(to_symbol(Multiplicity::Many), "n");
+  EXPECT_EQ(to_symbol(Multiplicity::Variable), "v");
+}
+
+TEST(Multiplicity, ParsesTableSymbols) {
+  EXPECT_EQ(multiplicity_from_symbol("0"), Multiplicity::Zero);
+  EXPECT_EQ(multiplicity_from_symbol("1"), Multiplicity::One);
+  EXPECT_EQ(multiplicity_from_symbol("n"), Multiplicity::Many);
+  EXPECT_EQ(multiplicity_from_symbol("v"), Multiplicity::Variable);
+}
+
+TEST(Multiplicity, ParsesSecondSymbolicConstantAsMany) {
+  // RaPiD's Table III row uses 'm' for its second template dimension.
+  EXPECT_EQ(multiplicity_from_symbol("m"), Multiplicity::Many);
+  EXPECT_EQ(multiplicity_from_symbol("M"), Multiplicity::Many);
+}
+
+TEST(Multiplicity, RejectsUnknownSymbols) {
+  EXPECT_EQ(multiplicity_from_symbol(""), std::nullopt);
+  EXPECT_EQ(multiplicity_from_symbol("2"), std::nullopt);
+  EXPECT_EQ(multiplicity_from_symbol("nn"), std::nullopt);
+  EXPECT_EQ(multiplicity_from_symbol("x"), std::nullopt);
+}
+
+TEST(Multiplicity, CountsAsManyDrivesScoring) {
+  // The Table II rule: 'n' IPs or DPs score a point; 'v' subsumes 'n'.
+  EXPECT_FALSE(counts_as_many(Multiplicity::Zero));
+  EXPECT_FALSE(counts_as_many(Multiplicity::One));
+  EXPECT_TRUE(counts_as_many(Multiplicity::Many));
+  EXPECT_TRUE(counts_as_many(Multiplicity::Variable));
+}
+
+TEST(Multiplicity, OrderingReflectsCapability) {
+  EXPECT_LT(Multiplicity::Zero, Multiplicity::One);
+  EXPECT_LT(Multiplicity::One, Multiplicity::Many);
+  EXPECT_LT(Multiplicity::Many, Multiplicity::Variable);
+}
+
+TEST(Multiplicity, NamesAreHumanReadable) {
+  EXPECT_EQ(to_string(Multiplicity::Zero), "zero");
+  EXPECT_EQ(to_string(Multiplicity::One), "one");
+  EXPECT_EQ(to_string(Multiplicity::Many), "many");
+  EXPECT_EQ(to_string(Multiplicity::Variable), "variable");
+}
+
+}  // namespace
+}  // namespace mpct

@@ -1,0 +1,276 @@
+#include "sim/mimd/multiprocessor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/isa/assembler.hpp"
+
+namespace mpct::sim {
+namespace {
+
+TEST(MultiprocessorConfig, SubtypeFactory) {
+  const auto i = MultiprocessorConfig::for_subtype(1);
+  EXPECT_EQ(i.dp_dm, mpct::SwitchKind::Direct);
+  EXPECT_EQ(i.dp_dp, mpct::SwitchKind::None);
+  const auto ii = MultiprocessorConfig::for_subtype(2);
+  EXPECT_EQ(ii.dp_dp, mpct::SwitchKind::Crossbar);
+  const auto iv = MultiprocessorConfig::for_subtype(4);
+  EXPECT_EQ(iv.dp_dm, mpct::SwitchKind::Crossbar);
+  EXPECT_EQ(iv.dp_dp, mpct::SwitchKind::Crossbar);
+  EXPECT_THROW(MultiprocessorConfig::for_subtype(17),
+               std::invalid_argument);
+}
+
+TEST(Multiprocessor, RunsDifferentProgramsPerCore) {
+  // The capability an IAP lacks: two genuinely different instruction
+  // streams at once.
+  std::vector<Program> programs{
+      assemble_or_throw("ldi r1, 11\nout r1\nhalt\n"),
+      assemble_or_throw("ldi r1, 22\nout r1\nhalt\n"),
+  };
+  MultiprocessorConfig config = MultiprocessorConfig::for_subtype(1);
+  config.cores = 2;
+  Multiprocessor imp(std::move(programs), config);
+  const RunStats stats = imp.run();
+  EXPECT_TRUE(stats.halted);
+  EXPECT_EQ(stats.output, (std::vector<Word>{11, 22}));
+}
+
+TEST(Multiprocessor, ProgramCountMustMatchCores) {
+  MultiprocessorConfig config = MultiprocessorConfig::for_subtype(1);
+  config.cores = 3;
+  std::vector<Program> two(2, assemble_or_throw("halt\n"));
+  EXPECT_THROW(Multiprocessor(std::move(two), config),
+               std::invalid_argument);
+}
+
+TEST(Multiprocessor, PrivateMemoryPerCore) {
+  MultiprocessorConfig config = MultiprocessorConfig::for_subtype(1);
+  config.cores = 3;
+  config.bank_words = 8;
+  Multiprocessor imp = Multiprocessor::broadcast(assemble_or_throw(R"(
+    lane r1
+    ldi r2, 0
+    st r2, r1, 0
+    halt
+  )"),
+                                                 config);
+  imp.run();
+  for (int core = 0; core < 3; ++core) {
+    EXPECT_EQ(imp.bank(core).load(0), core);
+  }
+}
+
+TEST(Multiprocessor, SharedMemoryWithCrossbar) {
+  // IMP-III: DP-DM crossbar — one global address space.  Core 0 writes,
+  // core 1 spins until the flag appears, then reads the value.
+  MultiprocessorConfig config = MultiprocessorConfig::for_subtype(3);
+  config.cores = 2;
+  config.bank_words = 8;
+  std::vector<Program> programs{
+      assemble_or_throw(R"(
+        ldi r1, 8      ; bank 1, offset 0 (flag)
+        ldi r2, 123
+        ldi r3, 0
+        st r3, r2, 1   ; global[1] = 123 (payload)
+        ldi r4, 1
+        st r1, r4, 0   ; global[8] = 1 (flag)
+        halt
+      )"),
+      assemble_or_throw(R"(
+        ldi r1, 8
+        ldi r2, 1
+wait:
+        ld r3, r1, 0
+        bne r3, r2, wait
+        ldi r4, 0
+        ld r5, r4, 1   ; read payload
+        out r5
+        halt
+      )"),
+  };
+  Multiprocessor imp(std::move(programs), config);
+  const RunStats stats = imp.run();
+  EXPECT_TRUE(stats.halted);
+  EXPECT_EQ(stats.output, (std::vector<Word>{123}));
+}
+
+TEST(Multiprocessor, MessagePassingPingPong) {
+  MultiprocessorConfig config = MultiprocessorConfig::for_subtype(2);
+  config.cores = 2;
+  std::vector<Program> programs{
+      assemble_or_throw(R"(
+        ldi r1, 7
+        ldi r2, 1
+        send r1, r2    ; to core 1
+        recv r3        ; wait for the echo
+        out r3
+        halt
+      )"),
+      assemble_or_throw(R"(
+        recv r1
+        addi r1, r1, 1
+        ldi r2, 0
+        send r1, r2    ; echo +1 back
+        halt
+      )"),
+  };
+  Multiprocessor imp(std::move(programs), config);
+  const RunStats stats = imp.run();
+  EXPECT_TRUE(stats.halted);
+  EXPECT_EQ(stats.output, (std::vector<Word>{8}));
+  EXPECT_FALSE(imp.deadlocked());
+}
+
+TEST(Multiprocessor, SendTrapsWithoutDpDpSwitch) {
+  MultiprocessorConfig config = MultiprocessorConfig::for_subtype(1);
+  config.cores = 2;
+  Multiprocessor imp = Multiprocessor::broadcast(
+      assemble_or_throw("ldi r1, 1\nsend r1, r1\nhalt\n"), config);
+  EXPECT_THROW(imp.run(), SimError);
+}
+
+TEST(Multiprocessor, RecvWithoutSenderDeadlocks) {
+  MultiprocessorConfig config = MultiprocessorConfig::for_subtype(2);
+  config.cores = 2;
+  Multiprocessor imp =
+      Multiprocessor::broadcast(assemble_or_throw("recv r1\nhalt\n"), config);
+  const RunStats stats = imp.run(100000);
+  EXPECT_FALSE(stats.halted);
+  EXPECT_TRUE(imp.deadlocked());
+  EXPECT_LT(stats.cycles, 100000);  // detected, not timed out
+}
+
+TEST(Multiprocessor, MessagesQueueFifo) {
+  MultiprocessorConfig config = MultiprocessorConfig::for_subtype(2);
+  config.cores = 2;
+  std::vector<Program> programs{
+      assemble_or_throw(R"(
+        ldi r2, 1
+        ldi r1, 10
+        send r1, r2
+        ldi r1, 20
+        send r1, r2
+        ldi r1, 30
+        send r1, r2
+        halt
+      )"),
+      assemble_or_throw(R"(
+        recv r1
+        out r1
+        recv r1
+        out r1
+        recv r1
+        out r1
+        halt
+      )"),
+  };
+  Multiprocessor imp(std::move(programs), config);
+  const RunStats stats = imp.run();
+  EXPECT_EQ(stats.output, (std::vector<Word>{10, 20, 30}));
+}
+
+TEST(Multiprocessor, ShufTrapsOnMimd) {
+  MultiprocessorConfig config = MultiprocessorConfig::for_subtype(4);
+  config.cores = 2;
+  Multiprocessor imp = Multiprocessor::broadcast(
+      assemble_or_throw("shuf r1, r2, r3\nhalt\n"), config);
+  EXPECT_THROW(imp.run(), SimError);
+}
+
+TEST(Multiprocessor, BroadcastLockstepMatchesLaneOrder) {
+  // Same program on every core: outputs appear in core order per cycle
+  // (the morph demo relies on this).
+  MultiprocessorConfig config = MultiprocessorConfig::for_subtype(1);
+  config.cores = 4;
+  Multiprocessor imp = Multiprocessor::broadcast(assemble_or_throw(R"(
+    lane r1
+    out r1
+    out r1
+    halt
+  )"),
+                                                 config);
+  const RunStats stats = imp.run();
+  EXPECT_EQ(stats.output,
+            (std::vector<Word>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(Multiprocessor, ResetRestoresInitialState) {
+  MultiprocessorConfig config = MultiprocessorConfig::for_subtype(2);
+  config.cores = 2;
+  Multiprocessor imp = Multiprocessor::broadcast(
+      assemble_or_throw("lane r1\nhalt\n"), config);
+  imp.run();
+  EXPECT_EQ(imp.core_state(1).reg(1), 1);
+  imp.reset();
+  EXPECT_EQ(imp.core_state(1).reg(1), 0);
+  EXPECT_FALSE(imp.deadlocked());
+}
+
+TEST(Multiprocessor, MeshLatencyDelaysDistantMessages) {
+  // Core 0 sends to core 1 (adjacent) and to core 3 (diagonal) on a 2x2
+  // mesh: the diagonal receiver waits longer.
+  const auto receiver = assemble_or_throw("recv r1\nout r1\nhalt\n");
+  const auto make_sender = [] {
+    return assemble_or_throw(R"(
+      ldi r1, 42
+      ldi r2, 1
+      send r1, r2
+      ldi r2, 3
+      send r1, r2
+      halt
+    )");
+  };
+  const auto run_with = [&](int mesh_width) {
+    MultiprocessorConfig config = MultiprocessorConfig::for_subtype(2);
+    config.cores = 4;
+    config.mesh_width = mesh_width;
+    std::vector<Program> programs{make_sender(), receiver,
+                                  assemble_or_throw("halt\n"), receiver};
+    Multiprocessor imp(std::move(programs), config);
+    return imp.run();
+  };
+  const RunStats ideal = run_with(0);
+  const RunStats mesh = run_with(2);
+  EXPECT_TRUE(ideal.halted);
+  EXPECT_TRUE(mesh.halted);
+  EXPECT_EQ(ideal.output, (std::vector<Word>{42, 42}));
+  EXPECT_EQ(mesh.output, (std::vector<Word>{42, 42}));
+  // The diagonal message (2 hops) stalls core 3 an extra cycle.
+  EXPECT_GT(mesh.cycles, ideal.cycles);
+}
+
+TEST(Multiprocessor, MeshLatencyPreservesDeadlockDetection) {
+  // In-flight messages must defeat the deadlock detector until they
+  // land: a long-haul message on a 4x1 mesh keeps the machine alive.
+  MultiprocessorConfig config = MultiprocessorConfig::for_subtype(2);
+  config.cores = 4;
+  config.mesh_width = 4;
+  std::vector<Program> programs{
+      assemble_or_throw("ldi r1, 9\nldi r2, 3\nsend r1, r2\nhalt\n"),
+      assemble_or_throw("halt\n"),
+      assemble_or_throw("halt\n"),
+      assemble_or_throw("recv r1\nout r1\nhalt\n"),
+  };
+  Multiprocessor imp(std::move(programs), config);
+  const RunStats stats = imp.run();
+  EXPECT_TRUE(stats.halted);
+  EXPECT_FALSE(imp.deadlocked());
+  EXPECT_EQ(stats.output, (std::vector<Word>{9}));
+}
+
+TEST(Multiprocessor, CyclesCountWhileAnyCoreRuns) {
+  MultiprocessorConfig config = MultiprocessorConfig::for_subtype(1);
+  config.cores = 2;
+  std::vector<Program> programs{
+      assemble_or_throw("halt\n"),
+      assemble_or_throw("nop\nnop\nnop\nhalt\n"),
+  };
+  Multiprocessor imp(std::move(programs), config);
+  const RunStats stats = imp.run();
+  EXPECT_TRUE(stats.halted);
+  EXPECT_EQ(stats.cycles, 4);
+  EXPECT_EQ(stats.instructions, 5);
+}
+
+}  // namespace
+}  // namespace mpct::sim

@@ -1,0 +1,147 @@
+#include "core/naming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/taxonomy_table.hpp"
+
+namespace mpct {
+namespace {
+
+TEST(Naming, CodesMatchPaperNames) {
+  EXPECT_EQ(code(MachineType::DataFlow), 'D');
+  EXPECT_EQ(code(MachineType::InstructionFlow), 'I');
+  EXPECT_EQ(code(MachineType::UniversalFlow), 'U');
+  EXPECT_EQ(code(ProcessingType::UniProcessor), "UP");
+  EXPECT_EQ(code(ProcessingType::ArrayProcessor), "AP");
+  EXPECT_EQ(code(ProcessingType::MultiProcessor), "MP");
+  EXPECT_EQ(code(ProcessingType::SpatialProcessor), "SP");
+}
+
+TEST(Naming, RendersUnnumberedClasses) {
+  EXPECT_EQ(to_string(TaxonomicName{MachineType::DataFlow,
+                                    ProcessingType::UniProcessor, 0}),
+            "DUP");
+  EXPECT_EQ(to_string(TaxonomicName{MachineType::InstructionFlow,
+                                    ProcessingType::UniProcessor, 0}),
+            "IUP");
+  EXPECT_EQ(to_string(TaxonomicName{MachineType::UniversalFlow,
+                                    ProcessingType::SpatialProcessor, 0}),
+            "USP");
+}
+
+TEST(Naming, RendersNumberedClasses) {
+  EXPECT_EQ(to_string(TaxonomicName{MachineType::DataFlow,
+                                    ProcessingType::MultiProcessor, 3}),
+            "DMP-III");
+  EXPECT_EQ(to_string(TaxonomicName{MachineType::InstructionFlow,
+                                    ProcessingType::ArrayProcessor, 2}),
+            "IAP-II");
+  EXPECT_EQ(to_string(TaxonomicName{MachineType::InstructionFlow,
+                                    ProcessingType::MultiProcessor, 16}),
+            "IMP-XVI");
+  EXPECT_EQ(to_string(TaxonomicName{MachineType::InstructionFlow,
+                                    ProcessingType::SpatialProcessor, 4}),
+            "ISP-IV");
+}
+
+TEST(Naming, ParsesAllPaperNames) {
+  const auto check = [](const char* text, MachineType mt, ProcessingType pt,
+                        int subtype) {
+    const auto name = parse_taxonomic_name(text);
+    ASSERT_TRUE(name.has_value()) << text;
+    EXPECT_EQ(name->machine_type, mt) << text;
+    EXPECT_EQ(name->processing_type, pt) << text;
+    EXPECT_EQ(name->subtype, subtype) << text;
+  };
+  check("DUP", MachineType::DataFlow, ProcessingType::UniProcessor, 0);
+  check("DMP-IV", MachineType::DataFlow, ProcessingType::MultiProcessor, 4);
+  check("IUP", MachineType::InstructionFlow, ProcessingType::UniProcessor, 0);
+  check("IAP-II", MachineType::InstructionFlow,
+        ProcessingType::ArrayProcessor, 2);
+  check("IMP-XIV", MachineType::InstructionFlow,
+        ProcessingType::MultiProcessor, 14);
+  check("ISP-XVI", MachineType::InstructionFlow,
+        ProcessingType::SpatialProcessor, 16);
+  check("USP", MachineType::UniversalFlow, ProcessingType::SpatialProcessor,
+        0);
+}
+
+TEST(Naming, ParseIsCaseInsensitiveOnLetters) {
+  EXPECT_TRUE(parse_taxonomic_name("imp-ii").has_value());
+  EXPECT_TRUE(parse_taxonomic_name("Usp").has_value());
+}
+
+TEST(Naming, ParseRejectsMalformedNames) {
+  EXPECT_EQ(parse_taxonomic_name(""), std::nullopt);
+  EXPECT_EQ(parse_taxonomic_name("XUP"), std::nullopt);     // unknown MT
+  EXPECT_EQ(parse_taxonomic_name("IZP"), std::nullopt);     // unknown PT
+  EXPECT_EQ(parse_taxonomic_name("IUP-II"), std::nullopt);  // IUP unnumbered
+  EXPECT_EQ(parse_taxonomic_name("IMP"), std::nullopt);     // needs numeral
+  EXPECT_EQ(parse_taxonomic_name("IMP-"), std::nullopt);
+  EXPECT_EQ(parse_taxonomic_name("IMP-XVII"), std::nullopt);  // > 16
+  EXPECT_EQ(parse_taxonomic_name("IAP-V"), std::nullopt);     // > 4
+  EXPECT_EQ(parse_taxonomic_name("DAP-I"), std::nullopt);  // no DF array
+  EXPECT_EQ(parse_taxonomic_name("DSP-I"), std::nullopt);  // no DF spatial
+  EXPECT_EQ(parse_taxonomic_name("UUP"), std::nullopt);    // UF only SP
+  EXPECT_EQ(parse_taxonomic_name("USP-I"), std::nullopt);  // USP unnumbered
+  EXPECT_EQ(parse_taxonomic_name("IMP-IIII"), std::nullopt);  // bad numeral
+}
+
+TEST(Naming, SubtypeCountsMatchTableI) {
+  EXPECT_EQ(subtype_count(MachineType::DataFlow,
+                          ProcessingType::UniProcessor),
+            1);
+  EXPECT_EQ(subtype_count(MachineType::DataFlow,
+                          ProcessingType::MultiProcessor),
+            4);
+  EXPECT_EQ(subtype_count(MachineType::InstructionFlow,
+                          ProcessingType::UniProcessor),
+            1);
+  EXPECT_EQ(subtype_count(MachineType::InstructionFlow,
+                          ProcessingType::ArrayProcessor),
+            4);
+  EXPECT_EQ(subtype_count(MachineType::InstructionFlow,
+                          ProcessingType::MultiProcessor),
+            16);
+  EXPECT_EQ(subtype_count(MachineType::InstructionFlow,
+                          ProcessingType::SpatialProcessor),
+            16);
+  EXPECT_EQ(subtype_count(MachineType::UniversalFlow,
+                          ProcessingType::SpatialProcessor),
+            1);
+  EXPECT_EQ(subtype_count(MachineType::DataFlow,
+                          ProcessingType::ArrayProcessor),
+            0);
+}
+
+TEST(Naming, CombinationExistence) {
+  EXPECT_TRUE(combination_exists(MachineType::DataFlow,
+                                 ProcessingType::UniProcessor));
+  EXPECT_TRUE(combination_exists(MachineType::DataFlow,
+                                 ProcessingType::MultiProcessor));
+  EXPECT_FALSE(combination_exists(MachineType::DataFlow,
+                                  ProcessingType::ArrayProcessor));
+  EXPECT_FALSE(combination_exists(MachineType::DataFlow,
+                                  ProcessingType::SpatialProcessor));
+  EXPECT_TRUE(combination_exists(MachineType::InstructionFlow,
+                                 ProcessingType::SpatialProcessor));
+  EXPECT_FALSE(combination_exists(MachineType::UniversalFlow,
+                                  ProcessingType::UniProcessor));
+  EXPECT_FALSE(combination_exists(MachineType::UniversalFlow,
+                                  ProcessingType::MultiProcessor));
+}
+
+/// Property: every canonical class name round-trips through
+/// to_string/parse (bijection over the 43 named rows of Table I).
+TEST(Naming, BijectionOverCanonicalTable) {
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (!row.name) continue;
+    const std::string text = to_string(*row.name);
+    const auto parsed = parse_taxonomic_name(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, *row.name) << text;
+  }
+}
+
+}  // namespace
+}  // namespace mpct

@@ -1,0 +1,105 @@
+#include "interconnect/neighbor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpct::interconnect {
+namespace {
+
+TEST(Neighbor, ReachabilityIsTheWindow) {
+  NeighborNetwork net(10, 3, /*wrap=*/false);
+  EXPECT_TRUE(net.reachable(5, 5));
+  EXPECT_TRUE(net.reachable(2, 5));
+  EXPECT_TRUE(net.reachable(8, 5));
+  EXPECT_FALSE(net.reachable(1, 5));
+  EXPECT_FALSE(net.reachable(9, 5));
+}
+
+TEST(Neighbor, ConnectRespectsWindow) {
+  NeighborNetwork net(8, 1, false);
+  EXPECT_TRUE(net.connect(3, 4));
+  EXPECT_EQ(net.source_of(4), 3);
+  EXPECT_FALSE(net.connect(0, 4));
+  EXPECT_EQ(net.source_of(4), 3);  // failed connect leaves state alone
+}
+
+TEST(Neighbor, TorusWrapsDistance) {
+  NeighborNetwork line(8, 2, false);
+  NeighborNetwork torus(8, 2, true);
+  EXPECT_FALSE(line.reachable(7, 0));
+  EXPECT_TRUE(torus.reachable(7, 0));
+  EXPECT_EQ(line.distance(7, 0), 7);
+  EXPECT_EQ(torus.distance(7, 0), 1);
+}
+
+TEST(Neighbor, RouteLatencyIsDistance) {
+  NeighborNetwork net(16, 3, false);
+  ASSERT_TRUE(net.connect(5, 8));
+  EXPECT_EQ(net.route_latency(8), 3);
+  ASSERT_TRUE(net.connect(8, 8));  // self route
+  EXPECT_EQ(net.route_latency(8), 1);  // still one switch traversal
+  EXPECT_EQ(net.route_latency(0), 0);  // unrouted
+}
+
+TEST(Neighbor, ZeroHopsMeansSelfOnly) {
+  NeighborNetwork net(4, 0, false);
+  EXPECT_TRUE(net.reachable(2, 2));
+  EXPECT_FALSE(net.reachable(1, 2));
+}
+
+TEST(Neighbor, ConfigBitsScaleWithWindowNotSize) {
+  // n * ceil(log2(window+1)): for fixed hops, doubling the array doubles
+  // the bits (linear), unlike a crossbar's n*log(n).
+  NeighborNetwork small(64, 3, false);   // window 7 -> 3 bits
+  NeighborNetwork large(128, 3, false);
+  EXPECT_EQ(small.config_bits(), 64 * 3);
+  EXPECT_EQ(large.config_bits(), 2 * small.config_bits());
+}
+
+TEST(Neighbor, WindowClippedBySize) {
+  // 4 elements with +-3 hops: window is the whole array (4 candidates).
+  NeighborNetwork net(4, 3, false);
+  EXPECT_EQ(net.config_bits(), 4 * 3);  // ceil(log2(5)) == 3
+}
+
+TEST(Neighbor, DrraStyleThreeHopWindow) {
+  // DRRA: every element talks to elements within 3 hops left or right.
+  NeighborNetwork drra(14, 3, false);
+  for (int from = 0; from < 14; ++from) {
+    for (int to = 0; to < 14; ++to) {
+      EXPECT_EQ(drra.reachable(from, to), std::abs(from - to) <= 3)
+          << from << "->" << to;
+    }
+  }
+}
+
+TEST(Neighbor, RejectsBadShape) {
+  EXPECT_THROW(NeighborNetwork(0, 1), std::invalid_argument);
+  EXPECT_THROW(NeighborNetwork(4, -1), std::invalid_argument);
+}
+
+TEST(Neighbor, DisconnectWorks) {
+  NeighborNetwork net(8, 2, false);
+  ASSERT_TRUE(net.connect(1, 2));
+  net.disconnect(2);
+  EXPECT_EQ(net.source_of(2), std::nullopt);
+}
+
+/// Property: a window of n-1 hops over a line makes every pair reachable
+/// (degenerates to a crossbar's reachability).
+class NeighborFullWindow : public ::testing::TestWithParam<int> {};
+
+TEST_P(NeighborFullWindow, FullWindowReachesAll) {
+  const int n = GetParam();
+  NeighborNetwork net(n, n - 1, false);
+  for (int from = 0; from < n; ++from) {
+    for (int to = 0; to < n; ++to) {
+      EXPECT_TRUE(net.reachable(from, to));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NeighborFullWindow,
+                         ::testing::Values(2, 3, 5, 9));
+
+}  // namespace
+}  // namespace mpct::interconnect

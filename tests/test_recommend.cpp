@@ -1,0 +1,139 @@
+#include "explore/recommend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/flexibility.hpp"
+
+namespace mpct::explore {
+namespace {
+
+TEST(Recommend, EmptyRequirementsAdmitEverything) {
+  const auto recs = recommend(Requirements{});
+  EXPECT_EQ(recs.size(), 43u);  // every implementable class
+}
+
+TEST(Recommend, FlexibilityFloorFilters) {
+  Requirements req;
+  req.min_flexibility = 7;
+  const auto recs = recommend(req);
+  ASSERT_EQ(recs.size(), 2u);  // ISP-XVI (7) and USP (8)
+  for (const Recommendation& rec : recs) {
+    EXPECT_GE(rec.flexibility, 7);
+  }
+}
+
+TEST(Recommend, ImpossibleFloorYieldsNothing) {
+  Requirements req;
+  req.min_flexibility = 9;
+  EXPECT_TRUE(recommend(req).empty());
+}
+
+TEST(Recommend, ParadigmRestriction) {
+  Requirements req;
+  req.paradigm = MachineType::DataFlow;
+  const auto recs = recommend(req);
+  // DUP + DMP I-IV + USP (universal always qualifies).
+  EXPECT_EQ(recs.size(), 6u);
+  for (const Recommendation& rec : recs) {
+    EXPECT_TRUE(rec.name.machine_type == MachineType::DataFlow ||
+                rec.name.machine_type == MachineType::UniversalFlow)
+        << to_string(rec.name);
+  }
+}
+
+TEST(Recommend, IndependentProgramsForceManyIps) {
+  Requirements req;
+  req.needs_independent_programs = true;
+  const auto recs = recommend(req);
+  ASSERT_FALSE(recs.empty());
+  for (const Recommendation& rec : recs) {
+    EXPECT_TRUE(rec.name.processing_type == ProcessingType::MultiProcessor ||
+                rec.name.processing_type ==
+                    ProcessingType::SpatialProcessor ||
+                rec.name.machine_type == MachineType::UniversalFlow)
+        << to_string(rec.name);
+  }
+}
+
+TEST(Recommend, PeExchangeForcesDpDpCrossbar) {
+  Requirements req;
+  req.paradigm = MachineType::InstructionFlow;
+  req.needs_pe_exchange = true;
+  const auto recs = recommend(req);
+  ASSERT_FALSE(recs.empty());
+  for (const Recommendation& rec : recs) {
+    if (rec.name.machine_type == MachineType::UniversalFlow) continue;
+    // Sub-type numeral's DP-DP bit must be set (even subtypes).
+    EXPECT_EQ(rec.name.subtype % 2, 0) << to_string(rec.name);
+  }
+}
+
+TEST(Recommend, SortedByObjective) {
+  Requirements req;
+  req.min_flexibility = 3;
+  req.objective = Requirements::Objective::MinConfigBits;
+  const auto by_bits = recommend(req);
+  for (std::size_t i = 1; i < by_bits.size(); ++i) {
+    EXPECT_LE(by_bits[i - 1].config_bits, by_bits[i].config_bits);
+  }
+  req.objective = Requirements::Objective::MinArea;
+  const auto by_area = recommend(req);
+  for (std::size_t i = 1; i < by_area.size(); ++i) {
+    EXPECT_LE(by_area[i - 1].area_kge, by_area[i].area_kge);
+  }
+}
+
+TEST(Recommend, PaperUseCase) {
+  // "Which class offers flexibility >= 3 in the instruction-flow world
+  // with minimum configuration overhead?" -> IAP-IV, the cheapest class
+  // with a score of 3 (one IP to configure, two small crossbars).
+  Requirements req;
+  req.min_flexibility = 3;
+  req.paradigm = MachineType::InstructionFlow;
+  const auto recs = recommend(req);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(to_string(recs.front().name), "IAP-IV");
+}
+
+TEST(Recommend, RationaleIsPopulated) {
+  Requirements req;
+  req.needs_shared_memory = true;
+  for (const Recommendation& rec : recommend(req)) {
+    EXPECT_FALSE(rec.rationale.empty()) << to_string(rec.name);
+  }
+}
+
+TEST(Recommend, UspAlwaysQualifies) {
+  Requirements req;
+  req.min_flexibility = 8;
+  req.needs_independent_programs = true;
+  req.needs_pe_exchange = true;
+  req.needs_shared_memory = true;
+  const auto recs = recommend(req);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(to_string(recs.front().name), "USP");
+}
+
+TEST(Recommend, CostsScaleWithDesignPoint) {
+  Requirements small;
+  small.min_flexibility = 6;
+  small.n = 8;
+  Requirements large = small;
+  large.n = 64;
+  const auto recs_small = recommend(small);
+  const auto recs_large = recommend(large);
+  ASSERT_FALSE(recs_small.empty());
+  ASSERT_EQ(recs_small.size(), recs_large.size());
+  // Compare per-class (sort order may differ): find IMP-XVI in both.
+  const auto find = [](const std::vector<Recommendation>& recs) {
+    for (const Recommendation& rec : recs) {
+      if (to_string(rec.name) == "IMP-XVI") return rec;
+    }
+    throw std::runtime_error("IMP-XVI missing");
+  };
+  EXPECT_LT(find(recs_small).area_kge, find(recs_large).area_kge);
+  EXPECT_LT(find(recs_small).config_bits, find(recs_large).config_bits);
+}
+
+}  // namespace
+}  // namespace mpct::explore

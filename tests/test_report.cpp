@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "report/chart.hpp"
+#include "report/csv.hpp"
+#include "report/svg.hpp"
+#include "report/table.hpp"
+
+namespace mpct::report {
+namespace {
+
+TEST(TextTable, AsciiRenderingAlignsColumns) {
+  TextTable table({"Name", "Flex"});
+  table.set_align(1, Align::Right);
+  table.add_row({"IUP", "0"});
+  table.add_row({"IMP-XVI", "6"});
+  const std::string out = table.render_ascii();
+  EXPECT_NE(out.find("| Name    | Flex |"), std::string::npos);
+  EXPECT_NE(out.find("| IUP     |    0 |"), std::string::npos);
+  EXPECT_NE(out.find("| IMP-XVI |    6 |"), std::string::npos);
+  EXPECT_NE(out.find("+---------+------+"), std::string::npos);
+}
+
+TEST(TextTable, SectionsRenderFullWidth) {
+  TextTable table({"A", "B"});
+  table.add_section("Data Flow Machines");
+  table.add_row({"x", "y"});
+  const std::string out = table.render_ascii();
+  EXPECT_NE(out.find("Data Flow Machines"), std::string::npos);
+}
+
+TEST(TextTable, ShortAndLongRowsNormalised) {
+  TextTable table({"A", "B", "C"});
+  table.add_row({"1"});                    // padded
+  table.add_row({"1", "2", "3", "4"});     // truncated
+  EXPECT_EQ(table.row_count(), 2u);
+  const std::string out = table.render_ascii();
+  EXPECT_EQ(out.find("4"), std::string::npos);
+}
+
+TEST(TextTable, MarkdownRendering) {
+  TextTable table({"Name", "Flex"});
+  table.set_align(1, Align::Right);
+  table.add_section("Group");
+  table.add_row({"IUP", "0"});
+  const std::string md = table.render_markdown();
+  EXPECT_NE(md.find("| Name | Flex |"), std::string::npos);
+  EXPECT_NE(md.find("| --- | ---: |"), std::string::npos);
+  EXPECT_NE(md.find("| **Group** |  |"), std::string::npos);
+  EXPECT_NE(md.find("| IUP | 0 |"), std::string::npos);
+}
+
+TEST(BarChart, ScalesToMaxValue) {
+  const std::string out = render_bar_chart(
+      {{"FPGA", 8}, {"IUP", 0}, {"MATRIX", 7}},
+      BarChartOptions{.max_bar_width = 8, .show_value = true});
+  EXPECT_NE(out.find("FPGA   |######## 8"), std::string::npos);
+  EXPECT_NE(out.find("IUP    | 0"), std::string::npos);
+  EXPECT_NE(out.find("MATRIX |####### 7"), std::string::npos);
+}
+
+TEST(BarChart, EmptyInputYieldsEmptyString) {
+  EXPECT_EQ(render_bar_chart({}), "");
+}
+
+TEST(LineChart, PlotsAllSeriesWithLegend) {
+  std::vector<std::string> years{"2005", "2006", "2007", "2008"};
+  std::vector<Series> series{
+      {"multicore", {1, 5, 20, 60}},
+      {"fpga", {30, 32, 35, 40}},
+  };
+  const std::string out = render_line_chart(years, series);
+  EXPECT_NE(out.find("* = multicore"), std::string::npos);
+  EXPECT_NE(out.find("o = fpga"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(LineChart, EmptyInputsYieldEmptyString) {
+  EXPECT_EQ(render_line_chart({}, {{"x", {}}}), "");
+  EXPECT_EQ(render_line_chart({"a"}, {}), "");
+}
+
+TEST(Csv, EscapingRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriteAndParseRoundTrip) {
+  CsvWriter writer;
+  writer.add_row({"name", "flex", "note"});
+  writer.add_row({"PACT XPP", "2", "erratum, formula says 3"});
+  writer.add_row({"quote\"y", "8", "multi\nline"});
+  const auto rows = parse_csv(writer.str());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"name", "flex", "note"}));
+  EXPECT_EQ(rows[1][2], "erratum, formula says 3");
+  EXPECT_EQ(rows[2][0], "quote\"y");
+  EXPECT_EQ(rows[2][2], "multi\nline");
+}
+
+TEST(Csv, ParseHandlesEmptyFields) {
+  const auto rows = parse_csv("a,,c\n,\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", ""}));
+}
+
+TEST(Csv, CustomSeparator) {
+  CsvWriter writer(';');
+  writer.add_row({"a;b", "c"});
+  EXPECT_EQ(writer.str(), "\"a;b\";c\n");
+  const auto rows = parse_csv(writer.str(), ';');
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a;b", "c"}));
+}
+
+TEST(Svg, XmlEscaping) {
+  EXPECT_EQ(xml_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+}
+
+TEST(Svg, BarChartIsWellFormedDocument) {
+  SvgOptions options;
+  options.title = "Flexibility <relative>";
+  const std::string svg =
+      svg_bar_chart({{"FPGA", 8}, {"IUP", 0}}, options);
+  EXPECT_EQ(svg.find("<svg"), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("&lt;relative&gt;"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find("FPGA"), std::string::npos);
+}
+
+TEST(Svg, LineChartHasPolylinePerSeries) {
+  const std::string svg = svg_line_chart(
+      {"2005", "2006"}, {{"a", {1, 2}}, {"b", {2, 1}}, {"c", {3, 3}}});
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = svg.find("<polyline", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+}  // namespace
+}  // namespace mpct::report

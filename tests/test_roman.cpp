@@ -1,0 +1,67 @@
+#include "core/roman.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpct {
+namespace {
+
+TEST(Roman, RendersSubtypeRange) {
+  // The numerals the taxonomy actually uses (sub-types I..XVI).
+  const char* expected[] = {"I",   "II",  "III", "IV",  "V",   "VI",
+                            "VII", "VIII", "IX", "X",   "XI",  "XII",
+                            "XIII", "XIV", "XV", "XVI"};
+  for (int i = 1; i <= 16; ++i) {
+    EXPECT_EQ(to_roman(i), expected[i - 1]) << i;
+  }
+}
+
+TEST(Roman, RendersSubtractiveForms) {
+  EXPECT_EQ(to_roman(4), "IV");
+  EXPECT_EQ(to_roman(9), "IX");
+  EXPECT_EQ(to_roman(40), "XL");
+  EXPECT_EQ(to_roman(90), "XC");
+  EXPECT_EQ(to_roman(400), "CD");
+  EXPECT_EQ(to_roman(900), "CM");
+  EXPECT_EQ(to_roman(1994), "MCMXCIV");
+  EXPECT_EQ(to_roman(3999), "MMMCMXCIX");
+}
+
+TEST(Roman, RejectsOutOfRange) {
+  EXPECT_THROW(to_roman(0), std::invalid_argument);
+  EXPECT_THROW(to_roman(-7), std::invalid_argument);
+  EXPECT_THROW(to_roman(4000), std::invalid_argument);
+}
+
+TEST(Roman, ParsesCanonicalForms) {
+  EXPECT_EQ(from_roman("I"), 1);
+  EXPECT_EQ(from_roman("XVI"), 16);
+  EXPECT_EQ(from_roman("XIV"), 14);
+  EXPECT_EQ(from_roman("MCMXCIV"), 1994);
+}
+
+TEST(Roman, RejectsMalformedInput) {
+  EXPECT_EQ(from_roman(""), std::nullopt);
+  EXPECT_EQ(from_roman("ABC"), std::nullopt);
+  EXPECT_EQ(from_roman("IIII"), std::nullopt);   // non-canonical 4
+  EXPECT_EQ(from_roman("VV"), std::nullopt);     // V not repeatable
+  EXPECT_EQ(from_roman("IVI"), std::nullopt);    // non-canonical 5
+  EXPECT_EQ(from_roman("XVIZ"), std::nullopt);   // trailing junk
+  EXPECT_EQ(from_roman("xvi"), std::nullopt);    // lowercase not accepted
+}
+
+/// Property: every value in range round-trips exactly.
+class RomanRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RomanRoundTrip, RoundTrips) {
+  const int value = GetParam();
+  EXPECT_EQ(from_roman(to_roman(value)), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(SubtypeValues, RomanRoundTrip,
+                         ::testing::Range(1, 17));
+INSTANTIATE_TEST_SUITE_P(WiderSweep, RomanRoundTrip,
+                         ::testing::Values(19, 38, 44, 99, 248, 500, 1000,
+                                           1987, 2012, 2499, 3888, 3999));
+
+}  // namespace
+}  // namespace mpct

@@ -1,0 +1,79 @@
+#include "arch/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/adl_parser.hpp"
+
+namespace mpct::arch {
+namespace {
+
+ArchitectureSpec morphosys_like() {
+  ArchitectureSpec spec;
+  spec.name = "MorphoSys";
+  spec.ips = Count::fixed(1);
+  spec.dps = Count::fixed(64);
+  spec.at(ConnectivityRole::IpDp) =
+      *ConnectivityExpr::parse("1-64");
+  spec.at(ConnectivityRole::IpIm) = *ConnectivityExpr::parse("1-1");
+  spec.at(ConnectivityRole::DpDm) = *ConnectivityExpr::parse("64-1");
+  spec.at(ConnectivityRole::DpDp) = *ConnectivityExpr::parse("64x64");
+  return spec;
+}
+
+TEST(Spec, MachineClassReduction) {
+  const MachineClass mc = morphosys_like().machine_class();
+  EXPECT_EQ(mc.ips, Multiplicity::One);
+  EXPECT_EQ(mc.dps, Multiplicity::Many);
+  EXPECT_EQ(mc.switch_at(ConnectivityRole::IpDp), SwitchKind::Direct);
+  EXPECT_EQ(mc.switch_at(ConnectivityRole::DpDm), SwitchKind::Direct);
+  EXPECT_EQ(mc.switch_at(ConnectivityRole::DpDp), SwitchKind::Crossbar);
+  EXPECT_EQ(mc.switch_at(ConnectivityRole::IpIp), SwitchKind::None);
+}
+
+TEST(Spec, ClassifiesToPaperName) {
+  const Classification result = morphosys_like().classify();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(to_string(*result.name), "IAP-II");
+}
+
+TEST(Spec, FlexibilityBreakdown) {
+  const FlexibilityBreakdown b = morphosys_like().flexibility();
+  EXPECT_EQ(b.many_ips, 0);
+  EXPECT_EQ(b.many_dps, 1);
+  EXPECT_EQ(b.crossbar_switches, 1);
+  EXPECT_EQ(b.total(), 2);
+}
+
+TEST(Spec, AdlSerialisationRoundTripsThroughParser) {
+  ArchitectureSpec spec = morphosys_like();
+  spec.citation = "[13]";
+  spec.year = 1999;
+  spec.category = "CGRA";
+  spec.description = "8x8 RC fabric under a TinyRISC host";
+  spec.paper_name = "IAP-II";
+  spec.paper_flexibility = 2;
+
+  const std::string adl = to_adl(spec);
+  const ParseResult parsed = parse_single_adl(adl);
+  ASSERT_TRUE(parsed.ok()) << adl;
+  ASSERT_EQ(parsed.specs.size(), 1u);
+  EXPECT_EQ(parsed.specs[0], spec);
+}
+
+TEST(Spec, AdlOfLutFabricKeepsGranularity) {
+  ArchitectureSpec spec;
+  spec.name = "FPGA";
+  spec.granularity = Granularity::Lut;
+  spec.ips = Count::variable();
+  spec.dps = Count::variable();
+  for (ConnectivityRole role : kAllConnectivityRoles) {
+    spec.at(role) = *ConnectivityExpr::parse("vxv");
+  }
+  const ParseResult parsed = parse_single_adl(to_adl(spec));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.specs[0].granularity, Granularity::Lut);
+  EXPECT_EQ(to_string(*parsed.specs[0].classify().name), "USP");
+}
+
+}  // namespace
+}  // namespace mpct::arch

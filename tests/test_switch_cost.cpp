@@ -1,0 +1,122 @@
+#include "cost/switch_cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpct::cost {
+namespace {
+
+TEST(CeilLog2, SmallValues) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(8), 3);
+  EXPECT_EQ(ceil_log2(9), 4);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(CeilLog2, RejectsNonPositive) {
+  EXPECT_THROW(ceil_log2(0), std::invalid_argument);
+  EXPECT_THROW(ceil_log2(-4), std::invalid_argument);
+}
+
+TEST(SwitchCost, NoneIsFree) {
+  const SwitchCost cost = switch_cost(SwitchKind::None, 64, 64, 32);
+  EXPECT_EQ(cost.area_kge, 0);
+  EXPECT_EQ(cost.config_bits, 0);
+}
+
+TEST(SwitchCost, ZeroPortsAreFree) {
+  EXPECT_EQ(switch_cost(SwitchKind::Crossbar, 0, 8, 32).area_kge, 0);
+  EXPECT_EQ(switch_cost(SwitchKind::Direct, 8, 0, 32).config_bits, 0);
+}
+
+TEST(SwitchCost, DirectHasNoConfiguration) {
+  // "An architecture in which the connectivity of the components cannot
+  // be changed" — direct wiring carries zero configuration state.
+  const SwitchCost cost = switch_cost(SwitchKind::Direct, 16, 16, 32);
+  EXPECT_EQ(cost.config_bits, 0);
+  EXPECT_GT(cost.area_kge, 0);
+}
+
+TEST(SwitchCost, CrossbarConfigBitsFormula) {
+  // outputs * ceil(log2(inputs + 1)).
+  EXPECT_EQ(switch_cost(SwitchKind::Crossbar, 4, 4, 32).config_bits,
+            4 * 3);  // log2(5) -> 3 bits
+  EXPECT_EQ(switch_cost(SwitchKind::Crossbar, 7, 4, 32).config_bits,
+            4 * 3);  // log2(8) -> 3 bits
+  EXPECT_EQ(switch_cost(SwitchKind::Crossbar, 8, 4, 32).config_bits,
+            4 * 4);  // log2(9) -> 4 bits
+  EXPECT_EQ(switch_cost(SwitchKind::Crossbar, 64, 64, 32).config_bits,
+            64 * 7);
+  // Asymmetric (Montium 5x10).
+  EXPECT_EQ(switch_cost(SwitchKind::Crossbar, 5, 10, 16).config_bits,
+            10 * 3);
+}
+
+TEST(SwitchCost, CrossbarAreaIsQuadraticInPorts) {
+  const double a8 = switch_cost(SwitchKind::Crossbar, 8, 8, 32).area_kge;
+  const double a16 = switch_cost(SwitchKind::Crossbar, 16, 16, 32).area_kge;
+  const double a32 = switch_cost(SwitchKind::Crossbar, 32, 32, 32).area_kge;
+  EXPECT_NEAR(a16 / a8, 4.0, 1e-9);
+  EXPECT_NEAR(a32 / a16, 4.0, 1e-9);
+}
+
+TEST(SwitchCost, DirectAreaIsLinearInPorts) {
+  const double a8 = switch_cost(SwitchKind::Direct, 8, 8, 32).area_kge;
+  const double a16 = switch_cost(SwitchKind::Direct, 16, 16, 32).area_kge;
+  EXPECT_NEAR(a16 / a8, 2.0, 1e-9);
+}
+
+TEST(SwitchCost, CrossbarCostsMoreThanDirect) {
+  // Section III-C: "the switch of type 'x' takes more area than a switch
+  // of type '-'" — holds at any size >= 1.
+  for (int ports : {1, 2, 4, 8, 64, 256}) {
+    const double x =
+        switch_cost(SwitchKind::Crossbar, ports, ports, 32).area_kge;
+    const double d =
+        switch_cost(SwitchKind::Direct, ports, ports, 32).area_kge;
+    EXPECT_GE(x, d) << ports;
+    if (ports > 1) {
+      EXPECT_GT(x, d) << ports;
+    }
+  }
+}
+
+TEST(SwitchCost, AreaScalesWithDataWidth) {
+  const double w16 = switch_cost(SwitchKind::Crossbar, 8, 8, 16).area_kge;
+  const double w32 = switch_cost(SwitchKind::Crossbar, 8, 8, 32).area_kge;
+  EXPECT_NEAR(w32 / w16, 2.0, 1e-9);
+  // Config bits do NOT scale with width: selects address ports, not bits.
+  EXPECT_EQ(switch_cost(SwitchKind::Crossbar, 8, 8, 16).config_bits,
+            switch_cost(SwitchKind::Crossbar, 8, 8, 32).config_bits);
+}
+
+TEST(SwitchCost, InvalidArgumentsThrow) {
+  EXPECT_THROW(switch_cost(SwitchKind::Crossbar, -1, 4, 32),
+               std::invalid_argument);
+  EXPECT_THROW(switch_cost(SwitchKind::Crossbar, 4, 4, 0),
+               std::invalid_argument);
+}
+
+/// Property sweep: config bits grow monotonically with input count.
+class CrossbarBitsMonotonic : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossbarBitsMonotonic, MonotoneInInputs) {
+  const int outputs = GetParam();
+  std::int64_t previous = -1;
+  for (int inputs = 1; inputs <= 512; inputs *= 2) {
+    const std::int64_t bits =
+        switch_cost(SwitchKind::Crossbar, inputs, outputs, 32).config_bits;
+    EXPECT_GE(bits, previous) << inputs << "x" << outputs;
+    previous = bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OutputSweep, CrossbarBitsMonotonic,
+                         ::testing::Values(1, 2, 5, 16, 64));
+
+}  // namespace
+}  // namespace mpct::cost

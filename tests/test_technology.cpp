@@ -1,0 +1,58 @@
+#include "cost/technology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpct::cost {
+namespace {
+
+TEST(Technology, AnchorNodeDensity) {
+  const TechnologyNode node = technology_node("90nm");
+  EXPECT_DOUBLE_EQ(node.feature_nm, 90);
+  EXPECT_DOUBLE_EQ(node.um2_per_ge, 2.5);
+}
+
+TEST(Technology, QuadraticScaling) {
+  const TechnologyNode n90 = technology_node("90nm");
+  const TechnologyNode n45 = technology_node("45nm");
+  // Halving the feature size quarters the gate area.
+  EXPECT_NEAR(n45.um2_per_ge, n90.um2_per_ge / 4.0, 1e-12);
+  const TechnologyNode n180 = technology_node("180nm");
+  EXPECT_NEAR(n180.um2_per_ge, n90.um2_per_ge * 4.0, 1e-12);
+}
+
+TEST(Technology, KgeToMm2) {
+  const TechnologyNode node = technology_node("90nm");
+  // 1 kGE = 1000 gates * 2.5 um^2 = 2500 um^2 = 0.0025 mm^2.
+  EXPECT_NEAR(node.kge_to_mm2(1.0), 0.0025, 1e-9);
+  EXPECT_NEAR(node.kge_to_mm2(400.0), 1.0, 1e-9);
+}
+
+TEST(Technology, AllStandardNodesExist) {
+  for (const char* name :
+       {"180nm", "130nm", "90nm", "65nm", "45nm", "32nm", "22nm"}) {
+    EXPECT_NO_THROW(technology_node(name)) << name;
+  }
+}
+
+TEST(Technology, UnknownNodeThrows) {
+  EXPECT_THROW(technology_node("7nm"), std::invalid_argument);
+  EXPECT_THROW(technology_node(""), std::invalid_argument);
+}
+
+TEST(Technology, DensityMonotoneInFeatureSize) {
+  const char* names[] = {"22nm", "32nm", "45nm", "65nm", "90nm", "130nm",
+                         "180nm"};
+  double previous = 0;
+  for (const char* name : names) {
+    const TechnologyNode node = technology_node(name);
+    EXPECT_GT(node.um2_per_ge, previous) << name;
+    previous = node.um2_per_ge;
+  }
+}
+
+TEST(Technology, DefaultIs90nm) {
+  EXPECT_EQ(default_node().name, "90nm");
+}
+
+}  // namespace
+}  // namespace mpct::cost

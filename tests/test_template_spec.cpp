@@ -1,0 +1,67 @@
+#include "arch/template_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/adl_parser.hpp"
+#include "arch/validate.hpp"
+#include "core/flexibility.hpp"
+#include "core/taxonomy_table.hpp"
+
+namespace mpct::arch {
+namespace {
+
+TaxonomicName name_of(const char* text) {
+  return *parse_taxonomic_name(text);
+}
+
+TEST(TemplateSpec, MaterialisesIapIV) {
+  const auto spec = spec_from_class(name_of("IAP-IV"), 8);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->name, "IAP-IV-template");
+  EXPECT_EQ(spec->ips, Count::fixed(1));
+  EXPECT_EQ(spec->dps, Count::fixed(8));
+  EXPECT_EQ(spec->at(ConnectivityRole::DpDm).to_string(), "8x8");
+  EXPECT_EQ(spec->at(ConnectivityRole::DpDp).to_string(), "8x8");
+  EXPECT_EQ(spec->at(ConnectivityRole::IpDp).to_string(), "1-8");
+  EXPECT_EQ(spec->at(ConnectivityRole::IpIp).to_string(), "none");
+}
+
+TEST(TemplateSpec, UniversalClassUsesVariableCounts) {
+  const auto spec = spec_from_class(name_of("USP"), 8);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->granularity, Granularity::Lut);
+  EXPECT_EQ(spec->ips, Count::variable());
+  EXPECT_EQ(spec->at(ConnectivityRole::DpDp).to_string(), "vxv");
+}
+
+TEST(TemplateSpec, RejectsBadInputs) {
+  EXPECT_EQ(spec_from_class(TaxonomicName{MachineType::DataFlow,
+                                          ProcessingType::ArrayProcessor,
+                                          1}),
+            std::nullopt);
+  EXPECT_EQ(spec_from_class(name_of("IAP-IV"), 1), std::nullopt);
+}
+
+/// Property over all 43 canonical classes: the materialised template is
+/// structurally valid, classifies back to its own class, keeps the
+/// class's flexibility, and round-trips through the ADL.
+TEST(TemplateSpec, EveryClassRoundTrips) {
+  for (const TaxonomyEntry& row : extended_taxonomy()) {
+    if (!row.name) continue;
+    const auto spec = spec_from_class(*row.name, 16);
+    ASSERT_TRUE(spec.has_value()) << to_string(*row.name);
+    EXPECT_TRUE(is_valid(*spec)) << to_string(*row.name);
+    const Classification result = spec->classify();
+    ASSERT_TRUE(result.ok()) << to_string(*row.name);
+    EXPECT_EQ(*result.name, *row.name);
+    EXPECT_EQ(spec->flexibility().total(),
+              flexibility_score(row.machine))
+        << to_string(*row.name);
+    const ParseResult parsed = parse_single_adl(to_adl(*spec));
+    ASSERT_TRUE(parsed.ok()) << to_string(*row.name);
+    EXPECT_EQ(parsed.specs[0], *spec) << to_string(*row.name);
+  }
+}
+
+}  // namespace
+}  // namespace mpct::arch

@@ -1,0 +1,23 @@
+/// Compilation test for the umbrella header plus a tiny smoke tour of
+/// one symbol per subsystem, guarding against future include breakage.
+#include "mpct.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EverySubsystemReachable) {
+  using namespace mpct;
+  EXPECT_EQ(extended_taxonomy().size(), 47u);                     // core
+  EXPECT_EQ(arch::surveyed_count(), 25);                          // arch
+  EXPECT_GT(cost::ComponentLibrary::default_library().ip.area_kge,
+            0.0);                                                 // cost
+  EXPECT_FALSE(explore::recommend({}).empty());                   // explore
+  EXPECT_EQ(interconnect::Crossbar(4, 4).config_bits(), 4 * 3);   // icn
+  EXPECT_EQ(sim::assemble_or_throw("halt\n").size(), 1u);         // sim
+  EXPECT_GT(biblio::Corpus::standard().size(), 0u);               // biblio
+  EXPECT_NE(report::render_bar_chart({{"x", 1.0}}).find('#'),
+            std::string::npos);                                   // report
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+#include "sim/isa/uniprocessor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/isa/assembler.hpp"
+
+namespace mpct::sim {
+namespace {
+
+TEST(Uniprocessor, ArithmeticAndHalt) {
+  Uniprocessor cpu(assemble_or_throw(R"(
+    ldi r1, 6
+    ldi r2, 7
+    mul r3, r1, r2
+    out r3
+    halt
+  )"),
+                   16);
+  const RunStats stats = cpu.run();
+  EXPECT_TRUE(stats.halted);
+  EXPECT_EQ(stats.output, (std::vector<Word>{42}));
+  EXPECT_EQ(stats.instructions, 5);
+  EXPECT_EQ(stats.cycles, 5);
+}
+
+TEST(Uniprocessor, LoadStoreRoundTrip) {
+  Uniprocessor cpu(assemble_or_throw(R"(
+    ldi r1, 3      ; address
+    ldi r2, 99
+    st r1, r2, 1   ; DM[4] = 99
+    ld r3, r1, 1   ; r3 = DM[4]
+    out r3
+    halt
+  )"),
+                   16);
+  const RunStats stats = cpu.run();
+  EXPECT_EQ(stats.output, (std::vector<Word>{99}));
+  EXPECT_EQ(cpu.dm().load(4), 99);
+}
+
+TEST(Uniprocessor, LoopComputesSum) {
+  // Sum 1..10 = 55.
+  Uniprocessor cpu(assemble_or_throw(R"(
+    ldi r1, 0     ; acc
+    ldi r2, 10    ; i
+    ldi r3, 0
+loop:
+    beq r2, r3, done
+    add r1, r1, r2
+    addi r2, r2, -1
+    jmp loop
+done:
+    out r1
+    halt
+  )"),
+                   16);
+  const RunStats stats = cpu.run();
+  EXPECT_EQ(stats.output, (std::vector<Word>{55}));
+  EXPECT_TRUE(stats.halted);
+}
+
+TEST(Uniprocessor, LaneIsZero) {
+  Uniprocessor cpu(assemble_or_throw("lane r1\nout r1\nhalt\n"), 8);
+  EXPECT_EQ(cpu.run().output, (std::vector<Word>{0}));
+}
+
+TEST(Uniprocessor, MaxCyclesStopsInfiniteLoop) {
+  Uniprocessor cpu(assemble_or_throw("loop: jmp loop\n"), 8);
+  const RunStats stats = cpu.run(1000);
+  EXPECT_FALSE(stats.halted);
+  EXPECT_EQ(stats.cycles, 1000);
+}
+
+TEST(Uniprocessor, RunContinuesAndResetRestarts) {
+  Uniprocessor cpu(assemble_or_throw(R"(
+    ldi r1, 1
+    ldi r1, 2
+    halt
+  )"),
+                   8);
+  RunStats stats = cpu.run(1);  // only the first ldi
+  EXPECT_FALSE(stats.halted);
+  EXPECT_EQ(cpu.core().reg(1), 1);
+  stats = cpu.run();  // continues
+  EXPECT_TRUE(stats.halted);
+  EXPECT_EQ(cpu.core().reg(1), 2);
+  cpu.reset();
+  EXPECT_EQ(cpu.core().pc, 0);
+  EXPECT_EQ(cpu.core().reg(1), 0);
+}
+
+TEST(Uniprocessor, MemoryOutOfRangeTraps) {
+  Uniprocessor cpu(assemble_or_throw("ldi r1, 100\nld r2, r1, 0\nhalt\n"),
+                   16);
+  EXPECT_THROW(cpu.run(), SimError);
+}
+
+TEST(Uniprocessor, PcFallOffTraps) {
+  Uniprocessor cpu(assemble_or_throw("nop\n"), 8);  // no halt
+  EXPECT_THROW(cpu.run(), SimError);
+}
+
+TEST(Uniprocessor, CommunicationOpsTrapOnIup) {
+  // The flexibility-0 class has no DP-DP switch: SHUF/SEND/RECV cannot
+  // execute (the taxonomy boundary, enforced).
+  for (const char* source :
+       {"shuf r1, r2, r3\nhalt\n", "send r1, r2\nhalt\n",
+        "recv r1\nhalt\n"}) {
+    Uniprocessor cpu(assemble_or_throw(source), 8);
+    EXPECT_THROW(cpu.run(), SimError) << source;
+  }
+}
+
+TEST(Uniprocessor, DivByZeroTraps) {
+  Uniprocessor cpu(
+      assemble_or_throw("ldi r1, 5\nldi r2, 0\ndivs r3, r1, r2\nhalt\n"),
+      8);
+  EXPECT_THROW(cpu.run(), SimError);
+}
+
+TEST(Uniprocessor, BranchOutOfRangeTraps) {
+  Uniprocessor cpu(assemble_or_throw("jmp 99\n"), 8);
+  EXPECT_THROW(cpu.run(), SimError);
+}
+
+}  // namespace
+}  // namespace mpct::sim

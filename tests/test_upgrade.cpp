@@ -1,0 +1,105 @@
+#include "explore/upgrade.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "core/flexibility.hpp"
+#include "core/taxonomy_table.hpp"
+
+namespace mpct::explore {
+namespace {
+
+MachineClass named(const char* text) {
+  return *canonical_class(*parse_taxonomic_name(text));
+}
+
+TaxonomicName name_of(const char* text) {
+  return *parse_taxonomic_name(text);
+}
+
+TEST(Upgrade, AlreadyThereIsEmptyPlan) {
+  const auto plan = upgrade_path(named("IAP-II"), name_of("IAP-II"));
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->steps.empty());
+}
+
+TEST(Upgrade, SingleSwitchUpgrade) {
+  const auto plan = upgrade_path(named("IMP-I"), name_of("IMP-II"));
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->steps.size(), 1u);
+  EXPECT_EQ(plan->steps[0].kind, UpgradeStep::Kind::UpgradeSwitch);
+  EXPECT_NE(plan->steps[0].description.find("DP-DP"), std::string::npos);
+  EXPECT_NE(plan->steps[0].description.find("crossbar"),
+            std::string::npos);
+}
+
+TEST(Upgrade, FamilyJumpNeedsProcessorsAndSwitch) {
+  // IAP-II -> IMP-II: grow IPs from 1 to n; the DP-side switches match.
+  const auto plan = upgrade_path(named("IAP-II"), name_of("IMP-II"));
+  ASSERT_TRUE(plan.has_value());
+  bool grew_ips = false;
+  for (const UpgradeStep& step : plan->steps) {
+    if (step.kind == UpgradeStep::Kind::AddProcessors &&
+        step.description.find("IPs") != std::string::npos) {
+      grew_ips = true;
+    }
+  }
+  EXPECT_TRUE(grew_ips);
+}
+
+TEST(Upgrade, SpatialNeedsIpIpSwitch) {
+  const auto plan = upgrade_path(named("IMP-IV"), name_of("ISP-IV"));
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->steps.size(), 1u);
+  EXPECT_NE(plan->steps[0].description.find("IP-IP"), std::string::npos);
+}
+
+TEST(Upgrade, DowngradesAreRejected) {
+  EXPECT_EQ(upgrade_path(named("IMP-II"), name_of("IMP-I")), std::nullopt);
+  EXPECT_EQ(upgrade_path(named("IMP-I"), name_of("IAP-I")), std::nullopt);
+  EXPECT_EQ(upgrade_path(named("ISP-XVI"), name_of("IMP-XVI")),
+            std::nullopt);
+}
+
+TEST(Upgrade, ParadigmDivideIsUncrossable) {
+  EXPECT_EQ(upgrade_path(named("DMP-IV"), name_of("IMP-IV")), std::nullopt);
+  EXPECT_EQ(upgrade_path(named("IUP"), name_of("DUP")), std::nullopt);
+  EXPECT_EQ(upgrade_path(named("IMP-XVI"), name_of("USP")), std::nullopt);
+  EXPECT_EQ(upgrade_path(named("USP"), name_of("IMP-I")), std::nullopt);
+}
+
+TEST(Upgrade, SurveyedArchitectureToNextTier) {
+  // The designer question on a real row: what does MorphoSys (IAP-II)
+  // need to become an IAP-IV?  One switch: DP-DM direct -> crossbar.
+  const arch::ArchitectureSpec* morphosys =
+      arch::find_architecture("MorphoSys");
+  ASSERT_NE(morphosys, nullptr);
+  const auto plan =
+      upgrade_path(morphosys->machine_class(), name_of("IAP-IV"));
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->steps.size(), 1u);
+  EXPECT_NE(plan->steps[0].description.find("DP-DM"), std::string::npos);
+}
+
+/// Property: every successful plan's upgraded machine classifies to the
+/// target and never loses flexibility; plans within a family have
+/// exactly (flex(target) - flex(from)) switch steps.
+TEST(Upgrade, PlansAreConsistentAcrossAllPairs) {
+  for (const TaxonomyEntry& a : extended_taxonomy()) {
+    if (!a.name) continue;
+    for (const TaxonomyEntry& b : extended_taxonomy()) {
+      if (!b.name) continue;
+      const auto plan = upgrade_path(a.machine, *b.name);
+      if (!plan) continue;
+      const Classification result = classify(plan->upgraded);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(*result.name, *b.name);
+      EXPECT_GE(flexibility_score(plan->upgraded),
+                flexibility_score(a.machine));
+      EXPECT_EQ(plan->steps.empty(), *a.name == *b.name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpct::explore

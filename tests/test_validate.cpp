@@ -1,0 +1,133 @@
+#include "arch/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+
+namespace mpct::arch {
+namespace {
+
+bool has_code(const std::vector<Issue>& issues, std::string_view code) {
+  for (const Issue& issue : issues) {
+    if (issue.code == code) return true;
+  }
+  return false;
+}
+
+ArchitectureSpec base_iup() {
+  ArchitectureSpec spec;
+  spec.name = "test";
+  spec.ips = Count::fixed(1);
+  spec.dps = Count::fixed(1);
+  spec.at(ConnectivityRole::IpDp) = *ConnectivityExpr::parse("1-1");
+  spec.at(ConnectivityRole::IpIm) = *ConnectivityExpr::parse("1-1");
+  spec.at(ConnectivityRole::DpDm) = *ConnectivityExpr::parse("1-1");
+  return spec;
+}
+
+TEST(Validate, CleanIupHasNoIssues) {
+  EXPECT_TRUE(validate(base_iup()).empty());
+  EXPECT_TRUE(is_valid(base_iup()));
+}
+
+TEST(Validate, NoDataProcessors) {
+  ArchitectureSpec spec = base_iup();
+  spec.dps = Count::fixed(0);
+  spec.at(ConnectivityRole::DpDm) = ConnectivityExpr::none();
+  const auto issues = validate(spec);
+  EXPECT_TRUE(has_code(issues, "E_NO_PROCESSORS"));
+  EXPECT_FALSE(is_valid(spec));
+}
+
+TEST(Validate, IpConnectivityWithoutIp) {
+  ArchitectureSpec spec;
+  spec.dps = Count::fixed(4);
+  spec.ips = Count::fixed(0);
+  spec.at(ConnectivityRole::IpDp) = *ConnectivityExpr::parse("1-4");
+  spec.at(ConnectivityRole::DpDm) = *ConnectivityExpr::parse("4-4");
+  EXPECT_TRUE(has_code(validate(spec), "E_IP_CONN_WITHOUT_IP"));
+}
+
+TEST(Validate, VariableNeedsLut) {
+  ArchitectureSpec spec = base_iup();
+  spec.ips = Count::variable();
+  spec.dps = Count::variable();
+  EXPECT_TRUE(has_code(validate(spec), "E_VARIABLE_NEEDS_LUT"));
+  spec.granularity = Granularity::Lut;
+  EXPECT_FALSE(has_code(validate(spec), "E_VARIABLE_NEEDS_LUT"));
+}
+
+TEST(Validate, NiShape) {
+  ArchitectureSpec spec = base_iup();
+  spec.ips = Count::fixed(4);
+  spec.dps = Count::fixed(1);
+  EXPECT_TRUE(has_code(validate(spec), "E_NI_SHAPE"));
+}
+
+TEST(Validate, SelfConnectivityNeedsTwo) {
+  ArchitectureSpec spec = base_iup();
+  spec.at(ConnectivityRole::DpDp) = *ConnectivityExpr::parse("1x1");
+  EXPECT_TRUE(has_code(validate(spec), "E_SELF_CONN_SINGLE"));
+
+  ArchitectureSpec spec2 = base_iup();
+  spec2.at(ConnectivityRole::IpIp) = *ConnectivityExpr::parse("1x1");
+  EXPECT_TRUE(has_code(validate(spec2), "E_SELF_CONN_SINGLE"));
+}
+
+TEST(Validate, LutWithFixedCountsWarns) {
+  ArchitectureSpec spec = base_iup();
+  spec.granularity = Granularity::Lut;
+  const auto issues = validate(spec);
+  EXPECT_TRUE(has_code(issues, "W_LUT_FIXED_COUNTS"));
+  EXPECT_TRUE(is_valid(spec));  // warning, not error
+}
+
+TEST(Validate, MissingMemoryPathWarns) {
+  ArchitectureSpec spec = base_iup();
+  spec.at(ConnectivityRole::DpDm) = ConnectivityExpr::none();
+  EXPECT_TRUE(has_code(validate(spec), "W_NO_MEMORY_PATH"));
+}
+
+TEST(Validate, IpWithoutIpDpWarns) {
+  ArchitectureSpec spec = base_iup();
+  spec.at(ConnectivityRole::IpDp) = ConnectivityExpr::none();
+  EXPECT_TRUE(has_code(validate(spec), "W_IP_WITHOUT_IPDP"));
+}
+
+TEST(Validate, IpWithoutImWarns) {
+  ArchitectureSpec spec = base_iup();
+  spec.at(ConnectivityRole::IpIm) = ConnectivityExpr::none();
+  EXPECT_TRUE(has_code(validate(spec), "W_IP_WITHOUT_IM"));
+}
+
+TEST(Validate, EndpointMismatchIsInfo) {
+  // ADRES connects only the first RC row to the register file: DP-DM
+  // left endpoint 8 on a 64-DP fabric — legitimate, reported as info.
+  const ArchitectureSpec* adres = find_architecture("ADRES");
+  ASSERT_NE(adres, nullptr);
+  const auto issues = validate(*adres);
+  EXPECT_TRUE(has_code(issues, "I_ENDPOINT_MISMATCH"));
+  for (const Issue& issue : issues) {
+    EXPECT_NE(issue.severity, Severity::Error) << issue.to_string();
+  }
+}
+
+TEST(Validate, IssueToStringIsReadable) {
+  ArchitectureSpec spec = base_iup();
+  spec.ips = Count::fixed(4);
+  spec.dps = Count::fixed(1);
+  const auto issues = validate(spec);
+  ASSERT_FALSE(issues.empty());
+  const std::string text = issues.front().to_string();
+  EXPECT_NE(text.find("error"), std::string::npos);
+  EXPECT_NE(text.find("E_NI_SHAPE"), std::string::npos);
+}
+
+TEST(Validate, SeverityNames) {
+  EXPECT_EQ(to_string(Severity::Error), "error");
+  EXPECT_EQ(to_string(Severity::Warning), "warning");
+  EXPECT_EQ(to_string(Severity::Info), "info");
+}
+
+}  // namespace
+}  // namespace mpct::arch

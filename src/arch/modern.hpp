@@ -18,6 +18,9 @@ namespace mpct::arch {
 ///  * a mesh manycore is an IMP-IV; a spatial dataflow accelerator is
 ///    an ISP-class machine, validating the paper's prediction that the
 ///    IP-IP extension would be needed for future architectures.
+///
+/// Thread safety: backed by a function-local static built once (Meyers
+/// singleton) and read-only afterwards; safe for concurrent readers.
 std::span<const ArchitectureSpec> modern_examples();
 
 /// Find a modern example by (case-insensitive) name; nullptr if absent.

@@ -18,6 +18,12 @@ namespace mpct::arch {
 /// Each entry carries the exact counts/connectivity cells of the table,
 /// the name and flexibility value the paper printed (for
 /// paper-vs-computed reporting), and a prose description from Section IV.
+///
+/// Thread safety: the registry is a function-local static built on first
+/// call (Meyers singleton — initialisation is race-free per [stmt.dcl]/4
+/// since C++11) and never mutated afterwards.  Concurrent readers,
+/// including service::QueryEngine workers, may call this and the lookup
+/// functions below freely without synchronisation.
 std::span<const ArchitectureSpec> surveyed_architectures();
 
 /// Find a surveyed architecture by (case-insensitive) name; nullptr if

@@ -34,6 +34,11 @@ struct Classification {
 ///    columns are crossbars: for DMP/IAP, bits (DP-DM, DP-DP); for
 ///    IMP/ISP, bits (IP-DP, IP-IM, DP-DM, DP-DP), most significant first,
 ///    numbered from I.
+///
+/// Thread safety: classify keeps no mutable state of its own; the only
+/// shared data it (and canonical_class below) reaches is the taxonomy
+/// table singleton, whose initialise-once/read-only guarantee is
+/// documented in core/taxonomy_table.hpp.  Safe for concurrent callers.
 Classification classify(const MachineClass& mc);
 
 /// Sub-type numeral (1-based) from the crossbar pattern of an array or

@@ -32,6 +32,12 @@ struct TaxonomyEntry {
 /// the generator enumerates the multiplicity/connectivity space under the
 /// structural rules of Section II and orders rows exactly as Table I.
 /// The result is cached after the first call.
+///
+/// Thread safety: the cache is a function-local static (Meyers singleton;
+/// C++11 guarantees exactly-once, race-free initialisation) and is
+/// read-only afterwards.  All lookups below are const reads over it and
+/// are safe to call from any number of threads concurrently — this is
+/// the guarantee service::QueryEngine workers rely on.
 std::span<const TaxonomyEntry> extended_taxonomy();
 
 /// Look up the canonical row for a class name (nullptr if the name is not

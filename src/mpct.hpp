@@ -84,3 +84,6 @@
 #include "report/dot.hpp"
 #include "report/svg.hpp"
 #include "report/table.hpp"
+
+// Concurrent query serving (batching, caching, metrics).
+#include "service/service.hpp"

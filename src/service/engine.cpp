@@ -1,0 +1,307 @@
+#include "service/engine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "arch/adl_parser.hpp"
+#include "cost/area_model.hpp"
+#include "cost/config_bits.hpp"
+#include "explore/recommend.hpp"
+#include "service/fingerprint.hpp"
+
+namespace mpct::service {
+
+namespace {
+
+QueryResponse rejected(Status status) {
+  QueryResponse response;
+  response.status = std::move(status);
+  return response;
+}
+
+std::future<QueryResponse> ready_future(QueryResponse response) {
+  std::promise<QueryResponse> promise;
+  std::future<QueryResponse> future = promise.get_future();
+  promise.set_value(std::move(response));
+  return future;
+}
+
+QueryResponse execute_classify(const ClassifyRequest& request) {
+  QueryResponse response;
+  ClassifyResponse payload;
+  if (const auto* spec = std::get_if<arch::ArchitectureSpec>(&request.input)) {
+    payload.spec = *spec;
+  } else {
+    const arch::ParseResult parsed =
+        arch::parse_single_adl(std::get<std::string>(request.input));
+    if (!parsed.ok()) {
+      std::string message;
+      for (const arch::ParseError& error : parsed.errors) {
+        if (!message.empty()) message += "; ";
+        message += error.to_string();
+      }
+      response.status = Status::parse_error(std::move(message));
+      return response;
+    }
+    payload.spec = parsed.specs.front();
+  }
+  payload.classification = payload.spec.classify();
+  payload.flexibility = payload.spec.flexibility();
+  response.payload =
+      std::make_shared<const ResponsePayload>(std::move(payload));
+  return response;
+}
+
+QueryResponse execute_recommend(const RecommendRequest& request,
+                                const cost::ComponentLibrary& library) {
+  QueryResponse response;
+  if (request.requirements.n <= 0) {
+    response.status = Status::invalid_request(
+        "recommend: design-point n must be positive, got " +
+        std::to_string(request.requirements.n));
+    return response;
+  }
+  RecommendResponse payload;
+  payload.recommendations =
+      explore::recommend(request.requirements, library);
+  if (request.top_k != 0 &&
+      payload.recommendations.size() > request.top_k) {
+    payload.recommendations.resize(request.top_k);
+  }
+  response.payload =
+      std::make_shared<const ResponsePayload>(std::move(payload));
+  return response;
+}
+
+QueryResponse execute_cost(const CostRequest& request,
+                           const cost::ComponentLibrary& library) {
+  QueryResponse response;
+  std::vector<std::int64_t> sweep = request.n_sweep;
+  if (sweep.empty()) sweep.push_back(request.options.n);
+  for (std::int64_t n : sweep) {
+    if (n <= 0) {
+      response.status = Status::invalid_request(
+          "cost: sweep value n must be positive, got " + std::to_string(n));
+      return response;
+    }
+  }
+  CostResponse payload;
+  payload.points.reserve(sweep.size());
+  for (std::int64_t n : sweep) {
+    cost::EstimateOptions options = request.options;
+    options.n = n;
+    CostResponse::Point point;
+    point.n = n;
+    if (const auto* mc = std::get_if<MachineClass>(&request.target)) {
+      point.area = cost::estimate_area(*mc, library, options);
+      point.config_bits = cost::estimate_config_bits(*mc, library, options);
+    } else {
+      const auto& spec = std::get<arch::ArchitectureSpec>(request.target);
+      point.area = cost::estimate_area(spec, library, options);
+      point.config_bits = cost::estimate_config_bits(spec, library, options);
+    }
+    payload.points.push_back(std::move(point));
+  }
+  response.payload =
+      std::make_shared<const ResponsePayload>(std::move(payload));
+  return response;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(EngineOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_shards, options_.cache_capacity_per_shard),
+      queue_(std::make_unique<BoundedQueue<Task>>(
+          options_.queue_capacity == 0 ? 1 : options_.queue_capacity)) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.start_workers) start();
+}
+
+QueryEngine::~QueryEngine() { shutdown(); }
+
+void QueryEngine::start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (started_ || shutdown_ || options_.worker_threads == 0) return;
+  started_ = true;
+  workers_.reserve(options_.worker_threads);
+  for (unsigned i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+std::future<QueryResponse> QueryEngine::submit(Request request,
+                                               Deadline deadline) {
+  metrics_.submitted.add();
+
+  if (deadline.expired()) {
+    metrics_.rejected_deadline.add();
+    return ready_future(rejected(Status::deadline_exceeded()));
+  }
+
+  if (options_.worker_threads == 0) {
+    // Single-threaded fallback: execute inline, deterministically.
+    metrics_.batch_sizes.record(1);
+    return ready_future(run_request(request, deadline, Clock::now()));
+  }
+
+  Task task;
+  task.request = std::move(request);
+  task.deadline = deadline;
+  task.enqueued = Clock::now();
+  std::future<QueryResponse> future = task.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (shutdown_) {
+      metrics_.rejected_shutdown.add();
+      return ready_future(rejected(Status::shutting_down()));
+    }
+    if (!queue_->try_push(task)) {
+      metrics_.rejected_queue_full.add();
+      return ready_future(rejected(Status::queue_full()));
+    }
+    ++pending_;
+  }
+  metrics_.queue_depth.increment();
+  return future;
+}
+
+std::vector<std::future<QueryResponse>> QueryEngine::submit_batch(
+    std::vector<Request> requests, Deadline deadline) {
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(requests.size());
+  for (Request& request : requests) {
+    futures.push_back(submit(std::move(request), deadline));
+  }
+  return futures;
+}
+
+QueryResponse QueryEngine::execute(const Request& request, Deadline deadline) {
+  metrics_.submitted.add();
+  if (deadline.expired()) {
+    metrics_.rejected_deadline.add();
+    return rejected(Status::deadline_exceeded());
+  }
+  return run_request(request, deadline, Clock::now());
+}
+
+void QueryEngine::worker_loop() {
+  std::vector<Task> batch;
+  for (;;) {
+    batch.clear();
+    Task first;
+    if (!queue_->pop(first)) return;  // closed and drained
+    batch.push_back(std::move(first));
+    while (batch.size() < options_.max_batch) {
+      std::optional<Task> next = queue_->try_pop();
+      if (!next) break;
+      batch.push_back(std::move(*next));
+    }
+    metrics_.batch_sizes.record(batch.size());
+    for (Task& task : batch) {
+      metrics_.queue_depth.decrement();
+      metrics_.in_flight.increment();
+      QueryResponse response =
+          run_request(task.request, task.deadline, task.enqueued);
+      metrics_.in_flight.decrement();
+      finish_task(task, std::move(response));
+    }
+  }
+}
+
+void QueryEngine::finish_task(Task& task, QueryResponse response) {
+  task.promise.set_value(std::move(response));
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    --pending_;
+  }
+  drained_.notify_all();
+}
+
+QueryResponse QueryEngine::run_request(const Request& request,
+                                       Deadline deadline,
+                                       Clock::time_point start) {
+  QueryResponse response;
+  if (deadline.expired()) {
+    metrics_.rejected_deadline.add();
+    response = rejected(Status::deadline_exceeded());
+  } else {
+    response = execute_cached(request);
+  }
+  response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      Clock::now() - start);
+  metrics_.latency(request_type(request)).record(response.latency);
+  if (response.ok()) {
+    metrics_.completed.add();
+  } else if (response.status.code != StatusCode::DeadlineExceeded) {
+    metrics_.failed.add();
+  }
+  return response;
+}
+
+QueryResponse QueryEngine::execute_cached(const Request& request) {
+  if (!options_.enable_cache) return execute_uncached(request);
+
+  const Fingerprint key = fingerprint(request);
+  if (std::shared_ptr<const ResponsePayload> hit = cache_.get(key)) {
+    metrics_.cache_hits.add();
+    QueryResponse response;
+    response.payload = std::move(hit);
+    response.cache_hit = true;
+    return response;
+  }
+  metrics_.cache_misses.add();
+  QueryResponse response = execute_uncached(request);
+  if (response.ok()) cache_.put(key, response.payload);
+  return response;
+}
+
+QueryResponse QueryEngine::execute_uncached(const Request& request) const {
+  try {
+    return std::visit(
+        [this](const auto& req) -> QueryResponse {
+          using T = std::decay_t<decltype(req)>;
+          if constexpr (std::is_same_v<T, ClassifyRequest>) {
+            return execute_classify(req);
+          } else if constexpr (std::is_same_v<T, RecommendRequest>) {
+            return execute_recommend(req, options_.library);
+          } else {
+            return execute_cost(req, options_.library);
+          }
+        },
+        request);
+  } catch (const std::exception& e) {
+    return rejected(Status::internal_error(e.what()));
+  } catch (...) {
+    return rejected(Status::internal_error("unknown exception"));
+  }
+}
+
+void QueryEngine::drain() {
+  std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+  drained_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void QueryEngine::shutdown() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    shutdown_ = true;
+    workers.swap(workers_);
+  }
+  queue_->close();
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+  // An engine that was never start()ed can still hold enqueued tasks;
+  // every accepted future must become ready, so reject them here.
+  while (std::optional<Task> leftover = queue_->try_pop()) {
+    metrics_.queue_depth.decrement();
+    metrics_.rejected_shutdown.add();
+    finish_task(*leftover, rejected(Status::shutting_down()));
+  }
+}
+
+}  // namespace mpct::service

@@ -1,0 +1,154 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cost/component_library.hpp"
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+#include "service/queue.hpp"
+#include "service/request.hpp"
+
+namespace mpct::service {
+
+/// Tuning knobs of a QueryEngine.
+struct EngineOptions {
+  /// Worker threads executing queued requests.  0 selects the
+  /// single-threaded fallback mode: submit() executes the request inline
+  /// on the calling thread (still cached, still metered) so results and
+  /// metric counts are fully deterministic — the mode ctest runs in.
+  unsigned worker_threads = 4;
+
+  /// Bounded request-queue capacity (requests, not batches).  When full,
+  /// submit() rejects with StatusCode::QueueFull instead of blocking.
+  std::size_t queue_capacity = 1024;
+
+  /// Result cache geometry; shards are rounded up to a power of two.
+  /// Total capacity = cache_shards * cache_capacity_per_shard.
+  std::size_t cache_shards = 8;
+  std::size_t cache_capacity_per_shard = 128;
+  bool enable_cache = true;
+
+  /// Upper bound on the number of requests a worker drains from the
+  /// queue per wake-up (amortises queue synchronisation; recorded in the
+  /// batch-size histogram).
+  std::size_t max_batch = 16;
+
+  /// When false, worker threads are created by start() instead of the
+  /// constructor.  Lets tests fill the bounded queue deterministically
+  /// before anything drains it.
+  bool start_workers = true;
+
+  /// Cost/recommend queries price against this library.  It is part of
+  /// the engine, not the request, so cached responses can never mix
+  /// libraries.
+  cost::ComponentLibrary library = cost::ComponentLibrary::default_library();
+};
+
+/// Concurrent front door to the taxonomy library.
+///
+/// Turns the synchronous single-caller API (`ArchitectureSpec::classify`,
+/// `explore::recommend`, `cost::estimate_area` / `estimate_config_bits`)
+/// into a query service: requests are submitted (individually or as a
+/// batch), flow through a bounded MPMC queue into a fixed worker pool,
+/// hit a sharded LRU result cache keyed by canonical request fingerprint,
+/// and resolve to std::future<QueryResponse> with structured Status codes
+/// instead of exceptions.
+///
+/// Guarantees:
+///  * submit() never blocks on a full queue — it returns a ready future
+///    carrying StatusCode::QueueFull (explicit backpressure).
+///  * Responses are bit-identical to the sequential API: workers call
+///    exactly the same functions, and the taxonomy/registry singletons
+///    they share are initialise-once, read-only (see the const-read notes
+///    in arch/registry.hpp and core/taxonomy_table.hpp).
+///  * A request whose deadline has passed is answered DeadlineExceeded,
+///    never silently dropped: every accepted future becomes ready.
+///  * Destruction drains the queue (pending requests complete) and joins
+///    all workers.
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineOptions options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Submit one request.  The future is always eventually satisfied; a
+  /// queue-full / shutdown / expired-deadline rejection satisfies it
+  /// immediately.  In single-threaded mode (worker_threads == 0) the
+  /// request executes inline and the returned future is already ready.
+  std::future<QueryResponse> submit(Request request,
+                                    Deadline deadline = Deadline::never());
+
+  /// Submit a batch; element i of the result corresponds to request i.
+  /// Requests that no longer fit in the queue are rejected individually
+  /// (QueueFull) — the ones that fit still execute.
+  std::vector<std::future<QueryResponse>> submit_batch(
+      std::vector<Request> requests, Deadline deadline = Deadline::never());
+
+  /// Execute a request synchronously on the calling thread, through the
+  /// cache and metrics like any queued request.  This is the sequential
+  /// reference path the tests compare the concurrent path against.
+  QueryResponse execute(const Request& request,
+                        Deadline deadline = Deadline::never());
+
+  /// Launch the worker pool when constructed with start_workers = false.
+  /// No-op when workers are already running or worker_threads == 0.
+  void start();
+
+  /// Block until every accepted request has completed.
+  void drain();
+
+  /// Stop accepting work, drain the queue, join workers.  Idempotent;
+  /// called by the destructor.
+  void shutdown();
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+  void clear_cache() { cache_.clear(); }
+
+  std::size_t queue_depth() const { return queue_->size(); }
+  unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Task {
+    Request request;
+    Deadline deadline;
+    std::promise<QueryResponse> promise;
+    Clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void finish_task(Task& task, QueryResponse response);
+
+  /// Deadline check + cache + execution + completion metrics; shared by
+  /// workers, the inline single-threaded path, and execute().
+  QueryResponse run_request(const Request& request, Deadline deadline,
+                            Clock::time_point start);
+  QueryResponse execute_uncached(const Request& request) const;
+  QueryResponse execute_cached(const Request& request);
+
+  EngineOptions options_;
+  MetricsRegistry metrics_;
+  ShardedLruCache<ResponsePayload> cache_;
+  std::unique_ptr<BoundedQueue<Task>> queue_;
+  std::vector<std::thread> workers_;
+
+  std::mutex lifecycle_mutex_;
+  std::condition_variable drained_;
+  std::size_t pending_ = 0;  ///< accepted but not yet completed
+  bool started_ = false;
+  bool shutdown_ = false;
+};
+
+}  // namespace mpct::service

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "arch/spec.hpp"
+#include "core/machine_class.hpp"
+#include "cost/area_model.hpp"
+#include "explore/recommend.hpp"
+#include "service/request.hpp"
+
+namespace mpct::service {
+
+/// 64-bit canonical request hash used as the result-cache key.
+///
+/// Two requests that would produce byte-identical responses (under one
+/// engine, i.e. one component library) hash equal; the hash walks every
+/// field that influences the response, so a change to any count,
+/// connectivity cell, requirement, or estimate option changes the key.
+/// ADL-text classify requests are keyed on the raw text — two textual
+/// spellings of the same spec may occupy two cache slots, which costs a
+/// duplicate entry but never a wrong answer.
+///
+/// Fingerprints are process-local cache keys: the word-at-a-time mixing
+/// makes them endianness-dependent, so they must not be persisted or
+/// compared across machines or library versions.
+using Fingerprint = std::uint64_t;
+
+/// Incremental FNV-1a 64 hasher.  Each mix() call also folds in the value
+/// width so adjacent fields cannot alias ("ab"+"c" vs "a"+"bc").
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder& mix_bytes(const void* data, std::size_t size);
+  FingerprintBuilder& mix(std::string_view text);
+  FingerprintBuilder& mix(std::uint64_t value);
+  FingerprintBuilder& mix(std::int64_t value);
+  FingerprintBuilder& mix(int value);
+  FingerprintBuilder& mix(bool value);
+  FingerprintBuilder& mix(double value);
+
+  Fingerprint value() const { return hash_; }
+
+ private:
+  static constexpr Fingerprint kOffsetBasis = 0xcbf29ce484222325ULL;
+  Fingerprint hash_ = kOffsetBasis;
+};
+
+Fingerprint fingerprint(const arch::Count& count);
+Fingerprint fingerprint(const arch::ConnectivityExpr& expr);
+Fingerprint fingerprint(const arch::ArchitectureSpec& spec);
+Fingerprint fingerprint(const MachineClass& mc);
+Fingerprint fingerprint(const explore::Requirements& requirements);
+Fingerprint fingerprint(const cost::EstimateOptions& options);
+
+/// Key for a whole request; the request-type tag is mixed first so the
+/// three request spaces cannot collide with each other.
+Fingerprint fingerprint(const Request& request);
+
+}  // namespace mpct::service

@@ -1,0 +1,234 @@
+#include "service/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace mpct::service {
+
+namespace {
+
+std::string format_us(double us) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", us);
+  return buffer;
+}
+
+std::string format_rate(double rate) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.4f", rate);
+  return buffer;
+}
+
+/// Update an atomic min/max without a CAS loop race losing updates.
+void atomic_min(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_index(std::chrono::nanoseconds latency) {
+  const std::int64_t ns = latency.count();
+  if (ns <= 0) return 0;
+  std::size_t index = 0;
+  std::uint64_t bound = 2;  // bucket 0 covers [0, 2) ns
+  while (index + 1 < kBucketCount &&
+         static_cast<std::uint64_t>(ns) >= bound) {
+    ++index;
+    bound <<= 1;
+  }
+  return index;
+}
+
+void LatencyHistogram::record(std::chrono::nanoseconds latency) {
+  const std::uint64_t ns =
+      latency.count() < 0 ? 0 : static_cast<std::uint64_t>(latency.count());
+  buckets_[bucket_index(latency)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  atomic_min(min_ns_, ns);
+  atomic_max(max_ns_, ns);
+}
+
+double LatencyHistogram::quantile_us(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  std::array<std::uint64_t, kBucketCount> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  // Clamp interpolated estimates into the truly observed range so a
+  // single-valued distribution reports that value for every quantile.
+  const std::uint64_t min_ns = min_ns_.load(std::memory_order_relaxed);
+  const double observed_min =
+      min_ns == UINT64_MAX ? 0.0 : static_cast<double>(min_ns) / 1000.0;
+  const double observed_max =
+      static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1000.0;
+  const auto clamp_observed = [&](double us) {
+    return std::clamp(us, observed_min, observed_max);
+  };
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      // Linear interpolation inside [lower, upper) of this bucket.
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(1ULL << i);
+      const double upper = static_cast<double>(1ULL << (i + 1));
+      const double before =
+          static_cast<double>(cumulative - counts[i]);
+      const double fraction =
+          counts[i] == 0
+              ? 0.0
+              : (rank - before) / static_cast<double>(counts[i]);
+      return clamp_observed((lower + fraction * (upper - lower)) / 1000.0);
+    }
+  }
+  return clamp_observed(static_cast<double>(1ULL << kBucketCount) / 1000.0);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  if (snap.count == 0) return snap;
+  snap.mean_us = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+                 static_cast<double>(snap.count) / 1000.0;
+  const std::uint64_t min_ns = min_ns_.load(std::memory_order_relaxed);
+  snap.min_us =
+      min_ns == UINT64_MAX ? 0.0 : static_cast<double>(min_ns) / 1000.0;
+  snap.max_us =
+      static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1000.0;
+  snap.p50_us = quantile_us(0.50);
+  snap.p95_us = quantile_us(0.95);
+  snap.p99_us = quantile_us(0.99);
+  return snap;
+}
+
+void BatchSizeHistogram::record(std::size_t batch_size) {
+  if (batch_size == 0) return;
+  batches_.add(1);
+  requests_.add(batch_size);
+  const std::size_t slot = std::min(batch_size, kMaxTracked) - 1;
+  sizes_[slot].fetch_add(1, std::memory_order_relaxed);
+}
+
+double BatchSizeHistogram::mean() const {
+  const std::uint64_t b = batches_.value();
+  return b == 0 ? 0.0
+                : static_cast<double>(requests_.value()) /
+                      static_cast<double>(b);
+}
+
+std::uint64_t BatchSizeHistogram::size_count(std::size_t batch_size) const {
+  if (batch_size == 0) return 0;
+  const std::size_t slot = std::min(batch_size, kMaxTracked) - 1;
+  return sizes_[slot].load(std::memory_order_relaxed);
+}
+
+double MetricsRegistry::cache_hit_rate() const {
+  const std::uint64_t hits = cache_hits.value();
+  const std::uint64_t lookups = hits + cache_misses.value();
+  return lookups == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+std::string MetricsRegistry::to_table(const CacheStats& cache) const {
+  report::TextTable table({"metric", "value"});
+  table.set_align(1, report::Align::Right);
+
+  table.add_section("requests");
+  table.add_row({"submitted", std::to_string(submitted.value())});
+  table.add_row({"completed", std::to_string(completed.value())});
+  table.add_row(
+      {"rejected (queue full)", std::to_string(rejected_queue_full.value())});
+  table.add_row(
+      {"rejected (deadline)", std::to_string(rejected_deadline.value())});
+  table.add_row(
+      {"rejected (shutdown)", std::to_string(rejected_shutdown.value())});
+  table.add_row({"failed", std::to_string(failed.value())});
+  table.add_row({"queue depth", std::to_string(queue_depth.value())});
+  table.add_row({"in flight", std::to_string(in_flight.value())});
+
+  table.add_section("batching");
+  table.add_row({"batches executed", std::to_string(batch_sizes.batches())});
+  table.add_row({"mean batch size", format_rate(batch_sizes.mean())});
+
+  table.add_section("cache");
+  table.add_row({"hits", std::to_string(cache_hits.value())});
+  table.add_row({"misses", std::to_string(cache_misses.value())});
+  table.add_row({"hit rate", format_rate(cache_hit_rate())});
+  table.add_row({"entries", std::to_string(cache.entries)});
+  table.add_row({"insertions", std::to_string(cache.insertions)});
+  table.add_row({"evictions", std::to_string(cache.evictions)});
+
+  for (std::size_t i = 0; i < kRequestTypeCount; ++i) {
+    const auto type = static_cast<RequestType>(i);
+    const LatencyHistogram::Snapshot snap = latency(type).snapshot();
+    table.add_section(std::string("latency: ") +
+                      std::string(to_string(type)) + " (us)");
+    table.add_row({"count", std::to_string(snap.count)});
+    table.add_row({"mean", format_us(snap.mean_us)});
+    table.add_row({"p50", format_us(snap.p50_us)});
+    table.add_row({"p95", format_us(snap.p95_us)});
+    table.add_row({"p99", format_us(snap.p99_us)});
+    table.add_row({"max", format_us(snap.max_us)});
+  }
+  return table.render_ascii();
+}
+
+std::string MetricsRegistry::to_csv(const CacheStats& cache) const {
+  report::CsvWriter csv;
+  csv.add_row({"metric", "value"});
+  csv.add_row({"submitted", std::to_string(submitted.value())});
+  csv.add_row({"completed", std::to_string(completed.value())});
+  csv.add_row(
+      {"rejected_queue_full", std::to_string(rejected_queue_full.value())});
+  csv.add_row(
+      {"rejected_deadline", std::to_string(rejected_deadline.value())});
+  csv.add_row(
+      {"rejected_shutdown", std::to_string(rejected_shutdown.value())});
+  csv.add_row({"failed", std::to_string(failed.value())});
+  csv.add_row({"queue_depth", std::to_string(queue_depth.value())});
+  csv.add_row({"in_flight", std::to_string(in_flight.value())});
+  csv.add_row({"batches", std::to_string(batch_sizes.batches())});
+  csv.add_row({"mean_batch_size", format_rate(batch_sizes.mean())});
+  csv.add_row({"cache_hits", std::to_string(cache_hits.value())});
+  csv.add_row({"cache_misses", std::to_string(cache_misses.value())});
+  csv.add_row({"cache_hit_rate", format_rate(cache_hit_rate())});
+  csv.add_row({"cache_entries", std::to_string(cache.entries)});
+  csv.add_row({"cache_insertions", std::to_string(cache.insertions)});
+  csv.add_row({"cache_evictions", std::to_string(cache.evictions)});
+  for (std::size_t i = 0; i < kRequestTypeCount; ++i) {
+    const auto type = static_cast<RequestType>(i);
+    const LatencyHistogram::Snapshot snap = latency(type).snapshot();
+    const std::string prefix = std::string("latency_") +
+                               std::string(to_string(type)) + "_";
+    csv.add_row({prefix + "count", std::to_string(snap.count)});
+    csv.add_row({prefix + "mean_us", format_us(snap.mean_us)});
+    csv.add_row({prefix + "p50_us", format_us(snap.p50_us)});
+    csv.add_row({prefix + "p95_us", format_us(snap.p95_us)});
+    csv.add_row({prefix + "p99_us", format_us(snap.p99_us)});
+    csv.add_row({prefix + "max_us", format_us(snap.max_us)});
+  }
+  return csv.str();
+}
+
+}  // namespace mpct::service

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "service/cache.hpp"
+#include "service/request.hpp"
+
+namespace mpct::service {
+
+/// Monotonic event counter.  Relaxed ordering: metrics observe, they do
+/// not synchronise — a snapshot taken mid-traffic is allowed to be a few
+/// events stale on some counters.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, in-flight requests).
+class Gauge {
+ public:
+  void increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void decrement() { value_.fetch_sub(1, std::memory_order_relaxed); }
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram: bucket i counts samples in
+/// [2^i, 2^(i+1)) nanoseconds, so 40 buckets span 1 ns to ~18 minutes
+/// with constant relative error (one power of two) and wait-free
+/// recording — one relaxed fetch_add per sample, no allocation, no lock.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBucketCount = 40;
+
+  void record(std::chrono::nanoseconds latency);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double mean_us = 0;
+    double min_us = 0;
+    double max_us = 0;
+    double p50_us = 0;
+    double p95_us = 0;
+    double p99_us = 0;
+  };
+
+  /// Consistent-enough view for reporting: buckets are read one by one
+  /// (relaxed), so a snapshot racing a record() may miss the newest
+  /// sample — never a torn value.
+  Snapshot snapshot() const;
+
+  /// Quantile in microseconds via bucket interpolation; q in [0, 1].
+  double quantile_us(double q) const;
+
+ private:
+  static std::size_t bucket_index(std::chrono::nanoseconds latency);
+
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Histogram of executed batch sizes (1 = no batching win); buckets are
+/// the exact sizes 1..kMaxTracked, larger batches clamp to the last.
+class BatchSizeHistogram {
+ public:
+  static constexpr std::size_t kMaxTracked = 64;
+
+  void record(std::size_t batch_size);
+  std::uint64_t batches() const { return batches_.value(); }
+  std::uint64_t requests() const { return requests_.value(); }
+  double mean() const;
+  /// How many executed batches had exactly @p batch_size requests
+  /// (sizes above kMaxTracked clamp to the last slot).
+  std::uint64_t size_count(std::size_t batch_size) const;
+
+ private:
+  Counter batches_;
+  Counter requests_;
+  std::array<std::atomic<std::uint64_t>, kMaxTracked> sizes_{};
+};
+
+/// Everything the engine measures, in one place.  All members are safe
+/// for concurrent mutation from workers and concurrent reads from a
+/// reporting thread.
+class MetricsRegistry {
+ public:
+  // Request lifecycle.
+  Counter submitted;
+  Counter completed;
+  Counter rejected_queue_full;
+  Counter rejected_deadline;
+  Counter rejected_shutdown;
+  Counter failed;  ///< ParseError / InvalidRequest / InternalError
+
+  // Caching (engine-level mirror of the cache's own accounting, kept so
+  // one registry renders the whole picture).
+  Counter cache_hits;
+  Counter cache_misses;
+
+  // Execution shape.
+  Gauge queue_depth;
+  Gauge in_flight;
+  BatchSizeHistogram batch_sizes;
+
+  /// Submit-to-completion latency per request type.
+  std::array<LatencyHistogram, kRequestTypeCount> latency_by_type;
+
+  LatencyHistogram& latency(RequestType type) {
+    return latency_by_type[static_cast<std::size_t>(type)];
+  }
+  const LatencyHistogram& latency(RequestType type) const {
+    return latency_by_type[static_cast<std::size_t>(type)];
+  }
+
+  double cache_hit_rate() const;
+
+  /// Render as a report::TextTable (ASCII) — one row per counter/gauge,
+  /// then one row per request type with count/mean/p50/p95/p99.
+  /// @p cache supplies entry counts and evictions from the cache itself.
+  std::string to_table(const CacheStats& cache) const;
+
+  /// Same data as CSV (metric,value rows then per-type latency rows),
+  /// via report::CsvWriter.
+  std::string to_csv(const CacheStats& cache) const;
+};
+
+}  // namespace mpct::service

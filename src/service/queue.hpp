@@ -1,0 +1,90 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace mpct::service {
+
+/// Bounded multi-producer multi-consumer queue with *explicit*
+/// backpressure: try_push never blocks — when the queue is at capacity it
+/// returns false and the caller must shed or retry.  Consumers block in
+/// pop() until an item arrives or the queue is closed and drained.
+///
+/// A mutex + two condition variables (not a lock-free ring) keeps the
+/// semantics obvious and TSan-clean; the guarded section is a deque
+/// push/pop, so the lock is held for tens of nanoseconds — far below the
+/// milliseconds a classify/recommend query costs.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueue without blocking.  False when full or closed; the item is
+  /// left untouched in that case so the caller can reject it upstream.
+  bool try_push(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue.  False only when the queue is closed *and* empty
+  /// — items enqueued before close() still drain.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking dequeue, for opportunistic batch draining.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    return out;
+  }
+
+  /// Stop accepting pushes and wake every blocked consumer.  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mpct::service

@@ -1,0 +1,17 @@
+#include "service/request.hpp"
+
+namespace mpct::service {
+
+std::string_view to_string(RequestType type) {
+  switch (type) {
+    case RequestType::Classify:
+      return "classify";
+    case RequestType::Recommend:
+      return "recommend";
+    case RequestType::Cost:
+      return "cost";
+  }
+  return "unknown";
+}
+
+}  // namespace mpct::service

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "arch/spec.hpp"
+#include "core/classifier.hpp"
+#include "core/flexibility.hpp"
+#include "core/machine_class.hpp"
+#include "cost/area_model.hpp"
+#include "cost/config_bits.hpp"
+#include "explore/recommend.hpp"
+#include "service/status.hpp"
+
+namespace mpct::service {
+
+using Clock = std::chrono::steady_clock;
+
+/// Absolute per-request deadline.  A request whose deadline has passed
+/// when a worker dequeues it is answered with DeadlineExceeded instead of
+/// being executed — late answers are useless to an interactive design
+/// tool, and dropping them early keeps the queue from snowballing.
+struct Deadline {
+  Clock::time_point at = Clock::time_point::max();
+
+  static Deadline never() { return {}; }
+  static Deadline in(Clock::duration budget) {
+    return {Clock::now() + budget};
+  }
+  static Deadline at_time(Clock::time_point when) { return {when}; }
+
+  bool is_infinite() const { return at == Clock::time_point::max(); }
+  bool expired(Clock::time_point now = Clock::now()) const {
+    return !is_infinite() && now >= at;
+  }
+};
+
+/// Classify one architecture: either an already-built spec or ADL text
+/// (parsed with arch::parse_single_adl).  Mirrors the sequential
+/// ArchitectureSpec::classify()/flexibility() pair.
+struct ClassifyRequest {
+  std::variant<arch::ArchitectureSpec, std::string> input;
+
+  static ClassifyRequest of(arch::ArchitectureSpec spec) {
+    return {std::move(spec)};
+  }
+  static ClassifyRequest of_adl(std::string adl_text) {
+    return {std::move(adl_text)};
+  }
+};
+
+struct ClassifyResponse {
+  /// Resolved spec (the parsed one when the request carried ADL text).
+  arch::ArchitectureSpec spec;
+  Classification classification;
+  FlexibilityBreakdown flexibility;
+};
+
+/// Rank the implementable taxonomy classes against designer requirements
+/// (the paper's conclusion use-case, explore::recommend).
+struct RecommendRequest {
+  explore::Requirements requirements;
+  /// Keep only the best k recommendations; 0 keeps all.
+  std::size_t top_k = 0;
+};
+
+struct RecommendResponse {
+  std::vector<explore::Recommendation> recommendations;
+};
+
+/// Evaluate Eq. 1 (area) and Eq. 2 (configuration bits) for a class or a
+/// concrete spec, optionally sweeping the component count n.  An empty
+/// sweep evaluates just options.n — the single-point query.
+struct CostRequest {
+  std::variant<MachineClass, arch::ArchitectureSpec> target;
+  cost::EstimateOptions options;
+  std::vector<std::int64_t> n_sweep;
+};
+
+struct CostResponse {
+  struct Point {
+    std::int64_t n = 0;
+    cost::AreaEstimate area;
+    cost::ConfigBitsEstimate config_bits;
+  };
+  std::vector<Point> points;
+};
+
+using Request = std::variant<ClassifyRequest, RecommendRequest, CostRequest>;
+
+/// Discriminator used for per-request-type metrics and cache keying.
+enum class RequestType : std::uint8_t { Classify = 0, Recommend = 1, Cost = 2 };
+inline constexpr std::size_t kRequestTypeCount = 3;
+
+std::string_view to_string(RequestType type);
+
+inline RequestType request_type(const Request& request) {
+  return static_cast<RequestType>(request.index());
+}
+
+/// Successful payload; monostate while status is not Ok.
+using ResponsePayload =
+    std::variant<std::monostate, ClassifyResponse, RecommendResponse,
+                 CostResponse>;
+
+/// What a submitted query resolves to.  `status` is always meaningful;
+/// the payload alternative matches the request type only when status.ok().
+///
+/// The payload is an immutable object shared with the result cache: a
+/// cache hit hands out another reference instead of deep-copying the
+/// response (a ClassifyResponse carries a whole ArchitectureSpec; copying
+/// it would cost more than some queries).  Null on any non-Ok status.
+struct QueryResponse {
+  Status status;
+  std::shared_ptr<const ResponsePayload> payload;
+  bool cache_hit = false;
+  /// Submit-to-completion time as observed by the engine (queueing
+  /// included); zero for rejected-at-submit responses.
+  std::chrono::nanoseconds latency{0};
+
+  bool ok() const { return status.ok(); }
+  const ClassifyResponse* classify() const {
+    return payload ? std::get_if<ClassifyResponse>(payload.get()) : nullptr;
+  }
+  const RecommendResponse* recommend() const {
+    return payload ? std::get_if<RecommendResponse>(payload.get()) : nullptr;
+  }
+  const CostResponse* cost() const {
+    return payload ? std::get_if<CostResponse>(payload.get()) : nullptr;
+  }
+};
+
+}  // namespace mpct::service

@@ -1,0 +1,34 @@
+#include "service/status.hpp"
+
+namespace mpct::service {
+
+std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::Ok:
+      return "ok";
+    case StatusCode::QueueFull:
+      return "queue-full";
+    case StatusCode::DeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::ParseError:
+      return "parse-error";
+    case StatusCode::InvalidRequest:
+      return "invalid-request";
+    case StatusCode::ShuttingDown:
+      return "shutting-down";
+    case StatusCode::InternalError:
+      return "internal-error";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string out(service::to_string(code));
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace mpct::service

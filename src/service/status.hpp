@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mpct::service {
+
+/// Outcome category of a query.  The engine never throws across the
+/// submit/execute boundary: every failure mode an operator must react to
+/// differently gets its own code so callers can branch without parsing
+/// message strings.
+enum class StatusCode : int {
+  Ok = 0,
+  /// The bounded request queue was full; the request was *not* enqueued.
+  /// This is the backpressure signal — retry later or shed load upstream.
+  QueueFull = 1,
+  /// The request's deadline had already passed when a worker picked it
+  /// up (or when it was submitted).  The work was not performed.
+  DeadlineExceeded = 2,
+  /// ClassifyRequest over ADL text that did not parse; the message
+  /// carries every parser diagnostic joined with "; ".
+  ParseError = 3,
+  /// Structurally invalid request (e.g. an empty cost sweep with a
+  /// non-positive n, or a recommend floor above the maximum score).
+  InvalidRequest = 4,
+  /// The engine is shutting down and no longer accepts work.
+  ShuttingDown = 5,
+  /// An unexpected exception escaped the underlying library call; the
+  /// message carries e.what().  Indicates a bug — please report it.
+  InternalError = 6,
+};
+
+std::string_view to_string(StatusCode code);
+
+/// Status of one query: a code plus a human-readable detail message
+/// (empty on success).
+struct Status {
+  StatusCode code = StatusCode::Ok;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::Ok; }
+
+  static Status okay() { return {}; }
+  static Status queue_full() {
+    return {StatusCode::QueueFull, "bounded queue full; request rejected"};
+  }
+  static Status deadline_exceeded() {
+    return {StatusCode::DeadlineExceeded, "deadline expired before execution"};
+  }
+  static Status parse_error(std::string message) {
+    return {StatusCode::ParseError, std::move(message)};
+  }
+  static Status invalid_request(std::string message) {
+    return {StatusCode::InvalidRequest, std::move(message)};
+  }
+  static Status shutting_down() {
+    return {StatusCode::ShuttingDown, "engine is shutting down"};
+  }
+  static Status internal_error(std::string message) {
+    return {StatusCode::InternalError, std::move(message)};
+  }
+
+  /// "ok" or "queue-full: bounded queue full; request rejected".
+  std::string to_string() const;
+
+  friend bool operator==(const Status&, const Status&) = default;
+};
+
+}  // namespace mpct::service

@@ -6,6 +6,8 @@
 ///  (d) energy: the same dot-product workload priced across paradigms.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <iomanip>
 #include <iostream>
 #include <numeric>
@@ -369,6 +371,7 @@ int main(int argc, char** argv) {
   print_family_routability();
   print_energy_comparison();
   print_pipelining_ablation();
+  mpct::bench::apply_csv_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -6,6 +6,8 @@
 /// crossbar's measured state.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <iomanip>
 #include <iostream>
 
@@ -176,6 +178,7 @@ int main(int argc, char** argv) {
   print_ablation();
   print_crosscheck();
   print_survey_costs();
+  mpct::bench::apply_csv_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

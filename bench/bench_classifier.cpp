@@ -2,11 +2,14 @@
 /// parsing, comparison, morph ordering, ADL round-trips.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <iostream>
 
 #include "arch/adl_parser.hpp"
 #include "arch/registry.hpp"
 #include "core/comparison.hpp"
+#include "core/taxonomy_index.hpp"
 #include "core/taxonomy_table.hpp"
 
 namespace {
@@ -21,6 +24,28 @@ void bm_classify_single(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_classify_single)->Arg(1)->Arg(8)->Arg(22)->Arg(40)->Arg(47);
+
+/// The realistic single-point operation a sweep performs per candidate:
+/// structure -> classification + rendered name + flexibility score.
+/// Through TaxonomyIndex this is one table load plus two field reads
+/// (interned name, cached score) — no rule walk, no allocation.  The
+/// per-iteration MachineClass copy stops the compiler from hoisting the
+/// lookup out of the loop.
+void bm_classify_single_point(benchmark::State& state) {
+  const TaxonomyIndex& index = taxonomy_index();
+  const TaxonomyIndex::ClassInfo* row =
+      index.by_serial(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    MachineClass mc = row->machine;
+    benchmark::DoNotOptimize(mc);
+    const TaxonomyIndex::FastClassification fast = index.classify(mc);
+    std::string_view name = fast.info ? fast.info->interned_name : fast.note;
+    const int flexibility = fast.info ? fast.info->flexibility : -1;
+    benchmark::DoNotOptimize(name);
+    benchmark::DoNotOptimize(flexibility);
+  }
+}
+BENCHMARK(bm_classify_single_point)->Arg(1)->Arg(8)->Arg(22)->Arg(40)->Arg(47);
 
 void bm_name_to_string(benchmark::State& state) {
   std::vector<TaxonomicName> names;
@@ -103,6 +128,7 @@ BENCHMARK(bm_adl_roundtrip_survey);
 int main(int argc, char** argv) {
   std::cout << "CLASSIFICATION ENGINE MICROBENCHMARKS\n"
             << "(47-class table, 25-row survey, all-pairs comparisons)\n\n";
+  mpct::bench::apply_csv_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -3,6 +3,8 @@
 /// substitute for the IEEE database, and benchmarks the query engine.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <iostream>
 
 #include "bibliometrics/corpus.hpp"
@@ -109,6 +111,7 @@ BENCHMARK(bm_conjunctive_query);
 
 int main(int argc, char** argv) {
   print_fig1();
+  mpct::bench::apply_csv_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -2,6 +2,8 @@
 /// benchmarks name parsing/formatting over the hierarchy.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <fstream>
 #include <iostream>
 
@@ -75,6 +77,7 @@ BENCHMARK(bm_parse_names);
 
 int main(int argc, char** argv) {
   print_fig2();
+  mpct::bench::apply_csv_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -5,6 +5,8 @@
 /// and benchmarks each paradigm machine.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <iostream>
 
 #include "core/roman.hpp"
@@ -227,6 +229,7 @@ int main(int argc, char** argv) {
   print_fig4();
   print_fig5();
   print_fig6();
+  mpct::bench::apply_csv_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

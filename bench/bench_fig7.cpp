@@ -3,6 +3,8 @@
 /// benchmarks the scoring sweep.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -84,6 +86,7 @@ BENCHMARK(bm_render_svg_chart);
 
 int main(int argc, char** argv) {
   print_fig7();
+  mpct::bench::apply_csv_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -3,6 +3,8 @@
 /// simulation throughput under the standard traffic patterns.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <iostream>
 
 #include "interconnect/benes.hpp"
@@ -168,6 +170,7 @@ void print_latency_comparison() {
 
 int main(int argc, char** argv) {
   print_latency_comparison();
+  mpct::bench::apply_csv_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

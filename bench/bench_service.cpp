@@ -7,6 +7,8 @@
 /// report::CsvWriter — followed by google-benchmark timings.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -217,6 +219,7 @@ int main(int argc, char** argv) {
             << "(concurrent query engine: batching, sharded cache, "
                "backpressure)\n\n";
   print_sweep_csv();
+  mpct::bench::apply_csv_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -3,6 +3,8 @@
 /// machines, steps/second for the LUT fabric.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <iostream>
 
 #include "sim/cgra/scheduler.hpp"
@@ -233,6 +235,7 @@ int main(int argc, char** argv) {
   std::cout << "PARADIGM SIMULATOR MICROBENCHMARKS\n"
             << "(items/s = simulated instructions, node firings, or "
                "fabric clock steps)\n\n";
+  mpct::bench::apply_csv_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -2,6 +2,8 @@
 /// taxonomy — and benchmarks the generation/classification machinery.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <iostream>
 
 #include "core/classifier.hpp"
@@ -90,6 +92,7 @@ BENCHMARK(bm_canonical_roundtrip);
 
 int main(int argc, char** argv) {
   print_table1();
+  mpct::bench::apply_csv_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -2,6 +2,8 @@
 /// every class — and benchmarks the scoring system.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <iostream>
 
 #include "core/classifier.hpp"
@@ -97,6 +99,7 @@ BENCHMARK(bm_flexibility_breakdown);
 
 int main(int argc, char** argv) {
   print_table2();
+  mpct::bench::apply_csv_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

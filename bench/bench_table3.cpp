@@ -3,6 +3,8 @@
 /// values — and benchmarks the classification pipeline end to end.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <iostream>
 #include <map>
 
@@ -114,6 +116,7 @@ BENCHMARK(bm_flexibility_survey);
 
 int main(int argc, char** argv) {
   print_table3();
+  mpct::bench::apply_csv_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -1,0 +1,41 @@
+#pragma once
+
+/// Shared plumbing for the bench binaries.
+///
+/// Every bench in bench/ honors a common `--csv <path>` flag: the timing
+/// results google-benchmark reports on stdout are also written to
+/// <path> as CSV (machine-readable; CI uploads these as artifacts).
+/// Call apply_csv_flag(&argc, argv) in main() BEFORE
+/// benchmark::Initialize — Initialize aborts on flags it does not know.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpct::bench {
+
+/// Rewrites the two-token `--csv <path>` into google-benchmark's own
+/// `--benchmark_out=<path> --benchmark_out_format=csv` pair in place
+/// (same argument count, so argv never grows).  No-op when the flag is
+/// absent; the rewritten strings outlive Initialize via static storage.
+inline void apply_csv_flag(int* argc, char** argv) {
+  static std::vector<std::string> storage;
+  for (int i = 1; i + 1 < *argc; ++i) {
+    if (std::string_view(argv[i]) != "--csv") continue;
+    storage.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+    storage.push_back("--benchmark_out_format=csv");
+    argv[i] = storage[storage.size() - 2].data();
+    argv[i + 1] = storage.back().data();
+    return;
+  }
+  // A trailing `--csv` with no path would otherwise reach
+  // benchmark::Initialize and abort with its own flag error; say why.
+  if (*argc >= 2 && std::string_view(argv[*argc - 1]) == "--csv") {
+    std::cerr << "warning: --csv requires a path argument; ignoring\n";
+    --*argc;
+  }
+}
+
+}  // namespace mpct::bench

@@ -1,5 +1,7 @@
 #include "core/classifier.hpp"
 
+#include "core/taxonomy_index.hpp"
+
 namespace mpct {
 
 int array_subtype(SwitchKind dp_dm, SwitchKind dp_dp) {
@@ -15,7 +17,7 @@ int multi_subtype(SwitchKind ip_dp, SwitchKind ip_im, SwitchKind dp_dm,
          (is_flexible_switch(dp_dp) ? 1 : 0);
 }
 
-Classification classify(const MachineClass& mc) {
+Classification detail::classify_by_rules(const MachineClass& mc) {
   // Universal flow: decided by granularity, not by counts.  MATRIX-style
   // fabrics with reconfigurable instruction distribution but IP/DP-grain
   // blocks stay in the instruction-flow branch (Section IV discusses this
@@ -28,9 +30,7 @@ Classification classify(const MachineClass& mc) {
   }
 
   if (mc.ips == Multiplicity::Variable || mc.dps == Multiplicity::Variable) {
-    return {std::nullopt, false,
-            "variable IP/DP counts require LUT granularity (only universal "
-            "flow fabrics can re-role their blocks)"};
+    return {std::nullopt, false, std::string(kNoteVariableCounts)};
   }
 
   const SwitchKind ip_ip = mc.switch_at(ConnectivityRole::IpIp);
@@ -40,8 +40,7 @@ Classification classify(const MachineClass& mc) {
   const SwitchKind dp_dp = mc.switch_at(ConnectivityRole::DpDp);
 
   if (mc.dps == Multiplicity::Zero) {
-    return {std::nullopt, false,
-            "a machine with no data processor computes nothing"};
+    return {std::nullopt, false, std::string(kNoteNoDataProcessor)};
   }
 
   switch (mc.ips) {
@@ -49,8 +48,7 @@ Classification classify(const MachineClass& mc) {
       // Data flow machines.
       if (ip_ip != SwitchKind::None || ip_dp != SwitchKind::None ||
           ip_im != SwitchKind::None) {
-        return {std::nullopt, false,
-                "data flow machine has IP-side connectivity but no IP"};
+        return {std::nullopt, false, std::string(kNoteDataFlowIpSide)};
       }
       if (mc.dps == Multiplicity::One) {
         return {TaxonomicName{MachineType::DataFlow,
@@ -80,9 +78,7 @@ Classification classify(const MachineClass& mc) {
     case Multiplicity::Many: {
       if (mc.dps == Multiplicity::One) {
         // Table I classes 11-14.
-        return {std::nullopt, false,
-                "n instruction processors driving a single data processor "
-                "is not implementable (Table I classes 11-14, 'NI')"};
+        return {std::nullopt, false, std::string(kNoteNotImplementable)};
       }
       const bool spatial = ip_ip != SwitchKind::None;
       return {TaxonomicName{MachineType::InstructionFlow,
@@ -95,10 +91,20 @@ Classification classify(const MachineClass& mc) {
     case Multiplicity::Variable:
       break;  // handled above
   }
-  return {std::nullopt, false, "unclassifiable structure"};
+  return {std::nullopt, false, std::string(kNoteUnclassifiable)};
 }
 
-std::optional<MachineClass> canonical_class(const TaxonomicName& name) {
+Classification classify(const MachineClass& mc) {
+  // One table load in the index; the rules above only run once, while
+  // the index precomputes the whole structural key space.
+  const TaxonomyIndex::FastClassification fast =
+      TaxonomyIndex::instance().classify(mc);
+  if (fast.info) return {fast.info->name, true, ""};
+  return {std::nullopt, false, std::string(fast.note)};
+}
+
+std::optional<MachineClass> detail::canonical_class_by_rules(
+    const TaxonomicName& name) {
   if (!combination_exists(name.machine_type, name.processing_type)) {
     return std::nullopt;
   }
@@ -180,6 +186,13 @@ std::optional<MachineClass> canonical_class(const TaxonomicName& name) {
       return mc;
   }
   return std::nullopt;
+}
+
+std::optional<MachineClass> canonical_class(const TaxonomicName& name) {
+  const TaxonomyIndex::ClassInfo* info =
+      TaxonomyIndex::instance().by_name(name);
+  if (!info) return std::nullopt;
+  return info->machine;
 }
 
 }  // namespace mpct

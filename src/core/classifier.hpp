@@ -55,4 +55,35 @@ int multi_subtype(SwitchKind ip_dp, SwitchKind ip_im, SwitchKind dp_dm,
 /// Returns std::nullopt if the name does not denote a canonical class.
 std::optional<MachineClass> canonical_class(const TaxonomicName& name);
 
+namespace detail {
+
+/// The Section II-C decision rules, evaluated directly (no precomputed
+/// table).  This is the reference implementation the TaxonomyIndex is
+/// built from; `classify()` answers from the index instead.  Also used
+/// by the table generator, which must run before the index exists.
+Classification classify_by_rules(const MachineClass& mc);
+
+/// Rule-based inverse, used by the Table I generator (the public
+/// `canonical_class` answers from the index, which the generator feeds —
+/// routing the generator through it would be circular).
+std::optional<MachineClass> canonical_class_by_rules(
+    const TaxonomicName& name);
+
+// Diagnostics classify() attaches to unclassifiable structures.  Static
+// so the index can hand them out as string_views without copying.
+inline constexpr std::string_view kNoteVariableCounts =
+    "variable IP/DP counts require LUT granularity (only universal "
+    "flow fabrics can re-role their blocks)";
+inline constexpr std::string_view kNoteNoDataProcessor =
+    "a machine with no data processor computes nothing";
+inline constexpr std::string_view kNoteDataFlowIpSide =
+    "data flow machine has IP-side connectivity but no IP";
+inline constexpr std::string_view kNoteNotImplementable =
+    "n instruction processors driving a single data processor "
+    "is not implementable (Table I classes 11-14, 'NI')";
+inline constexpr std::string_view kNoteUnclassifiable =
+    "unclassifiable structure";
+
+}  // namespace detail
+
 }  // namespace mpct

@@ -1,0 +1,156 @@
+#include "core/taxonomy_index.hpp"
+
+#include <cstring>
+
+#include "core/classifier.hpp"
+#include "core/flexibility.hpp"
+#include "core/taxonomy_table.hpp"
+
+namespace mpct {
+
+namespace {
+
+/// Diagnostic table; PackedResult::note indexes it.
+constexpr std::array<std::string_view, 6> kNotes{
+    std::string_view{},
+    detail::kNoteVariableCounts,
+    detail::kNoteNoDataProcessor,
+    detail::kNoteDataFlowIpSide,
+    detail::kNoteNotImplementable,
+    detail::kNoteUnclassifiable,
+};
+
+std::uint8_t note_id(std::string_view note) {
+  for (std::size_t i = 1; i < kNotes.size(); ++i) {
+    if (kNotes[i] == note) return static_cast<std::uint8_t>(i);
+  }
+  return static_cast<std::uint8_t>(kNotes.size() - 1);  // unclassifiable
+}
+
+/// Table I serial of a canonical name, by arithmetic on the name alone
+/// (the serial layout of the generated table: DUP, DMP I-IV, IUP,
+/// IAP I-IV, NI x4, IMP I-XVI, ISP I-XVI, USP).  0 when non-canonical.
+int name_serial(const TaxonomicName& name) {
+  if (!combination_exists(name.machine_type, name.processing_type)) return 0;
+  const int max_subtype =
+      subtype_count(name.machine_type, name.processing_type);
+  if (max_subtype == 1) {
+    if (name.subtype != 0) return 0;
+  } else if (name.subtype < 1 || name.subtype > max_subtype) {
+    return 0;
+  }
+
+  switch (name.machine_type) {
+    case MachineType::DataFlow:
+      return name.processing_type == ProcessingType::UniProcessor
+                 ? 1
+                 : 1 + name.subtype;  // 2..5
+    case MachineType::InstructionFlow:
+      switch (name.processing_type) {
+        case ProcessingType::UniProcessor:
+          return 6;
+        case ProcessingType::ArrayProcessor:
+          return 6 + name.subtype;  // 7..10
+        case ProcessingType::MultiProcessor:
+          return 14 + name.subtype;  // 15..30
+        case ProcessingType::SpatialProcessor:
+          return 30 + name.subtype;  // 31..46
+      }
+      return 0;
+    case MachineType::UniversalFlow:
+      return 47;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint32_t TaxonomyIndex::pack(const MachineClass& mc) {
+  std::uint32_t key = static_cast<std::uint32_t>(mc.granularity) & 1u;
+  key |= (static_cast<std::uint32_t>(mc.ips) & 3u) << 1;
+  key |= (static_cast<std::uint32_t>(mc.dps) & 3u) << 3;
+  for (std::size_t i = 0; i < kConnectivityRoleCount; ++i) {
+    key |= (static_cast<std::uint32_t>(mc.switches[i]) & 3u) << (5 + 2 * i);
+  }
+  return key;
+}
+
+const TaxonomyIndex::ClassInfo* TaxonomyIndex::by_name(
+    const TaxonomicName& name) const {
+  const int serial = name_serial(name);
+  return serial == 0 ? nullptr
+                     : &rows_[static_cast<std::size_t>(serial - 1)];
+}
+
+TaxonomyIndex::FastClassification TaxonomyIndex::classify(
+    const MachineClass& mc) const {
+  const PackedResult result = classify_table_[pack(mc)];
+  if (result.serial != 0) {
+    return {&rows_[static_cast<std::size_t>(result.serial - 1)], {}};
+  }
+  return {nullptr, kNotes[result.note]};
+}
+
+TaxonomyIndex::TaxonomyIndex()
+    : classify_table_(kKeySpace), canonical_serial_(kKeySpace, 0) {
+  // 1. Flat row data + interned names, from the generated table.
+  const std::span<const TaxonomyEntry> table = extended_taxonomy();
+  for (const TaxonomyEntry& entry : table) {
+    ClassInfo& info = rows_[static_cast<std::size_t>(entry.serial - 1)];
+    info.machine = entry.machine;
+    info.serial = static_cast<std::int16_t>(entry.serial);
+    info.named = entry.name.has_value();
+    info.implementable = entry.implementable;
+    info.flexibility =
+        static_cast<std::int8_t>(flexibility_score(entry.machine));
+    if (entry.name) {
+      info.name = *entry.name;
+      const std::string rendered = to_string(*entry.name);
+      char* slot = name_chars_.data() + (entry.serial - 1) * 8;
+      std::memcpy(slot, rendered.data(), rendered.size());
+      info.interned_name = std::string_view(slot, rendered.size());
+    } else {
+      info.interned_name = "NI";
+    }
+    canonical_serial_[pack(entry.machine)] =
+        static_cast<std::uint8_t>(entry.serial);
+  }
+
+  // 2. Precompute classify() over the whole key space.  Keys whose
+  // switch fields decode to no SwitchKind enumerator are unreachable
+  // from real MachineClass values and stay "unclassifiable".
+  const std::uint8_t unclassifiable = note_id(detail::kNoteUnclassifiable);
+  for (std::uint32_t key = 0; key < kKeySpace; ++key) {
+    PackedResult& result = classify_table_[key];
+    MachineClass mc;
+    mc.granularity = static_cast<Granularity>(key & 1u);
+    mc.ips = static_cast<Multiplicity>((key >> 1) & 3u);
+    mc.dps = static_cast<Multiplicity>((key >> 3) & 3u);
+    bool valid = true;
+    for (std::size_t i = 0; i < kConnectivityRoleCount; ++i) {
+      const std::uint32_t kind = (key >> (5 + 2 * i)) & 3u;
+      if (kind > static_cast<std::uint32_t>(SwitchKind::Crossbar)) {
+        valid = false;
+        break;
+      }
+      mc.switches[i] = static_cast<SwitchKind>(kind);
+    }
+    if (!valid) {
+      result = {0, unclassifiable};
+      continue;
+    }
+    const Classification ruled = detail::classify_by_rules(mc);
+    if (ruled.name) {
+      result = {static_cast<std::uint8_t>(name_serial(*ruled.name)), 0};
+    } else {
+      result = {0, note_id(ruled.note)};
+    }
+  }
+}
+
+const TaxonomyIndex& TaxonomyIndex::instance() {
+  static const TaxonomyIndex index;
+  return index;
+}
+
+}  // namespace mpct

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/machine_class.hpp"
+#include "core/naming.hpp"
+
+namespace mpct {
+
+/// Dense, immutable index over the 47-class extended taxonomy — the
+/// allocation-free fast path under `classify()`, `canonical_class()` and
+/// the `find_entry()` lookups.
+///
+/// Built once at first touch from the same structural rules as
+/// `extended_taxonomy()`:
+///  * every canonical row's name is rendered once and interned, so hot
+///    paths hand out `string_view`s instead of formatting strings;
+///  * flexibility scores are precomputed per row (Table II without the
+///    per-call switch walk);
+///  * a `MachineClass` packs into a 15-bit structural key (granularity,
+///    two multiplicities, five switch kinds), and two dense tables over
+///    that key space precompute (a) the classification of *every*
+///    possible structure and (b) the canonical-row match, making
+///    `classify()` and structure lookup single loads.
+///
+/// Thread safety: the instance is a function-local static (Meyers
+/// singleton, exactly-once initialisation) and strictly read-only
+/// afterwards — the same const-read guarantee core/taxonomy_table.hpp
+/// documents, which service::QueryEngine workers and the parallel sweep
+/// rely on.
+class TaxonomyIndex {
+ public:
+  /// Number of rows in Table I.
+  static constexpr int kRowCount = 47;
+
+  /// One taxonomy row in index form: everything the hot paths need,
+  /// precomputed and flat.
+  struct ClassInfo {
+    TaxonomicName name{};    ///< meaningful only when `named`
+    MachineClass machine;    ///< canonical Table I structure
+    std::int16_t serial = 0; ///< 1..47, Table I order
+    bool named = false;      ///< false for the four NI rows
+    bool implementable = false;
+    std::int8_t flexibility = 0;  ///< Table II score of `machine`
+    /// Rendered class name ("DMP-III", "USP"), interned in the index;
+    /// "NI" for the not-implementable rows.  Valid for the process
+    /// lifetime.
+    std::string_view interned_name;
+  };
+
+  /// Allocation-free classification result.  `info` points at the
+  /// canonical row carrying the resulting name (so the caller gets the
+  /// interned name and precomputed flexibility for free); null when the
+  /// structure has no taxonomic name, with `note` referencing a static
+  /// diagnostic.
+  struct FastClassification {
+    const ClassInfo* info = nullptr;
+    std::string_view note;  ///< static storage; empty on success
+
+    bool ok() const { return info != nullptr; }
+  };
+
+  static const TaxonomyIndex& instance();
+
+  TaxonomyIndex(const TaxonomyIndex&) = delete;
+  TaxonomyIndex& operator=(const TaxonomyIndex&) = delete;
+
+  /// All 47 rows in Table I order.
+  std::span<const ClassInfo> rows() const { return rows_; }
+
+  /// Row by serial 1..47 (nullptr out of range).
+  const ClassInfo* by_serial(int serial) const {
+    if (serial < 1 || serial > kRowCount) return nullptr;
+    return &rows_[static_cast<std::size_t>(serial - 1)];
+  }
+
+  /// Canonical row for a taxonomic name — O(1) arithmetic on the name,
+  /// no scan.  nullptr when the name is not canonical.
+  const ClassInfo* by_name(const TaxonomicName& name) const;
+
+  /// Row whose canonical structure equals @p mc exactly — one table
+  /// load.  nullptr when the structure is not one of the 47 rows.
+  const ClassInfo* by_structure(const MachineClass& mc) const {
+    return by_serial(canonical_serial_[pack(mc)]);
+  }
+
+  /// Classify any structure — one table load, no formatting, no
+  /// allocation.  Same decision rules as `mpct::classify()` (which is a
+  /// wrapper over this).
+  FastClassification classify(const MachineClass& mc) const;
+
+  /// Interned rendering of a canonical name; empty view when the name is
+  /// not canonical.
+  std::string_view interned_name(const TaxonomicName& name) const {
+    const ClassInfo* info = by_name(name);
+    return info ? info->interned_name : std::string_view{};
+  }
+
+ private:
+  TaxonomyIndex();
+
+  /// 15-bit structural key: granularity (1 bit) | ips (2) | dps (2) |
+  /// five switch kinds (2 each, ConnectivityRole order).
+  static constexpr std::size_t kKeySpace = std::size_t{1} << 15;
+  static std::uint32_t pack(const MachineClass& mc);
+
+  /// Table I serial (1..47) of the row carrying the name `classify`
+  /// produces for each key; 0 when classification fails, with `note`
+  /// indexing the static diagnostic table.
+  struct PackedResult {
+    std::uint8_t serial = 0;
+    std::uint8_t note = 0;
+  };
+
+  std::array<ClassInfo, kRowCount> rows_{};
+  /// Backing store for the interned names (max 7 chars each).
+  std::array<char, kRowCount * 8> name_chars_{};
+  std::vector<PackedResult> classify_table_;   ///< kKeySpace entries
+  std::vector<std::uint8_t> canonical_serial_; ///< kKeySpace entries
+};
+
+/// Convenience accessor mirroring `extended_taxonomy()`.
+inline const TaxonomyIndex& taxonomy_index() {
+  return TaxonomyIndex::instance();
+}
+
+/// Allocation-free single-point classify — the hot-path entry the
+/// service and sweep layers use.
+inline TaxonomyIndex::FastClassification classify_fast(
+    const MachineClass& mc) {
+  return TaxonomyIndex::instance().classify(mc);
+}
+
+}  // namespace mpct

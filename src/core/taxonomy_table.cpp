@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "core/taxonomy_index.hpp"
+
 namespace mpct {
 
 namespace {
@@ -38,9 +40,13 @@ std::vector<TaxonomyEntry> build_table() {
   rows.reserve(47);
   int serial = 0;
 
+  // The rule-based inverse, not the public canonical_class(): the public
+  // one answers from the TaxonomyIndex, which is built from this table —
+  // calling it here would recurse into our own initialisation.
   const auto push_named = [&](const TaxonomicName& name,
                               std::string_view section) {
-    const std::optional<MachineClass> mc = canonical_class(name);
+    const std::optional<MachineClass> mc =
+        detail::canonical_class_by_rules(name);
     rows.push_back(TaxonomyEntry{++serial, *mc, name, true, section});
   };
   const auto push_ni = [&](const MachineClass& mc, std::string_view section) {
@@ -101,10 +107,9 @@ std::span<const TaxonomyEntry> extended_taxonomy() {
 }
 
 const TaxonomyEntry* find_entry(const TaxonomicName& name) {
-  for (const TaxonomyEntry& row : extended_taxonomy()) {
-    if (row.name && *row.name == name) return &row;
-  }
-  return nullptr;
+  const TaxonomyIndex::ClassInfo* info =
+      TaxonomyIndex::instance().by_name(name);
+  return info ? find_entry(info->serial) : nullptr;
 }
 
 const TaxonomyEntry* find_entry(int serial) {
@@ -114,10 +119,9 @@ const TaxonomyEntry* find_entry(int serial) {
 }
 
 const TaxonomyEntry* find_entry(const MachineClass& mc) {
-  for (const TaxonomyEntry& row : extended_taxonomy()) {
-    if (row.machine == mc) return &row;
-  }
-  return nullptr;
+  const TaxonomyIndex::ClassInfo* info =
+      TaxonomyIndex::instance().by_structure(mc);
+  return info ? find_entry(info->serial) : nullptr;
 }
 
 int implementable_class_count() {

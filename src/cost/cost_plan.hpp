@@ -1,0 +1,65 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/machine_class.hpp"
+#include "cost/area_model.hpp"
+#include "cost/component_library.hpp"
+
+namespace mpct::cost {
+
+/// Both predictive equations evaluated at one bound design point.
+struct CostPoint {
+  double area_kge = 0;           ///< Eq. 1 total
+  std::int64_t config_bits = 0;  ///< Eq. 2 total
+};
+
+/// Memoized per-(class, component-library) evaluator of Eq. 1 / Eq. 2.
+///
+/// `estimate_area` / `estimate_config_bits` re-resolve the symbolic
+/// structure and re-walk the component library on every call — fine for
+/// one query, wasteful for a design-space sweep that prices the same
+/// class at thousands of (n, lut_budget) points.  A CostPlan folds every
+/// design-point-independent invariant at construction: the library
+/// parameters for each block type, the switch kind and symbolic endpoint
+/// multiplicities of each connectivity column, and the datapath width.
+/// `evaluate(n, v)` is then a handful of multiplies and adds.
+///
+/// Bit-identity contract: evaluate() performs the *same floating point
+/// operations in the same order* as the unmemoized pair
+/// (`estimate_area(mc, lib, o).total_kge()`,
+/// `estimate_config_bits(mc, lib, o).total()`), so its results are
+/// bit-identical, not merely close — the sweep engine's results must be
+/// indistinguishable from sequential `recommend()` calls
+/// (tests/test_sweep.cpp enforces this over the whole table).
+///
+/// Thread safety: immutable after construction; evaluate() is const and
+/// touches no shared state — safe to share across sweep workers.
+class CostPlan {
+ public:
+  CostPlan(const MachineClass& mc, const ComponentLibrary& lib,
+           bool include_ip_dp_switch = false);
+
+  /// Price the design point where Multiplicity::Many binds to @p n and
+  /// Multiplicity::Variable (the LUT budget) binds to @p v.
+  CostPoint evaluate(std::int64_t n, std::int64_t v) const;
+
+  /// Same binding rules as the estimate functions take them.
+  CostPoint evaluate(const EstimateOptions& options) const {
+    return evaluate(options.n, options.v);
+  }
+
+ private:
+  bool lut_grain_ = false;
+  bool include_ip_dp_ = false;
+  Multiplicity ips_mult_ = Multiplicity::Zero;
+  Multiplicity dps_mult_ = Multiplicity::One;
+  std::array<SwitchKind, kConnectivityRoleCount> kinds_{};
+  // Library invariants, resolved once.
+  ComponentParams ip_, dp_, im_, dm_, lut_;
+  int data_width_ = 32;
+  SwitchCostParams switch_params_;
+};
+
+}  // namespace mpct::cost

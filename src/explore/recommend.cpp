@@ -3,19 +3,18 @@
 #include <algorithm>
 
 #include "core/flexibility.hpp"
-#include "core/taxonomy_table.hpp"
+#include "core/taxonomy_index.hpp"
 
 namespace mpct::explore {
 
-namespace {
-
-bool satisfies(const MachineClass& mc, const TaxonomicName& name,
-               const Requirements& req, std::string& rationale) {
+bool satisfies_requirements(const MachineClass& mc,
+                            const TaxonomicName& name,
+                            const Requirements& req, int flexibility) {
   const bool universal = name.machine_type == MachineType::UniversalFlow;
   if (req.paradigm && !universal && name.machine_type != *req.paradigm) {
     return false;
   }
-  if (flexibility_score(mc) < req.min_flexibility) return false;
+  if (flexibility < req.min_flexibility) return false;
 
   if (req.needs_independent_programs && !universal) {
     // Only classes with many IPs hold n programs (Section III-B's IAP vs
@@ -32,16 +31,34 @@ bool satisfies(const MachineClass& mc, const TaxonomicName& name,
       return false;
     }
   }
+  return true;
+}
 
-  rationale = "flexibility " + std::to_string(flexibility_score(mc));
-  if (universal) {
+bool recommendation_precedes(const Recommendation& a, const Recommendation& b,
+                             Requirements::Objective objective) {
+  if (objective == Requirements::Objective::MinConfigBits &&
+      a.config_bits != b.config_bits) {
+    return a.config_bits < b.config_bits;
+  }
+  if (a.area_kge != b.area_kge) return a.area_kge < b.area_kge;
+  if (a.config_bits != b.config_bits) return a.config_bits < b.config_bits;
+  return taxonomy_index().interned_name(a.name) <
+         taxonomy_index().interned_name(b.name);
+}
+
+namespace {
+
+std::string make_rationale(const TaxonomicName& name, int flexibility,
+                           const Requirements& req) {
+  std::string rationale = "flexibility " + std::to_string(flexibility);
+  if (name.machine_type == MachineType::UniversalFlow) {
     rationale += ", universal fabric (implements any requirement)";
   } else {
     if (req.needs_independent_programs) rationale += ", n IPs";
     if (req.needs_pe_exchange) rationale += ", DP-DP crossbar";
     if (req.needs_shared_memory) rationale += ", DP-DM crossbar";
   }
-  return true;
+  return rationale;
 }
 
 }  // namespace
@@ -53,35 +70,29 @@ std::vector<Recommendation> recommend(const Requirements& requirements,
   options.m = requirements.n;
   options.v = requirements.lut_budget;
 
+  const TaxonomyIndex& index = taxonomy_index();
   std::vector<Recommendation> out;
-  for (const TaxonomyEntry& row : extended_taxonomy()) {
-    if (!row.name) continue;
-    std::string rationale;
-    if (!satisfies(row.machine, *row.name, requirements, rationale)) {
+  out.reserve(index.rows().size());
+  for (const TaxonomyIndex::ClassInfo& row : index.rows()) {
+    if (!row.named) continue;
+    // Filter first; rationale strings are built only for survivors.
+    if (!satisfies_requirements(row.machine, row.name, requirements,
+                                row.flexibility)) {
       continue;
     }
     Recommendation rec;
-    rec.name = *row.name;
-    rec.flexibility = flexibility_score(row.machine);
+    rec.name = row.name;
+    rec.flexibility = row.flexibility;
     rec.area_kge = cost::estimate_area(row.machine, lib, options).total_kge();
     rec.config_bits =
         cost::estimate_config_bits(row.machine, lib, options).total();
-    rec.rationale = std::move(rationale);
+    rec.rationale = make_rationale(row.name, row.flexibility, requirements);
     out.push_back(std::move(rec));
   }
 
-  const bool by_bits =
-      requirements.objective == Requirements::Objective::MinConfigBits;
   std::sort(out.begin(), out.end(),
             [&](const Recommendation& a, const Recommendation& b) {
-              if (by_bits && a.config_bits != b.config_bits) {
-                return a.config_bits < b.config_bits;
-              }
-              if (a.area_kge != b.area_kge) return a.area_kge < b.area_kge;
-              if (a.config_bits != b.config_bits) {
-                return a.config_bits < b.config_bits;
-              }
-              return to_string(a.name) < to_string(b.name);
+              return recommendation_precedes(a, b, requirements.objective);
             });
   return out;
 }

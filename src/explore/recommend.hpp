@@ -31,6 +31,8 @@ struct Requirements {
 
   enum class Objective { MinConfigBits, MinArea };
   Objective objective = Objective::MinConfigBits;
+
+  bool operator==(const Requirements&) const = default;
 };
 
 /// One ranked recommendation.
@@ -51,5 +53,25 @@ std::vector<Recommendation> recommend(
     const Requirements& requirements,
     const cost::ComponentLibrary& lib =
         cost::ComponentLibrary::default_library());
+
+/// The requirements filter recommend() applies to one taxonomy row,
+/// shared with the sweep engine so both paths admit exactly the same
+/// candidate set.  @p flexibility is the row's precomputed Table II
+/// score (callers have it cached; passing it in keeps this
+/// allocation-free and single-pass).  Design-point-independent: the
+/// verdict does not depend on Requirements::n / lut_budget / objective.
+bool satisfies_requirements(const MachineClass& mc,
+                            const TaxonomicName& name,
+                            const Requirements& requirements,
+                            int flexibility);
+
+/// Deterministic objective ordering shared by recommend() and the sweep:
+/// primary objective value, then the other cost, then the rendered class
+/// name (interned — no allocation).  A strict total order over distinct
+/// classes, so sorting is implementation-independent and ties cannot
+/// reorder between runs.
+bool recommendation_precedes(const Recommendation& a,
+                             const Recommendation& b,
+                             Requirements::Objective objective);
 
 }  // namespace mpct::explore

@@ -1,0 +1,174 @@
+#include "explore/sweep.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace mpct::explore {
+
+SweepGrid SweepGrid::normalized() const {
+  SweepGrid g = *this;
+  if (g.n_values.empty()) g.n_values.push_back(base.n);
+  if (g.lut_budgets.empty()) g.lut_budgets.push_back(base.lut_budget);
+  if (g.objectives.empty()) g.objectives.push_back(base.objective);
+  return g;
+}
+
+std::size_t SweepGrid::cell_count() const {
+  const std::size_t n = n_values.empty() ? 1 : n_values.size();
+  const std::size_t l = lut_budgets.empty() ? 1 : lut_budgets.size();
+  const std::size_t o = objectives.empty() ? 1 : objectives.size();
+  return n * l * o;
+}
+
+namespace {
+
+/// The exact ordering recommendation_precedes() applies, on raw fields —
+/// the sweep's winner must be the row recommend() would sort first.
+bool cell_precedes(Requirements::Objective objective, double a_area,
+                   std::int64_t a_bits, std::string_view a_name,
+                   double b_area, std::int64_t b_bits,
+                   std::string_view b_name) {
+  if (objective == Requirements::Objective::MinConfigBits &&
+      a_bits != b_bits) {
+    return a_bits < b_bits;
+  }
+  if (a_area != b_area) return a_area < b_area;
+  if (a_bits != b_bits) return a_bits < b_bits;
+  return a_name < b_name;
+}
+
+std::int64_t objective_cost_bits(const SweepPoint& p) {
+  return p.config_bits;
+}
+
+bool dominates(const SweepPoint& a, const SweepPoint& b) {
+  // Same-objective comparison only; caller guarantees it.
+  const bool by_bits =
+      a.objective == Requirements::Objective::MinConfigBits;
+  const bool flex_ge = a.flexibility >= b.flexibility;
+  const bool flex_gt = a.flexibility > b.flexibility;
+  bool cost_le = false, cost_lt = false;
+  if (by_bits) {
+    cost_le = objective_cost_bits(a) <= objective_cost_bits(b);
+    cost_lt = objective_cost_bits(a) < objective_cost_bits(b);
+  } else {
+    cost_le = a.area_kge <= b.area_kge;
+    cost_lt = a.area_kge < b.area_kge;
+  }
+  return flex_ge && cost_le && (flex_gt || cost_lt);
+}
+
+}  // namespace
+
+std::vector<SweepPoint> pareto_front(const std::vector<SweepPoint>& points) {
+  std::vector<SweepPoint> front;
+  for (const SweepPoint& p : points) {
+    if (!p.feasible) continue;
+    bool dominated = false;
+    for (const SweepPoint& q : points) {
+      if (!q.feasible || q.objective != p.objective) continue;
+      if (dominates(q, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(p);
+  }
+  return front;
+}
+
+SweepEvaluator::SweepEvaluator(const SweepGrid& grid,
+                               const cost::ComponentLibrary& lib)
+    : grid_(grid.normalized()), cells_(grid_.cell_count()) {
+  // The requirements filter is design-point independent, so the
+  // candidate set is shared by every cell: filter the 47 rows once and
+  // fold each survivor's Eq. 1 / Eq. 2 invariants into a CostPlan.
+  const TaxonomyIndex& index = taxonomy_index();
+  candidates_.reserve(index.rows().size());
+  for (const TaxonomyIndex::ClassInfo& row : index.rows()) {
+    if (!row.named) continue;
+    if (!satisfies_requirements(row.machine, row.name, grid_.base,
+                                row.flexibility)) {
+      continue;
+    }
+    candidates_.push_back(Candidate{&row, cost::CostPlan(row.machine, lib)});
+  }
+}
+
+SweepPoint SweepEvaluator::evaluate_cell(std::size_t index) const {
+  const std::size_t o_count = grid_.objectives.size();
+  const std::size_t l_count = grid_.lut_budgets.size();
+  const std::size_t oi = index % o_count;
+  const std::size_t li = (index / o_count) % l_count;
+  const std::size_t ni = index / (o_count * l_count);
+
+  SweepPoint point;
+  point.n = grid_.n_values[ni];
+  point.lut_budget = grid_.lut_budgets[li];
+  point.objective = grid_.objectives[oi];
+
+  const TaxonomyIndex& names = taxonomy_index();
+  const Candidate* best = nullptr;
+  cost::CostPoint best_cost;
+  std::string_view best_name;
+  for (const Candidate& cand : candidates_) {
+    const cost::CostPoint cost = cand.plan.evaluate(point.n, point.lut_budget);
+    const std::string_view name = names.interned_name(cand.info->name);
+    if (!best || cell_precedes(point.objective, cost.area_kge,
+                               cost.config_bits, name, best_cost.area_kge,
+                               best_cost.config_bits, best_name)) {
+      best = &cand;
+      best_cost = cost;
+      best_name = name;
+    }
+  }
+  if (best) {
+    point.feasible = true;
+    point.best = best->info->name;
+    point.flexibility = best->info->flexibility;
+    point.area_kge = best_cost.area_kge;
+    point.config_bits = best_cost.config_bits;
+  }
+  return point;
+}
+
+void SweepEvaluator::evaluate_range(std::size_t begin, std::size_t end,
+                                    SweepPoint* out) const {
+  for (std::size_t i = begin; i < end; ++i) out[i - begin] = evaluate_cell(i);
+}
+
+SweepResult sweep(const SweepGrid& grid, const cost::ComponentLibrary& lib,
+                  unsigned threads) {
+  const SweepEvaluator evaluator(grid, lib);
+  const std::size_t cells = evaluator.cell_count();
+
+  SweepResult result;
+  result.candidate_classes = evaluator.candidate_count();
+  result.points.resize(cells);
+
+  const unsigned workers =
+      threads > 1 ? std::min<std::size_t>(threads, cells ? cells : 1) : 1;
+  if (workers <= 1) {
+    evaluator.evaluate_range(0, cells, result.points.data());
+  } else {
+    // Contiguous disjoint slices; each worker writes only its own range,
+    // so no synchronization beyond join() is needed.
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    const std::size_t chunk = (cells + workers - 1) / workers;
+    for (unsigned w = 0; w < workers; ++w) {
+      const std::size_t begin = std::min<std::size_t>(w * chunk, cells);
+      const std::size_t end = std::min<std::size_t>(begin + chunk, cells);
+      if (begin == end) break;
+      pool.emplace_back([&evaluator, &result, begin, end] {
+        evaluator.evaluate_range(begin, end, result.points.data() + begin);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  result.pareto_front = pareto_front(result.points);
+  return result;
+}
+
+}  // namespace mpct::explore

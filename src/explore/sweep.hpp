@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/taxonomy_index.hpp"
+#include "cost/cost_plan.hpp"
+#include "explore/recommend.hpp"
+
+namespace mpct::explore {
+
+/// The (n x lut_budget x objective) design-space grid a sweep covers.
+///
+/// `base` carries everything a single recommend() call would take except
+/// the swept axes: paradigm, the needs_* constraints and min_flexibility
+/// all apply uniformly across the grid (they are design-point
+/// independent, so the candidate set is filtered exactly once per
+/// sweep).  Empty axis vectors normalize to the corresponding value in
+/// `base`, so a default SweepGrid prices one point.
+struct SweepGrid {
+  Requirements base;
+  std::vector<std::int64_t> n_values;
+  std::vector<std::int64_t> lut_budgets;
+  std::vector<Requirements::Objective> objectives;
+
+  /// Copy with empty axes replaced by the single base value.
+  SweepGrid normalized() const;
+  /// Cell count of the normalized grid.
+  std::size_t cell_count() const;
+
+  bool operator==(const SweepGrid&) const = default;
+};
+
+/// One evaluated grid cell: the winning class (if any) at this design
+/// point under this objective, with its costs.
+struct SweepPoint {
+  std::int64_t n = 0;
+  std::int64_t lut_budget = 0;
+  Requirements::Objective objective = Requirements::Objective::MinConfigBits;
+  bool feasible = false;  ///< false iff no class passed the filter
+  TaxonomicName best;     ///< valid only when feasible
+  int flexibility = 0;
+  double area_kge = 0;
+  std::int64_t config_bits = 0;
+
+  bool operator==(const SweepPoint&) const = default;
+};
+
+/// Full sweep output: every cell, plus the per-objective Pareto front
+/// over (flexibility maximize, objective cost minimize).
+struct SweepResult {
+  std::vector<SweepPoint> points;        ///< row-major (n, lut, objective)
+  std::vector<SweepPoint> pareto_front;  ///< non-dominated subset
+  std::size_t candidate_classes = 0;     ///< rows surviving the filter
+
+  bool operator==(const SweepResult&) const = default;
+};
+
+/// Cells of @p points not dominated by any other cell *under the same
+/// objective*: a point dominates another when its flexibility is >= and
+/// its objective cost is <= with at least one strict.  Infeasible cells
+/// never appear.  Output order is deterministic (input order preserved).
+std::vector<SweepPoint> pareto_front(const std::vector<SweepPoint>& points);
+
+/// Memoized sweep evaluator.  Construction filters the 47-row taxonomy
+/// once against `grid.base` and builds one cost::CostPlan per surviving
+/// class; each cell evaluation is then `candidates x evaluate(n, v)` —
+/// a handful of multiplies per candidate, no allocation, no library
+/// walks.
+///
+/// Bit-identity contract: evaluate_cell() picks the same winner with
+/// bit-identical costs as `recommend()` called at that cell's
+/// Requirements and taking the front row (tests/test_sweep.cpp).
+///
+/// Thread safety: immutable after construction; evaluate_cell() and
+/// evaluate_range() are const and touch only the output range — workers
+/// may share one evaluator and write disjoint ranges concurrently.
+class SweepEvaluator {
+ public:
+  explicit SweepEvaluator(const SweepGrid& grid,
+                          const cost::ComponentLibrary& lib =
+                              cost::ComponentLibrary::default_library());
+
+  std::size_t cell_count() const { return cells_; }
+  std::size_t candidate_count() const { return candidates_.size(); }
+
+  /// Evaluate one cell by flat row-major index
+  /// `(ni * lut_budgets.size() + li) * objectives.size() + oi`.
+  SweepPoint evaluate_cell(std::size_t index) const;
+
+  /// Evaluate cells [begin, end) into @p out (out[i] = cell begin + i).
+  void evaluate_range(std::size_t begin, std::size_t end,
+                      SweepPoint* out) const;
+
+  const SweepGrid& grid() const { return grid_; }
+
+ private:
+  struct Candidate {
+    const TaxonomyIndex::ClassInfo* info = nullptr;
+    cost::CostPlan plan;
+  };
+
+  SweepGrid grid_;  ///< normalized
+  std::size_t cells_ = 0;
+  std::vector<Candidate> candidates_;
+};
+
+/// Sweep the whole grid.  @p threads == 0 (or 1) evaluates sequentially
+/// on the caller's thread; otherwise the cell range is chunked across
+/// that many scoped workers writing disjoint slices of the result
+/// (results are bit-identical either way).  The service layer instead
+/// chunks over its own worker pool (engine.cpp) — this entry point is
+/// for library callers and for the sequential reference the tests
+/// compare against.
+SweepResult sweep(const SweepGrid& grid,
+                  const cost::ComponentLibrary& lib =
+                      cost::ComponentLibrary::default_library(),
+                  unsigned threads = 0);
+
+}  // namespace mpct::explore

@@ -74,6 +74,40 @@ QueryResponse execute_recommend(const RecommendRequest& request,
   return response;
 }
 
+Status validate_sweep(const explore::SweepGrid& grid) {
+  const explore::SweepGrid g = grid.normalized();
+  for (std::int64_t n : g.n_values) {
+    if (n <= 0) {
+      return Status::invalid_request(
+          "sweep: design-point n must be positive, got " + std::to_string(n));
+    }
+  }
+  for (std::int64_t v : g.lut_budgets) {
+    if (v <= 0) {
+      return Status::invalid_request(
+          "sweep: lut_budget must be positive, got " + std::to_string(v));
+    }
+  }
+  return Status::okay();
+}
+
+/// Sequential sweep — the inline (worker_threads == 0) and execute()
+/// paths; the worker pool goes through submit_sweep() instead.
+QueryResponse execute_sweep(const SweepRequest& request,
+                            const cost::ComponentLibrary& library) {
+  QueryResponse response;
+  Status valid = validate_sweep(request.grid);
+  if (!valid.ok()) {
+    response.status = std::move(valid);
+    return response;
+  }
+  SweepResponse payload;
+  payload.result = explore::sweep(request.grid, library);
+  response.payload =
+      std::make_shared<const ResponsePayload>(std::move(payload));
+  return response;
+}
+
 QueryResponse execute_cost(const CostRequest& request,
                            const cost::ComponentLibrary& library) {
   QueryResponse response;
@@ -146,6 +180,10 @@ std::future<QueryResponse> QueryEngine::submit(Request request,
     return ready_future(run_request(request, deadline, Clock::now()));
   }
 
+  if (auto* sweep_request = std::get_if<SweepRequest>(&request)) {
+    return submit_sweep(std::move(*sweep_request), deadline);
+  }
+
   Task task;
   task.request = std::move(request);
   task.deadline = deadline;
@@ -203,6 +241,11 @@ void QueryEngine::worker_loop() {
     for (Task& task : batch) {
       metrics_.queue_depth.decrement();
       metrics_.in_flight.increment();
+      if (task.sweep_job) {
+        run_sweep_chunk(task);
+        metrics_.in_flight.decrement();
+        continue;
+      }
       QueryResponse response =
           run_request(task.request, task.deadline, task.enqueued);
       metrics_.in_flight.decrement();
@@ -213,6 +256,170 @@ void QueryEngine::worker_loop() {
 
 void QueryEngine::finish_task(Task& task, QueryResponse response) {
   task.promise.set_value(std::move(response));
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    --pending_;
+  }
+  drained_.notify_all();
+}
+
+void QueryEngine::SweepJob::fail(StatusCode code, std::string message) {
+  int expected = 0;
+  if (fail_code.compare_exchange_strong(expected, static_cast<int>(code),
+                                        std::memory_order_acq_rel)) {
+    // Only the winning CAS writes the message; complete_sweep() reads it
+    // after the final fetch_sub on `remaining` synchronizes with ours.
+    fail_message = std::move(message);
+  }
+}
+
+std::future<QueryResponse> QueryEngine::submit_sweep(SweepRequest request,
+                                                     Deadline deadline) {
+  const Clock::time_point enqueued = Clock::now();
+
+  Status valid = validate_sweep(request.grid);
+  if (!valid.ok()) {
+    metrics_.failed.add();
+    return ready_future(rejected(std::move(valid)));
+  }
+
+  // Same key fingerprint(Request) computes, without re-wrapping the
+  // request: the type tag first, then the grid hash — so the inline and
+  // chunk-parallel paths share cache entries.
+  FingerprintBuilder key_builder;
+  key_builder.mix(static_cast<int>(RequestType::Sweep))
+      .mix(fingerprint(request.grid));
+  const Fingerprint key = key_builder.value();
+
+  if (options_.enable_cache) {
+    if (std::shared_ptr<const ResponsePayload> hit = cache_.get(key)) {
+      metrics_.cache_hits.add();
+      QueryResponse response;
+      response.payload = std::move(hit);
+      response.cache_hit = true;
+      response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now() - enqueued);
+      metrics_.latency(RequestType::Sweep).record(response.latency);
+      metrics_.completed.add();
+      return ready_future(std::move(response));
+    }
+    metrics_.cache_misses.add();
+  }
+
+  auto job = std::make_shared<SweepJob>(
+      explore::SweepEvaluator(request.grid, options_.library));
+  const std::size_t cells = job->evaluator.cell_count();
+  job->points.resize(cells);
+  job->key = key;
+  job->enqueued = enqueued;
+  std::future<QueryResponse> future = job->promise.get_future();
+
+  // Aim for ~2 chunks per worker (load balance without queue churn), but
+  // never more chunks than the queue could ever hold.
+  std::size_t target_chunks =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   options_.worker_threads) * 2);
+  target_chunks = std::min(target_chunks,
+                           std::max<std::size_t>(1, queue_->capacity()));
+  const std::size_t chunk_cells =
+      std::max<std::size_t>(1, (cells + target_chunks - 1) / target_chunks);
+  const std::size_t chunk_count = (cells + chunk_cells - 1) / chunk_cells;
+  job->remaining.store(chunk_count, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (shutdown_) {
+      metrics_.rejected_shutdown.add();
+      return ready_future(rejected(Status::shutting_down()));
+    }
+    // All-or-nothing enqueue: pushes are serialized by lifecycle_mutex_
+    // and concurrent pops only shrink the queue, so after this capacity
+    // check every chunk's try_push is guaranteed to succeed.
+    if (queue_->size() + chunk_count > queue_->capacity()) {
+      metrics_.rejected_queue_full.add();
+      return ready_future(rejected(Status::queue_full()));
+    }
+    for (std::size_t i = 0; i < chunk_count; ++i) {
+      Task task;
+      task.deadline = deadline;
+      task.enqueued = enqueued;
+      task.sweep_job = job;
+      task.chunk_begin = i * chunk_cells;
+      task.chunk_end = std::min(cells, task.chunk_begin + chunk_cells);
+      if (!queue_->try_push(task)) {
+        // Unreachable (see the capacity check above); keep the job's
+        // chunk accounting consistent anyway so the future resolves.
+        job->fail(StatusCode::InternalError, "sweep chunk enqueue failed");
+        if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          job->promise.set_value(
+              rejected(Status::internal_error(job->fail_message)));
+          return future;  // no chunk enqueued; pending_ untouched
+        }
+        continue;
+      }
+      metrics_.queue_depth.increment();
+    }
+    ++pending_;
+  }
+  return future;
+}
+
+void QueryEngine::run_sweep_chunk(Task& task) {
+  SweepJob& job = *task.sweep_job;
+  if (task.deadline.expired()) {
+    job.fail(StatusCode::DeadlineExceeded);
+  } else if (job.fail_code.load(std::memory_order_relaxed) == 0) {
+    try {
+      job.evaluator.evaluate_range(task.chunk_begin, task.chunk_end,
+                                   job.points.data() + task.chunk_begin);
+    } catch (const std::exception& e) {
+      job.fail(StatusCode::InternalError, e.what());
+    } catch (...) {
+      job.fail(StatusCode::InternalError, "unknown exception");
+    }
+  }
+  if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    complete_sweep(task);
+  }
+}
+
+void QueryEngine::complete_sweep(Task& task) {
+  SweepJob& job = *task.sweep_job;
+  QueryResponse response;
+  const int fail = job.fail_code.load(std::memory_order_acquire);
+  if (fail != 0) {
+    switch (static_cast<StatusCode>(fail)) {
+      case StatusCode::DeadlineExceeded:
+        metrics_.rejected_deadline.add();
+        response = rejected(Status::deadline_exceeded());
+        break;
+      case StatusCode::ShuttingDown:
+        metrics_.rejected_shutdown.add();
+        response = rejected(Status::shutting_down());
+        break;
+      default:
+        response = rejected(Status::internal_error(job.fail_message));
+        break;
+    }
+  } else {
+    SweepResponse payload;
+    payload.result.candidate_classes = job.evaluator.candidate_count();
+    payload.result.points = std::move(job.points);
+    payload.result.pareto_front =
+        explore::pareto_front(payload.result.points);
+    response.payload =
+        std::make_shared<const ResponsePayload>(std::move(payload));
+    if (options_.enable_cache) cache_.put(job.key, response.payload);
+  }
+  response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      Clock::now() - job.enqueued);
+  metrics_.latency(RequestType::Sweep).record(response.latency);
+  if (response.ok()) {
+    metrics_.completed.add();
+  } else if (response.status.code != StatusCode::DeadlineExceeded) {
+    metrics_.failed.add();
+  }
+  job.promise.set_value(std::move(response));
   {
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
     --pending_;
@@ -267,7 +474,10 @@ QueryResponse QueryEngine::execute_uncached(const Request& request) const {
             return execute_classify(req);
           } else if constexpr (std::is_same_v<T, RecommendRequest>) {
             return execute_recommend(req, options_.library);
+          } else if constexpr (std::is_same_v<T, SweepRequest>) {
+            return execute_sweep(req, options_.library);
           } else {
+            static_assert(std::is_same_v<T, CostRequest>);
             return execute_cost(req, options_.library);
           }
         },
@@ -299,6 +509,16 @@ void QueryEngine::shutdown() {
   // every accepted future must become ready, so reject them here.
   while (std::optional<Task> leftover = queue_->try_pop()) {
     metrics_.queue_depth.decrement();
+    if (leftover->sweep_job) {
+      // Sweep chunks resolve through their shared job; the last chunk
+      // drained answers ShuttingDown (and counts it) exactly once.
+      leftover->sweep_job->fail(StatusCode::ShuttingDown);
+      if (leftover->sweep_job->remaining.fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        complete_sweep(*leftover);
+      }
+      continue;
+    }
     metrics_.rejected_shutdown.add();
     finish_task(*leftover, rejected(Status::shutting_down()));
   }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <future>
@@ -10,6 +11,7 @@
 
 #include "cost/component_library.hpp"
 #include "service/cache.hpp"
+#include "service/fingerprint.hpp"
 #include "service/metrics.hpp"
 #include "service/queue.hpp"
 #include "service/request.hpp"
@@ -121,15 +123,52 @@ class QueryEngine {
   const EngineOptions& options() const { return options_; }
 
  private:
+  /// Shared state of one in-flight SweepRequest whose grid has been split
+  /// into chunk tasks.  The evaluator is immutable and `points` is
+  /// pre-sized, with each chunk writing only its own disjoint slice (the
+  /// per-chunk scratch area) — so chunk execution needs no locking, only
+  /// the final fetch_sub on `remaining` to elect the finisher.
+  struct SweepJob {
+    explore::SweepEvaluator evaluator;
+    std::vector<explore::SweepPoint> points;
+    std::promise<QueryResponse> promise;
+    std::atomic<std::size_t> remaining{0};
+    /// First failure wins: 0 = ok, otherwise the StatusCode to answer
+    /// with (deadline, shutdown, internal).
+    std::atomic<int> fail_code{0};
+    std::string fail_message;  ///< written only by the winning CAS
+    Fingerprint key = 0;
+    Clock::time_point enqueued;
+
+    explicit SweepJob(explore::SweepEvaluator eval)
+        : evaluator(std::move(eval)) {}
+    void fail(StatusCode code, std::string message = {});
+  };
+
   struct Task {
     Request request;
     Deadline deadline;
     std::promise<QueryResponse> promise;
     Clock::time_point enqueued;
+    /// Non-null for a sweep chunk; `request` is then unused and the
+    /// response flows through the job's promise instead.
+    std::shared_ptr<SweepJob> sweep_job;
+    std::size_t chunk_begin = 0;
+    std::size_t chunk_end = 0;
   };
 
   void worker_loop();
   void finish_task(Task& task, QueryResponse response);
+
+  /// Parallel fast path for SweepRequest: validate, probe the cache,
+  /// split the grid into chunk tasks and enqueue them all (atomically —
+  /// either every chunk is accepted or the request is rejected).
+  std::future<QueryResponse> submit_sweep(SweepRequest request,
+                                          Deadline deadline);
+  /// Evaluate one chunk; the last chunk to finish calls complete_sweep().
+  void run_sweep_chunk(Task& task);
+  /// Merge the Pareto front, publish to the cache, resolve the future.
+  void complete_sweep(Task& task);
 
   /// Deadline check + cache + execution + completion metrics; shared by
   /// workers, the inline single-threaded path, and execute().

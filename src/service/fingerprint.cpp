@@ -137,6 +137,24 @@ Fingerprint fingerprint(const explore::Requirements& requirements) {
   return b.value();
 }
 
+Fingerprint fingerprint(const explore::SweepGrid& grid) {
+  // Hash the un-normalized grid: an explicit single-value axis and an
+  // empty axis that normalizes to the same value produce byte-identical
+  // SweepResults... except for the axes echoed back, so they must key
+  // separately anyway.
+  FingerprintBuilder b;
+  b.mix(fingerprint(grid.base));
+  b.mix(static_cast<std::uint64_t>(grid.n_values.size()));
+  for (std::int64_t n : grid.n_values) b.mix(n);
+  b.mix(static_cast<std::uint64_t>(grid.lut_budgets.size()));
+  for (std::int64_t v : grid.lut_budgets) b.mix(v);
+  b.mix(static_cast<std::uint64_t>(grid.objectives.size()));
+  for (explore::Requirements::Objective o : grid.objectives) {
+    b.mix(static_cast<int>(o));
+  }
+  return b.value();
+}
+
 Fingerprint fingerprint(const cost::EstimateOptions& options) {
   FingerprintBuilder b;
   b.mix(options.n).mix(options.m).mix(options.v).mix(
@@ -161,7 +179,10 @@ Fingerprint fingerprint(const Request& request) {
         } else if constexpr (std::is_same_v<T, RecommendRequest>) {
           b.mix(fingerprint(req.requirements))
               .mix(static_cast<std::uint64_t>(req.top_k));
+        } else if constexpr (std::is_same_v<T, SweepRequest>) {
+          b.mix(fingerprint(req.grid));
         } else {
+          static_assert(std::is_same_v<T, CostRequest>);
           b.mix(req.target.index());
           if (const auto* mc = std::get_if<MachineClass>(&req.target)) {
             b.mix(fingerprint(*mc));

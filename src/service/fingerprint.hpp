@@ -7,6 +7,7 @@
 #include "core/machine_class.hpp"
 #include "cost/area_model.hpp"
 #include "explore/recommend.hpp"
+#include "explore/sweep.hpp"
 #include "service/request.hpp"
 
 namespace mpct::service {
@@ -50,6 +51,7 @@ Fingerprint fingerprint(const arch::ConnectivityExpr& expr);
 Fingerprint fingerprint(const arch::ArchitectureSpec& spec);
 Fingerprint fingerprint(const MachineClass& mc);
 Fingerprint fingerprint(const explore::Requirements& requirements);
+Fingerprint fingerprint(const explore::SweepGrid& grid);
 Fingerprint fingerprint(const cost::EstimateOptions& options);
 
 /// Key for a whole request; the request-type tag is mixed first so the

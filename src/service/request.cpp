@@ -10,6 +10,8 @@ std::string_view to_string(RequestType type) {
       return "recommend";
     case RequestType::Cost:
       return "cost";
+    case RequestType::Sweep:
+      return "sweep";
   }
   return "unknown";
 }

@@ -15,6 +15,7 @@
 #include "cost/area_model.hpp"
 #include "cost/config_bits.hpp"
 #include "explore/recommend.hpp"
+#include "explore/sweep.hpp"
 #include "service/status.hpp"
 
 namespace mpct::service {
@@ -91,11 +92,32 @@ struct CostResponse {
   std::vector<Point> points;
 };
 
-using Request = std::variant<ClassifyRequest, RecommendRequest, CostRequest>;
+/// Evaluate a whole (n x lut_budget x objective) design-space grid
+/// (explore::sweep).  Unlike the other request kinds, a SweepRequest is
+/// not executed by a single worker: submit() splits the grid into cell
+/// chunks that the worker pool drains concurrently, and the last chunk
+/// to finish merges the Pareto front and resolves the future.  Results
+/// are bit-identical to the sequential explore::sweep() regardless of
+/// how the chunks interleave.
+struct SweepRequest {
+  explore::SweepGrid grid;
+};
+
+struct SweepResponse {
+  explore::SweepResult result;
+};
+
+using Request =
+    std::variant<ClassifyRequest, RecommendRequest, CostRequest, SweepRequest>;
 
 /// Discriminator used for per-request-type metrics and cache keying.
-enum class RequestType : std::uint8_t { Classify = 0, Recommend = 1, Cost = 2 };
-inline constexpr std::size_t kRequestTypeCount = 3;
+enum class RequestType : std::uint8_t {
+  Classify = 0,
+  Recommend = 1,
+  Cost = 2,
+  Sweep = 3,
+};
+inline constexpr std::size_t kRequestTypeCount = 4;
 
 std::string_view to_string(RequestType type);
 
@@ -106,7 +128,7 @@ inline RequestType request_type(const Request& request) {
 /// Successful payload; monostate while status is not Ok.
 using ResponsePayload =
     std::variant<std::monostate, ClassifyResponse, RecommendResponse,
-                 CostResponse>;
+                 CostResponse, SweepResponse>;
 
 /// What a submitted query resolves to.  `status` is always meaningful;
 /// the payload alternative matches the request type only when status.ok().
@@ -132,6 +154,9 @@ struct QueryResponse {
   }
   const CostResponse* cost() const {
     return payload ? std::get_if<CostResponse>(payload.get()) : nullptr;
+  }
+  const SweepResponse* sweep() const {
+    return payload ? std::get_if<SweepResponse>(payload.get()) : nullptr;
   }
 };
 

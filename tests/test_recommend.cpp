@@ -114,6 +114,48 @@ TEST(Recommend, UspAlwaysQualifies) {
   EXPECT_EQ(to_string(recs.front().name), "USP");
 }
 
+TEST(Recommend, TieBreakOnNameIsDeterministic) {
+  // A zero-cost library zeroes every component term, leaving only the
+  // structural crossbar select bits — so many classes tie exactly on
+  // both objectives.  Ties must fall through to the rendered-name
+  // comparison, making the full order observable and repeatable.
+  cost::ComponentLibrary zero;
+  zero.name = "zero";
+  zero.ip = zero.dp = zero.im = zero.dm = zero.lut = {};
+  zero.switch_params.ge_per_crosspoint_bit = 0;
+  zero.switch_params.ge_per_wire_bit = 0;
+
+  Requirements req;
+  const auto recs = recommend(req, zero);
+  ASSERT_EQ(recs.size(), 43u);
+  std::size_t tied_pairs = 0;
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].area_kge, 0.0);
+    if (recs[i - 1].config_bits == recs[i].config_bits) {
+      ++tied_pairs;
+      EXPECT_LT(to_string(recs[i - 1].name), to_string(recs[i].name));
+    }
+  }
+  EXPECT_GT(tied_pairs, 0u) << "expected cost ties under the zero library";
+  // And the whole ranking is reproducible call to call.
+  const auto again = recommend(req, zero);
+  ASSERT_EQ(recs.size(), again.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].name, again[i].name);
+    EXPECT_EQ(recs[i].rationale, again[i].rationale);
+  }
+}
+
+TEST(Recommend, ImpossibleFloorEmptyEvenWithEveryFilter) {
+  Requirements req;
+  req.min_flexibility = 9;  // above USP's maximum score of 8
+  req.paradigm = MachineType::InstructionFlow;
+  req.needs_independent_programs = true;
+  req.needs_pe_exchange = true;
+  req.needs_shared_memory = true;
+  EXPECT_TRUE(recommend(req).empty());
+}
+
 TEST(Recommend, CostsScaleWithDesignPoint) {
   Requirements small;
   small.min_flexibility = 6;

@@ -1,0 +1,314 @@
+#include "explore/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "core/taxonomy_index.hpp"
+#include "cost/cost_plan.hpp"
+#include "explore/recommend.hpp"
+#include "service/engine.hpp"
+
+namespace mpct::explore {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CostPlan: the memoized evaluator must be bit-identical to the
+// unmemoized estimate functions, for every row of the table and across
+// representative design points.  EXPECT_EQ on the doubles is deliberate:
+// the contract is same-ops-same-order, not "close".
+
+TEST(CostPlan, BitIdenticalToEstimatesAcrossTable) {
+  const cost::ComponentLibrary lib = cost::ComponentLibrary::default_library();
+  const std::int64_t ns[] = {1, 2, 8, 16, 64, 1000};
+  const std::int64_t vs[] = {1, 64, 1024, 100000};
+  for (const TaxonomyIndex::ClassInfo& row : taxonomy_index().rows()) {
+    const cost::CostPlan plan(row.machine, lib);
+    for (std::int64_t n : ns) {
+      for (std::int64_t v : vs) {
+        cost::EstimateOptions options;
+        options.n = n;
+        options.m = n;
+        options.v = v;
+        const cost::CostPoint point = plan.evaluate(n, v);
+        EXPECT_EQ(point.area_kge,
+                  cost::estimate_area(row.machine, lib, options).total_kge())
+            << "serial " << row.serial << " n=" << n << " v=" << v;
+        EXPECT_EQ(point.config_bits,
+                  cost::estimate_config_bits(row.machine, lib, options).total())
+            << "serial " << row.serial << " n=" << n << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(CostPlan, BitIdenticalWithIpDpSwitchAndOtherLibraries) {
+  for (const cost::ComponentLibrary& lib :
+       {cost::ComponentLibrary::embedded(), cost::ComponentLibrary::hpc()}) {
+    for (const TaxonomyIndex::ClassInfo& row : taxonomy_index().rows()) {
+      const cost::CostPlan plan(row.machine, lib, /*include_ip_dp_switch=*/true);
+      cost::EstimateOptions options;
+      options.n = 32;
+      options.m = 32;
+      options.v = 4096;
+      options.include_ip_dp_switch = true;
+      const cost::CostPoint point = plan.evaluate(options);
+      EXPECT_EQ(point.area_kge,
+                cost::estimate_area(row.machine, lib, options).total_kge());
+      EXPECT_EQ(point.config_bits,
+                cost::estimate_config_bits(row.machine, lib, options).total());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SweepGrid / sweep(): grid semantics and equivalence to sequential
+// recommend() calls.
+
+SweepGrid demo_grid() {
+  SweepGrid grid;
+  grid.base.min_flexibility = 2;
+  grid.n_values = {4, 16, 64};
+  grid.lut_budgets = {256, 1024};
+  grid.objectives = {Requirements::Objective::MinConfigBits,
+                     Requirements::Objective::MinArea};
+  return grid;
+}
+
+TEST(Sweep, EmptyAxesNormalizeToBase) {
+  SweepGrid grid;
+  grid.base.n = 12;
+  grid.base.lut_budget = 99;
+  EXPECT_EQ(grid.cell_count(), 1u);
+  const SweepResult result = sweep(grid);
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_EQ(result.points[0].n, 12);
+  EXPECT_EQ(result.points[0].lut_budget, 99);
+  EXPECT_EQ(result.points[0].objective, grid.base.objective);
+}
+
+TEST(Sweep, EveryCellMatchesSequentialRecommendBitForBit) {
+  const SweepGrid grid = demo_grid();
+  const SweepResult result = sweep(grid);
+  ASSERT_EQ(result.points.size(), grid.cell_count());
+  for (const SweepPoint& point : result.points) {
+    Requirements req = grid.base;
+    req.n = point.n;
+    req.lut_budget = point.lut_budget;
+    req.objective = point.objective;
+    const std::vector<Recommendation> recs = recommend(req);
+    ASSERT_FALSE(recs.empty());
+    ASSERT_TRUE(point.feasible);
+    EXPECT_EQ(point.best, recs.front().name);
+    EXPECT_EQ(point.flexibility, recs.front().flexibility);
+    EXPECT_EQ(point.area_kge, recs.front().area_kge);
+    EXPECT_EQ(point.config_bits, recs.front().config_bits);
+    EXPECT_EQ(result.candidate_classes, recs.size());
+  }
+}
+
+TEST(Sweep, ThreadCountDoesNotChangeResults) {
+  SweepGrid grid = demo_grid();
+  grid.n_values = {1, 2, 3, 5, 8, 13, 21, 34, 55};
+  grid.lut_budgets = {16, 256, 4096};
+  const SweepResult sequential = sweep(grid);
+  for (unsigned threads : {1u, 2u, 3u, 4u, 7u, 16u}) {
+    EXPECT_EQ(sweep(grid, cost::ComponentLibrary::default_library(), threads),
+              sequential)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Sweep, ImpossibleFloorYieldsInfeasibleCells) {
+  SweepGrid grid = demo_grid();
+  grid.base.min_flexibility = 9;
+  const SweepResult result = sweep(grid);
+  EXPECT_EQ(result.candidate_classes, 0u);
+  EXPECT_TRUE(result.pareto_front.empty());
+  for (const SweepPoint& point : result.points) {
+    EXPECT_FALSE(point.feasible);
+  }
+}
+
+TEST(Sweep, ParetoFrontIsExactlyTheNonDominatedSubset) {
+  const SweepGrid grid = demo_grid();
+  const SweepResult result = sweep(grid);
+  ASSERT_FALSE(result.pareto_front.empty());
+  const auto cost_of = [](const SweepPoint& p) {
+    return p.objective == Requirements::Objective::MinConfigBits
+               ? static_cast<double>(p.config_bits)
+               : p.area_kge;
+  };
+  const auto dominated = [&](const SweepPoint& p) {
+    for (const SweepPoint& q : result.points) {
+      if (!q.feasible || q.objective != p.objective) continue;
+      if (q.flexibility >= p.flexibility && cost_of(q) <= cost_of(p) &&
+          (q.flexibility > p.flexibility || cost_of(q) < cost_of(p))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const SweepPoint& p : result.pareto_front) {
+    EXPECT_TRUE(p.feasible);
+    EXPECT_FALSE(dominated(p));
+  }
+  std::size_t non_dominated = 0;
+  for (const SweepPoint& p : result.points) {
+    if (p.feasible && !dominated(p)) ++non_dominated;
+  }
+  EXPECT_EQ(result.pareto_front.size(), non_dominated);
+}
+
+TEST(Sweep, FilterMatchesRecommendCandidateSet) {
+  SweepGrid grid;
+  grid.base.paradigm = MachineType::InstructionFlow;
+  grid.base.needs_pe_exchange = true;
+  const SweepResult result = sweep(grid);
+  EXPECT_EQ(result.candidate_classes, recommend(grid.base).size());
+}
+
+}  // namespace
+}  // namespace mpct::explore
+
+// ---------------------------------------------------------------------------
+// Service integration: the chunk-parallel SweepRequest path must be
+// indistinguishable from the sequential library call, under any worker
+// count and interleaving (this suite also runs under TSan in CI).
+
+namespace mpct::service {
+namespace {
+
+explore::SweepGrid service_grid() {
+  explore::SweepGrid grid;
+  grid.n_values = {2, 4, 8, 16, 32, 64};
+  grid.lut_budgets = {64, 512, 4096};
+  grid.objectives = {explore::Requirements::Objective::MinConfigBits,
+                     explore::Requirements::Objective::MinArea};
+  return grid;
+}
+
+TEST(SweepService, WorkerPoolMatchesSequentialLibrarySweep) {
+  EngineOptions options;
+  options.worker_threads = 4;
+  QueryEngine engine(options);
+  const explore::SweepGrid grid = service_grid();
+  QueryResponse response = engine.submit(SweepRequest{grid}).get();
+  ASSERT_TRUE(response.ok()) << response.status.to_string();
+  const SweepResponse* payload = response.sweep();
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(payload->result, explore::sweep(grid));
+}
+
+TEST(SweepService, InlineModeMatchesWorkerPool) {
+  EngineOptions inline_options;
+  inline_options.worker_threads = 0;
+  QueryEngine inline_engine(inline_options);
+  EngineOptions pool_options;
+  pool_options.worker_threads = 4;
+  QueryEngine pool_engine(pool_options);
+
+  const explore::SweepGrid grid = service_grid();
+  QueryResponse inline_response =
+      inline_engine.submit(SweepRequest{grid}).get();
+  QueryResponse pool_response = pool_engine.submit(SweepRequest{grid}).get();
+  ASSERT_TRUE(inline_response.ok());
+  ASSERT_TRUE(pool_response.ok());
+  ASSERT_NE(inline_response.sweep(), nullptr);
+  ASSERT_NE(pool_response.sweep(), nullptr);
+  EXPECT_EQ(inline_response.sweep()->result, pool_response.sweep()->result);
+}
+
+TEST(SweepService, SecondSubmissionHitsTheCache) {
+  EngineOptions options;
+  options.worker_threads = 4;
+  QueryEngine engine(options);
+  const explore::SweepGrid grid = service_grid();
+  QueryResponse first = engine.submit(SweepRequest{grid}).get();
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.cache_hit);
+  QueryResponse second = engine.submit(SweepRequest{grid}).get();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.cache_hit);
+  // Shared payload, not a deep copy.
+  EXPECT_EQ(first.payload.get(), second.payload.get());
+}
+
+TEST(SweepService, InvalidGridRejectedInBothModes) {
+  explore::SweepGrid bad = service_grid();
+  bad.n_values.push_back(-3);
+  for (unsigned workers : {0u, 4u}) {
+    EngineOptions options;
+    options.worker_threads = workers;
+    QueryEngine engine(options);
+    QueryResponse response = engine.submit(SweepRequest{bad}).get();
+    EXPECT_EQ(response.status.code, StatusCode::InvalidRequest)
+        << "workers=" << workers;
+  }
+}
+
+TEST(SweepService, QueueTooSmallForChunksRejectsWholeSweep) {
+  EngineOptions options;
+  options.worker_threads = 2;
+  options.queue_capacity = 3;
+  options.start_workers = false;
+  QueryEngine engine(options);
+  // Fill two of the three slots so the sweep's chunks cannot all fit.
+  std::vector<std::future<QueryResponse>> fillers;
+  fillers.push_back(engine.submit(RecommendRequest{}));
+  fillers.push_back(engine.submit(RecommendRequest{}));
+  QueryResponse rejected = engine.submit(SweepRequest{service_grid()}).get();
+  EXPECT_EQ(rejected.status.code, StatusCode::QueueFull);
+  engine.start();
+  for (auto& filler : fillers) {
+    EXPECT_TRUE(filler.get().ok());
+  }
+}
+
+TEST(SweepService, ShutdownResolvesQueuedSweepChunks) {
+  EngineOptions options;
+  options.worker_threads = 2;
+  options.start_workers = false;
+  QueryEngine engine(options);
+  std::future<QueryResponse> future =
+      engine.submit(SweepRequest{service_grid()});
+  engine.shutdown();
+  EXPECT_EQ(future.get().status.code, StatusCode::ShuttingDown);
+}
+
+TEST(SweepService, ConcurrentSweepsAndPointQueriesAgree) {
+  EngineOptions options;
+  options.worker_threads = 4;
+  options.enable_cache = false;  // force every submission to execute
+  QueryEngine engine(options);
+
+  std::vector<explore::SweepGrid> grids;
+  for (int i = 0; i < 6; ++i) {
+    explore::SweepGrid grid = service_grid();
+    grid.base.min_flexibility = i;
+    grids.push_back(grid);
+  }
+
+  std::vector<std::future<QueryResponse>> sweeps;
+  std::vector<std::future<QueryResponse>> recommends;
+  for (const explore::SweepGrid& grid : grids) {
+    sweeps.push_back(engine.submit(SweepRequest{grid}));
+    RecommendRequest point;
+    point.requirements = grid.base;
+    recommends.push_back(engine.submit(point));
+  }
+  engine.drain();
+
+  for (std::size_t i = 0; i < grids.size(); ++i) {
+    QueryResponse sweep_response = sweeps[i].get();
+    ASSERT_TRUE(sweep_response.ok()) << sweep_response.status.to_string();
+    ASSERT_NE(sweep_response.sweep(), nullptr);
+    EXPECT_EQ(sweep_response.sweep()->result, explore::sweep(grids[i]));
+    QueryResponse rec_response = recommends[i].get();
+    ASSERT_TRUE(rec_response.ok());
+  }
+}
+
+}  // namespace
+}  // namespace mpct::service

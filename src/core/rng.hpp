@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mpct {
+
+/// Small deterministic PRNG (xorshift64*, Vigna) shared by every seeded
+/// sampler in the library: NoC traffic generation (interconnect/traffic),
+/// fault sampling (fault/fault_model) and the randomised property tests.
+/// One generator means one reproducibility contract: the same seed
+/// produces the same stream bit-exactly on every platform — no dependence
+/// on std::random distributions, whose outputs are implementation-defined.
+///
+/// Hoisted from interconnect/traffic so the fault engine does not have to
+/// link the interconnect simulators to draw reproducible samples; the
+/// algorithm and the zero-seed substitution constant are unchanged, so
+/// pre-existing traffic streams are bit-identical for every seed
+/// (tests/test_traffic.cpp pins the stream for the default seeds).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed)
+      : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t next() {
+    // xorshift64* (Vigna): passes BigCrush small-state tests, plenty for
+    // workload generation and Monte-Carlo fault sampling.
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~0ULL - ~0ULL % bound;
+    std::uint64_t value = next();
+    while (value >= limit) value = next();
+    return value % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    // 53 high bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Seed for a statistically independent child stream: splitmix64
+  /// finalisation over (base, stream).  Chunk-parallel Monte-Carlo sweeps
+  /// seed every trial with derive_seed(base, trial_index), so the stream
+  /// a trial consumes depends only on its index — never on which worker
+  /// ran it or how the trial range was chunked (the thread-count
+  /// invariance the fault curves are test-bound to).
+  static std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace mpct

@@ -19,6 +19,9 @@ struct EstimateOptions {
   /// term; set true to add it (the "extended" model the ablation bench
   /// compares against).
   bool include_ip_dp_switch = false;
+
+  friend bool operator==(const EstimateOptions&,
+                         const EstimateOptions&) = default;
 };
 
 /// Term-by-term result of the Eq. 1 area prediction, in kGE.

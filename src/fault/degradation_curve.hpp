@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cost/component_library.hpp"
+#include "fault/degrade.hpp"
+#include "fault/fault_model.hpp"
+
+namespace mpct::fault {
+
+/// The (fault-rate x trial) Monte-Carlo grid a degradation curve covers.
+///
+/// Determinism contract: trial t of rate r draws its FaultSet from
+/// Rng::derive_seed(seed, r * trials_per_rate + t), so every cell's
+/// outcome depends only on (spec, cell index) — never on thread count,
+/// chunking, or evaluation order.  The same spec therefore produces a
+/// byte-identical CSV on every run (tests/test_fault.cpp pins this
+/// across 0, 1 and N worker threads).
+struct CurveSpec {
+  MachineClass machine;
+  /// Binds the machine to a concrete FabricShape (Many -> n, Variable ->
+  /// v), exactly as degrade() and the cost equations bind it.
+  cost::EstimateOptions bindings;
+  /// Optional mesh NoC laid over the fabric (router i at DP i); both 0
+  /// to analyse the structural fabric alone.
+  int noc_width = 0;
+  int noc_height = 0;
+  /// Swept axis: uniform per-component failure probabilities.
+  std::vector<double> fault_rates;
+  int trials_per_rate = 32;
+  std::uint64_t seed = 1;
+
+  /// Copy with an empty rate axis replaced by {0.0} and trials clamped
+  /// to >= 1.
+  CurveSpec normalized() const;
+  std::size_t cell_count() const;
+
+  friend bool operator==(const CurveSpec&, const CurveSpec&) = default;
+};
+
+/// One Monte-Carlo trial: the facts of a single degrade() call the
+/// curve aggregates.  Plain data so chunk workers can write disjoint
+/// slices.
+struct TrialOutcome {
+  bool alive = false;
+  int degraded_score = 0;
+  double flexibility_retention = 0;
+  double component_survival = 1.0;
+  /// Surviving connectivity: NoC reachable fraction when the spec lays
+  /// a mesh over the fabric, else the surviving switch-port fraction.
+  double connectivity = 1.0;
+
+  friend bool operator==(const TrialOutcome&, const TrialOutcome&) = default;
+};
+
+/// Aggregated outcomes of all trials at one fault rate.
+struct CurvePoint {
+  double fault_rate = 0;
+  int trials = 0;
+  double yield = 0;               ///< fraction of trials still alive()
+  double mean_flexibility = 0;    ///< mean flexibility retention
+  double mean_connectivity = 0;   ///< mean connectivity retention
+  double mean_survival = 0;       ///< mean component survival
+
+  friend bool operator==(const CurvePoint&, const CurvePoint&) = default;
+};
+
+/// Full curve output.
+struct CurveResult {
+  CurveSpec spec;  ///< normalized
+  std::vector<CurvePoint> points;  ///< one per fault rate, in axis order
+
+  friend bool operator==(const CurveResult&, const CurveResult&) = default;
+};
+
+/// Memoized Monte-Carlo evaluator, the fault analogue of
+/// explore::SweepEvaluator.  Construction binds the shape once; each
+/// cell evaluation is sample_faults + degrade (+ a NoC reachability
+/// analysis when a mesh is configured).
+///
+/// Thread safety: immutable after construction; evaluate_range() is
+/// const and touches only the output slice — the service engine's
+/// workers share one evaluator and write disjoint ranges concurrently
+/// (engine.cpp), bit-identical to the sequential path.
+class CurveEvaluator {
+ public:
+  explicit CurveEvaluator(const CurveSpec& spec,
+                          const cost::ComponentLibrary& lib =
+                              cost::ComponentLibrary::default_library());
+
+  std::size_t cell_count() const { return cells_; }
+  const CurveSpec& spec() const { return spec_; }
+  const FabricShape& shape() const { return shape_; }
+
+  /// Evaluate one trial by flat index `rate_index * trials + trial`.
+  TrialOutcome evaluate_cell(std::size_t index) const;
+
+  /// Evaluate cells [begin, end) into @p out (out[i] = cell begin + i).
+  void evaluate_range(std::size_t begin, std::size_t end,
+                      TrialOutcome* out) const;
+
+  /// Sequential index-order reduction of all cell outcomes into the
+  /// per-rate curve (deterministic double summation order).
+  std::vector<CurvePoint> finalize(
+      std::span<const TrialOutcome> outcomes) const;
+
+ private:
+  CurveSpec spec_;  ///< normalized
+  std::size_t cells_ = 0;
+  FabricShape shape_;
+  const cost::ComponentLibrary* lib_;
+};
+
+/// Sweep the whole curve.  @p threads == 0 (or 1) evaluates
+/// sequentially on the caller's thread; otherwise the cell range is
+/// chunked across that many scoped workers writing disjoint slices
+/// (bit-identical either way).  The service layer instead chunks over
+/// its own worker pool (FaultSweepRequest in engine.cpp); this entry
+/// point serves library callers and the sequential reference the tests
+/// compare against.
+CurveResult evaluate_curve(const CurveSpec& spec,
+                           const cost::ComponentLibrary& lib =
+                               cost::ComponentLibrary::default_library(),
+                           unsigned threads = 0);
+
+/// Render the curve as CSV (fixed %.6f formatting, so equal doubles
+/// produce byte-identical documents):
+/// fault_rate,trials,yield,flexibility_retention,connectivity,survival.
+std::string to_csv(const CurveResult& result);
+
+/// Render yield / flexibility-retention / connectivity as an SVG line
+/// chart (report::svg_line_chart).
+std::string to_svg(const CurveResult& result, const std::string& title = "");
+
+}  // namespace mpct::fault

@@ -1,0 +1,13 @@
+#pragma once
+
+/// Umbrella header for the fault-injection and graceful-degradation
+/// engine (docs/FAULT.md):
+///  * fault_model.hpp  — Fault / FaultSet / FabricShape / sample_faults
+///  * degrade.hpp      — apply a FaultSet, reclassify the survivors
+///  * route_around.hpp — NoC connectivity loss under router/link faults
+///  * degradation_curve.hpp — Monte-Carlo yield/flexibility curves
+
+#include "fault/degradation_curve.hpp"
+#include "fault/degrade.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/route_around.hpp"

@@ -127,18 +127,15 @@ void BenesNetwork::route_recursive(int first_stage, int last_stage,
 
 namespace {
 
-/// Shared stage walker used by propagate and source_of: runs the
-/// recursive wiring with an arbitrary value type.
-template <typename T>
-void propagate_block(const std::vector<std::vector<bool>>& settings,
-                     int first_stage, int last_stage, int offset, int size,
-                     std::vector<T>& values) {
+/// Shared stage walker used by propagate, source_of and the fault
+/// reachability analysis: runs the recursive wiring with an arbitrary
+/// value type; @p op(stage, switch_index, a, b) applies one 2x2 switch.
+template <typename T, typename SwitchOp>
+void walk_block(int first_stage, int last_stage, int offset, int size,
+                std::vector<T>& values, SwitchOp&& op) {
   if (size == 2) {
-    if (settings[static_cast<std::size_t>(first_stage)]
-                [static_cast<std::size_t>(offset / 2)]) {
-      std::swap(values[static_cast<std::size_t>(offset)],
-                values[static_cast<std::size_t>(offset + 1)]);
-    }
+    op(first_stage, offset / 2, values[static_cast<std::size_t>(offset)],
+       values[static_cast<std::size_t>(offset + 1)]);
     return;
   }
   const int half = size / 2;
@@ -146,10 +143,7 @@ void propagate_block(const std::vector<std::vector<bool>>& settings,
   for (int j = 0; j < half; ++j) {
     T a = values[static_cast<std::size_t>(offset + 2 * j)];
     T b = values[static_cast<std::size_t>(offset + 2 * j + 1)];
-    if (settings[static_cast<std::size_t>(first_stage)]
-                [static_cast<std::size_t>(offset / 2 + j)]) {
-      std::swap(a, b);
-    }
+    op(first_stage, offset / 2 + j, a, b);
     tmp[static_cast<std::size_t>(j)] = a;
     tmp[static_cast<std::size_t>(half + j)] = b;
   }
@@ -157,17 +151,13 @@ void propagate_block(const std::vector<std::vector<bool>>& settings,
     values[static_cast<std::size_t>(offset + j)] =
         tmp[static_cast<std::size_t>(j)];
   }
-  propagate_block(settings, first_stage + 1, last_stage - 1, offset, half,
-                  values);
-  propagate_block(settings, first_stage + 1, last_stage - 1, offset + half,
-                  half, values);
+  walk_block(first_stage + 1, last_stage - 1, offset, half, values, op);
+  walk_block(first_stage + 1, last_stage - 1, offset + half, half, values,
+             op);
   for (int j = 0; j < half; ++j) {
     T a = values[static_cast<std::size_t>(offset + j)];
     T b = values[static_cast<std::size_t>(offset + half + j)];
-    if (settings[static_cast<std::size_t>(last_stage)]
-                [static_cast<std::size_t>(offset / 2 + j)]) {
-      std::swap(a, b);
-    }
+    op(last_stage, offset / 2 + j, a, b);
     tmp[static_cast<std::size_t>(2 * j)] = a;
     tmp[static_cast<std::size_t>(2 * j + 1)] = b;
   }
@@ -185,7 +175,17 @@ std::vector<std::uint64_t> BenesNetwork::propagate(
     throw std::invalid_argument("benes: input size mismatch");
   }
   std::vector<std::uint64_t> values = inputs;
-  propagate_block(settings_, 0, stages_ - 1, 0, ports_, values);
+  walk_block(0, stages_ - 1, 0, ports_, values,
+             [this](int stage, int sw, std::uint64_t& a, std::uint64_t& b) {
+               if (!switch_alive(stage, sw)) {
+                 a = b = 0;
+                 return;
+               }
+               if (settings_[static_cast<std::size_t>(stage)]
+                            [static_cast<std::size_t>(sw)]) {
+                 std::swap(a, b);
+               }
+             });
   return values;
 }
 
@@ -195,8 +195,71 @@ int BenesNetwork::source_of(int output) const {
   }
   std::vector<int> values(static_cast<std::size_t>(ports_));
   std::iota(values.begin(), values.end(), 0);
-  propagate_block(settings_, 0, stages_ - 1, 0, ports_, values);
+  walk_block(0, stages_ - 1, 0, ports_, values,
+             [this](int stage, int sw, int& a, int& b) {
+               if (!switch_alive(stage, sw)) {
+                 a = b = -1;
+                 return;
+               }
+               if (settings_[static_cast<std::size_t>(stage)]
+                            [static_cast<std::size_t>(sw)]) {
+                 std::swap(a, b);
+               }
+             });
   return values[static_cast<std::size_t>(output)];
+}
+
+bool BenesNetwork::fail_switch(int stage, int index) {
+  if (stage < 0 || stage >= stages_ || index < 0 || index >= ports_ / 2) {
+    return false;
+  }
+  if (dead_.empty()) {
+    dead_.assign(static_cast<std::size_t>(stages_),
+                 std::vector<bool>(static_cast<std::size_t>(ports_ / 2),
+                                   false));
+  }
+  dead_[static_cast<std::size_t>(stage)][static_cast<std::size_t>(index)] =
+      true;
+  return true;
+}
+
+bool BenesNetwork::switch_alive(int stage, int index) const {
+  if (stage < 0 || stage >= stages_ || index < 0 || index >= ports_ / 2) {
+    return false;
+  }
+  return dead_.empty() ||
+         !dead_[static_cast<std::size_t>(stage)]
+               [static_cast<std::size_t>(index)];
+}
+
+std::int64_t BenesNetwork::dead_switch_count() const {
+  std::int64_t count = 0;
+  for (const auto& stage : dead_) {
+    for (const bool d : stage) count += d ? 1 : 0;
+  }
+  return count;
+}
+
+std::vector<bool> BenesNetwork::reachable_outputs() const {
+  std::vector<char> reach(static_cast<std::size_t>(ports_), 1);
+  walk_block(0, stages_ - 1, 0, ports_, reach,
+             [this](int stage, int sw, char& a, char& b) {
+               if (!switch_alive(stage, sw)) {
+                 a = b = 0;
+                 return;
+               }
+               const char any = a || b ? 1 : 0;
+               a = b = any;
+             });
+  return std::vector<bool>(reach.begin(), reach.end());
+}
+
+double BenesNetwork::output_reachability() const {
+  if (dead_.empty()) return 1.0;
+  const std::vector<bool> reach = reachable_outputs();
+  std::int64_t alive = 0;
+  for (const bool r : reach) alive += r ? 1 : 0;
+  return static_cast<double>(alive) / static_cast<double>(ports_);
 }
 
 }  // namespace mpct::interconnect

@@ -31,13 +31,31 @@ class BenesNetwork {
   void route_permutation(const std::vector<int>& perm);
 
   /// The input currently feeding @p output under the programmed
-  /// configuration (identity before any routing).
+  /// configuration (identity before any routing); -1 when the route
+  /// passes through a failed switch.
   int source_of(int output) const;
 
   /// Push values through the configured switch stages (validates the
   /// routing really is a physical switch setting, not bookkeeping).
+  /// Signals entering a failed switch are dropped: both its outputs
+  /// read 0.
   std::vector<std::uint64_t> propagate(
       const std::vector<std::uint64_t>& inputs) const;
+
+  /// Fault mask (src/fault): kill 2x2 switch @p index of @p stage.
+  /// False when out of range.
+  bool fail_switch(int stage, int index);
+  bool switch_alive(int stage, int index) const;
+  std::int64_t dead_switch_count() const;
+
+  /// Config-independent reachability under the fault mask: output o is
+  /// reachable iff *some* configuration of the surviving switches can
+  /// drive it from some input (forward OR-propagation — a live 2x2
+  /// switch offers either input to either output; a dead one offers
+  /// neither).
+  std::vector<bool> reachable_outputs() const;
+  /// Fraction of outputs still reachable; 1.0 while fault-free.
+  double output_reachability() const;
 
   /// Configuration state: one through/cross bit per 2x2 switch:
   /// (2*log2(N) - 1) * N/2.
@@ -51,6 +69,8 @@ class BenesNetwork {
   int stages_;
   /// settings_[stage][switch]: false = through, true = cross.
   std::vector<std::vector<bool>> settings_;
+  /// dead_[stage][switch]; empty while fault-free.
+  std::vector<std::vector<bool>> dead_;
 
   /// Recursively set switches for the sub-network spanning
   /// [first_stage, last_stage] over the port subset described by

@@ -1,5 +1,6 @@
 #include "interconnect/crossbar.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "cost/switch_cost.hpp"
@@ -22,6 +23,7 @@ std::string Crossbar::name() const {
 
 bool Crossbar::connect(PortId input, PortId output) {
   if (!valid_ports(input, output)) return false;
+  if (!input_alive(input) || !output_alive(output)) return false;
   select_[static_cast<std::size_t>(output)] = input;
   return true;
 }
@@ -39,7 +41,54 @@ std::optional<PortId> Crossbar::source_of(PortId output) const {
 }
 
 bool Crossbar::reachable(PortId input, PortId output) const {
-  return valid_ports(input, output);
+  return valid_ports(input, output) && input_alive(input) &&
+         output_alive(output);
+}
+
+void Crossbar::fail_input(PortId input) {
+  if (input < 0 || input >= inputs_) return;
+  if (input_dead_.empty()) {
+    input_dead_.assign(static_cast<std::size_t>(inputs_), 0);
+  }
+  input_dead_[static_cast<std::size_t>(input)] = 1;
+  for (PortId out = 0; out < outputs_; ++out) {
+    if (select_[static_cast<std::size_t>(out)] == input) {
+      select_[static_cast<std::size_t>(out)] = -1;
+    }
+  }
+}
+
+void Crossbar::fail_output(PortId output) {
+  if (output < 0 || output >= outputs_) return;
+  if (output_dead_.empty()) {
+    output_dead_.assign(static_cast<std::size_t>(outputs_), 0);
+  }
+  output_dead_[static_cast<std::size_t>(output)] = 1;
+  select_[static_cast<std::size_t>(output)] = -1;
+}
+
+bool Crossbar::input_alive(PortId input) const {
+  if (input < 0 || input >= inputs_) return false;
+  return input_dead_.empty() ||
+         !input_dead_[static_cast<std::size_t>(input)];
+}
+
+bool Crossbar::output_alive(PortId output) const {
+  if (output < 0 || output >= outputs_) return false;
+  return output_dead_.empty() ||
+         !output_dead_[static_cast<std::size_t>(output)];
+}
+
+int Crossbar::live_input_count() const {
+  if (input_dead_.empty()) return inputs_;
+  return inputs_ - static_cast<int>(std::count(
+                       input_dead_.begin(), input_dead_.end(), char{1}));
+}
+
+int Crossbar::live_output_count() const {
+  if (output_dead_.empty()) return outputs_;
+  return outputs_ - static_cast<int>(std::count(
+                        output_dead_.begin(), output_dead_.end(), char{1}));
 }
 
 int Crossbar::select_bits() const { return cost::ceil_log2(inputs_ + 1); }
@@ -79,8 +128,9 @@ bool Crossbar::load_bitstream(const std::vector<bool>& bits) {
       }
     }
     if (code > static_cast<unsigned>(inputs_)) return false;
-    decoded[static_cast<std::size_t>(out)] =
-        code == 0 ? -1 : static_cast<PortId>(code - 1);
+    PortId src = code == 0 ? -1 : static_cast<PortId>(code - 1);
+    if (src >= 0 && (!input_alive(src) || !output_alive(out))) src = -1;
+    decoded[static_cast<std::size_t>(out)] = src;
   }
   select_ = std::move(decoded);
   return true;

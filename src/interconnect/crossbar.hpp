@@ -35,8 +35,21 @@ class Crossbar final : public Network {
 
   /// Program the crossbar from a bitstream produced by bitstream().
   /// Returns false (leaving the configuration untouched) if the length is
-  /// wrong or any select field decodes to an invalid input.
+  /// wrong or any select field decodes to an invalid input.  Routes that
+  /// decode onto a failed port are dropped (the surviving fabric cannot
+  /// honour them), not treated as errors.
   bool load_bitstream(const std::vector<bool>& bits);
+
+  /// Fault mask (src/fault): a failed port can no longer be connected;
+  /// existing routes through it are torn down.  The select state keeps
+  /// its full width — dead ports waste their mux bits, exactly like a
+  /// real device with a defective column.
+  void fail_input(PortId input);
+  void fail_output(PortId output);
+  bool input_alive(PortId input) const;
+  bool output_alive(PortId output) const;
+  int live_input_count() const;
+  int live_output_count() const;
 
  private:
   int select_bits() const;
@@ -45,6 +58,9 @@ class Crossbar final : public Network {
   int outputs_;
   /// Per-output source; -1 = disconnected.
   std::vector<PortId> select_;
+  /// Fault masks; empty while fault-free.
+  std::vector<char> input_dead_;
+  std::vector<char> output_dead_;
 };
 
 }  // namespace mpct::interconnect

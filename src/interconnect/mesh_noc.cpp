@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <deque>
 #include <map>
 #include <stdexcept>
 
@@ -24,6 +25,12 @@ int MeshNoc::hops(int from, int to) const {
 }
 
 int MeshNoc::next_hop(int current, int dst) const {
+  if (faulty_) {
+    const int hop = route_[static_cast<std::size_t>(current) *
+                               static_cast<std::size_t>(node_count()) +
+                           static_cast<std::size_t>(dst)];
+    return hop < 0 ? current : hop;
+  }
   const int cx = x_of(current), cy = y_of(current);
   const int dx = x_of(dst), dy = y_of(dst);
   if (cx < dx) return node_id(cx + 1, cy);
@@ -31,6 +38,141 @@ int MeshNoc::next_hop(int current, int dst) const {
   if (cy < dy) return node_id(cx, cy + 1);
   if (cy > dy) return node_id(cx, cy - 1);
   return current;
+}
+
+int MeshNoc::link_slot(int a, int b) const {
+  const int lo = std::min(a, b), hi = std::max(a, b);
+  if (lo < 0 || hi >= node_count()) return -1;
+  if (hi == lo + 1 && y_of(lo) == y_of(hi)) return 2 * lo;  // +x link
+  if (hi == lo + width_) return 2 * lo + 1;  // +y link
+  return -1;
+}
+
+void MeshNoc::fail_node(int node) {
+  if (node < 0 || node >= node_count()) return;
+  faulty_ = true;
+  if (node_dead_.empty()) {
+    node_dead_.assign(static_cast<std::size_t>(node_count()), 0);
+    link_dead_.assign(static_cast<std::size_t>(2 * node_count()), 0);
+  }
+  node_dead_[static_cast<std::size_t>(node)] = 1;
+  rebuild_routes();
+}
+
+bool MeshNoc::fail_link(int a, int b) {
+  const int slot = link_slot(a, b);
+  if (slot < 0) return false;
+  faulty_ = true;
+  if (node_dead_.empty()) {
+    node_dead_.assign(static_cast<std::size_t>(node_count()), 0);
+    link_dead_.assign(static_cast<std::size_t>(2 * node_count()), 0);
+  }
+  link_dead_[static_cast<std::size_t>(slot)] = 1;
+  rebuild_routes();
+  return true;
+}
+
+bool MeshNoc::node_alive(int node) const {
+  if (node < 0 || node >= node_count()) return false;
+  return node_dead_.empty() || !node_dead_[static_cast<std::size_t>(node)];
+}
+
+bool MeshNoc::link_alive(int a, int b) const {
+  const int slot = link_slot(a, b);
+  if (slot < 0) return false;
+  if (!node_alive(a) || !node_alive(b)) return false;
+  return link_dead_.empty() || !link_dead_[static_cast<std::size_t>(slot)];
+}
+
+int MeshNoc::alive_node_count() const {
+  if (node_dead_.empty()) return node_count();
+  return node_count() -
+         static_cast<int>(
+             std::count(node_dead_.begin(), node_dead_.end(), char{1}));
+}
+
+void MeshNoc::rebuild_routes() {
+  // One deterministic BFS per destination over the surviving topology.
+  // Fixed neighbour order (-x, +x, -y, +y) makes the chosen shortest
+  // paths — and therefore every downstream simulation — reproducible.
+  const int n = node_count();
+  route_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), -1);
+  std::vector<int> dist(static_cast<std::size_t>(n));
+  std::deque<int> queue;
+  for (int dst = 0; dst < n; ++dst) {
+    if (!node_alive(dst)) continue;
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[static_cast<std::size_t>(dst)] = 0;
+    route_[static_cast<std::size_t>(dst) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(dst)] = dst;
+    queue.clear();
+    queue.push_back(dst);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      const int ux = x_of(u), uy = y_of(u);
+      const int neighbours[4] = {
+          ux > 0 ? node_id(ux - 1, uy) : -1,
+          ux + 1 < width_ ? node_id(ux + 1, uy) : -1,
+          uy > 0 ? node_id(ux, uy - 1) : -1,
+          uy + 1 < height_ ? node_id(ux, uy + 1) : -1,
+      };
+      for (const int v : neighbours) {
+        if (v < 0 || dist[static_cast<std::size_t>(v)] != -1) continue;
+        if (!link_alive(u, v)) continue;
+        dist[static_cast<std::size_t>(v)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        // Travelling v -> dst, the first hop is back towards u.
+        route_[static_cast<std::size_t>(v) * static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(dst)] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+}
+
+bool MeshNoc::routable(int src, int dst) const {
+  if (src < 0 || src >= node_count() || dst < 0 || dst >= node_count()) {
+    return false;
+  }
+  if (!faulty_) return true;
+  if (!node_alive(src) || !node_alive(dst)) return false;
+  return route_[static_cast<std::size_t>(src) *
+                    static_cast<std::size_t>(node_count()) +
+                static_cast<std::size_t>(dst)] >= 0;
+}
+
+double MeshNoc::reachable_fraction() const {
+  if (!faulty_) return 1.0;
+  const int alive = alive_node_count();
+  if (alive < 2) return alive == 1 ? 1.0 : 0.0;
+  std::int64_t connected = 0;
+  for (int s = 0; s < node_count(); ++s) {
+    if (!node_alive(s)) continue;
+    for (int d = 0; d < node_count(); ++d) {
+      if (d == s || !node_alive(d)) continue;
+      if (routable(s, d)) ++connected;
+    }
+  }
+  const std::int64_t pairs =
+      static_cast<std::int64_t>(alive) * (alive - 1);
+  return static_cast<double>(connected) / static_cast<double>(pairs);
+}
+
+int MeshNoc::bisection_width() const {
+  int crossing = 0;
+  if (width_ >= height_ && width_ >= 2) {
+    const int cut = width_ / 2 - 1;  // links cut..cut+1
+    for (int y = 0; y < height_; ++y) {
+      if (link_alive(node_id(cut, y), node_id(cut + 1, y))) ++crossing;
+    }
+  } else if (height_ >= 2) {
+    const int cut = height_ / 2 - 1;
+    for (int x = 0; x < width_; ++x) {
+      if (link_alive(node_id(x, cut), node_id(x, cut + 1))) ++crossing;
+    }
+  }
+  return crossing;
 }
 
 MeshNoc::Stats MeshNoc::simulate(std::vector<Packet>& packets,
@@ -61,6 +203,10 @@ MeshNoc::Stats MeshNoc::simulate(std::vector<Packet>& packets,
            packets[order[next_to_inject]].inject_cycle <= cycle) {
       const std::size_t idx = order[next_to_inject++];
       Packet& p = packets[idx];
+      if (!routable(p.src, p.dst)) {
+        ++stats.unroutable;
+        continue;
+      }
       if (p.src == p.dst) {
         p.arrive_cycle = cycle;
         ++stats.delivered;
@@ -115,8 +261,8 @@ MeshNoc::Stats MeshNoc::simulate(std::vector<Packet>& packets,
   }
 
   stats.cycles = cycle;
-  stats.undelivered =
-      static_cast<std::int64_t>(packets.size()) - stats.delivered;
+  stats.undelivered = static_cast<std::int64_t>(packets.size()) -
+                      stats.delivered - stats.unroutable;
   if (stats.delivered > 0) {
     stats.avg_latency =
         static_cast<double>(latency_sum) / static_cast<double>(stats.delivered);

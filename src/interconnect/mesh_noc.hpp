@@ -30,6 +30,13 @@ struct Packet {
 /// Model: one packet per directed link per cycle (configurable); packets
 /// advance one hop per cycle along X first, then Y; link contention is
 /// resolved oldest-injection-first (deterministic).
+///
+/// Fault model (src/fault): routers and undirected links can be marked
+/// dead.  A faulted mesh routes around failures with per-destination
+/// shortest paths (deterministic BFS, fixed neighbour order -x +x -y +y),
+/// so packets still flow wherever the surviving topology permits; packets
+/// whose endpoints are dead or disconnected are counted `unroutable`.
+/// A fault-free mesh keeps the original pure-XY routing bit for bit.
 class MeshNoc {
  public:
   MeshNoc(int width, int height, int link_capacity = 1);
@@ -46,11 +53,31 @@ class MeshNoc {
   /// Manhattan hop count between two nodes (the zero-load latency).
   int hops(int from, int to) const;
 
+  /// Kill the router at @p node (and every link touching it).
+  void fail_node(int node);
+  /// Kill the undirected link @p a - @p b; false if not mesh-adjacent.
+  bool fail_link(int a, int b);
+  bool node_alive(int node) const;
+  /// Both routers alive and the connecting link not failed.
+  bool link_alive(int a, int b) const;
+  int alive_node_count() const;
+  bool faulty() const { return faulty_; }
+
+  /// A packet src -> dst can be routed on the surviving topology.
+  bool routable(int src, int dst) const;
+  /// Fraction of ordered alive-router pairs (src != dst) still connected;
+  /// 1.0 on a fault-free mesh.
+  double reachable_fraction() const;
+  /// Alive links crossing the canonical mid-cut (across the wider
+  /// dimension) — the surviving bisection bandwidth in links.
+  int bisection_width() const;
+
   /// Aggregate results of a simulation run.
   struct Stats {
     std::int64_t cycles = 0;       ///< cycles simulated
     std::int64_t delivered = 0;    ///< packets that reached their dst
     std::int64_t undelivered = 0;  ///< packets still in flight at cutoff
+    std::int64_t unroutable = 0;   ///< dropped: dead/disconnected endpoint
     double avg_latency = 0;        ///< mean inject->arrive latency
     std::int64_t max_latency = 0;
     double throughput = 0;  ///< delivered packets per node per cycle
@@ -63,10 +90,20 @@ class MeshNoc {
 
  private:
   int next_hop(int current, int dst) const;
+  /// +x link of @p node is link 2*node, +y link is 2*node + 1.
+  int link_slot(int a, int b) const;
+  void rebuild_routes();
 
   int width_;
   int height_;
   int link_capacity_;
+  bool faulty_ = false;
+  std::vector<char> node_dead_;  ///< sized node_count() once faulty
+  std::vector<char> link_dead_;  ///< 2 slots per node, see link_slot
+  /// Per-(node, dst) next hop on the surviving topology; -1 =
+  /// unreachable.  Rebuilt after every fail_* call; empty while
+  /// fault-free (pure XY routing needs no table).
+  std::vector<int> route_;
 };
 
 }  // namespace mpct::interconnect

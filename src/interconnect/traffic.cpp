@@ -2,29 +2,6 @@
 
 namespace mpct::interconnect {
 
-std::uint64_t Rng::next() {
-  // xorshift64* (Vigna): passes BigCrush small-state tests, plenty for
-  // workload generation.
-  state_ ^= state_ >> 12;
-  state_ ^= state_ << 25;
-  state_ ^= state_ >> 27;
-  return state_ * 0x2545F4914F6CDD1DULL;
-}
-
-std::uint64_t Rng::next_below(std::uint64_t bound) {
-  if (bound == 0) return 0;
-  // Rejection sampling to avoid modulo bias.
-  const std::uint64_t limit = ~0ULL - ~0ULL % bound;
-  std::uint64_t value = next();
-  while (value >= limit) value = next();
-  return value % bound;
-}
-
-double Rng::next_double() {
-  // 53 high bits -> [0, 1).
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
 namespace {
 
 template <typename DstPicker>

@@ -3,28 +3,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/rng.hpp"
 #include "interconnect/mesh_noc.hpp"
 
 namespace mpct::interconnect {
 
-/// Small deterministic PRNG (xorshift64*) so traffic generation and every
-/// simulation built on it reproduce bit-exactly across platforms — no
-/// dependence on std::random distributions.
-class Rng {
- public:
-  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
-
-  std::uint64_t next();
-
-  /// Uniform integer in [0, bound).
-  std::uint64_t next_below(std::uint64_t bound);
-
-  /// Uniform double in [0, 1).
-  double next_double();
-
- private:
-  std::uint64_t state_;
-};
+/// The deterministic generator behind every traffic pattern, now shared
+/// library-wide from core/rng.hpp (the fault engine samples failures from
+/// the same stream discipline).  The alias keeps every existing caller
+/// and the bit-exact streams for existing seeds.
+using Rng = ::mpct::Rng;
 
 /// Synthetic traffic patterns for the mesh NoC, parameterised by
 /// injection rate (packets per node per cycle).

@@ -108,6 +108,45 @@ QueryResponse execute_sweep(const SweepRequest& request,
   return response;
 }
 
+Status validate_curve(const fault::CurveSpec& spec) {
+  for (double rate : spec.fault_rates) {
+    if (!(rate >= 0.0 && rate <= 1.0)) {
+      return Status::invalid_request(
+          "fault_sweep: fault rate must be in [0, 1], got " +
+          std::to_string(rate));
+    }
+  }
+  if (spec.trials_per_rate <= 0) {
+    return Status::invalid_request(
+        "fault_sweep: trials_per_rate must be positive, got " +
+        std::to_string(spec.trials_per_rate));
+  }
+  if ((spec.noc_width > 0) != (spec.noc_height > 0)) {
+    return Status::invalid_request(
+        "fault_sweep: NoC needs both dimensions positive, got " +
+        std::to_string(spec.noc_width) + "x" +
+        std::to_string(spec.noc_height));
+  }
+  return Status::okay();
+}
+
+/// Sequential curve — the inline (worker_threads == 0) and execute()
+/// paths; the worker pool goes through submit_fault_sweep() instead.
+QueryResponse execute_fault_sweep(const FaultSweepRequest& request,
+                                  const cost::ComponentLibrary& library) {
+  QueryResponse response;
+  Status valid = validate_curve(request.spec);
+  if (!valid.ok()) {
+    response.status = std::move(valid);
+    return response;
+  }
+  FaultSweepResponse payload;
+  payload.result = fault::evaluate_curve(request.spec, library);
+  response.payload =
+      std::make_shared<const ResponsePayload>(std::move(payload));
+  return response;
+}
+
 QueryResponse execute_cost(const CostRequest& request,
                            const cost::ComponentLibrary& library) {
   QueryResponse response;
@@ -183,6 +222,9 @@ std::future<QueryResponse> QueryEngine::submit(Request request,
   if (auto* sweep_request = std::get_if<SweepRequest>(&request)) {
     return submit_sweep(std::move(*sweep_request), deadline);
   }
+  if (auto* fault_request = std::get_if<FaultSweepRequest>(&request)) {
+    return submit_fault_sweep(std::move(*fault_request), deadline);
+  }
 
   Task task;
   task.request = std::move(request);
@@ -243,6 +285,11 @@ void QueryEngine::worker_loop() {
       metrics_.in_flight.increment();
       if (task.sweep_job) {
         run_sweep_chunk(task);
+        metrics_.in_flight.decrement();
+        continue;
+      }
+      if (task.curve_job) {
+        run_curve_chunk(task);
         metrics_.in_flight.decrement();
         continue;
       }
@@ -364,6 +411,162 @@ std::future<QueryResponse> QueryEngine::submit_sweep(SweepRequest request,
   return future;
 }
 
+void QueryEngine::CurveJob::fail(StatusCode code, std::string message) {
+  int expected = 0;
+  if (fail_code.compare_exchange_strong(expected, static_cast<int>(code),
+                                        std::memory_order_acq_rel)) {
+    fail_message = std::move(message);
+  }
+}
+
+std::future<QueryResponse> QueryEngine::submit_fault_sweep(
+    FaultSweepRequest request, Deadline deadline) {
+  const Clock::time_point enqueued = Clock::now();
+
+  Status valid = validate_curve(request.spec);
+  if (!valid.ok()) {
+    metrics_.failed.add();
+    return ready_future(rejected(std::move(valid)));
+  }
+
+  // Same key fingerprint(Request) computes, so the inline and
+  // chunk-parallel paths share cache entries.
+  FingerprintBuilder key_builder;
+  key_builder.mix(static_cast<int>(RequestType::FaultSweep))
+      .mix(fingerprint(request.spec));
+  const Fingerprint key = key_builder.value();
+
+  if (options_.enable_cache) {
+    if (std::shared_ptr<const ResponsePayload> hit = cache_.get(key)) {
+      metrics_.cache_hits.add();
+      QueryResponse response;
+      response.payload = std::move(hit);
+      response.cache_hit = true;
+      response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now() - enqueued);
+      metrics_.latency(RequestType::FaultSweep).record(response.latency);
+      metrics_.completed.add();
+      return ready_future(std::move(response));
+    }
+    metrics_.cache_misses.add();
+  }
+
+  auto job = std::make_shared<CurveJob>(
+      fault::CurveEvaluator(request.spec, options_.library));
+  const std::size_t cells = job->evaluator.cell_count();
+  job->outcomes.resize(cells);
+  job->key = key;
+  job->enqueued = enqueued;
+  std::future<QueryResponse> future = job->promise.get_future();
+
+  std::size_t target_chunks =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   options_.worker_threads) * 2);
+  target_chunks = std::min(target_chunks,
+                           std::max<std::size_t>(1, queue_->capacity()));
+  const std::size_t chunk_cells =
+      std::max<std::size_t>(1, (cells + target_chunks - 1) / target_chunks);
+  const std::size_t chunk_count = (cells + chunk_cells - 1) / chunk_cells;
+  job->remaining.store(chunk_count, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (shutdown_) {
+      metrics_.rejected_shutdown.add();
+      return ready_future(rejected(Status::shutting_down()));
+    }
+    // All-or-nothing enqueue under lifecycle_mutex_, exactly like
+    // submit_sweep: after the capacity check every try_push succeeds.
+    if (queue_->size() + chunk_count > queue_->capacity()) {
+      metrics_.rejected_queue_full.add();
+      return ready_future(rejected(Status::queue_full()));
+    }
+    for (std::size_t i = 0; i < chunk_count; ++i) {
+      Task task;
+      task.deadline = deadline;
+      task.enqueued = enqueued;
+      task.curve_job = job;
+      task.chunk_begin = i * chunk_cells;
+      task.chunk_end = std::min(cells, task.chunk_begin + chunk_cells);
+      if (!queue_->try_push(task)) {
+        job->fail(StatusCode::InternalError,
+                  "fault sweep chunk enqueue failed");
+        if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          job->promise.set_value(
+              rejected(Status::internal_error(job->fail_message)));
+          return future;  // no chunk enqueued; pending_ untouched
+        }
+        continue;
+      }
+      metrics_.queue_depth.increment();
+    }
+    ++pending_;
+  }
+  return future;
+}
+
+void QueryEngine::run_curve_chunk(Task& task) {
+  CurveJob& job = *task.curve_job;
+  if (task.deadline.expired()) {
+    job.fail(StatusCode::DeadlineExceeded);
+  } else if (job.fail_code.load(std::memory_order_relaxed) == 0) {
+    try {
+      job.evaluator.evaluate_range(task.chunk_begin, task.chunk_end,
+                                   job.outcomes.data() + task.chunk_begin);
+    } catch (const std::exception& e) {
+      job.fail(StatusCode::InternalError, e.what());
+    } catch (...) {
+      job.fail(StatusCode::InternalError, "unknown exception");
+    }
+  }
+  if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    complete_curve(task);
+  }
+}
+
+void QueryEngine::complete_curve(Task& task) {
+  CurveJob& job = *task.curve_job;
+  QueryResponse response;
+  const int fail = job.fail_code.load(std::memory_order_acquire);
+  if (fail != 0) {
+    switch (static_cast<StatusCode>(fail)) {
+      case StatusCode::DeadlineExceeded:
+        metrics_.rejected_deadline.add();
+        metrics_.expired_in_queue.add();
+        response = rejected(Status::deadline_exceeded());
+        break;
+      case StatusCode::ShuttingDown:
+        metrics_.rejected_shutdown.add();
+        response = rejected(Status::shutting_down());
+        break;
+      default:
+        response = rejected(Status::internal_error(job.fail_message));
+        break;
+    }
+  } else {
+    FaultSweepResponse payload;
+    payload.result.spec = job.evaluator.spec();
+    payload.result.points = job.evaluator.finalize(job.outcomes);
+    response.payload =
+        std::make_shared<const ResponsePayload>(std::move(payload));
+    if (options_.enable_cache) cache_.put(job.key, response.payload);
+  }
+  response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      Clock::now() - job.enqueued);
+  metrics_.latency(RequestType::FaultSweep).record(response.latency);
+  if (response.ok()) {
+    metrics_.completed.add();
+  } else if (response.status.code != StatusCode::DeadlineExceeded) {
+    metrics_.failed.add();
+  }
+  job.promise.set_value(std::move(response));
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    --pending_;
+  }
+  drained_.notify_all();
+}
+
 void QueryEngine::run_sweep_chunk(Task& task) {
   SweepJob& job = *task.sweep_job;
   if (task.deadline.expired()) {
@@ -391,6 +594,7 @@ void QueryEngine::complete_sweep(Task& task) {
     switch (static_cast<StatusCode>(fail)) {
       case StatusCode::DeadlineExceeded:
         metrics_.rejected_deadline.add();
+        metrics_.expired_in_queue.add();
         response = rejected(Status::deadline_exceeded());
         break;
       case StatusCode::ShuttingDown:
@@ -432,7 +636,11 @@ QueryResponse QueryEngine::run_request(const Request& request,
                                        Clock::time_point start) {
   QueryResponse response;
   if (deadline.expired()) {
+    // The submit-time check already passed, so this request aged out
+    // after acceptance — while queued (worker path) or between the
+    // check and execution (inline path).
     metrics_.rejected_deadline.add();
+    metrics_.expired_in_queue.add();
     response = rejected(Status::deadline_exceeded());
   } else {
     response = execute_cached(request);
@@ -476,6 +684,8 @@ QueryResponse QueryEngine::execute_uncached(const Request& request) const {
             return execute_recommend(req, options_.library);
           } else if constexpr (std::is_same_v<T, SweepRequest>) {
             return execute_sweep(req, options_.library);
+          } else if constexpr (std::is_same_v<T, FaultSweepRequest>) {
+            return execute_fault_sweep(req, options_.library);
           } else {
             static_assert(std::is_same_v<T, CostRequest>);
             return execute_cost(req, options_.library);
@@ -516,6 +726,14 @@ void QueryEngine::shutdown() {
       if (leftover->sweep_job->remaining.fetch_sub(
               1, std::memory_order_acq_rel) == 1) {
         complete_sweep(*leftover);
+      }
+      continue;
+    }
+    if (leftover->curve_job) {
+      leftover->curve_job->fail(StatusCode::ShuttingDown);
+      if (leftover->curve_job->remaining.fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        complete_curve(*leftover);
       }
       continue;
     }

@@ -145,14 +145,36 @@ class QueryEngine {
     void fail(StatusCode code, std::string message = {});
   };
 
+  /// Shared state of one in-flight FaultSweepRequest — the Monte-Carlo
+  /// twin of SweepJob: the (rate x trial) cell range is chunked across
+  /// the pool, each chunk writes its disjoint TrialOutcome slice, and
+  /// the last finisher runs the sequential index-order reduction
+  /// (CurveEvaluator::finalize), so the curve is bit-identical to the
+  /// inline fault::evaluate_curve() path.
+  struct CurveJob {
+    fault::CurveEvaluator evaluator;
+    std::vector<fault::TrialOutcome> outcomes;
+    std::promise<QueryResponse> promise;
+    std::atomic<std::size_t> remaining{0};
+    std::atomic<int> fail_code{0};
+    std::string fail_message;  ///< written only by the winning CAS
+    Fingerprint key = 0;
+    Clock::time_point enqueued;
+
+    explicit CurveJob(fault::CurveEvaluator eval)
+        : evaluator(std::move(eval)) {}
+    void fail(StatusCode code, std::string message = {});
+  };
+
   struct Task {
     Request request;
     Deadline deadline;
     std::promise<QueryResponse> promise;
     Clock::time_point enqueued;
-    /// Non-null for a sweep chunk; `request` is then unused and the
-    /// response flows through the job's promise instead.
+    /// Non-null for a sweep / curve chunk; `request` is then unused and
+    /// the response flows through the job's promise instead.
     std::shared_ptr<SweepJob> sweep_job;
+    std::shared_ptr<CurveJob> curve_job;
     std::size_t chunk_begin = 0;
     std::size_t chunk_end = 0;
   };
@@ -169,6 +191,15 @@ class QueryEngine {
   void run_sweep_chunk(Task& task);
   /// Merge the Pareto front, publish to the cache, resolve the future.
   void complete_sweep(Task& task);
+
+  /// FaultSweepRequest mirror of the sweep path: validate, probe the
+  /// cache, split the Monte-Carlo cells into chunk tasks, enqueue
+  /// all-or-nothing under lifecycle_mutex_.
+  std::future<QueryResponse> submit_fault_sweep(FaultSweepRequest request,
+                                                Deadline deadline);
+  void run_curve_chunk(Task& task);
+  /// Reduce the trial outcomes into the curve, publish, resolve.
+  void complete_curve(Task& task);
 
   /// Deadline check + cache + execution + completion metrics; shared by
   /// workers, the inline single-threaded path, and execute().

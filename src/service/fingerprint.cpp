@@ -162,6 +162,21 @@ Fingerprint fingerprint(const cost::EstimateOptions& options) {
   return b.value();
 }
 
+Fingerprint fingerprint(const fault::CurveSpec& spec) {
+  // Hash the un-normalized spec, mirroring the SweepGrid rationale: the
+  // normalized spec is echoed back in the response, so specs that
+  // normalize equal still key separately.
+  FingerprintBuilder b;
+  b.mix(fingerprint(spec.machine));
+  b.mix(fingerprint(spec.bindings));
+  b.mix(spec.noc_width).mix(spec.noc_height);
+  b.mix(static_cast<std::uint64_t>(spec.fault_rates.size()));
+  for (double rate : spec.fault_rates) b.mix(rate);
+  b.mix(spec.trials_per_rate);
+  b.mix(spec.seed);
+  return b.value();
+}
+
 Fingerprint fingerprint(const Request& request) {
   FingerprintBuilder b;
   b.mix(static_cast<int>(request_type(request)));
@@ -181,6 +196,8 @@ Fingerprint fingerprint(const Request& request) {
               .mix(static_cast<std::uint64_t>(req.top_k));
         } else if constexpr (std::is_same_v<T, SweepRequest>) {
           b.mix(fingerprint(req.grid));
+        } else if constexpr (std::is_same_v<T, FaultSweepRequest>) {
+          b.mix(fingerprint(req.spec));
         } else {
           static_assert(std::is_same_v<T, CostRequest>);
           b.mix(req.target.index());

@@ -8,6 +8,7 @@
 #include "cost/area_model.hpp"
 #include "explore/recommend.hpp"
 #include "explore/sweep.hpp"
+#include "fault/degradation_curve.hpp"
 #include "service/request.hpp"
 
 namespace mpct::service {
@@ -53,6 +54,7 @@ Fingerprint fingerprint(const MachineClass& mc);
 Fingerprint fingerprint(const explore::Requirements& requirements);
 Fingerprint fingerprint(const explore::SweepGrid& grid);
 Fingerprint fingerprint(const cost::EstimateOptions& options);
+Fingerprint fingerprint(const fault::CurveSpec& spec);
 
 /// Key for a whole request; the request-type tag is mixed first so the
 /// three request spaces cannot collide with each other.

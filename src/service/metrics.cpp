@@ -163,6 +163,8 @@ std::string MetricsRegistry::to_table(const CacheStats& cache) const {
       {"rejected (deadline)", std::to_string(rejected_deadline.value())});
   table.add_row(
       {"rejected (shutdown)", std::to_string(rejected_shutdown.value())});
+  table.add_row(
+      {"expired in queue", std::to_string(expired_in_queue.value())});
   table.add_row({"failed", std::to_string(failed.value())});
   table.add_row({"queue depth", std::to_string(queue_depth.value())});
   table.add_row({"in flight", std::to_string(in_flight.value())});
@@ -205,6 +207,8 @@ std::string MetricsRegistry::to_csv(const CacheStats& cache) const {
       {"rejected_deadline", std::to_string(rejected_deadline.value())});
   csv.add_row(
       {"rejected_shutdown", std::to_string(rejected_shutdown.value())});
+  csv.add_row(
+      {"expired_in_queue", std::to_string(expired_in_queue.value())});
   csv.add_row({"failed", std::to_string(failed.value())});
   csv.add_row({"queue_depth", std::to_string(queue_depth.value())});
   csv.add_row({"in_flight", std::to_string(in_flight.value())});

@@ -110,6 +110,13 @@ class MetricsRegistry {
   Counter rejected_queue_full;
   Counter rejected_deadline;
   Counter rejected_shutdown;
+  /// Requests whose deadline expired *after* acceptance — the engine had
+  /// queued them but a worker (or chunk) found them dead on dequeue.  A
+  /// strict subset of rejected_deadline: submit-time expiries increment
+  /// only that counter, in-queue expiries increment both.  Sustained
+  /// growth here means the queue itself is the bottleneck (requests age
+  /// out while waiting), not the callers' deadlines.
+  Counter expired_in_queue;
   Counter failed;  ///< ParseError / InvalidRequest / InternalError
 
   // Caching (engine-level mirror of the cache's own accounting, kept so

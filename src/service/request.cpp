@@ -12,6 +12,8 @@ std::string_view to_string(RequestType type) {
       return "cost";
     case RequestType::Sweep:
       return "sweep";
+    case RequestType::FaultSweep:
+      return "fault_sweep";
   }
   return "unknown";
 }

@@ -16,6 +16,7 @@
 #include "cost/config_bits.hpp"
 #include "explore/recommend.hpp"
 #include "explore/sweep.hpp"
+#include "fault/degradation_curve.hpp"
 #include "service/status.hpp"
 
 namespace mpct::service {
@@ -107,8 +108,22 @@ struct SweepResponse {
   explore::SweepResult result;
 };
 
-using Request =
-    std::variant<ClassifyRequest, RecommendRequest, CostRequest, SweepRequest>;
+/// Evaluate a Monte-Carlo degradation curve (fault::evaluate_curve) for
+/// one machine class over a fault-rate axis.  Like SweepRequest, this is
+/// chunk-parallelised: submit() splits the (rate x trial) cell range
+/// across the worker pool and the last chunk reduces the curve, with
+/// results bit-identical to the sequential fault::evaluate_curve() —
+/// each trial's RNG stream derives from its flat cell index alone.
+struct FaultSweepRequest {
+  fault::CurveSpec spec;
+};
+
+struct FaultSweepResponse {
+  fault::CurveResult result;
+};
+
+using Request = std::variant<ClassifyRequest, RecommendRequest, CostRequest,
+                             SweepRequest, FaultSweepRequest>;
 
 /// Discriminator used for per-request-type metrics and cache keying.
 enum class RequestType : std::uint8_t {
@@ -116,8 +131,9 @@ enum class RequestType : std::uint8_t {
   Recommend = 1,
   Cost = 2,
   Sweep = 3,
+  FaultSweep = 4,
 };
-inline constexpr std::size_t kRequestTypeCount = 4;
+inline constexpr std::size_t kRequestTypeCount = 5;
 
 std::string_view to_string(RequestType type);
 
@@ -128,7 +144,7 @@ inline RequestType request_type(const Request& request) {
 /// Successful payload; monostate while status is not Ok.
 using ResponsePayload =
     std::variant<std::monostate, ClassifyResponse, RecommendResponse,
-                 CostResponse, SweepResponse>;
+                 CostResponse, SweepResponse, FaultSweepResponse>;
 
 /// What a submitted query resolves to.  `status` is always meaningful;
 /// the payload alternative matches the request type only when status.ok().
@@ -157,6 +173,9 @@ struct QueryResponse {
   }
   const SweepResponse* sweep() const {
     return payload ? std::get_if<SweepResponse>(payload.get()) : nullptr;
+  }
+  const FaultSweepResponse* fault_sweep() const {
+    return payload ? std::get_if<FaultSweepResponse>(payload.get()) : nullptr;
   }
 };
 

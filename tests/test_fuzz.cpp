@@ -11,6 +11,7 @@
 #include "core/taxonomy_table.hpp"
 #include "cost/area_model.hpp"
 #include "cost/config_bits.hpp"
+#include "fault/fault.hpp"
 #include "interconnect/traffic.hpp"
 
 namespace mpct {
@@ -160,6 +161,56 @@ TEST(Fuzz, FlynnProjectionAgreesWithClassifier) {
             EXPECT_EQ(*flynn, FlynnClass::MIMD);
         }
         break;
+    }
+  }
+}
+
+TEST(Fuzz, FaultSetApplicationNeverCrashes) {
+  // Random structures x random fault sets (sampled and hand-scattered,
+  // including out-of-range component indices): degrade() must always
+  // come back with a valid classification or a well-typed error, keep
+  // every fraction in range, and never gain flexibility.
+  Rng rng(31337);
+  const cost::ComponentLibrary lib = cost::ComponentLibrary::default_library();
+  for (int i = 0; i < 300; ++i) {
+    const MachineClass mc = random_class(rng);
+    cost::EstimateOptions bindings;
+    bindings.n = 1 + static_cast<std::int64_t>(rng.next_below(8));
+    bindings.v = 1 + static_cast<std::int64_t>(rng.next_below(32));
+    const fault::FabricShape shape = fault::FabricShape::of(mc, bindings);
+    fault::FaultSet faults = fault::sample_faults(
+        shape, fault::FaultRates::uniform(rng.next_double()), rng.next());
+    // Scatter in faults the shape cannot contain; they must be inert or
+    // harmless, never fatal.
+    for (int extra = 0; extra < 3; ++extra) {
+      faults.add(static_cast<fault::FaultKind>(rng.next_below(6)),
+                 static_cast<std::int32_t>(rng.next_below(4096)));
+    }
+    const fault::DegradeResult result =
+        fault::degrade(mc, shape, faults, lib, bindings);
+    EXPECT_TRUE(result.classification.ok() ||
+                !result.classification.note.empty())
+        << to_string(mc);
+    EXPECT_GE(result.component_survival, 0.0);
+    EXPECT_LE(result.component_survival, 1.0);
+    EXPECT_GE(result.flexibility_retention(), 0.0);
+    EXPECT_LE(result.flexibility_retention(), 1.0);
+    EXPECT_GE(result.surviving_ips, 0);
+    EXPECT_LE(result.surviving_ips, shape.ips);
+    EXPECT_GE(result.surviving_dps, 0);
+    EXPECT_LE(result.surviving_dps, shape.dps);
+    if (result.original_classification.ok() && result.classification.ok()) {
+      EXPECT_LE(result.degraded_score, result.original_score) << to_string(mc);
+    }
+    // Degradation is idempotent: re-applying the same set to the
+    // degraded structure cannot change the class again.
+    if (result.alive()) {
+      const fault::FabricShape degraded_shape =
+          fault::FabricShape::of(result.degraded, bindings);
+      const fault::DegradeResult again =
+          fault::degrade(result.degraded, degraded_shape, fault::FaultSet{},
+                         lib, bindings);
+      EXPECT_EQ(again.degraded, result.degraded);
     }
   }
 }

@@ -1,0 +1,295 @@
+/// Tracing-overhead benchmarks + the disabled-path budget gate.
+///
+/// Artifact: a CSV summary (disabled/enabled span cost, profile-hook
+/// cost, snapshot + Chrome-export throughput) printed first.  The
+/// disabled-tracer ScopedSpan cost is a hard budget, not a report: if
+/// it measures at or above kDisabledSpanBudgetNs the binary exits
+/// nonzero, so CI fails when instrumentation creeps into the fast path.
+///
+/// Flags (both stripped before benchmark::Initialize):
+///   --json <path>       write the numbers as BENCH_trace JSON
+///   --trace-out <path>  record one engine SweepRequest and write the
+///                       Chrome trace (load it at ui.perfetto.dev)
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "explore/sweep.hpp"
+#include "report/csv.hpp"
+#include "service/service.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace mpct;
+
+/// The acceptance budget for a ScopedSpan while the tracer is off: one
+/// relaxed atomic load and a predicted branch.  2 ns is ~6 cycles at
+/// 3 GHz — generous for that, unreachable for anything heavier.
+constexpr double kDisabledSpanBudgetNs = 2.0;
+
+/// ns/op via a fixed-count timed loop, minimum over 7 runs (noise on a
+/// shared machine is additive; the minimum is the robust estimator).
+template <typename Fn>
+double measure_ns(Fn&& fn, std::size_t iterations) {
+  double best = 0;
+  for (int run = 0; run < 7; ++run) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iterations; ++i) fn();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const double ns =
+        std::chrono::duration<double, std::nano>(elapsed).count() /
+        static_cast<double>(iterations);
+    if (run == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+double measure_disabled_span_ns() {
+  trace::Tracer::instance().disable();
+  return measure_ns(
+      [] {
+        trace::ScopedSpan span("bench.disabled", trace::Category::Core);
+        benchmark::DoNotOptimize(span);
+      },
+      1u << 20);
+}
+
+double measure_disabled_profile_ns() {
+  trace::Tracer::instance().disable();
+  return measure_ns(
+      [] { trace::profile_count(trace::ProfilePoint::ClassifyFast); },
+      1u << 20);
+}
+
+double measure_enabled_span_ns() {
+  trace::Tracer& tracer = trace::Tracer::instance();
+  tracer.set_capacity_per_thread(trace::Tracer::kDefaultCapacity);
+  tracer.clear();
+  tracer.enable();
+  const double ns = measure_ns(
+      [] {
+        trace::ScopedSpan span("bench.enabled", trace::Category::Core,
+                               "i", 1);
+        benchmark::DoNotOptimize(span);
+      },
+      1u << 16);
+  tracer.disable();
+  tracer.clear();
+  return ns;
+}
+
+/// Spans/s for snapshot() + to_chrome_json() over a full default ring.
+double measure_export_spans_per_s(std::size_t* exported_spans) {
+  trace::Tracer& tracer = trace::Tracer::instance();
+  tracer.set_capacity_per_thread(trace::Tracer::kDefaultCapacity);
+  tracer.clear();
+  tracer.enable();
+  for (int i = 0; i < 10000; ++i) {
+    trace::ScopedSpan span("bench.fill", trace::Category::Sweep, "i", i);
+  }
+  tracer.disable();
+
+  std::size_t spans = 0;
+  const double ns_per_export = measure_ns(
+      [&spans] {
+        trace::TraceSnapshot snap = trace::Tracer::instance().snapshot();
+        std::string json = trace::to_chrome_json(snap);
+        benchmark::DoNotOptimize(json);
+        spans = snap.spans.size();
+      },
+      64);
+  *exported_spans = spans;
+  tracer.clear();
+  return spans == 0 ? 0
+                    : static_cast<double>(spans) / (ns_per_export * 1e-9);
+}
+
+/// Trace one chunk-parallel SweepRequest end to end and return the
+/// Chrome JSON — the sample artifact CI uploads.
+std::string record_sample_trace() {
+  trace::Tracer& tracer = trace::Tracer::instance();
+  tracer.set_capacity_per_thread(1u << 16);
+  tracer.clear();
+  tracer.enable();
+
+  service::EngineOptions options;
+  options.worker_threads = 2;
+  options.enable_cache = true;
+  service::QueryEngine engine(options);
+  explore::SweepGrid grid;
+  for (std::int64_t n = 2; n <= 64; n *= 2) grid.n_values.push_back(n);
+  grid.lut_budgets = {64, 1024, 16384};
+  grid.objectives = {explore::Requirements::Objective::MinConfigBits,
+                     explore::Requirements::Objective::MinArea};
+  service::QueryResponse response =
+      engine.submit(service::SweepRequest{grid}).get();
+  benchmark::DoNotOptimize(response);
+  // Resubmit so the trace also shows a cache hit.
+  response = engine.submit(service::SweepRequest{grid}).get();
+  benchmark::DoNotOptimize(response);
+
+  tracer.disable();
+  std::string json = trace::to_chrome_json(tracer.snapshot());
+  tracer.clear();
+  tracer.set_capacity_per_thread(trace::Tracer::kDefaultCapacity);
+  return json;
+}
+
+std::string fmt(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3g", value);
+  return buffer;
+}
+
+/// Prints the artifact CSV, writes the optional JSON/trace outputs, and
+/// returns false when the disabled-path budget is blown.
+bool print_artifact(const std::string& json_path,
+                    const std::string& trace_path) {
+  const double disabled_span_ns = measure_disabled_span_ns();
+  const double disabled_profile_ns = measure_disabled_profile_ns();
+  const double enabled_span_ns = measure_enabled_span_ns();
+  std::size_t exported_spans = 0;
+  const double export_spans_per_s =
+      measure_export_spans_per_s(&exported_spans);
+
+  report::CsvWriter csv;
+  csv.add_row({"metric", "value", "budget"});
+  csv.add_row({"disabled_scoped_span_ns", fmt(disabled_span_ns),
+               fmt(kDisabledSpanBudgetNs)});
+  csv.add_row({"disabled_profile_count_ns", fmt(disabled_profile_ns), ""});
+  csv.add_row({"enabled_scoped_span_ns", fmt(enabled_span_ns), ""});
+  csv.add_row({"snapshot_export_spans_per_s", fmt(export_spans_per_s), ""});
+  std::cout << "# tracing overhead (disabled path is the CI-enforced "
+               "budget)\n"
+            << csv.str() << "\n";
+
+  const bool within_budget = disabled_span_ns < kDisabledSpanBudgetNs;
+  std::cout << (within_budget ? "BUDGET OK: " : "BUDGET EXCEEDED: ")
+            << fmt(disabled_span_ns) << " ns/span disabled (budget "
+            << fmt(kDisabledSpanBudgetNs) << " ns)\n\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"bench_trace\",\n"
+        << "  \"host_cpus\": " << std::thread::hardware_concurrency()
+        << ",\n"
+        << "  \"op\": \"ScopedSpan record (disabled / enabled) and "
+           "snapshot export\",\n"
+        << "  \"budget\": {\n"
+        << "    \"disabled_span_ns\": " << fmt(kDisabledSpanBudgetNs)
+        << "\n  },\n"
+        << "  \"current\": {\n"
+        << "    \"disabled_span_ns\": " << fmt(disabled_span_ns) << ",\n"
+        << "    \"disabled_profile_count_ns\": " << fmt(disabled_profile_ns)
+        << ",\n"
+        << "    \"enabled_span_ns\": " << fmt(enabled_span_ns) << ",\n"
+        << "    \"snapshot_export_spans_per_s\": " << fmt(export_spans_per_s)
+        << ",\n"
+        << "    \"snapshot_export_span_count\": " << exported_spans
+        << "\n  }\n}\n";
+    std::cout << "JSON written to " << json_path << "\n\n";
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    out << record_sample_trace();
+    std::cout << "Chrome trace written to " << trace_path
+              << " (load at ui.perfetto.dev)\n\n";
+  }
+  return within_budget;
+}
+
+// ---------------------------------------------------------------------------
+// Registered microbenchmarks (the artifact numbers above are the gate;
+// these give the usual google-benchmark statistics for the same ops).
+
+void bm_scoped_span_disabled(benchmark::State& state) {
+  trace::Tracer::instance().disable();
+  for (auto _ : state) {
+    trace::ScopedSpan span("bench.disabled", trace::Category::Core);
+    benchmark::DoNotOptimize(span);
+  }
+}
+BENCHMARK(bm_scoped_span_disabled);
+
+void bm_scoped_span_enabled(benchmark::State& state) {
+  trace::Tracer& tracer = trace::Tracer::instance();
+  tracer.clear();
+  tracer.enable();
+  for (auto _ : state) {
+    trace::ScopedSpan span("bench.enabled", trace::Category::Core, "i", 1);
+    benchmark::DoNotOptimize(span);
+  }
+  tracer.disable();
+  tracer.clear();
+}
+BENCHMARK(bm_scoped_span_enabled);
+
+void bm_profile_count_enabled(benchmark::State& state) {
+  trace::Tracer& tracer = trace::Tracer::instance();
+  tracer.clear();
+  tracer.enable();
+  for (auto _ : state) {
+    trace::profile_count(trace::ProfilePoint::ClassifyFast);
+  }
+  tracer.disable();
+  tracer.clear();
+}
+BENCHMARK(bm_profile_count_enabled);
+
+void bm_snapshot_export(benchmark::State& state) {
+  trace::Tracer& tracer = trace::Tracer::instance();
+  tracer.clear();
+  tracer.enable();
+  for (int i = 0; i < 4096; ++i) {
+    trace::ScopedSpan span("bench.fill", trace::Category::Sweep, "i", i);
+  }
+  tracer.disable();
+  for (auto _ : state) {
+    trace::TraceSnapshot snap = tracer.snapshot();
+    std::string json = trace::to_chrome_json(snap);
+    benchmark::DoNotOptimize(json);
+  }
+  tracer.clear();
+}
+BENCHMARK(bm_snapshot_export)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip the artifact flags before benchmark::Initialize.
+  std::string json_path, trace_path;
+  for (int i = 1; i + 1 < argc;) {
+    const std::string_view flag(argv[i]);
+    std::string* target = flag == "--json"        ? &json_path
+                          : flag == "--trace-out" ? &trace_path
+                                                  : nullptr;
+    if (target == nullptr) {
+      ++i;
+      continue;
+    }
+    *target = argv[i + 1];
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+  }
+  std::cout << "TRACING BENCHMARKS\n"
+            << "(per-thread ring spans; the disabled path must stay under "
+            << kDisabledSpanBudgetNs << " ns/span)\n\n";
+  const bool within_budget = print_artifact(json_path, trace_path);
+  mpct::bench::apply_csv_flag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return within_budget ? 0 : 1;
+}

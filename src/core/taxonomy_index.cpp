@@ -5,6 +5,7 @@
 #include "core/classifier.hpp"
 #include "core/flexibility.hpp"
 #include "core/taxonomy_table.hpp"
+#include "trace/trace.hpp"
 
 namespace mpct {
 
@@ -84,6 +85,9 @@ const TaxonomyIndex::ClassInfo* TaxonomyIndex::by_name(
 
 TaxonomyIndex::FastClassification TaxonomyIndex::classify(
     const MachineClass& mc) const {
+  // Count-only hook: this path is ~4 ns, so the budget is one relaxed
+  // load and a predicted branch (bench_sweep guards the fast path).
+  trace::profile_count(trace::ProfilePoint::ClassifyFast);
   const PackedResult result = classify_table_[pack(mc)];
   if (result.serial != 0) {
     return {&rows_[static_cast<std::size_t>(result.serial - 1)], {}};

@@ -1,6 +1,7 @@
 #include "cost/cost_plan.hpp"
 
 #include "cost/switch_cost.hpp"
+#include "trace/trace.hpp"
 
 namespace mpct::cost {
 
@@ -39,6 +40,7 @@ CostPlan::CostPlan(const MachineClass& mc, const ComponentLibrary& lib,
       switch_params_(lib.switch_params) {}
 
 CostPoint CostPlan::evaluate(std::int64_t n, std::int64_t v) const {
+  trace::profile_count(trace::ProfilePoint::CostEvaluate);
   // Bind the symbolic structure exactly as detail::resolve(mc, options)
   // does: memory bank counts mirror their processors; for a LUT fabric
   // every connectivity column spans the v-block pool.

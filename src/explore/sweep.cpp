@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "trace/trace.hpp"
+
 namespace mpct::explore {
 
 SweepGrid SweepGrid::normalized() const {
@@ -80,6 +82,7 @@ std::vector<SweepPoint> pareto_front(const std::vector<SweepPoint>& points) {
 SweepEvaluator::SweepEvaluator(const SweepGrid& grid,
                                const cost::ComponentLibrary& lib)
     : grid_(grid.normalized()), cells_(grid_.cell_count()) {
+  trace::ScopedSpan span("sweep.build", trace::Category::Sweep);
   // The requirements filter is design-point independent, so the
   // candidate set is shared by every cell: filter the 47 rows once and
   // fold each survivor's Eq. 1 / Eq. 2 invariants into a CostPlan.
@@ -96,6 +99,7 @@ SweepEvaluator::SweepEvaluator(const SweepGrid& grid,
 }
 
 SweepPoint SweepEvaluator::evaluate_cell(std::size_t index) const {
+  trace::profile_count(trace::ProfilePoint::SweepCell);
   const std::size_t o_count = grid_.objectives.size();
   const std::size_t l_count = grid_.lut_budgets.size();
   const std::size_t oi = index % o_count;
@@ -134,6 +138,8 @@ SweepPoint SweepEvaluator::evaluate_cell(std::size_t index) const {
 
 void SweepEvaluator::evaluate_range(std::size_t begin, std::size_t end,
                                     SweepPoint* out) const {
+  trace::ScopedSpan span("sweep.cells", trace::Category::Sweep, "cells",
+                         static_cast<std::int64_t>(end - begin));
   for (std::size_t i = begin; i < end; ++i) out[i - begin] = evaluate_cell(i);
 }
 

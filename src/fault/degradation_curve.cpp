@@ -7,6 +7,7 @@
 #include "fault/route_around.hpp"
 #include "report/csv.hpp"
 #include "report/svg.hpp"
+#include "trace/trace.hpp"
 
 namespace mpct::fault {
 
@@ -35,6 +36,7 @@ CurveEvaluator::CurveEvaluator(const CurveSpec& spec,
 }
 
 TrialOutcome CurveEvaluator::evaluate_cell(std::size_t index) const {
+  trace::profile_count(trace::ProfilePoint::CurveTrial);
   const std::size_t trials =
       static_cast<std::size_t>(spec_.trials_per_rate);
   const double rate = spec_.fault_rates[index / trials];
@@ -71,6 +73,8 @@ TrialOutcome CurveEvaluator::evaluate_cell(std::size_t index) const {
 
 void CurveEvaluator::evaluate_range(std::size_t begin, std::size_t end,
                                     TrialOutcome* out) const {
+  trace::ScopedSpan span("fault.cells", trace::Category::Fault, "cells",
+                         static_cast<std::int64_t>(end - begin));
   for (std::size_t i = begin; i < end; ++i) out[i - begin] = evaluate_cell(i);
 }
 

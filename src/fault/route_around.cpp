@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace mpct::fault {
 
 interconnect::MeshNoc build_degraded_noc(const FabricShape& shape,
@@ -32,6 +34,7 @@ interconnect::MeshNoc build_degraded_noc(const FabricShape& shape,
 
 NocDegradation analyze_noc(const FabricShape& shape, const FaultSet& faults,
                            const interconnect::TrafficParams& params) {
+  trace::ProfileTimer timer(trace::ProfilePoint::RouteAround);
   NocDegradation d;
   d.width = shape.noc_width;
   d.height = shape.noc_height;

@@ -34,7 +34,7 @@ bool BusNetwork::connect(PortId input, PortId output) {
   }
   if (bus < 0) {
     for (std::size_t b = 0; b < bus_driver_.size(); ++b) {
-      if (bus_driver_[b] < 0) {
+      if (bus_driver_[b] < 0 && segment_alive(static_cast<int>(b))) {
         bus = static_cast<int>(b);
         break;
       }
@@ -75,7 +75,31 @@ std::optional<PortId> BusNetwork::source_of(PortId output) const {
 }
 
 bool BusNetwork::reachable(PortId input, PortId output) const {
-  return valid_ports(input, output);
+  return valid_ports(input, output) && live_bus_count() > 0;
+}
+
+bool BusNetwork::fail_segment(int bus) {
+  if (bus < 0 || bus >= bus_count()) return false;
+  if (bus_dead_.empty()) bus_dead_.assign(bus_driver_.size(), 0);
+  bus_dead_[static_cast<std::size_t>(bus)] = 1;
+  // Tear down everything riding the dead segment.
+  bus_driver_[static_cast<std::size_t>(bus)] = -1;
+  for (int& listened : output_bus_) {
+    if (listened == bus) listened = -1;
+  }
+  return true;
+}
+
+bool BusNetwork::segment_alive(int bus) const {
+  if (bus < 0 || bus >= bus_count()) return false;
+  return bus_dead_.empty() || !bus_dead_[static_cast<std::size_t>(bus)];
+}
+
+int BusNetwork::live_bus_count() const {
+  if (bus_dead_.empty()) return bus_count();
+  return bus_count() -
+         static_cast<int>(
+             std::count(bus_dead_.begin(), bus_dead_.end(), char{1}));
 }
 
 std::int64_t BusNetwork::config_bits() const {

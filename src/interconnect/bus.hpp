@@ -35,6 +35,16 @@ class BusNetwork final : public Network {
   /// Number of buses currently carrying a driver.
   int buses_in_use() const;
 
+  /// Fault mask (src/fault), mirroring Crossbar::fail_input semantics:
+  /// kill bus segment @p bus.  Routes riding it are torn down, connect()
+  /// never claims it again, and config_bits() is unchanged (the select
+  /// fields remain physically present).  With every segment dead the
+  /// fabric routes nothing — reachable() goes false everywhere.  False
+  /// when out of range.
+  bool fail_segment(int bus);
+  bool segment_alive(int bus) const;
+  int live_bus_count() const;
+
  private:
   void release_unused_buses();
 
@@ -42,6 +52,7 @@ class BusNetwork final : public Network {
   int outputs_;
   std::vector<PortId> bus_driver_;   ///< per bus: driving input or -1
   std::vector<int> output_bus_;      ///< per output: bus listened to or -1
+  std::vector<char> bus_dead_;       ///< per bus; empty while fault-free
 };
 
 }  // namespace mpct::interconnect

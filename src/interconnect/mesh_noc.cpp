@@ -6,6 +6,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace mpct::interconnect {
 
 MeshNoc::MeshNoc(int width, int height, int link_capacity)
@@ -92,6 +94,7 @@ int MeshNoc::alive_node_count() const {
 }
 
 void MeshNoc::rebuild_routes() {
+  trace::ProfileTimer timer(trace::ProfilePoint::NocReroute);
   // One deterministic BFS per destination over the surviving topology.
   // Fixed neighbour order (-x, +x, -y, +y) makes the chosen shortest
   // paths — and therefore every downstream simulation — reproducible.

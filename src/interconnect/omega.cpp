@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace mpct::interconnect {
 
 namespace {
@@ -39,7 +41,18 @@ OmegaNetwork::SwitchRef OmegaNetwork::switch_at(int /*stage*/,
 }
 
 bool OmegaNetwork::reachable(PortId input, PortId output) const {
-  return valid_ports(input, output);
+  if (!valid_ports(input, output)) return false;
+  if (dead_.empty()) return true;
+  // The destination-tag path is unique per (input, output): walk it and
+  // demand every switch alive.
+  int wire = input;
+  for (int s = 0; s < stages_; ++s) {
+    wire = shuffle(wire);
+    const SwitchRef ref = switch_at(s, wire);
+    if (!switch_alive(s, ref.index)) return false;
+    wire = (ref.index << 1) | ((output >> (stages_ - 1 - s)) & 1);
+  }
+  return true;
 }
 
 bool OmegaNetwork::connect(PortId input, PortId output) {
@@ -59,6 +72,7 @@ bool OmegaNetwork::connect(PortId input, PortId output) {
   }
 
   // Walk the destination-tag path and collect switch requirements.
+  trace::profile_count(trace::ProfilePoint::OmegaRoute);
   Route route;
   route.input = input;
   bool ok = true;
@@ -66,6 +80,10 @@ bool OmegaNetwork::connect(PortId input, PortId output) {
   for (int s = 0; s < stages_ && ok; ++s) {
     wire = shuffle(wire);
     const SwitchRef ref = switch_at(s, wire);
+    if (!switch_alive(s, ref.index)) {
+      ok = false;
+      break;
+    }
     const int desired_leg = (output >> (stages_ - 1 - s)) & 1;
     const int setting = ref.leg ^ desired_leg;  // 0 through, 1 cross
     const SwitchState& sw =
@@ -136,6 +154,78 @@ std::int64_t OmegaNetwork::config_bits() const {
 
 int OmegaNetwork::route_latency(PortId output) const {
   return source_of(output) ? stages_ : 0;
+}
+
+bool OmegaNetwork::fail_switch(int stage, int index) {
+  if (stage < 0 || stage >= stages_ || index < 0 || index >= ports_ / 2) {
+    return false;
+  }
+  if (dead_.empty()) {
+    dead_.assign(static_cast<std::size_t>(stages_),
+                 std::vector<bool>(static_cast<std::size_t>(ports_ / 2),
+                                   false));
+  }
+  dead_[static_cast<std::size_t>(stage)][static_cast<std::size_t>(index)] =
+      true;
+  // Tear down every route crossing the dead switch (each route records
+  // exactly one switch per stage).
+  for (int output = 0; output < ports_; ++output) {
+    const Route& route = routes_[static_cast<std::size_t>(output)];
+    if (route.input >= 0 &&
+        route.switches[static_cast<std::size_t>(stage)] == index) {
+      disconnect(output);
+    }
+  }
+  return true;
+}
+
+bool OmegaNetwork::switch_alive(int stage, int index) const {
+  if (stage < 0 || stage >= stages_ || index < 0 || index >= ports_ / 2) {
+    return false;
+  }
+  return dead_.empty() ||
+         !dead_[static_cast<std::size_t>(stage)]
+               [static_cast<std::size_t>(index)];
+}
+
+std::int64_t OmegaNetwork::dead_switch_count() const {
+  std::int64_t count = 0;
+  for (const auto& stage : dead_) {
+    for (const bool d : stage) count += d ? 1 : 0;
+  }
+  return count;
+}
+
+std::vector<bool> OmegaNetwork::reachable_outputs() const {
+  // Forward OR-propagation: a wire is live when some input can still
+  // drive it; a live 2x2 switch offers either live input leg to both of
+  // its output legs, a dead one offers neither.
+  std::vector<char> live(static_cast<std::size_t>(ports_), 1);
+  std::vector<char> shuffled(static_cast<std::size_t>(ports_));
+  for (int s = 0; s < stages_; ++s) {
+    for (int wire = 0; wire < ports_; ++wire) {
+      shuffled[static_cast<std::size_t>(shuffle(wire))] =
+          live[static_cast<std::size_t>(wire)];
+    }
+    for (int sw = 0; sw < ports_ / 2; ++sw) {
+      const char any = switch_alive(s, sw) &&
+                               (shuffled[static_cast<std::size_t>(2 * sw)] ||
+                                shuffled[static_cast<std::size_t>(2 * sw + 1)])
+                           ? 1
+                           : 0;
+      live[static_cast<std::size_t>(2 * sw)] = any;
+      live[static_cast<std::size_t>(2 * sw + 1)] = any;
+    }
+  }
+  return std::vector<bool>(live.begin(), live.end());
+}
+
+double OmegaNetwork::output_reachability() const {
+  if (dead_.empty()) return 1.0;
+  const std::vector<bool> reach = reachable_outputs();
+  std::int64_t alive = 0;
+  for (const bool r : reach) alive += r ? 1 : 0;
+  return static_cast<double>(alive) / static_cast<double>(ports_);
 }
 
 int OmegaNetwork::route_permutation(const std::vector<PortId>& perm) {

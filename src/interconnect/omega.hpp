@@ -45,6 +45,23 @@ class OmegaNetwork final : public Network {
   /// property the tests sweep.
   int route_permutation(const std::vector<PortId>& perm);
 
+  /// Fault mask (src/fault), mirroring BenesNetwork::fail_switch: kill
+  /// the 2x2 switch @p index of @p stage.  Routes through it are torn
+  /// down, connect()/reachable() refuse paths crossing it, and
+  /// config_bits() is unchanged (the configuration memory is still
+  /// physically there).  reset()/route_permutation() tear down routes
+  /// but never clear the mask.  False when out of range.
+  bool fail_switch(int stage, int index);
+  bool switch_alive(int stage, int index) const;
+  std::int64_t dead_switch_count() const;
+
+  /// Config-independent reachability under the fault mask (forward
+  /// OR-propagation, the BenesNetwork idiom): output o is reachable iff
+  /// some input's destination-tag path to it survives every switch.
+  std::vector<bool> reachable_outputs() const;
+  /// Fraction of outputs still reachable; 1.0 while fault-free.
+  double output_reachability() const;
+
  private:
   /// The switch on @p stage that the path through @p wire traverses,
   /// and whether the wire enters its upper (0) or lower (1) leg.
@@ -73,6 +90,8 @@ class OmegaNetwork final : public Network {
   };
   std::vector<std::vector<SwitchState>> switches_;
   std::vector<Route> routes_;  ///< per output
+  /// dead_[stage][switch]; empty while fault-free (the Benes idiom).
+  std::vector<std::vector<bool>> dead_;
 };
 
 }  // namespace mpct::interconnect

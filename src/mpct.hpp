@@ -87,3 +87,8 @@
 
 // Concurrent query serving (batching, caching, metrics).
 #include "service/service.hpp"
+
+// Structured tracing + exporters (docs/OBSERVABILITY.md).
+#include "trace/chrome_trace.hpp"
+#include "trace/prometheus.hpp"
+#include "trace/trace.hpp"

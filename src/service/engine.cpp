@@ -9,10 +9,24 @@
 #include "cost/config_bits.hpp"
 #include "explore/recommend.hpp"
 #include "service/fingerprint.hpp"
+#include "trace/trace.hpp"
 
 namespace mpct::service {
 
 namespace {
+
+/// Static-storage span name for the per-type execute span (trace span
+/// names must outlive the tracer, so no runtime concatenation).
+const char* execute_span_name(RequestType type) {
+  switch (type) {
+    case RequestType::Classify:   return "execute.classify";
+    case RequestType::Recommend:  return "execute.recommend";
+    case RequestType::Cost:       return "execute.cost";
+    case RequestType::Sweep:      return "execute.sweep";
+    case RequestType::FaultSweep: return "execute.fault_sweep";
+  }
+  return "execute";
+}
 
 QueryResponse rejected(Status status) {
   QueryResponse response;
@@ -206,10 +220,13 @@ void QueryEngine::start() {
 
 std::future<QueryResponse> QueryEngine::submit(Request request,
                                                Deadline deadline) {
+  trace::ScopedSpan span("engine.submit", trace::Category::Engine, "type",
+                         static_cast<std::int64_t>(request_type(request)));
   metrics_.submitted.add();
 
   if (deadline.expired()) {
     metrics_.rejected_deadline.add();
+    trace::emit_instant("deadline.expired", trace::Category::Mark);
     return ready_future(rejected(Status::deadline_exceeded()));
   }
 
@@ -233,6 +250,7 @@ std::future<QueryResponse> QueryEngine::submit(Request request,
   std::future<QueryResponse> future = task.promise.get_future();
 
   {
+    trace::ScopedSpan enqueue("engine.enqueue", trace::Category::Engine);
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
     if (shutdown_) {
       metrics_.rejected_shutdown.add();
@@ -283,6 +301,12 @@ void QueryEngine::worker_loop() {
     for (Task& task : batch) {
       metrics_.queue_depth.decrement();
       metrics_.in_flight.increment();
+      if (trace::enabled()) [[unlikely]] {
+        // The wait is only measurable here: the submitter stamped
+        // task.enqueued, this worker knows the dequeue time.
+        trace::emit_span("queue.wait", trace::Category::Queue, task.enqueued,
+                         Clock::now());
+      }
       if (task.sweep_job) {
         run_sweep_chunk(task);
         metrics_.in_flight.decrement();
@@ -339,7 +363,13 @@ std::future<QueryResponse> QueryEngine::submit_sweep(SweepRequest request,
   const Fingerprint key = key_builder.value();
 
   if (options_.enable_cache) {
-    if (std::shared_ptr<const ResponsePayload> hit = cache_.get(key)) {
+    std::shared_ptr<const ResponsePayload> hit;
+    {
+      trace::ScopedSpan probe("cache.probe", trace::Category::Cache);
+      hit = cache_.get(key);
+      probe.annotate("hit", hit ? 1 : 0);
+    }
+    if (hit) {
       metrics_.cache_hits.add();
       QueryResponse response;
       response.payload = std::move(hit);
@@ -374,6 +404,7 @@ std::future<QueryResponse> QueryEngine::submit_sweep(SweepRequest request,
   job->remaining.store(chunk_count, std::memory_order_relaxed);
 
   {
+    trace::ScopedSpan enqueue("engine.enqueue", trace::Category::Engine);
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
     if (shutdown_) {
       metrics_.rejected_shutdown.add();
@@ -437,7 +468,13 @@ std::future<QueryResponse> QueryEngine::submit_fault_sweep(
   const Fingerprint key = key_builder.value();
 
   if (options_.enable_cache) {
-    if (std::shared_ptr<const ResponsePayload> hit = cache_.get(key)) {
+    std::shared_ptr<const ResponsePayload> hit;
+    {
+      trace::ScopedSpan probe("cache.probe", trace::Category::Cache);
+      hit = cache_.get(key);
+      probe.annotate("hit", hit ? 1 : 0);
+    }
+    if (hit) {
       metrics_.cache_hits.add();
       QueryResponse response;
       response.payload = std::move(hit);
@@ -470,6 +507,7 @@ std::future<QueryResponse> QueryEngine::submit_fault_sweep(
   job->remaining.store(chunk_count, std::memory_order_relaxed);
 
   {
+    trace::ScopedSpan enqueue("engine.enqueue", trace::Category::Engine);
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
     if (shutdown_) {
       metrics_.rejected_shutdown.add();
@@ -507,16 +545,24 @@ std::future<QueryResponse> QueryEngine::submit_fault_sweep(
 
 void QueryEngine::run_curve_chunk(Task& task) {
   CurveJob& job = *task.curve_job;
-  if (task.deadline.expired()) {
-    job.fail(StatusCode::DeadlineExceeded);
-  } else if (job.fail_code.load(std::memory_order_relaxed) == 0) {
-    try {
-      job.evaluator.evaluate_range(task.chunk_begin, task.chunk_end,
-                                   job.outcomes.data() + task.chunk_begin);
-    } catch (const std::exception& e) {
-      job.fail(StatusCode::InternalError, e.what());
-    } catch (...) {
-      job.fail(StatusCode::InternalError, "unknown exception");
+  {
+    // Scoped so the merge (complete_curve) traces as a sibling span, not
+    // a child of whichever chunk happens to finish last.
+    trace::ScopedSpan span(
+        "fault.chunk", trace::Category::Chunk, "cells",
+        static_cast<std::int64_t>(task.chunk_end - task.chunk_begin));
+    if (task.deadline.expired()) {
+      trace::emit_instant("deadline.expired", trace::Category::Mark);
+      job.fail(StatusCode::DeadlineExceeded);
+    } else if (job.fail_code.load(std::memory_order_relaxed) == 0) {
+      try {
+        job.evaluator.evaluate_range(task.chunk_begin, task.chunk_end,
+                                     job.outcomes.data() + task.chunk_begin);
+      } catch (const std::exception& e) {
+        job.fail(StatusCode::InternalError, e.what());
+      } catch (...) {
+        job.fail(StatusCode::InternalError, "unknown exception");
+      }
     }
   }
   if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -527,29 +573,34 @@ void QueryEngine::run_curve_chunk(Task& task) {
 void QueryEngine::complete_curve(Task& task) {
   CurveJob& job = *task.curve_job;
   QueryResponse response;
-  const int fail = job.fail_code.load(std::memory_order_acquire);
-  if (fail != 0) {
-    switch (static_cast<StatusCode>(fail)) {
-      case StatusCode::DeadlineExceeded:
-        metrics_.rejected_deadline.add();
-        metrics_.expired_in_queue.add();
-        response = rejected(Status::deadline_exceeded());
-        break;
-      case StatusCode::ShuttingDown:
-        metrics_.rejected_shutdown.add();
-        response = rejected(Status::shutting_down());
-        break;
-      default:
-        response = rejected(Status::internal_error(job.fail_message));
-        break;
+  {
+    // Closed before the end-to-end latency is stamped, so queue-wait +
+    // chunk + merge spans stay accountable within the recorded latency.
+    trace::ScopedSpan span("fault.merge", trace::Category::Merge);
+    const int fail = job.fail_code.load(std::memory_order_acquire);
+    if (fail != 0) {
+      switch (static_cast<StatusCode>(fail)) {
+        case StatusCode::DeadlineExceeded:
+          metrics_.rejected_deadline.add();
+          metrics_.expired_in_queue.add();
+          response = rejected(Status::deadline_exceeded());
+          break;
+        case StatusCode::ShuttingDown:
+          metrics_.rejected_shutdown.add();
+          response = rejected(Status::shutting_down());
+          break;
+        default:
+          response = rejected(Status::internal_error(job.fail_message));
+          break;
+      }
+    } else {
+      FaultSweepResponse payload;
+      payload.result.spec = job.evaluator.spec();
+      payload.result.points = job.evaluator.finalize(job.outcomes);
+      response.payload =
+          std::make_shared<const ResponsePayload>(std::move(payload));
+      if (options_.enable_cache) cache_.put(job.key, response.payload);
     }
-  } else {
-    FaultSweepResponse payload;
-    payload.result.spec = job.evaluator.spec();
-    payload.result.points = job.evaluator.finalize(job.outcomes);
-    response.payload =
-        std::make_shared<const ResponsePayload>(std::move(payload));
-    if (options_.enable_cache) cache_.put(job.key, response.payload);
   }
   response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
       Clock::now() - job.enqueued);
@@ -569,16 +620,24 @@ void QueryEngine::complete_curve(Task& task) {
 
 void QueryEngine::run_sweep_chunk(Task& task) {
   SweepJob& job = *task.sweep_job;
-  if (task.deadline.expired()) {
-    job.fail(StatusCode::DeadlineExceeded);
-  } else if (job.fail_code.load(std::memory_order_relaxed) == 0) {
-    try {
-      job.evaluator.evaluate_range(task.chunk_begin, task.chunk_end,
-                                   job.points.data() + task.chunk_begin);
-    } catch (const std::exception& e) {
-      job.fail(StatusCode::InternalError, e.what());
-    } catch (...) {
-      job.fail(StatusCode::InternalError, "unknown exception");
+  {
+    // Scoped so the merge (complete_sweep) traces as a sibling span, not
+    // a child of whichever chunk happens to finish last.
+    trace::ScopedSpan span(
+        "sweep.chunk", trace::Category::Chunk, "cells",
+        static_cast<std::int64_t>(task.chunk_end - task.chunk_begin));
+    if (task.deadline.expired()) {
+      trace::emit_instant("deadline.expired", trace::Category::Mark);
+      job.fail(StatusCode::DeadlineExceeded);
+    } else if (job.fail_code.load(std::memory_order_relaxed) == 0) {
+      try {
+        job.evaluator.evaluate_range(task.chunk_begin, task.chunk_end,
+                                     job.points.data() + task.chunk_begin);
+      } catch (const std::exception& e) {
+        job.fail(StatusCode::InternalError, e.what());
+      } catch (...) {
+        job.fail(StatusCode::InternalError, "unknown exception");
+      }
     }
   }
   if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -589,31 +648,36 @@ void QueryEngine::run_sweep_chunk(Task& task) {
 void QueryEngine::complete_sweep(Task& task) {
   SweepJob& job = *task.sweep_job;
   QueryResponse response;
-  const int fail = job.fail_code.load(std::memory_order_acquire);
-  if (fail != 0) {
-    switch (static_cast<StatusCode>(fail)) {
-      case StatusCode::DeadlineExceeded:
-        metrics_.rejected_deadline.add();
-        metrics_.expired_in_queue.add();
-        response = rejected(Status::deadline_exceeded());
-        break;
-      case StatusCode::ShuttingDown:
-        metrics_.rejected_shutdown.add();
-        response = rejected(Status::shutting_down());
-        break;
-      default:
-        response = rejected(Status::internal_error(job.fail_message));
-        break;
+  {
+    // Closed before the end-to-end latency is stamped, so queue-wait +
+    // chunk + merge spans stay accountable within the recorded latency.
+    trace::ScopedSpan span("sweep.merge", trace::Category::Merge);
+    const int fail = job.fail_code.load(std::memory_order_acquire);
+    if (fail != 0) {
+      switch (static_cast<StatusCode>(fail)) {
+        case StatusCode::DeadlineExceeded:
+          metrics_.rejected_deadline.add();
+          metrics_.expired_in_queue.add();
+          response = rejected(Status::deadline_exceeded());
+          break;
+        case StatusCode::ShuttingDown:
+          metrics_.rejected_shutdown.add();
+          response = rejected(Status::shutting_down());
+          break;
+        default:
+          response = rejected(Status::internal_error(job.fail_message));
+          break;
+      }
+    } else {
+      SweepResponse payload;
+      payload.result.candidate_classes = job.evaluator.candidate_count();
+      payload.result.points = std::move(job.points);
+      payload.result.pareto_front =
+          explore::pareto_front(payload.result.points);
+      response.payload =
+          std::make_shared<const ResponsePayload>(std::move(payload));
+      if (options_.enable_cache) cache_.put(job.key, response.payload);
     }
-  } else {
-    SweepResponse payload;
-    payload.result.candidate_classes = job.evaluator.candidate_count();
-    payload.result.points = std::move(job.points);
-    payload.result.pareto_front =
-        explore::pareto_front(payload.result.points);
-    response.payload =
-        std::make_shared<const ResponsePayload>(std::move(payload));
-    if (options_.enable_cache) cache_.put(job.key, response.payload);
   }
   response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
       Clock::now() - job.enqueued);
@@ -641,8 +705,11 @@ QueryResponse QueryEngine::run_request(const Request& request,
     // check and execution (inline path).
     metrics_.rejected_deadline.add();
     metrics_.expired_in_queue.add();
+    trace::emit_instant("deadline.expired", trace::Category::Mark);
     response = rejected(Status::deadline_exceeded());
   } else {
+    trace::ScopedSpan span(execute_span_name(request_type(request)),
+                           trace::Category::Execute);
     response = execute_cached(request);
   }
   response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -660,7 +727,13 @@ QueryResponse QueryEngine::execute_cached(const Request& request) {
   if (!options_.enable_cache) return execute_uncached(request);
 
   const Fingerprint key = fingerprint(request);
-  if (std::shared_ptr<const ResponsePayload> hit = cache_.get(key)) {
+  std::shared_ptr<const ResponsePayload> hit;
+  {
+    trace::ScopedSpan probe("cache.probe", trace::Category::Cache);
+    hit = cache_.get(key);
+    probe.annotate("hit", hit ? 1 : 0);
+  }
+  if (hit) {
     metrics_.cache_hits.add();
     QueryResponse response;
     response.payload = std::move(hit);

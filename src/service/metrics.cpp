@@ -5,6 +5,8 @@
 
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "trace/prometheus.hpp"
+#include "trace/trace.hpp"
 
 namespace mpct::service {
 
@@ -62,6 +64,21 @@ void LatencyHistogram::record(std::chrono::nanoseconds latency) {
   sum_ns_.fetch_add(ns, std::memory_order_relaxed);
   atomic_min(min_ns_, ns);
   atomic_max(max_ns_, ns);
+}
+
+std::int64_t LatencyHistogram::bucket_upper_ns(std::size_t i) {
+  if (i + 1 >= kBucketCount) return INT64_MAX;  // last bucket: unbounded
+  return static_cast<std::int64_t>((std::uint64_t{1} << (i + 1)) - 1);
+}
+
+LatencyHistogram::Buckets LatencyHistogram::buckets() const {
+  Buckets result;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    result.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  result.count = count_.load(std::memory_order_relaxed);
+  result.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  return result;
 }
 
 double LatencyHistogram::quantile_us(double q) const {
@@ -233,6 +250,102 @@ std::string MetricsRegistry::to_csv(const CacheStats& cache) const {
     csv.add_row({prefix + "max_us", format_us(snap.max_us)});
   }
   return csv.str();
+}
+
+std::string MetricsRegistry::to_prometheus(const CacheStats& cache,
+                                           bool include_profile) const {
+  using trace::PromWriter;
+  PromWriter w;
+
+  w.header("mpct_requests_submitted_total", PromWriter::Type::Counter,
+           "Requests submitted to the QueryEngine.");
+  w.sample("mpct_requests_submitted_total", {}, submitted.value());
+  w.header("mpct_requests_completed_total", PromWriter::Type::Counter,
+           "Requests that completed successfully (cached or executed).");
+  w.sample("mpct_requests_completed_total", {}, completed.value());
+  w.header("mpct_requests_rejected_total", PromWriter::Type::Counter,
+           "Requests rejected, by reason.");
+  w.sample("mpct_requests_rejected_total", "reason=\"queue_full\"",
+           rejected_queue_full.value());
+  w.sample("mpct_requests_rejected_total", "reason=\"deadline\"",
+           rejected_deadline.value());
+  w.sample("mpct_requests_rejected_total", "reason=\"shutdown\"",
+           rejected_shutdown.value());
+  w.header("mpct_requests_expired_in_queue_total", PromWriter::Type::Counter,
+           "Accepted requests whose deadline expired before execution "
+           "(strict subset of reason=\"deadline\" rejections).");
+  w.sample("mpct_requests_expired_in_queue_total", {},
+           expired_in_queue.value());
+  w.header("mpct_requests_failed_total", PromWriter::Type::Counter,
+           "Requests that failed (parse / invalid / internal errors).");
+  w.sample("mpct_requests_failed_total", {}, failed.value());
+
+  w.header("mpct_queue_depth", PromWriter::Type::Gauge,
+           "Requests currently waiting in the bounded queue.");
+  w.sample("mpct_queue_depth", {},
+           static_cast<double>(queue_depth.value()));
+  w.header("mpct_in_flight", PromWriter::Type::Gauge,
+           "Requests currently executing on workers.");
+  w.sample("mpct_in_flight", {}, static_cast<double>(in_flight.value()));
+
+  w.header("mpct_batches_total", PromWriter::Type::Counter,
+           "Worker wake-ups that drained at least one request.");
+  w.sample("mpct_batches_total", {}, batch_sizes.batches());
+  w.header("mpct_batch_requests_total", PromWriter::Type::Counter,
+           "Requests drained across all batches.");
+  w.sample("mpct_batch_requests_total", {}, batch_sizes.requests());
+
+  w.header("mpct_cache_hits_total", PromWriter::Type::Counter,
+           "Result-cache hits.");
+  w.sample("mpct_cache_hits_total", {}, cache_hits.value());
+  w.header("mpct_cache_misses_total", PromWriter::Type::Counter,
+           "Result-cache misses.");
+  w.sample("mpct_cache_misses_total", {}, cache_misses.value());
+  w.header("mpct_cache_entries", PromWriter::Type::Gauge,
+           "Entries currently resident in the result cache.");
+  w.sample("mpct_cache_entries", {},
+           static_cast<std::uint64_t>(cache.entries));
+  w.header("mpct_cache_insertions_total", PromWriter::Type::Counter,
+           "Result-cache insertions.");
+  w.sample("mpct_cache_insertions_total", {},
+           static_cast<std::uint64_t>(cache.insertions));
+  w.header("mpct_cache_evictions_total", PromWriter::Type::Counter,
+           "Result-cache LRU evictions.");
+  w.sample("mpct_cache_evictions_total", {},
+           static_cast<std::uint64_t>(cache.evictions));
+
+  // Per-type latency histograms.  Cumulative buckets; the inclusive
+  // `le` bound of bucket i is its inclusive upper edge 2^(i+1) - 1 ns
+  // (see the pinned boundary semantics in metrics.hpp).
+  w.header("mpct_request_latency_seconds", PromWriter::Type::Histogram,
+           "Submit-to-completion latency by request type.");
+  for (std::size_t t = 0; t < kRequestTypeCount; ++t) {
+    const auto type = static_cast<RequestType>(t);
+    const LatencyHistogram::Buckets snap = latency(type).buckets();
+    const std::string type_label =
+        std::string("type=\"") + std::string(to_string(type)) + "\"";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      cumulative += snap.counts[i];
+      if (i + 1 == LatencyHistogram::kBucketCount) break;  // +Inf below
+      char le[64];
+      std::snprintf(le, sizeof(le), "%s,le=\"%.9g\"", type_label.c_str(),
+                    static_cast<double>(
+                        LatencyHistogram::bucket_upper_ns(i)) /
+                        1e9);
+      w.sample("mpct_request_latency_seconds_bucket", le, cumulative);
+    }
+    w.inf_bucket("mpct_request_latency_seconds_bucket", type_label,
+                 cumulative);
+    w.sample("mpct_request_latency_seconds_sum", type_label,
+             static_cast<double>(snap.sum_ns) / 1e9);
+    w.sample("mpct_request_latency_seconds_count", type_label, snap.count);
+  }
+
+  if (include_profile) {
+    trace::render_profile(w, trace::Tracer::instance().snapshot());
+  }
+  return w.str();
 }
 
 }  // namespace mpct::service

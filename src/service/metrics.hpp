@@ -45,11 +45,44 @@ class Gauge {
 /// [2^i, 2^(i+1)) nanoseconds, so 40 buckets span 1 ns to ~18 minutes
 /// with constant relative error (one power of two) and wait-free
 /// recording — one relaxed fetch_add per sample, no allocation, no lock.
+///
+/// Bucket boundaries, pinned (tests/test_service.cpp holds these exact
+/// edges):
+///  * every bucket's lower bound is INCLUSIVE, its upper bound
+///    EXCLUSIVE: a sample of exactly 2^i ns lands in bucket i, a sample
+///    of 2^i - 1 ns in bucket i-1;
+///  * bucket 0 is the irregular one: it covers [0, 2) ns, absorbing the
+///    would-be [1, 2) bucket plus zero (and clamped negative) samples;
+///  * the last bucket (i = kBucketCount - 1 = 39) is unbounded above:
+///    [2^39 ns, +inf) — samples beyond ~9.2 minutes clamp into it.
+/// The Prometheus exposition derives its `le` bounds from these edges:
+/// bucket i's samples are exactly those <= 2^(i+1) - 1 ns, so the
+/// emitted inclusive `le` bound is (2^(i+1) - 1) ns in seconds.
 class LatencyHistogram {
  public:
   static constexpr std::size_t kBucketCount = 40;
 
   void record(std::chrono::nanoseconds latency);
+
+  /// The bucket record() files @p latency under — exposed so the
+  /// boundary semantics above stay test-enforced.
+  static std::size_t bucket_of(std::chrono::nanoseconds latency) {
+    return bucket_index(latency);
+  }
+
+  /// Inclusive upper edge of bucket @p i in ns: 2^(i+1) - 1 (INT64_MAX
+  /// for the unbounded last bucket).
+  static std::int64_t bucket_upper_ns(std::size_t i);
+
+  /// Raw wait-free view for exporters: per-bucket counts plus the
+  /// `_sum` / `_count` pair.  Reads are relaxed and per-field, exactly
+  /// like snapshot(): racing records may be missed, values never tear.
+  struct Buckets {
+    std::array<std::uint64_t, kBucketCount> counts{};
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+  };
+  Buckets buckets() const;
 
   struct Snapshot {
     std::uint64_t count = 0;
@@ -149,6 +182,16 @@ class MetricsRegistry {
   /// Same data as CSV (metric,value rows then per-type latency rows),
   /// via report::CsvWriter.
   std::string to_csv(const CacheStats& cache) const;
+
+  /// Prometheus text exposition (version 0.0.4) of the whole registry:
+  /// counters as `*_total`, gauges, and per-request-type latency
+  /// histograms with cumulative `_bucket{le="..."}` / `_sum` / `_count`
+  /// samples whose `le` bounds come from LatencyHistogram's pinned
+  /// bucket edges.  Appends the Tracer's profiling totals when
+  /// @p include_profile is set.  Deterministic given frozen metric
+  /// values (rendered via trace::PromWriter).
+  std::string to_prometheus(const CacheStats& cache,
+                            bool include_profile = false) const;
 };
 
 }  // namespace mpct::service

@@ -1,0 +1,85 @@
+#include "trace/chrome_trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mpct::trace {
+
+namespace {
+
+/// Escape for a JSON string literal.  Span names are static identifiers
+/// under our control, but the exporter must never emit a malformed
+/// document whatever an instrumentation site passes.
+void append_escaped(std::string& out, const char* text) {
+  if (text == nullptr) return;
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// ns -> fractional microseconds with fixed 3 decimals.
+void append_us(std::string& out, std::int64_t ns) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  out += buffer;
+}
+
+}  // namespace
+
+std::string to_chrome_json(const TraceSnapshot& snapshot) {
+  std::string out;
+  out.reserve(64 + snapshot.spans.size() * 144);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : snapshot.spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, span.name);
+    out += "\",\"cat\":\"";
+    out += to_string(span.category);
+    if (span.instant()) {
+      out += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      append_us(out, span.start_ns);
+    } else {
+      out += "\",\"ph\":\"X\",\"ts\":";
+      append_us(out, span.start_ns);
+      out += ",\"dur\":";
+      append_us(out, span.dur_ns);
+    }
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"pid\":1,\"tid\":%u,\"args\":{\"span\":%" PRIu64
+                  ",\"parent\":%" PRIu64,
+                  span.thread, span.id, span.parent);
+    out += buffer;
+    if (span.arg_name != nullptr) {
+      out += ",\"";
+      append_escaped(out, span.arg_name);
+      std::snprintf(buffer, sizeof(buffer), "\":%" PRId64, span.arg);
+      out += buffer;
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mpct::trace

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace mpct::trace {
+
+/// Render a frozen trace as Chrome trace-event JSON (the "JSON Array
+/// Format" with a `traceEvents` wrapper object), loadable in
+/// chrome://tracing and Perfetto.
+///
+/// Mapping: a normal span becomes one complete event (`"ph":"X"`) with
+/// `ts`/`dur` in fractional microseconds (3 decimals, so nothing below
+/// ns resolution is invented); an instant marker becomes `"ph":"i"`
+/// with thread scope.  `pid` is always 1, `tid` is the Tracer's
+/// registration-order thread index, `cat` is the span taxonomy
+/// (trace::Category), and `args` carries the parent span id plus the
+/// optional annotation.
+///
+/// Deterministic: a pure function of the snapshot — the spans are
+/// already totally ordered by (start_ns, id) and every number is
+/// formatted with fixed precision, so equal snapshots produce
+/// byte-identical documents (test-enforced).
+std::string to_chrome_json(const TraceSnapshot& snapshot);
+
+}  // namespace mpct::trace

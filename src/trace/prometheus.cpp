@@ -1,0 +1,96 @@
+#include "trace/prometheus.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mpct::trace {
+
+namespace {
+
+std::string_view type_name(PromWriter::Type type) {
+  switch (type) {
+    case PromWriter::Type::Counter:   return "counter";
+    case PromWriter::Type::Gauge:     return "gauge";
+    case PromWriter::Type::Histogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+void PromWriter::header(std::string_view name, Type type,
+                        std::string_view help) {
+  out_ += "# HELP ";
+  out_ += name;
+  out_ += ' ';
+  out_ += help;
+  out_ += "\n# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += type_name(type);
+  out_ += '\n';
+}
+
+void PromWriter::sample_prefix(std::string_view name,
+                               std::string_view labels) {
+  out_ += name;
+  if (!labels.empty()) {
+    out_ += '{';
+    out_ += labels;
+    out_ += '}';
+  }
+  out_ += ' ';
+}
+
+void PromWriter::sample(std::string_view name, std::string_view labels,
+                        double value) {
+  sample_prefix(name, labels);
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  out_ += buffer;
+  out_ += '\n';
+}
+
+void PromWriter::sample(std::string_view name, std::string_view labels,
+                        std::uint64_t value) {
+  sample_prefix(name, labels);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  out_ += buffer;
+  out_ += '\n';
+}
+
+void PromWriter::inf_bucket(std::string_view name, std::string_view labels,
+                            std::uint64_t cumulative) {
+  std::string with_inf(labels);
+  if (!with_inf.empty()) with_inf += ',';
+  with_inf += "le=\"+Inf\"";
+  sample(name, with_inf, cumulative);
+}
+
+void render_profile(PromWriter& writer, const TraceSnapshot& snapshot) {
+  writer.header("mpct_profile_calls_total", PromWriter::Type::Counter,
+                "Hot-path profiling hook call counts (trace::ProfilePoint).");
+  for (std::size_t p = 0; p < kProfilePointCount; ++p) {
+    std::string labels = "point=\"";
+    labels += to_string(static_cast<ProfilePoint>(p));
+    labels += '"';
+    writer.sample("mpct_profile_calls_total", labels,
+                  snapshot.profile[p].calls);
+  }
+  writer.header("mpct_profile_ns_total", PromWriter::Type::Counter,
+                "Cumulative nanoseconds inside timed profiling hooks "
+                "(0 for count-only points).");
+  for (std::size_t p = 0; p < kProfilePointCount; ++p) {
+    std::string labels = "point=\"";
+    labels += to_string(static_cast<ProfilePoint>(p));
+    labels += '"';
+    writer.sample("mpct_profile_ns_total", labels,
+                  static_cast<std::uint64_t>(
+                      snapshot.profile[p].total_ns < 0
+                          ? 0
+                          : snapshot.profile[p].total_ns));
+  }
+}
+
+}  // namespace mpct::trace

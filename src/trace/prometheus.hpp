@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "trace/trace.hpp"
+
+namespace mpct::trace {
+
+/// Minimal Prometheus text-exposition (version 0.0.4) writer.
+///
+/// Lives in src/trace (not src/service) so the dependency arrow keeps
+/// pointing downward: service::MetricsRegistry::to_prometheus() renders
+/// itself through this builder, and this library never sees a service
+/// type.
+///
+/// Usage per metric family: header() once (emits `# HELP` / `# TYPE`),
+/// then one sample() per time series.  Histograms are emitted with
+/// explicit `_bucket{le="..."}` / `_sum` / `_count` samples by the
+/// caller; bucket `le` bounds are *inclusive* upper bounds per the
+/// exposition format, and counts are cumulative.
+///
+/// Deterministic: fixed formatting (integers exact, doubles `%.9g`,
+/// `+Inf` for the unbounded bucket); output depends only on the call
+/// sequence.
+class PromWriter {
+ public:
+  enum class Type { Counter, Gauge, Histogram };
+
+  /// `# HELP name help` and `# TYPE name <type>` lines.
+  void header(std::string_view name, Type type, std::string_view help);
+
+  /// `name{labels} <value>` — pass labels pre-rendered without braces
+  /// (e.g. `type="sweep",le="0.001"`), empty for none.
+  void sample(std::string_view name, std::string_view labels, double value);
+  void sample(std::string_view name, std::string_view labels,
+              std::uint64_t value);
+
+  /// `name{...,le="+Inf"} <value>` convenience for the unbounded bucket.
+  void inf_bucket(std::string_view name, std::string_view labels,
+                  std::uint64_t cumulative);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void sample_prefix(std::string_view name, std::string_view labels);
+  std::string out_;
+};
+
+/// Render the Tracer's aggregate profile totals
+/// (mpct_profile_calls_total / mpct_profile_ns_total per ProfilePoint).
+void render_profile(PromWriter& writer, const TraceSnapshot& snapshot);
+
+}  // namespace mpct::trace

@@ -112,5 +112,51 @@ TEST_P(BusSaturation, AtMostKDistinctDrivers) {
 INSTANTIATE_TEST_SUITE_P(BusCounts, BusSaturation,
                          ::testing::Values(1, 2, 4, 8, 16));
 
+// ---------------------------------------------------------------------------
+// Fault mask (mirrors the Crossbar::fail_input / fail_output semantics)
+
+TEST(BusFaults, DeadSegmentDropsRoutesAndCannotBeClaimed) {
+  BusNetwork bus(4, 4, 2);
+  ASSERT_TRUE(bus.connect(0, 0));  // claims bus 0
+  ASSERT_TRUE(bus.connect(1, 1));  // claims bus 1
+  const std::int64_t bits = bus.config_bits();
+
+  ASSERT_TRUE(bus.fail_segment(0));
+  EXPECT_FALSE(bus.segment_alive(0));
+  EXPECT_EQ(bus.live_bus_count(), 1);
+  EXPECT_FALSE(bus.source_of(0).has_value());  // torn down
+  EXPECT_EQ(bus.source_of(1), 1);              // other segment untouched
+  // Input 0 would need a fresh segment; the only live one is driven by
+  // input 1 — structural blocking, exactly as with one fewer bus.
+  EXPECT_FALSE(bus.connect(0, 2));
+  EXPECT_TRUE(bus.connect(1, 2));  // existing driver still broadcasts
+  // The mask never shrinks the configuration memory.
+  EXPECT_EQ(bus.config_bits(), bits);
+
+  EXPECT_FALSE(bus.fail_segment(-1));
+  EXPECT_FALSE(bus.fail_segment(2));
+  EXPECT_FALSE(bus.segment_alive(2));
+}
+
+TEST(BusFaults, SurvivingSegmentStillRoutes) {
+  BusNetwork bus(4, 4, 2);
+  ASSERT_TRUE(bus.fail_segment(0));
+  EXPECT_TRUE(bus.connect(2, 3));  // claims the surviving bus
+  EXPECT_EQ(bus.source_of(3), 2);
+  EXPECT_EQ(bus.buses_in_use(), 1);
+  EXPECT_TRUE(bus.reachable(0, 0));
+}
+
+TEST(BusFaults, AllSegmentsDeadRouteNothing) {
+  BusNetwork bus(2, 2, 1);
+  ASSERT_TRUE(bus.connect(0, 0));
+  ASSERT_TRUE(bus.fail_segment(0));
+  EXPECT_EQ(bus.live_bus_count(), 0);
+  EXPECT_EQ(bus.buses_in_use(), 0);
+  EXPECT_FALSE(bus.reachable(0, 0));
+  EXPECT_FALSE(bus.connect(0, 0));
+  EXPECT_FALSE(bus.source_of(0).has_value());
+}
+
 }  // namespace
 }  // namespace mpct::interconnect

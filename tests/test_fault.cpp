@@ -15,8 +15,10 @@
 #include "core/taxonomy_index.hpp"
 #include "fault/fault.hpp"
 #include "interconnect/benes.hpp"
+#include "interconnect/bus.hpp"
 #include "interconnect/crossbar.hpp"
 #include "interconnect/mesh_noc.hpp"
+#include "interconnect/omega.hpp"
 #include "interconnect/traffic.hpp"
 #include "service/engine.hpp"
 
@@ -453,6 +455,63 @@ TEST(BenesFaults, DeadSwitchDropsSignalsAndReachability) {
   EXPECT_EQ(out[0], 0u);
   EXPECT_EQ(out[1], 0u);
   EXPECT_EQ(net.source_of(0), -1);
+}
+
+// Fault-mask parity: every multistage/bus fabric answers the same
+// questions (alive?, dead count, reachability fraction) the same way, so
+// degrade()'s structural census and the executable models agree.
+TEST(OmegaFaults, MaskMatchesDegradeCensusFraction) {
+  // An 8-port DP-DP column, modelled both ways: the structural census
+  // (SwitchPortDead faults into degrade()) and the executable Omega
+  // fabric with its last-stage switch 0 dead — which unreaches exactly
+  // outputs {0, 1}, the same 2-of-8 loss the census records.
+  const MachineClass mc = imp_machine();
+  FabricShape shape = FabricShape::of(mc, small_bindings());
+  const auto role = static_cast<std::size_t>(ConnectivityRole::IpDp);
+  shape.switch_ports[role] = 8;
+  FaultSet faults;
+  faults.add_switch_port(ConnectivityRole::IpDp, 0);
+  faults.add_switch_port(ConnectivityRole::IpDp, 1);
+  const DegradeResult r = fault::degrade(mc, shape, faults);
+  EXPECT_EQ(r.surviving_ports[role], 6);
+  // Partially-dead column keeps its switch kind.
+  EXPECT_EQ(r.degraded.switch_at(ConnectivityRole::IpDp),
+            SwitchKind::Crossbar);
+
+  interconnect::OmegaNetwork net(8);
+  ASSERT_TRUE(net.fail_switch(net.stage_count() - 1, 0));
+  const double census_fraction =
+      static_cast<double>(r.surviving_ports[role]) /
+      static_cast<double>(shape.switch_ports[role]);
+  EXPECT_DOUBLE_EQ(net.output_reachability(), census_fraction);
+}
+
+TEST(BusFaults, AllSegmentsDeadMirrorsColumnStrip) {
+  // degrade() strips a connectivity column once every port died; the
+  // executable bus fabric reaches the same verdict — nothing routes —
+  // when every segment died.
+  const MachineClass mc = imp_machine();
+  const FabricShape shape = FabricShape::of(mc, small_bindings());
+  FaultSet faults;
+  const auto role = static_cast<std::size_t>(ConnectivityRole::DpDm);
+  for (std::int64_t p = 0; p < shape.switch_ports[role]; ++p) {
+    faults.add_switch_port(ConnectivityRole::DpDm,
+                           static_cast<std::int32_t>(p));
+  }
+  const DegradeResult r = fault::degrade(mc, shape, faults);
+  EXPECT_EQ(r.degraded.switch_at(ConnectivityRole::DpDm), SwitchKind::None);
+
+  interconnect::BusNetwork bus(4, 4, 2);
+  ASSERT_TRUE(bus.connect(0, 0));
+  ASSERT_TRUE(bus.fail_segment(0));
+  ASSERT_TRUE(bus.fail_segment(1));
+  EXPECT_EQ(bus.live_bus_count(), 0);
+  EXPECT_FALSE(bus.reachable(0, 0));
+  EXPECT_FALSE(bus.connect(2, 2));
+  EXPECT_FALSE(bus.source_of(0).has_value());
+  // Config state is still physically present on both models, exactly as
+  // Eq. 2 keeps pricing the stripped column's silicon.
+  EXPECT_GT(bus.config_bits(), 0);
 }
 
 TEST(RouteAround, AnalyzeNocReportsConnectivityLoss) {

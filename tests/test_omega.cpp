@@ -171,5 +171,62 @@ TEST_P(OmegaSizes, AllPairsRoutableInIsolation) {
 INSTANTIATE_TEST_SUITE_P(PowersOfTwo, OmegaSizes,
                          ::testing::Values(2, 4, 8, 16, 32, 64));
 
+// ---------------------------------------------------------------------------
+// Fault mask (mirrors the BenesNetwork::fail_switch semantics)
+
+TEST(OmegaFaults, DeadSwitchTearsDownRoutesAndBlocksThem) {
+  OmegaNetwork net(8);
+  // Route 0 -> 0 crosses stage-0 switch 0 (shuffle(0) = wire 0).
+  ASSERT_TRUE(net.connect(0, 0));
+  const std::int64_t bits = net.config_bits();
+
+  ASSERT_TRUE(net.fail_switch(0, 0));
+  EXPECT_FALSE(net.switch_alive(0, 0));
+  EXPECT_EQ(net.dead_switch_count(), 1);
+  EXPECT_FALSE(net.source_of(0).has_value());  // torn down
+  EXPECT_FALSE(net.connect(0, 0));             // path crosses the corpse
+  EXPECT_FALSE(net.reachable(0, 0));
+  // Inputs 0 and 4 enter stage-0 switch 0 on every path; input 1 does
+  // not, so output 0 is still reachable from elsewhere.
+  EXPECT_FALSE(net.reachable(4, 3));
+  EXPECT_TRUE(net.reachable(1, 0));
+  EXPECT_TRUE(net.connect(1, 0));
+  // The mask never shrinks the configuration memory.
+  EXPECT_EQ(net.config_bits(), bits);
+
+  EXPECT_FALSE(net.fail_switch(0, 99));
+  EXPECT_FALSE(net.fail_switch(-1, 0));
+  EXPECT_FALSE(net.switch_alive(9, 0));
+}
+
+TEST(OmegaFaults, LastStageDeathUnreachesItsOutputs) {
+  OmegaNetwork net(8);
+  EXPECT_DOUBLE_EQ(net.output_reachability(), 1.0);
+  ASSERT_TRUE(net.fail_switch(net.stage_count() - 1, 0));
+  const std::vector<bool> reach = net.reachable_outputs();
+  EXPECT_FALSE(reach[0]);
+  EXPECT_FALSE(reach[1]);
+  for (int o = 2; o < 8; ++o) EXPECT_TRUE(reach[o]) << o;
+  EXPECT_DOUBLE_EQ(net.output_reachability(), 0.75);
+  for (PortId in = 0; in < 8; ++in) {
+    EXPECT_FALSE(net.reachable(in, 0)) << in;
+    EXPECT_FALSE(net.connect(in, 0)) << in;
+  }
+}
+
+TEST(OmegaFaults, ResetAndRoutePermutationKeepTheMask) {
+  OmegaNetwork net(8);
+  ASSERT_TRUE(net.fail_switch(0, 0));
+  std::vector<PortId> identity(8);
+  std::iota(identity.begin(), identity.end(), 0);
+  // route_permutation resets routes, never the mask: the two inputs
+  // funnelled through the dead stage-0 switch (0 and 4) cannot route.
+  EXPECT_EQ(net.route_permutation(identity), 6);
+  EXPECT_EQ(net.dead_switch_count(), 1);
+  net.reset();
+  EXPECT_EQ(net.dead_switch_count(), 1);
+  EXPECT_FALSE(net.connect(0, 0));
+}
+
 }  // namespace
 }  // namespace mpct::interconnect

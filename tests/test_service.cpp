@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -195,6 +197,63 @@ TEST(LatencyHistogram, PercentilesBracketTheSamples) {
   EXPECT_GE(snap.max_us, 30000.0);
   EXPECT_GT(snap.mean_us, 0.0);
   EXPECT_LE(snap.min_us, snap.p50_us);
+}
+
+// The pinned boundary contract from metrics.hpp: bucket i covers
+// [2^i, 2^(i+1)) ns — lower bound inclusive, upper exclusive — with
+// bucket 0 irregular ([0, 2) ns) and the last bucket unbounded.
+TEST(LatencyHistogram, BucketEdgesArePinned) {
+  using std::chrono::nanoseconds;
+  // Bucket 0 absorbs zero, clamped-negative and 1 ns samples.
+  EXPECT_EQ(LatencyHistogram::bucket_of(nanoseconds(0)), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(nanoseconds(-5)), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(nanoseconds(1)), 0u);
+  // Lower bound inclusive, upper exclusive, at every power of two.
+  EXPECT_EQ(LatencyHistogram::bucket_of(nanoseconds(2)), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(nanoseconds(3)), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(nanoseconds(4)), 2u);
+  for (std::size_t k = 2; k < 39; ++k) {
+    const std::int64_t edge = std::int64_t{1} << k;
+    EXPECT_EQ(LatencyHistogram::bucket_of(nanoseconds(edge - 1)), k - 1)
+        << "2^" << k << " - 1";
+    EXPECT_EQ(LatencyHistogram::bucket_of(nanoseconds(edge)), k)
+        << "2^" << k;
+  }
+  // The last bucket is unbounded above.
+  EXPECT_EQ(LatencyHistogram::bucket_of(nanoseconds(std::int64_t{1} << 39)),
+            39u);
+  EXPECT_EQ(
+      LatencyHistogram::bucket_of(nanoseconds((std::int64_t{1} << 45) + 7)),
+      39u);
+
+  // The inclusive per-bucket upper edges the Prometheus exposition uses.
+  EXPECT_EQ(LatencyHistogram::bucket_upper_ns(0), 1);
+  EXPECT_EQ(LatencyHistogram::bucket_upper_ns(1), 3);
+  EXPECT_EQ(LatencyHistogram::bucket_upper_ns(10), 2047);
+  EXPECT_EQ(LatencyHistogram::bucket_upper_ns(39),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(LatencyHistogram, BucketsViewMatchesRecords) {
+  using std::chrono::nanoseconds;
+  LatencyHistogram hist;
+  hist.record(nanoseconds(0));
+  hist.record(nanoseconds(1));
+  hist.record(nanoseconds(2));    // bucket 1
+  hist.record(nanoseconds(7));    // bucket 2
+  hist.record(nanoseconds(8));    // bucket 3
+  hist.record(nanoseconds(std::int64_t{1} << 39));  // last bucket
+  const LatencyHistogram::Buckets view = hist.buckets();
+  EXPECT_EQ(view.counts[0], 2u);
+  EXPECT_EQ(view.counts[1], 1u);
+  EXPECT_EQ(view.counts[2], 1u);
+  EXPECT_EQ(view.counts[3], 1u);
+  EXPECT_EQ(view.counts[39], 1u);
+  EXPECT_EQ(view.count, 6u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : view.counts) total += c;
+  EXPECT_EQ(total, view.count);
+  EXPECT_EQ(view.sum_ns, 0u + 1 + 2 + 7 + 8 + (std::uint64_t{1} << 39));
 }
 
 TEST(BatchSizeHistogram, TracksBatchesAndMean) {

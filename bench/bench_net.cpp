@@ -1,0 +1,248 @@
+/// Network-layer benchmarks: loopback throughput and tail latency.
+///
+/// Artifact: a CSV matrix (requests/s and p99 round-trip latency for
+/// every connections x pipeline-depth cell) printed first, measured
+/// against a real net::Server on 127.0.0.1 — kernel sockets, framing,
+/// encode/decode and the engine all included.  Depth 1 is the classic
+/// request/response ping-pong; deeper cells pipeline whole batches on
+/// one connection, which is where the wire format earns its keep.
+///
+/// Flags (both stripped before benchmark::Initialize):
+///   --csv <path>    also write google-benchmark timings as CSV
+///   --json <path>   write the matrix as BENCH_net JSON
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "arch/registry.hpp"
+#include "bench_util.hpp"
+#include "net/net.hpp"
+#include "report/csv.hpp"
+#include "service/service.hpp"
+#include "wire/wire.hpp"
+
+namespace {
+
+using namespace mpct;
+
+/// One matrix cell: @p connections clients, each pipelining batches of
+/// @p depth classify requests until the cell total is reached.
+struct CellResult {
+  int connections = 0;
+  int depth = 0;
+  double req_per_s = 0;
+  double p99_us = 0;
+};
+
+std::vector<service::Request> make_batch(int depth) {
+  const auto& survey = arch::surveyed_architectures();
+  std::vector<service::Request> batch;
+  batch.reserve(static_cast<std::size_t>(depth));
+  for (int i = 0; i < depth; ++i) {
+    batch.push_back(service::ClassifyRequest::of(
+        survey[static_cast<std::size_t>(i) % survey.size()]));
+  }
+  return batch;
+}
+
+CellResult run_cell(std::uint16_t port, int connections, int depth,
+                    int total_requests) {
+  const int per_client = total_requests / connections;
+  const int batches = std::max(1, per_client / depth);
+
+  std::vector<std::vector<double>> latencies_us(
+      static_cast<std::size_t>(connections));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(connections));
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < connections; ++c) {
+    clients.emplace_back([port, depth, batches, c, &latencies_us] {
+      net::ClientOptions options;
+      options.port = port;
+      net::Client client(options);
+      auto& samples = latencies_us[static_cast<std::size_t>(c)];
+      samples.reserve(static_cast<std::size_t>(batches * depth));
+      for (int b = 0; b < batches; ++b) {
+        std::vector<service::Request> batch = make_batch(depth);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto responses = client.call_batch(std::move(batch));
+        const double us =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        for (const service::QueryResponse& response : responses) {
+          if (!response.ok()) {
+            std::cerr << "bench_net: request failed: "
+                      << response.status.to_string() << "\n";
+            std::exit(1);
+          }
+          // Every request in a pipelined batch waited for the batch's
+          // round trip; charging each the full latency is the honest
+          // client-visible number.
+          samples.push_back(us);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<double> all;
+  for (const auto& samples : latencies_us)
+    all.insert(all.end(), samples.begin(), samples.end());
+  std::sort(all.begin(), all.end());
+
+  CellResult cell;
+  cell.connections = connections;
+  cell.depth = depth;
+  cell.req_per_s = static_cast<double>(all.size()) / elapsed_s;
+  cell.p99_us = all.empty() ? 0 : all[all.size() * 99 / 100];
+  return cell;
+}
+
+std::string fmt(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  return buffer;
+}
+
+std::vector<CellResult> run_matrix() {
+  service::EngineOptions engine_options;
+  engine_options.worker_threads = 4;
+  service::QueryEngine engine(engine_options);
+  net::Server server(engine);
+  if (!server.start()) {
+    std::cerr << "bench_net: " << server.error() << "\n";
+    std::exit(1);
+  }
+
+  std::vector<CellResult> cells;
+  for (int connections : {1, 4}) {
+    for (int depth : {1, 8, 32}) {
+      // Warm the cache (and the TCP path) so the matrix measures the
+      // wire, not first-touch classification.
+      run_cell(server.port(), connections, depth, 256);
+      cells.push_back(run_cell(server.port(), connections, depth, 4096));
+    }
+  }
+  server.stop();
+  return cells;
+}
+
+void print_artifact(const std::vector<CellResult>& cells,
+                    const std::string& json_path) {
+  report::CsvWriter csv;
+  csv.add_row({"connections", "pipeline_depth", "req_per_s", "p99_us"});
+  for (const CellResult& cell : cells) {
+    csv.add_row({std::to_string(cell.connections), std::to_string(cell.depth),
+                 fmt(cell.req_per_s), fmt(cell.p99_us)});
+  }
+  std::cout << "# loopback wire throughput (classify requests, cache-warm "
+               "4-worker engine)\n"
+            << csv.str() << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"bench_net\",\n"
+        << "  \"host_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+        << "  \"op\": \"pipelined classify round trips over loopback TCP "
+           "(req/s and p99 us per connections x depth cell)\",\n"
+        << "  \"current\": {\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const CellResult& cell = cells[i];
+      const std::string suffix = "_c" + std::to_string(cell.connections) +
+                                 "_d" + std::to_string(cell.depth);
+      out << "    \"req_per_s" << suffix << "\": " << fmt(cell.req_per_s)
+          << ",\n"
+          << "    \"p99_us" << suffix << "\": " << fmt(cell.p99_us)
+          << (i + 1 < cells.size() ? ",\n" : "\n");
+    }
+    out << "  }\n}\n";
+    std::cout << "JSON written to " << json_path << "\n\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registered microbenchmarks: the wire codec alone (no sockets), then a
+// live single round trip — the per-op numbers behind the matrix above.
+
+void bm_encode_request_frame(benchmark::State& state) {
+  const service::Request request =
+      service::ClassifyRequest::of(arch::surveyed_architectures().front());
+  for (auto _ : state) {
+    std::vector<std::uint8_t> bytes = wire::encode_request_frame(7, request);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(bm_encode_request_frame);
+
+void bm_decode_request_frame(benchmark::State& state) {
+  const std::vector<std::uint8_t> bytes = wire::encode_request_frame(
+      7, service::ClassifyRequest::of(arch::surveyed_architectures().front()));
+  for (auto _ : state) {
+    auto decoded = wire::decode_request_frame(bytes.data(), bytes.size());
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(bm_decode_request_frame);
+
+void bm_loopback_round_trip(benchmark::State& state) {
+  service::EngineOptions engine_options;
+  engine_options.worker_threads = 2;
+  service::QueryEngine engine(engine_options);
+  net::Server server(engine);
+  if (!server.start()) {
+    state.SkipWithError(server.error().c_str());
+    return;
+  }
+  net::ClientOptions options;
+  options.port = server.port();
+  net::Client client(options);
+  const service::Request request =
+      service::ClassifyRequest::of(arch::surveyed_architectures().front());
+  for (auto _ : state) {
+    service::QueryResponse response = client.call(request);
+    benchmark::DoNotOptimize(response);
+  }
+  client.disconnect();
+  server.stop();
+}
+BENCHMARK(bm_loopback_round_trip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --json before benchmark::Initialize (it aborts on unknown
+  // flags); --csv is handled by apply_csv_flag below.
+  std::string json_path;
+  for (int i = 1; i + 1 < argc;) {
+    if (std::string_view(argv[i]) != "--json") {
+      ++i;
+      continue;
+    }
+    json_path = argv[i + 1];
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+  }
+  std::cout << "NETWORK BENCHMARKS\n"
+            << "(loopback TCP against a live net::Server; every number "
+               "includes kernel sockets + wire codec + engine)\n\n";
+  print_artifact(run_matrix(), json_path);
+  mpct::bench::apply_csv_flag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,9 +5,15 @@
 /// at a 4-worker QueryEngine, then prints per-request outcomes and the
 /// engine's metrics table.
 ///
+/// SIGUSR1 dumps a Chrome trace of the run so far to
+/// serve_queries_trace.json — the handler only flips a flag; the
+/// snapshot and export happen between responses on the main loop.
+///
 ///   usage: serve_queries [workers]
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -16,6 +22,8 @@
 #include "core/naming.hpp"
 #include "core/taxonomy_table.hpp"
 #include "service/service.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/trace.hpp"
 
 using namespace mpct;
 using namespace mpct::service;
@@ -28,6 +36,21 @@ using namespace mpct::service;
 #endif
 
 namespace {
+
+// Async-signal-safe flag; the main loop does the actual export.
+volatile std::sig_atomic_t g_dump_trace = 0;
+
+void on_sigusr1(int) { g_dump_trace = 1; }
+
+void maybe_dump_trace() {
+  if (!g_dump_trace) return;
+  g_dump_trace = 0;
+  const trace::TraceSnapshot snap = trace::Tracer::instance().snapshot();
+  std::ofstream out("serve_queries_trace.json", std::ios::trunc);
+  out << trace::to_chrome_json(snap);
+  std::cout << "[serve_queries] dumped " << snap.spans.size()
+            << " spans to serve_queries_trace.json\n";
+}
 
 std::string describe(const QueryResponse& response) {
   if (!response.ok()) return "ERROR " + response.status.to_string();
@@ -61,6 +84,9 @@ int main(int argc, char** argv) {
   options.worker_threads =
       argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
   QueryEngine engine(options);
+
+  trace::Tracer::instance().enable();
+  std::signal(SIGUSR1, on_sigusr1);
 
   std::cout << "== serve_queries: " << options.worker_threads
             << " workers, queue capacity " << options.queue_capacity
@@ -108,6 +134,7 @@ int main(int argc, char** argv) {
   std::cout << "-- responses (" << futures.size() << " requests) --\n";
   std::size_t shown = 0;
   for (auto& future : futures) {
+    maybe_dump_trace();
     const QueryResponse response = future.get();
     // The first survey round and the tail requests tell the story; skip
     // the repeat round except for one representative cache hit.
@@ -119,6 +146,7 @@ int main(int argc, char** argv) {
   }
 
   engine.drain();
+  maybe_dump_trace();
   std::cout << "\n-- metrics --\n"
             << engine.metrics().to_table(engine.cache_stats()) << "\n";
   return 0;

@@ -1,0 +1,101 @@
+/// taxonomy_client — query a running taxonomy_server over TCP.
+///
+/// Pipelines a batch on one connection: classify every named survey
+/// architecture (or the whole survey when no names are given), then a
+/// recommendation and a symbolic cost sweep.  Demonstrates the typed
+/// failure model: an unreachable server comes back as
+/// StatusCode::Unavailable after retries, never as an exception.
+///
+///   usage: taxonomy_client <port> [architecture-name...]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/registry.hpp"
+#include "core/naming.hpp"
+#include "core/taxonomy_table.hpp"
+#include "net/net.hpp"
+#include "service/service.hpp"
+
+using namespace mpct;
+using namespace mpct::service;
+
+namespace {
+
+std::string describe(const QueryResponse& response) {
+  if (!response.ok()) return "ERROR " + response.status.to_string();
+  std::string out = response.cache_hit ? "[cached] " : "[computed] ";
+  if (const ClassifyResponse* c = response.classify()) {
+    out += c->spec.name + " -> ";
+    out += c->classification.ok() ? to_string(*c->classification.name)
+                                  : ("unclassifiable: " + c->classification.note);
+  } else if (const RecommendResponse* r = response.recommend()) {
+    out += "top classes:";
+    for (const auto& rec : r->recommendations) out += " " + to_string(rec.name);
+  } else if (const CostResponse* c = response.cost()) {
+    out += "cost sweep:";
+    for (const auto& point : c->points) {
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), " n=%lld:%.0fkGE",
+                    static_cast<long long>(point.n), point.area.total_kge());
+      out += cell;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: taxonomy_client <port> [architecture-name...]\n";
+    return 2;
+  }
+
+  std::vector<Request> batch;
+  if (argc > 2) {
+    for (int i = 2; i < argc; ++i) {
+      const arch::ArchitectureSpec* spec = arch::find_architecture(argv[i]);
+      if (!spec) {
+        std::cerr << "unknown architecture: " << argv[i] << "\n";
+        return 2;
+      }
+      batch.push_back(ClassifyRequest::of(*spec));
+    }
+  } else {
+    for (const arch::ArchitectureSpec& spec : arch::surveyed_architectures()) {
+      batch.push_back(ClassifyRequest::of(spec));
+    }
+  }
+  {
+    RecommendRequest recommend;
+    recommend.requirements.min_flexibility = 4;
+    recommend.top_k = 3;
+    batch.push_back(recommend);
+  }
+  {
+    CostRequest cost;
+    cost.target = find_entry(*parse_taxonomic_name("IMP-XVI"))->machine;
+    cost.n_sweep = {4, 16, 64};
+    batch.push_back(cost);
+  }
+
+  net::ClientOptions options;
+  options.port = static_cast<std::uint16_t>(std::atoi(argv[1]));
+  net::Client client(options);
+
+  const auto deadline = Deadline::in(std::chrono::seconds(10));
+  const std::vector<QueryResponse> responses =
+      client.call_batch(std::move(batch), deadline);
+
+  std::cout << "-- responses (" << responses.size() << " requests) --\n";
+  bool all_ok = true;
+  for (const QueryResponse& response : responses) {
+    std::cout << "  " << describe(response) << "\n";
+    all_ok = all_ok && response.ok();
+  }
+  return all_ok ? 0 : 1;
+}

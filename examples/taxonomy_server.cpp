@@ -1,0 +1,90 @@
+/// taxonomy_server — the taxonomy query engine behind a TCP socket.
+///
+/// Starts a QueryEngine, wraps it in a net::Server and serves the wire
+/// protocol until SIGINT/SIGTERM.  SIGUSR1 dumps a Chrome trace of
+/// everything recorded so far to taxonomy_server_trace.json (load it in
+/// chrome://tracing or Perfetto); the handler only flips a flag — the
+/// snapshot and export run on the main loop, where allocation is safe.
+///
+///   usage: taxonomy_server [port] [workers]
+///
+/// Port 0 (the default) binds an ephemeral port; the actual one is
+/// printed on stdout, so scripts can parse it.
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "net/net.hpp"
+#include "service/service.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/trace.hpp"
+
+using namespace mpct;
+
+namespace {
+
+// Signal handlers may only touch lock-free sig_atomic_t flags; all real
+// work happens on the main loop below.
+volatile std::sig_atomic_t g_dump_trace = 0;
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_sigusr1(int) { g_dump_trace = 1; }
+void on_terminate(int) { g_shutdown = 1; }
+
+void dump_chrome_trace(const char* path) {
+  const trace::TraceSnapshot snap = trace::Tracer::instance().snapshot();
+  std::ofstream out(path, std::ios::trunc);
+  out << trace::to_chrome_json(snap);
+  std::cout << "[taxonomy_server] dumped " << snap.spans.size()
+            << " spans to " << path << std::endl;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::EngineOptions engine_options;
+  engine_options.worker_threads =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 4;
+  service::QueryEngine engine(engine_options);
+
+  net::ServerOptions server_options;
+  server_options.port =
+      argc > 1 ? static_cast<std::uint16_t>(std::atoi(argv[1])) : 0;
+
+  trace::Tracer::instance().enable();
+
+  net::Server server(engine, server_options);
+  if (!server.start()) {
+    std::cerr << "taxonomy_server: " << server.error() << "\n";
+    return 1;
+  }
+
+  std::signal(SIGUSR1, on_sigusr1);
+  std::signal(SIGINT, on_terminate);
+  std::signal(SIGTERM, on_terminate);
+
+  std::cout << "taxonomy_server listening on " << server.options().host << ":"
+            << server.port() << " (" << engine_options.worker_threads
+            << " workers)\n"
+            << "  SIGUSR1 dumps a Chrome trace, SIGINT/SIGTERM drains and "
+               "exits"
+            << std::endl;  // flush so scripts polling the log see the port
+
+  while (!g_shutdown) {
+    if (g_dump_trace) {
+      g_dump_trace = 0;
+      dump_chrome_trace("taxonomy_server_trace.json");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::cout << "[taxonomy_server] draining...\n";
+  server.stop();
+  if (g_dump_trace) dump_chrome_trace("taxonomy_server_trace.json");
+  std::cout << "\n-- metrics --\n"
+            << engine.metrics().to_table(engine.cache_stats()) << "\n";
+  return 0;
+}

@@ -21,6 +21,9 @@ struct Classification {
   std::string note;  ///< empty on clean classifications
 
   bool ok() const { return name.has_value(); }
+
+  friend bool operator==(const Classification&,
+                         const Classification&) = default;
 };
 
 /// Classify a machine structure into its taxonomic name.

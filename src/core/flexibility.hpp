@@ -26,6 +26,9 @@ struct FlexibilityBreakdown {
 
   /// Readable derivation, e.g. "1(nIP) + 1(nDP) + 4(x) = 6".
   std::string to_string() const;
+
+  friend bool operator==(const FlexibilityBreakdown&,
+                         const FlexibilityBreakdown&) = default;
 };
 
 /// Score a machine structure.

@@ -60,6 +60,8 @@ struct AreaEstimate {
   double total_mm2(const TechnologyNode& node) const {
     return node.kge_to_mm2(total_kge());
   }
+
+  friend bool operator==(const AreaEstimate&, const AreaEstimate&) = default;
 };
 
 /// Evaluate Eq. 1 for an abstract machine class.  Multiplicity::Many

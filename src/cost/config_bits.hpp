@@ -40,6 +40,9 @@ struct ConfigBitsEstimate {
     return ip_ip_switch + ip_im_switch + ip_dp_switch + dp_dm_switch +
            dp_dp_switch;
   }
+
+  friend bool operator==(const ConfigBitsEstimate&,
+                         const ConfigBitsEstimate&) = default;
 };
 
 /// Evaluate Eq. 2 for an abstract machine class.

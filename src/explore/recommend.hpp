@@ -43,6 +43,9 @@ struct Recommendation {
   std::int64_t config_bits = 0;
   /// Why this class satisfies the requirements (one line).
   std::string rationale;
+
+  friend bool operator==(const Recommendation&,
+                         const Recommendation&) = default;
 };
 
 /// Rank every implementable taxonomy class against @p requirements,

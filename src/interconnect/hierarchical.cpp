@@ -41,11 +41,18 @@ int HierarchicalNetwork::global_links_in_use(int cluster) const {
 }
 
 bool HierarchicalNetwork::reachable(PortId input, PortId output) const {
-  return valid_ports(input, output);
+  if (!valid_ports(input, output)) return false;
+  const int in_cluster = cluster_of(input);
+  const int out_cluster = cluster_of(output);
+  if (!switch_alive(in_cluster) || !switch_alive(out_cluster)) return false;
+  if (in_cluster == out_cluster) return true;
+  // An inter-cluster path needs at least one surviving link on each end.
+  return live_global_links(in_cluster) > 0 &&
+         live_global_links(out_cluster) > 0;
 }
 
 bool HierarchicalNetwork::connect(PortId input, PortId output) {
-  if (!valid_ports(input, output)) return false;
+  if (!reachable(input, output)) return false;
   const bool global = cluster_of(input) != cluster_of(output);
   if (global) {
     // Account for the link this connect would add; the route being
@@ -54,8 +61,10 @@ bool HierarchicalNetwork::connect(PortId input, PortId output) {
     const Route saved = slot;
     slot = Route{};  // temporarily free the output
     const bool fits =
-        global_links_in_use(cluster_of(input)) < global_links_ &&
-        global_links_in_use(cluster_of(output)) < global_links_;
+        global_links_in_use(cluster_of(input)) <
+            live_global_links(cluster_of(input)) &&
+        global_links_in_use(cluster_of(output)) <
+            live_global_links(cluster_of(output));
     if (!fits) {
       slot = saved;
       return false;
@@ -91,6 +100,105 @@ std::int64_t HierarchicalNetwork::config_bits() const {
                              cost::ceil_log2(global_ports + 1)
                        : 0;
   return local * cluster_count_ + global;
+}
+
+bool HierarchicalNetwork::fail_switch(int cluster) {
+  if (cluster < 0 || cluster >= cluster_count_) return false;
+  if (switch_dead_.empty()) {
+    switch_dead_.assign(static_cast<std::size_t>(cluster_count_), 0);
+  }
+  switch_dead_[static_cast<std::size_t>(cluster)] = 1;
+  // The cluster can no longer source or sink anything: tear down every
+  // route touching it (local and global alike).
+  for (PortId out = 0; out < elements_; ++out) {
+    const Route& route = routes_[static_cast<std::size_t>(out)];
+    if (route.input < 0) continue;
+    if (cluster_of(route.input) == cluster || cluster_of(out) == cluster) {
+      routes_[static_cast<std::size_t>(out)] = Route{};
+    }
+  }
+  return true;
+}
+
+bool HierarchicalNetwork::fail_link(int cluster, int link) {
+  if (cluster < 0 || cluster >= cluster_count_) return false;
+  if (link < 0 || link >= global_links_) return false;
+  if (link_dead_.empty()) {
+    link_dead_.assign(
+        static_cast<std::size_t>(cluster_count_) *
+            static_cast<std::size_t>(global_links_),
+        0);
+  }
+  link_dead_[static_cast<std::size_t>(cluster) *
+                 static_cast<std::size_t>(global_links_) +
+             static_cast<std::size_t>(link)] = 1;
+  // Evict inter-cluster routes the shrunken budget no longer carries,
+  // highest-numbered output first so the survivors are deterministic.
+  while (global_links_in_use(cluster) > live_global_links(cluster)) {
+    for (PortId out = elements_ - 1; out >= 0; --out) {
+      const Route& route = routes_[static_cast<std::size_t>(out)];
+      if (route.input < 0 || !route.global) continue;
+      if (cluster_of(route.input) == cluster || cluster_of(out) == cluster) {
+        routes_[static_cast<std::size_t>(out)] = Route{};
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+bool HierarchicalNetwork::switch_alive(int cluster) const {
+  if (cluster < 0 || cluster >= cluster_count_) return false;
+  return switch_dead_.empty() ||
+         switch_dead_[static_cast<std::size_t>(cluster)] == 0;
+}
+
+bool HierarchicalNetwork::link_alive(int cluster, int link) const {
+  if (cluster < 0 || cluster >= cluster_count_) return false;
+  if (link < 0 || link >= global_links_) return false;
+  return link_dead_.empty() ||
+         link_dead_[static_cast<std::size_t>(cluster) *
+                        static_cast<std::size_t>(global_links_) +
+                    static_cast<std::size_t>(link)] == 0;
+}
+
+std::int64_t HierarchicalNetwork::dead_switch_count() const {
+  std::int64_t dead = 0;
+  for (char d : switch_dead_) dead += d;
+  return dead;
+}
+
+std::int64_t HierarchicalNetwork::dead_link_count() const {
+  std::int64_t dead = 0;
+  for (char d : link_dead_) dead += d;
+  return dead;
+}
+
+int HierarchicalNetwork::live_global_links(int cluster) const {
+  if (cluster < 0 || cluster >= cluster_count_) return 0;
+  if (!switch_alive(cluster)) return 0;
+  if (link_dead_.empty()) return global_links_;
+  int live = 0;
+  for (int link = 0; link < global_links_; ++link) {
+    if (link_alive(cluster, link)) ++live;
+  }
+  return live;
+}
+
+std::vector<bool> HierarchicalNetwork::reachable_outputs() const {
+  std::vector<bool> reach(static_cast<std::size_t>(elements_));
+  for (PortId out = 0; out < elements_; ++out) {
+    reach[static_cast<std::size_t>(out)] = switch_alive(cluster_of(out));
+  }
+  return reach;
+}
+
+double HierarchicalNetwork::output_reachability() const {
+  if (elements_ == 0) return 1.0;
+  const std::vector<bool> reach = reachable_outputs();
+  std::int64_t alive = 0;
+  for (bool r : reach) alive += r ? 1 : 0;
+  return static_cast<double>(alive) / static_cast<double>(elements_);
 }
 
 int HierarchicalNetwork::route_latency(PortId output) const {

@@ -42,6 +42,36 @@ class HierarchicalNetwork final : public Network {
   /// Inter-cluster routes currently using global links out of a cluster.
   int global_links_in_use(int cluster) const;
 
+  /// Fault mask (src/fault), mirroring the Benes/Omega/Crossbar/Bus
+  /// semantics: kill cluster @p cluster's local crossbar.  Every element
+  /// of the cluster becomes unreachable (as source and sink), routes
+  /// touching the cluster are torn down, and config_bits() is unchanged
+  /// (the configuration memory is still physically there).  reset()
+  /// tears down routes but never clears the mask.  False out of range.
+  bool fail_switch(int cluster);
+  /// Kill one of @p cluster's global up/down link pairs (@p link in
+  /// [0, global_links)).  The cluster's concurrent inter-cluster route
+  /// budget shrinks by one; routes over budget are evicted
+  /// highest-numbered output first (deterministic, like the bitstream
+  /// loader dropping routes onto failed ports).  False out of range.
+  bool fail_link(int cluster, int link);
+  bool switch_alive(int cluster) const;
+  bool link_alive(int cluster, int link) const;
+  std::int64_t dead_switch_count() const;
+  std::int64_t dead_link_count() const;
+  /// Surviving inter-cluster link budget of a cluster (global_links
+  /// while fault-free, 0 once the cluster's switch died — a dead local
+  /// crossbar strands its up/down ports too).
+  int live_global_links(int cluster) const;
+
+  /// Config-independent reachability under the fault mask (the
+  /// Benes/Omega idiom): output o is reachable iff its cluster's local
+  /// crossbar survives — cluster-local sources then still reach it even
+  /// with every global link dead.
+  std::vector<bool> reachable_outputs() const;
+  /// Fraction of outputs still reachable; 1.0 while fault-free.
+  double output_reachability() const;
+
  private:
   struct Route {
     PortId input = -1;
@@ -53,6 +83,9 @@ class HierarchicalNetwork final : public Network {
   int cluster_count_;
   int global_links_;
   std::vector<Route> routes_;  ///< per output
+  /// Fault masks; empty while fault-free (the Crossbar idiom).
+  std::vector<char> switch_dead_;             ///< per cluster
+  std::vector<char> link_dead_;               ///< cluster * global_links + link
 };
 
 }  // namespace mpct::interconnect

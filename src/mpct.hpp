@@ -92,3 +92,7 @@
 #include "trace/chrome_trace.hpp"
 #include "trace/prometheus.hpp"
 #include "trace/trace.hpp"
+
+// Wire protocol + TCP serving (docs/NET.md).
+#include "net/net.hpp"
+#include "wire/wire.hpp"

@@ -1,0 +1,254 @@
+#include "net/client.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "trace/trace.hpp"
+#include "wire/wire.hpp"
+
+namespace mpct::net {
+namespace {
+
+using Clock = service::Clock;
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Remaining budget in whole milliseconds for the wire (0 = no
+/// deadline).  A just-expired deadline maps to 1 ms, not 0: the server
+/// must still see *a* deadline and answer DeadlineExceeded.
+std::uint32_t wire_deadline_ms(service::Deadline deadline,
+                               Clock::time_point now) {
+  if (deadline.is_infinite()) return 0;
+  const auto remaining =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline.at - now)
+          .count();
+  if (remaining <= 0) return 1;
+  if (remaining >= std::numeric_limits<std::uint32_t>::max()) {
+    return std::numeric_limits<std::uint32_t>::max();
+  }
+  return static_cast<std::uint32_t>(remaining);
+}
+
+/// poll() timeout honouring both the io stall bound and the deadline.
+int poll_timeout_ms(std::chrono::milliseconds io_timeout,
+                    service::Deadline deadline, Clock::time_point now) {
+  auto timeout = io_timeout;
+  if (!deadline.is_infinite()) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline.at -
+                                                              now);
+    timeout = std::min(timeout, std::max(remaining,
+                                         std::chrono::milliseconds(1)));
+  }
+  return static_cast<int>(timeout.count());
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {}
+
+service::QueryResponse Client::call(service::Request request,
+                                    service::Deadline deadline) {
+  std::vector<service::Request> batch;
+  batch.push_back(std::move(request));
+  return std::move(call_batch(std::move(batch), deadline).front());
+}
+
+std::vector<service::QueryResponse> Client::call_batch(
+    std::vector<service::Request> requests, service::Deadline deadline) {
+  trace::ScopedSpan span("net.call_batch", trace::Category::Net, "requests",
+                         static_cast<std::int64_t>(requests.size()));
+  std::vector<service::QueryResponse> responses(requests.size());
+  std::vector<std::size_t> unanswered(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) unanswered[i] = i;
+
+  int attempts = 0;
+  auto backoff = options_.initial_backoff;
+  while (!unanswered.empty()) {
+    if (deadline.expired()) {
+      for (std::size_t i : unanswered) {
+        responses[i].status = service::Status::deadline_exceeded();
+      }
+      break;
+    }
+    std::string error;
+    if (attempt(requests, unanswered, responses, deadline, error)) break;
+
+    // Transport failure: the stream is unusable (unknown how much the
+    // server saw), so reconnect and resend only what is unanswered.
+    disconnect();
+    if (attempts >= options_.max_retries) {
+      for (std::size_t i : unanswered) {
+        responses[i].status = service::Status::unavailable(error);
+      }
+      break;
+    }
+    ++attempts;
+    if (options_.metrics) options_.metrics->net_retries.add();
+    auto pause = backoff;
+    if (!deadline.is_infinite()) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline.at - Clock::now());
+      pause = std::min(pause, std::max(remaining,
+                                       std::chrono::milliseconds(0)));
+    }
+    if (pause.count() > 0) std::this_thread::sleep_for(pause);
+    backoff *= 2;
+  }
+  return responses;
+}
+
+bool Client::ensure_connected(std::string& error) {
+  if (socket_.valid()) return true;
+  socket_ = connect_tcp(
+      options_.host, options_.port,
+      static_cast<int>(options_.connect_timeout.count()), error);
+  if (socket_.valid() && options_.metrics) {
+    options_.metrics->net_connections_opened.add();
+  }
+  return socket_.valid();
+}
+
+bool Client::attempt(const std::vector<service::Request>& requests,
+                     std::vector<std::size_t>& unanswered,
+                     std::vector<service::QueryResponse>& responses,
+                     service::Deadline deadline, std::string& error) {
+  if (!ensure_connected(error)) return false;
+  service::MetricsRegistry* metrics = options_.metrics;
+  const Clock::time_point send_time = Clock::now();
+  const std::uint32_t deadline_ms = wire_deadline_ms(deadline, send_time);
+
+  // Pipelining: every frame is encoded up front and written as fast as
+  // the socket accepts, before any response is awaited.
+  std::vector<std::uint8_t> out;
+  std::unordered_map<std::uint64_t, std::size_t> id_to_index;
+  id_to_index.reserve(unanswered.size());
+  for (std::size_t index : unanswered) {
+    const std::uint64_t id = next_id_++;
+    id_to_index.emplace(id, index);
+    const auto frame =
+        wire::encode_request_frame(id, requests[index], deadline_ms);
+    out.insert(out.end(), frame.begin(), frame.end());
+    if (metrics) metrics->net_frames_out.add();
+  }
+
+  std::size_t out_offset = 0;
+  std::vector<std::uint8_t> in;
+  std::size_t in_offset = 0;
+  std::vector<char> answered(responses.size(), 0);
+  std::size_t pending = id_to_index.size();
+
+  const auto finish = [&](bool ok) {
+    unanswered.erase(std::remove_if(unanswered.begin(), unanswered.end(),
+                                    [&](std::size_t i) {
+                                      return answered[i] != 0;
+                                    }),
+                     unanswered.end());
+    return ok;
+  };
+
+  while (pending > 0) {
+    const Clock::time_point now = Clock::now();
+    if (deadline.expired(now)) {
+      // Answer the stragglers locally and reset the stream: responses
+      // for this attempt's ids may still arrive, and the next attempt
+      // must not misread them.
+      for (const auto& [id, index] : id_to_index) {
+        if (answered[index]) continue;
+        responses[index].status = service::Status::deadline_exceeded();
+        answered[index] = 1;
+      }
+      disconnect();
+      return finish(true);
+    }
+
+    pollfd pfd{socket_.fd(), POLLIN, 0};
+    if (out_offset < out.size()) pfd.events |= POLLOUT;
+    const int ready = ::poll(
+        &pfd, 1, poll_timeout_ms(options_.io_timeout, deadline, now));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      error = std::string("poll: ") + ::strerror(errno);
+      return finish(false);
+    }
+    if (ready == 0) {
+      if (deadline.expired()) continue;  // handled at the top of the loop
+      error = "I/O timed out";
+      return finish(false);
+    }
+
+    if (pfd.revents & POLLOUT) {
+      const ssize_t n = ::send(socket_.fd(), out.data() + out_offset,
+                               out.size() - out_offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        out_offset += static_cast<std::size_t>(n);
+        if (metrics) metrics->net_bytes_out.add(static_cast<std::uint64_t>(n));
+      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR) {
+        error = std::string("send: ") + ::strerror(errno);
+        return finish(false);
+      }
+    }
+
+    if (pfd.revents & (POLLIN | POLLERR | POLLHUP)) {
+      const std::size_t old_size = in.size();
+      in.resize(old_size + kReadChunk);
+      const ssize_t n =
+          ::recv(socket_.fd(), in.data() + old_size, kReadChunk, 0);
+      if (n <= 0) {
+        in.resize(old_size);
+        if (n < 0 &&
+            (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+          continue;
+        }
+        error = n == 0 ? "connection closed by server"
+                       : std::string("recv: ") + ::strerror(errno);
+        return finish(false);
+      }
+      in.resize(old_size + static_cast<std::size_t>(n));
+      if (metrics) metrics->net_bytes_in.add(static_cast<std::uint64_t>(n));
+
+      while (in_offset < in.size()) {
+        const wire::FrameScan scan =
+            wire::scan_frame(in.data() + in_offset, in.size() - in_offset);
+        if (scan.state == wire::FrameScan::State::NeedMore) break;
+        if (scan.state == wire::FrameScan::State::Bad) {
+          if (metrics) metrics->net_decode_errors.add();
+          error = "bad response stream: " + scan.error.to_string();
+          return finish(false);
+        }
+        auto decoded = wire::decode_response_frame(in.data() + in_offset,
+                                                   scan.frame_size);
+        in_offset += scan.frame_size;
+        if (!decoded.ok()) {
+          if (metrics) metrics->net_decode_errors.add();
+          error = "bad response frame: " + decoded.error.to_string();
+          return finish(false);
+        }
+        if (metrics) metrics->net_frames_in.add();
+        const auto it = id_to_index.find(decoded.value->request_id);
+        // Unknown ids are stale answers from an abandoned attempt on a
+        // connection we since reused; drop them.
+        if (it == id_to_index.end()) continue;
+        if (answered[it->second]) continue;
+        responses[it->second] = std::move(decoded.value->response);
+        answered[it->second] = 1;
+        --pending;
+      }
+    }
+  }
+  return finish(true);
+}
+
+}  // namespace mpct::net

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "service/engine.hpp"
+
+namespace mpct::net {
+
+/// Tuning knobs of a Client.
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::chrono::milliseconds connect_timeout{2000};
+  /// Longest the client waits for the socket to become readable/writable
+  /// before declaring the attempt dead (per poll, while progress stalls).
+  std::chrono::milliseconds io_timeout{10000};
+  /// Reconnect-and-resend attempts after the first try.  Every request
+  /// in the service API is idempotent (pure functions of the request +
+  /// the engine's component library), so resending is always safe.
+  int max_retries = 2;
+  /// First retry backoff; doubles per retry.
+  std::chrono::milliseconds initial_backoff{50};
+  /// Optional registry for net_* counters (e.g. the engine's own, or a
+  /// client-side one).  May be null.
+  service::MetricsRegistry* metrics = nullptr;
+};
+
+/// Blocking TCP client for a net::Server.
+///
+/// call() submits one request; call_batch() pipelines a whole batch on
+/// one connection — every frame is written before responses are
+/// awaited, and responses are matched to requests by id, so the server
+/// completing them out of order is invisible to the caller.
+///
+/// Failure model (all failures are *typed*, never exceptions):
+///  * Transport errors (connect refused, reset, EOF, undecodable
+///    response bytes) are retried with exponential backoff, resending
+///    only the still-unanswered requests; when retries are exhausted the
+///    remaining slots get StatusCode::Unavailable.
+///  * A deadline bounds the whole call: the remaining budget travels on
+///    the wire (the server rejects late requests DeadlineExceeded), and
+///    a locally-expired deadline yields DeadlineExceeded without I/O.
+///  * Per-request server-side errors (QueueFull, ProtocolError, ...)
+///    arrive as ordinary responses and are returned as-is — they are
+///    answers, not transport failures, and are never retried.
+///
+/// Not thread-safe: one Client per thread (they are cheap — one socket).
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+  ~Client() = default;
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Synchronous round trip for one request.
+  service::QueryResponse call(
+      service::Request request,
+      service::Deadline deadline = service::Deadline::never());
+
+  /// Pipelined round trip: element i of the result answers request i.
+  std::vector<service::QueryResponse> call_batch(
+      std::vector<service::Request> requests,
+      service::Deadline deadline = service::Deadline::never());
+
+  bool connected() const { return socket_.valid(); }
+  void disconnect() { socket_.close(); }
+  const ClientOptions& options() const { return options_; }
+
+ private:
+  /// One wire attempt over the current connection: send every request in
+  /// @p unanswered, collect responses into @p responses.  Returns false
+  /// on a transport failure (the caller decides whether to retry);
+  /// indices answered before the failure keep their responses.
+  bool attempt(const std::vector<service::Request>& requests,
+               std::vector<std::size_t>& unanswered,
+               std::vector<service::QueryResponse>& responses,
+               service::Deadline deadline, std::string& error);
+  bool ensure_connected(std::string& error);
+
+  ClientOptions options_;
+  Socket socket_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace mpct::net

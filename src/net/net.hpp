@@ -1,0 +1,9 @@
+#pragma once
+
+/// Umbrella header for the TCP transport: RAII sockets, the poll-based
+/// nonblocking Server fronting a service::QueryEngine, and the
+/// pipelining retrying Client.  Frame encoding lives in wire/wire.hpp.
+
+#include "net/client.hpp"   // IWYU pragma: export
+#include "net/server.hpp"   // IWYU pragma: export
+#include "net/socket.hpp"   // IWYU pragma: export

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "service/engine.hpp"
+
+namespace mpct::net {
+
+/// Tuning knobs of a Server.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; Server::port() reports the actual one.
+  std::uint16_t port = 0;
+  std::size_t max_connections = 256;
+
+  /// Reading from a connection pauses once its unsent response bytes
+  /// exceed this (and resumes below half of it).  Bounds per-connection
+  /// memory against a client that pipelines faster than it reads.
+  std::size_t write_high_watermark = 4u << 20;
+
+  /// Close a connection with no traffic, no queued writes and no
+  /// in-flight requests for this long.  <= 0 disables the idle sweep.
+  std::chrono::milliseconds idle_timeout{30000};
+
+  /// How long stop() waits for in-flight requests to complete and
+  /// response bytes to flush before closing connections anyway.
+  std::chrono::milliseconds drain_timeout{5000};
+};
+
+/// Poll-based nonblocking TCP front end for a service::QueryEngine.
+///
+/// One event-loop thread owns every socket: it accepts connections,
+/// splits the byte stream into frames (wire::scan_frame), decodes
+/// requests and hands them to the engine via submit_async().  Engine
+/// callbacks run on worker threads: they encode the response frame there
+/// (keeping serialisation off the loop) and enqueue the bytes to a
+/// completion list the loop drains after a self-pipe wake-up.  Responses
+/// therefore complete out of order; clients match them by request id.
+///
+/// Error handling is two-tier, mirroring the wire layer's split:
+///  * A broken *stream* (bad magic, unknown version, oversized frame)
+///    means framing is unrecoverable — the connection is closed.
+///  * A malformed *payload* inside a well-framed frame gets a typed
+///    StatusCode::ProtocolError response keyed by the frame's request
+///    id, and the stream continues.
+///
+/// Backpressure is never silent: a full engine queue surfaces as a
+/// QueueFull response on the wire, and a slow-reading client stops being
+/// read from (write_high_watermark) until it catches up.
+class Server {
+ public:
+  /// The engine must outlive the server.  Network counters are recorded
+  /// into engine.metrics().
+  explicit Server(service::QueryEngine& engine, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and launch the event-loop thread.  False + error() on
+  /// failure (port in use, bad address).
+  bool start();
+
+  /// Graceful drain: stop accepting connections and reading requests,
+  /// wait (up to drain_timeout) for in-flight requests to resolve and
+  /// their responses to flush, then close everything and join the loop.
+  /// Idempotent; called by the destructor.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Actual bound port (after start()); useful with ServerOptions::port 0.
+  std::uint16_t port() const { return port_; }
+  const std::string& error() const { return error_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// Live connection count, as seen by the loop (test/diagnostic aid).
+  std::size_t connection_count() const {
+    return connection_count_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::vector<std::uint8_t> read_buffer;
+    /// Pending response bytes; write_offset marks how much of the front
+    /// has already been sent (compacted once fully drained).
+    std::vector<std::uint8_t> write_buffer;
+    std::size_t write_offset = 0;
+    /// Requests handed to the engine whose responses have not yet been
+    /// appended to write_buffer.
+    std::size_t in_flight = 0;
+    /// Reading paused by the write watermark.
+    bool paused = false;
+    std::chrono::steady_clock::time_point last_activity{};
+  };
+
+  void loop();
+  void accept_connections();
+  // The bool-returning handlers report "connection still healthy"; only
+  // their top-level callers (the loop, drain_completions) close and
+  // erase connections, so no frame on the stack ever holds a reference
+  // into an erased Connection.
+  bool handle_readable(std::uint64_t conn_id, Connection& conn);
+  bool handle_writable(Connection& conn);
+  /// Split conn.read_buffer into frames and dispatch them.  Returns
+  /// false when the stream is broken and the connection must close.
+  bool consume_frames(std::uint64_t conn_id, Connection& conn);
+  bool dispatch_request(std::uint64_t conn_id, Connection& conn,
+                        const std::uint8_t* frame, std::size_t frame_size);
+  /// Append encoded response bytes to a connection's write buffer,
+  /// update the watermark, and opportunistically flush (loop thread
+  /// only).
+  bool queue_write(Connection& conn, std::vector<std::uint8_t> bytes);
+  /// Thread-safe completion entry point used by engine callbacks.
+  void enqueue_completion(std::uint64_t conn_id,
+                          std::vector<std::uint8_t> bytes);
+  void drain_completions();
+  void close_connection(std::uint64_t conn_id);
+  void sweep_idle(std::chrono::steady_clock::time_point now);
+  void wake();
+
+  service::QueryEngine& engine_;
+  ServerOptions options_;
+  service::MetricsRegistry& metrics_;
+
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::string error_;
+
+  /// Self-pipe: [0] is polled by the loop, [1] is written by callbacks
+  /// (and stop()) to interrupt a blocking poll.
+  int wake_fds_[2] = {-1, -1};
+
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  /// Owned and touched by the loop thread only.
+  std::unordered_map<std::uint64_t, Connection> connections_;
+  std::uint64_t next_conn_id_ = 1;
+  std::atomic<std::size_t> connection_count_{0};
+
+  /// Requests accepted by this server whose responses have not yet been
+  /// appended to a write buffer (or dropped with their connection).
+  /// Tracked here rather than via the engine (which may be shared).
+  std::atomic<std::size_t> in_flight_total_{0};
+
+  std::mutex completions_mutex_;
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+      completions_;
+};
+
+}  // namespace mpct::net

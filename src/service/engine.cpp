@@ -41,6 +41,18 @@ std::future<QueryResponse> ready_future(QueryResponse response) {
   return future;
 }
 
+/// Resolve an immediately-available response on the submitter's thread:
+/// through the callback (submit_async, returning an invalid future the
+/// caller discards) or as a ready future (submit).
+std::future<QueryResponse> resolve_ready(
+    const QueryEngine::ResponseCallback& callback, QueryResponse response) {
+  if (callback) {
+    callback(std::move(response));
+    return {};
+  }
+  return ready_future(std::move(response));
+}
+
 QueryResponse execute_classify(const ClassifyRequest& request) {
   QueryResponse response;
   ClassifyResponse payload;
@@ -220,6 +232,16 @@ void QueryEngine::start() {
 
 std::future<QueryResponse> QueryEngine::submit(Request request,
                                                Deadline deadline) {
+  return submit_impl(std::move(request), deadline, nullptr);
+}
+
+void QueryEngine::submit_async(Request request, Deadline deadline,
+                               ResponseCallback callback) {
+  submit_impl(std::move(request), deadline, std::move(callback));
+}
+
+std::future<QueryResponse> QueryEngine::submit_impl(
+    Request request, Deadline deadline, ResponseCallback callback) {
   trace::ScopedSpan span("engine.submit", trace::Category::Engine, "type",
                          static_cast<std::int64_t>(request_type(request)));
   metrics_.submitted.add();
@@ -227,40 +249,51 @@ std::future<QueryResponse> QueryEngine::submit(Request request,
   if (deadline.expired()) {
     metrics_.rejected_deadline.add();
     trace::emit_instant("deadline.expired", trace::Category::Mark);
-    return ready_future(rejected(Status::deadline_exceeded()));
+    return resolve_ready(callback, rejected(Status::deadline_exceeded()));
   }
 
   if (options_.worker_threads == 0) {
     // Single-threaded fallback: execute inline, deterministically.
     metrics_.batch_sizes.record(1);
-    return ready_future(run_request(request, deadline, Clock::now()));
+    return resolve_ready(callback,
+                         run_request(request, deadline, Clock::now()));
   }
 
   if (auto* sweep_request = std::get_if<SweepRequest>(&request)) {
-    return submit_sweep(std::move(*sweep_request), deadline);
+    return submit_sweep(std::move(*sweep_request), deadline,
+                        std::move(callback));
   }
   if (auto* fault_request = std::get_if<FaultSweepRequest>(&request)) {
-    return submit_fault_sweep(std::move(*fault_request), deadline);
+    return submit_fault_sweep(std::move(*fault_request), deadline,
+                              std::move(callback));
   }
 
   Task task;
   task.request = std::move(request);
   task.deadline = deadline;
   task.enqueued = Clock::now();
-  std::future<QueryResponse> future = task.promise.get_future();
+  task.callback = std::move(callback);
+  std::future<QueryResponse> future;
+  if (!task.callback) future = task.promise.get_future();
 
+  Status rejection;
   {
     trace::ScopedSpan enqueue("engine.enqueue", trace::Category::Engine);
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
     if (shutdown_) {
       metrics_.rejected_shutdown.add();
-      return ready_future(rejected(Status::shutting_down()));
-    }
-    if (!queue_->try_push(task)) {
+      rejection = Status::shutting_down();
+    } else if (!queue_->try_push(task)) {
       metrics_.rejected_queue_full.add();
-      return ready_future(rejected(Status::queue_full()));
+      rejection = Status::queue_full();
+    } else {
+      ++pending_;
     }
-    ++pending_;
+  }
+  if (!rejection.ok()) {
+    // Resolved after the lock is released so a callback can never run
+    // while the engine's lifecycle mutex is held.
+    return resolve_ready(task.callback, rejected(std::move(rejection)));
   }
   metrics_.queue_depth.increment();
   return future;
@@ -326,7 +359,11 @@ void QueryEngine::worker_loop() {
 }
 
 void QueryEngine::finish_task(Task& task, QueryResponse response) {
-  task.promise.set_value(std::move(response));
+  if (task.callback) {
+    task.callback(std::move(response));
+  } else {
+    task.promise.set_value(std::move(response));
+  }
   {
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
     --pending_;
@@ -344,14 +381,22 @@ void QueryEngine::SweepJob::fail(StatusCode code, std::string message) {
   }
 }
 
-std::future<QueryResponse> QueryEngine::submit_sweep(SweepRequest request,
-                                                     Deadline deadline) {
+void QueryEngine::SweepJob::resolve(QueryResponse response) {
+  if (callback) {
+    callback(std::move(response));
+  } else {
+    promise.set_value(std::move(response));
+  }
+}
+
+std::future<QueryResponse> QueryEngine::submit_sweep(
+    SweepRequest request, Deadline deadline, ResponseCallback callback) {
   const Clock::time_point enqueued = Clock::now();
 
   Status valid = validate_sweep(request.grid);
   if (!valid.ok()) {
     metrics_.failed.add();
-    return ready_future(rejected(std::move(valid)));
+    return resolve_ready(callback, rejected(std::move(valid)));
   }
 
   // Same key fingerprint(Request) computes, without re-wrapping the
@@ -378,7 +423,7 @@ std::future<QueryResponse> QueryEngine::submit_sweep(SweepRequest request,
           Clock::now() - enqueued);
       metrics_.latency(RequestType::Sweep).record(response.latency);
       metrics_.completed.add();
-      return ready_future(std::move(response));
+      return resolve_ready(callback, std::move(response));
     }
     metrics_.cache_misses.add();
   }
@@ -389,7 +434,9 @@ std::future<QueryResponse> QueryEngine::submit_sweep(SweepRequest request,
   job->points.resize(cells);
   job->key = key;
   job->enqueued = enqueued;
-  std::future<QueryResponse> future = job->promise.get_future();
+  job->callback = std::move(callback);
+  std::future<QueryResponse> future;
+  if (!job->callback) future = job->promise.get_future();
 
   // Aim for ~2 chunks per worker (load balance without queue churn), but
   // never more chunks than the queue could ever hold.
@@ -403,41 +450,46 @@ std::future<QueryResponse> QueryEngine::submit_sweep(SweepRequest request,
   const std::size_t chunk_count = (cells + chunk_cells - 1) / chunk_cells;
   job->remaining.store(chunk_count, std::memory_order_relaxed);
 
+  Status rejection;
   {
     trace::ScopedSpan enqueue("engine.enqueue", trace::Category::Engine);
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
     if (shutdown_) {
       metrics_.rejected_shutdown.add();
-      return ready_future(rejected(Status::shutting_down()));
-    }
-    // All-or-nothing enqueue: pushes are serialized by lifecycle_mutex_
-    // and concurrent pops only shrink the queue, so after this capacity
-    // check every chunk's try_push is guaranteed to succeed.
-    if (queue_->size() + chunk_count > queue_->capacity()) {
+      rejection = Status::shutting_down();
+    } else if (queue_->size() + chunk_count > queue_->capacity()) {
+      // All-or-nothing enqueue: pushes are serialized by lifecycle_mutex_
+      // and concurrent pops only shrink the queue, so after this capacity
+      // check every chunk's try_push is guaranteed to succeed.
       metrics_.rejected_queue_full.add();
-      return ready_future(rejected(Status::queue_full()));
-    }
-    for (std::size_t i = 0; i < chunk_count; ++i) {
-      Task task;
-      task.deadline = deadline;
-      task.enqueued = enqueued;
-      task.sweep_job = job;
-      task.chunk_begin = i * chunk_cells;
-      task.chunk_end = std::min(cells, task.chunk_begin + chunk_cells);
-      if (!queue_->try_push(task)) {
-        // Unreachable (see the capacity check above); keep the job's
-        // chunk accounting consistent anyway so the future resolves.
-        job->fail(StatusCode::InternalError, "sweep chunk enqueue failed");
-        if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          job->promise.set_value(
-              rejected(Status::internal_error(job->fail_message)));
-          return future;  // no chunk enqueued; pending_ untouched
+      rejection = Status::queue_full();
+    } else {
+      for (std::size_t i = 0; i < chunk_count; ++i) {
+        Task task;
+        task.deadline = deadline;
+        task.enqueued = enqueued;
+        task.sweep_job = job;
+        task.chunk_begin = i * chunk_cells;
+        task.chunk_end = std::min(cells, task.chunk_begin + chunk_cells);
+        if (!queue_->try_push(task)) {
+          // Unreachable (see the capacity check above); keep the job's
+          // chunk accounting consistent anyway so the request resolves.
+          job->fail(StatusCode::InternalError, "sweep chunk enqueue failed");
+          if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            job->resolve(rejected(Status::internal_error(job->fail_message)));
+            return future;  // no chunk enqueued; pending_ untouched
+          }
+          continue;
         }
-        continue;
+        metrics_.queue_depth.increment();
       }
-      metrics_.queue_depth.increment();
+      ++pending_;
     }
-    ++pending_;
+  }
+  if (!rejection.ok()) {
+    // Resolved after the lock is released so a callback can never run
+    // while the engine's lifecycle mutex is held.
+    return resolve_ready(job->callback, rejected(std::move(rejection)));
   }
   return future;
 }
@@ -450,14 +502,22 @@ void QueryEngine::CurveJob::fail(StatusCode code, std::string message) {
   }
 }
 
+void QueryEngine::CurveJob::resolve(QueryResponse response) {
+  if (callback) {
+    callback(std::move(response));
+  } else {
+    promise.set_value(std::move(response));
+  }
+}
+
 std::future<QueryResponse> QueryEngine::submit_fault_sweep(
-    FaultSweepRequest request, Deadline deadline) {
+    FaultSweepRequest request, Deadline deadline, ResponseCallback callback) {
   const Clock::time_point enqueued = Clock::now();
 
   Status valid = validate_curve(request.spec);
   if (!valid.ok()) {
     metrics_.failed.add();
-    return ready_future(rejected(std::move(valid)));
+    return resolve_ready(callback, rejected(std::move(valid)));
   }
 
   // Same key fingerprint(Request) computes, so the inline and
@@ -483,7 +543,7 @@ std::future<QueryResponse> QueryEngine::submit_fault_sweep(
           Clock::now() - enqueued);
       metrics_.latency(RequestType::FaultSweep).record(response.latency);
       metrics_.completed.add();
-      return ready_future(std::move(response));
+      return resolve_ready(callback, std::move(response));
     }
     metrics_.cache_misses.add();
   }
@@ -494,7 +554,9 @@ std::future<QueryResponse> QueryEngine::submit_fault_sweep(
   job->outcomes.resize(cells);
   job->key = key;
   job->enqueued = enqueued;
-  std::future<QueryResponse> future = job->promise.get_future();
+  job->callback = std::move(callback);
+  std::future<QueryResponse> future;
+  if (!job->callback) future = job->promise.get_future();
 
   std::size_t target_chunks =
       std::max<std::size_t>(1, static_cast<std::size_t>(
@@ -506,39 +568,44 @@ std::future<QueryResponse> QueryEngine::submit_fault_sweep(
   const std::size_t chunk_count = (cells + chunk_cells - 1) / chunk_cells;
   job->remaining.store(chunk_count, std::memory_order_relaxed);
 
+  Status rejection;
   {
     trace::ScopedSpan enqueue("engine.enqueue", trace::Category::Engine);
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
     if (shutdown_) {
       metrics_.rejected_shutdown.add();
-      return ready_future(rejected(Status::shutting_down()));
-    }
-    // All-or-nothing enqueue under lifecycle_mutex_, exactly like
-    // submit_sweep: after the capacity check every try_push succeeds.
-    if (queue_->size() + chunk_count > queue_->capacity()) {
+      rejection = Status::shutting_down();
+    } else if (queue_->size() + chunk_count > queue_->capacity()) {
+      // All-or-nothing enqueue under lifecycle_mutex_, exactly like
+      // submit_sweep: after the capacity check every try_push succeeds.
       metrics_.rejected_queue_full.add();
-      return ready_future(rejected(Status::queue_full()));
-    }
-    for (std::size_t i = 0; i < chunk_count; ++i) {
-      Task task;
-      task.deadline = deadline;
-      task.enqueued = enqueued;
-      task.curve_job = job;
-      task.chunk_begin = i * chunk_cells;
-      task.chunk_end = std::min(cells, task.chunk_begin + chunk_cells);
-      if (!queue_->try_push(task)) {
-        job->fail(StatusCode::InternalError,
-                  "fault sweep chunk enqueue failed");
-        if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          job->promise.set_value(
-              rejected(Status::internal_error(job->fail_message)));
-          return future;  // no chunk enqueued; pending_ untouched
+      rejection = Status::queue_full();
+    } else {
+      for (std::size_t i = 0; i < chunk_count; ++i) {
+        Task task;
+        task.deadline = deadline;
+        task.enqueued = enqueued;
+        task.curve_job = job;
+        task.chunk_begin = i * chunk_cells;
+        task.chunk_end = std::min(cells, task.chunk_begin + chunk_cells);
+        if (!queue_->try_push(task)) {
+          job->fail(StatusCode::InternalError,
+                    "fault sweep chunk enqueue failed");
+          if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            job->resolve(rejected(Status::internal_error(job->fail_message)));
+            return future;  // no chunk enqueued; pending_ untouched
+          }
+          continue;
         }
-        continue;
+        metrics_.queue_depth.increment();
       }
-      metrics_.queue_depth.increment();
+      ++pending_;
     }
-    ++pending_;
+  }
+  if (!rejection.ok()) {
+    // Resolved after the lock is released so a callback can never run
+    // while the engine's lifecycle mutex is held.
+    return resolve_ready(job->callback, rejected(std::move(rejection)));
   }
   return future;
 }
@@ -610,7 +677,7 @@ void QueryEngine::complete_curve(Task& task) {
   } else if (response.status.code != StatusCode::DeadlineExceeded) {
     metrics_.failed.add();
   }
-  job.promise.set_value(std::move(response));
+  job.resolve(std::move(response));
   {
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
     --pending_;
@@ -687,7 +754,7 @@ void QueryEngine::complete_sweep(Task& task) {
   } else if (response.status.code != StatusCode::DeadlineExceeded) {
     metrics_.failed.add();
   }
-  job.promise.set_value(std::move(response));
+  job.resolve(std::move(response));
   {
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
     --pending_;

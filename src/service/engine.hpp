@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -88,6 +89,21 @@ class QueryEngine {
   std::future<QueryResponse> submit(Request request,
                                     Deadline deadline = Deadline::never());
 
+  /// Completion hook for event-driven callers (the TCP server in
+  /// src/net, whose poll loop cannot block on futures).
+  using ResponseCallback = std::function<void(QueryResponse)>;
+
+  /// Submit one request, resolving through @p callback instead of a
+  /// future.  The callback is invoked exactly once with the response —
+  /// on the calling thread for rejections, cache hits and the inline
+  /// (worker_threads == 0) mode, otherwise on whichever worker completes
+  /// the request.  Backpressure still applies: a full queue invokes the
+  /// callback immediately with StatusCode::QueueFull.  The callback must
+  /// be fast, non-blocking and non-throwing (it runs on the worker's
+  /// dequeue path), and must not call back into this engine.
+  void submit_async(Request request, Deadline deadline,
+                    ResponseCallback callback);
+
   /// Submit a batch; element i of the result corresponds to request i.
   /// Requests that no longer fit in the queue are rejected individually
   /// (QueueFull) — the ones that fit still execute.
@@ -140,9 +156,15 @@ class QueryEngine {
     Fingerprint key = 0;
     Clock::time_point enqueued;
 
+    /// Set instead of using `promise` for submit_async() sweeps.
+    ResponseCallback callback;
+
     explicit SweepJob(explore::SweepEvaluator eval)
         : evaluator(std::move(eval)) {}
     void fail(StatusCode code, std::string message = {});
+    /// Deliver the response through the callback when set, else the
+    /// promise.  Called exactly once, by the finisher.
+    void resolve(QueryResponse response);
   };
 
   /// Shared state of one in-flight FaultSweepRequest — the Monte-Carlo
@@ -161,15 +183,21 @@ class QueryEngine {
     Fingerprint key = 0;
     Clock::time_point enqueued;
 
+    /// Set instead of using `promise` for submit_async() fault sweeps.
+    ResponseCallback callback;
+
     explicit CurveJob(fault::CurveEvaluator eval)
         : evaluator(std::move(eval)) {}
     void fail(StatusCode code, std::string message = {});
+    void resolve(QueryResponse response);
   };
 
   struct Task {
     Request request;
     Deadline deadline;
     std::promise<QueryResponse> promise;
+    /// Set instead of using `promise` for submit_async() requests.
+    ResponseCallback callback;
     Clock::time_point enqueued;
     /// Non-null for a sweep / curve chunk; `request` is then unused and
     /// the response flows through the job's promise instead.
@@ -182,11 +210,18 @@ class QueryEngine {
   void worker_loop();
   void finish_task(Task& task, QueryResponse response);
 
+  /// Common body of submit() and submit_async(): with a null callback
+  /// the response flows through the returned future; with a callback the
+  /// future is default-constructed (invalid) and unused.
+  std::future<QueryResponse> submit_impl(Request request, Deadline deadline,
+                                         ResponseCallback callback);
+
   /// Parallel fast path for SweepRequest: validate, probe the cache,
   /// split the grid into chunk tasks and enqueue them all (atomically —
   /// either every chunk is accepted or the request is rejected).
   std::future<QueryResponse> submit_sweep(SweepRequest request,
-                                          Deadline deadline);
+                                          Deadline deadline,
+                                          ResponseCallback callback);
   /// Evaluate one chunk; the last chunk to finish calls complete_sweep().
   void run_sweep_chunk(Task& task);
   /// Merge the Pareto front, publish to the cache, resolve the future.
@@ -196,7 +231,8 @@ class QueryEngine {
   /// cache, split the Monte-Carlo cells into chunk tasks, enqueue
   /// all-or-nothing under lifecycle_mutex_.
   std::future<QueryResponse> submit_fault_sweep(FaultSweepRequest request,
-                                                Deadline deadline);
+                                                Deadline deadline,
+                                                ResponseCallback callback);
   void run_curve_chunk(Task& task);
   /// Reduce the trial outcomes into the curve, publish, resolve.
   void complete_curve(Task& task);

@@ -190,6 +190,20 @@ std::string MetricsRegistry::to_table(const CacheStats& cache) const {
   table.add_row({"batches executed", std::to_string(batch_sizes.batches())});
   table.add_row({"mean batch size", format_rate(batch_sizes.mean())});
 
+  table.add_section("network");
+  table.add_row({"bytes in", std::to_string(net_bytes_in.value())});
+  table.add_row({"bytes out", std::to_string(net_bytes_out.value())});
+  table.add_row({"frames in", std::to_string(net_frames_in.value())});
+  table.add_row({"frames out", std::to_string(net_frames_out.value())});
+  table.add_row({"decode errors", std::to_string(net_decode_errors.value())});
+  table.add_row(
+      {"connections opened", std::to_string(net_connections_opened.value())});
+  table.add_row(
+      {"connections closed", std::to_string(net_connections_closed.value())});
+  table.add_row(
+      {"active connections", std::to_string(net_active_connections.value())});
+  table.add_row({"client retries", std::to_string(net_retries.value())});
+
   table.add_section("cache");
   table.add_row({"hits", std::to_string(cache_hits.value())});
   table.add_row({"misses", std::to_string(cache_misses.value())});
@@ -231,6 +245,19 @@ std::string MetricsRegistry::to_csv(const CacheStats& cache) const {
   csv.add_row({"in_flight", std::to_string(in_flight.value())});
   csv.add_row({"batches", std::to_string(batch_sizes.batches())});
   csv.add_row({"mean_batch_size", format_rate(batch_sizes.mean())});
+  csv.add_row({"net_bytes_in", std::to_string(net_bytes_in.value())});
+  csv.add_row({"net_bytes_out", std::to_string(net_bytes_out.value())});
+  csv.add_row({"net_frames_in", std::to_string(net_frames_in.value())});
+  csv.add_row({"net_frames_out", std::to_string(net_frames_out.value())});
+  csv.add_row(
+      {"net_decode_errors", std::to_string(net_decode_errors.value())});
+  csv.add_row({"net_connections_opened",
+               std::to_string(net_connections_opened.value())});
+  csv.add_row({"net_connections_closed",
+               std::to_string(net_connections_closed.value())});
+  csv.add_row({"net_active_connections",
+               std::to_string(net_active_connections.value())});
+  csv.add_row({"net_retries", std::to_string(net_retries.value())});
   csv.add_row({"cache_hits", std::to_string(cache_hits.value())});
   csv.add_row({"cache_misses", std::to_string(cache_misses.value())});
   csv.add_row({"cache_hit_rate", format_rate(cache_hit_rate())});
@@ -294,6 +321,32 @@ std::string MetricsRegistry::to_prometheus(const CacheStats& cache,
   w.header("mpct_batch_requests_total", PromWriter::Type::Counter,
            "Requests drained across all batches.");
   w.sample("mpct_batch_requests_total", {}, batch_sizes.requests());
+
+  w.header("mpct_net_bytes_total", PromWriter::Type::Counter,
+           "Bytes moved by the wire layer, by direction.");
+  w.sample("mpct_net_bytes_total", "direction=\"in\"", net_bytes_in.value());
+  w.sample("mpct_net_bytes_total", "direction=\"out\"", net_bytes_out.value());
+  w.header("mpct_net_frames_total", PromWriter::Type::Counter,
+           "Complete frames moved by the wire layer, by direction.");
+  w.sample("mpct_net_frames_total", "direction=\"in\"", net_frames_in.value());
+  w.sample("mpct_net_frames_total", "direction=\"out\"",
+           net_frames_out.value());
+  w.header("mpct_net_decode_errors_total", PromWriter::Type::Counter,
+           "Frames or payloads that failed to decode.");
+  w.sample("mpct_net_decode_errors_total", {}, net_decode_errors.value());
+  w.header("mpct_net_connections_total", PromWriter::Type::Counter,
+           "TCP connections, by lifecycle event.");
+  w.sample("mpct_net_connections_total", "event=\"opened\"",
+           net_connections_opened.value());
+  w.sample("mpct_net_connections_total", "event=\"closed\"",
+           net_connections_closed.value());
+  w.header("mpct_net_active_connections", PromWriter::Type::Gauge,
+           "Connections currently open on the server.");
+  w.sample("mpct_net_active_connections", {},
+           static_cast<double>(net_active_connections.value()));
+  w.header("mpct_net_retries_total", PromWriter::Type::Counter,
+           "Client reconnect-and-resend attempts.");
+  w.sample("mpct_net_retries_total", {}, net_retries.value());
 
   w.header("mpct_cache_hits_total", PromWriter::Type::Counter,
            "Result-cache hits.");

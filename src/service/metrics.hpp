@@ -162,6 +162,19 @@ class MetricsRegistry {
   Gauge in_flight;
   BatchSizeHistogram batch_sizes;
 
+  // Network (src/net): zeros unless a Server/Client shares this
+  // registry.  Bytes/frames count whole frames as seen by the wire
+  // layer, so bytes_in includes rejected frames' headers.
+  Counter net_bytes_in;
+  Counter net_bytes_out;
+  Counter net_frames_in;
+  Counter net_frames_out;
+  Counter net_decode_errors;
+  Counter net_connections_opened;
+  Counter net_connections_closed;
+  Counter net_retries;  ///< client reconnect-and-resend attempts
+  Gauge net_active_connections;
+
   /// Submit-to-completion latency per request type.
   std::array<LatencyHistogram, kRequestTypeCount> latency_by_type;
 

@@ -61,6 +61,9 @@ struct ClassifyResponse {
   arch::ArchitectureSpec spec;
   Classification classification;
   FlexibilityBreakdown flexibility;
+
+  friend bool operator==(const ClassifyResponse&,
+                         const ClassifyResponse&) = default;
 };
 
 /// Rank the implementable taxonomy classes against designer requirements
@@ -73,6 +76,9 @@ struct RecommendRequest {
 
 struct RecommendResponse {
   std::vector<explore::Recommendation> recommendations;
+
+  friend bool operator==(const RecommendResponse&,
+                         const RecommendResponse&) = default;
 };
 
 /// Evaluate Eq. 1 (area) and Eq. 2 (configuration bits) for a class or a
@@ -89,8 +95,12 @@ struct CostResponse {
     std::int64_t n = 0;
     cost::AreaEstimate area;
     cost::ConfigBitsEstimate config_bits;
+
+    friend bool operator==(const Point&, const Point&) = default;
   };
   std::vector<Point> points;
+
+  friend bool operator==(const CostResponse&, const CostResponse&) = default;
 };
 
 /// Evaluate a whole (n x lut_budget x objective) design-space grid
@@ -106,6 +116,8 @@ struct SweepRequest {
 
 struct SweepResponse {
   explore::SweepResult result;
+
+  friend bool operator==(const SweepResponse&, const SweepResponse&) = default;
 };
 
 /// Evaluate a Monte-Carlo degradation curve (fault::evaluate_curve) for
@@ -120,6 +132,9 @@ struct FaultSweepRequest {
 
 struct FaultSweepResponse {
   fault::CurveResult result;
+
+  friend bool operator==(const FaultSweepResponse&,
+                         const FaultSweepResponse&) = default;
 };
 
 using Request = std::variant<ClassifyRequest, RecommendRequest, CostRequest,

@@ -18,6 +18,10 @@ std::string_view to_string(StatusCode code) {
       return "shutting-down";
     case StatusCode::InternalError:
       return "internal-error";
+    case StatusCode::Unavailable:
+      return "unavailable";
+    case StatusCode::ProtocolError:
+      return "protocol-error";
   }
   return "unknown";
 }

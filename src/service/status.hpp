@@ -29,6 +29,14 @@ enum class StatusCode : int {
   /// An unexpected exception escaped the underlying library call; the
   /// message carries e.what().  Indicates a bug — please report it.
   InternalError = 6,
+  /// The network client could not reach the server (connect/send/receive
+  /// failure that survived every retry).  The request may or may not
+  /// have executed remotely; all requests are idempotent, so resubmitting
+  /// is always safe.
+  Unavailable = 7,
+  /// The peer sent bytes that do not decode to a valid frame.  Emitted
+  /// by the wire layer (src/wire), never by the engine itself.
+  ProtocolError = 8,
 };
 
 std::string_view to_string(StatusCode code);
@@ -59,6 +67,12 @@ struct Status {
   }
   static Status internal_error(std::string message) {
     return {StatusCode::InternalError, std::move(message)};
+  }
+  static Status unavailable(std::string message) {
+    return {StatusCode::Unavailable, std::move(message)};
+  }
+  static Status protocol_error(std::string message) {
+    return {StatusCode::ProtocolError, std::move(message)};
   }
 
   /// "ok" or "queue-full: bounded queue full; request rejected".

@@ -19,6 +19,7 @@ std::string_view to_string(Category category) {
     case Category::Cost:    return "cost";
     case Category::Noc:     return "noc";
     case Category::Mark:    return "mark";
+    case Category::Net:     return "net";
   }
   return "unknown";
 }

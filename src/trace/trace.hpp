@@ -27,8 +27,9 @@ enum class Category : std::uint8_t {
   Cost,     ///< cost::CostPlan evaluation
   Noc,      ///< interconnect route / route-around
   Mark,     ///< instant markers (deadline expiry, shutdown)
+  Net,      ///< wire + TCP server/client (accept, decode, enqueue, flush)
 };
-inline constexpr std::size_t kCategoryCount = 12;
+inline constexpr std::size_t kCategoryCount = 13;
 std::string_view to_string(Category category);
 
 /// One recorded span.  `name` and `arg_name` point to static storage

@@ -1,0 +1,915 @@
+#include "wire/protocol.hpp"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "arch/connectivity_expr.hpp"
+#include "arch/count.hpp"
+#include "arch/spec.hpp"
+#include "core/classifier.hpp"
+#include "core/connectivity.hpp"
+#include "core/flexibility.hpp"
+#include "core/machine_class.hpp"
+#include "core/naming.hpp"
+#include "cost/area_model.hpp"
+#include "cost/config_bits.hpp"
+#include "explore/recommend.hpp"
+#include "explore/sweep.hpp"
+#include "fault/degradation_curve.hpp"
+#include "service/status.hpp"
+
+namespace mpct::wire {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+
+/// Decode a u8-backed enum, rejecting values above @p max_value so a
+/// bit-flipped frame can never materialise an out-of-domain enumerator
+/// (switching on one downstream would be UB-adjacent at best).
+template <typename E>
+E decode_enum(Decoder& d, std::uint8_t max_value, const char* what) {
+  const std::uint8_t raw = d.u8();
+  if (d.ok() && raw > max_value) {
+    d.fail(WireErrorCode::Malformed, std::string("bad ") + what + " value " +
+                                         std::to_string(raw));
+  }
+  return static_cast<E>(raw);
+}
+
+// ---------------------------------------------------------------------------
+// arch::Count — reconstructed through its factories (the fields are
+// private); the factories leave the unused fields at their defaults, so
+// a factory rebuild is ==-faithful to any factory-built original.
+
+void encode(Encoder& e, const arch::Count& count) {
+  e.u8(static_cast<std::uint8_t>(count.kind()));
+  e.i64(count.value());  // fixed value or scale factor (same storage)
+  e.u8(static_cast<std::uint8_t>(count.symbol()));
+}
+
+arch::Count decode_count(Decoder& d) {
+  const std::uint8_t kind = d.u8();
+  const std::int64_t value = d.i64();
+  const char symbol = static_cast<char>(d.u8());
+  if (!d.ok()) return {};
+  switch (static_cast<arch::Count::Kind>(kind)) {
+    case arch::Count::Kind::Fixed:
+      return arch::Count::fixed(value);
+    case arch::Count::Kind::Symbolic:
+      return arch::Count::symbolic(symbol);
+    case arch::Count::Kind::ScaledSymbolic:
+      return arch::Count::scaled_symbolic(value, symbol);
+    case arch::Count::Kind::Variable:
+      return arch::Count::variable();
+  }
+  d.fail(WireErrorCode::Malformed,
+         "bad Count kind " + std::to_string(kind));
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// arch::ConnectivityExpr
+
+void encode(Encoder& e, const arch::ConnectivityExpr& expr) {
+  e.u8(static_cast<std::uint8_t>(expr.kind));
+  encode(e, expr.left);
+  encode(e, expr.right);
+}
+
+arch::ConnectivityExpr decode_connectivity_expr(Decoder& d) {
+  arch::ConnectivityExpr expr;
+  expr.kind = decode_enum<SwitchKind>(d, 2, "SwitchKind");
+  expr.left = decode_count(d);
+  expr.right = decode_count(d);
+  return expr;
+}
+
+// ---------------------------------------------------------------------------
+// arch::ArchitectureSpec
+
+void encode(Encoder& e, const arch::ArchitectureSpec& spec) {
+  e.str(spec.name);
+  e.str(spec.citation);
+  e.str(spec.description);
+  e.i32(spec.year);
+  e.str(spec.category);
+  e.u8(static_cast<std::uint8_t>(spec.granularity));
+  encode(e, spec.ips);
+  encode(e, spec.dps);
+  for (const auto& cell : spec.connectivity) encode(e, cell);
+  e.boolean(spec.paper_name.has_value());
+  if (spec.paper_name) e.str(*spec.paper_name);
+  e.boolean(spec.paper_flexibility.has_value());
+  if (spec.paper_flexibility) e.i32(*spec.paper_flexibility);
+}
+
+arch::ArchitectureSpec decode_spec(Decoder& d) {
+  arch::ArchitectureSpec spec;
+  spec.name = d.str();
+  spec.citation = d.str();
+  spec.description = d.str();
+  spec.year = d.i32();
+  spec.category = d.str();
+  spec.granularity = decode_enum<Granularity>(d, 1, "Granularity");
+  spec.ips = decode_count(d);
+  spec.dps = decode_count(d);
+  for (auto& cell : spec.connectivity) cell = decode_connectivity_expr(d);
+  if (d.boolean()) spec.paper_name = d.str();
+  if (d.boolean()) spec.paper_flexibility = d.i32();
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// MachineClass / TaxonomicName
+
+void encode(Encoder& e, const MachineClass& mc) {
+  e.u8(static_cast<std::uint8_t>(mc.granularity));
+  e.u8(static_cast<std::uint8_t>(mc.ips));
+  e.u8(static_cast<std::uint8_t>(mc.dps));
+  for (const SwitchKind kind : mc.switches) {
+    e.u8(static_cast<std::uint8_t>(kind));
+  }
+}
+
+MachineClass decode_machine_class(Decoder& d) {
+  MachineClass mc;
+  mc.granularity = decode_enum<Granularity>(d, 1, "Granularity");
+  mc.ips = decode_enum<Multiplicity>(d, 3, "Multiplicity");
+  mc.dps = decode_enum<Multiplicity>(d, 3, "Multiplicity");
+  for (auto& kind : mc.switches) {
+    kind = decode_enum<SwitchKind>(d, 2, "SwitchKind");
+  }
+  return mc;
+}
+
+void encode(Encoder& e, const TaxonomicName& name) {
+  e.u8(static_cast<std::uint8_t>(name.machine_type));
+  e.u8(static_cast<std::uint8_t>(name.processing_type));
+  e.i32(name.subtype);
+}
+
+TaxonomicName decode_taxonomic_name(Decoder& d) {
+  TaxonomicName name;
+  name.machine_type = decode_enum<MachineType>(d, 2, "MachineType");
+  name.processing_type = decode_enum<ProcessingType>(d, 3, "ProcessingType");
+  name.subtype = d.i32();
+  return name;
+}
+
+// ---------------------------------------------------------------------------
+// Classification / FlexibilityBreakdown
+
+void encode(Encoder& e, const Classification& classification) {
+  e.boolean(classification.name.has_value());
+  if (classification.name) encode(e, *classification.name);
+  e.boolean(classification.implementable);
+  e.str(classification.note);
+}
+
+Classification decode_classification(Decoder& d) {
+  Classification classification;
+  if (d.boolean()) classification.name = decode_taxonomic_name(d);
+  classification.implementable = d.boolean();
+  classification.note = d.str();
+  return classification;
+}
+
+void encode(Encoder& e, const FlexibilityBreakdown& flex) {
+  e.i32(flex.many_ips);
+  e.i32(flex.many_dps);
+  e.i32(flex.crossbar_switches);
+  e.i32(flex.variability_bonus);
+}
+
+FlexibilityBreakdown decode_flexibility(Decoder& d) {
+  FlexibilityBreakdown flex;
+  flex.many_ips = d.i32();
+  flex.many_dps = d.i32();
+  flex.crossbar_switches = d.i32();
+  flex.variability_bonus = d.i32();
+  return flex;
+}
+
+// ---------------------------------------------------------------------------
+// explore::Requirements / Recommendation
+
+void encode(Encoder& e, const explore::Requirements& req) {
+  e.i32(req.min_flexibility);
+  e.boolean(req.paradigm.has_value());
+  if (req.paradigm) e.u8(static_cast<std::uint8_t>(*req.paradigm));
+  e.boolean(req.needs_independent_programs);
+  e.boolean(req.needs_pe_exchange);
+  e.boolean(req.needs_shared_memory);
+  e.i64(req.n);
+  e.i64(req.lut_budget);
+  e.u8(static_cast<std::uint8_t>(req.objective));
+}
+
+explore::Requirements decode_requirements(Decoder& d) {
+  explore::Requirements req;
+  req.min_flexibility = d.i32();
+  if (d.boolean()) {
+    req.paradigm = decode_enum<MachineType>(d, 2, "MachineType");
+  }
+  req.needs_independent_programs = d.boolean();
+  req.needs_pe_exchange = d.boolean();
+  req.needs_shared_memory = d.boolean();
+  req.n = d.i64();
+  req.lut_budget = d.i64();
+  req.objective = decode_enum<explore::Requirements::Objective>(
+      d, 1, "Requirements::Objective");
+  return req;
+}
+
+void encode(Encoder& e, const explore::Recommendation& rec) {
+  encode(e, rec.name);
+  e.i32(rec.flexibility);
+  e.f64(rec.area_kge);
+  e.i64(rec.config_bits);
+  e.str(rec.rationale);
+}
+
+explore::Recommendation decode_recommendation(Decoder& d) {
+  explore::Recommendation rec;
+  rec.name = decode_taxonomic_name(d);
+  rec.flexibility = d.i32();
+  rec.area_kge = d.f64();
+  rec.config_bits = d.i64();
+  rec.rationale = d.str();
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// cost::EstimateOptions / AreaEstimate / ConfigBitsEstimate
+
+void encode(Encoder& e, const cost::EstimateOptions& options) {
+  e.i64(options.n);
+  e.i64(options.m);
+  e.i64(options.v);
+  e.boolean(options.include_ip_dp_switch);
+}
+
+cost::EstimateOptions decode_estimate_options(Decoder& d) {
+  cost::EstimateOptions options;
+  options.n = d.i64();
+  options.m = d.i64();
+  options.v = d.i64();
+  options.include_ip_dp_switch = d.boolean();
+  return options;
+}
+
+void encode(Encoder& e, const cost::AreaEstimate& area) {
+  e.f64(area.ip_blocks);
+  e.f64(area.im_blocks);
+  e.f64(area.dp_blocks);
+  e.f64(area.dm_blocks);
+  e.f64(area.lut_blocks);
+  e.f64(area.ip_ip_switch);
+  e.f64(area.ip_im_switch);
+  e.f64(area.ip_dp_switch);
+  e.f64(area.dp_dm_switch);
+  e.f64(area.dp_dp_switch);
+  e.i64(area.n_ips);
+  e.i64(area.n_dps);
+  e.i64(area.n_ims);
+  e.i64(area.n_dms);
+  e.i64(area.n_luts);
+}
+
+cost::AreaEstimate decode_area_estimate(Decoder& d) {
+  cost::AreaEstimate area;
+  area.ip_blocks = d.f64();
+  area.im_blocks = d.f64();
+  area.dp_blocks = d.f64();
+  area.dm_blocks = d.f64();
+  area.lut_blocks = d.f64();
+  area.ip_ip_switch = d.f64();
+  area.ip_im_switch = d.f64();
+  area.ip_dp_switch = d.f64();
+  area.dp_dm_switch = d.f64();
+  area.dp_dp_switch = d.f64();
+  area.n_ips = d.i64();
+  area.n_dps = d.i64();
+  area.n_ims = d.i64();
+  area.n_dms = d.i64();
+  area.n_luts = d.i64();
+  return area;
+}
+
+void encode(Encoder& e, const cost::ConfigBitsEstimate& bits) {
+  e.i64(bits.ip_blocks);
+  e.i64(bits.im_blocks);
+  e.i64(bits.dp_blocks);
+  e.i64(bits.dm_blocks);
+  e.i64(bits.lut_blocks);
+  e.i64(bits.ip_ip_switch);
+  e.i64(bits.ip_im_switch);
+  e.i64(bits.ip_dp_switch);
+  e.i64(bits.dp_dm_switch);
+  e.i64(bits.dp_dp_switch);
+}
+
+cost::ConfigBitsEstimate decode_config_bits_estimate(Decoder& d) {
+  cost::ConfigBitsEstimate bits;
+  bits.ip_blocks = d.i64();
+  bits.im_blocks = d.i64();
+  bits.dp_blocks = d.i64();
+  bits.dm_blocks = d.i64();
+  bits.lut_blocks = d.i64();
+  bits.ip_ip_switch = d.i64();
+  bits.ip_im_switch = d.i64();
+  bits.ip_dp_switch = d.i64();
+  bits.dp_dm_switch = d.i64();
+  bits.dp_dp_switch = d.i64();
+  return bits;
+}
+
+// ---------------------------------------------------------------------------
+// explore::SweepGrid / SweepPoint / SweepResult
+
+void encode(Encoder& e, const explore::SweepGrid& grid) {
+  encode(e, grid.base);
+  e.length(grid.n_values.size());
+  for (const std::int64_t n : grid.n_values) e.i64(n);
+  e.length(grid.lut_budgets.size());
+  for (const std::int64_t budget : grid.lut_budgets) e.i64(budget);
+  e.length(grid.objectives.size());
+  for (const auto objective : grid.objectives) {
+    e.u8(static_cast<std::uint8_t>(objective));
+  }
+}
+
+explore::SweepGrid decode_sweep_grid(Decoder& d) {
+  explore::SweepGrid grid;
+  grid.base = decode_requirements(d);
+  const std::size_t n_count = d.length(8);
+  grid.n_values.reserve(n_count);
+  for (std::size_t i = 0; i < n_count && d.ok(); ++i) {
+    grid.n_values.push_back(d.i64());
+  }
+  const std::size_t budget_count = d.length(8);
+  grid.lut_budgets.reserve(budget_count);
+  for (std::size_t i = 0; i < budget_count && d.ok(); ++i) {
+    grid.lut_budgets.push_back(d.i64());
+  }
+  const std::size_t objective_count = d.length(1);
+  grid.objectives.reserve(objective_count);
+  for (std::size_t i = 0; i < objective_count && d.ok(); ++i) {
+    grid.objectives.push_back(decode_enum<explore::Requirements::Objective>(
+        d, 1, "Requirements::Objective"));
+  }
+  return grid;
+}
+
+/// Encoded SweepPoint size: n(8) + lut_budget(8) + objective(1) +
+/// feasible(1) + TaxonomicName(6) + flexibility(4) + area(8) + bits(8).
+constexpr std::size_t kSweepPointBytes = 44;
+
+void encode(Encoder& e, const explore::SweepPoint& point) {
+  e.i64(point.n);
+  e.i64(point.lut_budget);
+  e.u8(static_cast<std::uint8_t>(point.objective));
+  e.boolean(point.feasible);
+  encode(e, point.best);
+  e.i32(point.flexibility);
+  e.f64(point.area_kge);
+  e.i64(point.config_bits);
+}
+
+explore::SweepPoint decode_sweep_point(Decoder& d) {
+  explore::SweepPoint point;
+  point.n = d.i64();
+  point.lut_budget = d.i64();
+  point.objective = decode_enum<explore::Requirements::Objective>(
+      d, 1, "Requirements::Objective");
+  point.feasible = d.boolean();
+  point.best = decode_taxonomic_name(d);
+  point.flexibility = d.i32();
+  point.area_kge = d.f64();
+  point.config_bits = d.i64();
+  return point;
+}
+
+void encode(Encoder& e, const explore::SweepResult& result) {
+  e.length(result.points.size());
+  for (const auto& point : result.points) encode(e, point);
+  e.length(result.pareto_front.size());
+  for (const auto& point : result.pareto_front) encode(e, point);
+  e.u64(result.candidate_classes);
+}
+
+explore::SweepResult decode_sweep_result(Decoder& d) {
+  explore::SweepResult result;
+  const std::size_t point_count = d.length(kSweepPointBytes);
+  result.points.reserve(point_count);
+  for (std::size_t i = 0; i < point_count && d.ok(); ++i) {
+    result.points.push_back(decode_sweep_point(d));
+  }
+  const std::size_t front_count = d.length(kSweepPointBytes);
+  result.pareto_front.reserve(front_count);
+  for (std::size_t i = 0; i < front_count && d.ok(); ++i) {
+    result.pareto_front.push_back(decode_sweep_point(d));
+  }
+  result.candidate_classes = static_cast<std::size_t>(d.u64());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// fault::CurveSpec / CurvePoint / CurveResult
+
+void encode(Encoder& e, const fault::CurveSpec& spec) {
+  encode(e, spec.machine);
+  encode(e, spec.bindings);
+  e.i32(spec.noc_width);
+  e.i32(spec.noc_height);
+  e.length(spec.fault_rates.size());
+  for (const double rate : spec.fault_rates) e.f64(rate);
+  e.i32(spec.trials_per_rate);
+  e.u64(spec.seed);
+}
+
+fault::CurveSpec decode_curve_spec(Decoder& d) {
+  fault::CurveSpec spec;
+  spec.machine = decode_machine_class(d);
+  spec.bindings = decode_estimate_options(d);
+  spec.noc_width = d.i32();
+  spec.noc_height = d.i32();
+  const std::size_t rate_count = d.length(8);
+  spec.fault_rates.reserve(rate_count);
+  for (std::size_t i = 0; i < rate_count && d.ok(); ++i) {
+    spec.fault_rates.push_back(d.f64());
+  }
+  spec.trials_per_rate = d.i32();
+  spec.seed = d.u64();
+  return spec;
+}
+
+/// Encoded CurvePoint size: fault_rate(8) + trials(4) + 4 doubles(32).
+constexpr std::size_t kCurvePointBytes = 44;
+
+void encode(Encoder& e, const fault::CurvePoint& point) {
+  e.f64(point.fault_rate);
+  e.i32(point.trials);
+  e.f64(point.yield);
+  e.f64(point.mean_flexibility);
+  e.f64(point.mean_connectivity);
+  e.f64(point.mean_survival);
+}
+
+fault::CurvePoint decode_curve_point(Decoder& d) {
+  fault::CurvePoint point;
+  point.fault_rate = d.f64();
+  point.trials = d.i32();
+  point.yield = d.f64();
+  point.mean_flexibility = d.f64();
+  point.mean_connectivity = d.f64();
+  point.mean_survival = d.f64();
+  return point;
+}
+
+void encode(Encoder& e, const fault::CurveResult& result) {
+  encode(e, result.spec);
+  e.length(result.points.size());
+  for (const auto& point : result.points) encode(e, point);
+}
+
+fault::CurveResult decode_curve_result(Decoder& d) {
+  fault::CurveResult result;
+  result.spec = decode_curve_spec(d);
+  const std::size_t point_count = d.length(kCurvePointBytes);
+  result.points.reserve(point_count);
+  for (std::size_t i = 0; i < point_count && d.ok(); ++i) {
+    result.points.push_back(decode_curve_point(d));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// service::Status
+
+void encode(Encoder& e, const service::Status& status) {
+  e.i32(static_cast<std::int32_t>(status.code));
+  e.str(status.message);
+}
+
+service::Status decode_status(Decoder& d) {
+  service::Status status;
+  const std::int32_t code = d.i32();
+  if (d.ok() &&
+      (code < 0 ||
+       code > static_cast<std::int32_t>(service::StatusCode::ProtocolError))) {
+    d.fail(WireErrorCode::Malformed,
+           "bad StatusCode value " + std::to_string(code));
+  }
+  status.code = static_cast<service::StatusCode>(code);
+  status.message = d.str();
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Request variants
+
+void encode(Encoder& e, const service::ClassifyRequest& request) {
+  e.u8(static_cast<std::uint8_t>(request.input.index()));
+  if (const auto* spec = std::get_if<arch::ArchitectureSpec>(&request.input)) {
+    encode(e, *spec);
+  } else {
+    e.str(std::get<std::string>(request.input));
+  }
+}
+
+service::ClassifyRequest decode_classify_request(Decoder& d) {
+  service::ClassifyRequest request;
+  const std::uint8_t which = d.u8();
+  if (!d.ok()) return request;
+  switch (which) {
+    case 0:
+      request.input = decode_spec(d);
+      break;
+    case 1:
+      request.input = d.str();
+      break;
+    default:
+      d.fail(WireErrorCode::Malformed,
+             "bad ClassifyRequest alternative " + std::to_string(which));
+  }
+  return request;
+}
+
+void encode(Encoder& e, const service::RecommendRequest& request) {
+  encode(e, request.requirements);
+  e.u64(static_cast<std::uint64_t>(request.top_k));
+}
+
+service::RecommendRequest decode_recommend_request(Decoder& d) {
+  service::RecommendRequest request;
+  request.requirements = decode_requirements(d);
+  request.top_k = static_cast<std::size_t>(d.u64());
+  return request;
+}
+
+void encode(Encoder& e, const service::CostRequest& request) {
+  e.u8(static_cast<std::uint8_t>(request.target.index()));
+  if (const auto* mc = std::get_if<MachineClass>(&request.target)) {
+    encode(e, *mc);
+  } else {
+    encode(e, std::get<arch::ArchitectureSpec>(request.target));
+  }
+  encode(e, request.options);
+  e.length(request.n_sweep.size());
+  for (const std::int64_t n : request.n_sweep) e.i64(n);
+}
+
+service::CostRequest decode_cost_request(Decoder& d) {
+  service::CostRequest request;
+  const std::uint8_t which = d.u8();
+  if (!d.ok()) return request;
+  switch (which) {
+    case 0:
+      request.target = decode_machine_class(d);
+      break;
+    case 1:
+      request.target = decode_spec(d);
+      break;
+    default:
+      d.fail(WireErrorCode::Malformed,
+             "bad CostRequest alternative " + std::to_string(which));
+      return request;
+  }
+  request.options = decode_estimate_options(d);
+  const std::size_t sweep_count = d.length(8);
+  request.n_sweep.reserve(sweep_count);
+  for (std::size_t i = 0; i < sweep_count && d.ok(); ++i) {
+    request.n_sweep.push_back(d.i64());
+  }
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Response variants
+
+void encode(Encoder& e, const service::ClassifyResponse& response) {
+  encode(e, response.spec);
+  encode(e, response.classification);
+  encode(e, response.flexibility);
+}
+
+service::ClassifyResponse decode_classify_response(Decoder& d) {
+  service::ClassifyResponse response;
+  response.spec = decode_spec(d);
+  response.classification = decode_classification(d);
+  response.flexibility = decode_flexibility(d);
+  return response;
+}
+
+void encode(Encoder& e, const service::RecommendResponse& response) {
+  e.length(response.recommendations.size());
+  for (const auto& rec : response.recommendations) encode(e, rec);
+}
+
+service::RecommendResponse decode_recommend_response(Decoder& d) {
+  service::RecommendResponse response;
+  // Minimum Recommendation: name(6) + flexibility(4) + area(8) +
+  // config_bits(8) + empty rationale(4).
+  const std::size_t count = d.length(30);
+  response.recommendations.reserve(count);
+  for (std::size_t i = 0; i < count && d.ok(); ++i) {
+    response.recommendations.push_back(decode_recommendation(d));
+  }
+  return response;
+}
+
+void encode(Encoder& e, const service::CostResponse& response) {
+  e.length(response.points.size());
+  for (const auto& point : response.points) {
+    e.i64(point.n);
+    encode(e, point.area);
+    encode(e, point.config_bits);
+  }
+}
+
+service::CostResponse decode_cost_response(Decoder& d) {
+  service::CostResponse response;
+  // Point: n(8) + AreaEstimate(15 * 8) + ConfigBitsEstimate(10 * 8).
+  const std::size_t count = d.length(208);
+  response.points.reserve(count);
+  for (std::size_t i = 0; i < count && d.ok(); ++i) {
+    service::CostResponse::Point point;
+    point.n = d.i64();
+    point.area = decode_area_estimate(d);
+    point.config_bits = decode_config_bits_estimate(d);
+    response.points.push_back(std::move(point));
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Whole Request / ResponsePayload
+
+void encode(Encoder& e, const service::Request& request) {
+  e.u8(static_cast<std::uint8_t>(request.index()));
+  std::visit(
+      [&e](const auto& alternative) {
+        using T = std::decay_t<decltype(alternative)>;
+        if constexpr (std::is_same_v<T, service::SweepRequest>) {
+          encode(e, alternative.grid);
+        } else if constexpr (std::is_same_v<T, service::FaultSweepRequest>) {
+          encode(e, alternative.spec);
+        } else {
+          encode(e, alternative);
+        }
+      },
+      request);
+}
+
+service::Request decode_request(Decoder& d) {
+  const std::uint8_t type = d.u8();
+  if (!d.ok()) return service::ClassifyRequest{};
+  switch (static_cast<service::RequestType>(type)) {
+    case service::RequestType::Classify:
+      return decode_classify_request(d);
+    case service::RequestType::Recommend:
+      return decode_recommend_request(d);
+    case service::RequestType::Cost:
+      return decode_cost_request(d);
+    case service::RequestType::Sweep:
+      return service::SweepRequest{decode_sweep_grid(d)};
+    case service::RequestType::FaultSweep:
+      return service::FaultSweepRequest{decode_curve_spec(d)};
+  }
+  d.fail(WireErrorCode::Malformed,
+         "bad RequestType value " + std::to_string(type));
+  return service::ClassifyRequest{};
+}
+
+void encode_payload(Encoder& e, const service::QueryResponse& response) {
+  if (!response.payload) {
+    e.u8(0);  // monostate: rejected/errored responses carry no payload
+    return;
+  }
+  e.u8(static_cast<std::uint8_t>(response.payload->index()));
+  std::visit(
+      [&e](const auto& alternative) {
+        using T = std::decay_t<decltype(alternative)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          // index byte already written; nothing follows
+        } else if constexpr (std::is_same_v<T, service::SweepResponse>) {
+          encode(e, alternative.result);
+        } else if constexpr (std::is_same_v<T, service::FaultSweepResponse>) {
+          encode(e, alternative.result);
+        } else {
+          encode(e, alternative);
+        }
+      },
+      *response.payload);
+}
+
+std::shared_ptr<const service::ResponsePayload> decode_payload(Decoder& d) {
+  const std::uint8_t index = d.u8();
+  if (!d.ok()) return nullptr;
+  switch (index) {
+    case 0:
+      return nullptr;
+    case 1:
+      return std::make_shared<const service::ResponsePayload>(
+          decode_classify_response(d));
+    case 2:
+      return std::make_shared<const service::ResponsePayload>(
+          decode_recommend_response(d));
+    case 3:
+      return std::make_shared<const service::ResponsePayload>(
+          decode_cost_response(d));
+    case 4:
+      return std::make_shared<const service::ResponsePayload>(
+          service::SweepResponse{decode_sweep_result(d)});
+    case 5:
+      return std::make_shared<const service::ResponsePayload>(
+          service::FaultSweepResponse{decode_curve_result(d)});
+    default:
+      d.fail(WireErrorCode::Malformed,
+             "bad ResponsePayload alternative " + std::to_string(index));
+      return nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frame header
+
+void encode_header(Encoder& e, FrameKind kind, std::uint64_t request_id) {
+  e.u32(kMagic);
+  e.u16(kProtocolVersion);
+  e.u8(static_cast<std::uint8_t>(kind));
+  e.u8(0);  // reserved
+  e.u64(request_id);
+  e.u32(0);  // payload size, back-patched once the payload is written
+}
+
+constexpr std::size_t kPayloadSizeOffset = 16;
+
+/// Bytes of kMagic in wire (little-endian) order — "MPCT".
+constexpr std::uint8_t kMagicBytes[4] = {
+    static_cast<std::uint8_t>(kMagic & 0xFF),
+    static_cast<std::uint8_t>((kMagic >> 8) & 0xFF),
+    static_cast<std::uint8_t>((kMagic >> 16) & 0xFF),
+    static_cast<std::uint8_t>((kMagic >> 24) & 0xFF),
+};
+
+FrameScan bad_frame(WireErrorCode code, std::string message) {
+  FrameScan scan;
+  scan.state = FrameScan::State::Bad;
+  scan.error = {code, std::move(message)};
+  return scan;
+}
+
+}  // namespace
+
+FrameScan scan_frame(const std::uint8_t* data, std::size_t size) {
+  // Reject a wrong magic as early as the bytes allow: a stream that is
+  // not frame-aligned should not be able to stall a reader by dribbling
+  // garbage one byte at a time.
+  const std::size_t magic_prefix = size < 4 ? size : 4;
+  for (std::size_t i = 0; i < magic_prefix; ++i) {
+    if (data[i] != kMagicBytes[i]) {
+      return bad_frame(WireErrorCode::BadMagic,
+                       "frame does not start with 'MPCT'");
+    }
+  }
+  if (size < kHeaderSize) return {};  // NeedMore
+
+  Decoder d(data, kHeaderSize);
+  d.u32();  // magic, validated above
+  const std::uint16_t version = d.u16();
+  const std::uint8_t kind = d.u8();
+  const std::uint8_t reserved = d.u8();
+  const std::uint64_t request_id = d.u64();
+  const std::uint32_t payload_size = d.u32();
+
+  if (version != kProtocolVersion) {
+    return bad_frame(WireErrorCode::UnsupportedVersion,
+                     "frame version " + std::to_string(version) +
+                         ", this build speaks " +
+                         std::to_string(kProtocolVersion));
+  }
+  if (kind != static_cast<std::uint8_t>(FrameKind::Request) &&
+      kind != static_cast<std::uint8_t>(FrameKind::Response)) {
+    return bad_frame(WireErrorCode::BadFrameKind,
+                     "frame kind byte " + std::to_string(kind));
+  }
+  if (reserved != 0) {
+    return bad_frame(WireErrorCode::Malformed,
+                     "reserved header byte must be 0");
+  }
+  if (payload_size > kMaxPayloadBytes) {
+    return bad_frame(WireErrorCode::Oversized,
+                     "payload of " + std::to_string(payload_size) +
+                         " bytes exceeds the " +
+                         std::to_string(kMaxPayloadBytes) + " byte ceiling");
+  }
+  if (size < kHeaderSize + payload_size) return {};  // NeedMore
+
+  FrameScan scan;
+  scan.state = FrameScan::State::Ready;
+  scan.header = {static_cast<FrameKind>(kind), request_id, payload_size};
+  scan.frame_size = kHeaderSize + payload_size;
+  return scan;
+}
+
+std::vector<std::uint8_t> encode_request_frame(std::uint64_t request_id,
+                                               const service::Request& request,
+                                               std::uint32_t deadline_ms) {
+  Encoder e;
+  encode_header(e, FrameKind::Request, request_id);
+  const std::size_t payload_start = e.size();
+  e.u32(deadline_ms);
+  encode(e, request);
+  e.patch_u32(kPayloadSizeOffset,
+              static_cast<std::uint32_t>(e.size() - payload_start));
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode_response_frame(
+    std::uint64_t request_id, const service::QueryResponse& response) {
+  Encoder e;
+  encode_header(e, FrameKind::Response, request_id);
+  const std::size_t payload_start = e.size();
+  encode(e, response.status);
+  e.boolean(response.cache_hit);
+  e.i64(response.latency.count());
+  encode_payload(e, response);
+  e.patch_u32(kPayloadSizeOffset,
+              static_cast<std::uint32_t>(e.size() - payload_start));
+  return e.take();
+}
+
+DecodeResult<RequestFrame> decode_request_frame(const std::uint8_t* data,
+                                                std::size_t size) {
+  DecodeResult<RequestFrame> result;
+  const FrameScan scan = scan_frame(data, size);
+  if (scan.state == FrameScan::State::Bad) {
+    result.error = scan.error;
+    return result;
+  }
+  if (scan.state == FrameScan::State::NeedMore || scan.frame_size != size) {
+    result.error = {WireErrorCode::Truncated,
+                    "buffer is not exactly one frame"};
+    return result;
+  }
+  if (scan.header.kind != FrameKind::Request) {
+    result.error = {WireErrorCode::BadFrameKind,
+                    "expected a request frame, got a response frame"};
+    return result;
+  }
+
+  RequestFrame frame;
+  frame.request_id = scan.header.request_id;
+  Decoder d(data + kHeaderSize, scan.header.payload_size);
+  frame.deadline_ms = d.u32();
+  frame.request = decode_request(d);
+  d.expect_end();
+  if (!d.ok()) {
+    result.error = d.error();
+    return result;
+  }
+  result.value = std::move(frame);
+  return result;
+}
+
+DecodeResult<ResponseFrame> decode_response_frame(const std::uint8_t* data,
+                                                  std::size_t size) {
+  DecodeResult<ResponseFrame> result;
+  const FrameScan scan = scan_frame(data, size);
+  if (scan.state == FrameScan::State::Bad) {
+    result.error = scan.error;
+    return result;
+  }
+  if (scan.state == FrameScan::State::NeedMore || scan.frame_size != size) {
+    result.error = {WireErrorCode::Truncated,
+                    "buffer is not exactly one frame"};
+    return result;
+  }
+  if (scan.header.kind != FrameKind::Response) {
+    result.error = {WireErrorCode::BadFrameKind,
+                    "expected a response frame, got a request frame"};
+    return result;
+  }
+
+  ResponseFrame frame;
+  frame.request_id = scan.header.request_id;
+  Decoder d(data + kHeaderSize, scan.header.payload_size);
+  frame.response.status = decode_status(d);
+  frame.response.cache_hit = d.boolean();
+  frame.response.latency = std::chrono::nanoseconds(d.i64());
+  frame.response.payload = decode_payload(d);
+  d.expect_end();
+  if (!d.ok()) {
+    result.error = d.error();
+    return result;
+  }
+  result.value = std::move(frame);
+  return result;
+}
+
+}  // namespace mpct::wire

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "service/request.hpp"
+#include "wire/codec.hpp"
+
+namespace mpct::wire {
+
+/// "MPCT" as the first four bytes of every frame (the value below is
+/// that byte sequence read as a little-endian u32).
+inline constexpr std::uint32_t kMagic = 0x5443504Du;
+
+/// Bumped on any incompatible change to the frame header or payload
+/// encodings.  A decoder rejects frames from a version it does not
+/// speak with WireErrorCode::UnsupportedVersion — see the versioning
+/// policy in docs/NET.md.
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Fixed frame-header size in bytes:
+///
+///   offset  size  field
+///        0     4  magic ("MPCT")
+///        4     2  protocol version
+///        6     1  frame kind (1 = request, 2 = response)
+///        7     1  reserved (must be 0)
+///        8     8  request id (client-chosen; responses echo it, which
+///                 is what makes pipelined/out-of-order completion work)
+///       16     4  payload byte length
+///       20     -  payload
+inline constexpr std::size_t kHeaderSize = 20;
+
+/// Hard payload ceiling.  A frame announcing more than this is rejected
+/// before any allocation — the stream is treated as garbage.
+inline constexpr std::size_t kMaxPayloadBytes = 16u << 20;  // 16 MiB
+
+enum class FrameKind : std::uint8_t {
+  Request = 1,
+  Response = 2,
+};
+
+struct FrameHeader {
+  FrameKind kind = FrameKind::Request;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_size = 0;
+};
+
+/// Outcome of scanning a stream buffer for one complete frame.
+struct FrameScan {
+  enum class State {
+    NeedMore,  ///< prefix is consistent but incomplete — read more bytes
+    Ready,     ///< one complete frame of frame_size bytes is available
+    Bad,       ///< stream is not a valid frame; see error
+  };
+  State state = State::NeedMore;
+  FrameHeader header;          ///< valid when Ready
+  std::size_t frame_size = 0;  ///< header + payload bytes, valid when Ready
+  WireError error;             ///< valid when Bad
+};
+
+/// Scan the first bytes of @p data for one frame.  Never reads past
+/// @p size, never allocates; a malformed header (bad magic / version /
+/// kind / oversized payload) is Bad, an incomplete one NeedMore.
+FrameScan scan_frame(const std::uint8_t* data, std::size_t size);
+
+/// A decoded request frame.  `deadline_ms` is the client's remaining
+/// deadline budget in milliseconds at send time (deadlines are relative
+/// on the wire — absolute steady_clock points do not cross machines);
+/// 0 means no deadline.
+struct RequestFrame {
+  std::uint64_t request_id = 0;
+  std::uint32_t deadline_ms = 0;
+  service::Request request;
+};
+
+/// A decoded response frame.  `response.latency` is the server-observed
+/// submit-to-completion time; `cache_hit` is the server cache verdict.
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  service::QueryResponse response;
+};
+
+/// Decode outcome: either a value or a typed error, never both.
+template <typename T>
+struct DecodeResult {
+  std::optional<T> value;
+  WireError error;
+
+  bool ok() const { return value.has_value(); }
+};
+
+/// Encode one complete request frame (header + payload).
+std::vector<std::uint8_t> encode_request_frame(std::uint64_t request_id,
+                                               const service::Request& request,
+                                               std::uint32_t deadline_ms = 0);
+
+/// Encode one complete response frame (header + payload).  Covers every
+/// Status (error responses travel exactly like results) and every
+/// ResponsePayload alternative.
+std::vector<std::uint8_t> encode_response_frame(
+    std::uint64_t request_id, const service::QueryResponse& response);
+
+/// Decode a complete frame previously delimited by scan_frame().
+/// @p size must be the exact frame size; trailing bytes are an error.
+DecodeResult<RequestFrame> decode_request_frame(const std::uint8_t* data,
+                                                std::size_t size);
+DecodeResult<ResponseFrame> decode_response_frame(const std::uint8_t* data,
+                                                  std::size_t size);
+
+}  // namespace mpct::wire

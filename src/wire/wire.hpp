@@ -1,0 +1,7 @@
+#pragma once
+
+/// Umbrella header for the wire subsystem: the deterministic, versioned
+/// binary serialization of the taxonomy service protocol (docs/NET.md).
+
+#include "wire/codec.hpp"
+#include "wire/protocol.hpp"

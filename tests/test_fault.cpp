@@ -17,6 +17,7 @@
 #include "interconnect/benes.hpp"
 #include "interconnect/bus.hpp"
 #include "interconnect/crossbar.hpp"
+#include "interconnect/hierarchical.hpp"
 #include "interconnect/mesh_noc.hpp"
 #include "interconnect/omega.hpp"
 #include "interconnect/traffic.hpp"
@@ -480,6 +481,33 @@ TEST(OmegaFaults, MaskMatchesDegradeCensusFraction) {
 
   interconnect::OmegaNetwork net(8);
   ASSERT_TRUE(net.fail_switch(net.stage_count() - 1, 0));
+  const double census_fraction =
+      static_cast<double>(r.surviving_ports[role]) /
+      static_cast<double>(shape.switch_ports[role]);
+  EXPECT_DOUBLE_EQ(net.output_reachability(), census_fraction);
+}
+
+TEST(HierarchicalFaults, MaskMatchesDegradeCensusFraction) {
+  // The same 8-port DP-DP column, modelled both ways: the structural
+  // census (SwitchPortDead faults into degrade()) and the executable
+  // two-level hierarchy with one cluster's local crossbar dead — which
+  // unreaches exactly that cluster's outputs {0, 1}, the same 2-of-8
+  // loss the census records.
+  const MachineClass mc = imp_machine();
+  FabricShape shape = FabricShape::of(mc, small_bindings());
+  const auto role = static_cast<std::size_t>(ConnectivityRole::IpDp);
+  shape.switch_ports[role] = 8;
+  FaultSet faults;
+  faults.add_switch_port(ConnectivityRole::IpDp, 0);
+  faults.add_switch_port(ConnectivityRole::IpDp, 1);
+  const DegradeResult r = fault::degrade(mc, shape, faults);
+  EXPECT_EQ(r.surviving_ports[role], 6);
+  // Partially-dead column keeps its switch kind.
+  EXPECT_EQ(r.degraded.switch_at(ConnectivityRole::IpDp),
+            SwitchKind::Crossbar);
+
+  interconnect::HierarchicalNetwork net(8, 2, 1);
+  ASSERT_TRUE(net.fail_switch(0));
   const double census_fraction =
       static_cast<double>(r.surviving_ports[role]) /
       static_cast<double>(shape.switch_ports[role]);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "core/classifier.hpp"
 #include "core/comparison.hpp"
@@ -13,6 +15,8 @@
 #include "cost/config_bits.hpp"
 #include "fault/fault.hpp"
 #include "interconnect/traffic.hpp"
+#include "service/service.hpp"
+#include "wire/wire.hpp"
 
 namespace mpct {
 namespace {
@@ -224,6 +228,119 @@ TEST(Fuzz, SkillicornProjectionIsIdempotent) {
         project_to_skillicorn(once.projected);
     EXPECT_EQ(twice.projected, once.projected);
     EXPECT_FALSE(twice.required_extension);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire decoder (src/wire): untrusted bytes must always produce a typed
+// verdict — NeedMore / Bad / a decoded frame / a WireError — and never
+// crash, hang, or read out of bounds.  CI runs this under ASan/UBSan,
+// which is what turns "never overreads" from a comment into a check.
+
+/// Feed one buffer through the full decode path the server uses.
+void decode_untrusted(const std::uint8_t* data, std::size_t size) {
+  const wire::FrameScan scan = wire::scan_frame(data, size);
+  switch (scan.state) {
+    case wire::FrameScan::State::NeedMore:
+      return;
+    case wire::FrameScan::State::Bad:
+      EXPECT_NE(scan.error.code, wire::WireErrorCode{});
+      return;
+    case wire::FrameScan::State::Ready: {
+      ASSERT_LE(scan.frame_size, size);
+      // Both decoders must reach a verdict on any well-framed bytes.
+      const auto request =
+          wire::decode_request_frame(data, scan.frame_size);
+      if (!request.ok()) {
+        EXPECT_FALSE(wire::to_string(request.error.code).empty());
+      }
+      const auto response =
+          wire::decode_response_frame(data, scan.frame_size);
+      if (!response.ok()) {
+        EXPECT_FALSE(wire::to_string(response.error.code).empty());
+      }
+      return;
+    }
+  }
+}
+
+TEST(Fuzz, WireDecoderSurvivesRandomByteStrings) {
+  Rng rng(2012);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t size = rng.next_below(256);
+    std::vector<std::uint8_t> bytes(size);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+    decode_untrusted(bytes.data(), bytes.size());
+  }
+}
+
+TEST(Fuzz, WireDecoderSurvivesRandomBytesBehindAValidHeader) {
+  // Random payloads that pass frame scanning exercise the payload
+  // codecs (enum ranges, length plausibility, string bounds) instead of
+  // dying at the magic check.
+  Rng rng(777);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t payload_size = rng.next_below(96);
+    std::vector<std::uint8_t> frame(wire::kHeaderSize + payload_size);
+    frame[0] = 'M';
+    frame[1] = 'P';
+    frame[2] = 'C';
+    frame[3] = 'T';
+    frame[4] = 1;  // version (LE)
+    frame[5] = 0;
+    frame[6] = static_cast<std::uint8_t>(1 + rng.next_below(2));  // kind
+    frame[7] = 0;  // reserved
+    for (std::size_t b = 8; b < 16; ++b) {
+      frame[b] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    std::memcpy(frame.data() + 16, &payload_size, sizeof(payload_size));
+    for (std::size_t b = wire::kHeaderSize; b < frame.size(); ++b) {
+      frame[b] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    decode_untrusted(frame.data(), frame.size());
+  }
+}
+
+TEST(Fuzz, WireDecoderSurvivesBitFlippedValidFrames) {
+  // Start from genuine frames (one request, one response) and flip one
+  // bit at a time: every corruption must land on a typed verdict.
+  service::EngineOptions options;
+  options.worker_threads = 0;
+  service::QueryEngine engine(options);
+  service::RecommendRequest recommend;
+  recommend.requirements.min_flexibility = 2;
+  recommend.top_k = 3;
+  const service::Request request{std::move(recommend)};
+  const std::vector<std::vector<std::uint8_t>> seeds = {
+      wire::encode_request_frame(11, request, 250),
+      wire::encode_response_frame(11, engine.execute(request)),
+  };
+  Rng rng(31337);
+  for (const auto& seed : seeds) {
+    for (int i = 0; i < 2000; ++i) {
+      std::vector<std::uint8_t> frame = seed;
+      const std::size_t bit = rng.next_below(
+          static_cast<std::uint32_t>(frame.size() * 8));
+      frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      decode_untrusted(frame.data(), frame.size());
+    }
+  }
+}
+
+TEST(Fuzz, WireDecoderSurvivesEveryTruncationPrefix) {
+  service::CostRequest cost;
+  cost.target = MachineClass{};
+  cost.n_sweep = {2, 4, 8};
+  const auto frame =
+      wire::encode_request_frame(3, service::Request{std::move(cost)}, 0);
+  for (std::size_t len = 0; len <= frame.size(); ++len) {
+    decode_untrusted(frame.data(), len);
+    // decode_* must also reject a frame cut mid-payload (the server
+    // never calls it that way, but the decoder must not rely on that).
+    if (len > 0) {
+      const auto decoded = wire::decode_request_frame(frame.data(), len);
+      EXPECT_EQ(decoded.ok(), len == frame.size());
+    }
   }
 }
 

@@ -109,5 +109,83 @@ TEST(Hierarchical, ZeroGlobalLinksIsolatesClusters) {
   EXPECT_FALSE(net.connect(12, 0));
 }
 
+TEST(HierarchicalFaults, FailSwitchUnreachesTheWholeCluster) {
+  HierarchicalNetwork net(16, 4, 1);
+  ASSERT_TRUE(net.connect(0, 1));    // local inside cluster 0
+  ASSERT_TRUE(net.connect(2, 15));   // cluster 0 -> cluster 3
+  ASSERT_TRUE(net.connect(8, 9));    // untouched: local in cluster 2
+
+  ASSERT_TRUE(net.fail_switch(0));
+  EXPECT_FALSE(net.switch_alive(0));
+  EXPECT_EQ(net.dead_switch_count(), 1);
+  // Routes touching cluster 0 are gone; the cluster-2 route survives.
+  EXPECT_FALSE(net.source_of(1).has_value());
+  EXPECT_FALSE(net.source_of(15).has_value());
+  EXPECT_EQ(net.source_of(9), 8);
+  // Nothing routes into, out of, or within the dead cluster.
+  EXPECT_FALSE(net.reachable(0, 1));
+  EXPECT_FALSE(net.reachable(0, 8));
+  EXPECT_FALSE(net.reachable(8, 0));
+  EXPECT_FALSE(net.connect(1, 2));
+  EXPECT_FALSE(net.connect(8, 0));
+  // Other clusters still interconnect.
+  EXPECT_TRUE(net.reachable(8, 12));
+  // A dead local crossbar strands the cluster's global ports too.
+  EXPECT_EQ(net.live_global_links(0), 0);
+  // Config state is still physically present (Eq. 2 keeps pricing it).
+  EXPECT_EQ(net.config_bits(), HierarchicalNetwork(16, 4, 1).config_bits());
+}
+
+TEST(HierarchicalFaults, FailLinkShrinksTheGlobalBudget) {
+  HierarchicalNetwork net(16, 4, 2);
+  ASSERT_TRUE(net.connect(0, 15));  // global via cluster 0
+  ASSERT_TRUE(net.connect(1, 14));  // second global out of cluster 0
+  ASSERT_EQ(net.global_links_in_use(0), 2);
+
+  ASSERT_TRUE(net.fail_link(0, 0));
+  EXPECT_FALSE(net.link_alive(0, 0));
+  EXPECT_TRUE(net.link_alive(0, 1));
+  EXPECT_EQ(net.dead_link_count(), 1);
+  EXPECT_EQ(net.live_global_links(0), 1);
+  // Deterministic eviction: the highest-numbered output with a global
+  // route through cluster 0 was torn down; the other survives.
+  EXPECT_FALSE(net.source_of(15).has_value());
+  EXPECT_EQ(net.source_of(14), 1);
+  EXPECT_EQ(net.global_links_in_use(0), 1);
+  // The shrunken budget refuses a second concurrent global route but
+  // local traffic is unaffected...
+  EXPECT_FALSE(net.connect(2, 12));
+  EXPECT_TRUE(net.connect(2, 3));
+  // ...and inter-cluster reachability survives while one link lives.
+  EXPECT_TRUE(net.reachable(0, 15));
+
+  ASSERT_TRUE(net.fail_link(0, 1));
+  EXPECT_EQ(net.live_global_links(0), 0);
+  EXPECT_FALSE(net.source_of(14).has_value());
+  EXPECT_FALSE(net.reachable(0, 15));  // cluster 0 is now isolated
+  EXPECT_TRUE(net.reachable(0, 3));    // but locally intact
+}
+
+TEST(HierarchicalFaults, MaskValidationAndReachabilityCensus) {
+  HierarchicalNetwork net(12, 4, 1);
+  EXPECT_FALSE(net.fail_switch(-1));
+  EXPECT_FALSE(net.fail_switch(3));
+  EXPECT_FALSE(net.fail_link(0, 1));  // only link 0 exists
+  EXPECT_FALSE(net.fail_link(5, 0));
+  EXPECT_DOUBLE_EQ(net.output_reachability(), 1.0);
+
+  ASSERT_TRUE(net.fail_switch(1));
+  const auto reach = net.reachable_outputs();
+  for (int out = 0; out < 12; ++out) {
+    EXPECT_EQ(reach[static_cast<std::size_t>(out)],
+              net.cluster_of(out) != 1);
+  }
+  // 4 of 12 outputs died with their cluster.
+  EXPECT_DOUBLE_EQ(net.output_reachability(), 8.0 / 12.0);
+  // Global link faults never unreach outputs (local routes remain).
+  ASSERT_TRUE(net.fail_link(0, 0));
+  EXPECT_DOUBLE_EQ(net.output_reachability(), 8.0 / 12.0);
+}
+
 }  // namespace
 }  // namespace mpct::interconnect

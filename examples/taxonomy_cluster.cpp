@@ -1,0 +1,141 @@
+/// taxonomy_cluster — a whole fleet in one process.
+///
+/// Boots N backend taxonomy servers, puts a cluster::CombiningProxy in
+/// front of them, and drives a seeded mixed workload (classifies, a
+/// parallel-scattered design sweep, a fault sweep) through the proxy
+/// with plain net::Clients — the proxy speaks the same wire protocol as
+/// a single server, so clients need no fleet awareness.  Halfway
+/// through, one backend is killed to show health-driven failover: every
+/// request still answers, the dead endpoint goes Down, traffic
+/// redistributes over the ring.
+///
+///   usage: taxonomy_cluster [backends=3] [requests=64]
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/registry.hpp"
+#include "cluster/cluster.hpp"
+#include "net/net.hpp"
+#include "service/service.hpp"
+
+using namespace mpct;
+
+namespace {
+
+service::Request random_request(std::mt19937_64& rng) {
+  const auto& survey = arch::surveyed_architectures();
+  switch (rng() % 4) {
+    case 0:
+    case 1:  // classifies dominate, like a real mix
+      return service::ClassifyRequest::of(survey[rng() % survey.size()]);
+    case 2: {
+      service::SweepRequest sweep;
+      sweep.grid.base.min_flexibility = 1 + static_cast<int>(rng() % 3);
+      sweep.grid.n_values = {4, 16};
+      sweep.grid.lut_budgets = {256, 1024};
+      return sweep;
+    }
+    default: {
+      service::FaultSweepRequest fault;
+      MachineClass machine;
+      machine.granularity = Granularity::IpDp;
+      machine.ips = Multiplicity::Many;
+      machine.dps = Multiplicity::Many;
+      machine.set_switch(ConnectivityRole::IpDp, SwitchKind::Crossbar);
+      machine.set_switch(ConnectivityRole::DpDm, SwitchKind::Crossbar);
+      fault.spec.machine = machine;
+      fault.spec.bindings.n = 4;
+      fault.spec.fault_rates = {0.0, 0.05, 0.1};
+      fault.spec.trials_per_rate = 4;
+      fault.spec.seed = 7 + rng() % 3;
+      return fault;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t backends =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 3;
+  const std::size_t requests =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 64;
+  if (backends == 0 || requests == 0) {
+    std::cerr << "usage: taxonomy_cluster [backends=3] [requests=64]\n";
+    return 2;
+  }
+
+  // --- fleet: N single-process backend servers ------------------------
+  std::vector<std::unique_ptr<service::QueryEngine>> engines;
+  std::vector<std::unique_ptr<net::Server>> servers;
+  std::vector<cluster::Endpoint> endpoints;
+  for (std::size_t i = 0; i < backends; ++i) {
+    service::EngineOptions engine_options;
+    engine_options.worker_threads = 2;
+    engines.push_back(std::make_unique<service::QueryEngine>(engine_options));
+    servers.push_back(std::make_unique<net::Server>(*engines.back()));
+    if (!servers.back()->start()) {
+      std::cerr << "backend " << i << ": " << servers.back()->error() << "\n";
+      return 1;
+    }
+    endpoints.push_back({"127.0.0.1", servers.back()->port()});
+    std::cout << "backend " << i << " listening on " << endpoints.back().to_string()
+              << "\n";
+  }
+
+  // --- combining proxy in front --------------------------------------
+  cluster::ProxyOptions proxy_options;
+  proxy_options.cluster.endpoints = endpoints;
+  proxy_options.cluster.pinger.interval = std::chrono::milliseconds(100);
+  cluster::CombiningProxy proxy(proxy_options);
+  if (!proxy.start()) {
+    std::cerr << "proxy: " << proxy.error() << "\n";
+    return 1;
+  }
+  std::cout << "proxy listening on 127.0.0.1:" << proxy.port() << "\n\n";
+
+  // --- seeded load through the proxy; kill a backend halfway ----------
+  std::mt19937_64 rng(2026);
+  net::ClientOptions client_options;
+  client_options.port = proxy.port();
+  net::Client client(client_options);
+
+  std::size_t ok = 0, cached = 0, failed = 0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    if (backends > 1 && i == requests / 2) {
+      std::cout << "-- killing backend " << backends - 1 << " mid-run --\n";
+      servers[backends - 1]->stop();
+    }
+    const service::QueryResponse response = client.call(random_request(rng));
+    if (response.ok()) {
+      ++ok;
+      if (response.cache_hit) ++cached;
+    } else {
+      ++failed;
+      std::cout << "request " << i << " failed: " << response.status.to_string()
+                << "\n";
+    }
+  }
+
+  std::cout << "\n" << ok << "/" << requests << " answered (" << cached
+            << " cache hits at the backends' LRU via hash affinity), "
+            << failed << " failed\n\nfleet health:\n";
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    std::cout << "  " << endpoints[i].to_string() << "  "
+              << to_string(proxy.health().state(i)) << "\n";
+  }
+  // The proxy has no result cache of its own — caching happens at the
+  // backends — so its table reports empty CacheStats.
+  std::cout << "\nproxy metrics:\n"
+            << proxy.metrics().to_table(service::CacheStats{}) << "\n";
+
+  proxy.stop();
+  for (auto& server : servers) server->stop();
+  return failed == 0 ? 0 : 1;
+}

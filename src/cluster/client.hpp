@@ -1,0 +1,138 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/health.hpp"
+#include "cluster/ring.hpp"
+#include "net/client.hpp"
+#include "service/fingerprint.hpp"
+#include "service/metrics.hpp"
+#include "service/request.hpp"
+
+namespace mpct::cluster {
+
+/// Tuning knobs of a ClusterClient.
+struct ClusterOptions {
+  std::vector<Endpoint> endpoints;
+  /// Ring positions per endpoint; more vnodes = more even key-space
+  /// shares at the cost of a bigger (still tiny) sorted array.
+  std::size_t virtual_nodes = 64;
+
+  // --- Health -------------------------------------------------------
+  HealthOptions health;
+  /// Share another component's tracker (the proxy gives every worker's
+  /// ClusterClient the same one, fed by a single HealthPinger).  Null =
+  /// this client owns a private tracker.
+  HealthTracker* shared_health = nullptr;
+  /// Run a background HealthPinger of our own.  Leave off when a shared
+  /// tracker is already being fed by someone else's pinger.
+  bool enable_pinger = false;
+  PingerOptions pinger;
+
+  // --- Hedging ------------------------------------------------------
+  /// After this latency quantile of the request type's *client-observed*
+  /// history, re-issue the request to the next ring replica and take
+  /// whichever answers first.
+  bool enable_hedging = true;
+  double hedge_quantile = 0.99;
+  /// Until the histogram holds this many samples the hedge delay falls
+  /// back to hedge_max_delay (a cold p99 estimate is noise).
+  std::uint64_t hedge_min_samples = 32;
+  std::chrono::milliseconds hedge_min_delay{1};
+  std::chrono::milliseconds hedge_max_delay{100};
+
+  // --- Per-connection knobs (forwarded to each net::Client) ---------
+  std::chrono::milliseconds connect_timeout{2000};
+  std::chrono::milliseconds io_timeout{10000};
+  std::uint16_t protocol_version = wire::kProtocolVersion;
+
+  /// Client-side registry: request latencies recorded here feed the
+  /// hedge delay, and net_requests_sent / net_hedges_* / net_failovers
+  /// land here.  May be null (hedging then always waits hedge_max_delay).
+  service::MetricsRegistry* metrics = nullptr;
+};
+
+/// Fleet-aware request router: consistent-hash placement, health-driven
+/// failover, and p99-delayed hedged retries over a set of net::Servers.
+///
+/// Routing — call() keys the ring with the request's canonical
+/// fingerprint (service::fingerprint), so identical requests from any
+/// client reach the same server and hit its result cache.  Replicas for
+/// failover/hedging are the ring successors, Down endpoints sorted last.
+///
+/// Failover — a transport error (connect refused, reset, broken stream)
+/// records a failure against the endpoint and transparently re-sends to
+/// the next replica; so do ShuttingDown/Unavailable answers, which mean
+/// "this server is going away", not "this request is bad".  A request
+/// only fails once every replica has been tried.
+///
+/// Hedging — when the primary has not answered after the live p99 of
+/// its request type (from metrics->latency(), clamped to
+/// [hedge_min_delay, hedge_max_delay]), the same request is re-issued
+/// to the next replica; the first response wins and the loser is
+/// cancelled client-side (requests are idempotent — the loser merely
+/// warms the other server's cache).
+///
+/// Not thread-safe: one ClusterClient per thread, like net::Client.
+/// Concurrent ClusterClients may share a HealthTracker.
+class ClusterClient {
+ public:
+  explicit ClusterClient(ClusterOptions options);
+  ~ClusterClient();
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  /// Route one request (hash placement + failover + hedging).
+  /// @p trace_id stamps every frame sent for this request (hedges
+  /// included); 0 derives one from the request fingerprint.
+  service::QueryResponse call(
+      const service::Request& request,
+      service::Deadline deadline = service::Deadline::never(),
+      std::uint64_t trace_id = 0);
+
+  /// Scatter a batch concurrently: element i answers request i.  Each
+  /// request routes independently by its own fingerprint with full
+  /// failover, but no hedging — this is the proxy's chunk fan-out,
+  /// where duplicated work would cost more than a tail stall.
+  std::vector<service::QueryResponse> call_many(
+      const std::vector<service::Request>& requests,
+      service::Deadline deadline = service::Deadline::never(),
+      std::uint64_t trace_id = 0);
+
+  const HashRing& ring() const { return ring_; }
+  HealthTracker& health() { return *tracker_; }
+  const HealthTracker& health() const { return *tracker_; }
+  /// Null unless options().enable_pinger.
+  HealthPinger* pinger() { return pinger_.get(); }
+  const ClusterOptions& options() const { return options_; }
+
+  /// Ring owner of @p request (test/diagnostic aid).
+  std::size_t owner_of(const service::Request& request) const;
+
+  /// Hedge delay call() would use right now for @p type (test aid).
+  std::chrono::milliseconds hedge_delay(service::RequestType type) const;
+
+ private:
+  /// Connected-and-negotiated client for endpoint @p index, or null
+  /// (with @p error set) when it cannot be reached.
+  net::Client* endpoint_client(std::size_t index, std::string& error);
+  /// Ring preference order for @p key with Down endpoints moved to the
+  /// back (last resort, in case the whole fleet looks down).
+  void candidates_for(service::Fingerprint key,
+                      std::vector<std::size_t>& out) const;
+
+  ClusterOptions options_;
+  HashRing ring_;
+  std::unique_ptr<HealthTracker> own_tracker_;
+  HealthTracker* tracker_ = nullptr;
+  std::unique_ptr<HealthPinger> pinger_;
+  /// Lazily connected, index-aligned with options_.endpoints.
+  std::vector<std::unique_ptr<net::Client>> clients_;
+};
+
+}  // namespace mpct::cluster

@@ -1,0 +1,10 @@
+#pragma once
+
+/// Umbrella header for the fleet tier: the consistent-hash ring,
+/// endpoint health tracking/probing, the routing-failover-hedging
+/// ClusterClient, and the scatter/gather CombiningProxy.
+
+#include "cluster/client.hpp"  // IWYU pragma: export
+#include "cluster/health.hpp"  // IWYU pragma: export
+#include "cluster/proxy.hpp"   // IWYU pragma: export
+#include "cluster/ring.hpp"    // IWYU pragma: export

@@ -1,0 +1,117 @@
+#include "cluster/health.hpp"
+
+#include <string>
+#include <utility>
+
+namespace mpct::cluster {
+
+std::string_view to_string(HealthState state) {
+  switch (state) {
+    case HealthState::Up:
+      return "up";
+    case HealthState::Suspect:
+      return "suspect";
+    case HealthState::Down:
+      return "down";
+  }
+  return "unknown";
+}
+
+HealthTracker::HealthTracker(std::size_t endpoints, HealthOptions options)
+    : slots_(std::make_unique<Slot[]>(endpoints)),
+      count_(endpoints),
+      options_(options) {
+  if (options_.suspect_after < 1) options_.suspect_after = 1;
+  if (options_.down_after < options_.suspect_after) {
+    options_.down_after = options_.suspect_after;
+  }
+}
+
+void HealthTracker::record_success(std::size_t endpoint) {
+  if (endpoint >= count_) return;
+  Slot& slot = slots_[endpoint];
+  slot.failures.store(0, std::memory_order_relaxed);
+  slot.state.store(static_cast<std::uint8_t>(HealthState::Up),
+                   std::memory_order_release);
+}
+
+void HealthTracker::record_failure(std::size_t endpoint) {
+  if (endpoint >= count_) return;
+  Slot& slot = slots_[endpoint];
+  const int failures = slot.failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  const HealthState next = failures >= options_.down_after
+                               ? HealthState::Down
+                               : failures >= options_.suspect_after
+                                     ? HealthState::Suspect
+                                     : HealthState::Up;
+  slot.state.store(static_cast<std::uint8_t>(next), std::memory_order_release);
+}
+
+HealthState HealthTracker::state(std::size_t endpoint) const {
+  if (endpoint >= count_) return HealthState::Down;
+  return static_cast<HealthState>(
+      slots_[endpoint].state.load(std::memory_order_acquire));
+}
+
+HealthPinger::HealthPinger(std::vector<Endpoint> endpoints,
+                           HealthTracker& tracker, PingerOptions options)
+    : endpoints_(std::move(endpoints)),
+      tracker_(tracker),
+      options_(options),
+      clients_(endpoints_.size()) {}
+
+HealthPinger::~HealthPinger() { stop(); }
+
+void HealthPinger::start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+void HealthPinger::stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HealthPinger::check_now() {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (!clients_[i]) {
+      net::ClientOptions copts;
+      copts.host = endpoints_[i].host;
+      copts.port = endpoints_[i].port;
+      copts.connect_timeout = options_.connect_timeout;
+      copts.io_timeout = options_.timeout;
+      copts.max_retries = 0;
+      clients_[i] = std::make_unique<net::Client>(copts);
+    }
+    std::string error;
+    if (clients_[i]->ping(options_.timeout, error)) {
+      tracker_.record_success(i);
+    } else {
+      // Drop the connection so the next pass reconnects from scratch
+      // instead of reading a half-dead stream.
+      clients_[i]->disconnect();
+      tracker_.record_failure(i);
+    }
+  }
+}
+
+void HealthPinger::loop() {
+  for (;;) {
+    check_now();
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait_for(lock, options_.interval,
+                      [this] { return stop_requested_; });
+    if (stop_requested_) return;
+  }
+}
+
+}  // namespace mpct::cluster

@@ -1,0 +1,253 @@
+#include "cluster/proxy.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <variant>
+
+#include "explore/sweep.hpp"
+#include "fault/degradation_curve.hpp"
+#include "trace/trace.hpp"
+
+namespace mpct::cluster {
+
+CombiningProxy::CombiningProxy(ProxyOptions options)
+    : options_(std::move(options)),
+      tracker_(options_.cluster.endpoints.size(), options_.cluster.health),
+      queue_(options_.queue_capacity) {
+  if (options_.worker_threads == 0) options_.worker_threads = 1;
+}
+
+CombiningProxy::~CombiningProxy() { stop(); }
+
+bool CombiningProxy::start() {
+  if (started_) return running();
+  started_ = true;
+
+  server_ = std::make_unique<net::Server>(
+      [this](service::Request request, service::Deadline deadline,
+             std::uint64_t trace_id,
+             service::QueryEngine::ResponseCallback callback) {
+        ProxyTask task{std::move(request), deadline, trace_id,
+                       std::move(callback)};
+        if (!queue_.try_push(task)) {
+          // try_push leaves the task untouched on failure, so the
+          // callback is still ours to answer with.
+          service::QueryResponse response;
+          response.status = queue_.closed() ? service::Status::shutting_down()
+                                            : service::Status::queue_full();
+          task.callback(std::move(response));
+        }
+      },
+      metrics_, options_.server);
+  if (!server_->start()) {
+    error_ = server_->error();
+    server_.reset();
+    return false;
+  }
+
+  if (options_.enable_pinger) {
+    pinger_ = std::make_unique<HealthPinger>(options_.cluster.endpoints,
+                                             tracker_, options_.cluster.pinger);
+    pinger_->start();
+  }
+
+  workers_.reserve(options_.worker_threads);
+  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  running_.store(true, std::memory_order_release);
+  return true;
+}
+
+void CombiningProxy::stop() {
+  running_.store(false, std::memory_order_release);
+  if (pinger_) pinger_->stop();
+  // Order matters: close the queue and drain the workers *before*
+  // stopping the server — handler-mode Server requires every accepted
+  // request's callback to have fired before it goes away.  Requests
+  // arriving in between get an inline ShuttingDown from the handler.
+  queue_.close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (server_) server_->stop();
+}
+
+void CombiningProxy::worker_loop() {
+  ClusterOptions copts = options_.cluster;
+  copts.shared_health = &tracker_;
+  copts.enable_pinger = false;  // one proxy, one pinger
+  if (copts.metrics == nullptr) copts.metrics = &metrics_;
+  ClusterClient cluster(copts);
+
+  ProxyTask task;
+  while (queue_.pop(task)) {
+    service::QueryResponse response;
+    if (task.deadline.expired()) {
+      response.status = service::Status::deadline_exceeded();
+    } else {
+      response = handle(cluster, task.request, task.deadline, task.trace_id);
+    }
+    task.callback(std::move(response));
+    task = ProxyTask{};  // drop the callback before blocking in pop()
+  }
+}
+
+service::QueryResponse CombiningProxy::handle(ClusterClient& cluster,
+                                              const service::Request& request,
+                                              service::Deadline deadline,
+                                              std::uint64_t trace_id) {
+  switch (service::request_type(request)) {
+    case service::RequestType::Sweep:
+      return scatter_sweep(cluster, std::get<service::SweepRequest>(request),
+                           deadline, trace_id);
+    case service::RequestType::FaultSweep:
+      return scatter_fault(cluster,
+                           std::get<service::FaultSweepRequest>(request),
+                           deadline, trace_id);
+    default:
+      // Point queries pass through: hash-routed, health-checked, hedged.
+      return cluster.call(request, deadline, trace_id);
+  }
+}
+
+namespace {
+
+/// Split [0, cells) into @p chunks near-equal disjoint ranges.
+template <typename MakeRequest>
+std::vector<service::Request> make_chunks(std::uint64_t cells,
+                                          std::uint64_t chunks,
+                                          MakeRequest make_request) {
+  std::vector<service::Request> requests;
+  requests.reserve(static_cast<std::size_t>(chunks));
+  for (std::uint64_t k = 0; k < chunks; ++k) {
+    const std::uint64_t begin = cells * k / chunks;
+    const std::uint64_t end = cells * (k + 1) / chunks;
+    if (begin == end) continue;
+    requests.push_back(make_request(begin, end));
+  }
+  return requests;
+}
+
+}  // namespace
+
+service::QueryResponse CombiningProxy::scatter_sweep(
+    ClusterClient& cluster, const service::SweepRequest& request,
+    service::Deadline deadline, std::uint64_t trace_id) {
+  trace::ScopedSpan span("proxy.scatter_sweep", trace::Category::Cluster);
+  const std::uint64_t cells = request.grid.cell_count();
+  if (cells == 0) {
+    // An empty grid has nothing to scatter; one backend answers
+    // canonically (empty points, the filter's candidate count).
+    return cluster.call(service::Request(request), deadline, trace_id);
+  }
+  const std::uint64_t want = std::max<std::uint64_t>(
+      1, options_.cluster.endpoints.size() * options_.chunks_per_endpoint);
+  const std::uint64_t chunks = std::min(want, cells);
+  span.annotate("chunks", static_cast<std::int64_t>(chunks));
+
+  // Chunks carry the *original* grid: backends normalize it identically,
+  // and identical outer sweeps then fingerprint to identical chunks —
+  // deterministic placement and cache affinity on repeats.
+  const auto parts = cluster.call_many(
+      make_chunks(cells, chunks,
+                  [&](std::uint64_t begin, std::uint64_t end) {
+                    return service::Request(
+                        service::SweepChunkRequest{request.grid, begin, end});
+                  }),
+      deadline, trace_id);
+
+  service::QueryResponse response;
+  std::size_t total_points = 0;
+  for (const auto& part : parts) {
+    if (!part.ok()) {
+      response.status = part.status;
+      return response;
+    }
+    const service::SweepChunkResponse* chunk = part.sweep_chunk();
+    if (chunk == nullptr) {
+      response.status = service::Status::internal_error(
+          "backend answered a sweep chunk with the wrong payload type");
+      return response;
+    }
+    total_points += chunk->points.size();
+  }
+
+  // Mirror engine.cpp complete_sweep(): concatenate in index order and
+  // recompute the Pareto front over the full point set.
+  service::SweepResponse payload;
+  payload.result.points.reserve(total_points);
+  for (const auto& part : parts) {
+    const auto& points = part.sweep_chunk()->points;
+    payload.result.points.insert(payload.result.points.end(), points.begin(),
+                                 points.end());
+  }
+  payload.result.pareto_front = explore::pareto_front(payload.result.points);
+  payload.result.candidate_classes = static_cast<std::size_t>(
+      parts.front().sweep_chunk()->candidate_classes);
+  response.status = service::Status::okay();
+  response.payload = std::make_shared<const service::ResponsePayload>(
+      std::move(payload));
+  return response;
+}
+
+service::QueryResponse CombiningProxy::scatter_fault(
+    ClusterClient& cluster, const service::FaultSweepRequest& request,
+    service::Deadline deadline, std::uint64_t trace_id) {
+  trace::ScopedSpan span("proxy.scatter_fault", trace::Category::Cluster);
+  const std::uint64_t cells = request.spec.cell_count();
+  if (cells == 0) {
+    return cluster.call(service::Request(request), deadline, trace_id);
+  }
+  const std::uint64_t want = std::max<std::uint64_t>(
+      1, options_.cluster.endpoints.size() * options_.chunks_per_endpoint);
+  const std::uint64_t chunks = std::min(want, cells);
+  span.annotate("chunks", static_cast<std::int64_t>(chunks));
+
+  const auto parts = cluster.call_many(
+      make_chunks(cells, chunks,
+                  [&](std::uint64_t begin, std::uint64_t end) {
+                    return service::Request(
+                        service::FaultChunkRequest{request.spec, begin, end});
+                  }),
+      deadline, trace_id);
+
+  service::QueryResponse response;
+  std::size_t total_outcomes = 0;
+  for (const auto& part : parts) {
+    if (!part.ok()) {
+      response.status = part.status;
+      return response;
+    }
+    const service::FaultChunkResponse* chunk = part.fault_chunk();
+    if (chunk == nullptr) {
+      response.status = service::Status::internal_error(
+          "backend answered a fault chunk with the wrong payload type");
+      return response;
+    }
+    total_outcomes += chunk->outcomes.size();
+  }
+
+  // Mirror engine.cpp complete_curve(): outcomes concatenate in flat
+  // cell order, then one finalize() reduces them per rate.  finalize is
+  // a pure aggregation of the outcomes, so the proxy-side evaluator
+  // (default component library) matches any backend's.
+  std::vector<fault::TrialOutcome> outcomes;
+  outcomes.reserve(total_outcomes);
+  for (const auto& part : parts) {
+    const auto& chunk_outcomes = part.fault_chunk()->outcomes;
+    outcomes.insert(outcomes.end(), chunk_outcomes.begin(),
+                    chunk_outcomes.end());
+  }
+  const fault::CurveEvaluator evaluator(request.spec);
+  service::FaultSweepResponse payload;
+  payload.result.spec = evaluator.spec();
+  payload.result.points = evaluator.finalize(outcomes);
+  response.status = service::Status::okay();
+  response.payload = std::make_shared<const service::ResponsePayload>(
+      std::move(payload));
+  return response;
+}
+
+}  // namespace mpct::cluster

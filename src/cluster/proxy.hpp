@@ -1,0 +1,124 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/client.hpp"
+#include "cluster/health.hpp"
+#include "net/server.hpp"
+#include "service/metrics.hpp"
+#include "service/queue.hpp"
+#include "service/request.hpp"
+
+namespace mpct::cluster {
+
+/// Tuning knobs of a CombiningProxy.
+struct ProxyOptions {
+  /// Front door the proxy listens on.
+  net::ServerOptions server;
+  /// Backend fleet.  `cluster.metrics` defaults to the proxy's own
+  /// registry, `cluster.shared_health` is overridden with the proxy's
+  /// tracker (one fleet, one health view).
+  ClusterOptions cluster;
+  /// Worker threads, each owning one ClusterClient.
+  std::size_t worker_threads = 4;
+  std::size_t queue_capacity = 256;
+  /// Sweep scatter factor: a sweep splits into about
+  /// endpoints x this many chunks, so the fleet can balance even when
+  /// backends run at different speeds.
+  std::size_t chunks_per_endpoint = 2;
+  /// Run a background HealthPinger against the fleet.
+  bool enable_pinger = true;
+};
+
+/// Scatter/gather front end for a fleet of taxonomy servers.
+///
+/// Speaks the same wire protocol as net::Server, so any net::Client can
+/// point at the proxy unchanged.  Grid-shaped requests (SweepRequest,
+/// FaultSweepRequest) are split into disjoint flat-index chunk requests
+/// (SweepChunkRequest / FaultChunkRequest, wire v2), scattered across
+/// the fleet via ClusterClient::call_many, and merged with *exactly*
+/// the engine's own completion logic:
+///
+///  * sweep — chunk points concatenate in index order,
+///    pareto_front(points) recomputes the front, candidate_classes
+///    comes from any chunk (each evaluates the same grid filter);
+///  * fault sweep — chunk trial outcomes concatenate in index order and
+///    CurveEvaluator::finalize reduces them (each trial's RNG stream
+///    derives from its flat cell index, so placement cannot change it).
+///
+/// Merged responses are therefore bit-identical to a single server
+/// evaluating the whole request (test-enforced).  Every other request
+/// type passes through ClusterClient::call — consistent-hash routed,
+/// health-checked, hedged.
+///
+/// One caveat: merged fault results assume the backends price against
+/// the default component library (the proxy has no engine of its own).
+/// Point the fleet at one EngineOptions::library and this holds.
+class CombiningProxy {
+ public:
+  explicit CombiningProxy(ProxyOptions options);
+  ~CombiningProxy();
+
+  CombiningProxy(const CombiningProxy&) = delete;
+  CombiningProxy& operator=(const CombiningProxy&) = delete;
+
+  /// Bind the front door, spawn workers (and the pinger).  False +
+  /// error() on failure.  A proxy starts at most once.
+  bool start();
+
+  /// Stop: close the task queue, drain the workers, then shut the
+  /// server down (so every accepted request is answered before its
+  /// connection dies).  Idempotent; called by the destructor.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Actual bound port (after start()).
+  std::uint16_t port() const { return server_ ? server_->port() : 0; }
+  const std::string& error() const { return error_; }
+
+  service::MetricsRegistry& metrics() { return metrics_; }
+  HealthTracker& health() { return tracker_; }
+  /// Null unless options().enable_pinger.
+  HealthPinger* pinger() { return pinger_.get(); }
+  const ProxyOptions& options() const { return options_; }
+
+ private:
+  struct ProxyTask {
+    service::Request request;
+    service::Deadline deadline;
+    std::uint64_t trace_id = 0;
+    service::QueryEngine::ResponseCallback callback;
+  };
+
+  void worker_loop();
+  service::QueryResponse handle(ClusterClient& cluster,
+                                const service::Request& request,
+                                service::Deadline deadline,
+                                std::uint64_t trace_id);
+  service::QueryResponse scatter_sweep(ClusterClient& cluster,
+                                       const service::SweepRequest& request,
+                                       service::Deadline deadline,
+                                       std::uint64_t trace_id);
+  service::QueryResponse scatter_fault(ClusterClient& cluster,
+                                       const service::FaultSweepRequest& request,
+                                       service::Deadline deadline,
+                                       std::uint64_t trace_id);
+
+  ProxyOptions options_;
+  service::MetricsRegistry metrics_;
+  HealthTracker tracker_;
+  std::unique_ptr<HealthPinger> pinger_;
+  service::BoundedQueue<ProxyTask> queue_;
+  std::vector<std::thread> workers_;
+  std::unique_ptr<net::Server> server_;
+  std::string error_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+};
+
+}  // namespace mpct::cluster

@@ -96,3 +96,7 @@
 // Wire protocol + TCP serving (docs/NET.md).
 #include "net/net.hpp"
 #include "wire/wire.hpp"
+
+// Multi-server fleet: consistent-hash routing, health/failover/hedging,
+// combining proxy (docs/CLUSTER.md).
+#include "cluster/cluster.hpp"

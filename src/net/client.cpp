@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <limits>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 
 #include "trace/trace.hpp"
@@ -55,19 +54,38 @@ int poll_timeout_ms(std::chrono::milliseconds io_timeout,
 
 }  // namespace
 
-Client::Client(ClientOptions options) : options_(std::move(options)) {}
+Client::Client(ClientOptions options)
+    : options_(std::move(options)),
+      agreed_version_(options_.protocol_version) {}
+
+void Client::disconnect() {
+  socket_.close();
+  in_.clear();
+  in_offset_ = 0;
+  pending_.clear();
+  completed_.clear();
+  pongs_.clear();
+  hello_ack_.reset();
+}
 
 service::QueryResponse Client::call(service::Request request,
-                                    service::Deadline deadline) {
+                                    service::Deadline deadline,
+                                    std::uint64_t trace_id) {
   std::vector<service::Request> batch;
   batch.push_back(std::move(request));
-  return std::move(call_batch(std::move(batch), deadline).front());
+  return std::move(call_batch(std::move(batch), deadline, trace_id).front());
 }
 
 std::vector<service::QueryResponse> Client::call_batch(
-    std::vector<service::Request> requests, service::Deadline deadline) {
+    std::vector<service::Request> requests, service::Deadline deadline,
+    std::uint64_t trace_id) {
   trace::ScopedSpan span("net.call_batch", trace::Category::Net, "requests",
                          static_cast<std::int64_t>(requests.size()));
+  // Logical requests, counted exactly once — retries below re-send some
+  // of these but never re-count them.
+  if (options_.metrics) {
+    options_.metrics->net_requests_sent.add(requests.size());
+  }
   std::vector<service::QueryResponse> responses(requests.size());
   std::vector<std::size_t> unanswered(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) unanswered[i] = i;
@@ -82,7 +100,9 @@ std::vector<service::QueryResponse> Client::call_batch(
       break;
     }
     std::string error;
-    if (attempt(requests, unanswered, responses, deadline, error)) break;
+    if (attempt(requests, unanswered, responses, deadline, trace_id, error)) {
+      break;
+    }
 
     // Transport failure: the stream is unusable (unknown how much the
     // server saw), so reconnect and resend only what is unanswered.
@@ -123,7 +143,8 @@ bool Client::ensure_connected(std::string& error) {
 bool Client::attempt(const std::vector<service::Request>& requests,
                      std::vector<std::size_t>& unanswered,
                      std::vector<service::QueryResponse>& responses,
-                     service::Deadline deadline, std::string& error) {
+                     service::Deadline deadline, std::uint64_t trace_id,
+                     std::string& error) {
   if (!ensure_connected(error)) return false;
   service::MetricsRegistry* metrics = options_.metrics;
   const Clock::time_point send_time = Clock::now();
@@ -137,8 +158,11 @@ bool Client::attempt(const std::vector<service::Request>& requests,
   for (std::size_t index : unanswered) {
     const std::uint64_t id = next_id_++;
     id_to_index.emplace(id, index);
-    const auto frame =
-        wire::encode_request_frame(id, requests[index], deadline_ms);
+    // Untraced calls still get a per-request trace id (the request id)
+    // so a v2 server can stitch its spans to this frame.
+    const auto frame = wire::encode_request_frame(
+        id, requests[index], deadline_ms, agreed_version_,
+        trace_id != 0 ? trace_id : id);
     out.insert(out.end(), frame.begin(), frame.end());
     if (metrics) metrics->net_frames_out.add();
   }
@@ -228,6 +252,12 @@ bool Client::attempt(const std::vector<service::Request>& requests,
           error = "bad response stream: " + scan.error.to_string();
           return finish(false);
         }
+        if (scan.header.kind != wire::FrameKind::Response) {
+          // Control frames (a stray Pong from a prior ping) are not
+          // answers; skip them.
+          in_offset += scan.frame_size;
+          continue;
+        }
         auto decoded = wire::decode_response_frame(in.data() + in_offset,
                                                    scan.frame_size);
         in_offset += scan.frame_size;
@@ -249,6 +279,230 @@ bool Client::attempt(const std::vector<service::Request>& requests,
     }
   }
   return finish(true);
+}
+
+bool Client::write_frame(const std::vector<std::uint8_t>& frame,
+                         service::Deadline deadline, std::string& error) {
+  std::size_t offset = 0;
+  while (offset < frame.size()) {
+    const Clock::time_point now = Clock::now();
+    if (deadline.expired(now)) {
+      error = "deadline expired mid-write";
+      disconnect();
+      return false;
+    }
+    pollfd pfd{socket_.fd(), POLLOUT, 0};
+    const int ready = ::poll(
+        &pfd, 1, poll_timeout_ms(options_.io_timeout, deadline, now));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      error = std::string("poll: ") + ::strerror(errno);
+      disconnect();
+      return false;
+    }
+    if (ready == 0) {
+      error = "I/O timed out";
+      disconnect();
+      return false;
+    }
+    const ssize_t n = ::send(socket_.fd(), frame.data() + offset,
+                             frame.size() - offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      offset += static_cast<std::size_t>(n);
+      if (options_.metrics) {
+        options_.metrics->net_bytes_out.add(static_cast<std::uint64_t>(n));
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                  errno == EINTR)) {
+      continue;
+    }
+    error = std::string("send: ") + ::strerror(errno);
+    disconnect();
+    return false;
+  }
+  if (options_.metrics) options_.metrics->net_frames_out.add();
+  return true;
+}
+
+bool Client::drain_frames(std::string& error) {
+  while (in_offset_ < in_.size()) {
+    const wire::FrameScan scan =
+        wire::scan_frame(in_.data() + in_offset_, in_.size() - in_offset_);
+    if (scan.state == wire::FrameScan::State::NeedMore) break;
+    if (scan.state == wire::FrameScan::State::Bad) {
+      if (options_.metrics) options_.metrics->net_decode_errors.add();
+      error = "bad response stream: " + scan.error.to_string();
+      return false;
+    }
+    const std::uint8_t* frame = in_.data() + in_offset_;
+    const std::size_t frame_size = scan.frame_size;
+    in_offset_ += frame_size;
+    switch (scan.header.kind) {
+      case wire::FrameKind::Pong:
+        pongs_.insert(scan.header.request_id);
+        continue;
+      case wire::FrameKind::HelloAck: {
+        auto ack = wire::decode_hello_ack_frame(frame, frame_size);
+        if (!ack.ok()) {
+          if (options_.metrics) options_.metrics->net_decode_errors.add();
+          error = "bad HelloAck frame: " + ack.error.to_string();
+          return false;
+        }
+        hello_ack_ = *ack.value;
+        continue;
+      }
+      case wire::FrameKind::Response:
+        break;
+      default:
+        continue;  // Request/Ping/Hello towards a client: ignore
+    }
+    auto decoded = wire::decode_response_frame(frame, frame_size);
+    if (!decoded.ok()) {
+      if (options_.metrics) options_.metrics->net_decode_errors.add();
+      error = "bad response frame: " + decoded.error.to_string();
+      return false;
+    }
+    if (options_.metrics) options_.metrics->net_frames_in.add();
+    const std::uint64_t id = decoded.value->request_id;
+    // Only tracked ids are kept; cancelled/stale responses are dropped.
+    if (pending_.erase(id) > 0) {
+      completed_.emplace(id, std::move(decoded.value->response));
+    }
+  }
+  if (in_offset_ == in_.size()) {
+    in_.clear();
+    in_offset_ = 0;
+  } else if (in_offset_ > (1u << 20)) {
+    in_.erase(in_.begin(),
+              in_.begin() + static_cast<std::ptrdiff_t>(in_offset_));
+    in_offset_ = 0;
+  }
+  return true;
+}
+
+bool Client::send_request(const service::Request& request,
+                          service::Deadline deadline, std::uint64_t trace_id,
+                          std::uint64_t& id_out, std::string& error) {
+  if (!ensure_connected(error)) return false;
+  const Clock::time_point now = Clock::now();
+  const std::uint64_t id = next_id_++;
+  const auto frame = wire::encode_request_frame(
+      id, request, wire_deadline_ms(deadline, now), agreed_version_,
+      trace_id != 0 ? trace_id : id);
+  if (!write_frame(frame, deadline, error)) return false;
+  pending_.insert(id);
+  id_out = id;
+  return true;
+}
+
+int Client::pump(std::chrono::milliseconds wait, std::string& error) {
+  if (!socket_.valid()) {
+    error = "not connected";
+    return -1;
+  }
+  pollfd pfd{socket_.fd(), POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, static_cast<int>(wait.count()));
+  if (ready < 0) {
+    if (errno == EINTR) return 0;
+    error = std::string("poll: ") + ::strerror(errno);
+    disconnect();
+    return -1;
+  }
+  if (ready == 0) return 0;
+
+  const std::size_t old_size = in_.size();
+  in_.resize(old_size + kReadChunk);
+  const ssize_t n = ::recv(socket_.fd(), in_.data() + old_size, kReadChunk, 0);
+  if (n <= 0) {
+    in_.resize(old_size);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                  errno == EINTR)) {
+      return 0;
+    }
+    error = n == 0 ? "connection closed by server"
+                   : std::string("recv: ") + ::strerror(errno);
+    disconnect();
+    return -1;
+  }
+  in_.resize(old_size + static_cast<std::size_t>(n));
+  if (options_.metrics) {
+    options_.metrics->net_bytes_in.add(static_cast<std::uint64_t>(n));
+  }
+
+  const std::size_t before = completed_.size();
+  if (!drain_frames(error)) {
+    disconnect();
+    return -1;
+  }
+  return static_cast<int>(completed_.size() - before);
+}
+
+bool Client::take_response(std::uint64_t id, service::QueryResponse& out) {
+  const auto it = completed_.find(id);
+  if (it == completed_.end()) return false;
+  out = std::move(it->second);
+  completed_.erase(it);
+  return true;
+}
+
+void Client::cancel(std::uint64_t id) {
+  pending_.erase(id);
+  completed_.erase(id);
+}
+
+bool Client::ping(std::chrono::milliseconds timeout, std::string& error) {
+  if (!ensure_connected(error)) return false;
+  const std::uint64_t id = next_id_++;
+  const service::Deadline deadline = service::Deadline::in(timeout);
+  if (!write_frame(wire::encode_ping_frame(id), deadline, error)) {
+    return false;
+  }
+  while (!pongs_.count(id)) {
+    if (deadline.expired()) {
+      error = "ping timed out";
+      return false;
+    }
+    if (pump(std::chrono::milliseconds(10), error) < 0) return false;
+  }
+  pongs_.erase(id);
+  return true;
+}
+
+service::Status Client::negotiate() {
+  std::string error;
+  if (!ensure_connected(error)) return service::Status::unavailable(error);
+  const std::uint64_t id = next_id_++;
+  const service::Deadline deadline =
+      service::Deadline::in(options_.io_timeout);
+  hello_ack_.reset();
+  if (!write_frame(wire::encode_hello_frame(id, wire::kMinProtocolVersion,
+                                            options_.protocol_version),
+                   deadline, error)) {
+    return service::Status::unavailable(error);
+  }
+  while (!hello_ack_ || hello_ack_->request_id != id) {
+    if (deadline.expired()) {
+      disconnect();
+      return service::Status::unavailable("negotiation timed out");
+    }
+    if (pump(std::chrono::milliseconds(10), error) < 0) {
+      return service::Status::unavailable(error);
+    }
+  }
+  const wire::HelloAckFrame ack = *hello_ack_;
+  hello_ack_.reset();
+  if (!ack.status.ok()) return ack.status;
+  if (ack.agreed_version < wire::kMinProtocolVersion ||
+      ack.agreed_version > options_.protocol_version) {
+    disconnect();
+    return service::Status::protocol_error(
+        "server agreed to version " + std::to_string(ack.agreed_version) +
+        ", outside the advertised range");
+  }
+  agreed_version_ = ack.agreed_version;
+  return service::Status::okay();
 }
 
 }  // namespace mpct::net

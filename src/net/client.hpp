@@ -2,11 +2,15 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/socket.hpp"
 #include "service/engine.hpp"
+#include "wire/protocol.hpp"
 
 namespace mpct::net {
 
@@ -24,6 +28,10 @@ struct ClientOptions {
   int max_retries = 2;
   /// First retry backoff; doubles per retry.
   std::chrono::milliseconds initial_backoff{50};
+  /// Highest wire version this client will speak.  Frames are encoded at
+  /// this version until negotiate() agrees on another; set 1 to emulate
+  /// an old v1 client against a v2 server.
+  std::uint16_t protocol_version = wire::kProtocolVersion;
   /// Optional registry for net_* counters (e.g. the engine's own, or a
   /// client-side one).  May be null.
   service::MetricsRegistry* metrics = nullptr;
@@ -48,6 +56,19 @@ struct ClientOptions {
 ///    arrive as ordinary responses and are returned as-is — they are
 ///    answers, not transport failures, and are never retried.
 ///
+/// Metrics accounting: net_requests_sent counts *logical* requests —
+/// once per request handed to call()/call_batch(), never re-counted on
+/// retry (retries tick net_retries; hedges issued by the cluster layer
+/// tick net_hedges_sent there).
+///
+/// Besides the synchronous API there is a non-blocking primitive layer
+/// (send_request / pump / take_response / cancel) used by
+/// cluster::ClusterClient to hedge across connections: it needs to park
+/// a request on one server, start the same request elsewhere, and
+/// cancel whichever loses.  Use ONE style per client instance — the
+/// synchronous calls treat primitive-tracked responses as stale and
+/// drop them.
+///
 /// Not thread-safe: one Client per thread (they are cheap — one socket).
 class Client {
  public:
@@ -57,18 +78,60 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Synchronous round trip for one request.
+  /// Synchronous round trip for one request.  @p trace_id stamps the
+  /// frame's v2 trace field (0 = derive one from the request id).
   service::QueryResponse call(
       service::Request request,
-      service::Deadline deadline = service::Deadline::never());
+      service::Deadline deadline = service::Deadline::never(),
+      std::uint64_t trace_id = 0);
 
   /// Pipelined round trip: element i of the result answers request i.
   std::vector<service::QueryResponse> call_batch(
       std::vector<service::Request> requests,
-      service::Deadline deadline = service::Deadline::never());
+      service::Deadline deadline = service::Deadline::never(),
+      std::uint64_t trace_id = 0);
+
+  /// Hello/HelloAck version negotiation: agree with the server on the
+  /// highest version both speak and use it for every later frame.
+  /// Optional — without it the client just emits options().protocol_version.
+  /// Returns Ok, UnsupportedVersion (typed, from the server), or
+  /// Unavailable (transport).
+  service::Status negotiate();
+
+  /// Version subsequent frames are encoded at (protocol_version until a
+  /// successful negotiate()).
+  std::uint16_t agreed_version() const { return agreed_version_; }
+
+  /// Liveness probe: Ping → Pong round trip within @p timeout.
+  bool ping(std::chrono::milliseconds timeout, std::string& error);
+
+  // --- Non-blocking primitive layer (cluster::ClusterClient) ---------
+
+  /// Write one request frame (blocking until written or failed) and
+  /// track its id; the response is collected later via pump() +
+  /// take_response().  Does NOT count net_requests_sent — the caller
+  /// owns logical-request accounting.
+  bool send_request(const service::Request& request,
+                    service::Deadline deadline, std::uint64_t trace_id,
+                    std::uint64_t& id_out, std::string& error);
+
+  /// Poll the socket for up to @p wait and read/decode once.  Returns
+  /// the number of newly completed tracked requests, or -1 on transport
+  /// error (the connection is reset; every tracked request is lost).
+  int pump(std::chrono::milliseconds wait, std::string& error);
+
+  /// Move request @p id's response out, if it has completed.
+  bool take_response(std::uint64_t id, service::QueryResponse& out);
+
+  /// Stop tracking @p id (hedge loser): a late response is dropped on
+  /// arrival.  The server still executes it — requests are idempotent
+  /// and its result may warm the server's cache.
+  void cancel(std::uint64_t id);
+
+  std::size_t pending_count() const { return pending_.size(); }
 
   bool connected() const { return socket_.valid(); }
-  void disconnect() { socket_.close(); }
+  void disconnect();
   const ClientOptions& options() const { return options_; }
 
  private:
@@ -79,12 +142,29 @@ class Client {
   bool attempt(const std::vector<service::Request>& requests,
                std::vector<std::size_t>& unanswered,
                std::vector<service::QueryResponse>& responses,
-               service::Deadline deadline, std::string& error);
+               service::Deadline deadline, std::uint64_t trace_id,
+               std::string& error);
   bool ensure_connected(std::string& error);
+  /// Blocking write of a whole frame (poll + send loop).  On failure the
+  /// connection is reset.
+  bool write_frame(const std::vector<std::uint8_t>& frame,
+                   service::Deadline deadline, std::string& error);
+  /// Decode every complete frame in in_ into completed_ / pongs_ /
+  /// hello_ack_.  False on a broken stream.
+  bool drain_frames(std::string& error);
 
   ClientOptions options_;
   Socket socket_;
   std::uint64_t next_id_ = 1;
+  std::uint16_t agreed_version_;
+
+  // Primitive-layer stream state (reset by disconnect()).
+  std::vector<std::uint8_t> in_;
+  std::size_t in_offset_ = 0;
+  std::unordered_set<std::uint64_t> pending_;
+  std::unordered_map<std::uint64_t, service::QueryResponse> completed_;
+  std::unordered_set<std::uint64_t> pongs_;
+  std::optional<wire::HelloAckFrame> hello_ack_;
 };
 
 }  // namespace mpct::net

@@ -29,9 +29,21 @@ constexpr int kPollTickMs = 100;
 }  // namespace
 
 Server::Server(service::QueryEngine& engine, ServerOptions options)
-    : engine_(engine),
+    : handler_([&engine](service::Request request, service::Deadline deadline,
+                         std::uint64_t /*trace_id*/,
+                         service::QueryEngine::ResponseCallback callback) {
+        engine.submit_async(std::move(request), deadline,
+                            std::move(callback));
+      }),
+      engine_(&engine),
       options_(std::move(options)),
       metrics_(engine.metrics()) {}
+
+Server::Server(Handler handler, service::MetricsRegistry& metrics,
+               ServerOptions options)
+    : handler_(std::move(handler)),
+      options_(std::move(options)),
+      metrics_(metrics) {}
 
 Server::~Server() { stop(); }
 
@@ -66,8 +78,9 @@ void Server::stop() {
   // The loop may have given up on slow in-flight requests at the drain
   // deadline; their engine callbacks still reference this object.  Wait
   // for the engine to finish everything before tearing state down so no
-  // callback can touch a dead Server.
-  engine_.drain();
+  // callback can touch a dead Server.  (Handler mode: the handler's
+  // owner provides this guarantee — see the Handler ctor contract.)
+  if (engine_) engine_->drain();
 
   for (int& fd : wake_fds_) {
     if (fd >= 0) {
@@ -252,20 +265,69 @@ bool Server::dispatch_request(std::uint64_t conn_id, Connection& conn,
                               const std::uint8_t* frame,
                               std::size_t frame_size) {
   trace::ScopedSpan span("net.dispatch", trace::Category::Net);
+  const wire::FrameScan scan = wire::scan_frame(frame, frame_size);
+
+  // Control frames are answered inline on the loop thread: they carry
+  // no payload worth a worker round trip, and health probes must stay
+  // answerable even when the engine queue is saturated.
+  switch (scan.header.kind) {
+    case wire::FrameKind::Ping:
+      return queue_write(conn,
+                         wire::encode_pong_frame(scan.header.request_id));
+    case wire::FrameKind::Hello: {
+      auto hello = wire::decode_hello_frame(frame, frame_size);
+      if (!hello.ok()) {
+        metrics_.net_decode_errors.add();
+        return queue_write(
+            conn, wire::encode_hello_ack_frame(
+                      scan.header.request_id,
+                      service::Status::protocol_error(
+                          hello.error.to_string()),
+                      wire::kProtocolVersion));
+      }
+      const auto agreed = wire::negotiate_version(hello.value->min_version,
+                                                  hello.value->max_version);
+      service::Status status =
+          agreed ? service::Status::okay()
+                 : service::Status::unsupported_version(
+                       "client speaks " +
+                       std::to_string(hello.value->min_version) + ".." +
+                       std::to_string(hello.value->max_version) +
+                       ", this server speaks " +
+                       std::to_string(wire::kMinProtocolVersion) + ".." +
+                       std::to_string(wire::kProtocolVersion));
+      return queue_write(
+          conn, wire::encode_hello_ack_frame(
+                    hello.value->request_id, status,
+                    agreed.value_or(wire::kProtocolVersion)));
+    }
+    case wire::FrameKind::Pong:
+    case wire::FrameKind::HelloAck:
+      return true;  // meaningless server-side; tolerate and move on
+    default:
+      break;  // Request (or Response, rejected in-band below)
+  }
+
   auto decoded = wire::decode_request_frame(frame, frame_size);
   if (!decoded.ok()) {
     // Well-framed but undecodable payload: answer in-band so the client
     // learns *which* request died, and keep the stream alive.
     metrics_.net_decode_errors.add();
-    const wire::FrameScan scan = wire::scan_frame(frame, frame_size);
     service::QueryResponse response;
     response.status =
         service::Status::protocol_error(decoded.error.to_string());
     return queue_write(conn, wire::encode_response_frame(
-                                 scan.header.request_id, response));
+                                 scan.header.request_id, response,
+                                 scan.header.version,
+                                 scan.header.trace_id));
   }
 
   const std::uint64_t request_id = decoded.value->request_id;
+  const std::uint16_t version = decoded.value->version;
+  const std::uint64_t trace_id = decoded.value->trace_id;
+  if (trace_id != 0) {
+    span.annotate("trace_id", static_cast<std::int64_t>(trace_id));
+  }
   service::Deadline deadline = service::Deadline::never();
   if (decoded.value->deadline_ms > 0) {
     deadline = service::Deadline::in(
@@ -274,14 +336,20 @@ bool Server::dispatch_request(std::uint64_t conn_id, Connection& conn,
 
   ++conn.in_flight;
   in_flight_total_.fetch_add(1, std::memory_order_acq_rel);
-  engine_.submit_async(
-      std::move(decoded.value->request), deadline,
-      [this, conn_id, request_id](service::QueryResponse response) {
+  handler_(
+      std::move(decoded.value->request), deadline, trace_id,
+      [this, conn_id, request_id, version,
+       trace_id](service::QueryResponse response) {
         // Worker thread (or this thread, for rejections): encode here so
-        // serialisation cost never lands on the event loop.
-        trace::ScopedSpan encode_span("net.encode", trace::Category::Net);
-        enqueue_completion(
-            conn_id, wire::encode_response_frame(request_id, response));
+        // serialisation cost never lands on the event loop.  The
+        // response goes out at the version (and with the trace id) the
+        // request arrived with, which is what keeps v1 clients working.
+        trace::ScopedSpan encode_span("net.encode", trace::Category::Net,
+                                      "trace_id",
+                                      static_cast<std::int64_t>(trace_id));
+        enqueue_completion(conn_id,
+                           wire::encode_response_frame(request_id, response,
+                                                       version, trace_id));
       });
   return true;
 }

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -58,9 +59,27 @@ struct ServerOptions {
 /// read from (write_high_watermark) until it catches up.
 class Server {
  public:
+  /// Where decoded request frames go.  The handler must eventually
+  /// invoke the callback exactly once (from any thread); the response
+  /// is encoded there and shipped back on the frame's connection at the
+  /// frame's wire version.  `trace_id` is the frame's v2 trace field
+  /// (0 on v1 frames).
+  using Handler =
+      std::function<void(service::Request, service::Deadline,
+                         std::uint64_t trace_id,
+                         service::QueryEngine::ResponseCallback)>;
+
   /// The engine must outlive the server.  Network counters are recorded
   /// into engine.metrics().
   explicit Server(service::QueryEngine& engine, ServerOptions options = {});
+
+  /// Generic front end (the cluster proxy tier): requests go to
+  /// @p handler instead of an engine.  The caller owns draining — every
+  /// callback must have fired before this Server is destroyed (the
+  /// engine ctor gets that for free from QueryEngine::drain()).
+  Server(Handler handler, service::MetricsRegistry& metrics,
+         ServerOptions options = {});
+
   ~Server();
 
   Server(const Server&) = delete;
@@ -128,7 +147,10 @@ class Server {
   void sweep_idle(std::chrono::steady_clock::time_point now);
   void wake();
 
-  service::QueryEngine& engine_;
+  Handler handler_;
+  /// Set only by the engine ctor; stop() drains it so no callback can
+  /// outlive this object.  Null in handler mode.
+  service::QueryEngine* engine_ = nullptr;
   ServerOptions options_;
   service::MetricsRegistry& metrics_;
 

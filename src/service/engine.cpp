@@ -24,6 +24,8 @@ const char* execute_span_name(RequestType type) {
     case RequestType::Cost:       return "execute.cost";
     case RequestType::Sweep:      return "execute.sweep";
     case RequestType::FaultSweep: return "execute.fault_sweep";
+    case RequestType::SweepChunk: return "execute.sweep_chunk";
+    case RequestType::FaultChunk: return "execute.fault_chunk";
   }
   return "execute";
 }
@@ -168,6 +170,74 @@ QueryResponse execute_fault_sweep(const FaultSweepRequest& request,
   }
   FaultSweepResponse payload;
   payload.result = fault::evaluate_curve(request.spec, library);
+  response.payload =
+      std::make_shared<const ResponsePayload>(std::move(payload));
+  return response;
+}
+
+Status validate_chunk_range(std::string_view what, std::uint64_t begin,
+                            std::uint64_t end, std::uint64_t cells) {
+  if (begin >= end || end > cells) {
+    return Status::invalid_request(
+        std::string(what) + ": chunk range [" + std::to_string(begin) + ", " +
+        std::to_string(end) + ") invalid for " + std::to_string(cells) +
+        " cells");
+  }
+  return Status::okay();
+}
+
+/// One disjoint cell range of a sweep, executed on a single worker — how
+/// the cluster proxy scatters a grid across backends.  Unlike a full
+/// SweepRequest this goes through the normal cached single-task path, so
+/// a repeated chunk (same grid, same range) is a cache hit on the server
+/// that owns it on the consistent-hash ring.
+QueryResponse execute_sweep_chunk(const SweepChunkRequest& request,
+                                  const cost::ComponentLibrary& library) {
+  QueryResponse response;
+  Status valid = validate_sweep(request.grid);
+  if (!valid.ok()) {
+    response.status = std::move(valid);
+    return response;
+  }
+  explore::SweepEvaluator evaluator(request.grid, library);
+  valid = validate_chunk_range("sweep_chunk", request.begin, request.end,
+                               evaluator.cell_count());
+  if (!valid.ok()) {
+    response.status = std::move(valid);
+    return response;
+  }
+  SweepChunkResponse payload;
+  payload.points.resize(request.end - request.begin);
+  evaluator.evaluate_range(request.begin, request.end, payload.points.data());
+  payload.candidate_classes = evaluator.candidate_count();
+  response.payload =
+      std::make_shared<const ResponsePayload>(std::move(payload));
+  return response;
+}
+
+/// One disjoint (rate x trial) cell range of a degradation curve.  The
+/// chunk carries the full spec because each trial's RNG stream derives
+/// from its flat cell index over the whole spec — so outcomes are
+/// bit-identical to the same cells of a single-server evaluation.
+QueryResponse execute_fault_chunk(const FaultChunkRequest& request,
+                                  const cost::ComponentLibrary& library) {
+  QueryResponse response;
+  Status valid = validate_curve(request.spec);
+  if (!valid.ok()) {
+    response.status = std::move(valid);
+    return response;
+  }
+  fault::CurveEvaluator evaluator(request.spec, library);
+  valid = validate_chunk_range("fault_chunk", request.begin, request.end,
+                               evaluator.cell_count());
+  if (!valid.ok()) {
+    response.status = std::move(valid);
+    return response;
+  }
+  FaultChunkResponse payload;
+  payload.outcomes.resize(request.end - request.begin);
+  evaluator.evaluate_range(request.begin, request.end,
+                           payload.outcomes.data());
   response.payload =
       std::make_shared<const ResponsePayload>(std::move(payload));
   return response;
@@ -826,6 +896,10 @@ QueryResponse QueryEngine::execute_uncached(const Request& request) const {
             return execute_sweep(req, options_.library);
           } else if constexpr (std::is_same_v<T, FaultSweepRequest>) {
             return execute_fault_sweep(req, options_.library);
+          } else if constexpr (std::is_same_v<T, SweepChunkRequest>) {
+            return execute_sweep_chunk(req, options_.library);
+          } else if constexpr (std::is_same_v<T, FaultChunkRequest>) {
+            return execute_fault_chunk(req, options_.library);
           } else {
             static_assert(std::is_same_v<T, CostRequest>);
             return execute_cost(req, options_.library);

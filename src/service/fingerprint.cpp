@@ -198,6 +198,10 @@ Fingerprint fingerprint(const Request& request) {
           b.mix(fingerprint(req.grid));
         } else if constexpr (std::is_same_v<T, FaultSweepRequest>) {
           b.mix(fingerprint(req.spec));
+        } else if constexpr (std::is_same_v<T, SweepChunkRequest>) {
+          b.mix(fingerprint(req.grid)).mix(req.begin).mix(req.end);
+        } else if constexpr (std::is_same_v<T, FaultChunkRequest>) {
+          b.mix(fingerprint(req.spec)).mix(req.begin).mix(req.end);
         } else {
           static_assert(std::is_same_v<T, CostRequest>);
           b.mix(req.target.index());

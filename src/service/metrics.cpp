@@ -203,6 +203,11 @@ std::string MetricsRegistry::to_table(const CacheStats& cache) const {
   table.add_row(
       {"active connections", std::to_string(net_active_connections.value())});
   table.add_row({"client retries", std::to_string(net_retries.value())});
+  table.add_row(
+      {"client requests sent", std::to_string(net_requests_sent.value())});
+  table.add_row({"hedges sent", std::to_string(net_hedges_sent.value())});
+  table.add_row({"hedges won", std::to_string(net_hedges_won.value())});
+  table.add_row({"failovers", std::to_string(net_failovers.value())});
 
   table.add_section("cache");
   table.add_row({"hits", std::to_string(cache_hits.value())});
@@ -258,6 +263,11 @@ std::string MetricsRegistry::to_csv(const CacheStats& cache) const {
   csv.add_row({"net_active_connections",
                std::to_string(net_active_connections.value())});
   csv.add_row({"net_retries", std::to_string(net_retries.value())});
+  csv.add_row(
+      {"net_requests_sent", std::to_string(net_requests_sent.value())});
+  csv.add_row({"net_hedges_sent", std::to_string(net_hedges_sent.value())});
+  csv.add_row({"net_hedges_won", std::to_string(net_hedges_won.value())});
+  csv.add_row({"net_failovers", std::to_string(net_failovers.value())});
   csv.add_row({"cache_hits", std::to_string(cache_hits.value())});
   csv.add_row({"cache_misses", std::to_string(cache_misses.value())});
   csv.add_row({"cache_hit_rate", format_rate(cache_hit_rate())});
@@ -347,6 +357,16 @@ std::string MetricsRegistry::to_prometheus(const CacheStats& cache,
   w.header("mpct_net_retries_total", PromWriter::Type::Counter,
            "Client reconnect-and-resend attempts.");
   w.sample("mpct_net_retries_total", {}, net_retries.value());
+  w.header("mpct_net_requests_sent_total", PromWriter::Type::Counter,
+           "Logical client requests (retries and hedges not re-counted).");
+  w.sample("mpct_net_requests_sent_total", {}, net_requests_sent.value());
+  w.header("mpct_net_hedges_total", PromWriter::Type::Counter,
+           "Speculative hedged duplicates, by outcome.");
+  w.sample("mpct_net_hedges_total", "event=\"sent\"", net_hedges_sent.value());
+  w.sample("mpct_net_hedges_total", "event=\"won\"", net_hedges_won.value());
+  w.header("mpct_net_failovers_total", PromWriter::Type::Counter,
+           "Requests re-routed off an unhealthy endpoint.");
+  w.sample("mpct_net_failovers_total", {}, net_failovers.value());
 
   w.header("mpct_cache_hits_total", PromWriter::Type::Counter,
            "Result-cache hits.");

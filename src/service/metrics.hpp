@@ -102,6 +102,13 @@ class LatencyHistogram {
   /// Quantile in microseconds via bucket interpolation; q in [0, 1].
   double quantile_us(double q) const;
 
+  /// Total samples recorded so far — the cheap read the cluster client
+  /// uses to decide whether quantile_us() has enough data to trust for
+  /// hedge-delay derivation.
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
  private:
   static std::size_t bucket_index(std::chrono::nanoseconds latency);
 
@@ -174,6 +181,16 @@ class MetricsRegistry {
   Counter net_connections_closed;
   Counter net_retries;  ///< client reconnect-and-resend attempts
   Gauge net_active_connections;
+
+  /// Logical client requests: each request a caller hands to
+  /// net::Client / cluster::ClusterClient counts exactly once here, no
+  /// matter how many times it is retried, failed over, or hedged on the
+  /// wire (those re-sends show up in net_retries / net_hedges_sent /
+  /// net_failovers instead).
+  Counter net_requests_sent;
+  Counter net_hedges_sent;  ///< speculative duplicates issued after p99 delay
+  Counter net_hedges_won;   ///< hedged duplicate answered before the original
+  Counter net_failovers;    ///< requests re-routed off an unhealthy endpoint
 
   /// Submit-to-completion latency per request type.
   std::array<LatencyHistogram, kRequestTypeCount> latency_by_type;

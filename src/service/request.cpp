@@ -14,6 +14,10 @@ std::string_view to_string(RequestType type) {
       return "sweep";
     case RequestType::FaultSweep:
       return "fault_sweep";
+    case RequestType::SweepChunk:
+      return "sweep_chunk";
+    case RequestType::FaultChunk:
+      return "fault_chunk";
   }
   return "unknown";
 }

@@ -137,8 +137,46 @@ struct FaultSweepResponse {
                          const FaultSweepResponse&) = default;
 };
 
-using Request = std::variant<ClassifyRequest, RecommendRequest, CostRequest,
-                             SweepRequest, FaultSweepRequest>;
+/// Evaluate one disjoint flat-index range [begin, end) of a sweep grid.
+/// This is how the cluster proxy (src/cluster) scatters a SweepRequest
+/// across backends: cell indices are over the *normalized* grid, so a
+/// chunk depends only on (grid, begin, end) — concatenating the chunk
+/// points in index order reproduces the single-server SweepResult
+/// bit-identically.
+struct SweepChunkRequest {
+  explore::SweepGrid grid;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+struct SweepChunkResponse {
+  std::vector<explore::SweepPoint> points;  ///< cells [begin, end)
+  std::uint64_t candidate_classes = 0;
+
+  friend bool operator==(const SweepChunkResponse&,
+                         const SweepChunkResponse&) = default;
+};
+
+/// Evaluate one disjoint (rate x trial) cell range of a degradation
+/// curve.  The full spec travels with every chunk because each trial's
+/// RNG stream derives from its flat cell index over the whole spec —
+/// sub-specs would renumber the cells and break bit-identity.
+struct FaultChunkRequest {
+  fault::CurveSpec spec;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+struct FaultChunkResponse {
+  std::vector<fault::TrialOutcome> outcomes;  ///< cells [begin, end)
+
+  friend bool operator==(const FaultChunkResponse&,
+                         const FaultChunkResponse&) = default;
+};
+
+using Request =
+    std::variant<ClassifyRequest, RecommendRequest, CostRequest, SweepRequest,
+                 FaultSweepRequest, SweepChunkRequest, FaultChunkRequest>;
 
 /// Discriminator used for per-request-type metrics and cache keying.
 enum class RequestType : std::uint8_t {
@@ -147,8 +185,10 @@ enum class RequestType : std::uint8_t {
   Cost = 2,
   Sweep = 3,
   FaultSweep = 4,
+  SweepChunk = 5,   ///< wire protocol v2+ only
+  FaultChunk = 6,   ///< wire protocol v2+ only
 };
-inline constexpr std::size_t kRequestTypeCount = 5;
+inline constexpr std::size_t kRequestTypeCount = 7;
 
 std::string_view to_string(RequestType type);
 
@@ -159,7 +199,8 @@ inline RequestType request_type(const Request& request) {
 /// Successful payload; monostate while status is not Ok.
 using ResponsePayload =
     std::variant<std::monostate, ClassifyResponse, RecommendResponse,
-                 CostResponse, SweepResponse, FaultSweepResponse>;
+                 CostResponse, SweepResponse, FaultSweepResponse,
+                 SweepChunkResponse, FaultChunkResponse>;
 
 /// What a submitted query resolves to.  `status` is always meaningful;
 /// the payload alternative matches the request type only when status.ok().
@@ -191,6 +232,12 @@ struct QueryResponse {
   }
   const FaultSweepResponse* fault_sweep() const {
     return payload ? std::get_if<FaultSweepResponse>(payload.get()) : nullptr;
+  }
+  const SweepChunkResponse* sweep_chunk() const {
+    return payload ? std::get_if<SweepChunkResponse>(payload.get()) : nullptr;
+  }
+  const FaultChunkResponse* fault_chunk() const {
+    return payload ? std::get_if<FaultChunkResponse>(payload.get()) : nullptr;
   }
 };
 

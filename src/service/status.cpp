@@ -22,6 +22,8 @@ std::string_view to_string(StatusCode code) {
       return "unavailable";
     case StatusCode::ProtocolError:
       return "protocol-error";
+    case StatusCode::UnsupportedVersion:
+      return "unsupported-version";
   }
   return "unknown";
 }

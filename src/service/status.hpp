@@ -37,6 +37,9 @@ enum class StatusCode : int {
   /// The peer sent bytes that do not decode to a valid frame.  Emitted
   /// by the wire layer (src/wire), never by the engine itself.
   ProtocolError = 8,
+  /// Version negotiation failed: the client's advertised version range
+  /// does not intersect what this server speaks (wire Hello/HelloAck).
+  UnsupportedVersion = 9,
 };
 
 std::string_view to_string(StatusCode code);
@@ -73,6 +76,9 @@ struct Status {
   }
   static Status protocol_error(std::string message) {
     return {StatusCode::ProtocolError, std::move(message)};
+  }
+  static Status unsupported_version(std::string message) {
+    return {StatusCode::UnsupportedVersion, std::move(message)};
   }
 
   /// "ok" or "queue-full: bounded queue full; request rejected".

@@ -20,6 +20,7 @@ std::string_view to_string(Category category) {
     case Category::Noc:     return "noc";
     case Category::Mark:    return "mark";
     case Category::Net:     return "net";
+    case Category::Cluster: return "cluster";
   }
   return "unknown";
 }

@@ -28,8 +28,9 @@ enum class Category : std::uint8_t {
   Noc,      ///< interconnect route / route-around
   Mark,     ///< instant markers (deadline expiry, shutdown)
   Net,      ///< wire + TCP server/client (accept, decode, enqueue, flush)
+  Cluster,  ///< cluster tier (ring routing, hedging, proxy scatter/merge)
 };
-inline constexpr std::size_t kCategoryCount = 13;
+inline constexpr std::size_t kCategoryCount = 14;
 std::string_view to_string(Category category);
 
 /// One recorded span.  `name` and `arg_name` point to static storage

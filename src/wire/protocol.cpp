@@ -500,7 +500,8 @@ service::Status decode_status(Decoder& d) {
   const std::int32_t code = d.i32();
   if (d.ok() &&
       (code < 0 ||
-       code > static_cast<std::int32_t>(service::StatusCode::ProtocolError))) {
+       code > static_cast<std::int32_t>(
+                  service::StatusCode::UnsupportedVersion))) {
     d.fail(WireErrorCode::Malformed,
            "bad StatusCode value " + std::to_string(code));
   }
@@ -658,6 +659,14 @@ void encode(Encoder& e, const service::Request& request) {
           encode(e, alternative.grid);
         } else if constexpr (std::is_same_v<T, service::FaultSweepRequest>) {
           encode(e, alternative.spec);
+        } else if constexpr (std::is_same_v<T, service::SweepChunkRequest>) {
+          encode(e, alternative.grid);
+          e.u64(alternative.begin);
+          e.u64(alternative.end);
+        } else if constexpr (std::is_same_v<T, service::FaultChunkRequest>) {
+          encode(e, alternative.spec);
+          e.u64(alternative.begin);
+          e.u64(alternative.end);
         } else {
           encode(e, alternative);
         }
@@ -665,7 +674,10 @@ void encode(Encoder& e, const service::Request& request) {
       request);
 }
 
-service::Request decode_request(Decoder& d) {
+/// @p version is the frame's wire version: the chunk request types were
+/// introduced in v2, so a v1 frame carrying their tags is malformed
+/// rather than merely newer-than-us.
+service::Request decode_request(Decoder& d, std::uint16_t version) {
   const std::uint8_t type = d.u8();
   if (!d.ok()) return service::ClassifyRequest{};
   switch (static_cast<service::RequestType>(type)) {
@@ -679,9 +691,26 @@ service::Request decode_request(Decoder& d) {
       return service::SweepRequest{decode_sweep_grid(d)};
     case service::RequestType::FaultSweep:
       return service::FaultSweepRequest{decode_curve_spec(d)};
+    case service::RequestType::SweepChunk: {
+      if (version < 2) break;
+      service::SweepChunkRequest chunk;
+      chunk.grid = decode_sweep_grid(d);
+      chunk.begin = d.u64();
+      chunk.end = d.u64();
+      return chunk;
+    }
+    case service::RequestType::FaultChunk: {
+      if (version < 2) break;
+      service::FaultChunkRequest chunk;
+      chunk.spec = decode_curve_spec(d);
+      chunk.begin = d.u64();
+      chunk.end = d.u64();
+      return chunk;
+    }
   }
   d.fail(WireErrorCode::Malformed,
-         "bad RequestType value " + std::to_string(type));
+         "bad RequestType value " + std::to_string(type) + " for version " +
+             std::to_string(version));
   return service::ClassifyRequest{};
 }
 
@@ -700,6 +729,19 @@ void encode_payload(Encoder& e, const service::QueryResponse& response) {
           encode(e, alternative.result);
         } else if constexpr (std::is_same_v<T, service::FaultSweepResponse>) {
           encode(e, alternative.result);
+        } else if constexpr (std::is_same_v<T, service::SweepChunkResponse>) {
+          e.length(alternative.points.size());
+          for (const auto& point : alternative.points) encode(e, point);
+          e.u64(alternative.candidate_classes);
+        } else if constexpr (std::is_same_v<T, service::FaultChunkResponse>) {
+          e.length(alternative.outcomes.size());
+          for (const auto& outcome : alternative.outcomes) {
+            e.boolean(outcome.alive);
+            e.i32(outcome.degraded_score);
+            e.f64(outcome.flexibility_retention);
+            e.f64(outcome.component_survival);
+            e.f64(outcome.connectivity);
+          }
         } else {
           encode(e, alternative);
         }
@@ -707,7 +749,8 @@ void encode_payload(Encoder& e, const service::QueryResponse& response) {
       *response.payload);
 }
 
-std::shared_ptr<const service::ResponsePayload> decode_payload(Decoder& d) {
+std::shared_ptr<const service::ResponsePayload> decode_payload(
+    Decoder& d, std::uint16_t version) {
   const std::uint8_t index = d.u8();
   if (!d.ok()) return nullptr;
   switch (index) {
@@ -728,23 +771,57 @@ std::shared_ptr<const service::ResponsePayload> decode_payload(Decoder& d) {
     case 5:
       return std::make_shared<const service::ResponsePayload>(
           service::FaultSweepResponse{decode_curve_result(d)});
+    case 6: {
+      if (version < 2) break;
+      service::SweepChunkResponse chunk;
+      const std::size_t count = d.length(kSweepPointBytes);
+      chunk.points.reserve(count);
+      for (std::size_t i = 0; i < count && d.ok(); ++i) {
+        chunk.points.push_back(decode_sweep_point(d));
+      }
+      chunk.candidate_classes = d.u64();
+      return std::make_shared<const service::ResponsePayload>(
+          std::move(chunk));
+    }
+    case 7: {
+      if (version < 2) break;
+      service::FaultChunkResponse chunk;
+      // TrialOutcome: alive(1) + score(4) + 3 doubles(24).
+      const std::size_t count = d.length(29);
+      chunk.outcomes.reserve(count);
+      for (std::size_t i = 0; i < count && d.ok(); ++i) {
+        fault::TrialOutcome outcome;
+        outcome.alive = d.boolean();
+        outcome.degraded_score = d.i32();
+        outcome.flexibility_retention = d.f64();
+        outcome.component_survival = d.f64();
+        outcome.connectivity = d.f64();
+        chunk.outcomes.push_back(outcome);
+      }
+      return std::make_shared<const service::ResponsePayload>(
+          std::move(chunk));
+    }
     default:
-      d.fail(WireErrorCode::Malformed,
-             "bad ResponsePayload alternative " + std::to_string(index));
-      return nullptr;
+      break;
   }
+  d.fail(WireErrorCode::Malformed,
+         "bad ResponsePayload alternative " + std::to_string(index) +
+             " for version " + std::to_string(version));
+  return nullptr;
 }
 
 // ---------------------------------------------------------------------------
 // Frame header
 
-void encode_header(Encoder& e, FrameKind kind, std::uint64_t request_id) {
+void encode_header(Encoder& e, FrameKind kind, std::uint64_t request_id,
+                   std::uint16_t version, std::uint64_t trace_id) {
   e.u32(kMagic);
-  e.u16(kProtocolVersion);
+  e.u16(version);
   e.u8(static_cast<std::uint8_t>(kind));
   e.u8(0);  // reserved
   e.u64(request_id);
   e.u32(0);  // payload size, back-patched once the payload is written
+  if (version >= 2) e.u64(trace_id);
 }
 
 constexpr std::size_t kPayloadSizeOffset = 16;
@@ -766,6 +843,16 @@ FrameScan bad_frame(WireErrorCode code, std::string message) {
 
 }  // namespace
 
+std::optional<std::uint16_t> negotiate_version(std::uint16_t client_min,
+                                               std::uint16_t client_max) {
+  const std::uint16_t lo =
+      client_min > kMinProtocolVersion ? client_min : kMinProtocolVersion;
+  const std::uint16_t hi =
+      client_max < kProtocolVersion ? client_max : kProtocolVersion;
+  if (lo > hi) return std::nullopt;
+  return hi;
+}
+
 FrameScan scan_frame(const std::uint8_t* data, std::size_t size) {
   // Reject a wrong magic as early as the bytes allow: a stream that is
   // not frame-aligned should not be able to stall a reader by dribbling
@@ -777,24 +864,32 @@ FrameScan scan_frame(const std::uint8_t* data, std::size_t size) {
                        "frame does not start with 'MPCT'");
     }
   }
-  if (size < kHeaderSize) return {};  // NeedMore
+  // The header size depends on the version field, so read (and reject)
+  // that before demanding a full header's worth of bytes.
+  if (size < 6) return {};  // NeedMore
+  const std::uint16_t version = static_cast<std::uint16_t>(
+      data[4] | (static_cast<std::uint16_t>(data[5]) << 8));
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
+    return bad_frame(WireErrorCode::UnsupportedVersion,
+                     "frame version " + std::to_string(version) +
+                         ", this build speaks " +
+                         std::to_string(kMinProtocolVersion) + ".." +
+                         std::to_string(kProtocolVersion));
+  }
+  const std::size_t header_bytes = header_size(version);
+  if (size < header_bytes) return {};  // NeedMore
 
-  Decoder d(data, kHeaderSize);
+  Decoder d(data, header_bytes);
   d.u32();  // magic, validated above
-  const std::uint16_t version = d.u16();
+  d.u16();  // version, validated above
   const std::uint8_t kind = d.u8();
   const std::uint8_t reserved = d.u8();
   const std::uint64_t request_id = d.u64();
   const std::uint32_t payload_size = d.u32();
+  const std::uint64_t trace_id = version >= 2 ? d.u64() : 0;
 
-  if (version != kProtocolVersion) {
-    return bad_frame(WireErrorCode::UnsupportedVersion,
-                     "frame version " + std::to_string(version) +
-                         ", this build speaks " +
-                         std::to_string(kProtocolVersion));
-  }
-  if (kind != static_cast<std::uint8_t>(FrameKind::Request) &&
-      kind != static_cast<std::uint8_t>(FrameKind::Response)) {
+  if (kind < static_cast<std::uint8_t>(FrameKind::Request) ||
+      kind > static_cast<std::uint8_t>(FrameKind::HelloAck)) {
     return bad_frame(WireErrorCode::BadFrameKind,
                      "frame kind byte " + std::to_string(kind));
   }
@@ -808,20 +903,23 @@ FrameScan scan_frame(const std::uint8_t* data, std::size_t size) {
                          " bytes exceeds the " +
                          std::to_string(kMaxPayloadBytes) + " byte ceiling");
   }
-  if (size < kHeaderSize + payload_size) return {};  // NeedMore
+  if (size < header_bytes + payload_size) return {};  // NeedMore
 
   FrameScan scan;
   scan.state = FrameScan::State::Ready;
-  scan.header = {static_cast<FrameKind>(kind), request_id, payload_size};
-  scan.frame_size = kHeaderSize + payload_size;
+  scan.header = {static_cast<FrameKind>(kind), version, request_id,
+                 payload_size, trace_id};
+  scan.frame_size = header_bytes + payload_size;
   return scan;
 }
 
 std::vector<std::uint8_t> encode_request_frame(std::uint64_t request_id,
                                                const service::Request& request,
-                                               std::uint32_t deadline_ms) {
+                                               std::uint32_t deadline_ms,
+                                               std::uint16_t version,
+                                               std::uint64_t trace_id) {
   Encoder e;
-  encode_header(e, FrameKind::Request, request_id);
+  encode_header(e, FrameKind::Request, request_id, version, trace_id);
   const std::size_t payload_start = e.size();
   e.u32(deadline_ms);
   encode(e, request);
@@ -831,14 +929,55 @@ std::vector<std::uint8_t> encode_request_frame(std::uint64_t request_id,
 }
 
 std::vector<std::uint8_t> encode_response_frame(
-    std::uint64_t request_id, const service::QueryResponse& response) {
+    std::uint64_t request_id, const service::QueryResponse& response,
+    std::uint16_t version, std::uint64_t trace_id) {
   Encoder e;
-  encode_header(e, FrameKind::Response, request_id);
+  encode_header(e, FrameKind::Response, request_id, version, trace_id);
   const std::size_t payload_start = e.size();
   encode(e, response.status);
   e.boolean(response.cache_hit);
   e.i64(response.latency.count());
   encode_payload(e, response);
+  e.patch_u32(kPayloadSizeOffset,
+              static_cast<std::uint32_t>(e.size() - payload_start));
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode_ping_frame(std::uint64_t request_id) {
+  Encoder e;
+  encode_header(e, FrameKind::Ping, request_id, kProtocolVersion, 0);
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode_pong_frame(std::uint64_t request_id) {
+  Encoder e;
+  encode_header(e, FrameKind::Pong, request_id, kProtocolVersion, 0);
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode_hello_frame(std::uint64_t request_id,
+                                             std::uint16_t min_version,
+                                             std::uint16_t max_version) {
+  Encoder e;
+  // v1 header on purpose: the handshake that *selects* a version must be
+  // readable at every version.
+  encode_header(e, FrameKind::Hello, request_id, 1, 0);
+  const std::size_t payload_start = e.size();
+  e.u16(min_version);
+  e.u16(max_version);
+  e.patch_u32(kPayloadSizeOffset,
+              static_cast<std::uint32_t>(e.size() - payload_start));
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode_hello_ack_frame(std::uint64_t request_id,
+                                                 const service::Status& status,
+                                                 std::uint16_t agreed_version) {
+  Encoder e;
+  encode_header(e, FrameKind::HelloAck, request_id, 1, 0);
+  const std::size_t payload_start = e.size();
+  encode(e, status);
+  e.u16(agreed_version);
   e.patch_u32(kPayloadSizeOffset,
               static_cast<std::uint32_t>(e.size() - payload_start));
   return e.take();
@@ -865,9 +1004,12 @@ DecodeResult<RequestFrame> decode_request_frame(const std::uint8_t* data,
 
   RequestFrame frame;
   frame.request_id = scan.header.request_id;
-  Decoder d(data + kHeaderSize, scan.header.payload_size);
+  frame.version = scan.header.version;
+  frame.trace_id = scan.header.trace_id;
+  Decoder d(data + header_size(scan.header.version),
+            scan.header.payload_size);
   frame.deadline_ms = d.u32();
-  frame.request = decode_request(d);
+  frame.request = decode_request(d, scan.header.version);
   d.expect_end();
   if (!d.ok()) {
     result.error = d.error();
@@ -898,11 +1040,85 @@ DecodeResult<ResponseFrame> decode_response_frame(const std::uint8_t* data,
 
   ResponseFrame frame;
   frame.request_id = scan.header.request_id;
-  Decoder d(data + kHeaderSize, scan.header.payload_size);
+  frame.version = scan.header.version;
+  frame.trace_id = scan.header.trace_id;
+  Decoder d(data + header_size(scan.header.version),
+            scan.header.payload_size);
   frame.response.status = decode_status(d);
   frame.response.cache_hit = d.boolean();
   frame.response.latency = std::chrono::nanoseconds(d.i64());
-  frame.response.payload = decode_payload(d);
+  frame.response.payload = decode_payload(d, scan.header.version);
+  d.expect_end();
+  if (!d.ok()) {
+    result.error = d.error();
+    return result;
+  }
+  result.value = std::move(frame);
+  return result;
+}
+
+DecodeResult<HelloFrame> decode_hello_frame(const std::uint8_t* data,
+                                            std::size_t size) {
+  DecodeResult<HelloFrame> result;
+  const FrameScan scan = scan_frame(data, size);
+  if (scan.state == FrameScan::State::Bad) {
+    result.error = scan.error;
+    return result;
+  }
+  if (scan.state == FrameScan::State::NeedMore || scan.frame_size != size) {
+    result.error = {WireErrorCode::Truncated,
+                    "buffer is not exactly one frame"};
+    return result;
+  }
+  if (scan.header.kind != FrameKind::Hello) {
+    result.error = {WireErrorCode::BadFrameKind, "expected a Hello frame"};
+    return result;
+  }
+
+  HelloFrame frame;
+  frame.request_id = scan.header.request_id;
+  Decoder d(data + header_size(scan.header.version),
+            scan.header.payload_size);
+  frame.min_version = d.u16();
+  frame.max_version = d.u16();
+  d.expect_end();
+  if (!d.ok()) {
+    result.error = d.error();
+    return result;
+  }
+  if (frame.min_version > frame.max_version) {
+    result.error = {WireErrorCode::Malformed,
+                    "Hello min_version above max_version"};
+    return result;
+  }
+  result.value = frame;
+  return result;
+}
+
+DecodeResult<HelloAckFrame> decode_hello_ack_frame(const std::uint8_t* data,
+                                                   std::size_t size) {
+  DecodeResult<HelloAckFrame> result;
+  const FrameScan scan = scan_frame(data, size);
+  if (scan.state == FrameScan::State::Bad) {
+    result.error = scan.error;
+    return result;
+  }
+  if (scan.state == FrameScan::State::NeedMore || scan.frame_size != size) {
+    result.error = {WireErrorCode::Truncated,
+                    "buffer is not exactly one frame"};
+    return result;
+  }
+  if (scan.header.kind != FrameKind::HelloAck) {
+    result.error = {WireErrorCode::BadFrameKind, "expected a HelloAck frame"};
+    return result;
+  }
+
+  HelloAckFrame frame;
+  frame.request_id = scan.header.request_id;
+  Decoder d(data + header_size(scan.header.version),
+            scan.header.payload_size);
+  frame.status = decode_status(d);
+  frame.agreed_version = d.u16();
   d.expect_end();
   if (!d.ok()) {
     result.error = d.error();

@@ -17,20 +17,45 @@ inline constexpr std::uint32_t kMagic = 0x5443504Du;
 /// encodings.  A decoder rejects frames from a version it does not
 /// speak with WireErrorCode::UnsupportedVersion — see the versioning
 /// policy in docs/NET.md.
-inline constexpr std::uint16_t kProtocolVersion = 1;
+///
+/// v2 (current): appends a 64-bit trace id to the header and adds the
+/// control frame kinds (Ping/Pong/Hello/HelloAck) plus the chunked
+/// sweep request/response payloads used by the cluster tier.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 
-/// Fixed frame-header size in bytes:
+/// Oldest version this build still decodes.  A v1 client talking to a
+/// v2 server keeps working: the server answers each frame at the
+/// version the frame arrived with.
+inline constexpr std::uint16_t kMinProtocolVersion = 1;
+
+/// Frame-header layout.  Offsets shared by both versions:
 ///
 ///   offset  size  field
 ///        0     4  magic ("MPCT")
 ///        4     2  protocol version
-///        6     1  frame kind (1 = request, 2 = response)
+///        6     1  frame kind (see FrameKind)
 ///        7     1  reserved (must be 0)
 ///        8     8  request id (client-chosen; responses echo it, which
 ///                 is what makes pipelined/out-of-order completion work)
 ///       16     4  payload byte length
-///       20     -  payload
-inline constexpr std::size_t kHeaderSize = 20;
+///
+/// A v1 header ends there (20 bytes).  A v2 header appends:
+///
+///       20     8  trace id (0 = untraced); responses echo the
+///                 request's, so one distributed trace can stitch
+///                 client and server spans together
+///
+/// and the payload follows the header either way.
+inline constexpr std::size_t kHeaderSizeV1 = 20;
+inline constexpr std::size_t kHeaderSizeV2 = 28;
+
+/// Header size of a current-version (v2) frame — what this build's
+/// encode_*_frame helpers emit by default.
+inline constexpr std::size_t kHeaderSize = kHeaderSizeV2;
+
+constexpr std::size_t header_size(std::uint16_t version) {
+  return version >= 2 ? kHeaderSizeV2 : kHeaderSizeV1;
+}
 
 /// Hard payload ceiling.  A frame announcing more than this is rejected
 /// before any allocation — the stream is treated as garbage.
@@ -39,13 +64,32 @@ inline constexpr std::size_t kMaxPayloadBytes = 16u << 20;  // 16 MiB
 enum class FrameKind : std::uint8_t {
   Request = 1,
   Response = 2,
+  /// Liveness probe (empty payload); the peer answers Pong echoing the
+  /// request id.  Drives the cluster health state machine.
+  Ping = 3,
+  Pong = 4,
+  /// Version negotiation.  A client opens with Hello advertising its
+  /// [min, max] version range; the server answers HelloAck with the
+  /// agreed version (the highest both speak) or an UnsupportedVersion
+  /// status.  Hello/HelloAck always travel with a v1 header so the
+  /// handshake itself is readable by every version.
+  Hello = 5,
+  HelloAck = 6,
 };
 
 struct FrameHeader {
   FrameKind kind = FrameKind::Request;
+  std::uint16_t version = kProtocolVersion;
   std::uint64_t request_id = 0;
   std::uint32_t payload_size = 0;
+  std::uint64_t trace_id = 0;  ///< always 0 on v1 frames
 };
+
+/// Pick the version a server should answer a Hello with: the highest
+/// version both sides speak, or nullopt when the ranges do not
+/// intersect (→ answer with Status::unsupported_version).
+std::optional<std::uint16_t> negotiate_version(std::uint16_t client_min,
+                                               std::uint16_t client_max);
 
 /// Outcome of scanning a stream buffer for one complete frame.
 struct FrameScan {
@@ -73,6 +117,8 @@ struct RequestFrame {
   std::uint64_t request_id = 0;
   std::uint32_t deadline_ms = 0;
   service::Request request;
+  std::uint16_t version = kProtocolVersion;  ///< version the frame arrived at
+  std::uint64_t trace_id = 0;                ///< 0 on v1 frames / untraced
 };
 
 /// A decoded response frame.  `response.latency` is the server-observed
@@ -80,6 +126,23 @@ struct RequestFrame {
 struct ResponseFrame {
   std::uint64_t request_id = 0;
   service::QueryResponse response;
+  std::uint16_t version = kProtocolVersion;
+  std::uint64_t trace_id = 0;
+};
+
+/// A decoded Hello (version negotiation opener).
+struct HelloFrame {
+  std::uint64_t request_id = 0;
+  std::uint16_t min_version = kMinProtocolVersion;
+  std::uint16_t max_version = kProtocolVersion;
+};
+
+/// A decoded HelloAck.  `agreed_version` is meaningful only when
+/// `status.ok()`; on UnsupportedVersion it echoes the server's max.
+struct HelloAckFrame {
+  std::uint64_t request_id = 0;
+  service::Status status;
+  std::uint16_t agreed_version = kProtocolVersion;
 };
 
 /// Decode outcome: either a value or a typed error, never both.
@@ -91,16 +154,32 @@ struct DecodeResult {
   bool ok() const { return value.has_value(); }
 };
 
-/// Encode one complete request frame (header + payload).
-std::vector<std::uint8_t> encode_request_frame(std::uint64_t request_id,
-                                               const service::Request& request,
-                                               std::uint32_t deadline_ms = 0);
+/// Encode one complete request frame (header + payload) at @p version.
+/// Chunk requests (SweepChunk/FaultChunk) exist only at v2+; encoding
+/// one at v1 produces a frame any compliant decoder rejects, so don't.
+std::vector<std::uint8_t> encode_request_frame(
+    std::uint64_t request_id, const service::Request& request,
+    std::uint32_t deadline_ms = 0, std::uint16_t version = kProtocolVersion,
+    std::uint64_t trace_id = 0);
 
-/// Encode one complete response frame (header + payload).  Covers every
-/// Status (error responses travel exactly like results) and every
-/// ResponsePayload alternative.
+/// Encode one complete response frame (header + payload) at @p version.
+/// Covers every Status (error responses travel exactly like results)
+/// and every ResponsePayload alternative.  Servers answer at the
+/// version the request frame arrived with.
 std::vector<std::uint8_t> encode_response_frame(
-    std::uint64_t request_id, const service::QueryResponse& response);
+    std::uint64_t request_id, const service::QueryResponse& response,
+    std::uint16_t version = kProtocolVersion, std::uint64_t trace_id = 0);
+
+/// Control frames.  Ping/Pong carry an empty payload; Hello/HelloAck
+/// always travel with a v1 header (see FrameKind::Hello).
+std::vector<std::uint8_t> encode_ping_frame(std::uint64_t request_id);
+std::vector<std::uint8_t> encode_pong_frame(std::uint64_t request_id);
+std::vector<std::uint8_t> encode_hello_frame(std::uint64_t request_id,
+                                             std::uint16_t min_version,
+                                             std::uint16_t max_version);
+std::vector<std::uint8_t> encode_hello_ack_frame(std::uint64_t request_id,
+                                                 const service::Status& status,
+                                                 std::uint16_t agreed_version);
 
 /// Decode a complete frame previously delimited by scan_frame().
 /// @p size must be the exact frame size; trailing bytes are an error.
@@ -108,5 +187,9 @@ DecodeResult<RequestFrame> decode_request_frame(const std::uint8_t* data,
                                                 std::size_t size);
 DecodeResult<ResponseFrame> decode_response_frame(const std::uint8_t* data,
                                                   std::size_t size);
+DecodeResult<HelloFrame> decode_hello_frame(const std::uint8_t* data,
+                                            std::size_t size);
+DecodeResult<HelloAckFrame> decode_hello_ack_frame(const std::uint8_t* data,
+                                                   std::size_t size);
 
 }  // namespace mpct::wire

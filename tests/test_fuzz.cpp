@@ -286,7 +286,7 @@ TEST(Fuzz, WireDecoderSurvivesRandomBytesBehindAValidHeader) {
     frame[1] = 'P';
     frame[2] = 'C';
     frame[3] = 'T';
-    frame[4] = 1;  // version (LE)
+    frame[4] = 2;  // version (LE); v2 headers span the full kHeaderSize
     frame[5] = 0;
     frame[6] = static_cast<std::uint8_t>(1 + rng.next_below(2));  // kind
     frame[7] = 0;  // reserved
@@ -294,6 +294,9 @@ TEST(Fuzz, WireDecoderSurvivesRandomBytesBehindAValidHeader) {
       frame[b] = static_cast<std::uint8_t>(rng.next_below(256));
     }
     std::memcpy(frame.data() + 16, &payload_size, sizeof(payload_size));
+    for (std::size_t b = 20; b < 28; ++b) {  // trace id: any bits are legal
+      frame[b] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
     for (std::size_t b = wire::kHeaderSize; b < frame.size(); ++b) {
       frame[b] = static_cast<std::uint8_t>(rng.next_below(256));
     }

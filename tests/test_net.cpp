@@ -361,6 +361,101 @@ TEST(NetClient, UnreachableServerYieldsUnavailableAfterRetries) {
   EXPECT_EQ(response.status.code, StatusCode::Unavailable);
   EXPECT_FALSE(response.status.message.empty());
   EXPECT_EQ(metrics.net_retries.value(), 2u);
+  // Retries re-send the *same* logical request: it is counted once, not
+  // once per wire attempt (hedges would tick net_hedges_sent instead).
+  EXPECT_EQ(metrics.net_requests_sent.value(), 1u);
+  EXPECT_EQ(metrics.net_hedges_sent.value(), 0u);
+}
+
+TEST(NetClient, RequestAccountingCountsLogicalRequestsOnce) {
+  service::EngineOptions options;
+  options.worker_threads = 2;
+  service::QueryEngine engine(options);
+  net::Server server(engine);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  service::MetricsRegistry metrics;
+  net::Client client(client_options(server.port(), &metrics));
+  const auto responses = client.call_batch(all_requests());
+  for (const auto& response : responses) ASSERT_TRUE(response.ok());
+  EXPECT_EQ(metrics.net_requests_sent.value(), all_requests().size());
+  EXPECT_EQ(metrics.net_retries.value(), 0u);
+  EXPECT_EQ(metrics.net_hedges_sent.value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol version negotiation (wire v2)
+
+TEST(NetVersion, NegotiateAgreesOnTheHighestCommonVersion) {
+  service::EngineOptions options;
+  options.worker_threads = 1;
+  service::QueryEngine engine(options);
+  net::Server server(engine);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  net::Client client(client_options(server.port()));
+  const auto status = client.negotiate();
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  EXPECT_EQ(client.agreed_version(), wire::kProtocolVersion);
+  // The negotiated connection still serves traffic.
+  EXPECT_TRUE(client.call(classify_spec_request()).ok());
+}
+
+TEST(NetVersion, OldV1ClientIsStillServed) {
+  service::EngineOptions options;
+  options.worker_threads = 2;
+  service::QueryEngine engine(options);
+  net::Server server(engine);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  service::EngineOptions ref_options;
+  ref_options.worker_threads = 0;
+  service::QueryEngine reference(ref_options);
+
+  // A client pinned to protocol v1 (an old binary): every request frame
+  // goes out with the short header, and the server must answer each at
+  // v1 — bit-identical payloads, no version bleed.
+  net::ClientOptions copts = client_options(server.port());
+  copts.protocol_version = 1;
+  net::Client v1_client(copts);
+  const auto status = v1_client.negotiate();
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  EXPECT_EQ(v1_client.agreed_version(), 1u);
+  for (const Request& request : all_requests()) {
+    const QueryResponse wire_response = v1_client.call(request);
+    ASSERT_TRUE(wire_response.ok()) << wire_response.status.to_string();
+    expect_payload_parity(wire_response, reference.execute(request));
+  }
+}
+
+TEST(NetVersion, ImpossibleRangeGetsTypedUnsupportedVersion) {
+  service::EngineOptions options;
+  options.worker_threads = 1;
+  service::QueryEngine engine(options);
+  net::Server server(engine);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // A future client speaking only versions we do not: the server must
+  // answer a typed UnsupportedVersion HelloAck, not cut the stream.
+  const auto hello = wire::encode_hello_frame(4, 99, 104);
+  const auto reply = raw_exchange(server.port(), hello);
+  ASSERT_FALSE(reply.empty());
+  const auto ack = wire::decode_hello_ack_frame(reply.data(), reply.size());
+  ASSERT_TRUE(ack.ok()) << ack.error.to_string();
+  EXPECT_EQ(ack.value->request_id, 4u);
+  EXPECT_EQ(ack.value->status.code, StatusCode::UnsupportedVersion);
+}
+
+TEST(NetVersion, PingPongRoundTrips) {
+  service::EngineOptions options;
+  options.worker_threads = 0;  // pings never touch the engine
+  service::QueryEngine engine(options);
+  net::Server server(engine);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  net::Client client(client_options(server.port()));
+  std::string error;
+  EXPECT_TRUE(client.ping(std::chrono::milliseconds(2000), error)) << error;
 }
 
 TEST(NetClient, DeadlineAlreadyExpiredShortCircuitsLocally) {

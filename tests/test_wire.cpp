@@ -93,6 +93,22 @@ Request fault_sweep_request() {
   return req;
 }
 
+Request sweep_chunk_request() {
+  service::SweepChunkRequest req;
+  req.grid = std::get<service::SweepRequest>(sweep_request()).grid;
+  req.begin = 1;
+  req.end = 5;
+  return req;
+}
+
+Request fault_chunk_request() {
+  service::FaultChunkRequest req;
+  req.spec = std::get<service::FaultSweepRequest>(fault_sweep_request()).spec;
+  req.begin = 2;
+  req.end = 6;
+  return req;
+}
+
 std::vector<Request> all_requests() {
   std::vector<Request> requests;
   requests.push_back(classify_spec_request());
@@ -102,6 +118,8 @@ std::vector<Request> all_requests() {
   requests.push_back(cost_spec_request());
   requests.push_back(sweep_request());
   requests.push_back(fault_sweep_request());
+  requests.push_back(sweep_chunk_request());
+  requests.push_back(fault_chunk_request());
   return requests;
 }
 
@@ -345,6 +363,116 @@ TEST(DecodeErrors, ErrorsRenderReadably) {
   EXPECT_EQ(error.to_string(), "truncated: payload ends early");
   EXPECT_EQ(to_string(WireErrorCode::UnsupportedVersion),
             "unsupported-version");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2: per-version headers, trace ids, control frames, and the
+// v1 compatibility rules.
+
+TEST(ProtocolV2, V1FramesUseTheShortHeaderAndStillDecode) {
+  const Request request = classify_spec_request();
+  const auto frame =
+      encode_request_frame(5, request, 100, /*version=*/1);
+  const FrameScan scan = scan_frame(frame.data(), frame.size());
+  ASSERT_EQ(scan.state, FrameScan::State::Ready);
+  EXPECT_EQ(scan.header.version, 1u);
+  EXPECT_EQ(scan.header.trace_id, 0u);  // v1 has no trace field
+  EXPECT_EQ(scan.frame_size, frame.size());
+  // The v1 header is 8 bytes shorter than v2's.
+  const auto v2 = encode_request_frame(5, request, 100, /*version=*/2);
+  EXPECT_EQ(frame.size() + (kHeaderSizeV2 - kHeaderSizeV1), v2.size());
+
+  const auto decoded = decode_request_frame(frame.data(), frame.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error.to_string();
+  EXPECT_EQ(decoded.value->version, 1u);
+  EXPECT_EQ(service::fingerprint(decoded.value->request),
+            service::fingerprint(request));
+}
+
+TEST(ProtocolV2, TraceIdRidesTheV2HeaderBothWays) {
+  const std::uint64_t trace_id = 0xFEEDFACE12345678ull;
+  const auto frame = encode_request_frame(9, recommend_request(), 0,
+                                          kProtocolVersion, trace_id);
+  const FrameScan scan = scan_frame(frame.data(), frame.size());
+  ASSERT_EQ(scan.state, FrameScan::State::Ready);
+  EXPECT_EQ(scan.header.trace_id, trace_id);
+  const auto decoded = decode_request_frame(frame.data(), frame.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value->trace_id, trace_id);
+
+  QueryResponse response;
+  response.status = service::Status::okay();
+  const auto reply =
+      encode_response_frame(9, response, kProtocolVersion, trace_id);
+  const auto reply_decoded = decode_response_frame(reply.data(), reply.size());
+  ASSERT_TRUE(reply_decoded.ok());
+  EXPECT_EQ(reply_decoded.value->trace_id, trace_id);
+}
+
+TEST(ProtocolV2, ChunkRequestsAreRejectedOnV1Frames) {
+  // The chunk request types are v2-only: a v1 frame carrying one is
+  // malformed by definition (an old peer could never have sent it).
+  for (const Request& request :
+       {sweep_chunk_request(), fault_chunk_request()}) {
+    const auto v1_frame = encode_request_frame(3, request, 0, /*version=*/1);
+    const auto decoded =
+        decode_request_frame(v1_frame.data(), v1_frame.size());
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error.code, WireErrorCode::Malformed);
+
+    const auto v2_frame = encode_request_frame(3, request, 0, /*version=*/2);
+    EXPECT_TRUE(
+        decode_request_frame(v2_frame.data(), v2_frame.size()).ok());
+  }
+}
+
+TEST(ProtocolV2, PingPongFramesScanAsHeaderOnlyFrames) {
+  for (const auto& frame : {encode_ping_frame(21), encode_pong_frame(21)}) {
+    const FrameScan scan = scan_frame(frame.data(), frame.size());
+    ASSERT_EQ(scan.state, FrameScan::State::Ready);
+    EXPECT_EQ(scan.header.request_id, 21u);
+    EXPECT_EQ(scan.header.payload_size, 0u);
+  }
+  EXPECT_EQ(scan_frame(encode_ping_frame(1).data(),
+                       encode_ping_frame(1).size())
+                .header.kind,
+            FrameKind::Ping);
+  EXPECT_EQ(scan_frame(encode_pong_frame(1).data(),
+                       encode_pong_frame(1).size())
+                .header.kind,
+            FrameKind::Pong);
+}
+
+TEST(ProtocolV2, HelloHandshakeRoundTripsAtV1Framing) {
+  // Hello/HelloAck always travel with the v1 header: the handshake that
+  // *selects* a version must be readable at every version.
+  const auto hello = encode_hello_frame(31, 1, kProtocolVersion);
+  const FrameScan scan = scan_frame(hello.data(), hello.size());
+  ASSERT_EQ(scan.state, FrameScan::State::Ready);
+  EXPECT_EQ(scan.header.version, 1u);
+  EXPECT_EQ(scan.header.kind, FrameKind::Hello);
+  const auto decoded = decode_hello_frame(hello.data(), hello.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error.to_string();
+  EXPECT_EQ(decoded.value->request_id, 31u);
+  EXPECT_EQ(decoded.value->min_version, 1u);
+  EXPECT_EQ(decoded.value->max_version, kProtocolVersion);
+
+  const auto ack =
+      encode_hello_ack_frame(31, service::Status::okay(), kProtocolVersion);
+  const auto ack_decoded = decode_hello_ack_frame(ack.data(), ack.size());
+  ASSERT_TRUE(ack_decoded.ok()) << ack_decoded.error.to_string();
+  EXPECT_EQ(ack_decoded.value->request_id, 31u);
+  EXPECT_TRUE(ack_decoded.value->status.ok());
+  EXPECT_EQ(ack_decoded.value->agreed_version, kProtocolVersion);
+}
+
+TEST(ProtocolV2, NegotiateVersionPicksTheHighestCommonVersion) {
+  EXPECT_EQ(negotiate_version(1, kProtocolVersion), kProtocolVersion);
+  EXPECT_EQ(negotiate_version(1, 1), 1);  // old v1-only client
+  EXPECT_EQ(negotiate_version(2, 2), 2);
+  // A client entirely above what we speak cannot be served.
+  EXPECT_EQ(negotiate_version(kProtocolVersion + 1, kProtocolVersion + 5),
+            std::nullopt);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 /// baseline block was measured and how to regenerate).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -23,6 +24,7 @@
 #include "cost/area_model.hpp"
 #include "cost/config_bits.hpp"
 #include "cost/cost_plan.hpp"
+#include "cost/cost_plan_set.hpp"
 #include "explore/recommend.hpp"
 #include "explore/sweep.hpp"
 #include "report/csv.hpp"
@@ -38,6 +40,12 @@ using namespace mpct;
 constexpr int kProbeSerials[] = {1, 8, 22, 40, 47};
 constexpr double kBaselineSinglePointNs[] = {10.6, 31.3, 39.4, 29.0, 7.32};
 constexpr double kBaselineClassifyNs[] = {4.13, 3.00, 3.91, 3.62, 1.68};
+
+// Hard regression floor for single-thread sweep throughput, enforced by
+// bench/check_regression.py against the "floors" block this binary
+// emits: 5x the scalar-path baseline committed before the batch-kernel
+// rewrite (sweep_cells_per_s.threads_0 = 2.76e5 at commit 586f006).
+constexpr double kSweepCellsPerSFloor = 1.38e6;
 
 /// ns/op of @p fn via a fixed-count timed loop, minimum over 7 runs —
 /// scheduler noise on a shared machine is strictly additive, so the
@@ -130,6 +138,88 @@ std::vector<ScalingRow> measure_scaling() {
   return rows;
 }
 
+/// Per-cell time split of the batch sweep path.  `total` and `decode`
+/// and `evaluate` are measured; `reduce` is the remainder — the
+/// winner-fold cannot be timed in isolation through the public API, but
+/// total = decode + evaluate + reduce by construction of the kernel
+/// (see docs/PERF.md).
+struct StageBreakdown {
+  double decode_ns = 0;
+  double evaluate_ns = 0;
+  double reduce_ns = 0;
+  double total_ns = 0;
+};
+
+StageBreakdown measure_stages() {
+  const explore::SweepGrid grid = scaling_grid().normalized();
+  const explore::SweepEvaluator evaluator(grid);
+  const std::size_t cells = evaluator.cell_count();
+  const double cells_d = static_cast<double>(cells);
+  StageBreakdown stages;
+
+  // Total: the batch path end to end, single thread.
+  std::vector<explore::SweepPoint> points(cells);
+  stages.total_ns = measure_ns(
+                        [&] {
+                          evaluator.evaluate_range(0, cells, points.data());
+                          benchmark::DoNotOptimize(points.data());
+                        },
+                        4) /
+                    cells_d;
+
+  // Decode: flat cell index -> (ni, li, oi), once per cell.
+  const std::size_t row = evaluator.row_cells();
+  const std::size_t o_count = grid.objectives.size();
+  stages.decode_ns = measure_ns(
+                         [&] {
+                           std::size_t acc = 0;
+                           for (std::size_t i = 0; i < cells; ++i) {
+                             const std::size_t ni = i / row;
+                             const std::size_t rest = i - ni * row;
+                             const std::size_t li = rest / o_count;
+                             acc += ni + li + (rest - li * o_count);
+                           }
+                           benchmark::DoNotOptimize(acc);
+                         },
+                         16) /
+                     cells_d;
+
+  // Evaluate: replay exactly the kernel's CostPlanSet calls — the
+  // scaling grid's min_flexibility 0 admits every named taxonomy row,
+  // so this is the same candidate set the evaluator built; v-dependent
+  // plans price every (n, v) lane, v-independent ones once per row.
+  const cost::ComponentLibrary lib = cost::ComponentLibrary::default_library();
+  cost::CostPlanSet plans;
+  std::vector<std::size_t> v_dep, v_indep;
+  for (const TaxonomyIndex::ClassInfo& taxon : taxonomy_index().rows()) {
+    if (!taxon.named) continue;
+    const std::size_t p = plans.size();
+    plans.add(taxon.machine, lib);
+    (plans.depends_v(p) ? v_dep : v_indep).push_back(p);
+  }
+  std::vector<cost::CostPoint> lane(grid.lut_budgets.size());
+  stages.evaluate_ns =
+      measure_ns(
+          [&] {
+            for (const std::int64_t n : grid.n_values) {
+              for (const std::size_t p : v_indep) {
+                cost::CostPoint point =
+                    plans.evaluate(p, n, grid.lut_budgets[0]);
+                benchmark::DoNotOptimize(point);
+              }
+              for (const std::size_t p : v_dep) {
+                plans.evaluate_row(p, n, grid.lut_budgets, lane.data());
+                benchmark::DoNotOptimize(lane.data());
+              }
+            }
+          },
+          4) /
+      cells_d;
+  stages.reduce_ns = std::max(
+      0.0, stages.total_ns - stages.evaluate_ns - stages.decode_ns);
+  return stages;
+}
+
 double measure_engine_sweep_s() {
   service::EngineOptions options;
   options.worker_threads = 4;
@@ -177,6 +267,7 @@ void print_artifact(const std::string& json_path) {
             << classify_csv.str() << "\n";
 
   const std::vector<ScalingRow> scaling = measure_scaling();
+  const StageBreakdown stages = measure_stages();
   const double engine_s = measure_engine_sweep_s();
   const double cells = static_cast<double>(scaling_grid().cell_count());
   report::CsvWriter scaling_csv;
@@ -192,6 +283,29 @@ void print_artifact(const std::string& json_path) {
   std::cout << "# sweep scaling: 1408-cell grid, library sweep() + engine "
                "SweepRequest\n"
             << scaling_csv.str() << "\n";
+
+  report::CsvWriter stage_csv;
+  stage_csv.add_row({"stage", "ns_per_cell"});
+  stage_csv.add_row({"decode", fmt(stages.decode_ns)});
+  stage_csv.add_row({"evaluate", fmt(stages.evaluate_ns)});
+  stage_csv.add_row({"reduce", fmt(stages.reduce_ns)});
+  stage_csv.add_row({"total", fmt(stages.total_ns)});
+  std::cout << "# batch kernel per-cell stage breakdown (single thread)\n"
+            << stage_csv.str() << "\n";
+
+  // Monotone-scaling gate: with the worker pool clamped to
+  // hardware_concurrency, asking for the most threads must never run
+  // slower than one thread (the regression this PR removes).  10% noise
+  // guard for shared CI machines.
+  const double single_thread = scaling[0].cells_per_s;
+  const double clamped_max = scaling.back().cells_per_s;
+  if (clamped_max < 0.9 * single_thread) {
+    std::cerr << "FAIL: sweep at the clamped max thread count ("
+              << fmt(clamped_max) << " cells/s) fell below the "
+              << "single-thread figure (" << fmt(single_thread)
+              << " cells/s)\n";
+    std::exit(1);
+  }
 
   if (json_path.empty()) return;
   std::ofstream out(json_path);
@@ -227,7 +341,14 @@ void print_artifact(const std::string& json_path) {
     out << (i ? ", " : "") << "\"threads_" << scaling[i].threads
         << "\": " << fmt(scaling[i].speedup);
   }
-  out << "},\n    \"engine_sweep_cells_per_s\": " << fmt(cells / engine_s)
+  out << "},\n    \"sweep_stage_ns_per_cell\": {\"decode\": "
+      << fmt(stages.decode_ns) << ", \"evaluate\": " << fmt(stages.evaluate_ns)
+      << ", \"reduce\": " << fmt(stages.reduce_ns)
+      << ", \"total\": " << fmt(stages.total_ns) << "}";
+  out << ",\n    \"engine_sweep_cells_per_s\": " << fmt(cells / engine_s)
+      << "\n  },\n"
+      << "  \"floors\": {\n"
+      << "    \"sweep_cells_per_s.threads_0\": " << fmt(kSweepCellsPerSFloor)
       << "\n  }\n}\n";
   std::cout << "JSON written to " << json_path << "\n\n";
 }

@@ -9,11 +9,23 @@ bench_trace --json output).  Every numeric leaf under the "current"
 block is compared pairwise; a relative deviation beyond the band
 (default +/-30%, override with --band 0.5) prints a WARNING line.
 
-Warn-only by design: CI runners are noisy shared machines and the
-committed numbers come from a different host, so deviations are a
-prompt to look, not a gate.  The exit code is 0 unless the inputs
-themselves are unusable (missing file, malformed JSON, mismatched
-bench names) — only stdlib, no third-party deps.
+Band deviations are warn-only by design: CI runners are noisy shared
+machines and the committed numbers come from a different host, so
+deviations are a prompt to look, not a gate.
+
+Floors are a gate.  A committed baseline may carry a "floors" block
+mapping dotted "current"-relative paths to hard minimums, e.g.
+
+    "floors": {"sweep_cells_per_s.threads_0": 1.38e6}
+
+A fresh value below its floor (or a floored metric missing from the
+fresh run) prints a FAIL line and the script exits 1.  Floors encode
+order-of-magnitude guarantees (the batch sweep kernel must stay >= 5x
+the pre-batch scalar baseline), far below host-to-host noise.
+
+Exit code is also 1 when the inputs themselves are unusable (missing
+file, malformed JSON, mismatched bench names).  Only stdlib, no
+third-party deps.
 """
 
 import argparse
@@ -79,9 +91,23 @@ def compare(committed_path, fresh_path, band):
     for path in sorted(set(new) - set(base)):
         print(f"NOTE [{name}] {path}: new metric, no baseline")
 
+    failures = 0
+    floors = committed.get("floors", {})
+    for path in sorted(floors):
+        floor = float(floors[path])
+        if path not in new:
+            print(f"FAIL [{name}] {path}: floored at {floor:g} but missing "
+                  f"from the fresh run")
+            failures += 1
+        elif new[path] < floor:
+            print(f"FAIL [{name}] {path}: {new[path]:g} below the hard "
+                  f"floor {floor:g}")
+            failures += 1
+
     compared = len(set(base) & set(new))
-    print(f"[{name}] compared {compared} metrics, {warnings} outside the band")
-    return warnings
+    print(f"[{name}] compared {compared} metrics, {warnings} outside the "
+          f"band, {failures} below hard floors")
+    return failures
 
 
 def main():
@@ -96,7 +122,8 @@ def main():
 
     failed = False
     for committed, fresh in zip(args.files[::2], args.files[1::2]):
-        if compare(committed, fresh, args.band) is None:
+        result = compare(committed, fresh, args.band)
+        if result is None or result > 0:
             failed = True
     return 1 if failed else 0
 

@@ -114,18 +114,26 @@ service::QueryResponse CombiningProxy::handle(ClusterClient& cluster,
 
 namespace {
 
-/// Split [0, cells) into @p chunks near-equal disjoint ranges.
+/// Split [0, cells) into at most @p chunks near-equal disjoint ranges
+/// whose boundaries (except the last) land on multiples of
+/// @p granularity — sweep chunks align to whole grid rows so every
+/// backend runs the evaluator's batch kernel end to end.
 template <typename MakeRequest>
 std::vector<service::Request> make_chunks(std::uint64_t cells,
                                           std::uint64_t chunks,
+                                          std::uint64_t granularity,
                                           MakeRequest make_request) {
   std::vector<service::Request> requests;
   requests.reserve(static_cast<std::size_t>(chunks));
+  const std::uint64_t grain = std::max<std::uint64_t>(1, granularity);
+  std::uint64_t begin = 0;
   for (std::uint64_t k = 0; k < chunks; ++k) {
-    const std::uint64_t begin = cells * k / chunks;
-    const std::uint64_t end = cells * (k + 1) / chunks;
-    if (begin == end) continue;
+    std::uint64_t end = cells * (k + 1) / chunks;
+    end = std::min(cells, (end + grain - 1) / grain * grain);
+    if (k + 1 == chunks) end = cells;
+    if (begin >= end) continue;
     requests.push_back(make_request(begin, end));
+    begin = end;
   }
   return requests;
 }
@@ -150,8 +158,14 @@ service::QueryResponse CombiningProxy::scatter_sweep(
   // Chunks carry the *original* grid: backends normalize it identically,
   // and identical outer sweeps then fingerprint to identical chunks —
   // deterministic placement and cache affinity on repeats.
+  // One grid row (all LUT budgets x all objectives at one n) is the
+  // backend batch kernel's granularity.
+  const explore::SweepGrid normalized = request.grid.normalized();
+  const std::uint64_t row_cells =
+      static_cast<std::uint64_t>(normalized.lut_budgets.size()) *
+      normalized.objectives.size();
   const auto parts = cluster.call_many(
-      make_chunks(cells, chunks,
+      make_chunks(cells, chunks, row_cells,
                   [&](std::uint64_t begin, std::uint64_t end) {
                     return service::Request(
                         service::SweepChunkRequest{request.grid, begin, end});
@@ -206,7 +220,7 @@ service::QueryResponse CombiningProxy::scatter_fault(
   span.annotate("chunks", static_cast<std::int64_t>(chunks));
 
   const auto parts = cluster.call_many(
-      make_chunks(cells, chunks,
+      make_chunks(cells, chunks, /*granularity=*/1,
                   [&](std::uint64_t begin, std::uint64_t end) {
                     return service::Request(
                         service::FaultChunkRequest{request.spec, begin, end});

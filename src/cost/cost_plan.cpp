@@ -1,105 +1,99 @@
 #include "cost/cost_plan.hpp"
 
-#include "cost/switch_cost.hpp"
+#include <stdexcept>
+
 #include "trace/trace.hpp"
 
 namespace mpct::cost {
 
+namespace detail {
+
 namespace {
 
-/// Same binding as cost/resolve's: Many -> n, Variable -> v.
-std::int64_t bind(Multiplicity mult, std::int64_t n, std::int64_t v) {
+Bind bind_of(Multiplicity mult) {
   switch (mult) {
-    case Multiplicity::Zero:
-      return 0;
-    case Multiplicity::One:
-      return 1;
-    case Multiplicity::Many:
-      return n;
-    case Multiplicity::Variable:
-      return v;
+    case Multiplicity::Zero:     return Bind::Zero;
+    case Multiplicity::One:      return Bind::One;
+    case Multiplicity::Many:     return Bind::N;
+    case Multiplicity::Variable: return Bind::V;
   }
-  return 0;
+  return Bind::Zero;
 }
 
 }  // namespace
 
+PlanTerms build_plan_terms(const MachineClass& mc, const ComponentLibrary& lib,
+                           bool include_ip_dp_switch) {
+  PlanTerms t;
+  t.lut_grain = mc.granularity == Granularity::Lut;
+  t.ips = bind_of(mc.ips);
+  t.dps = bind_of(mc.dps);
+  t.ip_area = lib.ip.area_kge;
+  t.dp_area = lib.dp.area_kge;
+  t.im_area = lib.im.area_kge;
+  t.dm_area = lib.dm.area_kge;
+  t.lut_area = lib.lut.area_kge;
+  t.ip_bits = lib.ip.config_bits;
+  t.dp_bits = lib.dp.config_bits;
+  t.im_bits = lib.im.config_bits;
+  t.dm_bits = lib.dm.config_bits;
+  t.lut_bits = lib.lut.config_bits;
+  t.width = t.lut_grain ? 1 : lib.data_width;
+  t.switch_params = lib.switch_params;
+
+  // Resolve each connectivity column to (kind, left-bind, right-bind).
+  // Memory bank counts mirror their processors (ims = ips, dms = dps),
+  // so the endpoint binds below reuse the processor binds; a LUT fabric
+  // overrides every endpoint to the v-block pool, exactly as the scalar
+  // link() lambda used to.
+  const Bind l = Bind::V;  // lut-grain endpoint
+  const auto kind_of = [&](ConnectivityRole role) {
+    return mc.switches[static_cast<std::size_t>(role)];
+  };
+  const Bind ips = t.lut_grain ? l : t.ips;
+  const Bind dps = t.lut_grain ? l : t.dps;
+  t.roles[0] = {kind_of(ConnectivityRole::IpIp), ips, ips};
+  t.roles[1] = {kind_of(ConnectivityRole::IpIm), ips, ips};  // ims = ips
+  t.roles[2] = include_ip_dp_switch
+                   ? RoleTerm{kind_of(ConnectivityRole::IpDp), ips, dps}
+                   : RoleTerm{SwitchKind::None, Bind::Zero, Bind::Zero};
+  t.roles[3] = {kind_of(ConnectivityRole::DpDm), dps, dps};  // dms = dps
+  t.roles[4] = {kind_of(ConnectivityRole::DpDp), dps, dps};
+
+  // Axis dependence: every count the kernel reads derives from the
+  // processor binds (block terms and switch endpoints alike), or from v
+  // directly for a LUT fabric.
+  if (t.lut_grain) {
+    t.depends_v = true;
+  } else {
+    t.depends_n = t.ips == Bind::N || t.dps == Bind::N;
+    t.depends_v = t.ips == Bind::V || t.dps == Bind::V;
+  }
+  return t;
+}
+
+}  // namespace detail
+
 CostPlan::CostPlan(const MachineClass& mc, const ComponentLibrary& lib,
                    bool include_ip_dp_switch)
-    : lut_grain_(mc.granularity == Granularity::Lut),
-      include_ip_dp_(include_ip_dp_switch),
-      ips_mult_(mc.ips),
-      dps_mult_(mc.dps),
-      kinds_(mc.switches),
-      ip_(lib.ip),
-      dp_(lib.dp),
-      im_(lib.im),
-      dm_(lib.dm),
-      lut_(lib.lut),
-      data_width_(lib.data_width),
-      switch_params_(lib.switch_params) {}
+    : terms_(detail::build_plan_terms(mc, lib, include_ip_dp_switch)) {}
 
 CostPoint CostPlan::evaluate(std::int64_t n, std::int64_t v) const {
   trace::profile_count(trace::ProfilePoint::CostEvaluate);
-  // Bind the symbolic structure exactly as detail::resolve(mc, options)
-  // does: memory bank counts mirror their processors; for a LUT fabric
-  // every connectivity column spans the v-block pool.
-  std::int64_t ips = 0, dps = 0, luts = 0;
-  if (lut_grain_) {
-    luts = v;
-  } else {
-    ips = bind(ips_mult_, n, v);
-    dps = bind(dps_mult_, n, v);
+  return detail::evaluate_terms(terms_, n, v);
+}
+
+void CostPlan::evaluate_batch(std::span<const std::int64_t> n,
+                              std::span<const std::int64_t> v,
+                              CostPoint* out) const {
+  if (n.size() != v.size()) {
+    throw std::invalid_argument("evaluate_batch: lane count mismatch");
   }
-  const std::int64_t ims = ips, dms = dps;
-  const int width = lut_grain_ ? 1 : data_width_;
-
-  // Block terms — same expressions as the estimate_from helpers.
-  double a_ip = 0, a_im = 0, a_dp = 0, a_dm = 0, a_lut = 0;
-  std::int64_t b_ip = 0, b_im = 0, b_dp = 0, b_dm = 0, b_lut = 0;
-  if (lut_grain_) {
-    a_lut = static_cast<double>(luts) * lut_.area_kge;
-    b_lut = luts * lut_.config_bits;
-  } else {
-    a_ip = static_cast<double>(ips) * ip_.area_kge;
-    a_dp = static_cast<double>(dps) * dp_.area_kge;
-    a_im = static_cast<double>(ims) * im_.area_kge;
-    a_dm = static_cast<double>(dms) * dm_.area_kge;
-    b_ip = ips * ip_.config_bits;
-    b_dp = dps * dp_.config_bits;
-    b_im = ims * im_.config_bits;
-    b_dm = dms * dm_.config_bits;
+  trace::profile_count_n(trace::ProfilePoint::CostEvaluate, n.size());
+  const detail::PlanTerms& t = terms_;  // hoist: one load, no indirection
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    out[i] = detail::evaluate_terms(t, n[i], v[i]);
   }
-
-  // Switch terms through the same cost function the estimates use.
-  const auto link = [&](ConnectivityRole role, std::int64_t left,
-                        std::int64_t right) {
-    if (lut_grain_) {
-      left = luts;
-      right = luts;
-    }
-    return switch_cost(kinds_[static_cast<std::size_t>(role)], left, right,
-                       width, switch_params_);
-  };
-  const SwitchCost ip_ip = link(ConnectivityRole::IpIp, ips, ips);
-  const SwitchCost ip_im = link(ConnectivityRole::IpIm, ips, ims);
-  const SwitchCost dp_dm = link(ConnectivityRole::DpDm, dps, dms);
-  const SwitchCost dp_dp = link(ConnectivityRole::DpDp, dps, dps);
-  SwitchCost ip_dp;  // Eq. 1/2 as printed omit IP-DP; extended model adds it
-  if (include_ip_dp_) ip_dp = link(ConnectivityRole::IpDp, ips, dps);
-
-  // Totals in the exact member order of AreaEstimate::total_kge() and
-  // ConfigBitsEstimate::total() — addition order matters for the
-  // bit-identity contract.
-  CostPoint point;
-  point.area_kge = a_ip + a_im + a_dp + a_dm + a_lut + ip_ip.area_kge +
-                   ip_im.area_kge + ip_dp.area_kge + dp_dm.area_kge +
-                   dp_dp.area_kge;
-  point.config_bits = b_ip + b_im + b_dp + b_dm + b_lut +
-                      ip_ip.config_bits + ip_im.config_bits +
-                      ip_dp.config_bits + dp_dm.config_bits +
-                      dp_dp.config_bits;
-  return point;
 }
 
 }  // namespace mpct::cost

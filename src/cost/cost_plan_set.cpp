@@ -1,0 +1,56 @@
+#include "cost/cost_plan_set.hpp"
+
+#include <stdexcept>
+
+#include "trace/trace.hpp"
+
+namespace mpct::cost {
+
+std::size_t CostPlanSet::add(const MachineClass& mc,
+                             const ComponentLibrary& lib,
+                             bool include_ip_dp_switch) {
+  plans_.push_back(detail::build_plan_terms(mc, lib, include_ip_dp_switch));
+  return plans_.size() - 1;
+}
+
+std::size_t CostPlanSet::add(const CostPlan& plan) {
+  plans_.push_back(plan.terms());
+  return plans_.size() - 1;
+}
+
+void CostPlanSet::evaluate_lanes(std::size_t plan,
+                                 std::span<const std::int64_t> n,
+                                 std::span<const std::int64_t> v,
+                                 CostPoint* out) const {
+  if (n.size() != v.size()) {
+    throw std::invalid_argument("evaluate_lanes: lane count mismatch");
+  }
+  trace::profile_count_n(trace::ProfilePoint::CostEvaluate, n.size());
+  const detail::PlanTerms& t = plans_[plan];
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    out[i] = detail::evaluate_terms(t, n[i], v[i]);
+  }
+}
+
+void CostPlanSet::evaluate_row(std::size_t plan, std::int64_t n,
+                               std::span<const std::int64_t> v,
+                               CostPoint* out) const {
+  trace::profile_count_n(trace::ProfilePoint::CostEvaluate, v.size());
+  const detail::PlanTerms& t = plans_[plan];
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = detail::evaluate_terms(t, n, v[i]);
+  }
+}
+
+void CostPlanSet::evaluate_batch(std::span<const std::int64_t> n,
+                                 std::span<const std::int64_t> v,
+                                 CostPoint* out) const {
+  if (n.size() != v.size()) {
+    throw std::invalid_argument("evaluate_batch: lane count mismatch");
+  }
+  for (std::size_t p = 0; p < plans_.size(); ++p) {
+    evaluate_lanes(p, n, v, out + p * n.size());
+  }
+}
+
+}  // namespace mpct::cost

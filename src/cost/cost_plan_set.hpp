@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cost/cost_plan.hpp"
+
+namespace mpct::cost {
+
+/// Plan-major batch evaluator: the Eq. 1 / Eq. 2 invariants of many
+/// machine classes (the sweep's 47 canonical candidates) laid out as one
+/// contiguous array of detail::PlanTerms.
+///
+/// A sweep prices every candidate at every grid cell.  Doing that
+/// candidate-by-candidate through separate CostPlan objects walks a
+/// pointer per candidate per cell; laying the terms out contiguously and
+/// iterating plan-major (one plan across many design-point lanes, then
+/// the next plan) keeps the inner loop a stream of multiply-adds over
+/// one 200-byte invariant block that stays in L1 — no pointer chasing,
+/// no re-binding of the symbolic structure.
+///
+/// Bit-identity: every entry point funnels through the same
+/// detail::evaluate_terms kernel as CostPlan::evaluate, so batch results
+/// equal the scalar results bit for bit (see the contract on CostPlan).
+///
+/// Thread safety: immutable once populated; all evaluation is const.
+class CostPlanSet {
+ public:
+  CostPlanSet() = default;
+
+  /// Append one plan; returns its index.  Invalidates terms() pointers.
+  std::size_t add(const MachineClass& mc, const ComponentLibrary& lib,
+                  bool include_ip_dp_switch = false);
+  std::size_t add(const CostPlan& plan);
+
+  std::size_t size() const { return plans_.size(); }
+  bool empty() const { return plans_.empty(); }
+  void reserve(std::size_t count) { plans_.reserve(count); }
+
+  /// Scalar point of one plan — bit-identical to CostPlan::evaluate.
+  CostPoint evaluate(std::size_t plan, std::int64_t n, std::int64_t v) const {
+    return detail::evaluate_terms(plans_[plan], n, v);
+  }
+
+  /// One plan across contiguous (n, v) lanes:
+  /// out[i] = evaluate(plan, n[i], v[i]).
+  void evaluate_lanes(std::size_t plan, std::span<const std::int64_t> n,
+                      std::span<const std::int64_t> v, CostPoint* out) const;
+
+  /// One plan at fixed n across a v axis: out[i] = evaluate(plan, n, v[i]).
+  /// This is the sweep row kernel's shape — a grid row fixes n and walks
+  /// the LUT-budget lanes.
+  void evaluate_row(std::size_t plan, std::int64_t n,
+                    std::span<const std::int64_t> v, CostPoint* out) const;
+
+  /// Every plan across the same lanes, plan-major:
+  /// out[p * n.size() + i] = evaluate(p, n[i], v[i]).
+  void evaluate_batch(std::span<const std::int64_t> n,
+                      std::span<const std::int64_t> v, CostPoint* out) const;
+
+  /// Axis dependence of one plan (see CostPlan::depends_n / depends_v).
+  bool depends_n(std::size_t plan) const { return plans_[plan].depends_n; }
+  bool depends_v(std::size_t plan) const { return plans_[plan].depends_v; }
+
+  const detail::PlanTerms& terms(std::size_t plan) const {
+    return plans_[plan];
+  }
+
+ private:
+  std::vector<detail::PlanTerms> plans_;
+};
+
+}  // namespace mpct::cost

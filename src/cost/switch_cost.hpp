@@ -1,6 +1,9 @@
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <stdexcept>
 
 #include "core/connectivity.hpp"
 
@@ -25,6 +28,19 @@ struct SwitchCostParams {
   double ge_per_wire_bit = 0.25;
 };
 
+/// ceil(log2(x)) for x >= 1 (0 for x == 1 handled as 0? No: returns the
+/// number of bits needed to represent values in [0, x-1]; 1 port still
+/// needs 1 select bit once the disconnected state is included upstream).
+///
+/// Single bit-scan, no loop: the smallest b with 2^b >= x is the bit
+/// width of x-1 (x=1 -> width(0)=0, x=65537 -> width(65536)=17) — this
+/// sits in the innermost lane of the batch cost kernels, where the old
+/// shift loop cost up to 17 iterations per crossbar column.
+inline int ceil_log2(std::int64_t x) {
+  if (x < 1) throw std::invalid_argument("ceil_log2: x must be >= 1");
+  return static_cast<int>(std::bit_width(static_cast<std::uint64_t>(x - 1)));
+}
+
 /// Cost of a switch connecting @p left_ports producers to @p right_ports
 /// consumers over a @p data_width-bit datapath:
 ///
@@ -38,13 +54,45 @@ struct SwitchCostParams {
 ///              ceil(log2(left+1)) select bits (the +1 encodes
 ///              "disconnected"), which is exactly the configuration state
 ///              the executable interconnect::Crossbar stores.
-SwitchCost switch_cost(SwitchKind kind, std::int64_t left_ports,
-                       std::int64_t right_ports, int data_width,
-                       const SwitchCostParams& params = {});
+///
+/// Defined inline so the batch kernels (cost/cost_plan.hpp) can fold it
+/// into their per-lane loop; the floating-point expressions here are the
+/// bit-identity reference every fast path must reproduce op-for-op.
+inline SwitchCost switch_cost(SwitchKind kind, std::int64_t left_ports,
+                              std::int64_t right_ports, int data_width,
+                              const SwitchCostParams& params = {}) {
+  if (left_ports < 0 || right_ports < 0) {
+    throw std::invalid_argument("switch_cost: negative port count");
+  }
+  if (data_width <= 0) {
+    throw std::invalid_argument("switch_cost: non-positive data width");
+  }
+  if (kind == SwitchKind::None || left_ports == 0 || right_ports == 0) {
+    return {};
+  }
 
-/// ceil(log2(x)) for x >= 1 (0 for x == 1 handled as 0? No: returns the
-/// number of bits needed to represent values in [0, x-1]; 1 port still
-/// needs 1 select bit once the disconnected state is included upstream).
-int ceil_log2(std::int64_t x);
+  switch (kind) {
+    case SwitchKind::Direct: {
+      const std::int64_t links = std::min(left_ports, right_ports);
+      return {static_cast<double>(links) * data_width *
+                  params.ge_per_wire_bit / 1000.0,
+              0};
+    }
+    case SwitchKind::Crossbar: {
+      const double crosspoints =
+          static_cast<double>(left_ports) * static_cast<double>(right_ports);
+      const double area_ge =
+          crosspoints * data_width * params.ge_per_crosspoint_bit;
+      // One select field per output, able to address any input or the
+      // disconnected state.
+      const std::int64_t select_bits =
+          right_ports * ceil_log2(left_ports + 1);
+      return {area_ge / 1000.0, select_bits};
+    }
+    case SwitchKind::None:
+      break;
+  }
+  return {};
+}
 
 }  // namespace mpct::cost

@@ -1,6 +1,8 @@
 #include "explore/sweep.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <span>
 #include <thread>
 
 #include "trace/trace.hpp"
@@ -24,8 +26,17 @@ std::size_t SweepGrid::cell_count() const {
 
 namespace {
 
+/// LUT-budget lanes evaluated per batch block: bounds the candidate-major
+/// scratch (up to 47 candidates x 128 lanes x 16 B = 96 KiB) so a block's
+/// costs stay cache-resident through the winner reduction.
+constexpr std::size_t kBlockLanes = 128;
+
 /// The exact ordering recommendation_precedes() applies, on raw fields —
 /// the sweep's winner must be the row recommend() would sort first.
+/// With distinct names (interned class names are unique) this is a
+/// strict total order, so the minimum over any candidate set is unique
+/// and independent of the order the set is folded in — the property the
+/// batch kernel's champion + per-cell reduction relies on.
 bool cell_precedes(Requirements::Objective objective, double a_area,
                    std::int64_t a_bits, std::string_view a_name,
                    double b_area, std::int64_t b_bits,
@@ -62,7 +73,10 @@ bool dominates(const SweepPoint& a, const SweepPoint& b) {
 
 }  // namespace
 
-std::vector<SweepPoint> pareto_front(const std::vector<SweepPoint>& points) {
+namespace detail {
+
+std::vector<SweepPoint> pareto_front_reference(
+    const std::vector<SweepPoint>& points) {
   std::vector<SweepPoint> front;
   for (const SweepPoint& p : points) {
     if (!p.feasible) continue;
@@ -79,22 +93,81 @@ std::vector<SweepPoint> pareto_front(const std::vector<SweepPoint>& points) {
   return front;
 }
 
+}  // namespace detail
+
+std::vector<SweepPoint> pareto_front(const std::vector<SweepPoint>& points) {
+  // Per objective group: sort indices by objective cost ascending, then
+  // sweep once.  A point is dominated iff some same-objective point has
+  // (strictly smaller cost, flexibility >=) — tracked by best_flex_lt,
+  // the maximum flexibility at strictly smaller cost — or (equal cost,
+  // strictly greater flexibility) — tracked by run_max over its
+  // equal-cost run.  Equal cost *and* equal flexibility dominates
+  // neither way, matching the reference's strict-part requirement.
+  std::vector<char> dominated(points.size(), 0);
+  std::array<std::vector<std::size_t>, 2> groups;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].feasible) continue;
+    const bool by_bits =
+        points[i].objective == Requirements::Objective::MinConfigBits;
+    groups[by_bits ? 0 : 1].push_back(i);
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    std::vector<std::size_t>& idx = groups[g];
+    if (idx.empty()) continue;
+    const bool by_bits = g == 0;
+    const auto cost_less = [&](std::size_t a, std::size_t b) {
+      return by_bits ? points[a].config_bits < points[b].config_bits
+                     : points[a].area_kge < points[b].area_kge;
+    };
+    std::sort(idx.begin(), idx.end(), cost_less);
+    int best_flex_lt = std::numeric_limits<int>::min();
+    std::size_t i = 0;
+    while (i < idx.size()) {
+      // [i, j) is one equal-cost run.
+      std::size_t j = i;
+      int run_max = std::numeric_limits<int>::min();
+      while (j < idx.size() && !cost_less(idx[i], idx[j])) {
+        run_max = std::max(run_max, points[idx[j]].flexibility);
+        ++j;
+      }
+      for (std::size_t k = i; k < j; ++k) {
+        const int flex = points[idx[k]].flexibility;
+        if (best_flex_lt >= flex || run_max > flex) dominated[idx[k]] = 1;
+      }
+      best_flex_lt = std::max(best_flex_lt, run_max);
+      i = j;
+    }
+  }
+  std::vector<SweepPoint> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].feasible && !dominated[i]) front.push_back(points[i]);
+  }
+  return front;
+}
+
 SweepEvaluator::SweepEvaluator(const SweepGrid& grid,
                                const cost::ComponentLibrary& lib)
     : grid_(grid.normalized()), cells_(grid_.cell_count()) {
   trace::ScopedSpan span("sweep.build", trace::Category::Sweep);
   // The requirements filter is design-point independent, so the
   // candidate set is shared by every cell: filter the 47 rows once and
-  // fold each survivor's Eq. 1 / Eq. 2 invariants into a CostPlan.
+  // fold each survivor's Eq. 1 / Eq. 2 invariants into one contiguous
+  // CostPlanSet slot, with the name and flexibility the winner reduction
+  // needs cached index-aligned.
   const TaxonomyIndex& index = taxonomy_index();
   candidates_.reserve(index.rows().size());
+  plans_.reserve(index.rows().size());
   for (const TaxonomyIndex::ClassInfo& row : index.rows()) {
     if (!row.named) continue;
     if (!satisfies_requirements(row.machine, row.name, grid_.base,
                                 row.flexibility)) {
       continue;
     }
-    candidates_.push_back(Candidate{&row, cost::CostPlan(row.machine, lib)});
+    const std::size_t p = plans_.add(row.machine, lib);
+    candidates_.push_back(Candidate{row.name, index.interned_name(row.name),
+                                    row.flexibility});
+    (plans_.depends_v(p) ? v_dep_ : v_indep_)
+        .push_back(static_cast<std::uint32_t>(p));
   }
 }
 
@@ -111,36 +184,140 @@ SweepPoint SweepEvaluator::evaluate_cell(std::size_t index) const {
   point.lut_budget = grid_.lut_budgets[li];
   point.objective = grid_.objectives[oi];
 
-  const TaxonomyIndex& names = taxonomy_index();
-  const Candidate* best = nullptr;
+  trace::profile_count_n(trace::ProfilePoint::CostEvaluate,
+                         candidates_.size());
+  int best = -1;
   cost::CostPoint best_cost;
   std::string_view best_name;
-  for (const Candidate& cand : candidates_) {
-    const cost::CostPoint cost = cand.plan.evaluate(point.n, point.lut_budget);
-    const std::string_view name = names.interned_name(cand.info->name);
-    if (!best || cell_precedes(point.objective, cost.area_kge,
-                               cost.config_bits, name, best_cost.area_kge,
-                               best_cost.config_bits, best_name)) {
-      best = &cand;
+  for (std::size_t c = 0; c < candidates_.size(); ++c) {
+    const cost::CostPoint cost =
+        plans_.evaluate(c, point.n, point.lut_budget);
+    const std::string_view name = candidates_[c].interned;
+    if (best < 0 || cell_precedes(point.objective, cost.area_kge,
+                                  cost.config_bits, name, best_cost.area_kge,
+                                  best_cost.config_bits, best_name)) {
+      best = static_cast<int>(c);
       best_cost = cost;
       best_name = name;
     }
   }
-  if (best) {
+  if (best >= 0) {
     point.feasible = true;
-    point.best = best->info->name;
-    point.flexibility = best->info->flexibility;
+    point.best = candidates_[static_cast<std::size_t>(best)].name;
+    point.flexibility =
+        candidates_[static_cast<std::size_t>(best)].flexibility;
     point.area_kge = best_cost.area_kge;
     point.config_bits = best_cost.config_bits;
   }
   return point;
 }
 
+void SweepEvaluator::evaluate_row_batch(std::size_t ni, SweepPoint* out,
+                                        cost::CostPoint* scratch) const {
+  const std::int64_t n = grid_.n_values[ni];
+  const std::size_t l_count = grid_.lut_budgets.size();
+  const std::size_t o_count = grid_.objectives.size();
+  const std::span<const std::int64_t> v_all(grid_.lut_budgets);
+
+  // Candidates whose cost never reads the LUT-budget axis price
+  // identically across the whole row: evaluate each once (the v argument
+  // is immaterial — the kernel performs the same ops for any v) and fold
+  // them into one champion per objective.  The per-cell reduction then
+  // starts from the champion instead of re-folding them lane by lane.
+  trace::profile_count_n(trace::ProfilePoint::CostEvaluate, v_indep_.size());
+  struct Champion {
+    int cand = -1;
+    cost::CostPoint cost;
+  };
+  std::vector<Champion> champ(o_count);
+  for (const std::uint32_t c : v_indep_) {
+    const cost::CostPoint cost = plans_.evaluate(c, n, v_all[0]);
+    for (std::size_t oi = 0; oi < o_count; ++oi) {
+      Champion& ch = champ[oi];
+      if (ch.cand < 0 ||
+          cell_precedes(grid_.objectives[oi], cost.area_kge,
+                        cost.config_bits, candidates_[c].interned,
+                        ch.cost.area_kge, ch.cost.config_bits,
+                        candidates_[static_cast<std::size_t>(ch.cand)]
+                            .interned)) {
+        ch.cand = static_cast<int>(c);
+        ch.cost = cost;
+      }
+    }
+  }
+
+  // v-dependent candidates, candidate-major over cache-sized lane
+  // blocks: for each block, stream every candidate's plan across the
+  // lanes (pure multiply-add over one contiguous PlanTerms), then reduce
+  // winners per cell while the block's costs are still cache-hot.
+  for (std::size_t lb = 0; lb < l_count; lb += kBlockLanes) {
+    const std::size_t lanes = std::min(kBlockLanes, l_count - lb);
+    trace::ProfileTimer timer(trace::ProfilePoint::SweepBatch);
+    for (std::size_t d = 0; d < v_dep_.size(); ++d) {
+      plans_.evaluate_row(v_dep_[d], n, v_all.subspan(lb, lanes),
+                          scratch + d * lanes);
+    }
+    for (std::size_t li = lb; li < lb + lanes; ++li) {
+      for (std::size_t oi = 0; oi < o_count; ++oi) {
+        SweepPoint point;
+        point.n = n;
+        point.lut_budget = grid_.lut_budgets[li];
+        point.objective = grid_.objectives[oi];
+
+        int best = champ[oi].cand;
+        cost::CostPoint best_cost = champ[oi].cost;
+        std::string_view best_name =
+            best >= 0 ? candidates_[static_cast<std::size_t>(best)].interned
+                      : std::string_view{};
+        for (std::size_t d = 0; d < v_dep_.size(); ++d) {
+          const cost::CostPoint cost = scratch[d * lanes + (li - lb)];
+          const std::uint32_t c = v_dep_[d];
+          if (best < 0 ||
+              cell_precedes(point.objective, cost.area_kge,
+                            cost.config_bits, candidates_[c].interned,
+                            best_cost.area_kge, best_cost.config_bits,
+                            best_name)) {
+            best = static_cast<int>(c);
+            best_cost = cost;
+            best_name = candidates_[c].interned;
+          }
+        }
+        if (best >= 0) {
+          point.feasible = true;
+          point.best = candidates_[static_cast<std::size_t>(best)].name;
+          point.flexibility =
+              candidates_[static_cast<std::size_t>(best)].flexibility;
+          point.area_kge = best_cost.area_kge;
+          point.config_bits = best_cost.config_bits;
+        }
+        out[li * o_count + oi] = point;
+      }
+    }
+  }
+}
+
 void SweepEvaluator::evaluate_range(std::size_t begin, std::size_t end,
                                     SweepPoint* out) const {
   trace::ScopedSpan span("sweep.cells", trace::Category::Sweep, "cells",
                          static_cast<std::int64_t>(end - begin));
-  for (std::size_t i = begin; i < end; ++i) out[i - begin] = evaluate_cell(i);
+  const std::size_t row = row_cells();
+  const std::size_t l_count = grid_.lut_budgets.size();
+  // Per-call scratch keeps evaluate_range const and concurrency-safe.
+  std::vector<cost::CostPoint> scratch(
+      v_dep_.size() * std::min(kBlockLanes, l_count));
+  std::size_t i = begin;
+  while (i < end) {
+    const std::size_t row_start = (i / row) * row;
+    if (i == row_start && row_start + row <= end) {
+      evaluate_row_batch(i / row, out + (i - begin), scratch.data());
+      i += row;
+    } else {
+      // Partial row at a range edge: scalar path (bit-identical — the
+      // per-cell winner is partition-independent).
+      const std::size_t stop = std::min(end, row_start + row);
+      for (; i < stop; ++i) out[i - begin] = evaluate_cell(i);
+    }
+  }
 }
 
 SweepResult sweep(const SweepGrid& grid, const cost::ComponentLibrary& lib,
@@ -152,19 +329,29 @@ SweepResult sweep(const SweepGrid& grid, const cost::ComponentLibrary& lib,
   result.candidate_classes = evaluator.candidate_count();
   result.points.resize(cells);
 
-  const unsigned workers =
-      threads > 1 ? std::min<std::size_t>(threads, cells ? cells : 1) : 1;
+  // More workers than cores only adds context-switch overhead to a
+  // CPU-bound kernel (the committed bench once measured 4 threads at
+  // 0.6x the single-thread rate on a 1-core host) — clamp.
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t workers =
+      threads > 1
+          ? std::min({static_cast<std::size_t>(threads), hw,
+                      cells ? cells : std::size_t{1}})
+          : 1;
   if (workers <= 1) {
     evaluator.evaluate_range(0, cells, result.points.data());
   } else {
-    // Contiguous disjoint slices; each worker writes only its own range,
-    // so no synchronization beyond join() is needed.
+    // Contiguous disjoint slices, rounded up to whole grid rows so every
+    // worker runs the batch kernel; each worker writes only its own
+    // range, so no synchronization beyond join() is needed.
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    const std::size_t chunk = (cells + workers - 1) / workers;
-    for (unsigned w = 0; w < workers; ++w) {
-      const std::size_t begin = std::min<std::size_t>(w * chunk, cells);
-      const std::size_t end = std::min<std::size_t>(begin + chunk, cells);
+    const std::size_t row = evaluator.row_cells();
+    std::size_t chunk = (cells + workers - 1) / workers;
+    chunk = (chunk + row - 1) / row * row;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t begin = std::min(w * chunk, cells);
+      const std::size_t end = std::min(begin + chunk, cells);
       if (begin == end) break;
       pool.emplace_back([&evaluator, &result, begin, end] {
         evaluator.evaluate_range(begin, end, result.points.data() + begin);

@@ -1,10 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/taxonomy_index.hpp"
-#include "cost/cost_plan.hpp"
+#include "cost/cost_plan_set.hpp"
 #include "explore/recommend.hpp"
 
 namespace mpct::explore {
@@ -60,21 +61,50 @@ struct SweepResult {
 /// objective*: a point dominates another when its flexibility is >= and
 /// its objective cost is <= with at least one strict.  Infeasible cells
 /// never appear.  Output order is deterministic (input order preserved).
+///
+/// O(N log N): per objective group, sort by cost and sweep tracking the
+/// best flexibility seen at strictly smaller cost.  Returns exactly the
+/// front detail::pareto_front_reference computes, in the same order.
 std::vector<SweepPoint> pareto_front(const std::vector<SweepPoint>& points);
 
+namespace detail {
+
+/// The original all-pairs O(N^2) implementation, kept as the oracle the
+/// randomized equivalence test compares the sort-then-sweep front
+/// against (tests/test_sweep.cpp, ParetoFront.MatchesReference*).
+std::vector<SweepPoint> pareto_front_reference(
+    const std::vector<SweepPoint>& points);
+
+}  // namespace detail
+
 /// Memoized sweep evaluator.  Construction filters the 47-row taxonomy
-/// once against `grid.base` and builds one cost::CostPlan per surviving
-/// class; each cell evaluation is then `candidates x evaluate(n, v)` —
-/// a handful of multiplies per candidate, no allocation, no library
-/// walks.
+/// once against `grid.base` and folds each survivor's Eq. 1 / Eq. 2
+/// invariants into one slot of a plan-major cost::CostPlanSet; each
+/// candidate's interned name and flexibility are cached alongside, so
+/// cell evaluation touches no taxonomy or library state at all.
 ///
-/// Bit-identity contract: evaluate_cell() picks the same winner with
+/// evaluate_range() runs the batch kernel: cell indices are decoded once
+/// per grid row (no per-cell div/mod), candidates whose cost is
+/// independent of the LUT-budget axis are priced once per row and folded
+/// into a per-objective champion, and the remaining candidates are
+/// evaluated candidate-major over cache-sized blocks of LUT-budget lanes
+/// before a per-cell winner reduction.  evaluate_cell() is the scalar
+/// reference the parity tests compare against.
+///
+/// Bit-identity contract: both paths pick the same winner with
 /// bit-identical costs as `recommend()` called at that cell's
-/// Requirements and taking the front row (tests/test_sweep.cpp).
+/// Requirements and taking the front row (tests/test_sweep.cpp).  This
+/// holds because each candidate's cost at a given (n, v) is computed by
+/// the one shared cost::detail::evaluate_terms kernel regardless of
+/// batching, and the winner ordering (`cell_precedes`, tie-broken by the
+/// unique interned class name) is a strict total order — the minimum is
+/// a property of the cell's cost set, independent of fold order or how
+/// cells are partitioned into ranges.
 ///
 /// Thread safety: immutable after construction; evaluate_cell() and
-/// evaluate_range() are const and touch only the output range — workers
-/// may share one evaluator and write disjoint ranges concurrently.
+/// evaluate_range() are const and touch only the output range (batch
+/// scratch is per-call) — workers may share one evaluator and write
+/// disjoint ranges concurrently.
 class SweepEvaluator {
  public:
   explicit SweepEvaluator(const SweepGrid& grid,
@@ -84,34 +114,58 @@ class SweepEvaluator {
   std::size_t cell_count() const { return cells_; }
   std::size_t candidate_count() const { return candidates_.size(); }
 
+  /// Cells per grid row (one n value x all LUT budgets x all
+  /// objectives) — the batch kernel's natural granularity.  Chunking
+  /// callers round their chunk sizes up to a multiple of this so no
+  /// range splits a row (a split row still evaluates correctly, just
+  /// through the scalar edge path).
+  std::size_t row_cells() const {
+    return grid_.lut_budgets.size() * grid_.objectives.size();
+  }
+
   /// Evaluate one cell by flat row-major index
   /// `(ni * lut_budgets.size() + li) * objectives.size() + oi`.
+  /// Scalar reference path.
   SweepPoint evaluate_cell(std::size_t index) const;
 
-  /// Evaluate cells [begin, end) into @p out (out[i] = cell begin + i).
+  /// Evaluate cells [begin, end) into @p out (out[i] = cell begin + i)
+  /// through the batch kernel (scalar edge path for partial rows).
   void evaluate_range(std::size_t begin, std::size_t end,
                       SweepPoint* out) const;
 
   const SweepGrid& grid() const { return grid_; }
 
  private:
+  /// Everything the winner reduction reads about one candidate, cached
+  /// at construction (the plan itself lives in plans_ at the same
+  /// index).
   struct Candidate {
-    const TaxonomyIndex::ClassInfo* info = nullptr;
-    cost::CostPlan plan;
+    TaxonomicName name;
+    std::string_view interned;  ///< unique -> cell_precedes totally orders
+    int flexibility = 0;
   };
+
+  void evaluate_row_batch(std::size_t ni, SweepPoint* out,
+                          cost::CostPoint* scratch) const;
 
   SweepGrid grid_;  ///< normalized
   std::size_t cells_ = 0;
-  std::vector<Candidate> candidates_;
+  cost::CostPlanSet plans_;            ///< plan-major, index-aligned with
+  std::vector<Candidate> candidates_;  ///< ...this metadata array
+  std::vector<std::uint32_t> v_dep_;   ///< candidates whose cost reads v
+  std::vector<std::uint32_t> v_indep_;  ///< ...and those priced once/row
 };
 
 /// Sweep the whole grid.  @p threads == 0 (or 1) evaluates sequentially
 /// on the caller's thread; otherwise the cell range is chunked across
-/// that many scoped workers writing disjoint slices of the result
-/// (results are bit-identical either way).  The service layer instead
-/// chunks over its own worker pool (engine.cpp) — this entry point is
-/// for library callers and for the sequential reference the tests
-/// compare against.
+/// scoped workers writing disjoint slices of the result (results are
+/// bit-identical either way).  The worker count is clamped to
+/// std::thread::hardware_concurrency() — oversubscribing cores only adds
+/// scheduling overhead to a CPU-bound kernel — and chunks are rounded up
+/// to whole grid rows so every worker runs the batch path.  The service
+/// layer instead chunks over its own worker pool (engine.cpp); this
+/// entry point is for library callers and for the sequential reference
+/// the tests compare against.
 SweepResult sweep(const SweepGrid& grid,
                   const cost::ComponentLibrary& lib =
                       cost::ComponentLibrary::default_library(),

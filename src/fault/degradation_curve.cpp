@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "core/flexibility.hpp"
 #include "fault/route_around.hpp"
 #include "report/csv.hpp"
 #include "report/svg.hpp"
@@ -33,6 +34,10 @@ CurveEvaluator::CurveEvaluator(const CurveSpec& spec,
   shape_ = FabricShape::of(spec_.machine, spec_.bindings);
   shape_.noc_width = spec_.noc_width;
   shape_.noc_height = spec_.noc_height;
+  // Per-spec invariant every trial consumes (the denominator of
+  // flexibility retention) — hoisted so the batch path never re-scores
+  // the pristine structure.
+  original_score_ = flexibility_score(spec_.machine);
 }
 
 TrialOutcome CurveEvaluator::evaluate_cell(std::size_t index) const {
@@ -75,7 +80,52 @@ void CurveEvaluator::evaluate_range(std::size_t begin, std::size_t end,
                                     TrialOutcome* out) const {
   trace::ScopedSpan span("fault.cells", trace::Category::Fault, "cells",
                          static_cast<std::int64_t>(end - begin));
-  for (std::size_t i = begin; i < end; ++i) out[i - begin] = evaluate_cell(i);
+  // Batch path: per-cell CurveTrial ticks become one bulk count plus a
+  // timed SweepBatch hook over the whole block.
+  trace::profile_count_n(trace::ProfilePoint::CurveTrial, end - begin);
+  trace::ProfileTimer timer(trace::ProfilePoint::SweepBatch);
+  const std::size_t trials =
+      static_cast<std::size_t>(spec_.trials_per_rate);
+  std::vector<Fault> faults;  // recycled across every trial in the range
+  for (std::size_t i = begin; i < end; ++i) {
+    const double rate = spec_.fault_rates[i / trials];
+    // Identical derived stream per cell as the scalar path — outcomes
+    // depend only on (spec, cell index).
+    sample_faults_into(shape_, FaultRates::uniform(rate),
+                       Rng::derive_seed(spec_.seed,
+                                        static_cast<std::uint64_t>(i)),
+                       faults);
+    const detail::StructuralDegrade degraded =
+        detail::structural_degrade(spec_.machine, shape_, faults);
+
+    TrialOutcome outcome;
+    outcome.alive = degraded.alive();
+    outcome.degraded_score = degraded.degraded_score;
+    if (!outcome.alive) {
+      outcome.flexibility_retention = 0.0;
+    } else if (original_score_ <= 0) {
+      outcome.flexibility_retention = 1.0;
+    } else {
+      outcome.flexibility_retention =
+          static_cast<double>(degraded.degraded_score) /
+          static_cast<double>(original_score_);
+    }
+    outcome.component_survival = degraded.component_survival;
+    if (shape_.noc_nodes() > 0) {
+      outcome.connectivity =
+          build_degraded_noc(shape_, FaultSet(faults)).reachable_fraction();
+    } else {
+      const std::int64_t total = shape_.total_ports();
+      std::int64_t surviving = 0;
+      for (const std::int64_t ports : degraded.surviving_ports) {
+        surviving += ports;
+      }
+      outcome.connectivity = total <= 0 ? 1.0
+                                        : static_cast<double>(surviving) /
+                                              static_cast<double>(total);
+    }
+    out[i - begin] = outcome;
+  }
 }
 
 std::vector<CurvePoint> CurveEvaluator::finalize(
@@ -116,10 +166,14 @@ CurveResult evaluate_curve(const CurveSpec& spec,
   const std::size_t cells = evaluator.cell_count();
   std::vector<TrialOutcome> outcomes(cells);
 
-  const unsigned workers =
-      threads > 1 ? static_cast<unsigned>(
-                        std::min<std::size_t>(threads, cells ? cells : 1))
-                  : 1;
+  // Clamp to the core count: trials are CPU-bound, so oversubscription
+  // only adds context-switch overhead (see the sweep() clamp rationale).
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t workers =
+      threads > 1
+          ? std::min({static_cast<std::size_t>(threads), hw,
+                      cells ? cells : std::size_t{1}})
+          : 1;
   if (workers <= 1) {
     evaluator.evaluate_range(0, cells, outcomes.data());
   } else {

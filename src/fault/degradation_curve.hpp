@@ -77,14 +77,24 @@ struct CurveResult {
 };
 
 /// Memoized Monte-Carlo evaluator, the fault analogue of
-/// explore::SweepEvaluator.  Construction binds the shape once; each
-/// cell evaluation is sample_faults + degrade (+ a NoC reachability
-/// analysis when a mesh is configured).
+/// explore::SweepEvaluator.  Construction binds the shape once and
+/// hoists the per-spec invariants every trial used to re-derive (the
+/// original structure's flexibility score); evaluate_range() then runs
+/// trials through the batch path: one recycled fault vector across the
+/// whole range (sample_faults_into) and the shared structural kernel
+/// (fault::detail::structural_degrade), skipping the Eq. 1 / Eq. 2
+/// pricing degrade() performs but no TrialOutcome field consumes.
+///
+/// Determinism: the batch path draws the identical per-cell
+/// `Rng::derive_seed(seed, index)` streams as evaluate_cell(), so
+/// outcomes — and the finalize() curve, and its CSV — are byte-for-byte
+/// what the scalar path produces (tests/test_fault.cpp pins this).
 ///
 /// Thread safety: immutable after construction; evaluate_range() is
-/// const and touches only the output slice — the service engine's
-/// workers share one evaluator and write disjoint ranges concurrently
-/// (engine.cpp), bit-identical to the sequential path.
+/// const and touches only the output slice (scratch is per-call) — the
+/// service engine's workers share one evaluator and write disjoint
+/// ranges concurrently (engine.cpp), bit-identical to the sequential
+/// path.
 class CurveEvaluator {
  public:
   explicit CurveEvaluator(const CurveSpec& spec,
@@ -96,9 +106,12 @@ class CurveEvaluator {
   const FabricShape& shape() const { return shape_; }
 
   /// Evaluate one trial by flat index `rate_index * trials + trial`.
+  /// Scalar reference path: full sample_faults + degrade per trial (the
+  /// oracle the batch-parity tests compare evaluate_range against).
   TrialOutcome evaluate_cell(std::size_t index) const;
 
-  /// Evaluate cells [begin, end) into @p out (out[i] = cell begin + i).
+  /// Evaluate cells [begin, end) into @p out (out[i] = cell begin + i)
+  /// through the batch path.
   void evaluate_range(std::size_t begin, std::size_t end,
                       TrialOutcome* out) const;
 
@@ -112,6 +125,7 @@ class CurveEvaluator {
   std::size_t cells_ = 0;
   FabricShape shape_;
   const cost::ComponentLibrary* lib_;
+  int original_score_ = 0;  ///< flexibility of the pristine structure
 };
 
 /// Sweep the whole curve.  @p threads == 0 (or 1) evaluates

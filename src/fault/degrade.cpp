@@ -39,15 +39,12 @@ double DegradeResult::flexibility_retention() const {
          static_cast<double>(original_score);
 }
 
-DegradeResult degrade(const MachineClass& mc, const FabricShape& shape,
-                      const FaultSet& faults,
-                      const cost::ComponentLibrary& lib,
-                      const cost::EstimateOptions& bindings) {
-  DegradeResult result;
-  result.original = mc;
-  result.original_classification = classify(mc);
-  result.original_score = flexibility_score(mc);
-  result.faults = faults;
+namespace detail {
+
+StructuralDegrade structural_degrade(const MachineClass& mc,
+                                     const FabricShape& shape,
+                                     std::span<const Fault> faults) {
+  StructuralDegrade result;
 
   // --- Surviving census -------------------------------------------------
   // Count each dead component once, respecting the shape's bounds (an
@@ -56,7 +53,7 @@ DegradeResult degrade(const MachineClass& mc, const FabricShape& shape,
   std::int64_t dead_ips = 0, dead_dps = 0, dead_luts = 0;
   std::array<std::int64_t, kConnectivityRoleCount> dead_ports{};
   const int noc_nodes = shape.noc_nodes();
-  for (const Fault& fault : faults.faults()) {
+  for (const Fault& fault : faults) {
     switch (fault.kind) {
       case FaultKind::IpDead:
         if (fault.index >= 0 && fault.index < shape.ips) ++dead_ips;
@@ -79,8 +76,10 @@ DegradeResult degrade(const MachineClass& mc, const FabricShape& shape,
         // the DP.  Count it dead unless a DpDead fault already did.
         if (fault.index >= 0 && fault.index < noc_nodes &&
             fault.index < shape.dps &&
-            !faults.contains(Fault{FaultKind::DpDead, ConnectivityRole::IpIp,
-                                   fault.index, 0})) {
+            !std::binary_search(faults.begin(), faults.end(),
+                                Fault{FaultKind::DpDead,
+                                      ConnectivityRole::IpIp, fault.index,
+                                      0})) {
           ++dead_dps;
         }
         break;
@@ -147,6 +146,31 @@ DegradeResult degrade(const MachineClass& mc, const FabricShape& shape,
   }
   result.degraded_score =
       result.classification.ok() ? flexibility_score(result.degraded) : 0;
+  return result;
+}
+
+}  // namespace detail
+
+DegradeResult degrade(const MachineClass& mc, const FabricShape& shape,
+                      const FaultSet& faults,
+                      const cost::ComponentLibrary& lib,
+                      const cost::EstimateOptions& bindings) {
+  DegradeResult result;
+  result.original = mc;
+  result.original_classification = classify(mc);
+  result.original_score = flexibility_score(mc);
+  result.faults = faults;
+
+  detail::StructuralDegrade structural =
+      detail::structural_degrade(mc, shape, faults.faults());
+  result.surviving_ips = structural.surviving_ips;
+  result.surviving_dps = structural.surviving_dps;
+  result.surviving_luts = structural.surviving_luts;
+  result.surviving_ports = structural.surviving_ports;
+  result.component_survival = structural.component_survival;
+  result.degraded = structural.degraded;
+  result.classification = std::move(structural.classification);
+  result.degraded_score = structural.degraded_score;
 
   // --- Costs ------------------------------------------------------------
   const cost::CostPlan original_plan(mc, lib, bindings.include_ip_dp_switch);

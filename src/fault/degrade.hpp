@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "arch/spec.hpp"
@@ -68,6 +69,38 @@ struct DegradeResult {
   /// inflexible machine that survives retains all of nothing).
   double flexibility_retention() const;
 };
+
+namespace detail {
+
+/// degrade() minus everything a Monte-Carlo trial does not consume: the
+/// surviving census, the degraded structure, its (re)classification and
+/// flexibility — but no Eq. 1 / Eq. 2 pricing and no re-derivation of
+/// the original's classification (both are per-spec invariants a curve
+/// hoists out of the trial loop).
+struct StructuralDegrade {
+  std::int64_t surviving_ips = 0;
+  std::int64_t surviving_dps = 0;
+  std::int64_t surviving_luts = 0;
+  std::array<std::int64_t, kConnectivityRoleCount> surviving_ports{};
+  double component_survival = 1.0;
+  MachineClass degraded;
+  Classification classification;
+  int degraded_score = 0;
+
+  bool alive() const {
+    return classification.ok() && classification.implementable;
+  }
+};
+
+/// Shared structural kernel: both degrade() and the curve batch path
+/// funnel through this, so their census/classification/score agree bit
+/// for bit.  @p faults must be in FaultSet's canonical order (sorted,
+/// unique) — FaultSet::faults() and sample_faults_into() both are.
+StructuralDegrade structural_degrade(const MachineClass& mc,
+                                     const FabricShape& shape,
+                                     std::span<const Fault> faults);
+
+}  // namespace detail
 
 /// Apply @p faults to the class @p mc bound at @p shape.
 ///

@@ -198,10 +198,14 @@ FabricShape FabricShape::of(const arch::ArchitectureSpec& spec,
   return shape;
 }
 
-FaultSet sample_faults(const FabricShape& shape, const FaultRates& rates,
-                       std::uint64_t seed) {
+namespace {
+
+/// Shared sampler: appends the drawn faults to @p faults in draw order.
+/// Both public entry points funnel through this one loop so they share
+/// the RNG stream position contract below.
+void draw_faults(const FabricShape& shape, const FaultRates& rates,
+                 std::uint64_t seed, std::vector<Fault>& faults) {
   Rng rng(seed);
-  std::vector<Fault> faults;
   const auto bernoulli = [&rng](double rate) {
     // Draw unconditionally so the stream position of every later
     // component is independent of earlier rates — changing one rate must
@@ -257,7 +261,26 @@ FaultSet sample_faults(const FabricShape& shape, const FaultRates& rates,
       }
     }
   }
+}
+
+}  // namespace
+
+FaultSet sample_faults(const FabricShape& shape, const FaultRates& rates,
+                       std::uint64_t seed) {
+  std::vector<Fault> faults;
+  draw_faults(shape, rates, seed, faults);
   return FaultSet(std::move(faults));
+}
+
+void sample_faults_into(const FabricShape& shape, const FaultRates& rates,
+                        std::uint64_t seed, std::vector<Fault>& out) {
+  out.clear();
+  draw_faults(shape, rates, seed, out);
+  // Canonicalise exactly as the FaultSet constructor does (the draw
+  // order mixes kinds — e.g. LutDead sorts after SwitchPortDead but is
+  // drawn before it).
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
 namespace {

@@ -156,6 +156,14 @@ struct FaultRates {
 FaultSet sample_faults(const FabricShape& shape, const FaultRates& rates,
                        std::uint64_t seed);
 
+/// Allocation-reusing variant: clear @p out and refill it with exactly
+/// the faults sample_faults() would return, in FaultSet's canonical
+/// order (sorted, unique).  Draws the identical RNG stream — byte-for-
+/// byte the same set — while letting a Monte-Carlo loop recycle one
+/// vector across trials instead of allocating a FaultSet per trial.
+void sample_faults_into(const FabricShape& shape, const FaultRates& rates,
+                        std::uint64_t seed, std::vector<Fault>& out);
+
 /// Deterministic whole-population kill sets (the degradation table test's
 /// worst cases).
 FaultSet kill_all_ips(const FabricShape& shape);

@@ -515,8 +515,13 @@ std::future<QueryResponse> QueryEngine::submit_sweep(
                                    options_.worker_threads) * 2);
   target_chunks = std::min(target_chunks,
                            std::max<std::size_t>(1, queue_->capacity()));
-  const std::size_t chunk_cells =
+  std::size_t chunk_cells =
       std::max<std::size_t>(1, (cells + target_chunks - 1) / target_chunks);
+  // Round up to whole grid rows so every chunk runs the evaluator's
+  // batch kernel end to end (a split row falls back to the scalar edge
+  // path — correct, just slower).
+  const std::size_t row = std::max<std::size_t>(1, job->evaluator.row_cells());
+  chunk_cells = (chunk_cells + row - 1) / row * row;
   const std::size_t chunk_count = (cells + chunk_cells - 1) / chunk_cells;
   job->remaining.store(chunk_count, std::memory_order_relaxed);
 

@@ -34,6 +34,7 @@ std::string_view to_string(ProfilePoint point) {
     case ProfilePoint::NocReroute:   return "noc_reroute";
     case ProfilePoint::RouteAround:  return "route_around";
     case ProfilePoint::OmegaRoute:   return "omega_route";
+    case ProfilePoint::SweepBatch:   return "sweep_batch";
   }
   return "unknown";
 }

@@ -63,8 +63,9 @@ enum class ProfilePoint : std::uint8_t {
   NocReroute,     ///< interconnect::MeshNoc::rebuild_routes (timed)
   RouteAround,    ///< fault::analyze_noc replay (timed)
   OmegaRoute,     ///< interconnect::OmegaNetwork::connect
+  SweepBatch,     ///< one batch-kernel block (timed; sweep/curve evaluate_range)
 };
-inline constexpr std::size_t kProfilePointCount = 7;
+inline constexpr std::size_t kProfilePointCount = 8;
 std::string_view to_string(ProfilePoint point);
 
 struct ProfileTotals {
@@ -240,6 +241,17 @@ inline void profile_count(ProfilePoint point) {
     return;
   }
   detail::profile_add(point, 1, 0);
+}
+
+/// Bulk count hook: one tick covering @p calls logical operations.  The
+/// batch kernels use this so per-point accounting (cost evaluations,
+/// sweep cells, curve trials) stays accurate without a hook inside the
+/// lane loop — profile totals read the same as the scalar path's.
+inline void profile_count_n(ProfilePoint point, std::uint64_t calls) {
+  if (!enabled()) [[likely]] {
+    return;
+  }
+  if (calls != 0) detail::profile_add(point, calls, 0);
 }
 
 /// Timed profiling hook (two clock reads when enabled) for coarse

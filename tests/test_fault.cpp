@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <future>
+#include <random>
 #include <stdexcept>
 #include <thread>
 
@@ -643,6 +644,71 @@ TEST(DegradationCurve, CsvIsByteIdenticalAcrossRunsAndThreadCounts) {
             0u);
 }
 
+// The batch-parity satellite: every canonical Table I row, on a
+// randomized (rates, seed) spec, must produce bit-identical outcomes on
+// the scalar oracle (evaluate_cell: full sample_faults + degrade) and
+// the batch path (evaluate_range: sample_faults_into +
+// structural_degrade), and the CSV reduced from the scalar outcomes
+// must be byte-identical to what every thread count of the batch path
+// renders.
+TEST(DegradationCurve, BatchPathMatchesScalarOracleOnAll47Classes) {
+  std::mt19937_64 rng(4242);
+  std::uniform_real_distribution<double> rate(0.0, 0.5);
+  for (const TaxonomyIndex::ClassInfo& row : taxonomy_index().rows()) {
+    CurveSpec spec;
+    spec.machine = row.machine;
+    spec.bindings = small_bindings();
+    spec.fault_rates = {rate(rng), rate(rng)};
+    spec.trials_per_rate = 4;
+    spec.seed = rng();
+    if (row.machine.dps == Multiplicity::Many) {
+      spec.noc_width = 2;  // exercise the NoC connectivity branch too
+      spec.noc_height = 2;
+    }
+    const fault::CurveEvaluator evaluator(spec);
+    const std::size_t cells = evaluator.cell_count();
+    std::vector<fault::TrialOutcome> scalar(cells), batch(cells);
+    for (std::size_t i = 0; i < cells; ++i) {
+      scalar[i] = evaluator.evaluate_cell(i);
+    }
+    evaluator.evaluate_range(0, cells, batch.data());
+    for (std::size_t i = 0; i < cells; ++i) {
+      EXPECT_EQ(batch[i], scalar[i])
+          << "row " << row.serial << " cell " << i;
+    }
+    CurveResult oracle;
+    oracle.spec = evaluator.spec();
+    oracle.points = evaluator.finalize(scalar);
+    const std::string csv = fault::to_csv(oracle);
+    for (unsigned threads : {0u, 3u}) {
+      EXPECT_EQ(fault::to_csv(fault::evaluate_curve(
+                    spec, cost::ComponentLibrary::default_library(), threads)),
+                csv)
+          << "row " << row.serial << ", " << threads << " threads";
+    }
+  }
+}
+
+// Unaligned ranges: chunk boundaries anywhere in the cell space must
+// reproduce the full-range bits (the engine chunks trials arbitrarily).
+TEST(DegradationCurve, ArbitraryRangeSplitsAgreeWithFullRange) {
+  const fault::CurveEvaluator evaluator(curve_spec());
+  const std::size_t cells = evaluator.cell_count();
+  std::vector<fault::TrialOutcome> whole(cells);
+  evaluator.evaluate_range(0, cells, whole.data());
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<std::size_t> cut(0, cells);
+  for (int round = 0; round < 12; ++round) {
+    std::size_t a = cut(rng), b = cut(rng);
+    if (a > b) std::swap(a, b);
+    std::vector<fault::TrialOutcome> part(b - a);
+    evaluator.evaluate_range(a, b, part.data());
+    for (std::size_t i = a; i < b; ++i) {
+      EXPECT_EQ(part[i - a], whole[i]) << "range [" << a << "," << b << ")";
+    }
+  }
+}
+
 TEST(DegradationCurve, SvgRendersAllSeries) {
   const CurveResult result = fault::evaluate_curve(curve_spec());
   const std::string svg = fault::to_svg(result, "degradation");
@@ -688,6 +754,39 @@ TEST(EngineFaultSweep, ParallelPathMatchesInlinePathBitForBit) {
   EXPECT_TRUE(cached.cache_hit);
   EXPECT_EQ(cached.fault_sweep()->result, reference);
   EXPECT_GE(pool_engine.metrics().cache_hits.value(), 1u);
+}
+
+// Engine chunk path vs the scalar oracle on a LUT-grain fabric: the
+// pool chunks cells across workers, each running the batch kernel; the
+// merged curve must render the byte-identical CSV the per-cell
+// evaluate_cell oracle reduces to.
+TEST(EngineFaultSweep, ChunkedPathMatchesScalarOracleOnLutGrainFabric) {
+  CurveSpec spec;
+  spec.machine = usp_machine();
+  spec.bindings = small_bindings();
+  spec.fault_rates = {0.0, 0.1, 0.3};
+  spec.trials_per_rate = 8;
+  spec.seed = 77;
+
+  const fault::CurveEvaluator evaluator(spec);
+  std::vector<fault::TrialOutcome> scalar(evaluator.cell_count());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    scalar[i] = evaluator.evaluate_cell(i);
+  }
+  CurveResult oracle;
+  oracle.spec = evaluator.spec();
+  oracle.points = evaluator.finalize(scalar);
+
+  service::EngineOptions options;
+  options.worker_threads = 3;
+  service::QueryEngine engine(options);
+  const service::QueryResponse response =
+      engine.submit(service::Request(service::FaultSweepRequest{spec})).get();
+  ASSERT_TRUE(response.ok()) << response.status.to_string();
+  ASSERT_NE(response.fault_sweep(), nullptr);
+  EXPECT_EQ(response.fault_sweep()->result, oracle);
+  EXPECT_EQ(fault::to_csv(response.fault_sweep()->result),
+            fault::to_csv(oracle));
 }
 
 TEST(EngineFaultSweep, ValidationRejectsMalformedSpecs) {

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <random>
 #include <vector>
 
 #include "core/taxonomy_index.hpp"
 #include "cost/cost_plan.hpp"
+#include "cost/cost_plan_set.hpp"
 #include "explore/recommend.hpp"
 #include "service/engine.hpp"
 
@@ -167,6 +169,153 @@ TEST(Sweep, FilterMatchesRecommendCandidateSet) {
   grid.base.needs_pe_exchange = true;
   const SweepResult result = sweep(grid);
   EXPECT_EQ(result.candidate_classes, recommend(grid.base).size());
+}
+
+// ---------------------------------------------------------------------------
+// Batch-kernel parity: evaluate_range() (batch path) must be
+// bit-identical to evaluate_cell() (scalar path), cell for cell, over
+// every canonical class and randomized (n, lut_budget, objective)
+// grids — including ranges that split grid rows (the scalar edge path).
+
+TEST(CostPlanBatch, EvaluateBatchBitIdenticalToScalar) {
+  const cost::ComponentLibrary lib = cost::ComponentLibrary::default_library();
+  std::mt19937_64 rng(2024);
+  std::uniform_int_distribution<std::int64_t> n_dist(1, 4096);
+  std::uniform_int_distribution<std::int64_t> v_dist(1, 1 << 20);
+  for (const TaxonomyIndex::ClassInfo& row : taxonomy_index().rows()) {
+    const cost::CostPlan plan(row.machine, lib);
+    std::vector<std::int64_t> ns, vs;
+    for (int i = 0; i < 64; ++i) {
+      ns.push_back(n_dist(rng));
+      vs.push_back(v_dist(rng));
+    }
+    std::vector<cost::CostPoint> batch(ns.size());
+    plan.evaluate_batch(ns, vs, batch.data());
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      EXPECT_EQ(batch[i], plan.evaluate(ns[i], vs[i]))
+          << "serial " << row.serial << " lane " << i;
+    }
+  }
+}
+
+TEST(CostPlanBatch, PlanSetMatchesIndividualPlans) {
+  const cost::ComponentLibrary lib = cost::ComponentLibrary::default_library();
+  cost::CostPlanSet set;
+  std::vector<cost::CostPlan> plans;
+  for (const TaxonomyIndex::ClassInfo& row : taxonomy_index().rows()) {
+    set.add(row.machine, lib);
+    plans.emplace_back(row.machine, lib);
+  }
+  ASSERT_EQ(set.size(), plans.size());
+  const std::vector<std::int64_t> ns = {1, 2, 16, 64, 999};
+  const std::vector<std::int64_t> vs = {1, 64, 4096, 100000, 7};
+  std::vector<cost::CostPoint> lanes(ns.size());
+  for (std::size_t p = 0; p < set.size(); ++p) {
+    set.evaluate_lanes(p, ns, vs, lanes.data());
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      EXPECT_EQ(lanes[i], plans[p].evaluate(ns[i], vs[i])) << "plan " << p;
+      EXPECT_EQ(set.evaluate(p, ns[i], vs[i]),
+                plans[p].evaluate(ns[i], vs[i]));
+    }
+    set.evaluate_row(p, 16, vs, lanes.data());
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      EXPECT_EQ(lanes[i], plans[p].evaluate(16, vs[i])) << "plan " << p;
+    }
+  }
+}
+
+SweepGrid random_grid(std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::int64_t> n_dist(1, 512);
+  std::uniform_int_distribution<std::int64_t> v_dist(1, 1 << 18);
+  std::uniform_int_distribution<int> axis(1, 9);
+  SweepGrid grid;
+  const int n_count = axis(rng), l_count = axis(rng);
+  for (int i = 0; i < n_count; ++i) grid.n_values.push_back(n_dist(rng));
+  for (int i = 0; i < l_count; ++i) grid.lut_budgets.push_back(v_dist(rng));
+  grid.objectives = {Requirements::Objective::MinConfigBits,
+                     Requirements::Objective::MinArea};
+  if (axis(rng) <= 3) grid.objectives.pop_back();
+  return grid;
+}
+
+TEST(SweepBatch, RangeBitIdenticalToScalarCellsOnRandomGrids) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 8; ++round) {
+    const SweepGrid grid = random_grid(rng);
+    const SweepEvaluator evaluator(grid);
+    // The default filter admits every named canonical class, so the
+    // batch kernel is exercised across the entire table.
+    EXPECT_EQ(evaluator.candidate_count(), recommend(grid.base).size());
+    const std::size_t cells = evaluator.cell_count();
+    std::vector<SweepPoint> batch(cells);
+    evaluator.evaluate_range(0, cells, batch.data());
+    for (std::size_t i = 0; i < cells; ++i) {
+      EXPECT_EQ(batch[i], evaluator.evaluate_cell(i))
+          << "round " << round << " cell " << i;
+    }
+  }
+}
+
+TEST(SweepBatch, RowSplittingRangesAgreeWithFullRange) {
+  std::mt19937_64 rng(11);
+  const SweepGrid grid = random_grid(rng);
+  const SweepEvaluator evaluator(grid);
+  const std::size_t cells = evaluator.cell_count();
+  std::vector<SweepPoint> whole(cells);
+  evaluator.evaluate_range(0, cells, whole.data());
+  // Deliberately misaligned range boundaries: every split must land on
+  // the same bits through the scalar edge path.
+  std::uniform_int_distribution<std::size_t> cut(0, cells);
+  for (int round = 0; round < 16; ++round) {
+    std::size_t a = cut(rng), b = cut(rng);
+    if (a > b) std::swap(a, b);
+    std::vector<SweepPoint> part(b - a);
+    evaluator.evaluate_range(a, b, part.data());
+    for (std::size_t i = a; i < b; ++i) {
+      EXPECT_EQ(part[i - a], whole[i]) << "range [" << a << "," << b << ")";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pareto front: the O(N log N) sort-then-sweep must return exactly the
+// front the quadratic reference computes — same points, same order —
+// on randomized inputs dense with ties.
+
+TEST(ParetoFront, MatchesReferenceOnRandomizedPoints) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int> flex(0, 5);
+  std::uniform_int_distribution<std::int64_t> bits(0, 20);
+  std::uniform_int_distribution<int> area_step(0, 20);
+  std::uniform_int_distribution<int> coin(0, 9);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<SweepPoint> points;
+    const int count = 1 + static_cast<int>(rng() % 200);
+    for (int i = 0; i < count; ++i) {
+      SweepPoint p;
+      p.feasible = coin(rng) > 0;  // ~10% infeasible
+      p.objective = coin(rng) < 5 ? Requirements::Objective::MinConfigBits
+                                  : Requirements::Objective::MinArea;
+      p.flexibility = flex(rng);
+      // Coarse values on purpose: many exact cost ties.
+      p.config_bits = bits(rng);
+      p.area_kge = 0.5 * area_step(rng);
+      p.n = i;  // make points distinguishable for order checks
+      points.push_back(p);
+    }
+    EXPECT_EQ(pareto_front(points), detail::pareto_front_reference(points))
+        << "round " << round;
+  }
+}
+
+TEST(ParetoFront, MatchesReferenceOnRealSweepOutput) {
+  std::mt19937_64 rng(123);
+  for (int round = 0; round < 4; ++round) {
+    const SweepGrid grid = random_grid(rng);
+    const SweepResult result = sweep(grid);
+    EXPECT_EQ(result.pareto_front,
+              detail::pareto_front_reference(result.points));
+  }
 }
 
 }  // namespace

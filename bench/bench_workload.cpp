@@ -1,0 +1,272 @@
+/// Workload-runner benchmarks: the same stencil5 Jacobi kernel lowered
+/// onto every runnable paradigm, plus SimulateRequest round trips over
+/// loopback TCP.
+///
+/// The artifact prints first (machine -> cycles, wall us, simulated
+/// cycles/s; then the TCP req/s cell), followed by google-benchmark
+/// timings.  Flags:
+///   --csv <path>    timing results as CSV (bench_util.hpp)
+///   --json <path>   write the artifact as BENCH_workload JSON
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/naming.hpp"
+#include "net/net.hpp"
+#include "report/csv.hpp"
+#include "service/service.hpp"
+#include "workload/runner.hpp"
+
+namespace {
+
+using namespace mpct;
+
+/// The per-paradigm machine list of docs/WORKLOAD.md.
+const std::vector<std::string> kMachines = {
+    "IUP", "IAP-III", "IMP-IV", "DUP", "DMP-II", "ISP-II", "USP",
+};
+
+workload::WorkloadSpec stencil_spec() {
+  workload::WorkloadSpec spec;
+  spec.kernel = workload::Kernel::Stencil5;
+  spec.size = 8;
+  spec.iterations = 4;
+  return spec;
+}
+
+std::string fmt(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  return buffer;
+}
+
+/// "IAP-III" -> "IAP_III": JSON keys check_regression.py can pair up.
+std::string key_of(const std::string& machine) {
+  std::string key = machine;
+  for (char& c : key) {
+    if (c == '-') c = '_';
+  }
+  return key;
+}
+
+struct MachineResult {
+  std::string machine;
+  std::int64_t cycles = 0;
+  double wall_us = 0;
+  double sim_cycles_per_s = 0;
+};
+
+struct TcpResult {
+  double req_per_s = 0;
+  std::size_t requests = 0;
+};
+
+MachineResult run_machine(const std::string& machine) {
+  const TaxonomicName name = *parse_taxonomic_name(machine);
+  const workload::WorkloadSpec spec = stencil_spec();
+  // One warm-up run, then time a small fixed batch: the runner is
+  // deterministic, so every repetition does identical work.
+  workload::WorkloadResult result = workload::run_workload(spec, name);
+  constexpr int kRepetitions = 10;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRepetitions; ++i) {
+    result = workload::run_workload(spec, name);
+    benchmark::DoNotOptimize(result);
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  MachineResult out;
+  out.machine = machine;
+  out.cycles = result.cycles;
+  out.wall_us = seconds * 1e6 / kRepetitions;
+  out.sim_cycles_per_s =
+      static_cast<double>(result.cycles) * kRepetitions / seconds;
+  return out;
+}
+
+/// SimulateRequest round trips over loopback TCP against a live server;
+/// every request uses a fresh seed so the fingerprint cache never hits
+/// and each trip simulates for real.
+TcpResult run_tcp_cell() {
+  service::EngineOptions engine_options;
+  engine_options.worker_threads = 2;
+  service::QueryEngine engine(engine_options);
+  net::Server server(engine);
+  TcpResult out;
+  if (!server.start()) {
+    std::cerr << "bench_workload: " << server.error() << "\n";
+    return out;
+  }
+  net::ClientOptions options;
+  options.port = server.port();
+  net::Client client(options);
+
+  service::SimulateRequest request;
+  request.workload = stencil_spec();
+  request.target = *canonical_class(*parse_taxonomic_name("IMP-IV"));
+  request.options.width = 4;
+
+  constexpr std::size_t kRequests = 64;
+  request.seed = 1'000'000;  // warm the connection, not the cache
+  if (!client.call(request).ok()) {
+    std::cerr << "bench_workload: warm-up round trip failed\n";
+    server.stop();
+    return out;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    request.seed = i + 1;
+    const service::QueryResponse response = client.call(request);
+    if (!response.ok()) {
+      std::cerr << "bench_workload: round trip " << i << " failed: "
+                << response.status.to_string() << "\n";
+      server.stop();
+      return out;
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  client.disconnect();
+  server.stop();
+  out.requests = kRequests;
+  out.req_per_s = static_cast<double>(kRequests) / seconds;
+  return out;
+}
+
+void print_artifact(const std::vector<MachineResult>& machines,
+                    const TcpResult& tcp, const std::string& json_path) {
+  report::CsvWriter csv;
+  csv.add_row({"machine", "cycles", "wall_us", "sim_cycles_per_s"});
+  for (const MachineResult& m : machines) {
+    csv.add_row({m.machine, std::to_string(m.cycles), fmt(m.wall_us),
+                 fmt(m.sim_cycles_per_s)});
+  }
+  std::cout << "# stencil5 8x8x4 per paradigm (simulated cycles are exact "
+               "and deterministic; wall time is this host)\n"
+            << csv.str() << "\n"
+            << "# SimulateRequest over loopback TCP (cache-miss, 2-worker "
+               "engine): "
+            << fmt(tcp.req_per_s) << " req/s\n\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"bench_workload\",\n"
+        << "  \"host_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+        << "  \"op\": \"stencil5 8x8x4 lowered onto every paradigm "
+           "(deterministic simulated cycles, host sim cycles/s) plus "
+           "cache-miss SimulateRequest round trips over loopback TCP\",\n"
+        << "  \"current\": {\n";
+    for (const MachineResult& m : machines) {
+      out << "    \"cycles_" << key_of(m.machine) << "\": " << m.cycles
+          << ",\n"
+          << "    \"sim_cycles_per_s_" << key_of(m.machine)
+          << "\": " << fmt(m.sim_cycles_per_s) << ",\n";
+    }
+    out << "    \"req_per_s_tcp\": " << fmt(tcp.req_per_s) << "\n"
+        << "  }\n}\n";
+    std::cout << "JSON written to " << json_path << "\n\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registered microbenchmarks: one full run per paradigm family, the
+// lowering alone, and the live TCP round trip.
+
+void bm_run_stencil(benchmark::State& state, const char* machine) {
+  const TaxonomicName name = *parse_taxonomic_name(machine);
+  const workload::WorkloadSpec spec = stencil_spec();
+  for (auto _ : state) {
+    workload::WorkloadResult result = workload::run_workload(spec, name);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK_CAPTURE(bm_run_stencil, uniprocessor, "IUP")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(bm_run_stencil, simd, "IAP-III")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(bm_run_stencil, mesh_mimd, "IMP-IV")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(bm_run_stencil, dataflow, "DMP-II")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(bm_run_stencil, cgra, "USP")
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_lower_stencil_mimd(benchmark::State& state) {
+  const workload::WorkloadSpec spec = stencil_spec();
+  for (auto _ : state) {
+    std::vector<std::string> programs =
+        workload::multiprocessor_programs(spec, 4);
+    benchmark::DoNotOptimize(programs);
+  }
+}
+BENCHMARK(bm_lower_stencil_mimd);
+
+void bm_simulate_round_trip(benchmark::State& state) {
+  service::EngineOptions engine_options;
+  engine_options.worker_threads = 2;
+  service::QueryEngine engine(engine_options);
+  net::Server server(engine);
+  if (!server.start()) {
+    state.SkipWithError(server.error().c_str());
+    return;
+  }
+  net::ClientOptions options;
+  options.port = server.port();
+  net::Client client(options);
+  service::SimulateRequest request;
+  request.workload = stencil_spec();
+  request.target = *canonical_class(*parse_taxonomic_name("IMP-IV"));
+  request.options.width = 4;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    request.seed = ++seed;  // cache-miss every iteration
+    service::QueryResponse response = client.call(request);
+    benchmark::DoNotOptimize(response);
+  }
+  client.disconnect();
+  server.stop();
+}
+BENCHMARK(bm_simulate_round_trip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --json before benchmark::Initialize (it aborts on unknown
+  // flags); --csv is handled by apply_csv_flag below.
+  std::string json_path;
+  for (int i = 1; i + 1 < argc;) {
+    if (std::string_view(argv[i]) != "--json") {
+      ++i;
+      continue;
+    }
+    json_path = argv[i + 1];
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+  }
+  std::cout << "WORKLOAD BENCHMARKS\n"
+            << "(one kernel, five paradigms: identical output checksums, "
+               "very different cycle counts)\n\n";
+  std::vector<MachineResult> machines;
+  for (const std::string& machine : kMachines) {
+    machines.push_back(run_machine(machine));
+  }
+  print_artifact(machines, run_tcp_cell(), json_path);
+  mpct::bench::apply_csv_flag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,112 @@
+/// Recorded-traffic replayer: feed a capture file (net::ServerOptions::
+/// capture_path) back into any live server speaking the wire protocol
+/// and compare runs by normalized response fingerprint.
+///
+///   replay <capture> <port> [--host H] [--max-speed] [--save FILE]
+///          [--compare FILE]
+///
+///   --max-speed      ignore recorded arrival gaps (default: honour them)
+///   --save FILE      write "id fingerprint" lines for a later --compare
+///   --compare FILE   diff this run against a saved fingerprint file;
+///                    exit 1 on any mismatch
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/net.hpp"
+
+using namespace mpct;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: replay <capture> <port> [--host H] [--max-speed] "
+               "[--save FILE] [--compare FILE]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string capture_path = argv[1];
+  net::ReplayOptions options;
+  options.port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+  std::string save_path;
+  std::string compare_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-speed") {
+      options.max_speed = true;
+    } else if (arg == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (arg == "--save" && i + 1 < argc) {
+      save_path = argv[++i];
+    } else if (arg == "--compare" && i + 1 < argc) {
+      compare_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  net::CaptureFile capture;
+  std::string error;
+  if (!net::read_capture(capture_path, capture, error)) {
+    std::cerr << "replay: " << error << "\n";
+    return 1;
+  }
+  std::cout << capture_path << ": " << capture.records.size()
+            << " frames, replaying against " << options.host << ":"
+            << options.port
+            << (options.max_speed ? " at max speed" : " at recorded pace")
+            << "\n";
+
+  const net::ReplayOutcome outcome = net::replay_capture(capture, options);
+  if (!outcome.ok()) {
+    std::cerr << outcome.error << "\n";
+    return 1;
+  }
+  std::cout << "sent " << outcome.sent << ", answered " << outcome.answered
+            << "\n";
+
+  if (!save_path.empty()) {
+    std::ofstream out(save_path);
+    for (const auto& [id, print] : outcome.fingerprints) {
+      out << id << " " << print << "\n";
+    }
+    std::cout << "fingerprints saved to " << save_path << "\n";
+  }
+
+  if (!compare_path.empty()) {
+    std::ifstream in(compare_path);
+    if (!in) {
+      std::cerr << "replay: cannot read " << compare_path << "\n";
+      return 1;
+    }
+    std::map<std::uint64_t, std::uint64_t> expected;
+    std::uint64_t id = 0;
+    std::uint64_t print = 0;
+    while (in >> id >> print) expected[id] = print;
+    std::size_t mismatches = 0;
+    for (const auto& [got_id, got_print] : outcome.fingerprints) {
+      const auto it = expected.find(got_id);
+      if (it == expected.end() || it->second != got_print) {
+        std::cerr << "mismatch: id " << got_id << "\n";
+        ++mismatches;
+      }
+    }
+    if (outcome.fingerprints.size() != expected.size()) {
+      std::cerr << "count differs: got " << outcome.fingerprints.size()
+                << ", expected " << expected.size() << "\n";
+      ++mismatches;
+    }
+    if (mismatches > 0) return 1;
+    std::cout << "all " << outcome.fingerprints.size()
+              << " fingerprints match " << compare_path << "\n";
+  }
+  return 0;
+}

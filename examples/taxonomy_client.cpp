@@ -2,7 +2,8 @@
 ///
 /// Pipelines a batch on one connection: classify every named survey
 /// architecture (or the whole survey when no names are given), then a
-/// recommendation and a symbolic cost sweep.  Demonstrates the typed
+/// recommendation, a symbolic cost sweep, and a stencil5 simulation on
+/// the IMP-IV mesh multiprocessor (wire v2).  Demonstrates the typed
 /// failure model: an unreachable server comes back as
 /// StatusCode::Unavailable after retries, never as an exception.
 ///
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "arch/registry.hpp"
+#include "core/classifier.hpp"
 #include "core/naming.hpp"
 #include "core/taxonomy_table.hpp"
 #include "net/net.hpp"
@@ -30,11 +32,18 @@ std::string describe(const QueryResponse& response) {
   std::string out = response.cache_hit ? "[cached] " : "[computed] ";
   if (const ClassifyResponse* c = response.classify()) {
     out += c->spec.name + " -> ";
-    out += c->classification.ok() ? to_string(*c->classification.name)
-                                  : ("unclassifiable: " + c->classification.note);
+    if (c->classification.ok()) {
+      out += to_string(*c->classification.name);
+    } else {
+      out += "unclassifiable: ";
+      out += c->classification.note;
+    }
   } else if (const RecommendResponse* r = response.recommend()) {
     out += "top classes:";
-    for (const auto& rec : r->recommendations) out += " " + to_string(rec.name);
+    for (const auto& rec : r->recommendations) {
+      out += " ";
+      out += to_string(rec.name);
+    }
   } else if (const CostResponse* c = response.cost()) {
     out += "cost sweep:";
     for (const auto& point : c->points) {
@@ -43,6 +52,16 @@ std::string describe(const QueryResponse& response) {
                     static_cast<long long>(point.n), point.area.total_kge());
       out += cell;
     }
+  } else if (const SimulateResponse* s = response.simulate()) {
+    char cell[128];
+    std::snprintf(cell, sizeof(cell),
+                  "stencil5 on %s: %lld cycles, checksum %016llx%s",
+                  to_string(s->result.machine).c_str(),
+                  static_cast<long long>(s->result.cycles),
+                  static_cast<unsigned long long>(s->result.output_checksum),
+                  s->result.matches_reference ? " (matches reference)"
+                                              : " (MISMATCH)");
+    out += cell;
   }
   return out;
 }
@@ -81,6 +100,16 @@ int main(int argc, char** argv) {
     cost.target = find_entry(*parse_taxonomic_name("IMP-XVI"))->machine;
     cost.n_sweep = {4, 16, 64};
     batch.push_back(cost);
+  }
+  {
+    SimulateRequest simulate;
+    simulate.workload.kernel = workload::Kernel::Stencil5;
+    simulate.workload.size = 8;
+    simulate.workload.iterations = 4;
+    simulate.target = *canonical_class(*parse_taxonomic_name("IMP-IV"));
+    simulate.options.width = 4;
+    simulate.seed = 7;
+    batch.push_back(simulate);
   }
 
   net::ClientOptions options;

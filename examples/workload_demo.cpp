@@ -1,0 +1,184 @@
+/// Simulation-as-a-service, end to end: one stencil5 Jacobi workload
+/// classified, costed, simulated and degraded under an injected mesh
+/// fault — every step a wire request through a CombiningProxy over
+/// loopback TCP — then the whole recorded session replayed twice
+/// against a fresh server and diffed by response fingerprint.
+///
+///   workload_demo [capture-path] [report-path]
+///
+/// Writes the raw capture (default workload.capture) and a replay
+/// report (default workload.replay.txt); exits non-zero if any step or
+/// the fingerprint comparison fails, so CI can run it as a check.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/registry.hpp"
+#include "cluster/cluster.hpp"
+#include "core/classifier.hpp"
+#include "core/naming.hpp"
+#include "net/net.hpp"
+#include "service/service.hpp"
+#include "workload/runner.hpp"
+
+using namespace mpct;
+
+namespace {
+
+int fail(const std::string& message) {
+  std::cerr << "workload_demo: " << message << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string capture_path = argc > 1 ? argv[1] : "workload.capture";
+  const std::string report_path = argc > 2 ? argv[2] : "workload.replay.txt";
+
+  // The workload: a 5-point Jacobi stencil, 8x8 grid, 4 sweeps.
+  workload::WorkloadSpec spec;
+  spec.kernel = workload::Kernel::Stencil5;
+  spec.size = 8;
+  spec.iterations = 4;
+
+  // The serving stack: engine behind a TCP server, combining proxy in
+  // front, recorder on the proxy's front door — every frame the client
+  // sends below lands in the capture file.
+  service::EngineOptions engine_options;
+  engine_options.worker_threads = 2;
+  service::QueryEngine engine(engine_options);
+  net::Server backend(engine);
+  if (!backend.start()) return fail("backend: " + backend.error());
+
+  cluster::ProxyOptions proxy_options;
+  proxy_options.cluster.endpoints = {{"127.0.0.1", backend.port()}};
+  proxy_options.worker_threads = 2;
+  proxy_options.enable_pinger = false;
+  proxy_options.server.capture_path = capture_path;
+  cluster::CombiningProxy proxy(proxy_options);
+  if (!proxy.start()) return fail("proxy: " + proxy.error());
+
+  net::ClientOptions client_options;
+  client_options.port = proxy.port();
+  net::Client client(client_options);
+
+  std::cout << "== 1. classify ==\n";
+  const arch::ArchitectureSpec& montium = *arch::find_architecture("Montium");
+  const service::QueryResponse classified =
+      client.call(service::ClassifyRequest::of(montium));
+  if (!classified.ok()) return fail(classified.status.to_string());
+  const service::ClassifyResponse& cls = *classified.classify();
+  std::cout << montium.name << " -> " << to_string(*cls.classification.name)
+            << " (flexibility " << cls.flexibility.total() << ")\n\n";
+
+  // The degraded-mesh arc needs a mesh: IMP-IV, the full-crossbar MIMD
+  // multiprocessor, on a 2x2 NoC (width 4).
+  const MachineClass mesh_class =
+      *canonical_class(*parse_taxonomic_name("IMP-IV"));
+
+  std::cout << "== 2. cost ==\n";
+  service::CostRequest cost;
+  cost.target = mesh_class;
+  cost.options.n = 4;
+  const service::QueryResponse costed = client.call(cost);
+  if (!costed.ok()) return fail(costed.status.to_string());
+  const service::CostResponse::Point& point = costed.cost()->points.front();
+  std::cout << "IMP-IV n=4: " << point.area.total_kge() << " kGE, "
+            << point.config_bits.total() << " config bits\n\n";
+
+  std::cout << "== 3. simulate (clean) ==\n";
+  service::SimulateRequest simulate;
+  simulate.workload = spec;
+  simulate.target = mesh_class;
+  simulate.options.width = 4;
+  simulate.seed = 7;
+  const service::QueryResponse clean = client.call(simulate);
+  if (!clean.ok()) return fail(clean.status.to_string());
+  const workload::WorkloadResult& clean_result = clean.simulate()->result;
+  std::cout << "stencil5 " << spec.size << "x" << spec.size << "x"
+            << spec.iterations << " on " << to_string(clean_result.machine)
+            << ": " << clean_result.cycles << " cycles, "
+            << clean_result.messages << " messages, checksum 0x" << std::hex
+            << clean_result.output_checksum << std::dec
+            << (clean_result.matches_reference ? " (matches reference)\n\n"
+                                               : " (MISMATCH)\n\n");
+  if (!clean_result.matches_reference) return fail("clean run diverged");
+
+  std::cout << "== 4. simulate (mesh link 0-1 dead) ==\n";
+  simulate.faults.add_noc_link(0, 1);
+  const service::QueryResponse degraded = client.call(simulate);
+  if (!degraded.ok()) return fail(degraded.status.to_string());
+  const workload::WorkloadResult& degraded_result =
+      degraded.simulate()->result;
+  std::cout << "route-around cost: " << clean_result.cycles << " -> "
+            << degraded_result.cycles << " cycles (+"
+            << (degraded_result.cycles - clean_result.cycles)
+            << "), same checksum: "
+            << (degraded_result.output_checksum ==
+                        clean_result.output_checksum
+                    ? "yes"
+                    : "NO")
+            << "\n\n";
+  if (!degraded_result.matches_reference ||
+      degraded_result.cycles <= clean_result.cycles) {
+    return fail("degraded run should match the reference and cost cycles");
+  }
+
+  // Tear the stack down; the proxy closes the capture file.
+  proxy.stop();
+  backend.stop();
+
+  std::cout << "== 5. replay the recorded session ==\n";
+  net::CaptureFile capture;
+  std::string error;
+  if (!net::read_capture(capture_path, capture, error)) return fail(error);
+  std::cout << capture_path << ": " << capture.records.size()
+            << " recorded request frames\n";
+
+  // Fresh engine, fresh server: the replayer only needs a compatible
+  // wire endpoint, and deterministic serving means the fingerprints
+  // must come out identical, run after run.
+  service::QueryEngine replay_engine(engine_options);
+  net::Server replay_server(replay_engine);
+  if (!replay_server.start()) return fail(replay_server.error());
+  net::ReplayOptions replay_options;
+  replay_options.port = replay_server.port();
+  replay_options.max_speed = true;
+  const net::ReplayOutcome first = net::replay_capture(capture, replay_options);
+  if (!first.ok()) return fail(first.error);
+  const net::ReplayOutcome second =
+      net::replay_capture(capture, replay_options);
+  if (!second.ok()) return fail(second.error);
+  replay_server.stop();
+
+  std::size_t matched = 0;
+  for (std::size_t i = 0;
+       i < first.fingerprints.size() && i < second.fingerprints.size(); ++i) {
+    if (first.fingerprints[i] == second.fingerprints[i]) ++matched;
+  }
+  std::ofstream report(report_path);
+  report << "capture=" << capture_path << " frames="
+         << capture.records.size() << "\n"
+         << "run1 sent=" << first.sent << " answered=" << first.answered
+         << "\nrun2 sent=" << second.sent << " answered=" << second.answered
+         << "\nfingerprints matched=" << matched << "/"
+         << first.fingerprints.size() << "\n";
+  for (const auto& [id, print] : first.fingerprints) {
+    report << "id=" << id << " fp=0x" << std::hex << print << std::dec
+           << "\n";
+  }
+  std::cout << "two max-speed replays: " << matched << "/"
+            << first.fingerprints.size()
+            << " response fingerprints identical (report: " << report_path
+            << ")\n";
+  if (first.sent != capture.records.size() || !(first == second) ||
+      matched != first.fingerprints.size() || matched == 0) {
+    return fail("replay fingerprints diverged");
+  }
+  std::cout << "\nOK: classified, costed, simulated, degraded and replayed "
+               "over the wire.\n";
+  return 0;
+}

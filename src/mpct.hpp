@@ -72,6 +72,11 @@
 #include "sim/spatial/netlist.hpp"
 #include "sim/word.hpp"
 
+// Portable workload IR + per-paradigm lowerings + simulation runner.
+#include "workload/lowering.hpp"
+#include "workload/runner.hpp"
+#include "workload/workload.hpp"
+
 // Bibliometrics (Figure 1 substitute).
 #include "bibliometrics/corpus.hpp"
 #include "bibliometrics/query.hpp"

@@ -1,0 +1,146 @@
+#include "net/capture.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mpct::net {
+
+namespace {
+
+void put_u16(std::uint8_t* out, std::uint16_t v) {
+  out[0] = static_cast<std::uint8_t>(v & 0xff);
+  out[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+}
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* in) {
+  return static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+}  // namespace
+
+bool CaptureWriter::open(const std::string& path, std::string& error) {
+  close();
+  file_ = std::fopen(path.c_str(), "wb");
+  if (!file_) {
+    error = "capture: cannot open '" + path + "' for writing";
+    return false;
+  }
+  std::uint8_t header[8];
+  put_u32(header, kCaptureMagic);
+  put_u16(header + 4, kCaptureFormatVersion);
+  put_u16(header + 6, 0);
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
+    error = "capture: cannot write header to '" + path + "'";
+    close();
+    return false;
+  }
+  std::fflush(file_);
+  frames_ = 0;
+  return true;
+}
+
+void CaptureWriter::record(const std::uint8_t* frame,
+                           std::size_t frame_size) {
+  if (!file_ || frame_size == 0 ||
+      frame_size > std::numeric_limits<std::uint32_t>::max()) {
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  std::uint32_t delta_us = 0;
+  if (frames_ > 0) {
+    const auto gap =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - last_)
+            .count();
+    delta_us = static_cast<std::uint32_t>(std::clamp<long long>(
+        gap, 0, std::numeric_limits<std::uint32_t>::max()));
+  }
+  last_ = now;
+  std::uint8_t prefix[8];
+  put_u32(prefix, static_cast<std::uint32_t>(frame_size));
+  put_u32(prefix + 4, delta_us);
+  if (std::fwrite(prefix, 1, sizeof(prefix), file_) != sizeof(prefix) ||
+      std::fwrite(frame, 1, frame_size, file_) != frame_size) {
+    // Disk full / IO error: stop recording rather than corrupt the
+    // stream; frames already flushed stay readable.
+    close();
+    return;
+  }
+  std::fflush(file_);
+  ++frames_;
+}
+
+void CaptureWriter::close() {
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool read_capture(const std::string& path, CaptureFile& out,
+                  std::string& error) {
+  out.records.clear();
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (!file) {
+    error = "capture: cannot open '" + path + "'";
+    return false;
+  }
+  std::uint8_t header[8];
+  if (std::fread(header, 1, sizeof(header), file) != sizeof(header)) {
+    error = "capture: '" + path + "' is too short for a header";
+    std::fclose(file);
+    return false;
+  }
+  if (get_u32(header) != kCaptureMagic) {
+    error = "capture: '" + path + "' has bad magic";
+    std::fclose(file);
+    return false;
+  }
+  const std::uint16_t version = get_u16(header + 4);
+  if (version != kCaptureFormatVersion) {
+    error = "capture: unsupported format version " + std::to_string(version);
+    std::fclose(file);
+    return false;
+  }
+  for (;;) {
+    std::uint8_t prefix[8];
+    const std::size_t got = std::fread(prefix, 1, sizeof(prefix), file);
+    if (got == 0) break;  // clean EOF between records
+    if (got != sizeof(prefix)) {
+      error = "capture: truncated record prefix in '" + path + "'";
+      std::fclose(file);
+      return false;
+    }
+    CaptureRecord record;
+    const std::uint32_t frame_size = get_u32(prefix);
+    record.delta_us = get_u32(prefix + 4);
+    if (frame_size == 0) {
+      error = "capture: zero-length frame in '" + path + "'";
+      std::fclose(file);
+      return false;
+    }
+    record.frame.resize(frame_size);
+    if (std::fread(record.frame.data(), 1, frame_size, file) != frame_size) {
+      error = "capture: truncated frame in '" + path + "'";
+      std::fclose(file);
+      return false;
+    }
+    out.records.push_back(std::move(record));
+  }
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace mpct::net

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace mpct::net {
+
+/// Recorded-traffic capture: the server's event loop appends every
+/// well-framed Request frame it receives, verbatim, together with the
+/// arrival gap to the previous one.  Because frames are stored exactly
+/// as they crossed the wire (request id, version, deadline, payload),
+/// a capture replays against any server speaking the same protocol —
+/// the replay harness (net/replay.hpp) compares normalized response
+/// fingerprints to prove behaviour identical across runs or builds.
+///
+/// File layout (little-endian):
+///   u32 magic "MPC1" (0x3143504d)   u16 format version = 1   u16 zero
+/// then per record:
+///   u32 frame_size   u32 delta_us (arrival gap, first record 0)
+///   frame_size raw frame bytes
+struct CaptureRecord {
+  std::uint32_t delta_us = 0;
+  std::vector<std::uint8_t> frame;
+};
+
+struct CaptureFile {
+  std::vector<CaptureRecord> records;
+};
+
+inline constexpr std::uint32_t kCaptureMagic = 0x3143504du;  // "MPC1"
+inline constexpr std::uint16_t kCaptureFormatVersion = 1;
+
+/// Append-only writer.  Single-threaded by design: the server's event
+/// loop is the only caller (all request frames pass through it), so
+/// records need no locking and arrival order is exact.  Each record is
+/// flushed as written — a capture survives an unclean shutdown up to
+/// the last complete record.
+class CaptureWriter {
+ public:
+  CaptureWriter() = default;
+  ~CaptureWriter() { close(); }
+
+  CaptureWriter(const CaptureWriter&) = delete;
+  CaptureWriter& operator=(const CaptureWriter&) = delete;
+
+  /// Create/truncate @p path and write the file header.  False + error
+  /// message on failure.
+  bool open(const std::string& path, std::string& error);
+
+  /// Append one raw request frame; stamps the arrival delta since the
+  /// previous record (0 for the first).
+  void record(const std::uint8_t* frame, std::size_t frame_size);
+
+  void close();
+
+  bool is_open() const { return file_ != nullptr; }
+  std::size_t frames_written() const { return frames_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::chrono::steady_clock::time_point last_{};
+  std::size_t frames_ = 0;
+};
+
+/// Read a whole capture into memory.  False + error on a missing file,
+/// bad magic/version, or a truncated record (records before the
+/// truncation point are NOT returned — a capture is all-or-nothing so
+/// replays never silently compare partial sessions).
+bool read_capture(const std::string& path, CaptureFile& out,
+                  std::string& error);
+
+}  // namespace mpct::net

@@ -4,6 +4,8 @@
 /// nonblocking Server fronting a service::QueryEngine, and the
 /// pipelining retrying Client.  Frame encoding lives in wire/wire.hpp.
 
+#include "net/capture.hpp"  // IWYU pragma: export
 #include "net/client.hpp"   // IWYU pragma: export
+#include "net/replay.hpp"   // IWYU pragma: export
 #include "net/server.hpp"   // IWYU pragma: export
 #include "net/socket.hpp"   // IWYU pragma: export

@@ -55,9 +55,16 @@ bool Server::start() {
   listener_ = listen_tcp(options_.host, options_.port, port_, error_);
   if (!listener_.valid()) return false;
 
+  if (!options_.capture_path.empty() &&
+      !capture_.open(options_.capture_path, error_)) {
+    listener_.close();
+    return false;
+  }
+
   if (::pipe(wake_fds_) != 0) {
     error_ = std::string("pipe: ") + ::strerror(errno);
     listener_.close();
+    capture_.close();
     return false;
   }
   set_nonblocking(wake_fds_[0]);
@@ -91,6 +98,7 @@ void Server::stop() {
   connections_.clear();
   connection_count_.store(0, std::memory_order_release);
   completions_.clear();
+  capture_.close();
 }
 
 void Server::wake() {
@@ -306,6 +314,14 @@ bool Server::dispatch_request(std::uint64_t conn_id, Connection& conn,
       return true;  // meaningless server-side; tolerate and move on
     default:
       break;  // Request (or Response, rejected in-band below)
+  }
+
+  // Recorder hook: every well-framed request frame, verbatim, before
+  // decode — so a replay exercises the same decode path this server
+  // did, malformed payloads included.  Loop thread only, like all
+  // frame handling.
+  if (capture_.is_open() && scan.header.kind == wire::FrameKind::Request) {
+    capture_.record(frame, frame_size);
   }
 
   auto decoded = wire::decode_request_frame(frame, frame_size);

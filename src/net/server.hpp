@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/capture.hpp"
 #include "net/socket.hpp"
 #include "service/engine.hpp"
 
@@ -35,6 +36,13 @@ struct ServerOptions {
   /// How long stop() waits for in-flight requests to complete and
   /// response bytes to flush before closing connections anyway.
   std::chrono::milliseconds drain_timeout{5000};
+
+  /// When non-empty, record every well-framed request frame (verbatim,
+  /// with arrival gaps) to this capture file for later replay with
+  /// net::replay_capture.  Opening the file is part of start(): a path
+  /// that cannot be created fails the server rather than silently
+  /// recording nothing.
+  std::string capture_path;
 };
 
 /// Poll-based nonblocking TCP front end for a service::QueryEngine.
@@ -157,6 +165,10 @@ class Server {
   Socket listener_;
   std::uint16_t port_ = 0;
   std::string error_;
+
+  /// Traffic recorder (ServerOptions::capture_path); owned and touched
+  /// by start()/stop() and the loop thread only.
+  CaptureWriter capture_;
 
   /// Self-pipe: [0] is polled by the loop, [1] is written by callbacks
   /// (and stop()) to interrupt a blocking poll.

@@ -26,6 +26,7 @@ const char* execute_span_name(RequestType type) {
     case RequestType::FaultSweep: return "execute.fault_sweep";
     case RequestType::SweepChunk: return "execute.sweep_chunk";
     case RequestType::FaultChunk: return "execute.fault_chunk";
+    case RequestType::Simulate:   return "execute.simulate";
   }
   return "execute";
 }
@@ -238,6 +239,68 @@ QueryResponse execute_fault_chunk(const FaultChunkRequest& request,
   payload.outcomes.resize(request.end - request.begin);
   evaluator.evaluate_range(request.begin, request.end,
                            payload.outcomes.data());
+  response.payload =
+      std::make_shared<const ResponsePayload>(std::move(payload));
+  return response;
+}
+
+/// Lower a workload onto the machine the target names and run it.  The
+/// request is wrong (InvalidRequest) whenever the lowering refuses it:
+/// bad spec bounds, an unclassifiable target, a class without the
+/// switches the kernel needs, or faults that break the fixed mapping.
+/// Only a genuine machine trap escapes to the InternalError catch-all.
+QueryResponse execute_simulate(const SimulateRequest& request) {
+  QueryResponse response;
+  const std::string bad_spec = workload::validate(request.workload);
+  if (!bad_spec.empty()) {
+    response.status = Status::invalid_request("simulate: " + bad_spec);
+    return response;
+  }
+  if (request.options.width < 1 || request.options.width > 64) {
+    response.status = Status::invalid_request(
+        "simulate: width must be 1..64, got " +
+        std::to_string(request.options.width));
+    return response;
+  }
+  if (request.options.max_cycles < 1 ||
+      request.options.max_cycles > 100'000'000) {
+    response.status = Status::invalid_request(
+        "simulate: max_cycles must be 1..100000000, got " +
+        std::to_string(request.options.max_cycles));
+    return response;
+  }
+  MachineClass target;
+  if (const auto* mc = std::get_if<MachineClass>(&request.target)) {
+    target = *mc;
+  } else {
+    const auto& spec = std::get<arch::ArchitectureSpec>(request.target);
+    const Classification classification = spec.classify();
+    if (!classification.ok()) {
+      response.status = Status::invalid_request(
+          "simulate: target spec is not a runnable taxonomy class: " +
+          classification.note);
+      return response;
+    }
+    const std::optional<MachineClass> canonical =
+        canonical_class(*classification.name);
+    if (!canonical) {
+      response.status = Status::invalid_request(
+          "simulate: " + to_string(*classification.name) +
+          " has no canonical machine class");
+      return response;
+    }
+    target = *canonical;
+  }
+  SimulateResponse payload;
+  try {
+    payload.result = workload::run_workload(request.workload, target,
+                                            request.options, request.faults,
+                                            request.seed);
+  } catch (const workload::LoweringError& e) {
+    response.status =
+        Status::invalid_request(std::string("simulate: ") + e.what());
+    return response;
+  }
   response.payload =
       std::make_shared<const ResponsePayload>(std::move(payload));
   return response;
@@ -853,6 +916,16 @@ QueryResponse QueryEngine::run_request(const Request& request,
     trace::ScopedSpan span(execute_span_name(request_type(request)),
                            trace::Category::Execute);
     response = execute_cached(request);
+    if (const auto* sim = std::get_if<SimulateRequest>(&request)) {
+      if (response.ok() && !response.cache_hit) {
+        metrics_.sim_runs.add();
+        if (!sim->faults.empty()) metrics_.sim_fault_runs.add();
+        if (const SimulateResponse* payload = response.simulate()) {
+          metrics_.sim_cycles.add(
+              static_cast<std::uint64_t>(payload->result.cycles));
+        }
+      }
+    }
   }
   response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
       Clock::now() - start);
@@ -905,6 +978,8 @@ QueryResponse QueryEngine::execute_uncached(const Request& request) const {
             return execute_sweep_chunk(req, options_.library);
           } else if constexpr (std::is_same_v<T, FaultChunkRequest>) {
             return execute_fault_chunk(req, options_.library);
+          } else if constexpr (std::is_same_v<T, SimulateRequest>) {
+            return execute_simulate(req);
           } else {
             static_assert(std::is_same_v<T, CostRequest>);
             return execute_cost(req, options_.library);

@@ -177,6 +177,35 @@ Fingerprint fingerprint(const fault::CurveSpec& spec) {
   return b.value();
 }
 
+Fingerprint fingerprint(const fault::FaultSet& faults) {
+  // The set is canonical (sorted, deduped), so equal sets hash equal no
+  // matter what order the faults were added in.
+  FingerprintBuilder b;
+  b.mix(static_cast<std::uint64_t>(faults.size()));
+  for (const fault::Fault& f : faults.faults()) {
+    b.mix(static_cast<int>(f.kind))
+        .mix(static_cast<int>(f.role))
+        .mix(static_cast<std::int64_t>(f.index))
+        .mix(static_cast<std::int64_t>(f.index2));
+  }
+  return b.value();
+}
+
+Fingerprint fingerprint(const workload::WorkloadSpec& spec) {
+  FingerprintBuilder b;
+  b.mix(static_cast<int>(spec.kernel))
+      .mix(static_cast<std::int64_t>(spec.size))
+      .mix(static_cast<std::int64_t>(spec.iterations))
+      .mix(spec.alpha);
+  return b.value();
+}
+
+Fingerprint fingerprint(const workload::RunOptions& options) {
+  FingerprintBuilder b;
+  b.mix(static_cast<std::int64_t>(options.width)).mix(options.max_cycles);
+  return b.value();
+}
+
 Fingerprint fingerprint(const Request& request) {
   FingerprintBuilder b;
   b.mix(static_cast<int>(request_type(request)));
@@ -202,6 +231,17 @@ Fingerprint fingerprint(const Request& request) {
           b.mix(fingerprint(req.grid)).mix(req.begin).mix(req.end);
         } else if constexpr (std::is_same_v<T, FaultChunkRequest>) {
           b.mix(fingerprint(req.spec)).mix(req.begin).mix(req.end);
+        } else if constexpr (std::is_same_v<T, SimulateRequest>) {
+          b.mix(fingerprint(req.workload));
+          b.mix(req.target.index());
+          if (const auto* mc = std::get_if<MachineClass>(&req.target)) {
+            b.mix(fingerprint(*mc));
+          } else {
+            b.mix(fingerprint(std::get<arch::ArchitectureSpec>(req.target)));
+          }
+          b.mix(fingerprint(req.options));
+          b.mix(fingerprint(req.faults));
+          b.mix(req.seed);
         } else {
           static_assert(std::is_same_v<T, CostRequest>);
           b.mix(req.target.index());

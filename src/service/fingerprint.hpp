@@ -55,6 +55,9 @@ Fingerprint fingerprint(const explore::Requirements& requirements);
 Fingerprint fingerprint(const explore::SweepGrid& grid);
 Fingerprint fingerprint(const cost::EstimateOptions& options);
 Fingerprint fingerprint(const fault::CurveSpec& spec);
+Fingerprint fingerprint(const fault::FaultSet& faults);
+Fingerprint fingerprint(const workload::WorkloadSpec& spec);
+Fingerprint fingerprint(const workload::RunOptions& options);
 
 /// Key for a whole request; the request-type tag is mixed first so the
 /// three request spaces cannot collide with each other.

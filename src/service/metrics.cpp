@@ -209,6 +209,11 @@ std::string MetricsRegistry::to_table(const CacheStats& cache) const {
   table.add_row({"hedges won", std::to_string(net_hedges_won.value())});
   table.add_row({"failovers", std::to_string(net_failovers.value())});
 
+  table.add_section("simulation");
+  table.add_row({"runs", std::to_string(sim_runs.value())});
+  table.add_row({"cycles", std::to_string(sim_cycles.value())});
+  table.add_row({"fault runs", std::to_string(sim_fault_runs.value())});
+
   table.add_section("cache");
   table.add_row({"hits", std::to_string(cache_hits.value())});
   table.add_row({"misses", std::to_string(cache_misses.value())});
@@ -268,6 +273,9 @@ std::string MetricsRegistry::to_csv(const CacheStats& cache) const {
   csv.add_row({"net_hedges_sent", std::to_string(net_hedges_sent.value())});
   csv.add_row({"net_hedges_won", std::to_string(net_hedges_won.value())});
   csv.add_row({"net_failovers", std::to_string(net_failovers.value())});
+  csv.add_row({"sim_runs", std::to_string(sim_runs.value())});
+  csv.add_row({"sim_cycles", std::to_string(sim_cycles.value())});
+  csv.add_row({"sim_fault_runs", std::to_string(sim_fault_runs.value())});
   csv.add_row({"cache_hits", std::to_string(cache_hits.value())});
   csv.add_row({"cache_misses", std::to_string(cache_misses.value())});
   csv.add_row({"cache_hit_rate", format_rate(cache_hit_rate())});
@@ -367,6 +375,16 @@ std::string MetricsRegistry::to_prometheus(const CacheStats& cache,
   w.header("mpct_net_failovers_total", PromWriter::Type::Counter,
            "Requests re-routed off an unhealthy endpoint.");
   w.sample("mpct_net_failovers_total", {}, net_failovers.value());
+
+  w.header("mpct_sim_runs_total", PromWriter::Type::Counter,
+           "Workload simulations executed (cache hits not re-counted).");
+  w.sample("mpct_sim_runs_total", {}, sim_runs.value());
+  w.header("mpct_sim_cycles_total", PromWriter::Type::Counter,
+           "Machine cycles across all workload simulations.");
+  w.sample("mpct_sim_cycles_total", {}, sim_cycles.value());
+  w.header("mpct_sim_fault_runs_total", PromWriter::Type::Counter,
+           "Workload simulations that injected at least one fault.");
+  w.sample("mpct_sim_fault_runs_total", {}, sim_fault_runs.value());
 
   w.header("mpct_cache_hits_total", PromWriter::Type::Counter,
            "Result-cache hits.");

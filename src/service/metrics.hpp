@@ -192,6 +192,12 @@ class MetricsRegistry {
   Counter net_hedges_won;   ///< hedged duplicate answered before the original
   Counter net_failovers;    ///< requests re-routed off an unhealthy endpoint
 
+  // Simulation (SimulateRequest executions through src/workload; cache
+  // hits do not re-count — these measure machine time actually spent).
+  Counter sim_runs;        ///< workloads simulated to completion
+  Counter sim_cycles;      ///< machine cycles across all simulations
+  Counter sim_fault_runs;  ///< simulations with a non-empty fault set
+
   /// Submit-to-completion latency per request type.
   std::array<LatencyHistogram, kRequestTypeCount> latency_by_type;
 

@@ -18,6 +18,8 @@ std::string_view to_string(RequestType type) {
       return "sweep_chunk";
     case RequestType::FaultChunk:
       return "fault_chunk";
+    case RequestType::Simulate:
+      return "simulate";
   }
   return "unknown";
 }

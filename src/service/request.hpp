@@ -17,7 +17,9 @@
 #include "explore/recommend.hpp"
 #include "explore/sweep.hpp"
 #include "fault/degradation_curve.hpp"
+#include "fault/fault_model.hpp"
 #include "service/status.hpp"
+#include "workload/runner.hpp"
 
 namespace mpct::service {
 
@@ -174,9 +176,32 @@ struct FaultChunkResponse {
                          const FaultChunkResponse&) = default;
 };
 
+/// Simulate a workload kernel on the machine a class (or spec) names:
+/// lower onto the matching sim:: machine, apply the fault set to the
+/// fabric, run deterministically, return cycles/energy/checksum
+/// (workload::run_workload end to end).  Specs are classified first; an
+/// unclassifiable or non-implementable target is InvalidRequest.
+struct SimulateRequest {
+  workload::WorkloadSpec workload;
+  std::variant<MachineClass, arch::ArchitectureSpec> target;
+  workload::RunOptions options;
+  /// Faults injected into the fabric before the run (may be empty).
+  fault::FaultSet faults;
+  /// Input-stream seed; part of the deterministic identity of the run.
+  std::uint64_t seed = 0;
+};
+
+struct SimulateResponse {
+  workload::WorkloadResult result;
+
+  friend bool operator==(const SimulateResponse&,
+                         const SimulateResponse&) = default;
+};
+
 using Request =
     std::variant<ClassifyRequest, RecommendRequest, CostRequest, SweepRequest,
-                 FaultSweepRequest, SweepChunkRequest, FaultChunkRequest>;
+                 FaultSweepRequest, SweepChunkRequest, FaultChunkRequest,
+                 SimulateRequest>;
 
 /// Discriminator used for per-request-type metrics and cache keying.
 enum class RequestType : std::uint8_t {
@@ -187,8 +212,9 @@ enum class RequestType : std::uint8_t {
   FaultSweep = 4,
   SweepChunk = 5,   ///< wire protocol v2+ only
   FaultChunk = 6,   ///< wire protocol v2+ only
+  Simulate = 7,     ///< wire protocol v2+ only
 };
-inline constexpr std::size_t kRequestTypeCount = 7;
+inline constexpr std::size_t kRequestTypeCount = 8;
 
 std::string_view to_string(RequestType type);
 
@@ -200,7 +226,7 @@ inline RequestType request_type(const Request& request) {
 using ResponsePayload =
     std::variant<std::monostate, ClassifyResponse, RecommendResponse,
                  CostResponse, SweepResponse, FaultSweepResponse,
-                 SweepChunkResponse, FaultChunkResponse>;
+                 SweepChunkResponse, FaultChunkResponse, SimulateResponse>;
 
 /// What a submitted query resolves to.  `status` is always meaningful;
 /// the payload alternative matches the request type only when status.ok().
@@ -238,6 +264,9 @@ struct QueryResponse {
   }
   const FaultChunkResponse* fault_chunk() const {
     return payload ? std::get_if<FaultChunkResponse>(payload.get()) : nullptr;
+  }
+  const SimulateResponse* simulate() const {
+    return payload ? std::get_if<SimulateResponse>(payload.get()) : nullptr;
   }
 };
 

@@ -97,6 +97,21 @@ RunStats Multiprocessor::run(std::int64_t max_cycles) {
   };
   // Manhattan distance between cores under the configured layout.
   const auto message_latency = [&](int from, int to) -> std::int64_t {
+    if (!config_.pair_latency.empty()) {
+      const std::size_t slot = static_cast<std::size_t>(from) *
+                                   static_cast<std::size_t>(config_.cores) +
+                               static_cast<std::size_t>(to);
+      if (slot >= config_.pair_latency.size()) {
+        throw SimError("IMP: pair_latency table smaller than cores^2");
+      }
+      const std::int64_t latency = config_.pair_latency[slot];
+      if (latency < 0) {
+        throw SimError("IMP: no surviving route from core " +
+                       std::to_string(from) + " to core " +
+                       std::to_string(to));
+      }
+      return std::max<std::int64_t>(1, latency);
+    }
     if (config_.mesh_width <= 0) return 1;  // ideal crossbar
     const int w = config_.mesh_width;
     const int dx = std::abs(from % w - to % w);

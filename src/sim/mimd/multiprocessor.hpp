@@ -25,6 +25,12 @@ struct MultiprocessorConfig {
   /// width, and a message takes max(1, manhattan distance) cycles —
   /// the REDEFINE-style NoC substrate without per-packet simulation.
   int mesh_width = 0;
+  /// Explicit per-pair message latencies (cores x cores, row-major,
+  /// entry [from * cores + to]).  When non-empty this overrides the
+  /// mesh_width model — it is how a route-around mesh (dead routers or
+  /// links, BFS detours) feeds back into the cycle count.  An entry < 0
+  /// marks the pair unroutable: SEND to it raises SimError.
+  std::vector<std::int64_t> pair_latency;
 
   /// Canonical data-side configuration of IMP-<subtype>: the DP-DM and
   /// DP-DP bits of the sub-type numeral (the IP-side switch bits do not

@@ -21,6 +21,7 @@ std::string_view to_string(Category category) {
     case Category::Mark:    return "mark";
     case Category::Net:     return "net";
     case Category::Cluster: return "cluster";
+    case Category::Sim: return "sim";
   }
   return "unknown";
 }

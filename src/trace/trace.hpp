@@ -29,8 +29,9 @@ enum class Category : std::uint8_t {
   Mark,     ///< instant markers (deadline expiry, shutdown)
   Net,      ///< wire + TCP server/client (accept, decode, enqueue, flush)
   Cluster,  ///< cluster tier (ring routing, hedging, proxy scatter/merge)
+  Sim,      ///< workload lowering + machine simulation (SimulateRequest)
 };
-inline constexpr std::size_t kCategoryCount = 14;
+inline constexpr std::size_t kCategoryCount = 15;
 std::string_view to_string(Category category);
 
 /// One recorded span.  `name` and `arg_name` point to static storage

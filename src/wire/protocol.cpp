@@ -589,6 +589,88 @@ service::CostRequest decode_cost_request(Decoder& d) {
   return request;
 }
 
+void encode(Encoder& e, const workload::WorkloadSpec& spec) {
+  e.u8(static_cast<std::uint8_t>(spec.kernel));
+  e.i32(spec.size);
+  e.i32(spec.iterations);
+  e.i64(spec.alpha);
+}
+
+workload::WorkloadSpec decode_workload_spec(Decoder& d) {
+  workload::WorkloadSpec spec;
+  spec.kernel = decode_enum<workload::Kernel>(d, 2, "Kernel");
+  spec.size = d.i32();
+  spec.iterations = d.i32();
+  spec.alpha = d.i64();
+  return spec;
+}
+
+void encode(Encoder& e, const fault::FaultSet& faults) {
+  e.length(faults.size());
+  for (const fault::Fault& f : faults.faults()) {
+    e.u8(static_cast<std::uint8_t>(f.kind));
+    e.u8(static_cast<std::uint8_t>(f.role));
+    e.i32(f.index);
+    e.i32(f.index2);
+  }
+}
+
+fault::FaultSet decode_fault_set(Decoder& d) {
+  // Fault: kind(1) + role(1) + index(4) + index2(4).
+  const std::size_t count = d.length(10);
+  std::vector<fault::Fault> faults;
+  faults.reserve(count);
+  for (std::size_t i = 0; i < count && d.ok(); ++i) {
+    fault::Fault f;
+    f.kind = decode_enum<fault::FaultKind>(d, 5, "FaultKind");
+    f.role = decode_enum<ConnectivityRole>(d, 4, "ConnectivityRole");
+    f.index = d.i32();
+    f.index2 = d.i32();
+    faults.push_back(f);
+  }
+  // The FaultSet constructor canonicalises (sorts, dedups), so a peer
+  // that sent faults in any order still round-trips to an equal set.
+  return fault::FaultSet(std::move(faults));
+}
+
+void encode(Encoder& e, const service::SimulateRequest& request) {
+  encode(e, request.workload);
+  e.u8(static_cast<std::uint8_t>(request.target.index()));
+  if (const auto* mc = std::get_if<MachineClass>(&request.target)) {
+    encode(e, *mc);
+  } else {
+    encode(e, std::get<arch::ArchitectureSpec>(request.target));
+  }
+  e.i32(request.options.width);
+  e.i64(request.options.max_cycles);
+  encode(e, request.faults);
+  e.u64(request.seed);
+}
+
+service::SimulateRequest decode_simulate_request(Decoder& d) {
+  service::SimulateRequest request;
+  request.workload = decode_workload_spec(d);
+  const std::uint8_t which = d.u8();
+  if (!d.ok()) return request;
+  switch (which) {
+    case 0:
+      request.target = decode_machine_class(d);
+      break;
+    case 1:
+      request.target = decode_spec(d);
+      break;
+    default:
+      d.fail(WireErrorCode::Malformed,
+             "bad SimulateRequest alternative " + std::to_string(which));
+      return request;
+  }
+  request.options.width = d.i32();
+  request.options.max_cycles = d.i64();
+  request.faults = decode_fault_set(d);
+  request.seed = d.u64();
+  return request;
+}
+
 // ---------------------------------------------------------------------------
 // Response variants
 
@@ -644,6 +726,40 @@ service::CostResponse decode_cost_response(Decoder& d) {
     point.config_bits = decode_config_bits_estimate(d);
     response.points.push_back(std::move(point));
   }
+  return response;
+}
+
+void encode(Encoder& e, const service::SimulateResponse& response) {
+  const workload::WorkloadResult& r = response.result;
+  e.u8(static_cast<std::uint8_t>(r.paradigm));
+  encode(e, r.machine);
+  e.i64(r.cycles);
+  e.i64(r.instructions);
+  e.boolean(r.halted);
+  e.i32(r.output_words);
+  e.u64(r.output_checksum);
+  e.boolean(r.matches_reference);
+  e.i64(r.memory_accesses);
+  e.i64(r.messages);
+  e.f64(r.energy_pj);
+  e.f64(r.noc_reachable_fraction);
+}
+
+service::SimulateResponse decode_simulate_response(Decoder& d) {
+  service::SimulateResponse response;
+  workload::WorkloadResult& r = response.result;
+  r.paradigm = decode_enum<workload::Paradigm>(d, 4, "Paradigm");
+  r.machine = decode_taxonomic_name(d);
+  r.cycles = d.i64();
+  r.instructions = d.i64();
+  r.halted = d.boolean();
+  r.output_words = d.i32();
+  r.output_checksum = d.u64();
+  r.matches_reference = d.boolean();
+  r.memory_accesses = d.i64();
+  r.messages = d.i64();
+  r.energy_pj = d.f64();
+  r.noc_reachable_fraction = d.f64();
   return response;
 }
 
@@ -706,6 +822,10 @@ service::Request decode_request(Decoder& d, std::uint16_t version) {
       chunk.begin = d.u64();
       chunk.end = d.u64();
       return chunk;
+    }
+    case service::RequestType::Simulate: {
+      if (version < 2) break;
+      return decode_simulate_request(d);
     }
   }
   d.fail(WireErrorCode::Malformed,
@@ -800,6 +920,11 @@ std::shared_ptr<const service::ResponsePayload> decode_payload(
       }
       return std::make_shared<const service::ResponsePayload>(
           std::move(chunk));
+    }
+    case 8: {
+      if (version < 2) break;
+      return std::make_shared<const service::ResponsePayload>(
+          decode_simulate_response(d));
     }
     default:
       break;

@@ -1,0 +1,705 @@
+#include "workload/lowering.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mpct::workload {
+
+namespace {
+
+using std::to_string;
+
+std::string str(std::int64_t value) { return std::to_string(value); }
+
+/// ceil(a / b) for positive b.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Contiguous partition of [0, total) into `parts` chunks, remainder
+/// spread over the leading chunks — the standard balanced split every
+/// lowering uses, so core/lane ownership is deterministic.
+std::pair<std::int64_t, std::int64_t> chunk_bounds(std::int64_t total,
+                                                   int parts, int index) {
+  const std::int64_t q = total / parts;
+  const std::int64_t r = total % parts;
+  const std::int64_t begin =
+      static_cast<std::int64_t>(index) * q + std::min<std::int64_t>(index, r);
+  const std::int64_t end = begin + q + (index < r ? 1 : 0);
+  return {begin, end};
+}
+
+/// Tiny line-oriented assembler-source builder.
+struct Asm {
+  std::string text;
+  void line(const std::string& statement) {
+    text += statement;
+    text += '\n';
+  }
+};
+
+// ---- IUP -------------------------------------------------------------
+
+std::string uni_stencil(const WorkloadSpec& spec) {
+  const std::int64_t s = spec.size;
+  const std::int64_t s2 = s * s;
+  Asm a;
+  a.line("; stencil5 s=" + str(s) + " t=" + str(spec.iterations) + " (IUP)");
+  a.line("ldi r1, 0");          // src base
+  a.line("ldi r2, " + str(s2)); // dst base
+  a.line("ldi r8, " + str(s));
+  a.line("ldi r10, " + str(s - 1));
+  a.line("ldi r11, " + str(s2));
+  a.line("ldi r12, 5");
+  a.line("ldi r13, " + str(spec.iterations));
+  a.line("ldi r9, 0");
+  a.line("iter:");
+  // Carry the whole grid (boundary included), then overwrite the
+  // interior — branch-free boundary handling.
+  a.line("ldi r3, 0");
+  a.line("copy:");
+  a.line("add r5, r1, r3");
+  a.line("ld r6, r5, 0");
+  a.line("add r5, r2, r3");
+  a.line("st r5, r6, 0");
+  a.line("addi r3, r3, 1");
+  a.line("blt r3, r11, copy");
+  a.line("ldi r3, 1");
+  a.line("row:");
+  a.line("ldi r4, 1");
+  a.line("col:");
+  a.line("mul r5, r3, r8");
+  a.line("add r5, r5, r4");
+  a.line("add r5, r5, r1");
+  a.line("ld r7, r5, 0");
+  a.line("ld r6, r5, 1");
+  a.line("add r7, r7, r6");
+  a.line("ld r6, r5, -1");
+  a.line("add r7, r7, r6");
+  a.line("ld r6, r5, " + str(s));
+  a.line("add r7, r7, r6");
+  a.line("ld r6, r5, " + str(-s));
+  a.line("add r7, r7, r6");
+  a.line("divs r7, r7, r12");
+  a.line("sub r5, r5, r1");
+  a.line("add r5, r5, r2");
+  a.line("st r5, r7, 0");
+  a.line("addi r4, r4, 1");
+  a.line("blt r4, r10, col");
+  a.line("addi r3, r3, 1");
+  a.line("blt r3, r10, row");
+  a.line("mov r15, r1");
+  a.line("mov r1, r2");
+  a.line("mov r2, r15");
+  a.line("addi r9, r9, 1");
+  a.line("blt r9, r13, iter");
+  a.line("ldi r3, 0");
+  a.line("emit:");
+  a.line("add r5, r1, r3");
+  a.line("ld r6, r5, 0");
+  a.line("out r6");
+  a.line("addi r3, r3, 1");
+  a.line("blt r3, r11, emit");
+  a.line("halt");
+  return a.text;
+}
+
+std::string uni_reduce(const WorkloadSpec& spec) {
+  Asm a;
+  a.line("; reduce n=" + str(spec.size) + " (IUP)");
+  a.line("ldi r1, 0");
+  a.line("ldi r2, 0");
+  a.line("ldi r3, " + str(spec.size));
+  a.line("loop:");
+  a.line("ld r4, r1, 0");
+  a.line("add r2, r2, r4");
+  a.line("addi r1, r1, 1");
+  a.line("blt r1, r3, loop");
+  a.line("out r2");
+  a.line("halt");
+  return a.text;
+}
+
+std::string uni_saxpy(const WorkloadSpec& spec) {
+  const std::int64_t n = spec.size;
+  Asm a;
+  a.line("; saxpy n=" + str(n) + " alpha=" + str(spec.alpha) + " (IUP)");
+  a.line("ldi r1, 0");
+  a.line("ldi r2, " + str(n));
+  a.line("ldi r3, " + str(spec.alpha));
+  a.line("loop:");
+  a.line("ld r4, r1, 0");
+  a.line("mul r4, r4, r3");
+  a.line("add r5, r1, r2");
+  a.line("ld r6, r5, 0");
+  a.line("add r4, r4, r6");
+  a.line("add r5, r5, r2");
+  a.line("st r5, r4, 0");
+  a.line("addi r1, r1, 1");
+  a.line("blt r1, r2, loop");
+  a.line("ldi r1, 0");
+  a.line("emit:");
+  a.line("add r5, r1, r2");
+  a.line("add r5, r5, r2");
+  a.line("ld r4, r5, 0");
+  a.line("out r4");
+  a.line("addi r1, r1, 1");
+  a.line("blt r1, r2, emit");
+  a.line("halt");
+  return a.text;
+}
+
+// ---- IAP (SIMD) ------------------------------------------------------
+//
+// Lanes stride over the elements (lane l handles k = pass * L + l).
+// There are no masked stores in the ISA, so out-of-range lanes are
+// predicated arithmetically: f = (k - limit) >>u 63 is 1 exactly when
+// k < limit (the sign bit of the difference); loads clamp the index to
+// f * k (element 0 for inactive lanes, always valid) and stores go to
+// f * addr + (1 - f) * scratch.  Control flow is scalar (lane 0's
+// registers), and every bound below is lane-invariant.
+
+/// Emit "r3 = k, r4 = f, r3 = f * k" for limit; clobbers r13.
+void simd_mask(Asm& a, int lanes, std::int64_t limit) {
+  a.line("ldi r3, " + str(lanes));
+  a.line("mul r3, r2, r3");
+  a.line("add r3, r3, r1");
+  a.line("ldi r13, " + str(limit));
+  a.line("sub r4, r3, r13");
+  a.line("shr r4, r4, r11");
+  a.line("mul r3, r3, r4");
+}
+
+/// Emit a predicated store of @p value_reg to the address in r5;
+/// clobbers r14 and @p temp_reg.
+void simd_store(Asm& a, const std::string& value_reg,
+                const std::string& temp_reg, std::int64_t scratch) {
+  a.line("mul r5, r5, r4");
+  a.line("ldi r14, 1");
+  a.line("sub r14, r14, r4");
+  a.line("ldi " + temp_reg + ", " + str(scratch));
+  a.line("mul " + temp_reg + ", " + temp_reg + ", r14");
+  a.line("add r5, r5, " + temp_reg);
+  a.line("st r5, " + value_reg + ", 0");
+}
+
+std::string array_stencil(const WorkloadSpec& spec, int lanes) {
+  const std::int64_t s = spec.size;
+  const std::int64_t s2 = s * s;
+  const std::int64_t interior = (s - 2) * (s - 2);
+  const std::int64_t scratch = 2 * s2;
+  const std::int64_t grid_passes = ceil_div(s2, lanes);
+  const std::int64_t cell_passes = ceil_div(interior, lanes);
+  Asm a;
+  a.line("; stencil5 s=" + str(s) + " t=" + str(spec.iterations) + " (IAP " +
+         to_string(lanes) + " lanes)");
+  a.line("lane r1");
+  a.line("ldi r9, 0");
+  a.line("ldi r10, " + str(s2));
+  a.line("ldi r8, " + str(s));
+  a.line("ldi r11, 63");
+  a.line("ldi r12, 5");
+  a.line("ldi r0, 0");
+  a.line("iter:");
+  a.line("ldi r2, 0");
+  a.line("copy:");
+  simd_mask(a, lanes, s2);
+  a.line("add r5, r9, r3");
+  a.line("ld r6, r5, 0");
+  a.line("add r5, r10, r3");
+  simd_store(a, "r6", "r7", scratch);
+  a.line("addi r2, r2, 1");
+  a.line("ldi r13, " + str(grid_passes));
+  a.line("blt r2, r13, copy");
+  a.line("ldi r2, 0");
+  a.line("cell:");
+  simd_mask(a, lanes, interior);
+  a.line("ldi r13, " + str(s - 2));
+  a.line("divs r14, r3, r13");
+  a.line("mul r6, r14, r13");
+  a.line("sub r6, r3, r6");
+  a.line("addi r14, r14, 1");  // i = c / (s-2) + 1
+  a.line("addi r6, r6, 1");    // j = c % (s-2) + 1
+  a.line("mul r5, r14, r8");
+  a.line("add r5, r5, r6");
+  a.line("add r5, r5, r9");
+  a.line("ld r7, r5, 0");
+  a.line("ld r14, r5, 1");
+  a.line("add r7, r7, r14");
+  a.line("ld r14, r5, -1");
+  a.line("add r7, r7, r14");
+  a.line("ld r14, r5, " + str(s));
+  a.line("add r7, r7, r14");
+  a.line("ld r14, r5, " + str(-s));
+  a.line("add r7, r7, r14");
+  a.line("divs r7, r7, r12");
+  a.line("sub r5, r5, r9");
+  a.line("add r5, r5, r10");
+  simd_store(a, "r7", "r6", scratch);
+  a.line("addi r2, r2, 1");
+  a.line("ldi r13, " + str(cell_passes));
+  a.line("blt r2, r13, cell");
+  a.line("mov r15, r9");
+  a.line("mov r9, r10");
+  a.line("mov r10, r15");
+  a.line("addi r0, r0, 1");
+  a.line("ldi r13, " + str(spec.iterations));
+  a.line("blt r0, r13, iter");
+  a.line("ldi r2, 0");
+  a.line("emit:");
+  simd_mask(a, lanes, s2);
+  a.line("add r5, r9, r3");
+  a.line("ld r6, r5, 0");
+  a.line("out r6");
+  a.line("addi r2, r2, 1");
+  a.line("ldi r13, " + str(grid_passes));
+  a.line("blt r2, r13, emit");
+  a.line("halt");
+  return a.text;
+}
+
+std::string array_reduce(const WorkloadSpec& spec, int lanes) {
+  const std::int64_t n = spec.size;
+  const std::int64_t passes = ceil_div(n, lanes);
+  Asm a;
+  a.line("; reduce n=" + str(n) + " (IAP " + to_string(lanes) + " lanes)");
+  a.line("lane r1");
+  a.line("ldi r11, 63");
+  a.line("ldi r7, 0");
+  a.line("ldi r2, 0");
+  a.line("acc:");
+  simd_mask(a, lanes, n);
+  a.line("ld r6, r3, 0");
+  a.line("mul r6, r6, r4");  // inactive lanes contribute 0
+  a.line("add r7, r7, r6");
+  a.line("addi r2, r2, 1");
+  a.line("ldi r13, " + str(passes));
+  a.line("blt r2, r13, acc");
+  // Partials land at [n, n + lanes) through the DP-DM crossbar; then
+  // every lane sums all of them identically and one OUT (truncated to
+  // one word by the runner) publishes the total.
+  a.line("ldi r5, " + str(n));
+  a.line("add r5, r5, r1");
+  a.line("st r5, r7, 0");
+  a.line("ldi r7, 0");
+  a.line("ldi r2, 0");
+  a.line("sum:");
+  a.line("ldi r5, " + str(n));
+  a.line("add r5, r5, r2");
+  a.line("ld r6, r5, 0");
+  a.line("add r7, r7, r6");
+  a.line("addi r2, r2, 1");
+  a.line("ldi r13, " + str(lanes));
+  a.line("blt r2, r13, sum");
+  a.line("out r7");
+  a.line("halt");
+  return a.text;
+}
+
+std::string array_saxpy(const WorkloadSpec& spec, int lanes) {
+  const std::int64_t n = spec.size;
+  const std::int64_t scratch = 3 * n;
+  const std::int64_t passes = ceil_div(n, lanes);
+  Asm a;
+  a.line("; saxpy n=" + str(n) + " alpha=" + str(spec.alpha) + " (IAP " +
+         to_string(lanes) + " lanes)");
+  a.line("lane r1");
+  a.line("ldi r11, 63");
+  a.line("ldi r12, " + str(spec.alpha));
+  a.line("ldi r2, 0");
+  a.line("elem:");
+  simd_mask(a, lanes, n);
+  a.line("ld r6, r3, 0");
+  a.line("mul r6, r6, r12");
+  a.line("add r5, r3, r13");  // r13 still n from simd_mask
+  a.line("ld r7, r5, 0");
+  a.line("add r6, r6, r7");
+  a.line("add r5, r5, r13");  // + n again: out slot
+  simd_store(a, "r6", "r7", scratch);
+  a.line("addi r2, r2, 1");
+  a.line("ldi r13, " + str(passes));
+  a.line("blt r2, r13, elem");
+  a.line("ldi r2, 0");
+  a.line("emit:");
+  simd_mask(a, lanes, n);
+  a.line("ldi r5, " + str(2 * n));
+  a.line("add r5, r5, r3");
+  a.line("ld r6, r5, 0");
+  a.line("out r6");
+  a.line("addi r2, r2, 1");
+  a.line("ldi r13, " + str(passes));
+  a.line("blt r2, r13, emit");
+  a.line("halt");
+  return a.text;
+}
+
+// ---- IMP (MIMD) ------------------------------------------------------
+
+/// SEND/RECV barrier through core 0: peers post a token and block on
+/// the go message; core 0 collects all C-1 tokens, then releases each
+/// peer.  2(C-1) messages per barrier, all touching core 0 — the
+/// traffic pattern the mesh (and the fault layer's route-around table)
+/// prices.
+void emit_barrier(Asm& a, int cores, int core) {
+  if (cores <= 1) return;
+  if (core == 0) {
+    for (int peer = 1; peer < cores; ++peer) a.line("recv r6");
+    for (int peer = 1; peer < cores; ++peer) {
+      a.line("ldi r5, " + to_string(peer));
+      a.line("send r5, r5");
+    }
+  } else {
+    a.line("ldi r5, 0");
+    a.line("send r5, r5");
+    a.line("recv r6");
+  }
+}
+
+std::string multi_stencil_core(const WorkloadSpec& spec, int cores,
+                               int core) {
+  const std::int64_t s = spec.size;
+  const std::int64_t s2 = s * s;
+  const auto [row_begin, row_end] = chunk_bounds(s, cores, core);
+  const std::int64_t interior_begin = std::max<std::int64_t>(row_begin, 1);
+  const std::int64_t interior_end = std::min<std::int64_t>(row_end, s - 1);
+  Asm a;
+  a.line("; stencil5 s=" + str(s) + " t=" + str(spec.iterations) +
+         " (IMP core " + to_string(core) + "/" + to_string(cores) +
+         ", rows " + str(row_begin) + ".." + str(row_end) + ")");
+  a.line("ldi r1, 0");
+  a.line("ldi r2, " + str(s2));
+  a.line("ldi r8, " + str(s));
+  a.line("ldi r9, 0");
+  a.line("iter:");
+  if (row_end > row_begin) {
+    a.line("ldi r3, " + str(row_begin * s));
+    a.line("copy:");
+    a.line("add r5, r1, r3");
+    a.line("ld r6, r5, 0");
+    a.line("add r5, r2, r3");
+    a.line("st r5, r6, 0");
+    a.line("addi r3, r3, 1");
+    a.line("ldi r13, " + str(row_end * s));
+    a.line("blt r3, r13, copy");
+  }
+  if (interior_end > interior_begin) {
+    a.line("ldi r3, " + str(interior_begin));
+    a.line("row:");
+    a.line("ldi r4, 1");
+    a.line("col:");
+    a.line("mul r5, r3, r8");
+    a.line("add r5, r5, r4");
+    a.line("add r5, r5, r1");
+    a.line("ld r7, r5, 0");
+    a.line("ld r6, r5, 1");
+    a.line("add r7, r7, r6");
+    a.line("ld r6, r5, -1");
+    a.line("add r7, r7, r6");
+    a.line("ld r6, r5, " + str(s));
+    a.line("add r7, r7, r6");
+    a.line("ld r6, r5, " + str(-s));
+    a.line("add r7, r7, r6");
+    a.line("ldi r6, 5");
+    a.line("divs r7, r7, r6");
+    a.line("sub r5, r5, r1");
+    a.line("add r5, r5, r2");
+    a.line("st r5, r7, 0");
+    a.line("addi r4, r4, 1");
+    a.line("ldi r13, " + str(s - 1));
+    a.line("blt r4, r13, col");
+    a.line("addi r3, r3, 1");
+    a.line("ldi r13, " + str(interior_end));
+    a.line("blt r3, r13, row");
+  }
+  emit_barrier(a, cores, core);
+  a.line("mov r15, r1");
+  a.line("mov r1, r2");
+  a.line("mov r2, r15");
+  a.line("addi r9, r9, 1");
+  a.line("ldi r13, " + str(spec.iterations));
+  a.line("blt r9, r13, iter");
+  if (core == 0) {
+    a.line("ldi r3, 0");
+    a.line("emit:");
+    a.line("add r5, r1, r3");
+    a.line("ld r6, r5, 0");
+    a.line("out r6");
+    a.line("addi r3, r3, 1");
+    a.line("ldi r13, " + str(s2));
+    a.line("blt r3, r13, emit");
+  }
+  a.line("halt");
+  return a.text;
+}
+
+std::string multi_reduce_core(const WorkloadSpec& spec, int cores,
+                              int core) {
+  const auto [begin, end] = chunk_bounds(spec.size, cores, core);
+  Asm a;
+  a.line("; reduce n=" + str(spec.size) + " (IMP core " + to_string(core) +
+         "/" + to_string(cores) + ", elements " + str(begin) + ".." +
+         str(end) + ")");
+  a.line("ldi r2, 0");
+  if (end > begin) {
+    a.line("ldi r1, " + str(begin));
+    a.line("loop:");
+    a.line("ld r4, r1, 0");
+    a.line("add r2, r2, r4");
+    a.line("addi r1, r1, 1");
+    a.line("ldi r13, " + str(end));
+    a.line("blt r1, r13, loop");
+  }
+  if (core == 0) {
+    for (int peer = 1; peer < cores; ++peer) {
+      a.line("recv r4");
+      a.line("add r2, r2, r4");
+    }
+    a.line("out r2");
+  } else {
+    a.line("ldi r5, 0");
+    a.line("send r2, r5");
+  }
+  a.line("halt");
+  return a.text;
+}
+
+std::string multi_saxpy_core(const WorkloadSpec& spec, int cores,
+                             int core) {
+  const std::int64_t n = spec.size;
+  const auto [begin, end] = chunk_bounds(n, cores, core);
+  Asm a;
+  a.line("; saxpy n=" + str(n) + " alpha=" + str(spec.alpha) +
+         " (IMP core " + to_string(core) + "/" + to_string(cores) +
+         ", elements " + str(begin) + ".." + str(end) + ")");
+  if (end > begin) {
+    a.line("ldi r1, " + str(begin));
+    a.line("ldi r2, " + str(n));
+    a.line("ldi r3, " + str(spec.alpha));
+    a.line("loop:");
+    a.line("ld r4, r1, 0");
+    a.line("mul r4, r4, r3");
+    a.line("add r5, r1, r2");
+    a.line("ld r6, r5, 0");
+    a.line("add r4, r4, r6");
+    a.line("add r5, r5, r2");
+    a.line("st r5, r4, 0");
+    a.line("addi r1, r1, 1");
+    a.line("ldi r13, " + str(end));
+    a.line("blt r1, r13, loop");
+  }
+  emit_barrier(a, cores, core);
+  if (core == 0) {
+    a.line("ldi r1, 0");
+    a.line("emit:");
+    a.line("ldi r5, " + str(2 * n));
+    a.line("add r5, r5, r1");
+    a.line("ld r4, r5, 0");
+    a.line("out r4");
+    a.line("addi r1, r1, 1");
+    a.line("ldi r13, " + str(n));
+    a.line("blt r1, r13, emit");
+  }
+  a.line("halt");
+  return a.text;
+}
+
+}  // namespace
+
+std::string_view to_string(Paradigm paradigm) {
+  switch (paradigm) {
+    case Paradigm::Uniprocessor:   return "uniprocessor";
+    case Paradigm::ArrayProcessor: return "array_processor";
+    case Paradigm::Multiprocessor: return "multiprocessor";
+    case Paradigm::Dataflow:       return "dataflow";
+    case Paradigm::Cgra:           return "cgra";
+  }
+  return "?";
+}
+
+Paradigm paradigm_of(const TaxonomicName& name) {
+  if (name.machine_type == MachineType::UniversalFlow) return Paradigm::Cgra;
+  if (name.machine_type == MachineType::DataFlow) return Paradigm::Dataflow;
+  switch (name.processing_type) {
+    case ProcessingType::UniProcessor:   return Paradigm::Uniprocessor;
+    case ProcessingType::ArrayProcessor: return Paradigm::ArrayProcessor;
+    case ProcessingType::MultiProcessor: return Paradigm::Multiprocessor;
+    case ProcessingType::SpatialProcessor: return Paradigm::Cgra;
+  }
+  return Paradigm::Uniprocessor;
+}
+
+std::string uniprocessor_program(const WorkloadSpec& spec) {
+  switch (spec.kernel) {
+    case Kernel::Stencil5: return uni_stencil(spec);
+    case Kernel::Reduce:   return uni_reduce(spec);
+    case Kernel::Saxpy:    return uni_saxpy(spec);
+  }
+  throw LoweringError("unknown kernel");
+}
+
+std::string array_program(const WorkloadSpec& spec, int lanes) {
+  switch (spec.kernel) {
+    case Kernel::Stencil5: return array_stencil(spec, lanes);
+    case Kernel::Reduce:   return array_reduce(spec, lanes);
+    case Kernel::Saxpy:    return array_saxpy(spec, lanes);
+  }
+  throw LoweringError("unknown kernel");
+}
+
+std::vector<std::string> multiprocessor_programs(const WorkloadSpec& spec,
+                                                 int cores) {
+  std::vector<std::string> programs;
+  programs.reserve(static_cast<std::size_t>(cores));
+  for (int core = 0; core < cores; ++core) {
+    switch (spec.kernel) {
+      case Kernel::Stencil5:
+        programs.push_back(multi_stencil_core(spec, cores, core));
+        break;
+      case Kernel::Reduce:
+        programs.push_back(multi_reduce_core(spec, cores, core));
+        break;
+      case Kernel::Saxpy:
+        programs.push_back(multi_saxpy_core(spec, cores, core));
+        break;
+    }
+  }
+  return programs;
+}
+
+std::vector<std::pair<int, int>> multiprocessor_messages(
+    const WorkloadSpec& spec, int cores) {
+  std::vector<std::pair<int, int>> messages;
+  if (cores <= 1) return messages;
+  const auto barrier = [&] {
+    for (int peer = 1; peer < cores; ++peer) messages.emplace_back(peer, 0);
+    for (int peer = 1; peer < cores; ++peer) messages.emplace_back(0, peer);
+  };
+  switch (spec.kernel) {
+    case Kernel::Stencil5:
+      for (std::int32_t it = 0; it < spec.iterations; ++it) barrier();
+      break;
+    case Kernel::Reduce:
+      for (int peer = 1; peer < cores; ++peer) messages.emplace_back(peer, 0);
+      break;
+    case Kernel::Saxpy:
+      barrier();
+      break;
+  }
+  return messages;
+}
+
+sim::df::Graph dataflow_graph(const WorkloadSpec& spec) {
+  using sim::df::Graph;
+  using sim::df::NodeId;
+  using sim::df::Op;
+  Graph graph;
+  const std::int64_t n = spec.size;
+  switch (spec.kernel) {
+    case Kernel::Stencil5: {
+      const std::int64_t s = n;
+      std::vector<NodeId> cur;
+      cur.reserve(static_cast<std::size_t>(s * s));
+      for (std::int64_t k = 0; k < s * s; ++k) {
+        cur.push_back(graph.add_input("c" + str(k)));
+      }
+      for (std::int32_t it = 0; it < spec.iterations; ++it) {
+        const NodeId five = graph.add_const(5);
+        std::vector<NodeId> next = cur;  // boundary nodes pass through
+        for (std::int64_t i = 1; i < s - 1; ++i) {
+          for (std::int64_t j = 1; j < s - 1; ++j) {
+            const std::size_t at = static_cast<std::size_t>(i * s + j);
+            NodeId sum = graph.add_op(Op::Add, cur[at], cur[at - 1]);
+            sum = graph.add_op(Op::Add, sum, cur[at + 1]);
+            sum = graph.add_op(Op::Add, sum,
+                               cur[at - static_cast<std::size_t>(s)]);
+            sum = graph.add_op(Op::Add, sum,
+                               cur[at + static_cast<std::size_t>(s)]);
+            next[at] = graph.add_op(Op::Divs, sum, five);
+          }
+        }
+        cur = std::move(next);
+      }
+      for (std::int64_t k = 0; k < s * s; ++k) {
+        graph.add_output("o" + str(k), cur[static_cast<std::size_t>(k)]);
+      }
+      return graph;
+    }
+    case Kernel::Reduce: {
+      NodeId acc = graph.add_input("c0");
+      for (std::int64_t k = 1; k < n; ++k) {
+        const NodeId next = graph.add_input("c" + str(k));
+        acc = graph.add_op(Op::Add, acc, next);
+      }
+      graph.add_output("o0", acc);
+      return graph;
+    }
+    case Kernel::Saxpy: {
+      // One self-contained component per element: a DMP-I machine (no
+      // inter-PE path at all) can still spread them across its PEs.
+      for (std::int64_t k = 0; k < n; ++k) {
+        const NodeId x = graph.add_input("c" + str(k));
+        const NodeId y = graph.add_input("c" + str(n + k));
+        const NodeId alpha = graph.add_const(spec.alpha);
+        const NodeId scaled = graph.add_op(Op::Mul, x, alpha);
+        const NodeId result = graph.add_op(Op::Add, scaled, y);
+        graph.add_output("o" + str(k), result);
+      }
+      return graph;
+    }
+  }
+  throw LoweringError("unknown kernel");
+}
+
+CgraKernel cgra_kernel(const WorkloadSpec& spec, int fus) {
+  using sim::df::Graph;
+  using sim::df::NodeId;
+  using sim::df::Op;
+  CgraKernel kernel;
+  Graph& graph = kernel.graph;
+  switch (spec.kernel) {
+    case Kernel::Stencil5: {
+      // One interior cell per pass: i0..i4 = c, w, e, n, s.  Chained
+      // adds so a window-1 interconnect can place consecutive FUs.
+      const NodeId c = graph.add_input("i0");
+      const NodeId w = graph.add_input("i1");
+      const NodeId e = graph.add_input("i2");
+      const NodeId north = graph.add_input("i3");
+      const NodeId south = graph.add_input("i4");
+      NodeId sum = graph.add_op(Op::Add, c, w);
+      sum = graph.add_op(Op::Add, sum, e);
+      sum = graph.add_op(Op::Add, sum, north);
+      sum = graph.add_op(Op::Add, sum, south);
+      const NodeId five = graph.add_const(5);
+      graph.add_output("o0", graph.add_op(Op::Divs, sum, five));
+      kernel.items_per_pass = 1;
+      return kernel;
+    }
+    case Kernel::Reduce: {
+      // acc + a chunk of elements per pass; chunk sized to the fabric.
+      const int chunk =
+          static_cast<int>(std::min<std::int64_t>({fus, 8, spec.size}));
+      NodeId acc = graph.add_input("i0");
+      for (int k = 0; k < chunk; ++k) {
+        std::string port = "i";
+        port += to_string(k + 1);
+        const NodeId next = graph.add_input(std::move(port));
+        acc = graph.add_op(Op::Add, acc, next);
+      }
+      graph.add_output("o0", acc);
+      kernel.items_per_pass = chunk;
+      return kernel;
+    }
+    case Kernel::Saxpy: {
+      const NodeId x = graph.add_input("i0");
+      const NodeId y = graph.add_input("i1");
+      const NodeId alpha = graph.add_const(spec.alpha);
+      const NodeId scaled = graph.add_op(Op::Mul, x, alpha);
+      graph.add_output("o0", graph.add_op(Op::Add, scaled, y));
+      kernel.items_per_pass = 1;
+      return kernel;
+    }
+  }
+  throw LoweringError("unknown kernel");
+}
+
+}  // namespace mpct::workload

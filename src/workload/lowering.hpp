@@ -1,0 +1,88 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/naming.hpp"
+#include "sim/dataflow/graph.hpp"
+#include "workload/workload.hpp"
+
+namespace mpct::workload {
+
+/// Executable paradigm a taxonomic class lowers onto.  This is the
+/// bridge between the 47-class taxonomy and the five machine simulators
+/// in src/sim/: every implementable class maps to exactly one paradigm.
+enum class Paradigm : std::uint8_t {
+  Uniprocessor = 0,    ///< IUP — sim::Uniprocessor
+  ArrayProcessor = 1,  ///< IAP-n — sim::ArrayProcessor (SIMD lanes)
+  Multiprocessor = 2,  ///< IMP-n — sim::Multiprocessor (MIMD cores)
+  Dataflow = 3,        ///< DUP / DMP-n — sim::df::TokenMachine
+  Cgra = 4,            ///< ISP-n / USP — sim::cgra::Cgra (spatial map)
+};
+
+inline constexpr std::size_t kParadigmCount = 5;
+
+std::string_view to_string(Paradigm paradigm);
+
+/// The paradigm a taxonomic name executes as.
+Paradigm paradigm_of(const TaxonomicName& name);
+
+/// A workload cannot be lowered onto the requested machine: the class
+/// lacks a switch the kernel needs, the fabric is too small, or injected
+/// faults removed a component the fixed mapping uses.  The service maps
+/// this to StatusCode::InvalidRequest (the request is wrong, not the
+/// server).
+class LoweringError : public std::runtime_error {
+ public:
+  explicit LoweringError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+// ---- ISA lowerings (assembler source with all constants folded) ------
+
+/// IUP: the whole kernel on one core, data in its single DM.
+std::string uniprocessor_program(const WorkloadSpec& spec);
+
+/// IAP with a DP-DM crossbar (IAP-III/IV): `lanes` SIMD lanes strided
+/// over the elements, inactive lanes predicated by arithmetic masking
+/// (clamped loads, stores redirected to a scratch word).  Throws
+/// LoweringError for subtypes without the crossbar — lane-local banks
+/// cannot hold a shared grid.
+std::string array_program(const WorkloadSpec& spec, int lanes);
+
+/// IMP with a DP-DM crossbar: one program per core, rows/elements
+/// partitioned contiguously, SEND/RECV barriers through core 0 (which
+/// needs the DP-DP crossbar whenever cores > 1).  Throws LoweringError
+/// when the class lacks the switches.
+std::vector<std::string> multiprocessor_programs(const WorkloadSpec& spec,
+                                                 int cores);
+
+/// SEND messages the multiprocessor lowering issues (all between core 0
+/// and its peers) as (from, to) pairs — the static traffic the energy
+/// model prices and the fault layer routes.
+std::vector<std::pair<int, int>> multiprocessor_messages(
+    const WorkloadSpec& spec, int cores);
+
+// ---- Dataflow / CGRA lowerings ---------------------------------------
+
+/// Fully unrolled dataflow graph of the kernel: inputs "c<i>" in input
+/// layout order, outputs "o<i>" in output layout order.  Saxpy unrolls
+/// to independent per-element components (DMP-I runnable); reduce and
+/// stencil5 are single connected components.
+sim::df::Graph dataflow_graph(const WorkloadSpec& spec);
+
+/// The small per-work-item graph the CGRA executes once per pass, plus
+/// how the runner streams data through it.  Built as operator chains so
+/// windowed interconnects (ISP subtypes without the DP-DP crossbar) can
+/// place them.
+struct CgraKernel {
+  sim::df::Graph graph;
+  /// Elements consumed per pass (reduce chunks several; others one).
+  int items_per_pass = 1;
+};
+
+CgraKernel cgra_kernel(const WorkloadSpec& spec, int fus);
+
+}  // namespace mpct::workload

@@ -1,0 +1,552 @@
+#include "workload/runner.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "cost/energy.hpp"
+#include "fault/route_around.hpp"
+#include "interconnect/mesh_noc.hpp"
+#include "sim/cgra/cgra.hpp"
+#include "sim/cgra/scheduler.hpp"
+#include "sim/dataflow/token_machine.hpp"
+#include "sim/isa/assembler.hpp"
+#include "sim/isa/uniprocessor.hpp"
+#include "sim/memory.hpp"
+#include "sim/mimd/multiprocessor.hpp"
+#include "sim/simd/array_processor.hpp"
+
+namespace mpct::workload {
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+sim::Program assemble_lowering(const std::string& source) {
+  const sim::AssemblyResult assembled = sim::assemble(source);
+  if (!assembled.ok()) {
+    std::string message = "lowering produced invalid assembly:";
+    for (const sim::AsmError& error : assembled.errors) {
+      message += " ";
+      message += error.to_string();
+    }
+    throw LoweringError(message);
+  }
+  return assembled.program;
+}
+
+/// Words of data memory each kernel addresses (input + working set +
+/// output/scratch regions, as laid out by the lowerings).
+std::int64_t data_words(const WorkloadSpec& spec, Paradigm paradigm,
+                        int width) {
+  const std::int64_t n = spec.size;
+  switch (spec.kernel) {
+    case Kernel::Stencil5:
+      // Double-buffered grid, plus the SIMD predication scratch word.
+      return 2 * n * n + (paradigm == Paradigm::ArrayProcessor ? 1 : 0);
+    case Kernel::Reduce:
+      // The SIMD lowering parks per-lane partials after the data.
+      return n + (paradigm == Paradigm::ArrayProcessor ? width : 0);
+    case Kernel::Saxpy:
+      return 3 * n + (paradigm == Paradigm::ArrayProcessor ? 1 : 0);
+  }
+  return 0;
+}
+
+/// Spread the flat global data image over the machine's banks (the
+/// DP-DM crossbar's address split: bank = addr / bank_words).
+template <typename MachineT>
+void fill_banks(MachineT& machine, int banks, std::size_t bank_words,
+                const std::vector<sim::Word>& data) {
+  for (int b = 0; b < banks; ++b) {
+    const std::size_t begin = static_cast<std::size_t>(b) * bank_words;
+    if (begin >= data.size()) break;
+    const std::size_t end = std::min(data.size(), begin + bank_words);
+    machine.bank(b).fill(
+        std::vector<sim::Word>(data.begin() + static_cast<std::ptrdiff_t>(begin),
+                               data.begin() + static_cast<std::ptrdiff_t>(end)));
+  }
+}
+
+/// A fault that removes a block the fixed lowering occupies is fatal —
+/// the partition is compiled in, there is nothing to migrate to.  Dead
+/// blocks beyond the used population are spares and stay inert, as do
+/// switch-port faults (the crossbars here are all-or-nothing) and NoC
+/// faults (handled by the mesh route-around below).
+void check_block_faults(const fault::FaultSet& faults, Paradigm paradigm,
+                        const TaxonomicName& name, int used_units) {
+  for (const fault::Fault& f : faults.faults()) {
+    bool fatal = false;
+    switch (f.kind) {
+      case fault::FaultKind::IpDead:
+        fatal = (paradigm == Paradigm::Uniprocessor ||
+                 paradigm == Paradigm::ArrayProcessor)
+                    ? f.index == 0
+                    : (paradigm == Paradigm::Multiprocessor ||
+                       (paradigm == Paradigm::Cgra &&
+                        name.machine_type == MachineType::InstructionFlow)) &&
+                          f.index >= 0 && f.index < used_units;
+        break;
+      case fault::FaultKind::DpDead:
+        fatal = paradigm == Paradigm::Uniprocessor
+                    ? f.index == 0
+                    : paradigm != Paradigm::Cgra ||
+                              name.machine_type == MachineType::InstructionFlow
+                          ? f.index >= 0 && f.index < used_units
+                          : false;
+        break;
+      case fault::FaultKind::LutDead:
+        fatal = paradigm == Paradigm::Cgra &&
+                name.machine_type == MachineType::UniversalFlow &&
+                f.index >= 0 && f.index < used_units;
+        break;
+      case fault::FaultKind::SwitchPortDead:
+      case fault::FaultKind::NocRouterDead:
+      case fault::FaultKind::NocLinkDead:
+        break;
+    }
+    if (fatal) {
+      throw LoweringError("fault " + fault::to_string(f) +
+                          " removes a block the " +
+                          std::string(to_string(paradigm)) +
+                          " lowering occupies (" +
+                          std::to_string(used_units) + " in use)");
+    }
+  }
+}
+
+/// Shortest surviving path length between every core pair of the
+/// degraded mesh — deterministic BFS with the same fixed neighbour
+/// order the MeshNoc router uses (-x +x -y +y).  -1 = unroutable.
+std::vector<std::int64_t> mesh_pair_latency(
+    const interconnect::MeshNoc& noc, int cores) {
+  std::vector<std::int64_t> table(
+      static_cast<std::size_t>(cores) * static_cast<std::size_t>(cores), -1);
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(noc.node_count()));
+  std::vector<int> queue;
+  for (int from = 0; from < cores; ++from) {
+    std::fill(dist.begin(), dist.end(), -1);
+    queue.clear();
+    if (noc.node_alive(from)) {
+      dist[static_cast<std::size_t>(from)] = 0;
+      queue.push_back(from);
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const int cur = queue[head];
+      const int x = noc.x_of(cur);
+      const int y = noc.y_of(cur);
+      const int candidates[4][2] = {{x - 1, y}, {x + 1, y}, {x, y - 1},
+                                    {x, y + 1}};
+      for (const auto& nb : candidates) {
+        if (nb[0] < 0 || nb[0] >= noc.width() || nb[1] < 0 ||
+            nb[1] >= noc.height()) {
+          continue;
+        }
+        const int next = noc.node_id(nb[0], nb[1]);
+        if (dist[static_cast<std::size_t>(next)] >= 0) continue;
+        if (!noc.node_alive(next) || !noc.link_alive(cur, next)) continue;
+        dist[static_cast<std::size_t>(next)] =
+            dist[static_cast<std::size_t>(cur)] + 1;
+        queue.push_back(next);
+      }
+    }
+    for (int to = 0; to < cores; ++to) {
+      table[static_cast<std::size_t>(from) * static_cast<std::size_t>(cores) +
+            static_cast<std::size_t>(to)] =
+          dist[static_cast<std::size_t>(to)];
+    }
+  }
+  return table;
+}
+
+bool has_noc_faults(const fault::FaultSet& faults) {
+  return faults.count(fault::FaultKind::NocRouterDead) > 0 ||
+         faults.count(fault::FaultKind::NocLinkDead) > 0;
+}
+
+}  // namespace
+
+WorkloadResult run_workload(const WorkloadSpec& spec, const MachineClass& mc,
+                            const RunOptions& options,
+                            const fault::FaultSet& faults,
+                            std::uint64_t seed) {
+  const std::string problem = validate(spec);
+  if (!problem.empty()) throw LoweringError(problem);
+  if (options.width < 1 || options.width > 64) {
+    throw LoweringError("width must be 1..64, got " +
+                        std::to_string(options.width));
+  }
+  if (options.max_cycles < 1) {
+    throw LoweringError("max_cycles must be positive");
+  }
+
+  const Classification classification = classify(mc);
+  if (!classification.ok()) {
+    throw LoweringError("machine is not a runnable taxonomy class: " +
+                        classification.note);
+  }
+  const TaxonomicName name = *classification.name;
+  const Paradigm paradigm = paradigm_of(name);
+  const int width = options.width;
+
+  const std::vector<sim::Word> input = make_input(spec, seed);
+  const std::vector<sim::Word> reference = reference_output(spec, seed);
+
+  WorkloadResult result;
+  result.paradigm = paradigm;
+  result.machine = name;
+
+  cost::ActivityCounts activity;
+  bool has_instruction_processor = true;
+  std::vector<sim::Word> output;
+
+  switch (paradigm) {
+    case Paradigm::Uniprocessor: {
+      check_block_faults(faults, paradigm, name, 1);
+      sim::Uniprocessor machine(
+          assemble_lowering(uniprocessor_program(spec)),
+          static_cast<std::size_t>(data_words(spec, paradigm, 1)));
+      machine.dm().fill(input);
+      const sim::RunStats stats = machine.run(options.max_cycles);
+      result.cycles = stats.cycles;
+      result.instructions = stats.instructions;
+      result.halted = stats.halted;
+      output = stats.output;
+      activity.instructions = stats.instructions;
+      activity.memory_accesses = static_cast<std::int64_t>(
+          machine.dm().loads() + machine.dm().stores());
+      break;
+    }
+
+    case Paradigm::ArrayProcessor: {
+      if (mc.switch_at(ConnectivityRole::DpDm) != SwitchKind::Crossbar) {
+        throw LoweringError(
+            to_string(name) +
+            " has lane-local memory only; this kernel needs the shared "
+            "address space of the DP-DM crossbar (IAP-III/IV)");
+      }
+      check_block_faults(faults, paradigm, name, width);
+      sim::ArrayProcessorConfig config;
+      config.lanes = width;
+      config.dp_dm = SwitchKind::Crossbar;
+      config.dp_dp = mc.switch_at(ConnectivityRole::DpDp);
+      const std::int64_t total = data_words(spec, paradigm, width);
+      config.bank_words =
+          static_cast<std::size_t>(std::max<std::int64_t>(
+              ceil_div(total, width), 4));
+      sim::ArrayProcessor machine(assemble_lowering(array_program(spec, width)),
+                                  config);
+      fill_banks(machine, machine.banks(), config.bank_words, input);
+      const sim::RunStats stats = machine.run(options.max_cycles);
+      result.cycles = stats.cycles;
+      result.instructions = stats.instructions;
+      result.halted = stats.halted;
+      output = stats.output;
+      activity.instructions = stats.instructions;
+      for (int b = 0; b < machine.banks(); ++b) {
+        activity.memory_accesses += static_cast<std::int64_t>(
+            machine.bank(b).loads() + machine.bank(b).stores());
+      }
+      break;
+    }
+
+    case Paradigm::Multiprocessor: {
+      if (mc.switch_at(ConnectivityRole::DpDm) != SwitchKind::Crossbar) {
+        throw LoweringError(
+            to_string(name) +
+            " has core-local memory only; this kernel needs the shared "
+            "address space of the DP-DM crossbar");
+      }
+      const bool has_network =
+          mc.switch_at(ConnectivityRole::DpDp) == SwitchKind::Crossbar;
+      if (width > 1 && !has_network) {
+        throw LoweringError(
+            to_string(name) +
+            " has no DP-DP network: " + std::to_string(width) +
+            " cores cannot synchronise (use width 1 or e.g. IMP-IV)");
+      }
+      check_block_faults(faults, paradigm, name, width);
+
+      sim::MultiprocessorConfig config;
+      config.cores = width;
+      config.dp_dm = SwitchKind::Crossbar;
+      config.dp_dp = mc.switch_at(ConnectivityRole::DpDp);
+      const std::int64_t total = data_words(spec, paradigm, width);
+      config.bank_words = static_cast<std::size_t>(
+          std::max<std::int64_t>(ceil_div(total, width), 4));
+
+      const std::vector<std::pair<int, int>> messages =
+          multiprocessor_messages(spec, width);
+      std::vector<std::int64_t> hop_table;
+      if (has_network && width > 1) {
+        // Cores laid out row-major on a near-square mesh: the NoC the
+        // fault model degrades and the message-latency model prices.
+        int mesh_w = 1;
+        while (mesh_w * mesh_w < width) ++mesh_w;
+        const int mesh_h = static_cast<int>(ceil_div(width, mesh_w));
+        config.mesh_width = mesh_w;
+        fault::FabricShape shape;
+        shape.dps = width;
+        shape.noc_width = mesh_w;
+        shape.noc_height = mesh_h;
+        const interconnect::MeshNoc noc =
+            fault::build_degraded_noc(shape, faults);
+        // Ordered-pair connectivity over the *full* mesh, dead routers
+        // included — MeshNoc::reachable_fraction() scores only the
+        // surviving nodes among themselves, which reads 1.0 the moment
+        // the dead ones are excluded.  A lost spare router should still
+        // show up in the result.
+        const int nodes = noc.node_count();
+        if (nodes > 1) {
+          std::int64_t connected = 0;
+          for (int s = 0; s < nodes; ++s) {
+            for (int d = 0; d < nodes; ++d) {
+              if (s != d && noc.routable(s, d)) ++connected;
+            }
+          }
+          result.noc_reachable_fraction =
+              static_cast<double>(connected) /
+              (static_cast<double>(nodes) * (nodes - 1));
+        }
+        hop_table = mesh_pair_latency(noc, width);
+        if (has_noc_faults(faults)) {
+          for (const auto& [from, to] : messages) {
+            if (hop_table[static_cast<std::size_t>(from) *
+                              static_cast<std::size_t>(width) +
+                          static_cast<std::size_t>(to)] < 0) {
+              throw LoweringError(
+                  "faults disconnect the mesh: no surviving route from "
+                  "core " +
+                  std::to_string(from) + " to core " + std::to_string(to));
+            }
+          }
+          config.pair_latency = hop_table;
+        }
+      }
+
+      std::vector<sim::Program> programs;
+      for (const std::string& source : multiprocessor_programs(spec, width)) {
+        programs.push_back(assemble_lowering(source));
+      }
+      sim::Multiprocessor machine(std::move(programs), config);
+      fill_banks(machine, width, config.bank_words, input);
+      const sim::RunStats stats = machine.run(options.max_cycles);
+      result.cycles = stats.cycles;
+      result.instructions = stats.instructions;
+      result.halted = stats.halted;
+      output = stats.output;
+      result.messages = static_cast<std::int64_t>(messages.size());
+      activity.instructions = stats.instructions;
+      for (int b = 0; b < width; ++b) {
+        activity.memory_accesses += static_cast<std::int64_t>(
+            machine.bank(b).loads() + machine.bank(b).stores());
+      }
+      for (const auto& [from, to] : messages) {
+        std::int64_t hops = 1;
+        if (!hop_table.empty()) {
+          hops = std::max<std::int64_t>(
+              1, hop_table[static_cast<std::size_t>(from) *
+                               static_cast<std::size_t>(width) +
+                           static_cast<std::size_t>(to)]);
+        }
+        activity.interconnect_hops += hops;
+      }
+      break;
+    }
+
+    case Paradigm::Dataflow: {
+      const int pes = name.subtype == 0 ? 1 : width;
+      check_block_faults(faults, paradigm, name, pes);
+      const sim::df::TokenMachineConfig config =
+          name.subtype == 0
+              ? sim::df::TokenMachineConfig::uniprocessor()
+              : sim::df::TokenMachineConfig::for_subtype(name.subtype, pes);
+      const sim::df::Graph graph = dataflow_graph(spec);
+      std::vector<std::pair<std::string, sim::Word>> bindings;
+      bindings.reserve(input.size());
+      for (std::size_t i = 0; i < input.size(); ++i) {
+        std::string port = "c";
+        port += std::to_string(i);
+        bindings.emplace_back(std::move(port), input[i]);
+      }
+      const sim::df::TokenMachine machine(graph, config);
+      const sim::df::DataflowRunResult run =
+          machine.run(bindings, options.max_cycles);
+      result.cycles = run.stats.cycles;
+      result.instructions = run.stats.instructions;
+      result.halted = run.stats.halted;
+      output.reserve(run.outputs.size());
+      for (const auto& [output_name, value] : run.outputs) {
+        (void)output_name;
+        output.push_back(value);
+      }
+      activity.instructions = run.stats.instructions;
+      // Tokens crossing PEs travel the class's transfer path (DP-DP
+      // crossbar, or through shared memory on DMP-III).
+      std::int64_t crossings = 0;
+      for (sim::df::NodeId node = 0; node < graph.node_count(); ++node) {
+        for (const sim::df::NodeId producer : graph.node(node).inputs) {
+          if (run.placement[static_cast<std::size_t>(node)] !=
+              run.placement[static_cast<std::size_t>(producer)]) {
+            ++crossings;
+          }
+        }
+      }
+      result.messages = crossings;
+      const std::int64_t hop_cost =
+          config.dp_dp == SwitchKind::Crossbar ? config.cross_latency
+                                               : config.memory_latency;
+      activity.interconnect_hops = crossings * hop_cost;
+      has_instruction_processor = false;
+      break;
+    }
+
+    case Paradigm::Cgra: {
+      const bool windowed =
+          name.machine_type == MachineType::InstructionFlow &&
+          mc.switch_at(ConnectivityRole::DpDp) != SwitchKind::Crossbar;
+      CgraKernel kernel = cgra_kernel(spec, width);
+      sim::cgra::CgraShape shape;
+      shape.fus = width;
+      shape.contexts = 16;
+      shape.primary_inputs =
+          static_cast<int>(kernel.graph.input_nodes().size());
+      shape.window = windowed ? 1 : -1;
+      sim::cgra::Cgra cgra(shape);
+      sim::cgra::Schedule schedule;
+      try {
+        schedule = sim::cgra::map_graph(kernel.graph, cgra);
+      } catch (const sim::SimError& e) {
+        throw LoweringError(std::string("kernel does not fit the ") +
+                            std::string(to_string(name)) +
+                            " fabric: " + e.what());
+      }
+      check_block_faults(faults, paradigm, name, schedule.fus_used);
+      activity.config_bits_written = cgra.config_bits();
+      has_instruction_processor = false;
+
+      std::int64_t compute_nodes = 0;
+      for (const int fu : schedule.node_fu) {
+        if (fu >= 0) ++compute_nodes;
+      }
+      std::int64_t cycles = 0;
+      std::int64_t passes = 0;
+      bool budget_exhausted = false;
+      const auto run_pass =
+          [&](const std::vector<std::pair<std::string, sim::Word>>& inputs)
+          -> std::optional<sim::Word> {
+        if (cycles + schedule.depth > options.max_cycles) {
+          budget_exhausted = true;
+          return std::nullopt;
+        }
+        const auto outputs = sim::cgra::run_mapped(cgra, schedule, inputs);
+        cycles += schedule.depth;
+        ++passes;
+        return outputs.front().second;
+      };
+
+      switch (spec.kernel) {
+        case Kernel::Stencil5: {
+          const std::int64_t s = spec.size;
+          std::vector<sim::Word> src = input;
+          std::vector<sim::Word> dst(src.size());
+          for (std::int32_t it = 0;
+               it < spec.iterations && !budget_exhausted; ++it) {
+            dst = src;
+            for (std::int64_t i = 1; i < s - 1 && !budget_exhausted; ++i) {
+              for (std::int64_t j = 1; j < s - 1; ++j) {
+                const std::size_t at = static_cast<std::size_t>(i * s + j);
+                const auto value = run_pass(
+                    {{"i0", src[at]},
+                     {"i1", src[at - 1]},
+                     {"i2", src[at + 1]},
+                     {"i3", src[at - static_cast<std::size_t>(s)]},
+                     {"i4", src[at + static_cast<std::size_t>(s)]}});
+                if (!value) break;
+                dst[at] = *value;
+              }
+            }
+            if (!budget_exhausted) std::swap(src, dst);
+          }
+          output = src;
+          break;
+        }
+        case Kernel::Reduce: {
+          const int chunk = kernel.items_per_pass;
+          sim::Word acc = 0;
+          for (std::int64_t base = 0;
+               base < spec.size && !budget_exhausted; base += chunk) {
+            std::vector<std::pair<std::string, sim::Word>> inputs;
+            inputs.emplace_back("i0", acc);
+            for (int k = 0; k < chunk; ++k) {
+              const std::int64_t at = base + k;
+              std::string port = "i";
+              port += std::to_string(k + 1);
+              inputs.emplace_back(
+                  std::move(port),
+                  at < spec.size ? input[static_cast<std::size_t>(at)]
+                                 : sim::Word{0});
+            }
+            const auto value = run_pass(inputs);
+            if (!value) break;
+            acc = *value;
+          }
+          output = {acc};
+          break;
+        }
+        case Kernel::Saxpy: {
+          const std::int64_t n = spec.size;
+          output.assign(static_cast<std::size_t>(n), 0);
+          for (std::int64_t k = 0; k < n && !budget_exhausted; ++k) {
+            const auto value = run_pass(
+                {{"i0", input[static_cast<std::size_t>(k)]},
+                 {"i1", input[static_cast<std::size_t>(n + k)]}});
+            if (!value) break;
+            output[static_cast<std::size_t>(k)] = *value;
+          }
+          break;
+        }
+      }
+      result.cycles = cycles;
+      result.instructions = passes * compute_nodes;
+      result.halted = !budget_exhausted;
+      activity.instructions = result.instructions;
+      break;
+    }
+  }
+
+  const std::int64_t expected = output_words(spec);
+  if (static_cast<std::int64_t>(output.size()) > expected) {
+    // SIMD lanes and trailing passes over-emit by construction; the
+    // leading `expected` words are the elements in layout order.
+    output.resize(static_cast<std::size_t>(expected));
+  }
+  result.output_words = static_cast<std::int32_t>(output.size());
+  result.output_checksum = checksum(output);
+  result.matches_reference = output == reference;
+  result.memory_accesses = activity.memory_accesses;
+  result.energy_pj =
+      cost::estimate_energy(activity, {}, has_instruction_processor)
+          .total_pj();
+  return result;
+}
+
+WorkloadResult run_workload(const WorkloadSpec& spec,
+                            const TaxonomicName& name,
+                            const RunOptions& options,
+                            const fault::FaultSet& faults,
+                            std::uint64_t seed) {
+  const std::optional<MachineClass> mc = canonical_class(name);
+  if (!mc) {
+    throw LoweringError(to_string(name) +
+                        " does not denote a canonical machine class");
+  }
+  return run_workload(spec, *mc, options, faults, seed);
+}
+
+}  // namespace mpct::workload

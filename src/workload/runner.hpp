@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/machine_class.hpp"
+#include "core/naming.hpp"
+#include "fault/fault_model.hpp"
+#include "workload/lowering.hpp"
+#include "workload/workload.hpp"
+
+namespace mpct::workload {
+
+/// Knobs of one simulation run.
+struct RunOptions {
+  /// Machine width: SIMD lanes, MIMD cores, dataflow PEs, or CGRA FUs
+  /// (ignored by the uniprocessor).
+  std::int32_t width = 8;
+  /// Cycle budget; a run that exhausts it returns halted = false.
+  std::int64_t max_cycles = 4'000'000;
+
+  friend bool operator==(const RunOptions&, const RunOptions&) = default;
+};
+
+/// Everything one simulation run produced, flattened to PODs so it
+/// fingerprints, compares and travels the wire trivially.  Two runs of
+/// the same (spec, class, options, faults, seed) are byte-identical.
+struct WorkloadResult {
+  Paradigm paradigm = Paradigm::Uniprocessor;
+  TaxonomicName machine;
+  std::int64_t cycles = 0;
+  std::int64_t instructions = 0;
+  bool halted = false;
+  std::int32_t output_words = 0;
+  std::uint64_t output_checksum = 0;
+  /// Output equals workload::reference_output word for word.
+  bool matches_reference = false;
+  std::int64_t memory_accesses = 0;
+  /// Inter-processor messages the lowering issued (multiprocessor) or
+  /// cross-PE token transfers (dataflow); 0 elsewhere.
+  std::int64_t messages = 0;
+  double energy_pj = 0;
+  /// Surviving ordered-pair connectivity of the full mesh NoC after
+  /// faults (dead routers count as lost pairs); 1.0 for fault-free runs
+  /// and paradigms without a mesh.
+  double noc_reachable_fraction = 1.0;
+
+  friend bool operator==(const WorkloadResult&,
+                         const WorkloadResult&) = default;
+};
+
+/// Lower @p spec onto the machine @p mc names, apply @p faults to the
+/// fabric, run to completion and price the activity.
+///
+/// Deterministic: the same arguments produce the same WorkloadResult on
+/// every platform and thread count.  Faults degrade honestly — a dead
+/// router/link in the multiprocessor's mesh re-routes messages over the
+/// surviving topology (more cycles), a fault that removes a component
+/// the fixed mapping needs raises LoweringError, and a mesh split in
+/// two raises LoweringError ("faults disconnect the mesh").
+///
+/// Throws LoweringError when the class cannot execute the kernel (no
+/// taxonomic name, missing crossbar, fabric too small, fatal faults);
+/// sim::SimError escapes for genuine machine traps.
+WorkloadResult run_workload(const WorkloadSpec& spec, const MachineClass& mc,
+                            const RunOptions& options = {},
+                            const fault::FaultSet& faults = {},
+                            std::uint64_t seed = 0);
+
+/// Same, for a class given by taxonomic name (e.g. parse "IMP-XVI").
+WorkloadResult run_workload(const WorkloadSpec& spec,
+                            const TaxonomicName& name,
+                            const RunOptions& options = {},
+                            const fault::FaultSet& faults = {},
+                            std::uint64_t seed = 0);
+
+}  // namespace mpct::workload

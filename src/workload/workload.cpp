@@ -1,0 +1,168 @@
+#include "workload/workload.hpp"
+
+namespace mpct::workload {
+
+namespace {
+
+/// splitmix64 — the same generator the fingerprinting layer uses, so
+/// input streams are stable across platforms and releases.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string_view to_string(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::Stencil5: return "stencil5";
+    case Kernel::Reduce:   return "reduce";
+    case Kernel::Saxpy:    return "saxpy";
+  }
+  return "?";
+}
+
+std::optional<Kernel> kernel_from_name(std::string_view name) {
+  if (name == "stencil5") return Kernel::Stencil5;
+  if (name == "reduce") return Kernel::Reduce;
+  if (name == "saxpy") return Kernel::Saxpy;
+  return std::nullopt;
+}
+
+std::string validate(const WorkloadSpec& spec) {
+  switch (spec.kernel) {
+    case Kernel::Stencil5:
+      if (spec.size < 3 || spec.size > 128) {
+        return "stencil5 grid side must be 3..128, got " +
+               std::to_string(spec.size);
+      }
+      if (spec.iterations < 1 || spec.iterations > 1024) {
+        return "stencil5 iterations must be 1..1024, got " +
+               std::to_string(spec.iterations);
+      }
+      break;
+    case Kernel::Reduce:
+    case Kernel::Saxpy:
+      if (spec.size < 1 || spec.size > 4096) {
+        return std::string(to_string(spec.kernel)) +
+               " size must be 1..4096, got " + std::to_string(spec.size);
+      }
+      if (spec.iterations != 1) {
+        return std::string(to_string(spec.kernel)) +
+               " is single-pass: iterations must be 1, got " +
+               std::to_string(spec.iterations);
+      }
+      break;
+    default:
+      return "unknown kernel " +
+             std::to_string(static_cast<int>(spec.kernel));
+  }
+  if (total_work(spec) > (std::int64_t{1} << 20)) {
+    return "workload too large: " + std::to_string(total_work(spec)) +
+           " cell updates exceeds the 2^20 cap";
+  }
+  return {};
+}
+
+std::int64_t total_work(const WorkloadSpec& spec) {
+  const std::int64_t n = spec.size;
+  switch (spec.kernel) {
+    case Kernel::Stencil5: return n * n * spec.iterations;
+    case Kernel::Reduce:   return n;
+    case Kernel::Saxpy:    return n;
+  }
+  return 0;
+}
+
+std::int64_t input_words(const WorkloadSpec& spec) {
+  const std::int64_t n = spec.size;
+  switch (spec.kernel) {
+    case Kernel::Stencil5: return n * n;
+    case Kernel::Reduce:   return n;
+    case Kernel::Saxpy:    return 2 * n;
+  }
+  return 0;
+}
+
+std::int64_t output_words(const WorkloadSpec& spec) {
+  const std::int64_t n = spec.size;
+  switch (spec.kernel) {
+    case Kernel::Stencil5: return n * n;
+    case Kernel::Reduce:   return 1;
+    case Kernel::Saxpy:    return n;
+  }
+  return 0;
+}
+
+std::vector<sim::Word> make_input(const WorkloadSpec& spec,
+                                  std::uint64_t seed) {
+  const std::int64_t count = input_words(spec);
+  std::vector<sim::Word> input;
+  input.reserve(static_cast<std::size_t>(count));
+  // Small non-negative values: sums of five stay far from overflow and
+  // the truncating division matches on host and machine alike.
+  for (std::int64_t i = 0; i < count; ++i) {
+    input.push_back(static_cast<sim::Word>(
+        splitmix64(seed + static_cast<std::uint64_t>(i)) % 1024));
+  }
+  return input;
+}
+
+std::vector<sim::Word> reference_output(const WorkloadSpec& spec,
+                                        std::uint64_t seed) {
+  const std::vector<sim::Word> input = make_input(spec, seed);
+  switch (spec.kernel) {
+    case Kernel::Stencil5: {
+      const std::int64_t s = spec.size;
+      std::vector<sim::Word> src = input;
+      std::vector<sim::Word> dst(src.size());
+      for (std::int32_t it = 0; it < spec.iterations; ++it) {
+        dst = src;  // boundary carried unchanged
+        for (std::int64_t i = 1; i < s - 1; ++i) {
+          for (std::int64_t j = 1; j < s - 1; ++j) {
+            const std::size_t at = static_cast<std::size_t>(i * s + j);
+            const sim::Word sum =
+                src[at] + src[at - 1] + src[at + 1] +
+                src[at - static_cast<std::size_t>(s)] +
+                src[at + static_cast<std::size_t>(s)];
+            dst[at] = sum / 5;
+          }
+        }
+        std::swap(src, dst);
+      }
+      return src;
+    }
+    case Kernel::Reduce: {
+      sim::Word sum = 0;
+      for (sim::Word w : input) sum += w;
+      return {sum};
+    }
+    case Kernel::Saxpy: {
+      const std::int64_t n = spec.size;
+      std::vector<sim::Word> out(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        out[static_cast<std::size_t>(i)] =
+            spec.alpha * input[static_cast<std::size_t>(i)] +
+            input[static_cast<std::size_t>(n + i)];
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+std::uint64_t checksum(std::span<const sim::Word> words) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  for (sim::Word word : words) {
+    std::uint64_t bits = static_cast<std::uint64_t>(word);
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (bits >> (8 * byte)) & 0xffULL;
+      hash *= 0x100000001b3ULL;  // FNV prime
+    }
+  }
+  return hash;
+}
+
+}  // namespace mpct::workload

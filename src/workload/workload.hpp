@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/word.hpp"
+
+namespace mpct::workload {
+
+/// Named kernel of the portable workload IR.  Each kernel has one
+/// host-side reference semantics (reference_output) and one lowering per
+/// executable paradigm (lowering.hpp) — the same workload runs on every
+/// runnable class of the taxonomy and must produce the same output.
+enum class Kernel : std::uint8_t {
+  /// 5-point Jacobi stencil on a size x size grid, `iterations` sweeps:
+  /// interior cells become (c + n + s + e + w) / 5 (truncating integer
+  /// division), boundary cells are carried unchanged.  The iterative
+  /// mesh solver of the OpenMOC CMFD style, and the flagship workload
+  /// for the mesh-NoC multiprocessor.
+  Stencil5 = 0,
+  /// Sum of `size` words into one output word.
+  Reduce = 1,
+  /// y[i] = alpha * x[i] + y[i] over `size` elements.
+  Saxpy = 2,
+};
+
+inline constexpr std::size_t kKernelCount = 3;
+
+std::string_view to_string(Kernel kernel);
+std::optional<Kernel> kernel_from_name(std::string_view name);
+
+/// One concrete workload instance.  The input data is *not* part of the
+/// spec: it derives deterministically from (spec, seed) via make_input,
+/// so a spec stays a few words on the wire no matter how large the
+/// problem is.
+struct WorkloadSpec {
+  Kernel kernel = Kernel::Stencil5;
+  /// Stencil5: grid side (>= 3).  Reduce/Saxpy: element count (>= 1).
+  std::int32_t size = 8;
+  /// Stencil5: Jacobi sweeps (>= 1).  Reduce/Saxpy: must be 1.
+  std::int32_t iterations = 4;
+  /// Saxpy's alpha coefficient; ignored by the other kernels.
+  std::int64_t alpha = 3;
+
+  friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
+};
+
+/// Empty string when the spec is well-formed, otherwise the problem.
+/// Bounds are the service-layer caps (docs/WORKLOAD.md): size 1..4096
+/// (stencil 3..128), iterations 1..1024, total_work <= 2^20.
+std::string validate(const WorkloadSpec& spec);
+
+/// Cell updates the kernel performs — the work cap validate() enforces
+/// and the denominator of the bench's cells/s rate.
+std::int64_t total_work(const WorkloadSpec& spec);
+
+/// Words of input data the kernel consumes (stencil: size^2; reduce:
+/// size; saxpy: 2 * size — x then y).
+std::int64_t input_words(const WorkloadSpec& spec);
+
+/// Words of output the kernel produces (stencil: size^2; reduce: 1;
+/// saxpy: size).
+std::int64_t output_words(const WorkloadSpec& spec);
+
+/// Deterministic input data for (spec, seed): splitmix64-derived words
+/// in [0, 1024), identical on every platform.  Layout matches
+/// input_words()'s documentation.
+std::vector<sim::Word> make_input(const WorkloadSpec& spec,
+                                  std::uint64_t seed);
+
+/// Host-side golden semantics: the output every lowering must
+/// reproduce word for word.
+std::vector<sim::Word> reference_output(const WorkloadSpec& spec,
+                                        std::uint64_t seed);
+
+/// FNV-1a 64 over each word's 8 little-endian bytes —
+/// platform-independent, and the value the service caches and the
+/// replay harness compares.
+std::uint64_t checksum(std::span<const sim::Word> words);
+
+}  // namespace mpct::workload

@@ -314,9 +314,19 @@ TEST(Fuzz, WireDecoderSurvivesBitFlippedValidFrames) {
   recommend.requirements.min_flexibility = 2;
   recommend.top_k = 3;
   const service::Request request{std::move(recommend)};
+  // The simulate pair exercises the v2-only codec paths (workload spec,
+  // fault set, run options, result) under corruption as well.
+  service::SimulateRequest simulate;
+  simulate.target = *canonical_class(*parse_taxonomic_name("IMP-IV"));
+  simulate.options.width = 4;
+  simulate.faults.add_noc_link(0, 1);
+  simulate.seed = 7;
+  const service::Request simulate_request{simulate};
   const std::vector<std::vector<std::uint8_t>> seeds = {
       wire::encode_request_frame(11, request, 250),
       wire::encode_response_frame(11, engine.execute(request)),
+      wire::encode_request_frame(12, simulate_request, 250),
+      wire::encode_response_frame(12, engine.execute(simulate_request)),
   };
   Rng rng(31337);
   for (const auto& seed : seeds) {
@@ -334,15 +344,21 @@ TEST(Fuzz, WireDecoderSurvivesEveryTruncationPrefix) {
   service::CostRequest cost;
   cost.target = MachineClass{};
   cost.n_sweep = {2, 4, 8};
-  const auto frame =
-      wire::encode_request_frame(3, service::Request{std::move(cost)}, 0);
-  for (std::size_t len = 0; len <= frame.size(); ++len) {
-    decode_untrusted(frame.data(), len);
-    // decode_* must also reject a frame cut mid-payload (the server
-    // never calls it that way, but the decoder must not rely on that).
-    if (len > 0) {
-      const auto decoded = wire::decode_request_frame(frame.data(), len);
-      EXPECT_EQ(decoded.ok(), len == frame.size());
+  service::SimulateRequest simulate;
+  simulate.target = *canonical_class(*parse_taxonomic_name("DMP-II"));
+  simulate.faults.add(fault::FaultKind::DpDead, 3);
+  for (const service::Request& request :
+       {service::Request{std::move(cost)},
+        service::Request{std::move(simulate)}}) {
+    const auto frame = wire::encode_request_frame(3, request, 0);
+    for (std::size_t len = 0; len <= frame.size(); ++len) {
+      decode_untrusted(frame.data(), len);
+      // decode_* must also reject a frame cut mid-payload (the server
+      // never calls it that way, but the decoder must not rely on that).
+      if (len > 0) {
+        const auto decoded = wire::decode_request_frame(frame.data(), len);
+        EXPECT_EQ(decoded.ok(), len == frame.size());
+      }
     }
   }
 }

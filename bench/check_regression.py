@@ -23,6 +23,15 @@ fresh run) prints a FAIL line and the script exits 1.  Floors encode
 order-of-magnitude guarantees (the batch sweep kernel must stay >= 5x
 the pre-batch scalar baseline), far below host-to-host noise.
 
+Ceilings are the same gate upside down: a "ceilings" block maps dotted
+paths to hard maximums, e.g.
+
+    "ceilings": {"disabled_span_ns": 2.0}
+
+A fresh value above its ceiling (or missing) FAILs.  Ceilings encode
+cost budgets — the disabled tracing path must never creep past its
+per-span budget no matter the host.
+
 Exit code is also 1 when the inputs themselves are unusable (missing
 file, malformed JSON, mismatched bench names).  Only stdlib, no
 third-party deps.
@@ -103,10 +112,21 @@ def compare(committed_path, fresh_path, band):
             print(f"FAIL [{name}] {path}: {new[path]:g} below the hard "
                   f"floor {floor:g}")
             failures += 1
+    ceilings = committed.get("ceilings", {})
+    for path in sorted(ceilings):
+        ceiling = float(ceilings[path])
+        if path not in new:
+            print(f"FAIL [{name}] {path}: capped at {ceiling:g} but missing "
+                  f"from the fresh run")
+            failures += 1
+        elif new[path] > ceiling:
+            print(f"FAIL [{name}] {path}: {new[path]:g} above the hard "
+                  f"ceiling {ceiling:g}")
+            failures += 1
 
     compared = len(set(base) & set(new))
     print(f"[{name}] compared {compared} metrics, {warnings} outside the "
-          f"band, {failures} below hard floors")
+          f"band, {failures} outside hard floors/ceilings")
     return failures
 
 

@@ -3,21 +3,35 @@
 /// and compare runs by normalized response fingerprint.
 ///
 ///   replay <capture> <port> [--host H] [--max-speed] [--save FILE]
-///          [--compare FILE]
+///          [--compare FILE] [--loop N] [--duration S] [--self-host]
 ///
 ///   --max-speed      ignore recorded arrival gaps (default: honour them)
 ///   --save FILE      write "id fingerprint" lines for a later --compare
 ///   --compare FILE   diff this run against a saved fingerprint file;
 ///                    exit 1 on any mismatch
+///   --loop N         soak: replay the capture N times (0 = unbounded,
+///                    bounded by --duration); exit 1 if any iteration's
+///                    fingerprints drift from the first
+///   --duration S     soak: keep looping until S seconds have elapsed
+///   --self-host      boot the engine + server in this process (port may
+///                    then be 0 for ephemeral) with tracing streamed back
+///                    at the same server, and report sim_* / trace_*
+///                    metric drift between the first and last iteration
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/net.hpp"
+#include "net/trace_stream.hpp"
+#include "service/service.hpp"
+#include "trace/trace.hpp"
 
 using namespace mpct;
 
@@ -25,8 +39,87 @@ namespace {
 
 int usage() {
   std::cerr << "usage: replay <capture> <port> [--host H] [--max-speed] "
-               "[--save FILE] [--compare FILE]\n";
+               "[--save FILE] [--compare FILE] [--loop N] [--duration S] "
+               "[--self-host]\n";
   return 2;
+}
+
+/// The registry counters the soak report tracks across iterations.
+struct SoakCounters {
+  std::uint64_t sim_runs = 0;
+  std::uint64_t sim_cycles = 0;
+  std::uint64_t sim_fault_runs = 0;
+  std::uint64_t trace_spans_exported = 0;
+  std::uint64_t trace_spans_dropped = 0;
+  std::uint64_t trace_spans_sampled_out = 0;
+  std::uint64_t trace_batches_sent = 0;
+  std::uint64_t trace_batches_dropped = 0;
+  std::uint64_t trace_collector_batches = 0;
+  std::uint64_t trace_collector_spans = 0;
+
+  static SoakCounters of(const service::MetricsRegistry& m) {
+    SoakCounters c;
+    c.sim_runs = m.sim_runs.value();
+    c.sim_cycles = m.sim_cycles.value();
+    c.sim_fault_runs = m.sim_fault_runs.value();
+    c.trace_spans_exported = m.trace_spans_exported.value();
+    c.trace_spans_dropped = m.trace_spans_dropped.value();
+    c.trace_spans_sampled_out = m.trace_spans_sampled_out.value();
+    c.trace_batches_sent = m.trace_batches_sent.value();
+    c.trace_batches_dropped = m.trace_batches_dropped.value();
+    c.trace_collector_batches = m.trace_collector_batches.value();
+    c.trace_collector_spans = m.trace_collector_spans.value();
+    return c;
+  }
+
+  SoakCounters delta(const SoakCounters& since) const {
+    SoakCounters d;
+    d.sim_runs = sim_runs - since.sim_runs;
+    d.sim_cycles = sim_cycles - since.sim_cycles;
+    d.sim_fault_runs = sim_fault_runs - since.sim_fault_runs;
+    d.trace_spans_exported = trace_spans_exported - since.trace_spans_exported;
+    d.trace_spans_dropped = trace_spans_dropped - since.trace_spans_dropped;
+    d.trace_spans_sampled_out =
+        trace_spans_sampled_out - since.trace_spans_sampled_out;
+    d.trace_batches_sent = trace_batches_sent - since.trace_batches_sent;
+    d.trace_batches_dropped =
+        trace_batches_dropped - since.trace_batches_dropped;
+    d.trace_collector_batches =
+        trace_collector_batches - since.trace_collector_batches;
+    d.trace_collector_spans =
+        trace_collector_spans - since.trace_collector_spans;
+    return d;
+  }
+};
+
+void print_drift(const SoakCounters& first, const SoakCounters& last) {
+  const auto row = [](const char* name, std::uint64_t a, std::uint64_t b) {
+    std::cout << "  " << name << ": first " << a << ", last " << b;
+    if (b > a) {
+      std::cout << " (+" << b - a << ")";
+    } else if (a > b) {
+      std::cout << " (-" << a - b << ")";
+    }
+    std::cout << "\n";
+  };
+  std::cout << "per-iteration metric drift (first vs last iteration):\n";
+  row("sim_runs", first.sim_runs, last.sim_runs);
+  row("sim_cycles", first.sim_cycles, last.sim_cycles);
+  row("sim_fault_runs", first.sim_fault_runs, last.sim_fault_runs);
+  row("trace_spans_exported", first.trace_spans_exported,
+      last.trace_spans_exported);
+  row("trace_spans_dropped", first.trace_spans_dropped,
+      last.trace_spans_dropped);
+  row("trace_spans_sampled_out", first.trace_spans_sampled_out,
+      last.trace_spans_sampled_out);
+  row("trace_batches_sent", first.trace_batches_sent,
+      last.trace_batches_sent);
+  row("trace_batches_dropped", first.trace_batches_dropped,
+      last.trace_batches_dropped);
+  row("trace_collector_batches", first.trace_collector_batches,
+      last.trace_collector_batches);
+  row("trace_collector_spans", first.trace_collector_spans,
+      last.trace_collector_spans);
 }
 
 }  // namespace
@@ -38,6 +131,10 @@ int main(int argc, char** argv) {
   options.port = static_cast<std::uint16_t>(std::atoi(argv[2]));
   std::string save_path;
   std::string compare_path;
+  std::size_t loop = 1;
+  bool loop_set = false;
+  long duration_s = 0;
+  bool self_host = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--max-speed") {
@@ -48,10 +145,21 @@ int main(int argc, char** argv) {
       save_path = argv[++i];
     } else if (arg == "--compare" && i + 1 < argc) {
       compare_path = argv[++i];
+    } else if (arg == "--loop" && i + 1 < argc) {
+      loop = static_cast<std::size_t>(std::atoll(argv[++i]));
+      loop_set = true;
+    } else if (arg == "--duration" && i + 1 < argc) {
+      duration_s = std::atol(argv[++i]);
+      if (duration_s <= 0) return usage();
+      if (!loop_set) loop = 0;  // unbounded; the clock is the limit
+    } else if (arg == "--self-host") {
+      self_host = true;
     } else {
       return usage();
     }
   }
+  if (loop == 0 && duration_s == 0) return usage();
+  const bool soak = loop != 1 || duration_s != 0;
 
   net::CaptureFile capture;
   std::string error;
@@ -59,19 +167,95 @@ int main(int argc, char** argv) {
     std::cerr << "replay: " << error << "\n";
     return 1;
   }
+
+  // --self-host: the replay target lives in this process, so the soak
+  // report can read its registry.  The trace streamer points back at
+  // the same server — it absorbs SpanBatch frames sink-less, which
+  // still exercises export + collector-side counters end to end.
+  std::unique_ptr<service::QueryEngine> engine;
+  std::unique_ptr<net::Server> server;
+  std::unique_ptr<net::TraceStreamer> streamer;
+  if (self_host) {
+    trace::Tracer::instance().enable();
+    service::EngineOptions engine_options;
+    engine_options.worker_threads = 2;
+    engine = std::make_unique<service::QueryEngine>(engine_options);
+    net::ServerOptions server_options;
+    server_options.port = options.port;
+    server = std::make_unique<net::Server>(*engine, server_options);
+    if (!server->start()) {
+      std::cerr << "replay: self-host server: " << server->error() << "\n";
+      return 1;
+    }
+    options.host = "127.0.0.1";
+    options.port = server->port();
+    net::TraceStreamerOptions stream_options;
+    stream_options.port = server->port();
+    stream_options.node = "replay-soak";
+    stream_options.metrics = &engine->metrics();
+    streamer = std::make_unique<net::TraceStreamer>(stream_options);
+    if (!streamer->start()) {
+      std::cerr << "replay: trace streamer: " << streamer->error() << "\n";
+    }
+  }
+
   std::cout << capture_path << ": " << capture.records.size()
             << " frames, replaying against " << options.host << ":"
             << options.port
-            << (options.max_speed ? " at max speed" : " at recorded pace")
-            << "\n";
-
-  const net::ReplayOutcome outcome = net::replay_capture(capture, options);
-  if (!outcome.ok()) {
-    std::cerr << outcome.error << "\n";
-    return 1;
+            << (options.max_speed ? " at max speed" : " at recorded pace");
+  if (soak) {
+    std::cout << " [soak:";
+    if (loop != 0) std::cout << " loop=" << loop;
+    if (duration_s != 0) std::cout << " duration=" << duration_s << "s";
+    std::cout << "]";
   }
-  std::cout << "sent " << outcome.sent << ", answered " << outcome.answered
-            << "\n";
+  std::cout << "\n";
+
+  const auto soak_start = std::chrono::steady_clock::now();
+  const auto expired = [&] {
+    return duration_s != 0 &&
+           std::chrono::steady_clock::now() - soak_start >=
+               std::chrono::seconds(duration_s);
+  };
+
+  net::ReplayOutcome first_outcome;
+  SoakCounters first_delta, last_delta;
+  std::size_t iterations = 0;
+  std::size_t drifted = 0;
+  while ((loop == 0 || iterations < loop) &&
+         (iterations == 0 || !expired())) {
+    const SoakCounters before =
+        engine ? SoakCounters::of(engine->metrics()) : SoakCounters{};
+    const net::ReplayOutcome outcome = net::replay_capture(capture, options);
+    if (!outcome.ok()) {
+      std::cerr << outcome.error << "\n";
+      return 1;
+    }
+    if (engine) {
+      // Let the streamer complete a couple of export ticks so the
+      // iteration's trace counters land before the snapshot.
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+      last_delta = SoakCounters::of(engine->metrics()).delta(before);
+    }
+    if (iterations == 0) {
+      first_outcome = outcome;
+      first_delta = last_delta;
+    } else if (outcome.fingerprints != first_outcome.fingerprints) {
+      std::cerr << "iteration " << iterations
+                << ": fingerprints drifted from iteration 0\n";
+      ++drifted;
+    }
+    ++iterations;
+  }
+  const net::ReplayOutcome& outcome = first_outcome;
+  std::cout << "sent " << outcome.sent << ", answered " << outcome.answered;
+  if (soak) std::cout << " per iteration, " << iterations << " iterations";
+  std::cout << "\n";
+
+  if (soak && engine) print_drift(first_delta, last_delta);
+
+  if (streamer) streamer->stop();
+  if (server) server->stop();
 
   if (!save_path.empty()) {
     std::ofstream out(save_path);
@@ -108,5 +292,5 @@ int main(int argc, char** argv) {
     std::cout << "all " << outcome.fingerprints.size()
               << " fingerprints match " << compare_path << "\n";
   }
-  return 0;
+  return drifted == 0 ? 0 : 1;
 }

@@ -1,17 +1,35 @@
-/// taxonomy_cluster — a whole fleet in one process.
+/// taxonomy_cluster — a whole fleet in one process (or, with
+/// --collector, across real processes).
 ///
-/// Boots N backend taxonomy servers, puts a cluster::CombiningProxy in
-/// front of them, and drives a seeded mixed workload (classifies, a
-/// parallel-scattered design sweep, a fault sweep) through the proxy
-/// with plain net::Clients — the proxy speaks the same wire protocol as
-/// a single server, so clients need no fleet awareness.  Halfway
-/// through, one backend is killed to show health-driven failover: every
-/// request still answers, the dead endpoint goes Down, traffic
-/// redistributes over the ring.
+/// Default mode boots N backend taxonomy servers in-process, puts a
+/// cluster::CombiningProxy in front of them, and drives a seeded mixed
+/// workload (classifies, a parallel-scattered design sweep, a fault
+/// sweep) through the proxy with plain net::Clients — the proxy speaks
+/// the same wire protocol as a single server, so clients need no fleet
+/// awareness.  Halfway through, one backend is killed to show
+/// health-driven failover: every request still answers, the dead
+/// endpoint goes Down, traffic redistributes over the ring.
 ///
-///   usage: taxonomy_cluster [backends=3] [requests=64]
+/// --collector mode is the always-on-tracing demo: each backend becomes
+/// a real child process (re-exec of this binary) running its own
+/// net::TraceStreamer, the parent runs the proxy plus a collector
+/// server feeding a trace::Collector, one backend is SIGKILLed mid-run,
+/// and the run ends by writing one assembled cross-fleet timeline for a
+/// trace that (a) touched at least two distinct processes and (b)
+/// contains a hedge or failover instant — the exit code enforces both.
+///
+///   usage: taxonomy_cluster [--collector] [--timeline FILE]
+///                           [backends=3] [requests=64]
+#include <limits.h>
+#include <signal.h>
+#include <stdio.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <random>
@@ -22,7 +40,10 @@
 #include "arch/registry.hpp"
 #include "cluster/cluster.hpp"
 #include "net/net.hpp"
+#include "net/trace_stream.hpp"
 #include "service/service.hpp"
+#include "trace/collector.hpp"
+#include "trace/trace.hpp"
 
 using namespace mpct;
 
@@ -59,18 +80,264 @@ service::Request random_request(std::mt19937_64& rng) {
   }
 }
 
-}  // namespace
+int usage() {
+  std::cerr << "usage: taxonomy_cluster [--collector] [--timeline FILE] "
+               "[backends=3] [requests=64]\n";
+  return 2;
+}
 
-int main(int argc, char** argv) {
-  const std::size_t backends =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 3;
-  const std::size_t requests =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 64;
-  if (backends == 0 || requests == 0) {
-    std::cerr << "usage: taxonomy_cluster [backends=3] [requests=64]\n";
-    return 2;
+// --- child process: one backend server + trace streamer ---------------
+
+/// Entry point of a `--backend <collector_port> <node>` child: serve on
+/// an ephemeral port (announced as "PORT <n>" on stdout), stream spans
+/// at the collector, run until the parent closes our stdin.
+int run_backend(std::uint16_t collector_port, const char* node) {
+  trace::Tracer::instance().enable();
+
+  service::EngineOptions engine_options;
+  engine_options.worker_threads = 2;
+  service::QueryEngine engine(engine_options);
+  net::Server server(engine);
+  if (!server.start()) {
+    std::cerr << node << ": " << server.error() << "\n";
+    return 1;
+  }
+  std::cout << "PORT " << server.port() << "\n" << std::flush;
+
+  net::TraceStreamerOptions stream_options;
+  stream_options.port = collector_port;
+  stream_options.node = node;
+  stream_options.metrics = &engine.metrics();
+  net::TraceStreamer streamer(stream_options);
+  if (!streamer.start()) {
+    std::cerr << node << ": " << streamer.error() << "\n";
   }
 
+  // Parent closing the pipe (or dying) is the shutdown signal — a
+  // SIGKILLed backend never reaches this, which is the point.
+  char buffer[16];
+  while (::read(STDIN_FILENO, buffer, sizeof buffer) > 0) {
+  }
+  streamer.stop();  // final drain + bounded flush ships the tail
+  server.stop();
+  return 0;
+}
+
+// --- parent process: collector + proxy + load + assembly --------------
+
+struct BackendProcess {
+  pid_t pid = -1;
+  int shutdown_fd = -1;  ///< write end of the child's stdin; close = stop
+  std::uint16_t port = 0;
+  bool killed = false;
+};
+
+/// Fork+exec one `--backend` child and read its announced port.
+bool spawn_backend(const char* self, std::uint16_t collector_port,
+                   const std::string& node, BackendProcess& out) {
+  int to_child[2];
+  int from_child[2];
+  if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+    std::cerr << node << ": pipe failed\n";
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::cerr << node << ": fork failed\n";
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    const std::string port_arg = std::to_string(collector_port);
+    const char* argv[] = {self, "--backend", port_arg.c_str(), node.c_str(),
+                          nullptr};
+    ::execv(self, const_cast<char* const*>(argv));
+    ::perror("execv");
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  out.pid = pid;
+  out.shutdown_fd = to_child[1];
+
+  FILE* stream = ::fdopen(from_child[0], "r");
+  char line[64];
+  unsigned port = 0;
+  if (stream == nullptr || ::fgets(line, sizeof line, stream) == nullptr ||
+      std::sscanf(line, "PORT %u", &port) != 1 || port == 0 ||
+      port > 65535) {
+    std::cerr << node << ": no port announcement from child\n";
+    if (stream != nullptr) ::fclose(stream);
+    return false;
+  }
+  ::fclose(stream);  // also closes from_child[0]; child ignores EPIPE
+  out.port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+int run_collector_demo(std::size_t backends, std::size_t requests,
+                       const std::string& timeline_path) {
+  trace::Tracer::instance().enable();
+
+  // --- collector: a plain server whose span sink feeds the assembler --
+  trace::Collector collector;
+  service::EngineOptions collector_engine_options;
+  collector_engine_options.worker_threads = 0;
+  service::QueryEngine collector_engine(collector_engine_options);
+  net::ServerOptions collector_options;
+  collector_options.span_sink = [&collector](wire::SpanBatchFrame frame) {
+    collector.ingest(frame.batch, trace::Tracer::instance().now_ns());
+  };
+  net::Server collector_server(collector_engine, collector_options);
+  if (!collector_server.start()) {
+    std::cerr << "collector: " << collector_server.error() << "\n";
+    return 1;
+  }
+  std::cout << "collector listening on 127.0.0.1:" << collector_server.port()
+            << "\n";
+
+  // --- fleet: N backend *processes*, each streaming its own spans -----
+  char self[PATH_MAX];
+  const ssize_t len = ::readlink("/proc/self/exe", self, sizeof self - 1);
+  if (len <= 0) {
+    std::cerr << "cannot resolve /proc/self/exe\n";
+    return 1;
+  }
+  self[len] = '\0';
+
+  std::vector<BackendProcess> children(backends);
+  std::vector<cluster::Endpoint> endpoints;
+  for (std::size_t i = 0; i < backends; ++i) {
+    const std::string node = "backend-" + std::to_string(i);
+    if (!spawn_backend(self, collector_server.port(), node, children[i])) {
+      for (BackendProcess& child : children) {
+        if (child.pid > 0) ::kill(child.pid, SIGKILL);
+      }
+      return 1;
+    }
+    endpoints.push_back({"127.0.0.1", children[i].port});
+    std::cout << node << " (pid " << children[i].pid << ") listening on "
+              << endpoints.back().to_string() << "\n";
+  }
+
+  // --- proxy + its own streamer, node "proxy" -------------------------
+  cluster::ProxyOptions proxy_options;
+  proxy_options.cluster.endpoints = endpoints;
+  proxy_options.cluster.pinger.interval = std::chrono::milliseconds(100);
+  // Hedge aggressively so the demo reliably shows speculative retries:
+  // anything slower than 2 ms (every scattered sweep) gets a hedge.
+  proxy_options.cluster.hedge_max_delay = std::chrono::milliseconds(2);
+  cluster::CombiningProxy proxy(proxy_options);
+  if (!proxy.start()) {
+    std::cerr << "proxy: " << proxy.error() << "\n";
+    return 1;
+  }
+  std::cout << "proxy listening on 127.0.0.1:" << proxy.port() << "\n\n";
+
+  net::TraceStreamerOptions proxy_stream_options;
+  proxy_stream_options.port = collector_server.port();
+  proxy_stream_options.node = "proxy";
+  proxy_stream_options.metrics = &proxy.metrics();
+  net::TraceStreamer proxy_streamer(proxy_stream_options);
+  if (!proxy_streamer.start()) {
+    std::cerr << "proxy streamer: " << proxy_streamer.error() << "\n";
+  }
+
+  // --- seeded load; SIGKILL one backend halfway -----------------------
+  std::mt19937_64 rng(2026);
+  net::ClientOptions client_options;
+  client_options.port = proxy.port();
+  net::Client client(client_options);
+
+  // Explicit wire trace ids, one per request, so the timeline check can
+  // speak about "one trace id" without fingerprint-fallback ambiguity.
+  const std::uint64_t trace_base = 0x7ace'0000;
+  std::size_t ok = 0, failed = 0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    if (backends > 1 && i == requests / 2) {
+      std::cout << "-- SIGKILL backend " << backends - 1 << " mid-run --\n";
+      ::kill(children[backends - 1].pid, SIGKILL);
+      children[backends - 1].killed = true;
+    }
+    const service::QueryResponse response = client.call(
+        random_request(rng), service::Deadline::never(), trace_base + i);
+    if (response.ok()) {
+      ++ok;
+    } else {
+      ++failed;
+      std::cout << "request " << i << " failed: "
+                << response.status.to_string() << "\n";
+    }
+  }
+
+  // --- wind down: final flushes, child exits, collector quiescence ----
+  proxy_streamer.stop();
+  proxy.stop();
+  for (BackendProcess& child : children) {
+    if (child.shutdown_fd >= 0) ::close(child.shutdown_fd);
+  }
+  for (BackendProcess& child : children) {
+    if (child.pid > 0) ::waitpid(child.pid, nullptr, 0);
+  }
+  // Children have exited, so every batch they sent is at least in our
+  // socket buffers; wait for the collector's counters to go quiet.
+  trace::CollectorStats last = collector.stats();
+  for (int i = 0; i < 20; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const trace::CollectorStats now = collector.stats();
+    if (now.batches == last.batches && now.spans == last.spans) break;
+    last = now;
+  }
+  collector_server.stop();
+
+  const trace::CollectorStats stats = collector.stats();
+  std::cout << "\n" << ok << "/" << requests << " answered, " << failed
+            << " failed\ncollector absorbed " << stats.spans << " spans in "
+            << stats.batches << " batches from " << stats.nodes
+            << " nodes (" << stats.dropped << " reported dropped)\n";
+
+  // --- the structural check the exit code enforces --------------------
+  // One trace id must have spans from >= 2 distinct processes AND carry
+  // a hedge or failover instant; its timeline is the artifact we write.
+  std::uint64_t chosen = 0;
+  std::string timeline;
+  for (const std::uint64_t id : collector.trace_ids()) {
+    if (collector.node_count(id) < 2) continue;
+    std::string candidate = collector.assemble(id);
+    if (candidate.find("cluster.hedge") == std::string::npos &&
+        candidate.find("cluster.failover") == std::string::npos) {
+      continue;
+    }
+    chosen = id;
+    timeline = std::move(candidate);
+    break;
+  }
+  if (chosen == 0) {
+    // Still leave an artifact to debug with, but fail the run.
+    const std::uint64_t richest = collector.richest_trace();
+    std::ofstream(timeline_path) << collector.assemble(richest);
+    std::cerr << "FAIL: no trace with >= 2 nodes and a hedge/failover "
+                 "instant; wrote richest trace "
+              << richest << " to " << timeline_path << "\n";
+    return 1;
+  }
+  std::ofstream out(timeline_path);
+  out << timeline;
+  out.close();
+  std::cout << "wrote cross-fleet timeline for trace " << chosen << " ("
+            << collector.node_count(chosen) << " processes) to "
+            << timeline_path << "\n";
+  return failed == 0 ? 0 : 1;
+}
+
+// --- default single-process demo --------------------------------------
+
+int run_local(std::size_t backends, std::size_t requests) {
   // --- fleet: N single-process backend servers ------------------------
   std::vector<std::unique_ptr<service::QueryEngine>> engines;
   std::vector<std::unique_ptr<net::Server>> servers;
@@ -85,8 +352,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     endpoints.push_back({"127.0.0.1", servers.back()->port()});
-    std::cout << "backend " << i << " listening on " << endpoints.back().to_string()
-              << "\n";
+    std::cout << "backend " << i << " listening on "
+              << endpoints.back().to_string() << "\n";
   }
 
   // --- combining proxy in front --------------------------------------
@@ -138,4 +405,45 @@ int main(int argc, char** argv) {
   proxy.stop();
   for (auto& server : servers) server->stop();
   return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "--backend") {
+    const int port = std::atoi(argv[2]);
+    if (port <= 0 || port > 65535) return usage();
+    return run_backend(static_cast<std::uint16_t>(port),
+                       argc > 3 ? argv[3] : "backend");
+  }
+
+  bool collector_mode = false;
+  std::string timeline_path = "cluster.trace.json";
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--collector") {
+      collector_mode = true;
+    } else if (arg == "--timeline" && i + 1 < argc) {
+      timeline_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::size_t backends =
+      positional.size() > 0
+          ? static_cast<std::size_t>(std::atoi(positional[0].c_str()))
+          : 3;
+  const std::size_t requests =
+      positional.size() > 1
+          ? static_cast<std::size_t>(std::atoi(positional[1].c_str()))
+          : 64;
+  if (backends == 0 || requests == 0 || positional.size() > 2) return usage();
+
+  if (collector_mode) {
+    return run_collector_demo(backends, requests, timeline_path);
+  }
+  return run_local(backends, requests);
 }

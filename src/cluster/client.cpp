@@ -98,7 +98,13 @@ net::Client* ClusterClient::endpoint_client(std::size_t index,
 service::QueryResponse ClusterClient::call(const service::Request& request,
                                            service::Deadline deadline,
                                            std::uint64_t trace_id) {
+  const service::Fingerprint key = service::fingerprint(request);
+  if (trace_id == 0) trace_id = key;
+  // Installed before the span so cluster.call and the hedge/failover
+  // instants below are all stamped with this request's trace.
+  trace::TraceContextScope context(trace_id);
   trace::ScopedSpan span("cluster.call", trace::Category::Cluster);
+  span.annotate("trace_id", static_cast<std::int64_t>(trace_id));
   service::MetricsRegistry* metrics = options_.metrics;
   if (metrics) metrics->net_requests_sent.add();
 
@@ -108,9 +114,6 @@ service::QueryResponse ClusterClient::call(const service::Request& request,
     return response;
   }
 
-  const service::Fingerprint key = service::fingerprint(request);
-  if (trace_id == 0) trace_id = key;
-  span.annotate("trace_id", static_cast<std::int64_t>(trace_id));
   const service::RequestType type = service::request_type(request);
   const Clock::time_point start = Clock::now();
 
@@ -265,6 +268,10 @@ service::QueryResponse ClusterClient::call(const service::Request& request,
 std::vector<service::QueryResponse> ClusterClient::call_many(
     const std::vector<service::Request>& requests, service::Deadline deadline,
     std::uint64_t trace_id) {
+  // A zero trace_id keeps the ambient context (slots fall back to their
+  // per-request keys on the wire, which can't be one thread-local id).
+  trace::TraceContextScope context(
+      trace_id != 0 ? trace_id : trace::current_trace_id());
   trace::ScopedSpan span("cluster.call_many", trace::Category::Cluster,
                          "requests",
                          static_cast<std::int64_t>(requests.size()));

@@ -84,7 +84,11 @@ void CombiningProxy::worker_loop() {
   ProxyTask task;
   while (queue_.pop(task)) {
     service::QueryResponse response;
+    // Restore the originating request's trace context so scatter and
+    // cluster spans recorded on this worker join its trace.
+    trace::TraceContextScope context(task.trace_id);
     if (task.deadline.expired()) {
+      trace::emit_instant("deadline.expired", trace::Category::Mark);
       response.status = service::Status::deadline_exceeded();
     } else {
       response = handle(cluster, task.request, task.deadline, task.trace_id);

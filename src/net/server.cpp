@@ -272,8 +272,13 @@ bool Server::consume_frames(std::uint64_t conn_id, Connection& conn) {
 bool Server::dispatch_request(std::uint64_t conn_id, Connection& conn,
                               const std::uint8_t* frame,
                               std::size_t frame_size) {
-  trace::ScopedSpan span("net.dispatch", trace::Category::Net);
   const wire::FrameScan scan = wire::scan_frame(frame, frame_size);
+  // Request frames install their wire trace id as the thread's trace
+  // context before the dispatch span opens, so this span — and every
+  // span the handler records inline — is stamped with it.
+  trace::TraceContextScope context(
+      scan.header.kind == wire::FrameKind::Request ? scan.header.trace_id : 0);
+  trace::ScopedSpan span("net.dispatch", trace::Category::Net);
 
   // Control frames are answered inline on the loop thread: they carry
   // no payload worth a worker round trip, and health probes must stay
@@ -312,6 +317,20 @@ bool Server::dispatch_request(std::uint64_t conn_id, Connection& conn,
     case wire::FrameKind::Pong:
     case wire::FrameKind::HelloAck:
       return true;  // meaningless server-side; tolerate and move on
+    case wire::FrameKind::SpanBatch: {
+      // Fire-and-forget streaming export: no response frame ever.  A
+      // malformed payload inside a good frame is counted and skipped —
+      // losing one batch must not kill the stream carrying the rest.
+      auto batch = wire::decode_span_batch_frame(frame, frame_size);
+      if (!batch.ok()) {
+        metrics_.net_decode_errors.add();
+        return true;
+      }
+      metrics_.trace_collector_batches.add();
+      metrics_.trace_collector_spans.add(batch.value->batch.spans.size());
+      if (options_.span_sink) options_.span_sink(std::move(*batch.value));
+      return true;
+    }
     default:
       break;  // Request (or Response, rejected in-band below)
   }
@@ -360,6 +379,7 @@ bool Server::dispatch_request(std::uint64_t conn_id, Connection& conn,
         // serialisation cost never lands on the event loop.  The
         // response goes out at the version (and with the trace id) the
         // request arrived with, which is what keeps v1 clients working.
+        trace::TraceContextScope encode_context(trace_id);
         trace::ScopedSpan encode_span("net.encode", trace::Category::Net,
                                       "trace_id",
                                       static_cast<std::int64_t>(trace_id));

@@ -14,6 +14,7 @@
 #include "net/capture.hpp"
 #include "net/socket.hpp"
 #include "service/engine.hpp"
+#include "wire/protocol.hpp"
 
 namespace mpct::net {
 
@@ -43,6 +44,14 @@ struct ServerOptions {
   /// that cannot be created fails the server rather than silently
   /// recording nothing.
   std::string capture_path;
+
+  /// Where decoded SpanBatch frames (streaming flight-recorder export)
+  /// go — set on a collector server, typically feeding a
+  /// trace::Collector.  Called from the loop thread; keep it cheap
+  /// (the Collector's ingest is one lock + a few vector appends).
+  /// Span batches are fire-and-forget: no response frame is written,
+  /// and without a sink they are counted and discarded.
+  std::function<void(wire::SpanBatchFrame)> span_sink;
 };
 
 /// Poll-based nonblocking TCP front end for a service::QueryEngine.

@@ -405,6 +405,7 @@ std::future<QueryResponse> QueryEngine::submit_impl(
   task.request = std::move(request);
   task.deadline = deadline;
   task.enqueued = Clock::now();
+  task.trace_id = trace::current_trace_id();
   task.callback = std::move(callback);
   std::future<QueryResponse> future;
   if (!task.callback) future = task.promise.get_future();
@@ -467,6 +468,9 @@ void QueryEngine::worker_loop() {
     for (Task& task : batch) {
       metrics_.queue_depth.decrement();
       metrics_.in_flight.increment();
+      // Restore the submitter's trace context for everything this task
+      // records — queue.wait, execute spans, chunk spans, merge spans.
+      trace::TraceContextScope context(task.trace_id);
       if (trace::enabled()) [[unlikely]] {
         // The wait is only measurable here: the submitter stamped
         // task.enqueued, this worker knows the dequeue time.
@@ -567,6 +571,7 @@ std::future<QueryResponse> QueryEngine::submit_sweep(
   job->points.resize(cells);
   job->key = key;
   job->enqueued = enqueued;
+  job->trace_id = trace::current_trace_id();
   job->callback = std::move(callback);
   std::future<QueryResponse> future;
   if (!job->callback) future = job->promise.get_future();
@@ -606,6 +611,7 @@ std::future<QueryResponse> QueryEngine::submit_sweep(
         Task task;
         task.deadline = deadline;
         task.enqueued = enqueued;
+        task.trace_id = job->trace_id;
         task.sweep_job = job;
         task.chunk_begin = i * chunk_cells;
         task.chunk_end = std::min(cells, task.chunk_begin + chunk_cells);
@@ -692,6 +698,7 @@ std::future<QueryResponse> QueryEngine::submit_fault_sweep(
   job->outcomes.resize(cells);
   job->key = key;
   job->enqueued = enqueued;
+  job->trace_id = trace::current_trace_id();
   job->callback = std::move(callback);
   std::future<QueryResponse> future;
   if (!job->callback) future = job->promise.get_future();
@@ -723,6 +730,7 @@ std::future<QueryResponse> QueryEngine::submit_fault_sweep(
         Task task;
         task.deadline = deadline;
         task.enqueued = enqueued;
+        task.trace_id = job->trace_id;
         task.curve_job = job;
         task.chunk_begin = i * chunk_cells;
         task.chunk_end = std::min(cells, task.chunk_begin + chunk_cells);
@@ -796,6 +804,7 @@ void QueryEngine::complete_curve(Task& task) {
           break;
         default:
           response = rejected(Status::internal_error(job.fail_message));
+          trace::emit_instant("request.failed", trace::Category::Mark);
           break;
       }
     } else {
@@ -871,6 +880,7 @@ void QueryEngine::complete_sweep(Task& task) {
           break;
         default:
           response = rejected(Status::internal_error(job.fail_message));
+          trace::emit_instant("request.failed", trace::Category::Mark);
           break;
       }
     } else {
@@ -934,6 +944,8 @@ QueryResponse QueryEngine::run_request(const Request& request,
     metrics_.completed.add();
   } else if (response.status.code != StatusCode::DeadlineExceeded) {
     metrics_.failed.add();
+    // Tail-sampling trigger: a failed request force-keeps its trace.
+    trace::emit_instant("request.failed", trace::Category::Mark);
   }
   return response;
 }

@@ -155,6 +155,9 @@ class QueryEngine {
     std::string fail_message;  ///< written only by the winning CAS
     Fingerprint key = 0;
     Clock::time_point enqueued;
+    /// Submitter's trace context, restored on every worker that runs a
+    /// chunk so the whole scatter/merge carries one trace ID.
+    std::uint64_t trace_id = 0;
 
     /// Set instead of using `promise` for submit_async() sweeps.
     ResponseCallback callback;
@@ -182,6 +185,8 @@ class QueryEngine {
     std::string fail_message;  ///< written only by the winning CAS
     Fingerprint key = 0;
     Clock::time_point enqueued;
+    /// Submitter's trace context (see SweepJob::trace_id).
+    std::uint64_t trace_id = 0;
 
     /// Set instead of using `promise` for submit_async() fault sweeps.
     ResponseCallback callback;
@@ -199,6 +204,10 @@ class QueryEngine {
     /// Set instead of using `promise` for submit_async() requests.
     ResponseCallback callback;
     Clock::time_point enqueued;
+    /// Trace context active on the submitting thread, captured at
+    /// submit and restored around the worker's execution so queue.wait
+    /// and execute spans join the request's trace.
+    std::uint64_t trace_id = 0;
     /// Non-null for a sweep / curve chunk; `request` is then unused and
     /// the response flows through the job's promise instead.
     std::shared_ptr<SweepJob> sweep_job;

@@ -214,6 +214,22 @@ std::string MetricsRegistry::to_table(const CacheStats& cache) const {
   table.add_row({"cycles", std::to_string(sim_cycles.value())});
   table.add_row({"fault runs", std::to_string(sim_fault_runs.value())});
 
+  table.add_section("tracing");
+  table.add_row(
+      {"spans exported", std::to_string(trace_spans_exported.value())});
+  table.add_row(
+      {"spans dropped", std::to_string(trace_spans_dropped.value())});
+  table.add_row(
+      {"spans sampled out", std::to_string(trace_spans_sampled_out.value())});
+  table.add_row(
+      {"batches sent", std::to_string(trace_batches_sent.value())});
+  table.add_row(
+      {"batches dropped", std::to_string(trace_batches_dropped.value())});
+  table.add_row({"collector batches",
+                 std::to_string(trace_collector_batches.value())});
+  table.add_row(
+      {"collector spans", std::to_string(trace_collector_spans.value())});
+
   table.add_section("cache");
   table.add_row({"hits", std::to_string(cache_hits.value())});
   table.add_row({"misses", std::to_string(cache_misses.value())});
@@ -276,6 +292,20 @@ std::string MetricsRegistry::to_csv(const CacheStats& cache) const {
   csv.add_row({"sim_runs", std::to_string(sim_runs.value())});
   csv.add_row({"sim_cycles", std::to_string(sim_cycles.value())});
   csv.add_row({"sim_fault_runs", std::to_string(sim_fault_runs.value())});
+  csv.add_row({"trace_spans_exported",
+               std::to_string(trace_spans_exported.value())});
+  csv.add_row(
+      {"trace_spans_dropped", std::to_string(trace_spans_dropped.value())});
+  csv.add_row({"trace_spans_sampled_out",
+               std::to_string(trace_spans_sampled_out.value())});
+  csv.add_row(
+      {"trace_batches_sent", std::to_string(trace_batches_sent.value())});
+  csv.add_row({"trace_batches_dropped",
+               std::to_string(trace_batches_dropped.value())});
+  csv.add_row({"trace_collector_batches",
+               std::to_string(trace_collector_batches.value())});
+  csv.add_row({"trace_collector_spans",
+               std::to_string(trace_collector_spans.value())});
   csv.add_row({"cache_hits", std::to_string(cache_hits.value())});
   csv.add_row({"cache_misses", std::to_string(cache_misses.value())});
   csv.add_row({"cache_hit_rate", format_rate(cache_hit_rate())});
@@ -385,6 +415,31 @@ std::string MetricsRegistry::to_prometheus(const CacheStats& cache,
   w.header("mpct_sim_fault_runs_total", PromWriter::Type::Counter,
            "Workload simulations that injected at least one fault.");
   w.sample("mpct_sim_fault_runs_total", {}, sim_fault_runs.value());
+
+  w.header("mpct_trace_spans_total", PromWriter::Type::Counter,
+           "Spans through the streaming exporter, by outcome (exported = "
+           "shipped; dropped = lost to ring wrap or shed batches; "
+           "sampled_out = discarded by the head-sampling policy).");
+  w.sample("mpct_trace_spans_total", "outcome=\"exported\"",
+           trace_spans_exported.value());
+  w.sample("mpct_trace_spans_total", "outcome=\"dropped\"",
+           trace_spans_dropped.value());
+  w.sample("mpct_trace_spans_total", "outcome=\"sampled_out\"",
+           trace_spans_sampled_out.value());
+  w.header("mpct_trace_batches_total", PromWriter::Type::Counter,
+           "Span batches through the streaming exporter, by outcome.");
+  w.sample("mpct_trace_batches_total", "outcome=\"sent\"",
+           trace_batches_sent.value());
+  w.sample("mpct_trace_batches_total", "outcome=\"dropped\"",
+           trace_batches_dropped.value());
+  w.header("mpct_trace_collector_batches_total", PromWriter::Type::Counter,
+           "Span batches absorbed by this process's collector server.");
+  w.sample("mpct_trace_collector_batches_total", {},
+           trace_collector_batches.value());
+  w.header("mpct_trace_collector_spans_total", PromWriter::Type::Counter,
+           "Spans absorbed by this process's collector server.");
+  w.sample("mpct_trace_collector_spans_total", {},
+           trace_collector_spans.value());
 
   w.header("mpct_cache_hits_total", PromWriter::Type::Counter,
            "Result-cache hits.");

@@ -198,6 +198,20 @@ class MetricsRegistry {
   Counter sim_cycles;      ///< machine cycles across all simulations
   Counter sim_fault_runs;  ///< simulations with a non-empty fault set
 
+  // Tracing pipeline (src/trace streaming export + collection): zeros
+  // unless a net::TraceStreamer or a collector Server shares this
+  // registry.  The sampler keep ratio is exported / (exported +
+  // sampled_out); dropped counts real losses (ring wrap past the export
+  // cursor, batches shed under back-pressure), sampled_out counts
+  // deliberate policy discards.
+  Counter trace_spans_exported;     ///< spans shipped in sent batches
+  Counter trace_spans_dropped;      ///< spans lost (wrap / shed batches)
+  Counter trace_spans_sampled_out;  ///< spans discarded by head sampling
+  Counter trace_batches_sent;
+  Counter trace_batches_dropped;    ///< batches shed (outbox full / dead link)
+  Counter trace_collector_batches;  ///< batches a collector server absorbed
+  Counter trace_collector_spans;    ///< spans a collector server absorbed
+
   /// Submit-to-completion latency per request type.
   std::array<LatencyHistogram, kRequestTypeCount> latency_by_type;
 

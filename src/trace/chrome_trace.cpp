@@ -5,12 +5,12 @@
 
 namespace mpct::trace {
 
-namespace {
+namespace detail {
 
 /// Escape for a JSON string literal.  Span names are static identifiers
 /// under our control, but the exporter must never emit a malformed
 /// document whatever an instrumentation site passes.
-void append_escaped(std::string& out, const char* text) {
+void append_json_escaped(std::string& out, const char* text) {
   if (text == nullptr) return;
   for (const char* p = text; *p != '\0'; ++p) {
     const char c = *p;
@@ -34,12 +34,19 @@ void append_escaped(std::string& out, const char* text) {
 }
 
 /// ns -> fractional microseconds with fixed 3 decimals.
-void append_us(std::string& out, std::int64_t ns) {
+void append_json_us(std::string& out, std::int64_t ns) {
   char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "%" PRId64 ".%03d", ns / 1000,
                 static_cast<int>(ns % 1000));
   out += buffer;
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::append_json_escaped;
+using detail::append_json_us;
 
 }  // namespace
 
@@ -52,17 +59,17 @@ std::string to_chrome_json(const TraceSnapshot& snapshot) {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":\"";
-    append_escaped(out, span.name);
+    append_json_escaped(out, span.name);
     out += "\",\"cat\":\"";
     out += to_string(span.category);
     if (span.instant()) {
       out += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
-      append_us(out, span.start_ns);
+      append_json_us(out, span.start_ns);
     } else {
       out += "\",\"ph\":\"X\",\"ts\":";
-      append_us(out, span.start_ns);
+      append_json_us(out, span.start_ns);
       out += ",\"dur\":";
-      append_us(out, span.dur_ns);
+      append_json_us(out, span.dur_ns);
     }
     char buffer[96];
     std::snprintf(buffer, sizeof(buffer),
@@ -70,9 +77,14 @@ std::string to_chrome_json(const TraceSnapshot& snapshot) {
                   ",\"parent\":%" PRIu64,
                   span.thread, span.id, span.parent);
     out += buffer;
+    if (span.trace_id != 0) {
+      std::snprintf(buffer, sizeof(buffer), ",\"trace\":%" PRIu64,
+                    span.trace_id);
+      out += buffer;
+    }
     if (span.arg_name != nullptr) {
       out += ",\"";
-      append_escaped(out, span.arg_name);
+      append_json_escaped(out, span.arg_name);
       std::snprintf(buffer, sizeof(buffer), "\":%" PRId64, span.arg);
       out += buffer;
     }

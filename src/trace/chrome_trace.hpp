@@ -24,4 +24,16 @@ namespace mpct::trace {
 /// byte-identical documents (test-enforced).
 std::string to_chrome_json(const TraceSnapshot& snapshot);
 
+namespace detail {
+
+/// Append @p text escaped for the inside of a JSON string literal.
+/// Shared by the snapshot exporter and the fleet Collector so both
+/// emit byte-identical escapes.
+void append_json_escaped(std::string& out, const char* text);
+
+/// Append @p ns as fractional microseconds with fixed 3 decimals.
+void append_json_us(std::string& out, std::int64_t ns);
+
+}  // namespace detail
+
 }  // namespace mpct::trace

@@ -1,0 +1,190 @@
+#include "trace/collector.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "trace/chrome_trace.hpp"
+
+namespace mpct::trace {
+
+void Collector::ingest(const SpanBatch& batch, std::int64_t recv_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = nodes_.try_emplace(batch.node);
+  NodeState& node = it->second;
+  if (inserted) {
+    node.pid = static_cast<std::uint32_t>(nodes_.size());
+    stats_.nodes = static_cast<std::uint32_t>(nodes_.size());
+  }
+  // One-way-delay minimum: the fastest batch bounds the offset tightest.
+  const std::int64_t delta = recv_ns - batch.send_ns;
+  if (!node.offset_set || delta < node.offset_ns) {
+    node.offset_ns = delta;
+    node.offset_set = true;
+  }
+  for (const ExportSpan& span : batch.spans) {
+    by_trace_[span.trace_id].push_back(spans_.size());
+    spans_.push_back(StoredSpan{span, node.pid});
+  }
+  ++stats_.batches;
+  stats_.spans += batch.spans.size();
+  stats_.dropped += batch.dropped;
+}
+
+CollectorStats Collector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<std::uint64_t> Collector::trace_ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(by_trace_.size());
+  for (const auto& [id, _] : by_trace_) ids.push_back(id);
+  return ids;
+}
+
+std::size_t Collector::node_count(std::uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_trace_.find(trace_id);
+  if (it == by_trace_.end()) return 0;
+  std::vector<std::uint32_t> pids;
+  for (const std::size_t index : it->second) {
+    pids.push_back(spans_[index].pid);
+  }
+  std::sort(pids.begin(), pids.end());
+  pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+  return pids.size();
+}
+
+std::uint64_t Collector::richest_trace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t best = 0;
+  std::size_t best_nodes = 0;
+  std::size_t best_spans = 0;
+  for (const auto& [id, indices] : by_trace_) {
+    if (id == 0) continue;  // background spans assemble to no request
+    std::vector<std::uint32_t> pids;
+    for (const std::size_t index : indices) pids.push_back(spans_[index].pid);
+    std::sort(pids.begin(), pids.end());
+    pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+    const std::size_t nodes = pids.size();
+    const std::size_t count = indices.size();
+    if (nodes > best_nodes || (nodes == best_nodes && count > best_spans)) {
+      best = id;
+      best_nodes = nodes;
+      best_spans = count;
+    }
+  }
+  return best;
+}
+
+std::string Collector::assemble(std::uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_trace_.find(trace_id);
+  if (it == by_trace_.end()) return {};
+  std::vector<const StoredSpan*> selected;
+  selected.reserve(it->second.size());
+  for (const std::size_t index : it->second) {
+    selected.push_back(&spans_[index]);
+  }
+  return render(selected);
+}
+
+std::string Collector::assemble_all() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const StoredSpan*> selected;
+  selected.reserve(spans_.size());
+  for (const StoredSpan& stored : spans_) selected.push_back(&stored);
+  return render(selected);
+}
+
+std::string Collector::render(
+    const std::vector<const StoredSpan*>& spans) const {
+  // pid -> (name, offset) for alignment and process_name metadata.
+  struct NodeView {
+    const std::string* name;
+    std::int64_t offset;
+  };
+  std::map<std::uint32_t, NodeView> views;
+  for (const auto& [name, state] : nodes_) {
+    views[state.pid] = NodeView{&name, state.offset_set ? state.offset_ns : 0};
+  }
+  // Only nodes that contributed spans get a process row — a per-trace
+  // timeline should not show the rest of the fleet as empty processes.
+  std::map<std::uint32_t, NodeView> used;
+  for (const StoredSpan* stored : spans) {
+    used.insert(*views.find(stored->pid));
+  }
+
+  // Deterministic order: aligned start, then node, then span id.
+  std::vector<const StoredSpan*> sorted = spans;
+  const auto aligned = [&views](const StoredSpan* s) {
+    return s->span.start_ns + views.at(s->pid).offset;
+  };
+  std::sort(sorted.begin(), sorted.end(),
+            [&aligned](const StoredSpan* a, const StoredSpan* b) {
+              const std::int64_t ta = aligned(a);
+              const std::int64_t tb = aligned(b);
+              if (ta != tb) return ta < tb;
+              if (a->pid != b->pid) return a->pid < b->pid;
+              return a->span.id < b->span.id;
+            });
+
+  std::string out;
+  out.reserve(128 + used.size() * 80 + sorted.size() * 160);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buffer[96];
+  for (const auto& [pid, view] : used) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"args\":{\"name\":\"",
+                  pid);
+    out += buffer;
+    detail::append_json_escaped(out, view.name->c_str());
+    out += "\"}}";
+  }
+  for (const StoredSpan* stored : sorted) {
+    const ExportSpan& span = stored->span;
+    const std::int64_t start = aligned(stored);
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    detail::append_json_escaped(out, span.name.c_str());
+    out += "\",\"cat\":\"";
+    out += to_string(span.category);
+    if (span.instant()) {
+      out += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      detail::append_json_us(out, start);
+    } else {
+      out += "\",\"ph\":\"X\",\"ts\":";
+      detail::append_json_us(out, start);
+      out += ",\"dur\":";
+      detail::append_json_us(out, span.dur_ns);
+    }
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"pid\":%u,\"tid\":%u,\"args\":{\"span\":%" PRIu64
+                  ",\"parent\":%" PRIu64,
+                  stored->pid, span.thread, span.id, span.parent);
+    out += buffer;
+    if (span.trace_id != 0) {
+      std::snprintf(buffer, sizeof(buffer), ",\"trace\":%" PRIu64,
+                    span.trace_id);
+      out += buffer;
+    }
+    if (!span.arg_name.empty()) {
+      out += ",\"";
+      detail::append_json_escaped(out, span.arg_name.c_str());
+      std::snprintf(buffer, sizeof(buffer), "\":%" PRId64, span.arg);
+      out += buffer;
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mpct::trace

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/export.hpp"
+
+namespace mpct::trace {
+
+/// What the collector has absorbed so far (monotonic counters; the
+/// serving side mirrors them into the `trace_*` Prometheus block).
+struct CollectorStats {
+  std::uint64_t batches = 0;
+  std::uint64_t spans = 0;
+  std::uint64_t dropped = 0;  ///< sender-reported losses, summed
+  std::uint32_t nodes = 0;
+};
+
+/// Fleet-side trace assembler: many servers stream SpanBatches at one
+/// Collector, which groups spans by trace id, aligns per-node clocks,
+/// and renders one Chrome/Perfetto timeline in which a request's hops
+/// across the fleet sit on a common time axis.
+///
+/// Clock model: every node's span times are relative to its own tracer
+/// epoch.  Each batch carries the sender's clock at send time; the
+/// collector pairs that with its own clock at receive time and keeps,
+/// per node, the *minimum* observed (receive - send) delta — the
+/// batch that crossed the wire fastest bounds the epoch offset most
+/// tightly (standard one-way-delay-minimum alignment).  Rendered span
+/// times are node time + that offset, i.e. collector time.
+///
+/// Thread-safe: ingest() may be called from server callback threads
+/// while stats()/assemble() run elsewhere.
+class Collector {
+ public:
+  /// Absorb one batch. @p recv_ns is the collector's own monotonic
+  /// clock when the batch arrived (Tracer::instance().now_ns() of the
+  /// collecting process, or any fixed-epoch ns clock).
+  void ingest(const SpanBatch& batch, std::int64_t recv_ns);
+
+  CollectorStats stats() const;
+
+  /// Every trace id seen, ascending.
+  std::vector<std::uint64_t> trace_ids() const;
+
+  /// How many distinct nodes contributed spans to @p trace_id.
+  std::size_t node_count(std::uint64_t trace_id) const;
+
+  /// The trace id touching the most nodes (ties: more spans, then the
+  /// smaller id); 0 when nothing has been ingested.  The cross-fleet
+  /// demo uses this to pick the timeline worth writing.
+  std::uint64_t richest_trace() const;
+
+  /// One Chrome-loadable timeline for @p trace_id: each node becomes a
+  /// pid with a process_name metadata record, spans land clock-aligned.
+  /// Empty string when the trace is unknown.  Deterministic for fixed
+  /// ingested content.
+  std::string assemble(std::uint64_t trace_id) const;
+
+  /// Every span from every node on one timeline (trace filter off).
+  std::string assemble_all() const;
+
+ private:
+  struct NodeState {
+    std::uint32_t pid = 0;          ///< stable per-node Chrome pid (1-based)
+    std::int64_t offset_ns = 0;     ///< best (recv - send) estimate
+    bool offset_set = false;
+  };
+
+  /// Spans of one node, in arrival order, plus where they came from.
+  struct StoredSpan {
+    ExportSpan span;
+    std::uint32_t pid = 0;
+  };
+
+  std::string render(const std::vector<const StoredSpan*>& spans) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, NodeState> nodes_;         ///< name -> state
+  std::vector<StoredSpan> spans_;                  ///< all ingested spans
+  std::map<std::uint64_t, std::vector<std::size_t>> by_trace_;
+  CollectorStats stats_;
+};
+
+}  // namespace mpct::trace

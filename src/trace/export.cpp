@@ -1,0 +1,31 @@
+#include "trace/export.hpp"
+
+namespace mpct::trace {
+
+bool ExportFilter::keep(std::uint64_t trace_id) const {
+  if (forced_.count(trace_id) != 0) return true;
+  return head_keep(policy_, trace_id);
+}
+
+std::vector<ExportSpan> ExportFilter::apply(const std::vector<Span>& spans) {
+  // Pass 1: tail triggers anywhere in the batch force-keep their trace,
+  // including spans of the same trace recorded *before* the trigger.
+  for (const Span& span : spans) {
+    if (tail_trigger(policy_, span)) {
+      if (forced_.size() >= kMaxForced) forced_.clear();
+      forced_.insert(span.trace_id);
+    }
+  }
+  // Pass 2: convert the keepers.
+  std::vector<ExportSpan> kept;
+  for (const Span& span : spans) {
+    if (keep(span.trace_id)) {
+      kept.push_back(ExportSpan::of(span));
+    } else {
+      ++sampled_out_;
+    }
+  }
+  return kept;
+}
+
+}  // namespace mpct::trace

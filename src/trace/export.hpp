@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/sampler.hpp"
+#include "trace/trace.hpp"
+
+namespace mpct::trace {
+
+/// A Span that has left its process: the static-storage `const char*`
+/// names become owned strings (pointers mean nothing across the wire),
+/// everything else travels verbatim.  `start_ns` stays relative to the
+/// *sender's* tracer epoch — the collector aligns clocks per batch.
+struct ExportSpan {
+  std::string name;
+  std::string arg_name;  ///< empty = no annotation
+  std::int64_t arg = 0;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t trace_id = 0;
+  std::uint32_t thread = 0;
+  Category category = Category::Engine;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+
+  bool instant() const { return dur_ns == Span::kInstant; }
+  bool operator==(const ExportSpan&) const = default;
+
+  static ExportSpan of(const Span& span) {
+    ExportSpan out;
+    out.name = span.name == nullptr ? "" : span.name;
+    out.arg_name = span.arg_name == nullptr ? "" : span.arg_name;
+    out.arg = span.arg;
+    out.id = span.id;
+    out.parent = span.parent;
+    out.trace_id = span.trace_id;
+    out.thread = span.thread;
+    out.category = span.category;
+    out.start_ns = span.start_ns;
+    out.dur_ns = span.dur_ns;
+    return out;
+  }
+};
+
+/// One flight-recorder shipment: every span one drain+sample pass kept,
+/// stamped with the sender's identity and clock.
+struct SpanBatch {
+  std::string node;          ///< stable process name ("backend-0", "proxy")
+  std::int64_t send_ns = 0;  ///< sender's tracer clock when the batch left
+  /// Spans lost on the sender since its previous batch: ring wrap past
+  /// the export cursor plus whole batches shed under back-pressure.
+  std::uint64_t dropped = 0;
+  std::vector<ExportSpan> spans;
+
+  bool operator==(const SpanBatch&) const = default;
+};
+
+/// Applies one process's SamplerPolicy to drained spans, batch after
+/// batch.  Stateful across calls: a tail trigger (error, expiry, hedge,
+/// failover, slow span) force-keeps its trace id for every later batch
+/// too, so the tail of a long trace is not lost to the head decision.
+/// Not thread-safe — owned by the single exporter thread.
+class ExportFilter {
+ public:
+  /// Most force-kept trace ids remembered; the set resets when full
+  /// (bounded memory beats a perfect tail under soak).
+  static constexpr std::size_t kMaxForced = 4096;
+
+  explicit ExportFilter(SamplerPolicy policy) : policy_(policy) {}
+
+  /// Head/tail-sample @p spans; kept spans come back converted for
+  /// export.  Two passes: triggers found anywhere in the batch rescue
+  /// the whole batch's share of that trace (spans recorded before the
+  /// trigger included).  Spans with trace id 0 — background work
+  /// outside any request — follow the head decision for id 0.
+  std::vector<ExportSpan> apply(const std::vector<Span>& spans);
+
+  /// Spans discarded by sampling so far (distinct from ring drops).
+  std::uint64_t sampled_out() const { return sampled_out_; }
+  const SamplerPolicy& policy() const { return policy_; }
+
+ private:
+  bool keep(std::uint64_t trace_id) const;
+
+  SamplerPolicy policy_;
+  std::unordered_set<std::uint64_t> forced_;
+  std::uint64_t sampled_out_ = 0;
+};
+
+}  // namespace mpct::trace

@@ -1,0 +1,35 @@
+#include "trace/sampler.hpp"
+
+namespace mpct::trace {
+
+bool head_keep(const SamplerPolicy& policy, std::uint64_t trace_id) {
+  switch (policy.mode) {
+    case SamplerPolicy::Mode::Always:
+      return true;
+    case SamplerPolicy::Mode::Never:
+      return false;
+    case SamplerPolicy::Mode::Probabilistic:
+      break;
+  }
+  if (policy.probability >= 1.0) return true;
+  if (policy.probability <= 0.0) return false;
+  // Compare the hash against the probability as a fixed fraction of the
+  // 64-bit space.  The multiplication is exact for any probability a
+  // double can hold, so every node lands on the same side.
+  const double threshold =
+      policy.probability * 18446744073709551616.0;  // 2^64
+  return static_cast<double>(mix_trace_id(trace_id)) < threshold;
+}
+
+bool tail_trigger(const SamplerPolicy& policy, const Span& span) {
+  if (policy.slow_span_ns > 0 && !span.instant() &&
+      span.dur_ns >= policy.slow_span_ns) {
+    return true;
+  }
+  if (span.name == nullptr) return false;
+  const std::string_view name(span.name);
+  return name == "deadline.expired" || name == "request.failed" ||
+         name == "cluster.hedge" || name == "cluster.failover";
+}
+
+}  // namespace mpct::trace

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "trace/trace.hpp"
+
+namespace mpct::trace {
+
+/// When tracing stays on under full production load, exporting every
+/// span of every request is unaffordable — but dropping uniformly at
+/// random hides exactly the requests worth looking at.  SamplerPolicy
+/// combines the two classic answers:
+///
+///  * **Head sampling** decides per trace id, *deterministically*:
+///    `head_keep()` hashes the trace id (splitmix64) against the keep
+///    probability, so every server in the fleet makes the same keep /
+///    drop call for the same trace without any coordination — a kept
+///    trace is kept *everywhere* and assembles into a complete
+///    cross-fleet timeline, never a partial one.
+///  * **Tail triggers** force-keep traces that turn out to be
+///    interesting after the fact: any span batch containing an error,
+///    a deadline expiry, a hedge, a failover, or a span slower than
+///    `slow_span_ns` marks its trace kept regardless of the head
+///    decision (the exporter holds a bounded set of force-kept ids so
+///    later batches of the same trace follow).
+struct SamplerPolicy {
+  enum class Mode : std::uint8_t {
+    Always,         ///< keep every trace (tests, demos)
+    Probabilistic,  ///< keep `probability` of traces, by trace-id hash
+    Never,          ///< head-keep nothing; tail triggers still fire
+  };
+
+  Mode mode = Mode::Always;
+  /// Probabilistic keep fraction in [0, 1]; 0.01 = 1% of traces.
+  double probability = 0.01;
+  /// Tail trigger: any span at least this slow force-keeps its trace
+  /// (0 disables the latency trigger).  Feed it the live p99.
+  std::int64_t slow_span_ns = 0;
+
+  static SamplerPolicy always() { return SamplerPolicy{}; }
+  static SamplerPolicy probabilistic(double p) {
+    SamplerPolicy policy;
+    policy.mode = Mode::Probabilistic;
+    policy.probability = p;
+    return policy;
+  }
+};
+
+/// splitmix64 finalizer: maps a trace id to a uniform 64-bit value.
+/// Stateless and portable, so every process computes the same hash.
+inline std::uint64_t mix_trace_id(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The head decision for @p trace_id under @p policy.  Pure function of
+/// its arguments — the fleet-wide determinism the sampler promises is
+/// exactly this purity (tests pin it).
+bool head_keep(const SamplerPolicy& policy, std::uint64_t trace_id);
+
+/// Whether @p span fires a tail trigger under @p policy: error /
+/// deadline-expiry / hedge / failover instants by name, or a duration
+/// at or above `slow_span_ns`.
+bool tail_trigger(const SamplerPolicy& policy, const Span& span);
+
+}  // namespace mpct::trace

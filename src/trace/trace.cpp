@@ -52,6 +52,7 @@ struct Tracer::ThreadBuffer {
     std::atomic<std::int64_t> arg{0};
     std::atomic<std::uint64_t> id{0};
     std::atomic<std::uint64_t> parent{0};
+    std::atomic<std::uint64_t> trace_id{0};
     std::atomic<std::int64_t> start_ns{0};
     std::atomic<std::int64_t> dur_ns{0};
     std::atomic<std::uint8_t> category{0};
@@ -72,6 +73,7 @@ struct Tracer::ThreadBuffer {
     slot.arg.store(span.arg, std::memory_order_relaxed);
     slot.id.store(span.id, std::memory_order_relaxed);
     slot.parent.store(span.parent, std::memory_order_relaxed);
+    slot.trace_id.store(span.trace_id, std::memory_order_relaxed);
     slot.start_ns.store(span.start_ns, std::memory_order_relaxed);
     slot.dur_ns.store(span.dur_ns, std::memory_order_relaxed);
     slot.category.store(static_cast<std::uint8_t>(span.category),
@@ -81,6 +83,9 @@ struct Tracer::ThreadBuffer {
 
   std::vector<Slot> slots;
   std::atomic<std::uint64_t> head{0};  ///< total spans ever pushed
+  /// Next index Tracer::drain() will read; written only under the
+  /// registry mutex, distinct from any snapshot bookkeeping.
+  std::atomic<std::uint64_t> export_cursor{0};
   std::uint32_t thread_index;
   std::array<ProfileSlot, kProfilePointCount> profile{};
 };
@@ -89,6 +94,7 @@ namespace {
 
 thread_local Tracer::ThreadBuffer* tl_buffer = nullptr;
 thread_local std::uint64_t tl_current_span = 0;
+thread_local std::uint64_t tl_trace_id = 0;
 
 std::size_t round_up_pow2(std::size_t n) {
   std::size_t p = 1;
@@ -145,6 +151,7 @@ void Tracer::clear() {
       buffer->slots.swap(fresh);
     }
     buffer->head.store(0, std::memory_order_release);
+    buffer->export_cursor.store(0, std::memory_order_relaxed);
     for (auto& slot : buffer->profile) {
       slot.calls.store(0, std::memory_order_relaxed);
       slot.ns.store(0, std::memory_order_relaxed);
@@ -179,6 +186,7 @@ TraceSnapshot Tracer::snapshot() const {
       span.arg = slot.arg.load(std::memory_order_relaxed);
       span.id = slot.id.load(std::memory_order_relaxed);
       span.parent = slot.parent.load(std::memory_order_relaxed);
+      span.trace_id = slot.trace_id.load(std::memory_order_relaxed);
       span.start_ns = slot.start_ns.load(std::memory_order_relaxed);
       span.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
       span.category =
@@ -219,6 +227,56 @@ TraceSnapshot Tracer::snapshot() const {
   return snap;
 }
 
+Tracer::DrainResult Tracer::drain() {
+  DrainResult result;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (ThreadBuffer* buffer : buffers_) {
+    const std::uint64_t capacity = buffer->slots.size();
+    const std::uint64_t cursor =
+        buffer->export_cursor.load(std::memory_order_relaxed);
+    const std::uint64_t head1 = buffer->head.load(std::memory_order_acquire);
+    // Indices the ring no longer holds were overwritten since the last
+    // drain — count them lost and start at the oldest surviving slot.
+    const std::uint64_t oldest = head1 > capacity ? head1 - capacity : 0;
+    const std::uint64_t first = std::max(cursor, oldest);
+    result.dropped += first - cursor;
+    std::vector<Span> local;
+    local.reserve(static_cast<std::size_t>(head1 - first));
+    for (std::uint64_t i = first; i < head1; ++i) {
+      const ThreadBuffer::Slot& slot = buffer->slots[i & (capacity - 1)];
+      Span span;
+      span.name = slot.name.load(std::memory_order_relaxed);
+      span.arg_name = slot.arg_name.load(std::memory_order_relaxed);
+      span.arg = slot.arg.load(std::memory_order_relaxed);
+      span.id = slot.id.load(std::memory_order_relaxed);
+      span.parent = slot.parent.load(std::memory_order_relaxed);
+      span.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      span.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      span.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+      span.category =
+          static_cast<Category>(slot.category.load(std::memory_order_relaxed));
+      span.thread = buffer->thread_index;
+      local.push_back(span);
+    }
+    // Same torn-copy guard as snapshot(): any copied index a recorder
+    // could have reclaimed while we read (i < head2 + 1 - capacity) is
+    // discarded — and counted dropped, because the cursor moves past it.
+    const std::uint64_t head2 = buffer->head.load(std::memory_order_acquire);
+    const std::uint64_t safe_first =
+        head2 + 1 > capacity ? head2 + 1 - capacity : 0;
+    if (safe_first > first) {
+      const std::uint64_t drop =
+          std::min<std::uint64_t>(safe_first - first, local.size());
+      local.erase(local.begin(),
+                  local.begin() + static_cast<std::ptrdiff_t>(drop));
+      result.dropped += drop;
+    }
+    result.spans.insert(result.spans.end(), local.begin(), local.end());
+    buffer->export_cursor.store(head1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
 namespace detail {
 
 std::uint64_t begin_span() {
@@ -234,6 +292,7 @@ void end_span(const char* name, const char* arg_name, std::int64_t arg,
   span.arg = arg;
   span.id = id;
   span.parent = parent;
+  span.trace_id = tl_trace_id;
   span.category = category;
   span.start_ns = start_ns;
   span.dur_ns = dur_ns;
@@ -248,6 +307,10 @@ std::int64_t now_ns() { return Tracer::instance().now_ns(); }
 std::uint64_t current_parent() { return tl_current_span; }
 
 void set_current_parent(std::uint64_t id) { tl_current_span = id; }
+
+std::uint64_t current_trace_id() { return tl_trace_id; }
+
+void set_current_trace_id(std::uint64_t trace_id) { tl_trace_id = trace_id; }
 
 void profile_add(ProfilePoint point, std::uint64_t calls, std::int64_t ns) {
   Tracer::ThreadBuffer& buffer = Tracer::instance().local_buffer();

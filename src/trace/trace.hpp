@@ -43,6 +43,7 @@ struct Span {
   std::int64_t arg = 0;            ///< meaningful only with arg_name
   std::uint64_t id = 0;            ///< process-unique, 1-based
   std::uint64_t parent = 0;        ///< enclosing span on the same thread; 0 = root
+  std::uint64_t trace_id = 0;      ///< originating request's wire trace id; 0 = none
   std::uint32_t thread = 0;        ///< Tracer registration-order thread index
   Category category = Category::Engine;
   std::int64_t start_ns = 0;       ///< monotonic, relative to the Tracer epoch
@@ -100,6 +101,8 @@ void end_span(const char* name, const char* arg_name, std::int64_t arg,
 std::int64_t now_ns();
 std::uint64_t current_parent();
 void set_current_parent(std::uint64_t id);
+std::uint64_t current_trace_id();
+void set_current_trace_id(std::uint64_t trace_id);
 void profile_add(ProfilePoint point, std::uint64_t calls, std::int64_t ns);
 
 }  // namespace detail
@@ -108,6 +111,36 @@ void profile_add(ProfilePoint point, std::uint64_t calls, std::int64_t ns);
 inline bool enabled() {
   return detail::g_enabled.load(std::memory_order_relaxed);
 }
+
+/// Trace id every span recorded on this thread is currently stamped
+/// with (0 = no request context).  Set by TraceContextScope; read only
+/// on the enabled recording path, so the disabled cost stays at one
+/// relaxed load + branch.
+inline std::uint64_t current_trace_id() {
+  return detail::current_trace_id();
+}
+
+/// RAII request context: stamps every span the calling thread records
+/// while alive with @p trace_id, restoring the previous context on
+/// destruction.  Cheap enough to install unconditionally (two
+/// thread-local stores) — the server's dispatch path and the engine's
+/// workers wrap request execution in one of these so the wire-v2 trace
+/// id reaches every engine / chunk / merge span, not just the
+/// cluster-layer instants.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(std::uint64_t trace_id)
+      : saved_(detail::current_trace_id()) {
+    detail::set_current_trace_id(trace_id);
+  }
+  ~TraceContextScope() { detail::set_current_trace_id(saved_); }
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
 
 /// Process-wide span sink: per-thread lock-free ring buffers (each
 /// thread writes only its own buffer; one relaxed store per field and a
@@ -154,6 +187,23 @@ class Tracer {
   }
 
   TraceSnapshot snapshot() const;
+
+  /// What one exporter drain() returns: every fully-written span pushed
+  /// since the previous drain(), plus how many were lost to ring
+  /// wrap-around in between.  Unlike snapshot(), spans come back in
+  /// per-thread push order (exporters do not need the global sort).
+  struct DrainResult {
+    std::vector<Span> spans;
+    std::uint64_t dropped = 0;  ///< wrapped past the cursor before this drain
+  };
+
+  /// Incremental export: copy spans the exporter has not seen yet and
+  /// advance the exporter's persistent per-ring read cursor.  The cursor
+  /// is owned by drain() alone — snapshot() never reads or moves it, so
+  /// on-demand dumps taken mid-stream neither double-export nor starve
+  /// the streamer, and drain() never returns the same span twice.
+  /// Single consumer: at most one exporter may call drain().
+  DrainResult drain();
 
   /// Opaque per-thread ring; defined in trace.cpp.  Public only so the
   /// thread_local registration pointer can name the type.

@@ -1014,9 +1014,13 @@ FrameScan scan_frame(const std::uint8_t* data, std::size_t size) {
   const std::uint64_t trace_id = version >= 2 ? d.u64() : 0;
 
   if (kind < static_cast<std::uint8_t>(FrameKind::Request) ||
-      kind > static_cast<std::uint8_t>(FrameKind::HelloAck)) {
+      kind > static_cast<std::uint8_t>(FrameKind::SpanBatch)) {
     return bad_frame(WireErrorCode::BadFrameKind,
                      "frame kind byte " + std::to_string(kind));
+  }
+  if (kind == static_cast<std::uint8_t>(FrameKind::SpanBatch) && version < 2) {
+    return bad_frame(WireErrorCode::BadFrameKind,
+                     "span batch frames require a v2 header");
   }
   if (reserved != 0) {
     return bad_frame(WireErrorCode::Malformed,
@@ -1106,6 +1110,87 @@ std::vector<std::uint8_t> encode_hello_ack_frame(std::uint64_t request_id,
   e.patch_u32(kPayloadSizeOffset,
               static_cast<std::uint32_t>(e.size() - payload_start));
   return e.take();
+}
+
+std::vector<std::uint8_t> encode_span_batch_frame(
+    std::uint64_t request_id, const trace::SpanBatch& batch) {
+  Encoder e;
+  encode_header(e, FrameKind::SpanBatch, request_id, kProtocolVersion, 0);
+  const std::size_t payload_start = e.size();
+  e.str(batch.node);
+  e.i64(batch.send_ns);
+  e.u64(batch.dropped);
+  e.length(batch.spans.size());
+  for (const trace::ExportSpan& span : batch.spans) {
+    e.str(span.name);
+    e.str(span.arg_name);
+    e.i64(span.arg);
+    e.u64(span.id);
+    e.u64(span.parent);
+    e.u64(span.trace_id);
+    e.u32(span.thread);
+    e.u8(static_cast<std::uint8_t>(span.category));
+    e.i64(span.start_ns);
+    e.i64(span.dur_ns);
+  }
+  e.patch_u32(kPayloadSizeOffset,
+              static_cast<std::uint32_t>(e.size() - payload_start));
+  return e.take();
+}
+
+DecodeResult<SpanBatchFrame> decode_span_batch_frame(const std::uint8_t* data,
+                                                     std::size_t size) {
+  DecodeResult<SpanBatchFrame> result;
+  const FrameScan scan = scan_frame(data, size);
+  if (scan.state == FrameScan::State::Bad) {
+    result.error = scan.error;
+    return result;
+  }
+  if (scan.state == FrameScan::State::NeedMore || scan.frame_size != size) {
+    result.error = {WireErrorCode::Truncated,
+                    "buffer is not exactly one frame"};
+    return result;
+  }
+  if (scan.header.kind != FrameKind::SpanBatch) {
+    result.error = {WireErrorCode::BadFrameKind, "expected a span batch frame"};
+    return result;
+  }
+
+  SpanBatchFrame frame;
+  frame.request_id = scan.header.request_id;
+  Decoder d(data + header_size(scan.header.version),
+            scan.header.payload_size);
+  frame.batch.node = d.str();
+  frame.batch.send_ns = d.i64();
+  frame.batch.dropped = d.u64();
+  // Per-span floor: two empty strings (4+4) + the fixed fields (53).
+  const std::size_t count = d.length(61);
+  frame.batch.spans.reserve(count);
+  for (std::size_t i = 0; i < count && d.ok(); ++i) {
+    trace::ExportSpan span;
+    span.name = d.str();
+    span.arg_name = d.str();
+    span.arg = d.i64();
+    span.id = d.u64();
+    span.parent = d.u64();
+    span.trace_id = d.u64();
+    span.thread = d.u32();
+    span.category = decode_enum<trace::Category>(
+        d, static_cast<std::uint8_t>(trace::kCategoryCount - 1), "Category");
+    span.start_ns = d.i64();
+    span.dur_ns = d.i64();
+    if (span.dur_ns < trace::Span::kInstant) {
+      d.fail(WireErrorCode::Malformed, "span duration below kInstant");
+    }
+    frame.batch.spans.push_back(std::move(span));
+  }
+  d.expect_end();
+  if (!d.ok()) {
+    result.error = d.error();
+    return result;
+  }
+  result.value = std::move(frame);
+  return result;
 }
 
 DecodeResult<RequestFrame> decode_request_frame(const std::uint8_t* data,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "service/request.hpp"
+#include "trace/export.hpp"
 #include "wire/codec.hpp"
 
 namespace mpct::wire {
@@ -75,6 +76,12 @@ enum class FrameKind : std::uint8_t {
   /// handshake itself is readable by every version.
   Hello = 5,
   HelloAck = 6,
+  /// One flight-recorder span batch streamed at a trace collector
+  /// (fire-and-forget: no response frame — back-pressure is TCP flow
+  /// control, and a sender that cannot write sheds batches locally,
+  /// counting the drop).  v2-only; a v1 header carrying this kind is
+  /// rejected by scan_frame.
+  SpanBatch = 7,
 };
 
 struct FrameHeader {
@@ -145,6 +152,14 @@ struct HelloAckFrame {
   std::uint16_t agreed_version = kProtocolVersion;
 };
 
+/// A decoded span batch (streaming flight-recorder export).  The
+/// request id is a sender-local batch sequence number — useful in a
+/// packet dump, never echoed (span batches have no responses).
+struct SpanBatchFrame {
+  std::uint64_t request_id = 0;
+  trace::SpanBatch batch;
+};
+
 /// Decode outcome: either a value or a typed error, never both.
 template <typename T>
 struct DecodeResult {
@@ -181,6 +196,11 @@ std::vector<std::uint8_t> encode_hello_ack_frame(std::uint64_t request_id,
                                                  const service::Status& status,
                                                  std::uint16_t agreed_version);
 
+/// Encode one span batch (always a v2 header; the streamer never talks
+/// to v1 peers — negotiation happens before streaming starts).
+std::vector<std::uint8_t> encode_span_batch_frame(
+    std::uint64_t request_id, const trace::SpanBatch& batch);
+
 /// Decode a complete frame previously delimited by scan_frame().
 /// @p size must be the exact frame size; trailing bytes are an error.
 DecodeResult<RequestFrame> decode_request_frame(const std::uint8_t* data,
@@ -191,5 +211,7 @@ DecodeResult<HelloFrame> decode_hello_frame(const std::uint8_t* data,
                                             std::size_t size);
 DecodeResult<HelloAckFrame> decode_hello_ack_frame(const std::uint8_t* data,
                                                    std::size_t size);
+DecodeResult<SpanBatchFrame> decode_span_batch_frame(const std::uint8_t* data,
+                                                     std::size_t size);
 
 }  // namespace mpct::wire

@@ -16,6 +16,7 @@
 #include "fault/fault.hpp"
 #include "interconnect/traffic.hpp"
 #include "service/service.hpp"
+#include "trace/export.hpp"
 #include "wire/wire.hpp"
 
 namespace mpct {
@@ -259,9 +260,45 @@ void decode_untrusted(const std::uint8_t* data, std::size_t size) {
       if (!response.ok()) {
         EXPECT_FALSE(wire::to_string(response.error.code).empty());
       }
+      const auto batch = wire::decode_span_batch_frame(data, scan.frame_size);
+      if (!batch.ok()) {
+        EXPECT_FALSE(wire::to_string(batch.error.code).empty());
+      }
       return;
     }
   }
+}
+
+/// A representative flight-recorder batch: a nested pair, an annotated
+/// span, a failover instant, and sender-side drop accounting.
+trace::SpanBatch sample_span_batch() {
+  trace::SpanBatch batch;
+  batch.node = "backend-0";
+  batch.send_ns = 123456789;
+  batch.dropped = 17;
+  trace::ExportSpan call;
+  call.name = "cluster.call";
+  call.arg_name = "trace_id";
+  call.arg = 42;
+  call.id = 7;
+  call.parent = 3;
+  call.trace_id = 0x7ace0001;
+  call.thread = 2;
+  call.category = trace::Category::Cluster;
+  call.start_ns = 1000;
+  call.dur_ns = 250;
+  batch.spans.push_back(call);
+  trace::ExportSpan failover;
+  failover.name = "cluster.failover";
+  failover.id = 8;
+  failover.parent = 7;
+  failover.trace_id = 0x7ace0001;
+  failover.thread = 2;
+  failover.category = trace::Category::Mark;
+  failover.start_ns = 1200;
+  failover.dur_ns = trace::Span::kInstant;
+  batch.spans.push_back(failover);
+  return batch;
 }
 
 TEST(Fuzz, WireDecoderSurvivesRandomByteStrings) {
@@ -327,6 +364,7 @@ TEST(Fuzz, WireDecoderSurvivesBitFlippedValidFrames) {
       wire::encode_response_frame(11, engine.execute(request)),
       wire::encode_request_frame(12, simulate_request, 250),
       wire::encode_response_frame(12, engine.execute(simulate_request)),
+      wire::encode_span_batch_frame(13, sample_span_batch()),
   };
   Rng rng(31337);
   for (const auto& seed : seeds) {
@@ -359,6 +397,35 @@ TEST(Fuzz, WireDecoderSurvivesEveryTruncationPrefix) {
         const auto decoded = wire::decode_request_frame(frame.data(), len);
         EXPECT_EQ(decoded.ok(), len == frame.size());
       }
+    }
+  }
+}
+
+TEST(Fuzz, SpanBatchCodecRoundTripsAndRejectsEveryTruncation) {
+  const trace::SpanBatch batch = sample_span_batch();
+  const auto frame = wire::encode_span_batch_frame(21, batch);
+  const auto decoded = wire::decode_span_batch_frame(frame.data(),
+                                                     frame.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error.to_string();
+  EXPECT_EQ(decoded.value->request_id, 21u);
+  EXPECT_EQ(decoded.value->batch, batch);
+
+  // An empty batch (a heartbeat tick with nothing kept) also survives.
+  trace::SpanBatch empty;
+  empty.node = "proxy";
+  const auto empty_frame = wire::encode_span_batch_frame(22, empty);
+  const auto empty_decoded =
+      wire::decode_span_batch_frame(empty_frame.data(), empty_frame.size());
+  ASSERT_TRUE(empty_decoded.ok()) << empty_decoded.error.to_string();
+  EXPECT_EQ(empty_decoded.value->batch, empty);
+
+  // Every proper prefix must be rejected with a typed verdict — the
+  // decoder never accepts a frame cut mid-span or mid-string.
+  for (std::size_t len = 0; len <= frame.size(); ++len) {
+    decode_untrusted(frame.data(), len);
+    if (len > 0) {
+      const auto cut = wire::decode_span_batch_frame(frame.data(), len);
+      EXPECT_EQ(cut.ok(), len == frame.size());
     }
   }
 }

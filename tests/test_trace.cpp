@@ -15,7 +15,10 @@
 #include "service/engine.hpp"
 #include "service/metrics.hpp"
 #include "trace/chrome_trace.hpp"
+#include "trace/collector.hpp"
+#include "trace/export.hpp"
 #include "trace/prometheus.hpp"
+#include "trace/sampler.hpp"
 
 namespace mpct::trace {
 namespace {
@@ -481,6 +484,320 @@ TEST_F(TraceTest, RegistryPrometheusExpositionIsWellFormed) {
       std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Trace context propagation
+
+TEST_F(TraceTest, TraceContextScopeStampsSpansAndRestores) {
+  Tracer::instance().enable();
+  EXPECT_EQ(current_trace_id(), 0u);
+  { ScopedSpan span("ctx.none", Category::Core); }
+  {
+    TraceContextScope outer(42);
+    EXPECT_EQ(current_trace_id(), 42u);
+    { ScopedSpan span("ctx.outer", Category::Core); }
+    {
+      TraceContextScope inner(43);
+      EXPECT_EQ(current_trace_id(), 43u);
+      { ScopedSpan span("ctx.inner", Category::Core); }
+      emit_instant("ctx.mark", Category::Mark);
+    }
+    // The inner scope restored the outer context, not zero.
+    EXPECT_EQ(current_trace_id(), 42u);
+    { ScopedSpan span("ctx.again", Category::Core); }
+  }
+  EXPECT_EQ(current_trace_id(), 0u);
+  Tracer::instance().disable();
+
+  const TraceSnapshot snap = Tracer::instance().snapshot();
+  EXPECT_EQ(find_span(snap, "ctx.none")->trace_id, 0u);
+  EXPECT_EQ(find_span(snap, "ctx.outer")->trace_id, 42u);
+  EXPECT_EQ(find_span(snap, "ctx.inner")->trace_id, 43u);
+  EXPECT_EQ(find_span(snap, "ctx.mark")->trace_id, 43u);
+  EXPECT_EQ(find_span(snap, "ctx.again")->trace_id, 42u);
+}
+
+// ---------------------------------------------------------------------------
+// Head/tail sampling (sampler.hpp + ExportFilter)
+
+TEST(TraceSampler, HeadDecisionIsDeterministicAndFleetWide) {
+  const SamplerPolicy policy = SamplerPolicy::probabilistic(0.25);
+  std::size_t kept = 0;
+  for (std::uint64_t id = 1; id <= 100000; ++id) {
+    const bool first = head_keep(policy, id);
+    // Pure function of (policy, id): every node in the fleet lands on
+    // the same side for the same trace, call after call.
+    EXPECT_EQ(head_keep(policy, id), first);
+    EXPECT_EQ(first, static_cast<double>(mix_trace_id(id)) <
+                         0.25 * 18446744073709551616.0);
+    if (first) ++kept;
+  }
+  // splitmix64 is uniform: the keep fraction tracks the probability.
+  EXPECT_GT(kept, 23000u);
+  EXPECT_LT(kept, 27000u);
+
+  EXPECT_TRUE(head_keep(SamplerPolicy::always(), 7));
+  SamplerPolicy never;
+  never.mode = SamplerPolicy::Mode::Never;
+  EXPECT_FALSE(head_keep(never, 7));
+  EXPECT_TRUE(head_keep(SamplerPolicy::probabilistic(1.0), 99));
+  EXPECT_FALSE(head_keep(SamplerPolicy::probabilistic(0.0), 99));
+}
+
+TEST(TraceSampler, TailTriggersFireOnErrorsExpiryHedgesAndSlowSpans) {
+  SamplerPolicy policy = SamplerPolicy::probabilistic(0.0);
+  Span healthy;
+  healthy.name = "execute.recommend";
+  healthy.dur_ns = 100;
+  EXPECT_FALSE(tail_trigger(policy, healthy));
+  for (const char* name : {"deadline.expired", "request.failed",
+                           "cluster.hedge", "cluster.failover"}) {
+    Span mark;
+    mark.name = name;
+    mark.dur_ns = Span::kInstant;
+    EXPECT_TRUE(tail_trigger(policy, mark)) << name;
+  }
+  // The latency trigger is off by default and never fires on instants
+  // (kInstant is a sentinel, not a duration).
+  policy.slow_span_ns = 1000;
+  EXPECT_FALSE(tail_trigger(policy, healthy));
+  healthy.dur_ns = 1000;
+  EXPECT_TRUE(tail_trigger(policy, healthy));
+  Span instant;
+  instant.name = "cache.note";
+  instant.dur_ns = Span::kInstant;
+  EXPECT_FALSE(tail_trigger(policy, instant));
+}
+
+TEST(TraceSampler, ExportFilterRescuesTriggeredTracesAtZeroProbability) {
+  ExportFilter filter(SamplerPolicy::probabilistic(0.0));
+  Span healthy;
+  healthy.name = "execute.classify";
+  healthy.id = 1;
+  healthy.trace_id = 100;
+  healthy.dur_ns = 10;
+  Span before;
+  before.name = "engine.submit";
+  before.id = 2;
+  before.trace_id = 200;
+  before.dur_ns = 10;
+  Span failed;
+  failed.name = "request.failed";
+  failed.id = 3;
+  failed.trace_id = 200;
+  failed.dur_ns = Span::kInstant;
+
+  // The whole of trace 200 comes back — including the span recorded
+  // *before* its trigger — while trace 100 is sampled out.
+  const std::vector<ExportSpan> kept =
+      filter.apply({healthy, before, failed});
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].name, "engine.submit");
+  EXPECT_EQ(kept[1].name, "request.failed");
+  EXPECT_EQ(filter.sampled_out(), 1u);
+
+  // The force-keep is sticky: later batches of trace 200 still export.
+  Span later;
+  later.name = "execute.classify";
+  later.id = 4;
+  later.trace_id = 200;
+  later.dur_ns = 5;
+  Span other;
+  other.name = "execute.classify";
+  other.id = 5;
+  other.trace_id = 100;
+  other.dur_ns = 5;
+  const std::vector<ExportSpan> second = filter.apply({later, other});
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].trace_id, 200u);
+  EXPECT_EQ(filter.sampled_out(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Exporter drain cursor (Tracer::drain) vs on-demand snapshots
+
+TEST_F(TraceTest, DrainIsIncrementalAndLeavesSnapshotsAlone) {
+  Tracer::instance().enable();
+  { ScopedSpan span("drain.a", Category::Core); }
+  { ScopedSpan span("drain.b", Category::Core); }
+  Tracer::instance().disable();
+
+  EXPECT_EQ(Tracer::instance().snapshot().spans.size(), 2u);
+  const Tracer::DrainResult first = Tracer::instance().drain();
+  EXPECT_EQ(first.spans.size(), 2u);
+  EXPECT_EQ(first.dropped, 0u);
+  // The cursor belongs to drain() alone: a snapshot taken after the
+  // drain still sees everything the ring holds...
+  EXPECT_EQ(Tracer::instance().snapshot().spans.size(), 2u);
+  // ...and draining again returns nothing — no double export.
+  EXPECT_TRUE(Tracer::instance().drain().spans.empty());
+
+  Tracer::instance().enable();
+  { ScopedSpan span("drain.c", Category::Core); }
+  Tracer::instance().disable();
+  const Tracer::DrainResult second = Tracer::instance().drain();
+  ASSERT_EQ(second.spans.size(), 1u);
+  EXPECT_STREQ(second.spans[0].name, "drain.c");
+  EXPECT_EQ(Tracer::instance().snapshot().spans.size(), 3u);
+}
+
+TEST_F(TraceTest, DrainCountsRingWrapPastItsCursor) {
+  reset(8);
+  Tracer::instance().enable();
+  for (int i = 0; i < 20; ++i) {
+    ScopedSpan span("wrapped", Category::Sweep, "i", i);
+  }
+  Tracer::instance().disable();
+
+  // Same arithmetic as the snapshot wrap case: indices [0, 13) wrapped
+  // past the cursor before the first drain, the newest 7 survive.
+  const Tracer::DrainResult drained = Tracer::instance().drain();
+  ASSERT_EQ(drained.spans.size(), 7u);
+  EXPECT_EQ(drained.dropped, 13u);
+  for (std::size_t k = 0; k < drained.spans.size(); ++k) {
+    EXPECT_EQ(drained.spans[k].arg, static_cast<std::int64_t>(13 + k));
+  }
+  // Every loss was counted exactly once: a second drain is clean.
+  const Tracer::DrainResult again = Tracer::instance().drain();
+  EXPECT_TRUE(again.spans.empty());
+  EXPECT_EQ(again.dropped, 0u);
+}
+
+/// The satellite regression test for the exporter cursor: drain() runs
+/// against a live recorder with snapshots interleaved, and every span
+/// must come back exactly once or be counted dropped — never twice,
+/// never torn.  Runs under TSan in CI.
+TEST_F(TraceTest, MidTrafficDrainNeverDoubleExportsAndAccountsExactly) {
+  reset(512);  // small ring so the writer laps the exporter
+  Tracer::instance().enable();
+  constexpr int kPushed = 20000;
+  std::thread writer([] {
+    for (int i = 0; i < kPushed; ++i) {
+      ScopedSpan span("drain.mid", Category::Core, "seq", i);
+    }
+  });
+
+  std::vector<std::int64_t> seen;
+  std::uint64_t dropped = 0;
+  const auto absorb = [&seen, &dropped](const Tracer::DrainResult& result) {
+    dropped += result.dropped;
+    for (const Span& span : result.spans) {
+      ASSERT_STREQ(span.name, "drain.mid");  // fully written, never torn
+      ASSERT_STREQ(span.arg_name, "seq");
+      ASSERT_GE(span.dur_ns, 0);
+      seen.push_back(span.arg);
+    }
+  };
+  for (int round = 0; round < 50; ++round) {
+    absorb(Tracer::instance().drain());
+    // On-demand dumps interleave with the stream without perturbing it.
+    const TraceSnapshot snap = Tracer::instance().snapshot();
+    for (const Span& span : snap.spans) {
+      ASSERT_NE(span.name, nullptr);
+    }
+    std::this_thread::yield();
+  }
+  writer.join();
+  Tracer::instance().disable();
+  absorb(Tracer::instance().drain());
+
+  // Strictly increasing sequence numbers: the cursor advanced past
+  // everything it returned, so nothing was exported twice; and nothing
+  // went missing either — exported once or counted dropped.
+  for (std::size_t k = 1; k < seen.size(); ++k) {
+    ASSERT_LT(seen[k - 1], seen[k]) << "span exported twice or reordered";
+  }
+  EXPECT_EQ(seen.size() + dropped, static_cast<std::size_t>(kPushed));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-fleet assembly (trace/collector.hpp)
+
+TEST(TraceCollector, GroupsByTraceAlignsClocksAndFiltersProcessRows) {
+  Collector collector;
+
+  SpanBatch alpha;
+  alpha.node = "alpha";
+  alpha.send_ns = 1000;
+  ExportSpan root;
+  root.name = "alpha.root";
+  root.id = 10;
+  root.trace_id = 1;
+  root.start_ns = 100;
+  root.dur_ns = 50;
+  root.category = Category::Engine;
+  ExportSpan other;
+  other.name = "alpha.other";
+  other.id = 11;
+  other.trace_id = 2;
+  other.start_ns = 300;
+  other.dur_ns = 10;
+  other.category = Category::Engine;
+  alpha.spans = {root, other};
+  collector.ingest(alpha, 501000);  // offset(alpha) = 500000
+
+  SpanBatch beta;
+  beta.node = "beta";
+  beta.send_ns = 2000;
+  beta.dropped = 5;
+  ExportSpan hop;
+  hop.name = "beta.hop";
+  hop.id = 20;
+  hop.trace_id = 1;
+  hop.start_ns = 100000;
+  hop.dur_ns = 20;
+  hop.category = Category::Cluster;
+  beta.spans = {hop};
+  collector.ingest(beta, 302000);  // offset(beta) = 300000
+
+  // A later, slower batch must not loosen beta's offset: the one-way-
+  // delay minimum keeps the tightest bound seen.
+  SpanBatch beta_slow;
+  beta_slow.node = "beta";
+  beta_slow.send_ns = 3000;
+  collector.ingest(beta_slow, 312000);  // delta 309000 > 300000: ignored
+
+  const CollectorStats stats = collector.stats();
+  EXPECT_EQ(stats.batches, 3u);
+  EXPECT_EQ(stats.spans, 3u);
+  EXPECT_EQ(stats.dropped, 5u);
+  EXPECT_EQ(stats.nodes, 2u);
+  EXPECT_EQ(collector.trace_ids(), (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(collector.node_count(1), 2u);
+  EXPECT_EQ(collector.node_count(2), 1u);
+  EXPECT_EQ(collector.node_count(99), 0u);
+  EXPECT_EQ(collector.richest_trace(), 1u);  // the only two-node trace
+
+  const std::string timeline = collector.assemble(1);
+  EXPECT_TRUE(JsonChecker(timeline).valid()) << timeline;
+  EXPECT_EQ(count_occurrences(timeline, "\"process_name\""), 2u);
+  EXPECT_NE(timeline.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(timeline.find("\"name\":\"beta\""), std::string::npos);
+  // Clock alignment: beta's hop lands at 100000 + 300000 ns = 400 us,
+  // alpha's root at 100 + 500000 ns = 500.1 us — so beta renders FIRST
+  // even though its raw clock reads much later than alpha's.
+  EXPECT_NE(timeline.find("\"ts\":400.000"), std::string::npos);
+  EXPECT_NE(timeline.find("\"ts\":500.100"), std::string::npos);
+  EXPECT_LT(timeline.find("beta.hop"), timeline.find("alpha.root"));
+  EXPECT_NE(timeline.find("\"trace\":1"), std::string::npos);
+  // The trace filter held: trace 2's span is not on this timeline.
+  EXPECT_EQ(timeline.find("alpha.other"), std::string::npos);
+
+  // A single-node trace renders only the contributing process row —
+  // no empty rows for the rest of the fleet.
+  const std::string solo = collector.assemble(2);
+  EXPECT_TRUE(JsonChecker(solo).valid()) << solo;
+  EXPECT_EQ(count_occurrences(solo, "\"process_name\""), 1u);
+  EXPECT_NE(solo.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_EQ(solo.find("beta"), std::string::npos);
+  EXPECT_NE(solo.find("alpha.other"), std::string::npos);
+
+  EXPECT_EQ(collector.assemble(99), "");
+  const std::string everything = collector.assemble_all();
+  EXPECT_TRUE(JsonChecker(everything).valid());
+  EXPECT_NE(everything.find("alpha.other"), std::string::npos);
+  EXPECT_NE(everything.find("beta.hop"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mpct::trace
 
@@ -638,6 +955,33 @@ TEST_F(EngineTraceTest, ExpiredDeadlineEmitsAnInstantMarker) {
   ASSERT_EQ(marks.size(), 1u);
   EXPECT_TRUE(marks[0]->instant());
   EXPECT_EQ(marks[0]->category, Category::Mark);
+}
+
+/// Trace-id propagation across the submit boundary: the submitter's
+/// context must reach every span the request produces, including the
+/// queue waits and chunk spans recorded on pool worker threads.
+TEST_F(EngineTraceTest, SubmitterTraceContextReachesWorkerSpans) {
+  Tracer::instance().enable();
+  EngineOptions options;
+  options.worker_threads = 1;
+  QueryEngine engine(options);
+  QueryResponse response;
+  {
+    trace::TraceContextScope context(0xabcd);
+    response = engine.submit(SweepRequest{traced_grid()}).get();
+  }
+  ASSERT_TRUE(response.ok()) << response.status.to_string();
+  Tracer::instance().disable();
+
+  const TraceSnapshot snap = Tracer::instance().snapshot();
+  for (const char* name : {"engine.submit", "engine.enqueue", "queue.wait",
+                           "sweep.chunk", "sweep.merge", "cache.probe"}) {
+    const auto spans = spans_named(snap, name);
+    ASSERT_FALSE(spans.empty()) << name;
+    for (const Span* span : spans) {
+      EXPECT_EQ(span->trace_id, 0xabcdu) << name;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

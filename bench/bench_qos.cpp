@@ -1,0 +1,397 @@
+/// QoS serving-path benchmarks: goodput and interactive tail latency
+/// under offered load, with and without the QoS ladder.
+///
+/// Artifact: a CSV matrix driving one QueryEngine with a paced
+/// open-loop mix (7 Interactive classifies : 1 Batch design sweep) at
+/// 0.5x / 1x / 2x of its measured capacity, once with enable_qos off
+/// (the pre-QoS single FIFO) and once on (WFQ + admission ladder).
+/// Per cell: goodput (ok responses per second), the interactive p99
+/// (submit-to-callback), and how many requests were shed Overloaded.
+/// The claims under test:
+///
+///  * at 2x overload the QoS engine's interactive p99 stays a small
+///    fraction of the FIFO engine's (Interactive jumps the queue while
+///    Batch is degraded/shed);
+///  * goodput under QoS stays near capacity (shedding is cheap; the
+///    machine keeps doing useful work);
+///  * Interactive is never shed, at any load.
+///
+/// A separate cancellation cell fills a stalled queue, wire-cancels
+/// half of it, and reports the reclaim ratio (cancelled-while-queued /
+/// cancels issued) — queued cancels must be reclaimed capacity, not
+/// ignored responses.
+///
+/// Flags (both stripped before benchmark::Initialize):
+///   --csv <path>    also write google-benchmark timings as CSV
+///   --json <path>   write the matrix as BENCH_qos JSON
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "arch/registry.hpp"
+#include "bench_util.hpp"
+#include "qos/admission.hpp"
+#include "qos/cancel.hpp"
+#include "qos/priority.hpp"
+#include "qos/wfq_queue.hpp"
+#include "report/csv.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace mpct;
+using Clock = std::chrono::steady_clock;
+
+constexpr unsigned kWorkers = 2;
+constexpr int kMixPeriod = 2;  ///< every 2nd request is a Batch sweep
+
+/// The Batch half of the mix: a dense ~4k-cell design sweep (a few ms
+/// of evaluator work, split into ~1 ms chunks by the engine).  Heavy
+/// enough that a FIFO queue holding a few of them stalls every classify
+/// behind them — the head-of-line blocking the WFQ exists to break.
+service::Request sweep_request() {
+  service::SweepRequest sweep;
+  for (std::int64_t n = 2; n <= 130; n += 2) {
+    sweep.grid.n_values.push_back(n);
+  }
+  for (std::int64_t lut = 64; lut < 1088; lut += 16) {
+    sweep.grid.lut_budgets.push_back(lut);
+  }
+  return service::Request{std::move(sweep)};
+}
+
+/// The Interactive half: classify one surveyed architecture.
+service::Request classify_request(std::size_t i) {
+  const auto& survey = arch::surveyed_architectures();
+  return service::Request{
+      service::ClassifyRequest::of(survey[i % survey.size()])};
+}
+
+service::EngineOptions engine_options(bool enable_qos) {
+  service::EngineOptions options;
+  options.worker_threads = kWorkers;
+  options.queue_capacity = 256;
+  options.enable_cache = false;  // every request costs real work
+  options.enable_qos = enable_qos;
+  return options;
+}
+
+/// Requests per second the engine completes when the whole mix is
+/// already queued (one deep backlog, no pacing and no submitter in the
+/// way): the capacity the load cells are scaled against.
+double measure_capacity() {
+  service::EngineOptions options = engine_options(false);
+  options.queue_capacity = 4096;  // hold the full backlog (incl. chunks)
+  service::QueryEngine engine(options);
+  std::atomic<std::size_t> completed{0};
+  const int total = 600;
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < total; ++i) {
+    const bool is_sweep = i % kMixPeriod == kMixPeriod - 1;
+    service::Request request = is_sweep
+                                   ? sweep_request()
+                                   : classify_request(static_cast<std::size_t>(i));
+    engine.submit_async(std::move(request), service::Deadline::never(),
+                        [&completed](service::QueryResponse response) {
+                          if (response.ok()) {
+                            completed.fetch_add(1, std::memory_order_relaxed);
+                          }
+                        });
+  }
+  engine.drain();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(completed.load()) / elapsed_s;
+}
+
+struct CellResult {
+  std::string label;
+  double offered_per_s = 0;
+  double goodput_per_s = 0;
+  double interactive_p99_us = 0;
+  std::size_t shed = 0;              ///< Overloaded answers (any class)
+  std::size_t interactive_shed = 0;  ///< must stay 0 — Interactive is never shed
+  std::size_t queue_full = 0;        ///< capacity rejections (FIFO overload mode)
+};
+
+/// Open-loop cell: submit the mix in 2 ms paced bursts at @p rate for
+/// ~1.5 s, then drain.  Goodput counts ok responses over the full
+/// submit-to-drained window; interactive latency is submit-to-callback.
+CellResult run_cell(std::string label, bool enable_qos, double rate) {
+  service::QueryEngine engine(engine_options(enable_qos));
+
+  std::mutex mutex;
+  std::vector<double> interactive_us;
+  std::atomic<std::size_t> ok{0};
+  std::atomic<std::size_t> shed{0};
+  std::atomic<std::size_t> interactive_shed{0};
+  std::atomic<std::size_t> queue_full{0};
+
+  const auto tick = std::chrono::milliseconds(2);
+  const int total = static_cast<int>(rate * 1.5);
+  const Clock::time_point start = Clock::now();
+  Clock::time_point next_tick = start;
+  int submitted = 0;
+  while (submitted < total) {
+    next_tick += tick;
+    const double window_s =
+        std::chrono::duration<double>(next_tick - start).count();
+    const int due = std::min(
+        total, static_cast<int>(rate * window_s));
+    for (; submitted < due; ++submitted) {
+      const bool is_sweep = submitted % kMixPeriod == kMixPeriod - 1;
+      const Clock::time_point submit_time = Clock::now();
+      const auto callback = [&, is_sweep,
+                             submit_time](service::QueryResponse response) {
+        if (response.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+          if (!is_sweep) {
+            const double us = std::chrono::duration<double, std::micro>(
+                                  Clock::now() - submit_time)
+                                  .count();
+            std::lock_guard<std::mutex> lock(mutex);
+            interactive_us.push_back(us);
+          }
+        } else if (response.status.code == service::StatusCode::Overloaded) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+          if (!is_sweep) {
+            interactive_shed.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (response.status.code == service::StatusCode::QueueFull) {
+          queue_full.fetch_add(1, std::memory_order_relaxed);
+        }
+      };
+      if (is_sweep) {
+        engine.submit_async(sweep_request(), service::Deadline::never(),
+                            callback);
+      } else {
+        engine.submit_async(
+            classify_request(static_cast<std::size_t>(submitted)),
+            service::Deadline::never(), callback);
+      }
+    }
+    std::this_thread::sleep_until(next_tick);
+  }
+  engine.drain();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  CellResult cell;
+  cell.label = std::move(label);
+  cell.offered_per_s = rate;
+  cell.goodput_per_s = static_cast<double>(ok.load()) / elapsed_s;
+  std::sort(interactive_us.begin(), interactive_us.end());
+  cell.interactive_p99_us =
+      interactive_us.empty()
+          ? 0
+          : interactive_us[interactive_us.size() * 99 / 100];
+  cell.shed = shed.load();
+  cell.interactive_shed = interactive_shed.load();
+  cell.queue_full = queue_full.load();
+  return cell;
+}
+
+/// Fill a stalled engine's queue, cancel half of it, and measure how
+/// much of the cancelled work was reclaimed while still queued.
+double measure_cancel_reclaim() {
+  service::EngineOptions options = engine_options(true);
+  options.start_workers = false;  // everything stays queued until start()
+  service::QueryEngine engine(options);
+
+  const int total = 128;
+  std::atomic<std::size_t> resolved{0};
+  for (int i = 0; i < total; ++i) {
+    engine.submit_async(classify_request(static_cast<std::size_t>(i)),
+                        service::Deadline::never(),
+                        qos::PriorityClass::Interactive,
+                        /*cancel_owner=*/1,
+                        /*cancel_id=*/static_cast<std::uint64_t>(i + 1),
+                        [&resolved](service::QueryResponse) {
+                          resolved.fetch_add(1, std::memory_order_relaxed);
+                        });
+  }
+  const int cancelled = total / 2;
+  for (int i = 0; i < cancelled; ++i) {
+    engine.cancel(1, static_cast<std::uint64_t>(i * 2 + 1));
+  }
+  const double reclaimed = static_cast<double>(
+      engine.metrics().qos_cancelled_queued.value());
+  engine.start();
+  engine.drain();
+  return reclaimed / static_cast<double>(cancelled);
+}
+
+std::string fmt(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  return buffer;
+}
+
+/// Returns false (failing the run) if a QoS invariant broke: the
+/// timing columns are load-dependent and only reported, but Interactive
+/// being shed or a queued cancel being ignored is a bug at any speed.
+bool print_artifact(const std::string& json_path) {
+  const double capacity = measure_capacity();
+
+  std::vector<CellResult> cells;
+  for (const double factor : {0.5, 1.0, 2.0}) {
+    const std::string suffix =
+        factor == 0.5 ? "x0_5" : (factor == 1.0 ? "x1" : "x2");
+    cells.push_back(run_cell("fifo_" + suffix, false, capacity * factor));
+    cells.push_back(run_cell("qos_" + suffix, true, capacity * factor));
+  }
+  const double reclaim = measure_cancel_reclaim();
+
+  report::CsvWriter csv;
+  csv.add_row({"cell", "offered_per_s", "goodput_per_s", "interactive_p99_us",
+               "shed", "interactive_shed", "queue_full"});
+  for (const CellResult& cell : cells) {
+    csv.add_row({cell.label, fmt(cell.offered_per_s), fmt(cell.goodput_per_s),
+                 fmt(cell.interactive_p99_us), std::to_string(cell.shed),
+                 std::to_string(cell.interactive_shed),
+                 std::to_string(cell.queue_full)});
+  }
+  std::cout << "# goodput vs offered load (1 classify : 1 sweep mix, "
+            << kWorkers << " workers; capacity " << fmt(capacity)
+            << " req/s measured closed-loop)\n"
+            << csv.str() << "\n";
+
+  const CellResult& fifo_2x = cells[4];
+  const CellResult& qos_2x = cells[5];
+  std::cout << "# 2x overload: interactive p99 " << fmt(qos_2x.interactive_p99_us)
+            << " us with QoS vs " << fmt(fifo_2x.interactive_p99_us)
+            << " us FIFO ("
+            << fmt(fifo_2x.interactive_p99_us > 0
+                       ? 100.0 * qos_2x.interactive_p99_us /
+                             fifo_2x.interactive_p99_us
+                       : 0)
+            << "% of baseline); goodput "
+            << fmt(100.0 * qos_2x.goodput_per_s / capacity)
+            << "% of full-fidelity capacity (degraded batch answers "
+               "cost less than full ones, so >100% is the shed ladder "
+               "working, not a measurement error); interactive sheds "
+            << qos_2x.interactive_shed << "\n";
+  std::cout << "# cancel reclaim ratio " << fmt(reclaim)
+            << " (cancelled-while-queued / cancels issued)\n\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"bench_qos\",\n"
+        << "  \"host_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+        << "  \"op\": \"paced open-loop classify/sweep mix through one "
+           "QueryEngine at 0.5x/1x/2x capacity, QoS ladder off (fifo) "
+           "and on (qos): goodput, interactive p99, shed counts, and "
+           "the queued-cancel reclaim ratio\",\n"
+        << "  \"current\": {\n"
+        << "    \"capacity_per_s\": " << fmt(capacity) << ",\n";
+    for (const CellResult& cell : cells) {
+      out << "    \"goodput_per_s_" << cell.label
+          << "\": " << fmt(cell.goodput_per_s) << ",\n"
+          << "    \"interactive_p99_us_" << cell.label
+          << "\": " << fmt(cell.interactive_p99_us) << ",\n"
+          << "    \"interactive_shed_" << cell.label
+          << "\": " << cell.interactive_shed << ",\n";
+    }
+    out << "    \"cancel_reclaim_ratio\": " << fmt(reclaim) << "\n"
+        << "  }\n}\n";
+    std::cout << "JSON written to " << json_path << "\n\n";
+  }
+
+  bool ok = true;
+  for (const CellResult& cell : cells) {
+    if (cell.interactive_shed != 0) {
+      std::cerr << "FAIL: " << cell.interactive_shed
+                << " Interactive requests shed in cell " << cell.label
+                << " — Interactive must never be shed\n";
+      ok = false;
+    }
+  }
+  if (reclaim < 1.0) {
+    std::cerr << "FAIL: cancel reclaim ratio " << fmt(reclaim)
+              << " < 1 — every cancel of still-queued work must reclaim "
+                 "its queue slot\n";
+    ok = false;
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Registered microbenchmarks: the QoS primitives alone.
+
+void bm_wfq_push_pop(benchmark::State& state) {
+  qos::WfqQueue<int> queue(1024);
+  int item = 7;
+  for (auto _ : state) {
+    queue.try_push(qos::PriorityClass::Interactive, item);
+    queue.try_push(qos::PriorityClass::Batch, item);
+    int out = 0;
+    queue.pop(out);
+    queue.pop(out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(bm_wfq_push_pop);
+
+void bm_admission_decide(benchmark::State& state) {
+  // The wait-free hot path every submit pays when QoS is on.
+  qos::AdmissionController controller{qos::AdmissionOptions{}};
+  double fill = 0.0;
+  for (auto _ : state) {
+    fill = fill < 1.0 ? fill + 0.001 : 0.0;
+    qos::Admission admission =
+        controller.decide(qos::PriorityClass::Batch, fill);
+    benchmark::DoNotOptimize(admission);
+  }
+}
+BENCHMARK(bm_admission_decide);
+
+void bm_cancel_registry_cycle(benchmark::State& state) {
+  // add + resolve-erase, the bookkeeping every cancellable request pays.
+  qos::CancelRegistry registry;
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    ++id;
+    qos::CancelToken token = registry.add(1, id);
+    benchmark::DoNotOptimize(token);
+    registry.erase(1, id);
+  }
+}
+BENCHMARK(bm_cancel_registry_cycle);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --json before benchmark::Initialize (it aborts on unknown
+  // flags); --csv is handled by apply_csv_flag below.
+  std::string json_path;
+  for (int i = 1; i + 1 < argc;) {
+    if (std::string_view(argv[i]) != "--json") {
+      ++i;
+      continue;
+    }
+    json_path = argv[i + 1];
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+  }
+  std::cout << "QOS BENCHMARKS\n"
+            << "(one live QueryEngine under paced offered load; every "
+               "number includes queueing, admission control and the "
+               "worker pool)\n\n";
+  const bool invariants_ok = print_artifact(json_path);
+  mpct::bench::apply_csv_flag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return invariants_ok ? 0 : 1;
+}

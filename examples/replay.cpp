@@ -56,6 +56,11 @@ struct SoakCounters {
   std::uint64_t trace_batches_dropped = 0;
   std::uint64_t trace_collector_batches = 0;
   std::uint64_t trace_collector_spans = 0;
+  std::uint64_t qos_shed_background = 0;
+  std::uint64_t qos_shed_batch = 0;
+  std::uint64_t qos_degraded_responses = 0;
+  std::uint64_t qos_cancelled_queued = 0;
+  std::uint64_t qos_cancelled_inflight = 0;
 
   static SoakCounters of(const service::MetricsRegistry& m) {
     SoakCounters c;
@@ -69,6 +74,11 @@ struct SoakCounters {
     c.trace_batches_dropped = m.trace_batches_dropped.value();
     c.trace_collector_batches = m.trace_collector_batches.value();
     c.trace_collector_spans = m.trace_collector_spans.value();
+    c.qos_shed_background = m.qos_shed_background.value();
+    c.qos_shed_batch = m.qos_shed_batch.value();
+    c.qos_degraded_responses = m.qos_degraded_responses.value();
+    c.qos_cancelled_queued = m.qos_cancelled_queued.value();
+    c.qos_cancelled_inflight = m.qos_cancelled_inflight.value();
     return c;
   }
 
@@ -88,6 +98,14 @@ struct SoakCounters {
         trace_collector_batches - since.trace_collector_batches;
     d.trace_collector_spans =
         trace_collector_spans - since.trace_collector_spans;
+    d.qos_shed_background = qos_shed_background - since.qos_shed_background;
+    d.qos_shed_batch = qos_shed_batch - since.qos_shed_batch;
+    d.qos_degraded_responses =
+        qos_degraded_responses - since.qos_degraded_responses;
+    d.qos_cancelled_queued =
+        qos_cancelled_queued - since.qos_cancelled_queued;
+    d.qos_cancelled_inflight =
+        qos_cancelled_inflight - since.qos_cancelled_inflight;
     return d;
   }
 };
@@ -120,6 +138,18 @@ void print_drift(const SoakCounters& first, const SoakCounters& last) {
       last.trace_collector_batches);
   row("trace_collector_spans", first.trace_collector_spans,
       last.trace_collector_spans);
+  // A steady-state soak should shed and degrade at a steady rate too:
+  // drift here means the replayed load is pushing the engine up or
+  // down the QoS ladder over time (see docs/QOS.md).
+  row("qos_shed_background", first.qos_shed_background,
+      last.qos_shed_background);
+  row("qos_shed_batch", first.qos_shed_batch, last.qos_shed_batch);
+  row("qos_degraded_responses", first.qos_degraded_responses,
+      last.qos_degraded_responses);
+  row("qos_cancelled_queued", first.qos_cancelled_queued,
+      last.qos_cancelled_queued);
+  row("qos_cancelled_inflight", first.qos_cancelled_inflight,
+      last.qos_cancelled_inflight);
 }
 
 }  // namespace

@@ -95,9 +95,9 @@ net::Client* ClusterClient::endpoint_client(std::size_t index,
   return client.get();
 }
 
-service::QueryResponse ClusterClient::call(const service::Request& request,
-                                           service::Deadline deadline,
-                                           std::uint64_t trace_id) {
+service::QueryResponse ClusterClient::call(
+    const service::Request& request, service::Deadline deadline,
+    std::uint64_t trace_id, std::optional<qos::PriorityClass> priority) {
   const service::Fingerprint key = service::fingerprint(request);
   if (trace_id == 0) trace_id = key;
   // Installed before the span so cluster.call and the hedge/failover
@@ -146,7 +146,8 @@ service::QueryResponse ClusterClient::call(const service::Request& request,
       std::uint64_t id = 0;
       net::Client* client = endpoint_client(index, error);
       if (client == nullptr ||
-          !client->send_request(request, deadline, trace_id, id, error)) {
+          !client->send_request(request, deadline, trace_id, id, error,
+                                priority)) {
         // Moving past an unreachable candidate is a failover too (except
         // for the very first attempt of a never-routed request).
         tracker_->record_failure(index);
@@ -171,8 +172,16 @@ service::QueryResponse ClusterClient::call(const service::Request& request,
   const Clock::time_point hedge_at = start + hedge_after;
   bool hedged = false;
 
+  // Abandon an attempt: ask the server to reclaim whatever is still
+  // queued (wire CancelRequest, fire-and-forget) and drop the local
+  // tracking so a late answer is ignored.
+  const auto abandon = [](const InFlight& f) {
+    std::string cancel_error;
+    f.client->send_cancel(f.id, cancel_error);
+    f.client->cancel(f.id);
+  };
   const auto cancel_all = [&] {
-    for (const InFlight& f : in_flight) f.client->cancel(f.id);
+    for (const InFlight& f : in_flight) abandon(f);
     in_flight.clear();
   };
 
@@ -241,13 +250,18 @@ service::QueryResponse ClusterClient::call(const service::Request& request,
         --i;
         continue;
       }
-      // Winner: cancel the loser (its late answer is dropped by the
-      // primitive layer; the server still executes it, warming a cache).
+      // Winner: cancel the loser on both sides — locally (its late
+      // answer is dropped by the primitive layer) and server-side (a
+      // wire CancelRequest dequeues the duplicate if it is still
+      // queued, or stops it at the next chunk boundary).
       const bool winner_is_hedge = f.is_hedge;
       const std::uint64_t winner_id = f.id;
       for (const InFlight& other : in_flight) {
         if (other.id != winner_id || other.client != f.client) {
-          other.client->cancel(other.id);
+          trace::emit_instant("cluster.cancel_loser", trace::Category::Qos,
+                              "endpoint",
+                              static_cast<std::int64_t>(other.endpoint));
+          abandon(other);
         }
       }
       if (metrics) {
@@ -267,7 +281,7 @@ service::QueryResponse ClusterClient::call(const service::Request& request,
 
 std::vector<service::QueryResponse> ClusterClient::call_many(
     const std::vector<service::Request>& requests, service::Deadline deadline,
-    std::uint64_t trace_id) {
+    std::uint64_t trace_id, std::optional<qos::PriorityClass> priority) {
   // A zero trace_id keeps the ambient context (slots fall back to their
   // per-request keys on the wire, which can't be one thread-local id).
   trace::TraceContextScope context(
@@ -317,7 +331,7 @@ std::vector<service::QueryResponse> ClusterClient::call_many(
       std::uint64_t id = 0;
       if (!client->send_request(requests[i], deadline,
                                 trace_id != 0 ? trace_id : slot.key, id,
-                                error)) {
+                                error, priority)) {
         tracker_->record_failure(index);
         last_error = error;
         continue;
@@ -350,6 +364,9 @@ std::vector<service::QueryResponse> ClusterClient::call_many(
         Slot& slot = slots[i];
         if (slot.done) continue;
         if (slot.endpoint != kNoEndpoint) {
+          // Reclaim still-queued chunks server-side before giving up.
+          std::string cancel_error;
+          clients_[slot.endpoint]->send_cancel(slot.id, cancel_error);
           clients_[slot.endpoint]->cancel(slot.id);
         }
         responses[i].status = service::Status::deadline_exceeded();

@@ -74,8 +74,10 @@ struct ClusterOptions {
 /// its request type (from metrics->latency(), clamped to
 /// [hedge_min_delay, hedge_max_delay]), the same request is re-issued
 /// to the next replica; the first response wins and the loser is
-/// cancelled client-side (requests are idempotent — the loser merely
-/// warms the other server's cache).
+/// cancelled both client-side (its late answer is dropped) and
+/// server-side (a wire CancelRequest lets the loser's server dequeue
+/// or abandon the duplicate — reclaimed capacity, not just an ignored
+/// response).
 ///
 /// Not thread-safe: one ClusterClient per thread, like net::Client.
 /// Concurrent ClusterClients may share a HealthTracker.
@@ -90,10 +92,17 @@ class ClusterClient {
   /// Route one request (hash placement + failover + hedging).
   /// @p trace_id stamps every frame sent for this request (hedges
   /// included); 0 derives one from the request fingerprint.
+  /// @p priority is the QoS class stamped on every frame (hedges
+  /// inherit it); nullopt lets the wire derive the request type's
+  /// default.  An Overloaded answer is returned as-is — admission shed
+  /// is *policy*, so re-routing it to a replica would defeat the
+  /// fleet's load shedding (the caller's net::Client backoff is the
+  /// right place to wait out the retry-after hint).
   service::QueryResponse call(
       const service::Request& request,
       service::Deadline deadline = service::Deadline::never(),
-      std::uint64_t trace_id = 0);
+      std::uint64_t trace_id = 0,
+      std::optional<qos::PriorityClass> priority = std::nullopt);
 
   /// Scatter a batch concurrently: element i answers request i.  Each
   /// request routes independently by its own fingerprint with full
@@ -102,7 +111,8 @@ class ClusterClient {
   std::vector<service::QueryResponse> call_many(
       const std::vector<service::Request>& requests,
       service::Deadline deadline = service::Deadline::never(),
-      std::uint64_t trace_id = 0);
+      std::uint64_t trace_id = 0,
+      std::optional<qos::PriorityClass> priority = std::nullopt);
 
   const HashRing& ring() const { return ring_; }
   HealthTracker& health() { return *tracker_; }

@@ -25,10 +25,10 @@ bool CombiningProxy::start() {
 
   server_ = std::make_unique<net::Server>(
       [this](service::Request request, service::Deadline deadline,
-             std::uint64_t trace_id,
+             const net::Server::RequestContext& context,
              service::QueryEngine::ResponseCallback callback) {
-        ProxyTask task{std::move(request), deadline, trace_id,
-                       std::move(callback)};
+        ProxyTask task{std::move(request), deadline, context.trace_id,
+                       context.priority, std::move(callback)};
         if (!queue_.try_push(task)) {
           // try_push leaves the task untouched on failure, so the
           // callback is still ours to answer with.
@@ -91,7 +91,8 @@ void CombiningProxy::worker_loop() {
       trace::emit_instant("deadline.expired", trace::Category::Mark);
       response.status = service::Status::deadline_exceeded();
     } else {
-      response = handle(cluster, task.request, task.deadline, task.trace_id);
+      response = handle(cluster, task.request, task.deadline, task.trace_id,
+                        task.priority);
     }
     task.callback(std::move(response));
     task = ProxyTask{};  // drop the callback before blocking in pop()
@@ -101,18 +102,19 @@ void CombiningProxy::worker_loop() {
 service::QueryResponse CombiningProxy::handle(ClusterClient& cluster,
                                               const service::Request& request,
                                               service::Deadline deadline,
-                                              std::uint64_t trace_id) {
+                                              std::uint64_t trace_id,
+                                              qos::PriorityClass priority) {
   switch (service::request_type(request)) {
     case service::RequestType::Sweep:
       return scatter_sweep(cluster, std::get<service::SweepRequest>(request),
-                           deadline, trace_id);
+                           deadline, trace_id, priority);
     case service::RequestType::FaultSweep:
       return scatter_fault(cluster,
                            std::get<service::FaultSweepRequest>(request),
-                           deadline, trace_id);
+                           deadline, trace_id, priority);
     default:
       // Point queries pass through: hash-routed, health-checked, hedged.
-      return cluster.call(request, deadline, trace_id);
+      return cluster.call(request, deadline, trace_id, priority);
   }
 }
 
@@ -146,13 +148,15 @@ std::vector<service::Request> make_chunks(std::uint64_t cells,
 
 service::QueryResponse CombiningProxy::scatter_sweep(
     ClusterClient& cluster, const service::SweepRequest& request,
-    service::Deadline deadline, std::uint64_t trace_id) {
+    service::Deadline deadline, std::uint64_t trace_id,
+    qos::PriorityClass priority) {
   trace::ScopedSpan span("proxy.scatter_sweep", trace::Category::Cluster);
   const std::uint64_t cells = request.grid.cell_count();
   if (cells == 0) {
     // An empty grid has nothing to scatter; one backend answers
     // canonically (empty points, the filter's candidate count).
-    return cluster.call(service::Request(request), deadline, trace_id);
+    return cluster.call(service::Request(request), deadline, trace_id,
+                        priority);
   }
   const std::uint64_t want = std::max<std::uint64_t>(
       1, options_.cluster.endpoints.size() * options_.chunks_per_endpoint);
@@ -174,7 +178,7 @@ service::QueryResponse CombiningProxy::scatter_sweep(
                     return service::Request(
                         service::SweepChunkRequest{request.grid, begin, end});
                   }),
-      deadline, trace_id);
+      deadline, trace_id, priority);
 
   service::QueryResponse response;
   std::size_t total_points = 0;
@@ -212,11 +216,13 @@ service::QueryResponse CombiningProxy::scatter_sweep(
 
 service::QueryResponse CombiningProxy::scatter_fault(
     ClusterClient& cluster, const service::FaultSweepRequest& request,
-    service::Deadline deadline, std::uint64_t trace_id) {
+    service::Deadline deadline, std::uint64_t trace_id,
+    qos::PriorityClass priority) {
   trace::ScopedSpan span("proxy.scatter_fault", trace::Category::Cluster);
   const std::uint64_t cells = request.spec.cell_count();
   if (cells == 0) {
-    return cluster.call(service::Request(request), deadline, trace_id);
+    return cluster.call(service::Request(request), deadline, trace_id,
+                        priority);
   }
   const std::uint64_t want = std::max<std::uint64_t>(
       1, options_.cluster.endpoints.size() * options_.chunks_per_endpoint);
@@ -229,7 +235,7 @@ service::QueryResponse CombiningProxy::scatter_fault(
                     return service::Request(
                         service::FaultChunkRequest{request.spec, begin, end});
                   }),
-      deadline, trace_id);
+      deadline, trace_id, priority);
 
   service::QueryResponse response;
   std::size_t total_outcomes = 0;

@@ -92,6 +92,10 @@ class CombiningProxy {
     service::Request request;
     service::Deadline deadline;
     std::uint64_t trace_id = 0;
+    /// Front-door QoS class, forwarded verbatim on every backend frame
+    /// (sweep chunks included) so a Background sweep stays Background
+    /// on the whole fleet.
+    qos::PriorityClass priority = qos::PriorityClass::Interactive;
     service::QueryEngine::ResponseCallback callback;
   };
 
@@ -99,15 +103,18 @@ class CombiningProxy {
   service::QueryResponse handle(ClusterClient& cluster,
                                 const service::Request& request,
                                 service::Deadline deadline,
-                                std::uint64_t trace_id);
+                                std::uint64_t trace_id,
+                                qos::PriorityClass priority);
   service::QueryResponse scatter_sweep(ClusterClient& cluster,
                                        const service::SweepRequest& request,
                                        service::Deadline deadline,
-                                       std::uint64_t trace_id);
+                                       std::uint64_t trace_id,
+                                       qos::PriorityClass priority);
   service::QueryResponse scatter_fault(ClusterClient& cluster,
                                        const service::FaultSweepRequest& request,
                                        service::Deadline deadline,
-                                       std::uint64_t trace_id);
+                                       std::uint64_t trace_id,
+                                       qos::PriorityClass priority);
 
   ProxyOptions options_;
   service::MetricsRegistry metrics_;

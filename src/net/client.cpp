@@ -92,6 +92,20 @@ std::vector<service::QueryResponse> Client::call_batch(
 
   int attempts = 0;
   auto backoff = options_.initial_backoff;
+  // Sleep before a retry, honouring @p hint (a shedding server's
+  // retry_after_ms) and never past the deadline.
+  const auto pause_for_retry = [&](std::chrono::milliseconds hint) {
+    auto pause = std::max(backoff, hint);
+    if (!deadline.is_infinite()) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline.at - Clock::now());
+      pause = std::min(pause, std::max(remaining,
+                                       std::chrono::milliseconds(0)));
+    }
+    if (pause.count() > 0) std::this_thread::sleep_for(pause);
+    backoff *= 2;
+  };
   while (!unanswered.empty()) {
     if (deadline.expired()) {
       for (std::size_t i : unanswered) {
@@ -100,8 +114,28 @@ std::vector<service::QueryResponse> Client::call_batch(
       break;
     }
     std::string error;
+    const std::vector<std::size_t> sent = unanswered;
     if (attempt(requests, unanswered, responses, deadline, trace_id, error)) {
-      break;
+      // Overloaded answers are admission-control backpressure, not
+      // verdicts on the request: within the retry budget, resend them
+      // after sleeping at least the server's retry-after hint.
+      std::vector<std::size_t> shed;
+      std::uint32_t hint_ms = 0;
+      for (std::size_t i : sent) {
+        if (responses[i].status.code == service::StatusCode::Overloaded) {
+          shed.push_back(i);
+          hint_ms = std::max(hint_ms, responses[i].status.retry_after_ms);
+        }
+      }
+      if (shed.empty() || attempts >= options_.max_retries ||
+          deadline.expired()) {
+        break;
+      }
+      ++attempts;
+      if (options_.metrics) options_.metrics->net_retries.add();
+      pause_for_retry(std::chrono::milliseconds(hint_ms));
+      unanswered = std::move(shed);
+      continue;
     }
 
     // Transport failure: the stream is unusable (unknown how much the
@@ -115,16 +149,7 @@ std::vector<service::QueryResponse> Client::call_batch(
     }
     ++attempts;
     if (options_.metrics) options_.metrics->net_retries.add();
-    auto pause = backoff;
-    if (!deadline.is_infinite()) {
-      const auto remaining =
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              deadline.at - Clock::now());
-      pause = std::min(pause, std::max(remaining,
-                                       std::chrono::milliseconds(0)));
-    }
-    if (pause.count() > 0) std::this_thread::sleep_for(pause);
-    backoff *= 2;
+    pause_for_retry(std::chrono::milliseconds(0));
   }
   return responses;
 }
@@ -162,7 +187,7 @@ bool Client::attempt(const std::vector<service::Request>& requests,
     // so a v2 server can stitch its spans to this frame.
     const auto frame = wire::encode_request_frame(
         id, requests[index], deadline_ms, agreed_version_,
-        trace_id != 0 ? trace_id : id);
+        trace_id != 0 ? trace_id : id, options_.priority);
     out.insert(out.end(), frame.begin(), frame.end());
     if (metrics) metrics->net_frames_out.add();
   }
@@ -384,16 +409,35 @@ bool Client::drain_frames(std::string& error) {
 
 bool Client::send_request(const service::Request& request,
                           service::Deadline deadline, std::uint64_t trace_id,
-                          std::uint64_t& id_out, std::string& error) {
+                          std::uint64_t& id_out, std::string& error,
+                          std::optional<qos::PriorityClass> priority) {
   if (!ensure_connected(error)) return false;
   const Clock::time_point now = Clock::now();
   const std::uint64_t id = next_id_++;
   const auto frame = wire::encode_request_frame(
       id, request, wire_deadline_ms(deadline, now), agreed_version_,
-      trace_id != 0 ? trace_id : id);
+      trace_id != 0 ? trace_id : id, priority ? priority : options_.priority);
   if (!write_frame(frame, deadline, error)) return false;
   pending_.insert(id);
   id_out = id;
+  return true;
+}
+
+bool Client::send_cancel(std::uint64_t id, std::string& error) {
+  if (agreed_version_ < 2) return true;  // cancellation does not exist at v1
+  if (!socket_.valid()) {
+    error = "not connected";
+    return false;
+  }
+  // The caller is abandoning this request; bound the courtesy write by
+  // the io stall timeout rather than the (often already expired)
+  // request deadline.
+  if (!write_frame(wire::encode_cancel_frame(id),
+                   service::Deadline::in(options_.io_timeout), error)) {
+    return false;
+  }
+  if (options_.metrics) options_.metrics->qos_cancels_sent.add();
+  trace::emit_instant("net.cancel_sent", trace::Category::Qos);
   return true;
 }
 

@@ -35,6 +35,12 @@ struct ClientOptions {
   /// Optional registry for net_* counters (e.g. the engine's own, or a
   /// client-side one).  May be null.
   service::MetricsRegistry* metrics = nullptr;
+  /// QoS class stamped on every request frame this client sends.
+  /// nullopt lets the wire layer derive the request type's default
+  /// class (point queries Interactive, grid work Batch); a replay soak
+  /// sets Background so live traffic outranks it.  v1 frames cannot
+  /// carry the byte — the value is dropped when the agreed version is 1.
+  std::optional<qos::PriorityClass> priority;
 };
 
 /// Blocking TCP client for a net::Server.
@@ -54,7 +60,11 @@ struct ClientOptions {
 ///    a locally-expired deadline yields DeadlineExceeded without I/O.
 ///  * Per-request server-side errors (QueueFull, ProtocolError, ...)
 ///    arrive as ordinary responses and are returned as-is — they are
-///    answers, not transport failures, and are never retried.
+///    answers, not transport failures, and are never retried.  The one
+///    exception is StatusCode::Overloaded: an admission-control shed is
+///    explicitly transient, so call()/call_batch() resend shed requests
+///    within the retry budget, sleeping max(backoff, the server's
+///    retry_after_ms hint) first.
 ///
 /// Metrics accounting: net_requests_sent counts *logical* requests —
 /// once per request handed to call()/call_batch(), never re-counted on
@@ -110,10 +120,13 @@ class Client {
   /// Write one request frame (blocking until written or failed) and
   /// track its id; the response is collected later via pump() +
   /// take_response().  Does NOT count net_requests_sent — the caller
-  /// owns logical-request accounting.
+  /// owns logical-request accounting.  @p priority overrides
+  /// options().priority for this one frame (hedges inherit the
+  /// original request's class).
   bool send_request(const service::Request& request,
                     service::Deadline deadline, std::uint64_t trace_id,
-                    std::uint64_t& id_out, std::string& error);
+                    std::uint64_t& id_out, std::string& error,
+                    std::optional<qos::PriorityClass> priority = std::nullopt);
 
   /// Poll the socket for up to @p wait and read/decode once.  Returns
   /// the number of newly completed tracked requests, or -1 on transport
@@ -127,6 +140,13 @@ class Client {
   /// arrival.  The server still executes it — requests are idempotent
   /// and its result may warm the server's cache.
   void cancel(std::uint64_t id);
+
+  /// Ask the *server* to abandon request @p id too (wire CancelRequest,
+  /// v2-only — a no-op returning true when the agreed version is 1).
+  /// Fire-and-forget: the cancelled request's own response is the
+  /// acknowledgement.  Counts qos_cancels_sent.  Callers usually pair
+  /// this with cancel(id) to also drop the local tracking.
+  bool send_cancel(std::uint64_t id, std::string& error);
 
   std::size_t pending_count() const { return pending_.size(); }
 

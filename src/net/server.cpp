@@ -30,9 +30,13 @@ constexpr int kPollTickMs = 100;
 
 Server::Server(service::QueryEngine& engine, ServerOptions options)
     : handler_([&engine](service::Request request, service::Deadline deadline,
-                         std::uint64_t /*trace_id*/,
+                         const RequestContext& context,
                          service::QueryEngine::ResponseCallback callback) {
-        engine.submit_async(std::move(request), deadline,
+        // The wire identity (connection serial, request id) doubles as
+        // the engine's cancellation key, so a CancelRequest frame can
+        // name this submission later.
+        engine.submit_async(std::move(request), deadline, context.priority,
+                            context.conn_id, context.request_id,
                             std::move(callback));
       }),
       engine_(&engine),
@@ -317,6 +321,25 @@ bool Server::dispatch_request(std::uint64_t conn_id, Connection& conn,
     case wire::FrameKind::Pong:
     case wire::FrameKind::HelloAck:
       return true;  // meaningless server-side; tolerate and move on
+    case wire::FrameKind::CancelRequest: {
+      // Fire-and-forget: no response frame.  The cancelled request's own
+      // response (Cancelled if the cancel won, the result if it lost) is
+      // the acknowledgement, so an unknown/already-resolved id needs no
+      // answer either.
+      auto cancel = wire::decode_cancel_frame(frame, frame_size);
+      if (!cancel.ok()) {
+        metrics_.net_decode_errors.add();
+        return true;  // losing one cancel must not kill the stream
+      }
+      metrics_.qos_cancels_received.add();
+      trace::emit_instant("net.cancel_request", trace::Category::Qos);
+      // Handler mode (the proxy tier) has no engine-side queue to
+      // reclaim; the frame is counted and dropped there.
+      if (engine_ != nullptr) {
+        engine_->cancel(conn_id, cancel.value->request_id);
+      }
+      return true;
+    }
     case wire::FrameKind::SpanBatch: {
       // Fire-and-forget streaming export: no response frame ever.  A
       // malformed payload inside a good frame is counted and skipped —
@@ -371,8 +394,10 @@ bool Server::dispatch_request(std::uint64_t conn_id, Connection& conn,
 
   ++conn.in_flight;
   in_flight_total_.fetch_add(1, std::memory_order_acq_rel);
+  const RequestContext request_context{trace_id, decoded.value->priority,
+                                       conn_id, request_id};
   handler_(
-      std::move(decoded.value->request), deadline, trace_id,
+      std::move(decoded.value->request), deadline, request_context,
       [this, conn_id, request_id, version,
        trace_id](service::QueryResponse response) {
         // Worker thread (or this thread, for rejections): encode here so

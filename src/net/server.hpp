@@ -76,14 +76,27 @@ struct ServerOptions {
 /// read from (write_high_watermark) until it catches up.
 class Server {
  public:
+  /// Per-request wire context handed to a Handler alongside the decoded
+  /// request.  `trace_id` is the frame's v2 trace field (0 on v1
+  /// frames); `priority` is the decoded QoS class (the request type's
+  /// default when the frame did not carry the byte); (`conn_id`,
+  /// `request_id`) is the cancellation identity the engine registers
+  /// the request under — a later CancelRequest frame on the same
+  /// connection names exactly this pair.
+  struct RequestContext {
+    std::uint64_t trace_id = 0;
+    qos::PriorityClass priority = qos::PriorityClass::Interactive;
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+  };
+
   /// Where decoded request frames go.  The handler must eventually
   /// invoke the callback exactly once (from any thread); the response
   /// is encoded there and shipped back on the frame's connection at the
-  /// frame's wire version.  `trace_id` is the frame's v2 trace field
-  /// (0 on v1 frames).
+  /// frame's wire version.
   using Handler =
       std::function<void(service::Request, service::Deadline,
-                         std::uint64_t trace_id,
+                         const RequestContext&,
                          service::QueryEngine::ResponseCallback)>;
 
   /// The engine must outlive the server.  Network counters are recorded

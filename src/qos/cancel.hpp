@@ -1,0 +1,75 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace mpct::qos {
+
+/// Cooperative cancellation flag shared between the server dispatch
+/// path (which sets it on a wire CancelRequest) and the worker
+/// executing or about to execute the request (which polls it at cheap
+/// boundaries — dequeue, chunk start).  Cancellation is best-effort by
+/// design: a request that already completed wins the race and the
+/// cancel is a no-op.
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+
+  void request_cancel() { cancelled.store(true, std::memory_order_release); }
+  bool is_cancelled() const {
+    return cancelled.load(std::memory_order_acquire);
+  }
+};
+
+using CancelToken = std::shared_ptr<CancelState>;
+
+/// Live-request index for server-side cancellation, keyed by
+/// (owner, id).  The owner disambiguates request ids across clients:
+/// the net server uses its connection serial, so one connection's
+/// CancelRequest can never cancel another connection's request even
+/// when both picked the same id.
+class CancelRegistry {
+ public:
+  /// Register a request and get its token.  Re-registering a live key
+  /// returns the existing token (ids are unique per owner in practice).
+  CancelToken add(std::uint64_t owner, std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CancelToken& slot = entries_[Key{owner, id}];
+    if (!slot) slot = std::make_shared<CancelState>();
+    return slot;
+  }
+
+  /// Flag (owner, id) as cancelled.  Returns the token when the request
+  /// was live, nullptr when it was unknown (already finished, never
+  /// registered, or a stray cancel) — the caller uses the token to also
+  /// hunt the queue for a still-queued instance.
+  CancelToken cancel(std::uint64_t owner, std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(Key{owner, id});
+    if (it == entries_.end()) return nullptr;
+    it->second->request_cancel();
+    return it->second;
+  }
+
+  /// Drop the registration once the request has resolved.
+  void erase(std::uint64_t owner, std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.erase(Key{owner, id});
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, CancelToken> entries_;
+};
+
+}  // namespace mpct::qos

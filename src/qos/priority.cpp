@@ -1,0 +1,14 @@
+#include "qos/priority.hpp"
+
+namespace mpct::qos {
+
+std::string_view to_string(PriorityClass cls) {
+  switch (cls) {
+    case PriorityClass::Interactive: return "interactive";
+    case PriorityClass::Batch:       return "batch";
+    case PriorityClass::Background:  return "background";
+  }
+  return "unknown";
+}
+
+}  // namespace mpct::qos

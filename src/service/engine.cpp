@@ -306,6 +306,47 @@ QueryResponse execute_simulate(const SimulateRequest& request) {
   return response;
 }
 
+/// Keep every second element, always including the first; an axis of
+/// fewer than two entries is left alone.
+template <typename T>
+void stride_axis(std::vector<T>& axis) {
+  if (axis.size() < 2) return;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < axis.size(); i += 2) {
+    axis[kept++] = std::move(axis[i]);
+  }
+  axis.resize(kept);
+}
+
+/// Admission said Degrade: shrink grid work in place so it costs a
+/// fraction of the full request — a sweep keeps every second n / LUT
+/// value, a fault curve keeps every second rate at half the trials.
+/// Returns true when the request actually shrank (the response must
+/// then carry QueryResponse::sampled).  The strided grid fingerprints
+/// differently from the full one, so degraded and full-precision
+/// results never share a cache entry.
+bool stride_for_degrade(Request& request) {
+  if (auto* sweep = std::get_if<SweepRequest>(&request)) {
+    explore::SweepGrid grid = sweep->grid.normalized();
+    const std::size_t before = grid.cell_count();
+    stride_axis(grid.n_values);
+    stride_axis(grid.lut_budgets);
+    if (grid.cell_count() == before) return false;
+    sweep->grid = std::move(grid);
+    return true;
+  }
+  if (auto* curve = std::get_if<FaultSweepRequest>(&request)) {
+    fault::CurveSpec spec = curve->spec.normalized();
+    const std::size_t before = spec.cell_count();
+    stride_axis(spec.fault_rates);
+    if (spec.trials_per_rate > 1) spec.trials_per_rate /= 2;
+    if (spec.cell_count() == before) return false;
+    curve->spec = std::move(spec);
+    return true;
+  }
+  return false;
+}
+
 QueryResponse execute_cost(const CostRequest& request,
                            const cost::ComponentLibrary& library) {
   QueryResponse response;
@@ -345,10 +386,20 @@ QueryResponse execute_cost(const CostRequest& request,
 QueryEngine::QueryEngine(EngineOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_shards, options_.cache_capacity_per_shard),
-      queue_(std::make_unique<BoundedQueue<Task>>(
-          options_.queue_capacity == 0 ? 1 : options_.queue_capacity)) {
+      queue_(std::make_unique<qos::WfqQueue<Task>>(
+          options_.queue_capacity == 0 ? 1 : options_.queue_capacity,
+          options_.wfq_weights)),
+      admission_(options_.admission) {
   if (options_.max_batch == 0) options_.max_batch = 1;
   if (options_.start_workers) start();
+}
+
+/// With QoS off, every task rides the Interactive subqueue no matter
+/// its recorded class — one FIFO, byte-for-byte the pre-QoS dispatch
+/// order.  The class is still stamped on the task so callers can
+/// observe it.
+qos::PriorityClass QueryEngine::enqueue_class(qos::PriorityClass cls) const {
+  return options_.enable_qos ? cls : qos::PriorityClass::Interactive;
 }
 
 QueryEngine::~QueryEngine() { shutdown(); }
@@ -368,13 +419,30 @@ std::future<QueryResponse> QueryEngine::submit(Request request,
   return submit_impl(std::move(request), deadline, nullptr);
 }
 
+std::future<QueryResponse> QueryEngine::submit(Request request,
+                                               Deadline deadline,
+                                               qos::PriorityClass priority) {
+  return submit_impl(std::move(request), deadline, nullptr, priority);
+}
+
 void QueryEngine::submit_async(Request request, Deadline deadline,
                                ResponseCallback callback) {
   submit_impl(std::move(request), deadline, std::move(callback));
 }
 
+void QueryEngine::submit_async(Request request, Deadline deadline,
+                               qos::PriorityClass priority,
+                               std::uint64_t cancel_owner,
+                               std::uint64_t cancel_id,
+                               ResponseCallback callback) {
+  submit_impl(std::move(request), deadline, std::move(callback), priority,
+              cancel_owner, cancel_id);
+}
+
 std::future<QueryResponse> QueryEngine::submit_impl(
-    Request request, Deadline deadline, ResponseCallback callback) {
+    Request request, Deadline deadline, ResponseCallback callback,
+    std::optional<qos::PriorityClass> priority, std::uint64_t cancel_owner,
+    std::uint64_t cancel_id) {
   trace::ScopedSpan span("engine.submit", trace::Category::Engine, "type",
                          static_cast<std::int64_t>(request_type(request)));
   metrics_.submitted.add();
@@ -385,20 +453,56 @@ std::future<QueryResponse> QueryEngine::submit_impl(
     return resolve_ready(callback, rejected(Status::deadline_exceeded()));
   }
 
+  const qos::PriorityClass cls =
+      priority.value_or(qos::default_priority(request));
+  bool degraded = false;
+  bool strided = false;
+  if (options_.enable_qos) {
+    admission_.observe(interactive_buckets(), Clock::now());
+    const qos::Admission admission =
+        admission_.decide(cls, queue_->max_fill());
+    if (admission.action == qos::AdmissionAction::Shed) {
+      // Disjoint from the lifecycle rejection counters by design: a
+      // shed is a policy refusal, never counted as a deadline / queue /
+      // shutdown event (docs/SERVICE.md, "Counting invariants").
+      if (cls == qos::PriorityClass::Background) {
+        metrics_.qos_shed_background.add();
+      } else {
+        metrics_.qos_shed_batch.add();
+      }
+      trace::emit_instant("qos.shed", trace::Category::Qos);
+      return resolve_ready(
+          callback,
+          rejected(Status::overloaded(
+              std::string(qos::to_string(cls)) + " load shed: pressure " +
+                  std::to_string(admission.pressure),
+              admission.retry_after_ms)));
+    }
+    if (admission.action == qos::AdmissionAction::Degrade) {
+      degraded = true;
+      strided = stride_for_degrade(request);
+      if (strided) trace::emit_instant("qos.degrade", trace::Category::Qos);
+    }
+  }
+
   if (options_.worker_threads == 0) {
     // Single-threaded fallback: execute inline, deterministically.
     metrics_.batch_sizes.record(1);
-    return resolve_ready(callback,
-                         run_request(request, deadline, Clock::now()));
+    QueryResponse response =
+        run_request(request, deadline, Clock::now(), degraded);
+    if (strided) mark_degraded(response);
+    return resolve_ready(callback, std::move(response));
   }
 
   if (auto* sweep_request = std::get_if<SweepRequest>(&request)) {
     return submit_sweep(std::move(*sweep_request), deadline,
-                        std::move(callback));
+                        std::move(callback), cls, degraded, strided,
+                        cancel_owner, cancel_id);
   }
   if (auto* fault_request = std::get_if<FaultSweepRequest>(&request)) {
     return submit_fault_sweep(std::move(*fault_request), deadline,
-                              std::move(callback));
+                              std::move(callback), cls, degraded, strided,
+                              cancel_owner, cancel_id);
   }
 
   Task task;
@@ -407,6 +511,13 @@ std::future<QueryResponse> QueryEngine::submit_impl(
   task.enqueued = Clock::now();
   task.trace_id = trace::current_trace_id();
   task.callback = std::move(callback);
+  task.priority = cls;
+  task.allow_stale = degraded;
+  if (cancel_owner != 0 || cancel_id != 0) {
+    task.cancel = cancels_.add(cancel_owner, cancel_id);
+    task.cancel_owner = cancel_owner;
+    task.cancel_id = cancel_id;
+  }
   std::future<QueryResponse> future;
   if (!task.callback) future = task.promise.get_future();
 
@@ -417,7 +528,7 @@ std::future<QueryResponse> QueryEngine::submit_impl(
     if (shutdown_) {
       metrics_.rejected_shutdown.add();
       rejection = Status::shutting_down();
-    } else if (!queue_->try_push(task)) {
+    } else if (!queue_->try_push(enqueue_class(cls), task)) {
       metrics_.rejected_queue_full.add();
       rejection = Status::queue_full();
     } else {
@@ -425,6 +536,7 @@ std::future<QueryResponse> QueryEngine::submit_impl(
     }
   }
   if (!rejection.ok()) {
+    if (task.cancel) cancels_.erase(task.cancel_owner, task.cancel_id);
     // Resolved after the lock is released so a callback can never run
     // while the engine's lifecycle mutex is held.
     return resolve_ready(task.callback, rejected(std::move(rejection)));
@@ -487,8 +599,18 @@ void QueryEngine::worker_loop() {
         metrics_.in_flight.decrement();
         continue;
       }
-      QueryResponse response =
-          run_request(task.request, task.deadline, task.enqueued);
+      if (task.cancel && task.cancel->is_cancelled()) {
+        // The cancel arrived after this worker popped the task (the
+        // queue sweep missed it) — honour it here instead of spending
+        // the execution.
+        metrics_.qos_cancelled_inflight.add();
+        trace::emit_instant("qos.cancelled", trace::Category::Qos);
+        metrics_.in_flight.decrement();
+        finish_task(task, rejected(Status::cancelled()));
+        continue;
+      }
+      QueryResponse response = run_request(task.request, task.deadline,
+                                           task.enqueued, task.allow_stale);
       metrics_.in_flight.decrement();
       finish_task(task, std::move(response));
     }
@@ -496,6 +618,7 @@ void QueryEngine::worker_loop() {
 }
 
 void QueryEngine::finish_task(Task& task, QueryResponse response) {
+  if (task.cancel) cancels_.erase(task.cancel_owner, task.cancel_id);
   if (task.callback) {
     task.callback(std::move(response));
   } else {
@@ -508,14 +631,16 @@ void QueryEngine::finish_task(Task& task, QueryResponse response) {
   drained_.notify_all();
 }
 
-void QueryEngine::SweepJob::fail(StatusCode code, std::string message) {
+bool QueryEngine::SweepJob::fail(StatusCode code, std::string message) {
   int expected = 0;
   if (fail_code.compare_exchange_strong(expected, static_cast<int>(code),
                                         std::memory_order_acq_rel)) {
     // Only the winning CAS writes the message; complete_sweep() reads it
     // after the final fetch_sub on `remaining` synchronizes with ours.
     fail_message = std::move(message);
+    return true;
   }
+  return false;
 }
 
 void QueryEngine::SweepJob::resolve(QueryResponse response) {
@@ -527,7 +652,9 @@ void QueryEngine::SweepJob::resolve(QueryResponse response) {
 }
 
 std::future<QueryResponse> QueryEngine::submit_sweep(
-    SweepRequest request, Deadline deadline, ResponseCallback callback) {
+    SweepRequest request, Deadline deadline, ResponseCallback callback,
+    qos::PriorityClass priority, bool degraded, bool strided,
+    std::uint64_t cancel_owner, std::uint64_t cancel_id) {
   const Clock::time_point enqueued = Clock::now();
 
   Status valid = validate_sweep(request.grid);
@@ -538,17 +665,19 @@ std::future<QueryResponse> QueryEngine::submit_sweep(
 
   // Same key fingerprint(Request) computes, without re-wrapping the
   // request: the type tag first, then the grid hash — so the inline and
-  // chunk-parallel paths share cache entries.
+  // chunk-parallel paths share cache entries.  A strided (degraded)
+  // grid hashes differently, so it can only hit other degraded runs.
   FingerprintBuilder key_builder;
   key_builder.mix(static_cast<int>(RequestType::Sweep))
       .mix(fingerprint(request.grid));
   const Fingerprint key = key_builder.value();
 
   if (options_.enable_cache) {
+    bool served_stale = false;
     std::shared_ptr<const ResponsePayload> hit;
     {
       trace::ScopedSpan probe("cache.probe", trace::Category::Cache);
-      hit = cache_.get(key);
+      hit = probe_cache(key, degraded, served_stale);
       probe.annotate("hit", hit ? 1 : 0);
     }
     if (hit) {
@@ -556,6 +685,7 @@ std::future<QueryResponse> QueryEngine::submit_sweep(
       QueryResponse response;
       response.payload = std::move(hit);
       response.cache_hit = true;
+      if (served_stale || strided) mark_degraded(response);
       response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
           Clock::now() - enqueued);
       metrics_.latency(RequestType::Sweep).record(response.latency);
@@ -573,6 +703,12 @@ std::future<QueryResponse> QueryEngine::submit_sweep(
   job->enqueued = enqueued;
   job->trace_id = trace::current_trace_id();
   job->callback = std::move(callback);
+  job->sampled = strided;
+  if (cancel_owner != 0 || cancel_id != 0) {
+    job->cancel = cancels_.add(cancel_owner, cancel_id);
+    job->cancel_owner = cancel_owner;
+    job->cancel_id = cancel_id;
+  }
   std::future<QueryResponse> future;
   if (!job->callback) future = job->promise.get_future();
 
@@ -600,7 +736,7 @@ std::future<QueryResponse> QueryEngine::submit_sweep(
     if (shutdown_) {
       metrics_.rejected_shutdown.add();
       rejection = Status::shutting_down();
-    } else if (queue_->size() + chunk_count > queue_->capacity()) {
+    } else if (!queue_->has_room(enqueue_class(priority), chunk_count)) {
       // All-or-nothing enqueue: pushes are serialized by lifecycle_mutex_
       // and concurrent pops only shrink the queue, so after this capacity
       // check every chunk's try_push is guaranteed to succeed.
@@ -613,9 +749,10 @@ std::future<QueryResponse> QueryEngine::submit_sweep(
         task.enqueued = enqueued;
         task.trace_id = job->trace_id;
         task.sweep_job = job;
+        task.priority = priority;
         task.chunk_begin = i * chunk_cells;
         task.chunk_end = std::min(cells, task.chunk_begin + chunk_cells);
-        if (!queue_->try_push(task)) {
+        if (!queue_->try_push(enqueue_class(priority), task)) {
           // Unreachable (see the capacity check above); keep the job's
           // chunk accounting consistent anyway so the request resolves.
           job->fail(StatusCode::InternalError, "sweep chunk enqueue failed");
@@ -631,6 +768,7 @@ std::future<QueryResponse> QueryEngine::submit_sweep(
     }
   }
   if (!rejection.ok()) {
+    if (job->cancel) cancels_.erase(job->cancel_owner, job->cancel_id);
     // Resolved after the lock is released so a callback can never run
     // while the engine's lifecycle mutex is held.
     return resolve_ready(job->callback, rejected(std::move(rejection)));
@@ -638,12 +776,14 @@ std::future<QueryResponse> QueryEngine::submit_sweep(
   return future;
 }
 
-void QueryEngine::CurveJob::fail(StatusCode code, std::string message) {
+bool QueryEngine::CurveJob::fail(StatusCode code, std::string message) {
   int expected = 0;
   if (fail_code.compare_exchange_strong(expected, static_cast<int>(code),
                                         std::memory_order_acq_rel)) {
     fail_message = std::move(message);
+    return true;
   }
+  return false;
 }
 
 void QueryEngine::CurveJob::resolve(QueryResponse response) {
@@ -655,7 +795,9 @@ void QueryEngine::CurveJob::resolve(QueryResponse response) {
 }
 
 std::future<QueryResponse> QueryEngine::submit_fault_sweep(
-    FaultSweepRequest request, Deadline deadline, ResponseCallback callback) {
+    FaultSweepRequest request, Deadline deadline, ResponseCallback callback,
+    qos::PriorityClass priority, bool degraded, bool strided,
+    std::uint64_t cancel_owner, std::uint64_t cancel_id) {
   const Clock::time_point enqueued = Clock::now();
 
   Status valid = validate_curve(request.spec);
@@ -665,17 +807,19 @@ std::future<QueryResponse> QueryEngine::submit_fault_sweep(
   }
 
   // Same key fingerprint(Request) computes, so the inline and
-  // chunk-parallel paths share cache entries.
+  // chunk-parallel paths share cache entries.  A strided (degraded)
+  // spec hashes differently, so it can only hit other degraded runs.
   FingerprintBuilder key_builder;
   key_builder.mix(static_cast<int>(RequestType::FaultSweep))
       .mix(fingerprint(request.spec));
   const Fingerprint key = key_builder.value();
 
   if (options_.enable_cache) {
+    bool served_stale = false;
     std::shared_ptr<const ResponsePayload> hit;
     {
       trace::ScopedSpan probe("cache.probe", trace::Category::Cache);
-      hit = cache_.get(key);
+      hit = probe_cache(key, degraded, served_stale);
       probe.annotate("hit", hit ? 1 : 0);
     }
     if (hit) {
@@ -683,6 +827,7 @@ std::future<QueryResponse> QueryEngine::submit_fault_sweep(
       QueryResponse response;
       response.payload = std::move(hit);
       response.cache_hit = true;
+      if (served_stale || strided) mark_degraded(response);
       response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
           Clock::now() - enqueued);
       metrics_.latency(RequestType::FaultSweep).record(response.latency);
@@ -700,6 +845,12 @@ std::future<QueryResponse> QueryEngine::submit_fault_sweep(
   job->enqueued = enqueued;
   job->trace_id = trace::current_trace_id();
   job->callback = std::move(callback);
+  job->sampled = strided;
+  if (cancel_owner != 0 || cancel_id != 0) {
+    job->cancel = cancels_.add(cancel_owner, cancel_id);
+    job->cancel_owner = cancel_owner;
+    job->cancel_id = cancel_id;
+  }
   std::future<QueryResponse> future;
   if (!job->callback) future = job->promise.get_future();
 
@@ -720,7 +871,7 @@ std::future<QueryResponse> QueryEngine::submit_fault_sweep(
     if (shutdown_) {
       metrics_.rejected_shutdown.add();
       rejection = Status::shutting_down();
-    } else if (queue_->size() + chunk_count > queue_->capacity()) {
+    } else if (!queue_->has_room(enqueue_class(priority), chunk_count)) {
       // All-or-nothing enqueue under lifecycle_mutex_, exactly like
       // submit_sweep: after the capacity check every try_push succeeds.
       metrics_.rejected_queue_full.add();
@@ -732,9 +883,10 @@ std::future<QueryResponse> QueryEngine::submit_fault_sweep(
         task.enqueued = enqueued;
         task.trace_id = job->trace_id;
         task.curve_job = job;
+        task.priority = priority;
         task.chunk_begin = i * chunk_cells;
         task.chunk_end = std::min(cells, task.chunk_begin + chunk_cells);
-        if (!queue_->try_push(task)) {
+        if (!queue_->try_push(enqueue_class(priority), task)) {
           job->fail(StatusCode::InternalError,
                     "fault sweep chunk enqueue failed");
           if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -749,6 +901,7 @@ std::future<QueryResponse> QueryEngine::submit_fault_sweep(
     }
   }
   if (!rejection.ok()) {
+    if (job->cancel) cancels_.erase(job->cancel_owner, job->cancel_id);
     // Resolved after the lock is released so a callback can never run
     // while the engine's lifecycle mutex is held.
     return resolve_ready(job->callback, rejected(std::move(rejection)));
@@ -764,7 +917,14 @@ void QueryEngine::run_curve_chunk(Task& task) {
     trace::ScopedSpan span(
         "fault.chunk", trace::Category::Chunk, "cells",
         static_cast<std::int64_t>(task.chunk_end - task.chunk_begin));
-    if (task.deadline.expired()) {
+    if (job.cancel && job.cancel->is_cancelled()) {
+      // Cooperative cancellation: checked once per chunk, so an
+      // in-flight Monte-Carlo sweep stops within one chunk's work.
+      if (job.fail(StatusCode::Cancelled)) {
+        metrics_.qos_cancelled_inflight.add();
+        trace::emit_instant("qos.cancelled", trace::Category::Qos);
+      }
+    } else if (task.deadline.expired()) {
       trace::emit_instant("deadline.expired", trace::Category::Mark);
       job.fail(StatusCode::DeadlineExceeded);
     } else if (job.fail_code.load(std::memory_order_relaxed) == 0) {
@@ -802,6 +962,11 @@ void QueryEngine::complete_curve(Task& task) {
           metrics_.rejected_shutdown.add();
           response = rejected(Status::shutting_down());
           break;
+        case StatusCode::Cancelled:
+          // Already counted (queued or in-flight) by whoever won the
+          // fail CAS; the response is just the ack.
+          response = rejected(Status::cancelled());
+          break;
         default:
           response = rejected(Status::internal_error(job.fail_message));
           trace::emit_instant("request.failed", trace::Category::Mark);
@@ -814,6 +979,7 @@ void QueryEngine::complete_curve(Task& task) {
       response.payload =
           std::make_shared<const ResponsePayload>(std::move(payload));
       if (options_.enable_cache) cache_.put(job.key, response.payload);
+      if (job.sampled) mark_degraded(response);
     }
   }
   response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -821,9 +987,11 @@ void QueryEngine::complete_curve(Task& task) {
   metrics_.latency(RequestType::FaultSweep).record(response.latency);
   if (response.ok()) {
     metrics_.completed.add();
-  } else if (response.status.code != StatusCode::DeadlineExceeded) {
+  } else if (response.status.code != StatusCode::DeadlineExceeded &&
+             response.status.code != StatusCode::Cancelled) {
     metrics_.failed.add();
   }
+  if (job.cancel) cancels_.erase(job.cancel_owner, job.cancel_id);
   job.resolve(std::move(response));
   {
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
@@ -840,7 +1008,14 @@ void QueryEngine::run_sweep_chunk(Task& task) {
     trace::ScopedSpan span(
         "sweep.chunk", trace::Category::Chunk, "cells",
         static_cast<std::int64_t>(task.chunk_end - task.chunk_begin));
-    if (task.deadline.expired()) {
+    if (job.cancel && job.cancel->is_cancelled()) {
+      // Cooperative cancellation: checked once per chunk, so an
+      // in-flight sweep stops within one chunk's work.
+      if (job.fail(StatusCode::Cancelled)) {
+        metrics_.qos_cancelled_inflight.add();
+        trace::emit_instant("qos.cancelled", trace::Category::Qos);
+      }
+    } else if (task.deadline.expired()) {
       trace::emit_instant("deadline.expired", trace::Category::Mark);
       job.fail(StatusCode::DeadlineExceeded);
     } else if (job.fail_code.load(std::memory_order_relaxed) == 0) {
@@ -878,6 +1053,11 @@ void QueryEngine::complete_sweep(Task& task) {
           metrics_.rejected_shutdown.add();
           response = rejected(Status::shutting_down());
           break;
+        case StatusCode::Cancelled:
+          // Already counted (queued or in-flight) by whoever won the
+          // fail CAS; the response is just the ack.
+          response = rejected(Status::cancelled());
+          break;
         default:
           response = rejected(Status::internal_error(job.fail_message));
           trace::emit_instant("request.failed", trace::Category::Mark);
@@ -892,6 +1072,7 @@ void QueryEngine::complete_sweep(Task& task) {
       response.payload =
           std::make_shared<const ResponsePayload>(std::move(payload));
       if (options_.enable_cache) cache_.put(job.key, response.payload);
+      if (job.sampled) mark_degraded(response);
     }
   }
   response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -899,9 +1080,11 @@ void QueryEngine::complete_sweep(Task& task) {
   metrics_.latency(RequestType::Sweep).record(response.latency);
   if (response.ok()) {
     metrics_.completed.add();
-  } else if (response.status.code != StatusCode::DeadlineExceeded) {
+  } else if (response.status.code != StatusCode::DeadlineExceeded &&
+             response.status.code != StatusCode::Cancelled) {
     metrics_.failed.add();
   }
+  if (job.cancel) cancels_.erase(job.cancel_owner, job.cancel_id);
   job.resolve(std::move(response));
   {
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
@@ -912,7 +1095,8 @@ void QueryEngine::complete_sweep(Task& task) {
 
 QueryResponse QueryEngine::run_request(const Request& request,
                                        Deadline deadline,
-                                       Clock::time_point start) {
+                                       Clock::time_point start,
+                                       bool allow_stale) {
   QueryResponse response;
   if (deadline.expired()) {
     // The submit-time check already passed, so this request aged out
@@ -925,7 +1109,7 @@ QueryResponse QueryEngine::run_request(const Request& request,
   } else {
     trace::ScopedSpan span(execute_span_name(request_type(request)),
                            trace::Category::Execute);
-    response = execute_cached(request);
+    response = execute_cached(request, allow_stale);
     if (const auto* sim = std::get_if<SimulateRequest>(&request)) {
       if (response.ok() && !response.cache_hit) {
         metrics_.sim_runs.add();
@@ -950,14 +1134,16 @@ QueryResponse QueryEngine::run_request(const Request& request,
   return response;
 }
 
-QueryResponse QueryEngine::execute_cached(const Request& request) {
+QueryResponse QueryEngine::execute_cached(const Request& request,
+                                          bool allow_stale) {
   if (!options_.enable_cache) return execute_uncached(request);
 
   const Fingerprint key = fingerprint(request);
+  bool served_stale = false;
   std::shared_ptr<const ResponsePayload> hit;
   {
     trace::ScopedSpan probe("cache.probe", trace::Category::Cache);
-    hit = cache_.get(key);
+    hit = probe_cache(key, allow_stale, served_stale);
     probe.annotate("hit", hit ? 1 : 0);
   }
   if (hit) {
@@ -965,12 +1151,105 @@ QueryResponse QueryEngine::execute_cached(const Request& request) {
     QueryResponse response;
     response.payload = std::move(hit);
     response.cache_hit = true;
+    if (served_stale) mark_degraded(response);
     return response;
   }
   metrics_.cache_misses.add();
   QueryResponse response = execute_uncached(request);
   if (response.ok()) cache_.put(key, response.payload);
   return response;
+}
+
+/// Soft-TTL ladder: with the TTL disabled (the default) this is a plain
+/// cache lookup, byte-for-byte the pre-QoS behavior.  With a TTL, a
+/// fresh entry is a hit; a stale one is served only under admission
+/// Degrade (trading staleness for a worker's time), otherwise treated
+/// as a miss so the recompute refreshes it.
+std::shared_ptr<const ResponsePayload> QueryEngine::probe_cache(
+    Fingerprint key, bool allow_stale, bool& served_stale) {
+  served_stale = false;
+  if (options_.cache_soft_ttl.count() <= 0) return cache_.get(key);
+  std::chrono::steady_clock::duration age{};
+  std::shared_ptr<const ResponsePayload> hit = cache_.get(key, &age);
+  if (!hit || age <= options_.cache_soft_ttl) return hit;
+  if (!allow_stale) return nullptr;  // stale ⇒ miss; the put() refreshes
+  served_stale = true;
+  return hit;
+}
+
+void QueryEngine::mark_degraded(QueryResponse& response) {
+  if (!response.ok() || response.sampled) return;
+  response.sampled = true;
+  metrics_.qos_degraded_responses.add();
+}
+
+LatencyHistogram::Buckets QueryEngine::interactive_buckets() const {
+  LatencyHistogram::Buckets merged{};
+  for (const RequestType type :
+       {RequestType::Classify, RequestType::Recommend, RequestType::Cost,
+        RequestType::Simulate}) {
+    const LatencyHistogram::Buckets b = metrics_.latency(type).buckets();
+    for (std::size_t i = 0; i < b.counts.size(); ++i) {
+      merged.counts[i] += b.counts[i];
+    }
+    merged.count += b.count;
+    merged.sum_ns += b.sum_ns;
+  }
+  return merged;
+}
+
+bool QueryEngine::cancel(std::uint64_t owner, std::uint64_t id) {
+  trace::ScopedSpan span("qos.cancel", trace::Category::Qos);
+  qos::CancelToken token = cancels_.cancel(owner, id);
+  if (!token) return false;
+
+  // Dequeue-if-queued: the reclaimed-capacity half of cancellation.
+  // Anything still waiting is pulled out of its subqueue now; in-flight
+  // work sees the token at the next chunk boundary instead.
+  std::vector<Task> removed;
+  queue_->remove_all_if(
+      [owner, id](const Task& task) {
+        if (task.sweep_job) {
+          return task.sweep_job->cancel_owner == owner &&
+                 task.sweep_job->cancel_id == id && task.sweep_job->cancel;
+        }
+        if (task.curve_job) {
+          return task.curve_job->cancel_owner == owner &&
+                 task.curve_job->cancel_id == id && task.curve_job->cancel;
+        }
+        return task.cancel_owner == owner && task.cancel_id == id &&
+               task.cancel != nullptr;
+      },
+      removed);
+  for (Task& task : removed) {
+    metrics_.queue_depth.decrement();
+    if (task.sweep_job) {
+      if (task.sweep_job->fail(StatusCode::Cancelled)) {
+        metrics_.qos_cancelled_queued.add();
+        trace::emit_instant("qos.cancelled", trace::Category::Qos);
+      }
+      if (task.sweep_job->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+          1) {
+        complete_sweep(task);
+      }
+      continue;
+    }
+    if (task.curve_job) {
+      if (task.curve_job->fail(StatusCode::Cancelled)) {
+        metrics_.qos_cancelled_queued.add();
+        trace::emit_instant("qos.cancelled", trace::Category::Qos);
+      }
+      if (task.curve_job->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+          1) {
+        complete_curve(task);
+      }
+      continue;
+    }
+    metrics_.qos_cancelled_queued.add();
+    trace::emit_instant("qos.cancelled", trace::Category::Qos);
+    finish_task(task, rejected(Status::cancelled()));
+  }
+  return true;
 }
 
 QueryResponse QueryEngine::execute_uncached(const Request& request) const {

@@ -1,20 +1,26 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "cost/component_library.hpp"
+#include "qos/admission.hpp"
+#include "qos/cancel.hpp"
+#include "qos/priority.hpp"
+#include "qos/wfq_queue.hpp"
 #include "service/cache.hpp"
 #include "service/fingerprint.hpp"
 #include "service/metrics.hpp"
-#include "service/queue.hpp"
 #include "service/request.hpp"
 
 namespace mpct::service {
@@ -51,6 +57,29 @@ struct EngineOptions {
   /// the engine, not the request, so cached responses can never mix
   /// libraries.
   cost::ComponentLibrary library = cost::ComponentLibrary::default_library();
+
+  /// Master switch for the QoS serving path (src/qos).  Off (the
+  /// default), the engine behaves exactly like the pre-QoS build: every
+  /// request rides the Interactive subqueue in submit order (a single
+  /// FIFO), admission control never runs, and no response is ever
+  /// degraded.  On, requests are classed (explicitly or by
+  /// qos::default_priority), dispatched by weighted fair queueing, and
+  /// subject to the admission controller's degrade/shed ladder.
+  bool enable_qos = false;
+
+  /// Deficit-round-robin dispatch weights, used when enable_qos is on.
+  qos::WfqWeights wfq_weights;
+
+  /// Admission-control thresholds, used when enable_qos is on.
+  qos::AdmissionOptions admission;
+
+  /// Soft TTL for cache entries.  0 (default) disables ageing: entries
+  /// live until evicted, exactly as before.  Non-zero, an entry older
+  /// than this is treated as a miss (recomputed and refreshed) — unless
+  /// the admission controller says Degrade, in which case the stale
+  /// entry is served as-is with QueryResponse::sampled set, trading
+  /// freshness for not spending a worker under pressure.
+  std::chrono::milliseconds cache_soft_ttl{0};
 };
 
 /// Concurrent front door to the taxonomy library.
@@ -58,7 +87,9 @@ struct EngineOptions {
 /// Turns the synchronous single-caller API (`ArchitectureSpec::classify`,
 /// `explore::recommend`, `cost::estimate_area` / `estimate_config_bits`)
 /// into a query service: requests are submitted (individually or as a
-/// batch), flow through a bounded MPMC queue into a fixed worker pool,
+/// batch), flow through a bounded per-class queue (weighted fair
+/// queueing when enable_qos is on, plain FIFO otherwise) into a fixed
+/// worker pool,
 /// hit a sharded LRU result cache keyed by canonical request fingerprint,
 /// and resolve to std::future<QueryResponse> with structured Status codes
 /// instead of exceptions.
@@ -89,6 +120,13 @@ class QueryEngine {
   std::future<QueryResponse> submit(Request request,
                                     Deadline deadline = Deadline::never());
 
+  /// Submit with an explicit QoS class instead of the request type's
+  /// default (qos::default_priority) — e.g. a replay soak tagging its
+  /// whole stream Background.  With enable_qos off the class is
+  /// recorded on the task but everything still dispatches FIFO.
+  std::future<QueryResponse> submit(Request request, Deadline deadline,
+                                    qos::PriorityClass priority);
+
   /// Completion hook for event-driven callers (the TCP server in
   /// src/net, whose poll loop cannot block on futures).
   using ResponseCallback = std::function<void(QueryResponse)>;
@@ -103,6 +141,25 @@ class QueryEngine {
   /// dequeue path), and must not call back into this engine.
   void submit_async(Request request, Deadline deadline,
                     ResponseCallback callback);
+
+  /// submit_async with an explicit QoS class and a cancellation
+  /// identity.  (@p cancel_owner, @p cancel_id) keys the request in the
+  /// engine's cancel registry — the net server passes its connection
+  /// serial and the wire request id, so a CancelRequest frame can name
+  /// exactly this submission; (0, 0) skips registration.  Registration
+  /// is dropped automatically when the request resolves.
+  void submit_async(Request request, Deadline deadline,
+                    qos::PriorityClass priority, std::uint64_t cancel_owner,
+                    std::uint64_t cancel_id, ResponseCallback callback);
+
+  /// Server-side cancellation: flag the request registered under
+  /// (@p owner, @p id).  If it is still queued it is dequeued now and
+  /// resolved with StatusCode::Cancelled (reclaimed capacity, counted
+  /// as qos_cancelled_queued); if it is executing, chunk workers notice
+  /// the flag at the next chunk boundary (qos_cancelled_inflight); if
+  /// it already finished this is a no-op.  Returns false when the key
+  /// is unknown (never registered or already resolved).
+  bool cancel(std::uint64_t owner, std::uint64_t id);
 
   /// Submit a batch; element i of the result corresponds to request i.
   /// Requests that no longer fit in the queue are rejected individually
@@ -162,9 +219,19 @@ class QueryEngine {
     /// Set instead of using `promise` for submit_async() sweeps.
     ResponseCallback callback;
 
+    /// The grid was strided by admission Degrade: the merged response
+    /// carries QueryResponse::sampled.
+    bool sampled = false;
+    /// Cancellation identity + shared token (null when unregistered).
+    qos::CancelToken cancel;
+    std::uint64_t cancel_owner = 0;
+    std::uint64_t cancel_id = 0;
+
     explicit SweepJob(explore::SweepEvaluator eval)
         : evaluator(std::move(eval)) {}
-    void fail(StatusCode code, std::string message = {});
+    /// Returns true when this call won the first-failure CAS — the
+    /// caller that gets to count the failure exactly once.
+    bool fail(StatusCode code, std::string message = {});
     /// Deliver the response through the callback when set, else the
     /// promise.  Called exactly once, by the finisher.
     void resolve(QueryResponse response);
@@ -191,9 +258,16 @@ class QueryEngine {
     /// Set instead of using `promise` for submit_async() fault sweeps.
     ResponseCallback callback;
 
+    /// See SweepJob: degraded-precision marker + cancellation identity.
+    bool sampled = false;
+    qos::CancelToken cancel;
+    std::uint64_t cancel_owner = 0;
+    std::uint64_t cancel_id = 0;
+
     explicit CurveJob(fault::CurveEvaluator eval)
         : evaluator(std::move(eval)) {}
-    void fail(StatusCode code, std::string message = {});
+    /// Returns true when this call won the first-failure CAS.
+    bool fail(StatusCode code, std::string message = {});
     void resolve(QueryResponse response);
   };
 
@@ -214,6 +288,17 @@ class QueryEngine {
     std::shared_ptr<CurveJob> curve_job;
     std::size_t chunk_begin = 0;
     std::size_t chunk_end = 0;
+    /// QoS class this task was admitted under (chunks inherit their
+    /// job's class) — the WFQ subqueue it waits in.
+    qos::PriorityClass priority = qos::PriorityClass::Interactive;
+    /// Admission said Degrade at submit: the cache may answer with an
+    /// entry past its soft-TTL (marked sampled) instead of recomputing.
+    bool allow_stale = false;
+    /// Cancellation token + registry identity (plain tasks only; chunk
+    /// tasks carry their token on the shared job).
+    qos::CancelToken cancel;
+    std::uint64_t cancel_owner = 0;
+    std::uint64_t cancel_id = 0;
   };
 
   void worker_loop();
@@ -221,16 +306,28 @@ class QueryEngine {
 
   /// Common body of submit() and submit_async(): with a null callback
   /// the response flows through the returned future; with a callback the
-  /// future is default-constructed (invalid) and unused.
-  std::future<QueryResponse> submit_impl(Request request, Deadline deadline,
-                                         ResponseCallback callback);
+  /// future is default-constructed (invalid) and unused.  @p priority
+  /// nullopt derives the class from the request type; the admission
+  /// controller (enable_qos only) may degrade or shed before any
+  /// enqueue.
+  std::future<QueryResponse> submit_impl(
+      Request request, Deadline deadline, ResponseCallback callback,
+      std::optional<qos::PriorityClass> priority = std::nullopt,
+      std::uint64_t cancel_owner = 0, std::uint64_t cancel_id = 0);
 
   /// Parallel fast path for SweepRequest: validate, probe the cache,
   /// split the grid into chunk tasks and enqueue them all (atomically —
   /// either every chunk is accepted or the request is rejected).
+  /// @p degraded marks an admission-Degrade submission (the grid was
+  /// already strided by the caller when stridable; stale cache hits are
+  /// allowed); @p strided says the grid actually shrank.
   std::future<QueryResponse> submit_sweep(SweepRequest request,
                                           Deadline deadline,
-                                          ResponseCallback callback);
+                                          ResponseCallback callback,
+                                          qos::PriorityClass priority,
+                                          bool degraded, bool strided,
+                                          std::uint64_t cancel_owner,
+                                          std::uint64_t cancel_id);
   /// Evaluate one chunk; the last chunk to finish calls complete_sweep().
   void run_sweep_chunk(Task& task);
   /// Merge the Pareto front, publish to the cache, resolve the future.
@@ -241,22 +338,50 @@ class QueryEngine {
   /// all-or-nothing under lifecycle_mutex_.
   std::future<QueryResponse> submit_fault_sweep(FaultSweepRequest request,
                                                 Deadline deadline,
-                                                ResponseCallback callback);
+                                                ResponseCallback callback,
+                                                qos::PriorityClass priority,
+                                                bool degraded, bool strided,
+                                                std::uint64_t cancel_owner,
+                                                std::uint64_t cancel_id);
   void run_curve_chunk(Task& task);
   /// Reduce the trial outcomes into the curve, publish, resolve.
   void complete_curve(Task& task);
 
   /// Deadline check + cache + execution + completion metrics; shared by
   /// workers, the inline single-threaded path, and execute().
+  /// @p allow_stale lets the cache serve past its soft-TTL (admission
+  /// Degrade), marking the response sampled.
   QueryResponse run_request(const Request& request, Deadline deadline,
-                            Clock::time_point start);
+                            Clock::time_point start, bool allow_stale = false);
   QueryResponse execute_uncached(const Request& request) const;
-  QueryResponse execute_cached(const Request& request);
+  QueryResponse execute_cached(const Request& request, bool allow_stale);
+
+  /// Cache lookup honouring the soft-TTL ladder: a fresh entry is a
+  /// hit; a stale one is served only when @p allow_stale (setting
+  /// @p served_stale), otherwise treated as a miss so the recompute
+  /// refreshes it.  Engine-level hit/miss counters are the caller's.
+  std::shared_ptr<const ResponsePayload> probe_cache(Fingerprint key,
+                                                     bool allow_stale,
+                                                     bool& served_stale);
+
+  /// Merged cumulative latency buckets of the Interactive request types
+  /// — the admission controller's latency signal.
+  LatencyHistogram::Buckets interactive_buckets() const;
+
+  /// Subqueue a task of class @p cls actually waits in: @p cls when
+  /// QoS is on, Interactive (the single legacy FIFO) when it is off.
+  qos::PriorityClass enqueue_class(qos::PriorityClass cls) const;
+
+  /// Count + flag one degraded response exactly once (no-op when the
+  /// response failed or was already marked by the stale-serve path).
+  void mark_degraded(QueryResponse& response);
 
   EngineOptions options_;
   MetricsRegistry metrics_;
   ShardedLruCache<ResponsePayload> cache_;
-  std::unique_ptr<BoundedQueue<Task>> queue_;
+  std::unique_ptr<qos::WfqQueue<Task>> queue_;
+  qos::AdmissionController admission_;
+  qos::CancelRegistry cancels_;
   std::vector<std::thread> workers_;
 
   std::mutex lifecycle_mutex_;

@@ -230,6 +230,20 @@ std::string MetricsRegistry::to_table(const CacheStats& cache) const {
   table.add_row(
       {"collector spans", std::to_string(trace_collector_spans.value())});
 
+  table.add_section("qos");
+  table.add_row(
+      {"shed (background)", std::to_string(qos_shed_background.value())});
+  table.add_row({"shed (batch)", std::to_string(qos_shed_batch.value())});
+  table.add_row(
+      {"degraded responses", std::to_string(qos_degraded_responses.value())});
+  table.add_row(
+      {"cancelled (queued)", std::to_string(qos_cancelled_queued.value())});
+  table.add_row({"cancelled (in flight)",
+                 std::to_string(qos_cancelled_inflight.value())});
+  table.add_row(
+      {"cancels received", std::to_string(qos_cancels_received.value())});
+  table.add_row({"cancels sent", std::to_string(qos_cancels_sent.value())});
+
   table.add_section("cache");
   table.add_row({"hits", std::to_string(cache_hits.value())});
   table.add_row({"misses", std::to_string(cache_misses.value())});
@@ -306,6 +320,18 @@ std::string MetricsRegistry::to_csv(const CacheStats& cache) const {
                std::to_string(trace_collector_batches.value())});
   csv.add_row({"trace_collector_spans",
                std::to_string(trace_collector_spans.value())});
+  csv.add_row(
+      {"qos_shed_background", std::to_string(qos_shed_background.value())});
+  csv.add_row({"qos_shed_batch", std::to_string(qos_shed_batch.value())});
+  csv.add_row({"qos_degraded_responses",
+               std::to_string(qos_degraded_responses.value())});
+  csv.add_row({"qos_cancelled_queued",
+               std::to_string(qos_cancelled_queued.value())});
+  csv.add_row({"qos_cancelled_inflight",
+               std::to_string(qos_cancelled_inflight.value())});
+  csv.add_row(
+      {"qos_cancels_received", std::to_string(qos_cancels_received.value())});
+  csv.add_row({"qos_cancels_sent", std::to_string(qos_cancels_sent.value())});
   csv.add_row({"cache_hits", std::to_string(cache_hits.value())});
   csv.add_row({"cache_misses", std::to_string(cache_misses.value())});
   csv.add_row({"cache_hit_rate", format_rate(cache_hit_rate())});
@@ -440,6 +466,32 @@ std::string MetricsRegistry::to_prometheus(const CacheStats& cache,
            "Spans absorbed by this process's collector server.");
   w.sample("mpct_trace_collector_spans_total", {},
            trace_collector_spans.value());
+
+  w.header("mpct_qos_shed_total", PromWriter::Type::Counter,
+           "Requests rejected by admission control, by priority class "
+           "(disjoint from mpct_requests_rejected_total: a shed answers "
+           "Overloaded and touches no lifecycle rejection counter).");
+  w.sample("mpct_qos_shed_total", "class=\"background\"",
+           qos_shed_background.value());
+  w.sample("mpct_qos_shed_total", "class=\"batch\"", qos_shed_batch.value());
+  w.header("mpct_qos_degraded_responses_total", PromWriter::Type::Counter,
+           "Responses served at reduced precision under pressure "
+           "(strided subgrid sweeps, cache entries past soft-TTL).");
+  w.sample("mpct_qos_degraded_responses_total", {},
+           qos_degraded_responses.value());
+  w.header("mpct_qos_cancelled_total", PromWriter::Type::Counter,
+           "Server-side cancellations honoured, by where the request "
+           "was caught.");
+  w.sample("mpct_qos_cancelled_total", "stage=\"queued\"",
+           qos_cancelled_queued.value());
+  w.sample("mpct_qos_cancelled_total", "stage=\"in_flight\"",
+           qos_cancelled_inflight.value());
+  w.header("mpct_qos_cancels_total", PromWriter::Type::Counter,
+           "Wire CancelRequest frames, by direction.");
+  w.sample("mpct_qos_cancels_total", "direction=\"received\"",
+           qos_cancels_received.value());
+  w.sample("mpct_qos_cancels_total", "direction=\"sent\"",
+           qos_cancels_sent.value());
 
   w.header("mpct_cache_hits_total", PromWriter::Type::Counter,
            "Result-cache hits.");

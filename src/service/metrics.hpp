@@ -212,6 +212,20 @@ class MetricsRegistry {
   Counter trace_collector_batches;  ///< batches a collector server absorbed
   Counter trace_collector_spans;    ///< spans a collector server absorbed
 
+  // QoS (src/qos admission + cancellation).  Shed counters are
+  // *disjoint* from the request-lifecycle rejection counters above:
+  // an admission shed increments exactly one qos_shed_* counter and
+  // answers Overloaded — it never touches rejected_deadline /
+  // expired_in_queue / rejected_queue_full (see docs/SERVICE.md,
+  // "Counting invariants").
+  Counter qos_shed_background;     ///< Background sheds (Overloaded)
+  Counter qos_shed_batch;          ///< Batch sheds (Overloaded)
+  Counter qos_degraded_responses;  ///< served sampled / stale under pressure
+  Counter qos_cancelled_queued;    ///< cancels that dequeued waiting work
+  Counter qos_cancelled_inflight;  ///< cancels honoured at a chunk boundary
+  Counter qos_cancels_received;    ///< CancelRequest frames dispatched
+  Counter qos_cancels_sent;        ///< client-side wire cancels issued
+
   /// Submit-to-completion latency per request type.
   std::array<LatencyHistogram, kRequestTypeCount> latency_by_type;
 

@@ -24,6 +24,10 @@ std::string_view to_string(StatusCode code) {
       return "protocol-error";
     case StatusCode::UnsupportedVersion:
       return "unsupported-version";
+    case StatusCode::Overloaded:
+      return "overloaded";
+    case StatusCode::Cancelled:
+      return "cancelled";
   }
   return "unknown";
 }

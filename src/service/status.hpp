@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -40,6 +41,17 @@ enum class StatusCode : int {
   /// Version negotiation failed: the client's advertised version range
   /// does not intersect what this server speaks (wire Hello/HelloAck).
   UnsupportedVersion = 9,
+  /// Admission control shed this request: the service is past its
+  /// pressure threshold for the request's priority class.  Distinct
+  /// from QueueFull (a per-class subqueue overflowing) — Overloaded is
+  /// a *policy* rejection and carries a retry-after hint that
+  /// net::Client / ClusterClient honour in their backoff.
+  Overloaded = 10,
+  /// The request was cancelled server-side (wire CancelRequest) before
+  /// it produced a result — typically a hedged duplicate whose sibling
+  /// already won.  The work was dequeued or abandoned at a chunk
+  /// boundary; no payload is attached.
+  Cancelled = 11,
 };
 
 std::string_view to_string(StatusCode code);
@@ -49,6 +61,10 @@ std::string_view to_string(StatusCode code);
 struct Status {
   StatusCode code = StatusCode::Ok;
   std::string message;
+  /// Overloaded only: how long the shedding server suggests waiting
+  /// before a retry (0 = no hint).  Travels the wire as a v2 response
+  /// extension; clients sleep max(backoff, hint).
+  std::uint32_t retry_after_ms = 0;
 
   bool ok() const { return code == StatusCode::Ok; }
 
@@ -79,6 +95,12 @@ struct Status {
   }
   static Status unsupported_version(std::string message) {
     return {StatusCode::UnsupportedVersion, std::move(message)};
+  }
+  static Status overloaded(std::string message, std::uint32_t retry_after_ms) {
+    return {StatusCode::Overloaded, std::move(message), retry_after_ms};
+  }
+  static Status cancelled() {
+    return {StatusCode::Cancelled, "request cancelled by the client"};
   }
 
   /// "ok" or "queue-full: bounded queue full; request rejected".

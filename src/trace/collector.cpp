@@ -23,17 +23,46 @@ void Collector::ingest(const SpanBatch& batch, std::int64_t recv_ns) {
     node.offset_set = true;
   }
   for (const ExportSpan& span : batch.spans) {
-    by_trace_[span.trace_id].push_back(spans_.size());
-    spans_.push_back(StoredSpan{span, node.pid});
+    auto [trace_it, new_trace] = by_trace_.try_emplace(span.trace_id);
+    if (new_trace) trace_order_.push_back(span.trace_id);
+    trace_it->second.push_back(next_seq_);
+    spans_.emplace(next_seq_, StoredSpan{span, node.pid});
+    ++next_seq_;
   }
   ++stats_.batches;
   stats_.spans += batch.spans.size();
   stats_.dropped += batch.dropped;
+  enforce_retention_locked();
+}
+
+void Collector::enforce_retention_locked() {
+  if (max_spans_ == 0) return;
+  std::size_t evict_from = 0;
+  while (spans_.size() > max_spans_ &&
+         by_trace_.size() > 1 && evict_from < trace_order_.size()) {
+    const std::uint64_t victim = trace_order_[evict_from++];
+    const auto it = by_trace_.find(victim);
+    if (it == by_trace_.end()) continue;  // already evicted, stale order entry
+    for (const std::uint64_t seq : it->second) spans_.erase(seq);
+    stats_.evicted_spans += it->second.size();
+    ++stats_.evicted_traces;
+    by_trace_.erase(it);
+  }
+  if (evict_from > 0) {
+    trace_order_.erase(trace_order_.begin(),
+                       trace_order_.begin() +
+                           static_cast<std::ptrdiff_t>(evict_from));
+  }
 }
 
 CollectorStats Collector::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+std::size_t Collector::resident_spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
 }
 
 std::vector<std::uint64_t> Collector::trace_ids() const {
@@ -49,8 +78,8 @@ std::size_t Collector::node_count(std::uint64_t trace_id) const {
   const auto it = by_trace_.find(trace_id);
   if (it == by_trace_.end()) return 0;
   std::vector<std::uint32_t> pids;
-  for (const std::size_t index : it->second) {
-    pids.push_back(spans_[index].pid);
+  for (const std::uint64_t index : it->second) {
+    pids.push_back(spans_.at(index).pid);
   }
   std::sort(pids.begin(), pids.end());
   pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
@@ -65,7 +94,9 @@ std::uint64_t Collector::richest_trace() const {
   for (const auto& [id, indices] : by_trace_) {
     if (id == 0) continue;  // background spans assemble to no request
     std::vector<std::uint32_t> pids;
-    for (const std::size_t index : indices) pids.push_back(spans_[index].pid);
+    for (const std::uint64_t index : indices) {
+      pids.push_back(spans_.at(index).pid);
+    }
     std::sort(pids.begin(), pids.end());
     pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
     const std::size_t nodes = pids.size();
@@ -85,8 +116,8 @@ std::string Collector::assemble(std::uint64_t trace_id) const {
   if (it == by_trace_.end()) return {};
   std::vector<const StoredSpan*> selected;
   selected.reserve(it->second.size());
-  for (const std::size_t index : it->second) {
-    selected.push_back(&spans_[index]);
+  for (const std::uint64_t index : it->second) {
+    selected.push_back(&spans_.at(index));
   }
   return render(selected);
 }
@@ -95,7 +126,7 @@ std::string Collector::assemble_all() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<const StoredSpan*> selected;
   selected.reserve(spans_.size());
-  for (const StoredSpan& stored : spans_) selected.push_back(&stored);
+  for (const auto& [seq, stored] : spans_) selected.push_back(&stored);
   return render(selected);
 }
 

@@ -17,6 +17,11 @@ struct CollectorStats {
   std::uint64_t spans = 0;
   std::uint64_t dropped = 0;  ///< sender-reported losses, summed
   std::uint32_t nodes = 0;
+  /// Retention evictions (whole traces aged out by the span cap).
+  /// Distinct from `dropped`, which counts spans the *senders* shed
+  /// before they ever reached this collector.
+  std::uint64_t evicted_traces = 0;
+  std::uint64_t evicted_spans = 0;
 };
 
 /// Fleet-side trace assembler: many servers stream SpanBatches at one
@@ -32,16 +37,36 @@ struct CollectorStats {
 /// tightly (standard one-way-delay-minimum alignment).  Rendered span
 /// times are node time + that offset, i.e. collector time.
 ///
+/// Retention: the span store is bounded by max_spans.  When an ingest
+/// pushes the store past the cap, whole traces are evicted oldest-first
+/// (by first-arrival order) until it fits again — never span-by-span,
+/// so a retained trace is always complete and still assembles.
+/// Eviction stops early when only one trace remains, so a single trace
+/// larger than the cap stays resident (the cap is soft by at most one
+/// trace).  Evictions are counted in
+/// CollectorStats::evicted_{traces,spans}; the monotonic batches/spans
+/// counters keep counting everything ingested.
+///
 /// Thread-safe: ingest() may be called from server callback threads
 /// while stats()/assemble() run elsewhere.
 class Collector {
  public:
+  /// @p max_spans bounds the resident span store (0 = unbounded, the
+  /// pre-retention behaviour).
+  explicit Collector(std::size_t max_spans = 0) : max_spans_(max_spans) {}
+
   /// Absorb one batch. @p recv_ns is the collector's own monotonic
   /// clock when the batch arrived (Tracer::instance().now_ns() of the
   /// collecting process, or any fixed-epoch ns clock).
   void ingest(const SpanBatch& batch, std::int64_t recv_ns);
 
   CollectorStats stats() const;
+
+  /// Spans currently resident (after retention), not the monotonic
+  /// ingested count.
+  std::size_t resident_spans() const;
+
+  std::size_t max_spans() const { return max_spans_; }
 
   /// Every trace id seen, ascending.
   std::vector<std::uint64_t> trace_ids() const;
@@ -78,10 +103,22 @@ class Collector {
 
   std::string render(const std::vector<const StoredSpan*>& spans) const;
 
+  /// Drop whole traces oldest-first until the store fits max_spans_
+  /// again (or a single trace remains).  Caller holds mutex_.
+  void enforce_retention_locked();
+
+  const std::size_t max_spans_;
+
   mutable std::mutex mutex_;
-  std::map<std::string, NodeState> nodes_;         ///< name -> state
-  std::vector<StoredSpan> spans_;                  ///< all ingested spans
-  std::map<std::uint64_t, std::vector<std::size_t>> by_trace_;
+  std::map<std::string, NodeState> nodes_;  ///< name -> state
+  /// Resident spans keyed by a monotonic arrival sequence — a map (not
+  /// a vector) so retention can drop arbitrary traces without
+  /// invalidating the indices by_trace_ holds.
+  std::map<std::uint64_t, StoredSpan> spans_;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> by_trace_;
+  /// Trace ids in first-arrival order — the retention eviction queue.
+  std::vector<std::uint64_t> trace_order_;
+  std::uint64_t next_seq_ = 0;
   CollectorStats stats_;
 };
 

@@ -22,6 +22,7 @@ std::string_view to_string(Category category) {
     case Category::Net:     return "net";
     case Category::Cluster: return "cluster";
     case Category::Sim: return "sim";
+    case Category::Qos: return "qos";
   }
   return "unknown";
 }

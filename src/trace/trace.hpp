@@ -30,8 +30,9 @@ enum class Category : std::uint8_t {
   Net,      ///< wire + TCP server/client (accept, decode, enqueue, flush)
   Cluster,  ///< cluster tier (ring routing, hedging, proxy scatter/merge)
   Sim,      ///< workload lowering + machine simulation (SimulateRequest)
+  Qos,      ///< admission decisions, WFQ dispatch, cancellation
 };
-inline constexpr std::size_t kCategoryCount = 15;
+inline constexpr std::size_t kCategoryCount = 16;
 std::string_view to_string(Category category);
 
 /// One recorded span.  `name` and `arg_name` point to static storage

@@ -500,8 +500,7 @@ service::Status decode_status(Decoder& d) {
   const std::int32_t code = d.i32();
   if (d.ok() &&
       (code < 0 ||
-       code > static_cast<std::int32_t>(
-                  service::StatusCode::UnsupportedVersion))) {
+       code > static_cast<std::int32_t>(service::StatusCode::Cancelled))) {
     d.fail(WireErrorCode::Malformed,
            "bad StatusCode value " + std::to_string(code));
   }
@@ -1014,13 +1013,18 @@ FrameScan scan_frame(const std::uint8_t* data, std::size_t size) {
   const std::uint64_t trace_id = version >= 2 ? d.u64() : 0;
 
   if (kind < static_cast<std::uint8_t>(FrameKind::Request) ||
-      kind > static_cast<std::uint8_t>(FrameKind::SpanBatch)) {
+      kind > static_cast<std::uint8_t>(FrameKind::CancelRequest)) {
     return bad_frame(WireErrorCode::BadFrameKind,
                      "frame kind byte " + std::to_string(kind));
   }
   if (kind == static_cast<std::uint8_t>(FrameKind::SpanBatch) && version < 2) {
     return bad_frame(WireErrorCode::BadFrameKind,
                      "span batch frames require a v2 header");
+  }
+  if (kind == static_cast<std::uint8_t>(FrameKind::CancelRequest) &&
+      version < 2) {
+    return bad_frame(WireErrorCode::BadFrameKind,
+                     "cancel frames require a v2 header");
   }
   if (reserved != 0) {
     return bad_frame(WireErrorCode::Malformed,
@@ -1042,16 +1046,22 @@ FrameScan scan_frame(const std::uint8_t* data, std::size_t size) {
   return scan;
 }
 
-std::vector<std::uint8_t> encode_request_frame(std::uint64_t request_id,
-                                               const service::Request& request,
-                                               std::uint32_t deadline_ms,
-                                               std::uint16_t version,
-                                               std::uint64_t trace_id) {
+std::vector<std::uint8_t> encode_request_frame(
+    std::uint64_t request_id, const service::Request& request,
+    std::uint32_t deadline_ms, std::uint16_t version, std::uint64_t trace_id,
+    std::optional<qos::PriorityClass> priority) {
   Encoder e;
   encode_header(e, FrameKind::Request, request_id, version, trace_id);
   const std::size_t payload_start = e.size();
   e.u32(deadline_ms);
   encode(e, request);
+  if (version >= 2) {
+    // Trailing QoS extension: a single priority byte.  Decoders treat
+    // its absence as "use the request type's default", so pre-extension
+    // v2 peers interoperate unchanged.
+    e.u8(static_cast<std::uint8_t>(
+        priority.value_or(qos::default_priority(request))));
+  }
   e.patch_u32(kPayloadSizeOffset,
               static_cast<std::uint32_t>(e.size() - payload_start));
   return e.take();
@@ -1067,6 +1077,14 @@ std::vector<std::uint8_t> encode_response_frame(
   e.boolean(response.cache_hit);
   e.i64(response.latency.count());
   encode_payload(e, response);
+  if (version >= 2) {
+    // Trailing QoS extension: one flags byte (bit 0 = sampled, i.e.
+    // precision was shed) + the Overloaded retry-after hint in ms.
+    // Absent on frames from pre-extension peers; decoders then default
+    // to full precision and no hint.
+    e.u8(response.sampled ? 1 : 0);
+    e.u32(response.status.retry_after_ms);
+  }
   e.patch_u32(kPayloadSizeOffset,
               static_cast<std::uint32_t>(e.size() - payload_start));
   return e.take();
@@ -1110,6 +1128,45 @@ std::vector<std::uint8_t> encode_hello_ack_frame(std::uint64_t request_id,
   e.patch_u32(kPayloadSizeOffset,
               static_cast<std::uint32_t>(e.size() - payload_start));
   return e.take();
+}
+
+std::vector<std::uint8_t> encode_cancel_frame(std::uint64_t request_id,
+                                              std::uint64_t trace_id) {
+  Encoder e;
+  // Always a v2 header: cancellation is a v2 feature and scan_frame
+  // rejects the kind at v1, so there is nothing to encode for v1 peers.
+  encode_header(e, FrameKind::CancelRequest, request_id, kProtocolVersion,
+                trace_id);
+  return e.take();
+}
+
+DecodeResult<CancelFrame> decode_cancel_frame(const std::uint8_t* data,
+                                              std::size_t size) {
+  DecodeResult<CancelFrame> result;
+  const FrameScan scan = scan_frame(data, size);
+  if (scan.state == FrameScan::State::Bad) {
+    result.error = scan.error;
+    return result;
+  }
+  if (scan.state == FrameScan::State::NeedMore || scan.frame_size != size) {
+    result.error = {WireErrorCode::Truncated,
+                    "buffer is not exactly one frame"};
+    return result;
+  }
+  if (scan.header.kind != FrameKind::CancelRequest) {
+    result.error = {WireErrorCode::BadFrameKind, "expected a cancel frame"};
+    return result;
+  }
+  if (scan.header.payload_size != 0) {
+    result.error = {WireErrorCode::Malformed,
+                    "cancel frames carry no payload"};
+    return result;
+  }
+  CancelFrame frame;
+  frame.request_id = scan.header.request_id;
+  frame.trace_id = scan.header.trace_id;
+  result.value = frame;
+  return result;
 }
 
 std::vector<std::uint8_t> encode_span_batch_frame(
@@ -1220,6 +1277,14 @@ DecodeResult<RequestFrame> decode_request_frame(const std::uint8_t* data,
             scan.header.payload_size);
   frame.deadline_ms = d.u32();
   frame.request = decode_request(d, scan.header.version);
+  if (d.ok() && scan.header.version >= 2 && d.remaining() >= 1) {
+    frame.priority =
+        decode_enum<qos::PriorityClass>(d, 2, "PriorityClass");
+  } else {
+    // v1 frame, or a v2 client from before the QoS extension: the
+    // request type's default class (test-enforced compatibility).
+    frame.priority = qos::default_priority(frame.request);
+  }
   d.expect_end();
   if (!d.ok()) {
     result.error = d.error();
@@ -1258,6 +1323,15 @@ DecodeResult<ResponseFrame> decode_response_frame(const std::uint8_t* data,
   frame.response.cache_hit = d.boolean();
   frame.response.latency = std::chrono::nanoseconds(d.i64());
   frame.response.payload = decode_payload(d, scan.header.version);
+  if (d.ok() && scan.header.version >= 2 && d.remaining() >= 5) {
+    const std::uint8_t flags = d.u8();
+    if (d.ok() && (flags & ~std::uint8_t{1}) != 0) {
+      d.fail(WireErrorCode::Malformed,
+             "bad qos flags byte " + std::to_string(flags));
+    }
+    frame.response.sampled = (flags & 1) != 0;
+    frame.response.status.retry_after_ms = d.u32();
+  }
   d.expect_end();
   if (!d.ok()) {
     result.error = d.error();

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "qos/priority.hpp"
 #include "service/request.hpp"
 #include "trace/export.hpp"
 #include "wire/codec.hpp"
@@ -82,6 +83,14 @@ enum class FrameKind : std::uint8_t {
   /// counting the drop).  v2-only; a v1 header carrying this kind is
   /// rejected by scan_frame.
   SpanBatch = 7,
+  /// Server-side cancellation: the header's request id names an earlier
+  /// request on the *same connection* that the client no longer wants
+  /// (typically a hedged duplicate whose sibling already answered).
+  /// Empty payload, fire-and-forget — the cancelled request's own
+  /// response (Cancelled if the cancel won the race, the real result if
+  /// it lost) is the acknowledgement.  v2-only; a v1 header carrying
+  /// this kind is rejected by scan_frame.
+  CancelRequest = 8,
 };
 
 struct FrameHeader {
@@ -126,6 +135,12 @@ struct RequestFrame {
   service::Request request;
   std::uint16_t version = kProtocolVersion;  ///< version the frame arrived at
   std::uint64_t trace_id = 0;                ///< 0 on v1 frames / untraced
+  /// QoS class, carried as a single byte appended to the v2 payload.
+  /// v1 frames — and v2 frames from clients that predate the extension
+  /// — decode to the request type's default class (point queries
+  /// Interactive, grid work Batch), so an unaware client is never
+  /// penalised for not sending the byte.
+  qos::PriorityClass priority = qos::PriorityClass::Interactive;
 };
 
 /// A decoded response frame.  `response.latency` is the server-observed
@@ -152,6 +167,13 @@ struct HelloAckFrame {
   std::uint16_t agreed_version = kProtocolVersion;
 };
 
+/// A decoded CancelRequest.  The request id names the request to
+/// cancel on this connection; there is no payload.
+struct CancelFrame {
+  std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
+};
+
 /// A decoded span batch (streaming flight-recorder export).  The
 /// request id is a sender-local batch sequence number — useful in a
 /// packet dump, never echoed (span batches have no responses).
@@ -172,10 +194,15 @@ struct DecodeResult {
 /// Encode one complete request frame (header + payload) at @p version.
 /// Chunk requests (SweepChunk/FaultChunk) exist only at v2+; encoding
 /// one at v1 produces a frame any compliant decoder rejects, so don't.
+/// @p priority defaults to the request type's class
+/// (qos::default_priority); pass one explicitly to override — e.g. a
+/// replay soak tags everything Background.  v1 frames cannot carry the
+/// byte, so an explicit priority is silently dropped at version 1.
 std::vector<std::uint8_t> encode_request_frame(
     std::uint64_t request_id, const service::Request& request,
     std::uint32_t deadline_ms = 0, std::uint16_t version = kProtocolVersion,
-    std::uint64_t trace_id = 0);
+    std::uint64_t trace_id = 0,
+    std::optional<qos::PriorityClass> priority = std::nullopt);
 
 /// Encode one complete response frame (header + payload) at @p version.
 /// Covers every Status (error responses travel exactly like results)
@@ -196,6 +223,12 @@ std::vector<std::uint8_t> encode_hello_ack_frame(std::uint64_t request_id,
                                                  const service::Status& status,
                                                  std::uint16_t agreed_version);
 
+/// Encode one CancelRequest (always a v2 header — cancellation does
+/// not exist at v1; a client that negotiated v1 simply never sends
+/// one).  Empty payload; the header's request id is the target.
+std::vector<std::uint8_t> encode_cancel_frame(std::uint64_t request_id,
+                                              std::uint64_t trace_id = 0);
+
 /// Encode one span batch (always a v2 header; the streamer never talks
 /// to v1 peers — negotiation happens before streaming starts).
 std::vector<std::uint8_t> encode_span_batch_frame(
@@ -213,5 +246,7 @@ DecodeResult<HelloAckFrame> decode_hello_ack_frame(const std::uint8_t* data,
                                                    std::size_t size);
 DecodeResult<SpanBatchFrame> decode_span_batch_frame(const std::uint8_t* data,
                                                      std::size_t size);
+DecodeResult<CancelFrame> decode_cancel_frame(const std::uint8_t* data,
+                                              std::size_t size);
 
 }  // namespace mpct::wire

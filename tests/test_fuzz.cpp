@@ -264,6 +264,10 @@ void decode_untrusted(const std::uint8_t* data, std::size_t size) {
       if (!batch.ok()) {
         EXPECT_FALSE(wire::to_string(batch.error.code).empty());
       }
+      const auto cancel = wire::decode_cancel_frame(data, scan.frame_size);
+      if (!cancel.ok()) {
+        EXPECT_FALSE(wire::to_string(cancel.error.code).empty());
+      }
       return;
     }
   }
@@ -365,6 +369,11 @@ TEST(Fuzz, WireDecoderSurvivesBitFlippedValidFrames) {
       wire::encode_request_frame(12, simulate_request, 250),
       wire::encode_response_frame(12, engine.execute(simulate_request)),
       wire::encode_span_batch_frame(13, sample_span_batch()),
+      // The QoS wire surface: a frame carrying the trailing priority
+      // extension, and a CancelRequest.
+      wire::encode_request_frame(14, request, 250, wire::kProtocolVersion, 0,
+                                 qos::PriorityClass::Background),
+      wire::encode_cancel_frame(15, 0x7ace0002),
   };
   Rng rng(31337);
   for (const auto& seed : seeds) {
@@ -398,6 +407,51 @@ TEST(Fuzz, WireDecoderSurvivesEveryTruncationPrefix) {
         EXPECT_EQ(decoded.ok(), len == frame.size());
       }
     }
+  }
+}
+
+TEST(Fuzz, PriorityExtensionAndCancelFramesSurviveEveryTruncation) {
+  // A request frame with an explicit priority byte: every proper prefix
+  // must be rejected (NeedMore or a typed error), only the whole frame
+  // decodes.  The one-byte-short case in particular must *not* decode
+  // as a priority-less frame here — the header still promises the
+  // longer payload.
+  service::RecommendRequest recommend;
+  recommend.top_k = 2;
+  const auto tagged = wire::encode_request_frame(
+      31, service::Request{std::move(recommend)}, 100, wire::kProtocolVersion,
+      0, qos::PriorityClass::Background);
+  for (std::size_t len = 0; len <= tagged.size(); ++len) {
+    decode_untrusted(tagged.data(), len);
+    if (len > 0) {
+      const auto decoded = wire::decode_request_frame(tagged.data(), len);
+      EXPECT_EQ(decoded.ok(), len == tagged.size());
+    }
+  }
+
+  const auto cancel = wire::encode_cancel_frame(32, 0x7ace0004);
+  for (std::size_t len = 0; len <= cancel.size(); ++len) {
+    decode_untrusted(cancel.data(), len);
+    if (len > 0) {
+      const auto decoded = wire::decode_cancel_frame(cancel.data(), len);
+      EXPECT_EQ(decoded.ok(), len == cancel.size());
+    }
+  }
+}
+
+TEST(Fuzz, CancelFramesSurviveBitFlips) {
+  // Bit-flipped CancelRequests must never crash and, when they still
+  // decode, must carry plausible fields (any u64 ids are legal — the
+  // registry lookup is the safety net).  Most flips corrupt the header
+  // and land on a typed verdict instead.
+  const auto seed = wire::encode_cancel_frame(33, 0x7ace0005);
+  Rng rng(90210);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> frame = seed;
+    const std::size_t bit =
+        rng.next_below(static_cast<std::uint32_t>(frame.size() * 8));
+    frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    decode_untrusted(frame.data(), frame.size());
   }
 }
 

@@ -378,9 +378,10 @@ TEST(ProtocolV2, V1FramesUseTheShortHeaderAndStillDecode) {
   EXPECT_EQ(scan.header.version, 1u);
   EXPECT_EQ(scan.header.trace_id, 0u);  // v1 has no trace field
   EXPECT_EQ(scan.frame_size, frame.size());
-  // The v1 header is 8 bytes shorter than v2's.
+  // The v1 header is 8 bytes shorter than v2's, and a v2 request
+  // payload additionally carries the trailing QoS priority byte.
   const auto v2 = encode_request_frame(5, request, 100, /*version=*/2);
-  EXPECT_EQ(frame.size() + (kHeaderSizeV2 - kHeaderSizeV1), v2.size());
+  EXPECT_EQ(frame.size() + (kHeaderSizeV2 - kHeaderSizeV1) + 1, v2.size());
 
   const auto decoded = decode_request_frame(frame.data(), frame.size());
   ASSERT_TRUE(decoded.ok()) << decoded.error.to_string();
